@@ -1,0 +1,321 @@
+//! Arithmetic-expression executor.
+//!
+//! Resolves cell references against a table using TAT-QA's convention: the
+//! first text column holds row names, other columns are addressed by header.
+//! Executes steps in order, resolving `#N` references, and answers with the
+//! final step's value. `greater` steps produce yes/no answers.
+
+use crate::ast::{AeArg, AeOp, AeProgram};
+use std::fmt;
+use tabular::{format_number, ColumnType, Table, Value};
+
+/// The answer of an arithmetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AeAnswer {
+    Number(f64),
+    /// Result of a `greater` comparison.
+    YesNo(bool),
+}
+
+impl AeAnswer {
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AeAnswer::Number(n) => Some(*n),
+            AeAnswer::YesNo(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AeAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AeAnswer::Number(n) => write!(f, "{}", format_number(*n)),
+            AeAnswer::YesNo(b) => write!(f, "{}", if *b { "yes" } else { "no" }),
+        }
+    }
+}
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AeError {
+    UnknownColumn(String),
+    UnknownRow(String),
+    /// The addressed cell exists but holds no number.
+    NonNumericCell { col: String, row: String },
+    DivisionByZero,
+    /// The program still contains template holes.
+    Uninstantiated,
+    /// A step used a boolean result as a number.
+    BoolAsNumber,
+    EmptyColumn(String),
+}
+
+impl fmt::Display for AeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AeError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            AeError::UnknownRow(r) => write!(f, "unknown row `{r}`"),
+            AeError::NonNumericCell { col, row } => {
+                write!(f, "cell `{col}` of `{row}` is not numeric")
+            }
+            AeError::DivisionByZero => write!(f, "division by zero"),
+            AeError::Uninstantiated => write!(f, "program still contains template holes"),
+            AeError::BoolAsNumber => write!(f, "boolean step result used as a number"),
+            AeError::EmptyColumn(c) => write!(f, "column `{c}` has no numeric values"),
+        }
+    }
+}
+
+impl std::error::Error for AeError {}
+
+/// Outcome with the highlighted cells that fed the computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AeOutcome {
+    pub answer: AeAnswer,
+    pub highlighted: Vec<(usize, usize)>,
+}
+
+/// The index of the row-name column: the first `Text` column, falling back
+/// to column 0 (financial tables lead with a label column).
+pub fn row_name_column(table: &Table) -> usize {
+    table
+        .schema()
+        .columns()
+        .iter()
+        .position(|c| c.ty == ColumnType::Text)
+        .unwrap_or(0)
+}
+
+/// Resolves `col of row` to a (row, col) pair.
+pub fn resolve_cell(table: &Table, col: &str, row: &str) -> Result<(usize, usize), AeError> {
+    let ci = table
+        .column_index(col)
+        .ok_or_else(|| AeError::UnknownColumn(col.to_string()))?;
+    let name_col = row_name_column(table);
+    let target = Value::parse(row);
+    let ri = (0..table.n_rows())
+        .find(|&ri| {
+            table
+                .cell(ri, name_col)
+                .is_some_and(|v| v.loosely_equals(&target) || v.to_string().eq_ignore_ascii_case(row))
+        })
+        .ok_or_else(|| AeError::UnknownRow(row.to_string()))?;
+    Ok((ri, ci))
+}
+
+/// Executes a fully instantiated program against a table.
+pub fn execute(program: &AeProgram, table: &Table) -> Result<AeOutcome, AeError> {
+    if program.has_holes() {
+        return Err(AeError::Uninstantiated);
+    }
+    let mut results: Vec<AeAnswer> = Vec::with_capacity(program.steps.len());
+    let mut highlighted: Vec<(usize, usize)> = Vec::new();
+
+    for step in &program.steps {
+        let answer = if step.op.is_table_op() {
+            let col_name = match &step.args[0] {
+                AeArg::Column(c) => c.clone(),
+                AeArg::Cell { col, .. } => col.clone(),
+                _ => return Err(AeError::Uninstantiated),
+            };
+            let ci = table
+                .column_index(&col_name)
+                .ok_or_else(|| AeError::UnknownColumn(col_name.clone()))?;
+            let mut nums = Vec::new();
+            for ri in 0..table.n_rows() {
+                if let Some(n) = table.cell(ri, ci).and_then(Value::as_number) {
+                    highlighted.push((ri, ci));
+                    nums.push(n);
+                }
+            }
+            if nums.is_empty() {
+                return Err(AeError::EmptyColumn(col_name));
+            }
+            let v = match step.op {
+                AeOp::TableMax => nums.iter().cloned().fold(f64::MIN, f64::max),
+                AeOp::TableMin => nums.iter().cloned().fold(f64::MAX, f64::min),
+                AeOp::TableSum => nums.iter().sum(),
+                AeOp::TableAverage => nums.iter().sum::<f64>() / nums.len() as f64,
+                _ => unreachable!(),
+            };
+            AeAnswer::Number(v)
+        } else {
+            let a = resolve_numeric(&step.args[0], table, &results, &mut highlighted)?;
+            let b = resolve_numeric(&step.args[1], table, &results, &mut highlighted)?;
+            match step.op {
+                AeOp::Add => AeAnswer::Number(a + b),
+                AeOp::Subtract => AeAnswer::Number(a - b),
+                AeOp::Multiply => AeAnswer::Number(a * b),
+                AeOp::Divide => {
+                    if b == 0.0 {
+                        return Err(AeError::DivisionByZero);
+                    }
+                    AeAnswer::Number(a / b)
+                }
+                AeOp::Greater => AeAnswer::YesNo(a > b),
+                AeOp::Exp => {
+                    let v = a.powf(b);
+                    if !v.is_finite() {
+                        return Err(AeError::DivisionByZero);
+                    }
+                    AeAnswer::Number(v)
+                }
+                _ => unreachable!(),
+            }
+        };
+        results.push(answer);
+    }
+    highlighted.sort_unstable();
+    highlighted.dedup();
+    Ok(AeOutcome { answer: results.pop().expect("non-empty program"), highlighted })
+}
+
+fn resolve_numeric(
+    arg: &AeArg,
+    table: &Table,
+    results: &[AeAnswer],
+    highlighted: &mut Vec<(usize, usize)>,
+) -> Result<f64, AeError> {
+    match arg {
+        AeArg::Const(n) => Ok(*n),
+        AeArg::StepRef(i) => results
+            .get(*i)
+            .ok_or(AeError::BoolAsNumber)?
+            .as_number()
+            .ok_or(AeError::BoolAsNumber),
+        AeArg::Cell { col, row } => {
+            let (ri, ci) = resolve_cell(table, col, row)?;
+            highlighted.push((ri, ci));
+            table
+                .cell(ri, ci)
+                .and_then(Value::as_number)
+                .ok_or_else(|| AeError::NonNumericCell { col: col.clone(), row: row.clone() })
+        }
+        AeArg::Column(c) => Err(AeError::UnknownColumn(c.clone())),
+        AeArg::CellHole(_) | AeArg::ColumnHole(_) => Err(AeError::Uninstantiated),
+    }
+}
+
+/// Convenience: parse + execute.
+pub fn run_arith(program: &str, table: &Table) -> Result<AeOutcome, String> {
+    let p = crate::parser::parse(program).map_err(|e| e.to_string())?;
+    execute(&p, table).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn financials() -> Table {
+        Table::from_strings(
+            "Balance sheet",
+            &[
+                vec!["item", "2019", "2018"],
+                vec!["Stockholders' equity", "3200", "4000"],
+                vec!["Revenue", "8800", "8000"],
+                vec!["Operating costs", "6100", "5900"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_percentage_change() {
+        // (equity2019 - equity2018) / equity2018 = (3200-4000)/4000 = -0.2
+        let out = run_arith(
+            "subtract( the 2019 of Stockholders' equity , the 2018 of Stockholders' equity ), divide( #0 , the 2018 of Stockholders' equity )",
+            &financials(),
+        )
+        .unwrap();
+        assert_eq!(out.answer, AeAnswer::Number(-0.2));
+    }
+
+    #[test]
+    fn add_and_multiply() {
+        let out = run_arith("add( the 2019 of Revenue , the 2018 of Revenue )", &financials()).unwrap();
+        assert_eq!(out.answer, AeAnswer::Number(16800.0));
+        let out = run_arith("multiply( the 2019 of Revenue , 0.5 )", &financials()).unwrap();
+        assert_eq!(out.answer, AeAnswer::Number(4400.0));
+    }
+
+    #[test]
+    fn greater_yields_yes_no() {
+        let out = run_arith("greater( the 2019 of Revenue , the 2018 of Revenue )", &financials()).unwrap();
+        assert_eq!(out.answer, AeAnswer::YesNo(true));
+        assert_eq!(out.answer.to_string(), "yes");
+        let out = run_arith(
+            "greater( the 2019 of Stockholders' equity , the 2018 of Stockholders' equity )",
+            &financials(),
+        )
+        .unwrap();
+        assert_eq!(out.answer.to_string(), "no");
+    }
+
+    #[test]
+    fn exp_operation() {
+        let out = run_arith("exp( 2 , 10 )", &financials()).unwrap();
+        assert_eq!(out.answer, AeAnswer::Number(1024.0));
+    }
+
+    #[test]
+    fn table_aggregations() {
+        let out = run_arith("table_sum( 2019 )", &financials()).unwrap();
+        assert_eq!(out.answer, AeAnswer::Number(18100.0));
+        let out = run_arith("table_max( 2018 )", &financials()).unwrap();
+        assert_eq!(out.answer, AeAnswer::Number(8000.0));
+        let out = run_arith("table_average( 2018 )", &financials()).unwrap();
+        assert_eq!(out.answer.as_number().unwrap().round(), 5967.0);
+    }
+
+    #[test]
+    fn chained_table_op() {
+        let out = run_arith("table_sum( 2019 ) , divide( #0 , 3 )", &financials()).unwrap();
+        assert!((out.answer.as_number().unwrap() - 6033.333).abs() < 0.001);
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let err = run_arith("subtract( 5 , 5 ) , divide( 1 , #0 )", &financials()).unwrap_err();
+        assert!(err.contains("division"));
+    }
+
+    #[test]
+    fn unknown_row_and_column() {
+        assert!(run_arith("add( the 2019 of Dividends , 1 )", &financials())
+            .unwrap_err()
+            .contains("unknown row"));
+        assert!(run_arith("add( the 2031 of Revenue , 1 )", &financials())
+            .unwrap_err()
+            .contains("unknown column"));
+    }
+
+    #[test]
+    fn bool_as_number_error() {
+        let err =
+            run_arith("greater( 2 , 1 ) , add( #0 , 1 )", &financials()).unwrap_err();
+        assert!(err.contains("boolean"));
+    }
+
+    #[test]
+    fn uninstantiated_template_error() {
+        let err = run_arith("subtract( val1 , val2 )", &financials()).unwrap_err();
+        assert!(err.contains("holes"));
+    }
+
+    #[test]
+    fn highlights_recorded() {
+        let out = run_arith(
+            "subtract( the 2019 of Revenue , the 2018 of Revenue )",
+            &financials(),
+        )
+        .unwrap();
+        assert_eq!(out.highlighted, vec![(1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn row_name_column_detection() {
+        assert_eq!(row_name_column(&financials()), 0);
+        let t = Table::from_strings("t", &[vec!["x", "label"], vec!["1", "a"], vec!["2", "b"]]).unwrap();
+        assert_eq!(row_name_column(&t), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Parser for the FinQA arithmetic-expression surface syntax.
+//!
+//! Programs are comma-separated steps `op( arg , arg )`. Distinguishing the
+//! step-separating commas from argument-separating commas only requires
+//! tracking parenthesis depth. Arguments:
+//!
+//! * `#N` — earlier step reference;
+//! * `val3` / `c2` — template holes;
+//! * a number — constant;
+//! * `the <col> of <row>` (or `<col> of <row>`) — cell reference;
+//! * anything else — a column name (table-op argument).
+
+use crate::ast::{AeArg, AeOp, AeProgram, AeStep};
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AeParseError {
+    pub message: String,
+}
+
+impl fmt::Display for AeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arithmetic expression parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AeParseError {}
+
+fn err(message: impl Into<String>) -> AeParseError {
+    AeParseError { message: message.into() }
+}
+
+/// Parses a program like `subtract( val1 , val2 ) , divide( #0 , val2 )`.
+pub fn parse(input: &str) -> Result<AeProgram, AeParseError> {
+    let step_texts = split_top_level(input);
+    if step_texts.is_empty() {
+        return Err(err("empty program"));
+    }
+    let mut steps = Vec::with_capacity(step_texts.len());
+    for (i, text) in step_texts.iter().enumerate() {
+        let step = parse_step(text)?;
+        // Step refs must point backwards.
+        for a in &step.args {
+            if let AeArg::StepRef(r) = a {
+                if *r >= i {
+                    return Err(err(format!("step {i} references #{r} which is not yet computed")));
+                }
+            }
+        }
+        steps.push(step);
+    }
+    Ok(AeProgram { steps })
+}
+
+/// Splits on commas at parenthesis depth zero.
+fn split_top_level(input: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in input.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts.into_iter().map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect()
+}
+
+fn parse_step(text: &str) -> Result<AeStep, AeParseError> {
+    let open = text.find('(').ok_or_else(|| err(format!("missing '(' in step `{text}`")))?;
+    if !text.trim_end().ends_with(')') {
+        return Err(err(format!("missing ')' in step `{text}`")));
+    }
+    let name = text[..open].trim();
+    let op = AeOp::from_name(name).ok_or_else(|| err(format!("unknown operation `{name}`")))?;
+    let inner = &text[open + 1..text.rfind(')').unwrap()];
+    let arg_texts = split_top_level(inner);
+    if arg_texts.len() != op.arity() {
+        return Err(err(format!(
+            "`{name}` expects {} arguments, got {}",
+            op.arity(),
+            arg_texts.len()
+        )));
+    }
+    let args = arg_texts
+        .iter()
+        .map(|a| parse_arg(a, op))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AeStep { op, args })
+}
+
+fn parse_arg(text: &str, op: AeOp) -> Result<AeArg, AeParseError> {
+    let t = text.trim();
+    if t.is_empty() {
+        return Err(err("empty argument"));
+    }
+    if let Some(digits) = t.strip_prefix('#') {
+        let i: usize = digits.parse().map_err(|_| err(format!("bad step reference `{t}`")))?;
+        return Ok(AeArg::StepRef(i));
+    }
+    if let Some(idx) = strip_indexed(t, "val") {
+        return Ok(AeArg::CellHole(idx));
+    }
+    if let Some(idx) = strip_indexed(t, "c") {
+        return Ok(AeArg::ColumnHole(idx));
+    }
+    // Table ops take a column argument, so a bare token (even one that
+    // looks numeric, like a year header "2019") is a column name there.
+    if op.is_table_op() {
+        return Ok(AeArg::Column(t.to_string()));
+    }
+    // Numeric constant? (allow %, $, commas via Value::parse)
+    if let tabular::Value::Number(n) = tabular::Value::parse(t) {
+        return Ok(AeArg::Const(n));
+    }
+    // `the X of Y` cell reference: split on the LAST " of " so column names
+    // containing "of" still work when the row name does not.
+    let stripped = t.strip_prefix("the ").unwrap_or(t);
+    if let Some(pos) = stripped.rfind(" of ") {
+        let col = stripped[..pos].trim();
+        let row = stripped[pos + 4..].trim();
+        if !col.is_empty() && !row.is_empty() {
+            return Ok(AeArg::Cell { col: col.to_string(), row: row.to_string() });
+        }
+    }
+    if op.is_table_op() {
+        return Ok(AeArg::Column(t.to_string()));
+    }
+    Err(err(format!("cannot interpret argument `{t}`")))
+}
+
+fn strip_indexed(t: &str, prefix: &str) -> Option<usize> {
+    let rest = t.strip_prefix(prefix)?;
+    if !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()) {
+        rest.parse().ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_template() {
+        let p = parse("subtract( val1 , val2 ), divide( #0 , val2 )").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert!(p.has_holes());
+        assert_eq!(p.steps[1].args[0], AeArg::StepRef(0));
+    }
+
+    #[test]
+    fn parse_cell_references() {
+        let p = parse(
+            "subtract( the Stockholders' equity of 2019 , the Stockholders' equity of 2018 )",
+        )
+        .unwrap();
+        assert_eq!(
+            p.steps[0].args[0],
+            AeArg::Cell { col: "Stockholders' equity".into(), row: "2019".into() }
+        );
+    }
+
+    #[test]
+    fn parse_cell_reference_without_the() {
+        let p = parse("add( revenue of 2020 , revenue of 2021 )").unwrap();
+        assert_eq!(p.cells().len(), 2);
+    }
+
+    #[test]
+    fn cell_reference_with_of_in_column() {
+        let p = parse("add( the cost of goods of 2020 , 5 )").unwrap();
+        assert_eq!(
+            p.steps[0].args[0],
+            AeArg::Cell { col: "cost of goods".into(), row: "2020".into() }
+        );
+    }
+
+    #[test]
+    fn parse_table_ops() {
+        let p = parse("table_sum( revenue )").unwrap();
+        assert_eq!(p.steps[0].args[0], AeArg::Column("revenue".into()));
+        let p = parse("table_average( c1 )").unwrap();
+        assert_eq!(p.steps[0].args[0], AeArg::ColumnHole(1));
+    }
+
+    #[test]
+    fn parse_constants() {
+        let p = parse("divide( #0 , 100 )").unwrap_err();
+        // #0 in the first step is a forward reference -> error
+        assert!(p.message.contains("not yet computed"));
+        let p = parse("add( 3.5 , -2 )").unwrap();
+        assert_eq!(p.steps[0].args, vec![AeArg::Const(3.5), AeArg::Const(-2.0)]);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let programs = [
+            "subtract( val1 , val2 ) , divide( #0 , val2 )",
+            "table_sum( c1 ) , divide( #0 , 4 )",
+            "greater( the revenue of 2020 , the revenue of 2019 )",
+            "exp( 2 , 10 )",
+        ];
+        for text in programs {
+            let p = parse(text).unwrap();
+            let rendered = p.to_string();
+            let reparsed = parse(&rendered).unwrap();
+            assert_eq!(p, reparsed, "roundtrip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(parse("add( 1 )").is_err());
+        assert!(parse("table_max( a , b )").is_err());
+    }
+
+    #[test]
+    fn unknown_op_error() {
+        assert!(parse("modulo( 1 , 2 )").is_err());
+    }
+
+    #[test]
+    fn malformed_step_errors() {
+        assert!(parse("add 1 , 2").is_err());
+        assert!(parse("add( 1 , 2").is_err());
+        assert!(parse("").is_err());
+    }
+}

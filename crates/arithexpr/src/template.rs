@@ -1,0 +1,295 @@
+//! Arithmetic-expression templates: abstraction and sampling.
+//!
+//! FinQA templates address cells through `valN` holes (the paper replaces
+//! `vali` with `col_name of row_name` at instantiation time, §IV-B). A hole
+//! appearing multiple times (as `val2` does in the paper's percentage-change
+//! template) binds once, so the instantiated program keeps the original
+//! internal relationships.
+
+use crate::ast::{AeArg, AeProgram, AeStep};
+use crate::exec::{execute, row_name_column, AeOutcome};
+use crate::parser::{parse, AeParseError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+use tabular::{ColumnType, Table, Value};
+
+/// A reusable arithmetic-expression template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AeTemplate {
+    program: AeProgram,
+}
+
+/// An instantiated program together with its executed answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantiatedArith {
+    pub program: AeProgram,
+    pub outcome: AeOutcome,
+}
+
+impl AeTemplate {
+    /// Parses template text such as `subtract( val1 , val2 ), divide( #0 , val2 )`.
+    pub fn parse(text: &str) -> Result<AeTemplate, AeParseError> {
+        Ok(AeTemplate { program: parse(text)? })
+    }
+
+    pub fn from_program(program: AeProgram) -> AeTemplate {
+        AeTemplate { program }
+    }
+
+    pub fn program(&self) -> &AeProgram {
+        &self.program
+    }
+
+    /// Normalized signature for deduplication.
+    pub fn signature(&self) -> String {
+        self.program.to_string()
+    }
+
+    /// Distinct cell-hole indexes in first-appearance order.
+    pub fn cell_holes(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for s in &self.program.steps {
+            for a in &s.args {
+                if let AeArg::CellHole(i) = a {
+                    if !out.contains(i) {
+                        out.push(*i);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Instantiates on `table`: distinct holes get distinct numeric cells,
+    /// repeated holes share a binding, column holes get numeric columns.
+    /// Returns the program and its executed answer, or `None` when the table
+    /// cannot support it (or execution degenerates, e.g. divide-by-zero).
+    pub fn instantiate(&self, table: &Table, rng: &mut impl Rng) -> Option<InstantiatedArith> {
+        for _ in 0..8 {
+            if let Some(done) = self.try_instantiate(table, rng) {
+                return Some(done);
+            }
+        }
+        None
+    }
+
+    fn try_instantiate(&self, table: &Table, rng: &mut impl Rng) -> Option<InstantiatedArith> {
+        let name_col = row_name_column(table);
+        // Numeric cells addressable as (col of row): need a non-null row name.
+        let mut cells: Vec<(usize, usize)> = Vec::new();
+        for ri in 0..table.n_rows() {
+            let has_name = table.cell(ri, name_col).is_some_and(|v| !v.is_null());
+            if !has_name {
+                continue;
+            }
+            for ci in 0..table.n_cols() {
+                if ci == name_col {
+                    continue;
+                }
+                if table.cell(ri, ci).and_then(Value::as_number).is_some() {
+                    cells.push((ri, ci));
+                }
+            }
+        }
+        let holes = self.cell_holes();
+        if cells.len() < holes.len() {
+            return None;
+        }
+        cells.shuffle(rng);
+        // Real FinQA programs relate cells that share a line item (same row,
+        // different periods) or a period (same column, different items);
+        // prefer such structured tuples when the table allows it.
+        if holes.len() > 1 {
+            let (r0, c0) = cells[0];
+            let same_row: Vec<(usize, usize)> =
+                cells.iter().copied().filter(|&(r, _)| r == r0).collect();
+            let same_col: Vec<(usize, usize)> =
+                cells.iter().copied().filter(|&(_, c)| c == c0).collect();
+            let preferred = if rng.gen_bool(0.5) { &same_row } else { &same_col };
+            let fallback = if preferred.len() >= holes.len() { preferred } else if same_row.len() >= holes.len() { &same_row } else { &same_col };
+            if fallback.len() >= holes.len() {
+                cells = fallback.clone();
+            }
+        }
+        let mut cell_binding: FxHashMap<usize, AeArg> = FxHashMap::default();
+        for (k, hole) in holes.iter().enumerate() {
+            let (ri, ci) = cells[k];
+            cell_binding.insert(
+                *hole,
+                AeArg::Cell {
+                    col: table.column_name(ci)?.to_string(),
+                    row: table.cell(ri, name_col)?.to_string(),
+                },
+            );
+        }
+        let numeric_cols: Vec<usize> = table.schema().columns_of_type(ColumnType::Number);
+        let program = AeProgram {
+            steps: self
+                .program
+                .steps
+                .iter()
+                .map(|s| {
+                    Some(AeStep {
+                        op: s.op,
+                        args: s
+                            .args
+                            .iter()
+                            .map(|a| match a {
+                                AeArg::CellHole(i) => cell_binding.get(i).cloned(),
+                                AeArg::ColumnHole(_) => {
+                                    let ci = numeric_cols.choose(rng)?;
+                                    Some(AeArg::Column(table.column_name(*ci)?.to_string()))
+                                }
+                                other => Some(other.clone()),
+                            })
+                            .collect::<Option<Vec<_>>>()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        };
+        let outcome = execute(&program, table).ok()?;
+        Some(InstantiatedArith { program, outcome })
+    }
+}
+
+/// Abstracts a concrete program into a template: cell references become
+/// `valN` (identical references share a hole) and column arguments become
+/// `cN`. Constants stay concrete (they encode the question's semantics,
+/// e.g. `divide( #0 , 100 )` for percentages).
+pub fn abstract_program(program: &AeProgram) -> AeTemplate {
+    let mut cell_map: FxHashMap<(String, String), usize> = FxHashMap::default();
+    let mut col_map: FxHashMap<String, usize> = FxHashMap::default();
+    let mut next_val = 1usize;
+    let mut next_col = 1usize;
+    let steps = program
+        .steps
+        .iter()
+        .map(|s| AeStep {
+            op: s.op,
+            args: s
+                .args
+                .iter()
+                .map(|a| match a {
+                    AeArg::Cell { col, row } => {
+                        let key = (col.to_ascii_lowercase(), row.to_ascii_lowercase());
+                        let idx = *cell_map.entry(key).or_insert_with(|| {
+                            let i = next_val;
+                            next_val += 1;
+                            i
+                        });
+                        AeArg::CellHole(idx)
+                    }
+                    AeArg::Column(c) => {
+                        let idx = *col_map.entry(c.to_ascii_lowercase()).or_insert_with(|| {
+                            let i = next_col;
+                            next_col += 1;
+                            i
+                        });
+                        AeArg::ColumnHole(idx)
+                    }
+                    other => other.clone(),
+                })
+                .collect(),
+        })
+        .collect();
+    AeTemplate { program: AeProgram { steps } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::AeAnswer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn financials() -> Table {
+        Table::from_strings(
+            "Balance sheet",
+            &[
+                vec!["item", "2019", "2018"],
+                vec!["Equity", "3200", "4000"],
+                vec!["Revenue", "8800", "8000"],
+                vec!["Costs", "6100", "5900"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instantiate_paper_template() {
+        let tpl = AeTemplate::parse("subtract( val1 , val2 ), divide( #0 , val2 )").unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
+        assert!(!inst.program.has_holes());
+        assert!(matches!(inst.outcome.answer, AeAnswer::Number(_)));
+        // val2 appears twice: both occurrences must be the same cell.
+        let cells = inst.program.cells();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[1], cells[2]);
+    }
+
+    #[test]
+    fn instantiate_distinct_holes_get_distinct_cells() {
+        let tpl = AeTemplate::parse("subtract( val1 , val2 )").unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
+            let cells = inst.program.cells();
+            assert_ne!(cells[0], cells[1]);
+        }
+    }
+
+    #[test]
+    fn instantiate_table_op_template() {
+        let tpl = AeTemplate::parse("table_sum( c1 ) , divide( #0 , 3 )").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
+        let n = inst.outcome.answer.as_number().unwrap();
+        // one of sum(2019)/3, sum(2018)/3
+        assert!((n - 18100.0 / 3.0).abs() < 1e-9 || (n - 17900.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instantiate_fails_on_text_only_table() {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]]).unwrap();
+        let tpl = AeTemplate::parse("add( val1 , val2 )").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(tpl.instantiate(&t, &mut rng).is_none());
+    }
+
+    #[test]
+    fn abstraction_shares_holes_for_repeated_cells() {
+        let p = parse(
+            "subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , the 2018 of Equity )",
+        )
+        .unwrap();
+        let tpl = abstract_program(&p);
+        assert_eq!(
+            tpl.signature(),
+            "subtract( val1 , val2 ) , divide( #0 , val2 )"
+        );
+    }
+
+    #[test]
+    fn abstraction_keeps_constants() {
+        let p = parse("subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , 100 )").unwrap();
+        let tpl = abstract_program(&p);
+        assert!(tpl.signature().ends_with("divide( #0 , 100 )"));
+    }
+
+    #[test]
+    fn abstract_then_instantiate_roundtrip() {
+        let p = parse("greater( the 2019 of Revenue , the 2018 of Revenue )").unwrap();
+        let tpl = abstract_program(&p);
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
+        assert!(matches!(inst.outcome.answer, AeAnswer::YesNo(_)));
+    }
+
+    #[test]
+    fn cell_holes_order() {
+        let tpl = AeTemplate::parse("subtract( val2 , val1 ), add( #0 , val1 )").unwrap();
+        assert_eq!(tpl.cell_holes(), vec![2, 1]);
+    }
+}

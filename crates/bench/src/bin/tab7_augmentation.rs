@@ -1,0 +1,119 @@
+//! Reproduces **Table VII**: data augmentation — the supervised baseline
+//! vs. the baseline pretrained on UCTR synthetic data, on all four
+//! benchmarks.
+//!
+//! Paper reference values (dev): TAT-QA 55.5/62.9 → 59.7/67.7 (gain),
+//! SEM-TAB-FACTS 66.7 → 69.8 (gain), WikiSQL 88.1 → 87.9 (flat),
+//! FEVEROUS 86.0 → 85.9 (flat). The paper's explanation: augmentation
+//! helps the low-resource specialized domains (TAT-QA, SEM-TAB-FACTS) and
+//! is flat on the table-rich general-domain benchmarks.
+
+use bench::{augment_qa, augment_verifier, print_table, qa_em_f1, verifier_feverous, verifier_micro_f1};
+use corpora::{feverous_like, semtab_like, tatqa_like, wikisql_like, CorpusConfig};
+use models::{denotation_accuracy, EvidenceView, QaModel, VerdictSpace, VerifierModel};
+use uctr::{Sample, UctrConfig, UctrPipeline, Verdict};
+
+fn denot(model: &QaModel, samples: &[Sample]) -> f64 {
+    let pairs: Vec<(String, String)> = samples
+        .iter()
+        .filter_map(|s| Some((model.predict(s), s.label.as_answer()?.to_string())))
+        .collect();
+    denotation_accuracy(&pairs)
+}
+
+fn drop_nei(samples: &[Sample]) -> Vec<Sample> {
+    samples
+        .iter()
+        .filter(|s| s.label.as_verdict() != Some(Verdict::Unknown))
+        .cloned()
+        .collect()
+}
+
+fn main() {
+    // Paper scale note (§V-D): TAT-QA and SEM-TAB-FACTS have far fewer
+    // tables than FEVEROUS/WikiSQL; we mirror that with a smaller table
+    // budget for the specialized domains.
+    let low_resource = CorpusConfig { n_tables: 40, train_per_table: 3, eval_per_table: 16, seed: 2023 };
+    let high_resource = CorpusConfig { n_tables: 160, train_per_table: 10, eval_per_table: 16, seed: 2023 };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // --- TAT-QA (EM/F1) ---
+    {
+        let b = tatqa_like(low_resource);
+        let synth = UctrPipeline::new(UctrConfig::qa()).generate(&b.unlabeled);
+        let baseline = QaModel::train(&b.gold.train);
+        let augmented = augment_qa(&synth, &b.gold.train);
+        let (em_b, f1_b) = qa_em_f1(&baseline, &b.gold.dev);
+        let (em_a, f1_a) = qa_em_f1(&augmented, &b.gold.dev);
+        let (em_bt, f1_bt) = qa_em_f1(&baseline, &b.gold.test);
+        let (em_at, f1_at) = qa_em_f1(&augmented, &b.gold.test);
+        rows.push(vec![
+            "TAT-QA EM/F1       (paper dev 55.5/62.9 -> 59.7/67.7)".into(),
+            format!("{em_b:.1}/{f1_b:.1} -> {em_a:.1}/{f1_a:.1}"),
+            format!("{em_bt:.1}/{f1_bt:.1} -> {em_at:.1}/{f1_at:.1}"),
+        ]);
+    }
+
+    // --- SEM-TAB-FACTS (micro F1) ---
+    {
+        let b = semtab_like(low_resource);
+        let synth = UctrPipeline::new(UctrConfig { unknown_rate: 0.06, ..UctrConfig::verification() })
+            .generate(&b.unlabeled);
+        let baseline =
+            VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::Full);
+        let augmented = augment_verifier(&synth, &b.gold.train, VerdictSpace::ThreeWay);
+        rows.push(vec![
+            "SEM-TAB-FACTS F1   (paper dev 66.7 -> 69.8)".into(),
+            format!(
+                "{:.1} -> {:.1}",
+                verifier_micro_f1(&baseline, &b.gold.dev),
+                verifier_micro_f1(&augmented, &b.gold.dev)
+            ),
+            format!(
+                "{:.1} -> {:.1}",
+                verifier_micro_f1(&baseline, &b.gold.test),
+                verifier_micro_f1(&augmented, &b.gold.test)
+            ),
+        ]);
+    }
+
+    // --- WikiSQL (denotation accuracy) ---
+    {
+        let b = wikisql_like(high_resource);
+        let synth = UctrPipeline::new(UctrConfig { use_arith: false, ..UctrConfig::qa() })
+            .generate(&b.unlabeled);
+        let baseline = QaModel::train(&b.gold.train);
+        let augmented = augment_qa(&synth, &b.gold.train);
+        rows.push(vec![
+            "WikiSQL denot. acc (paper dev 88.1 -> 87.9)".into(),
+            format!("{:.1} -> {:.1}", denot(&baseline, &b.gold.dev), denot(&augmented, &b.gold.dev)),
+            format!("{:.1} -> {:.1}", denot(&baseline, &b.gold.test), denot(&augmented, &b.gold.test)),
+        ]);
+    }
+
+    // --- FEVEROUS (label accuracy) ---
+    {
+        let b = feverous_like(high_resource);
+        let train = drop_nei(&b.gold.train);
+        let dev = drop_nei(&b.gold.dev);
+        let synth = UctrPipeline::new(UctrConfig::verification()).generate(&b.unlabeled);
+        let baseline = VerifierModel::train(&train, VerdictSpace::TwoWay, EvidenceView::Full);
+        let augmented = augment_verifier(&synth, &train, VerdictSpace::TwoWay);
+        let (acc_b, _) = verifier_feverous(&baseline, &dev);
+        let (acc_a, _) = verifier_feverous(&augmented, &dev);
+        rows.push(vec![
+            "FEVEROUS accuracy  (paper dev 86.0 -> 85.9)".into(),
+            format!("{acc_b:.1} -> {acc_a:.1}"),
+            "-".into(),
+        ]);
+    }
+
+    print_table(
+        "Table VII — data augmentation (baseline -> baseline+UCTR)",
+        &["Benchmark", "Dev", "Test"],
+        &rows,
+    );
+    println!("\nExpected shape: gains on the low-resource specialized domains (TAT-QA,");
+    println!("SEM-TAB-FACTS), roughly flat on the table-rich general domains (WikiSQL, FEVEROUS).");
+}

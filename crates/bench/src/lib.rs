@@ -1,0 +1,277 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! One binary per paper table/figure regenerates the corresponding artifact
+//! (see DESIGN.md §4). This library holds the evaluation plumbing they
+//! share: model training wrappers per setting (supervised / unsupervised /
+//! few-shot / augmentation), per-evidence-type breakdowns, and the table
+//! printer that renders paper-vs-measured rows.
+
+use models::{
+    em_f1, feverous_score, label_accuracy, micro_f1, EvidenceView, QaModel, TrainConfig,
+    VerdictSpace, VerifierModel,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tabular::Table;
+use uctr::{EvidenceType, Sample, Verdict};
+
+/// Fixed seed for the few-shot subset (paper: "randomly selected from the
+/// original training set").
+pub const FEW_SHOT_SEED: u64 = 50;
+
+/// Picks `n` random training samples (the few-shot budget; paper uses 50).
+pub fn few_shot(train: &[Sample], n: usize) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(FEW_SHOT_SEED);
+    let mut idx: Vec<usize> = (0..train.len()).collect();
+    idx.shuffle(&mut rng);
+    idx.into_iter().take(n).map(|i| train[i].clone()).collect()
+}
+
+/// Restricts a sample's evidence (used for the Text-Span-only /
+/// Table-Cell-only baselines of Table III).
+pub fn restrict(sample: &Sample, view: EvidenceView) -> Sample {
+    match view {
+        EvidenceView::Full => sample.clone(),
+        EvidenceView::TableOnly => {
+            let mut s = sample.clone();
+            s.context.clear();
+            s
+        }
+        EvidenceView::SentenceOnly => {
+            let mut s = sample.clone();
+            s.table = Table::from_strings(&sample.table.title, &[vec![]])
+                .unwrap_or_else(|_| sample.table.clone());
+            s
+        }
+    }
+}
+
+pub fn restrict_all(samples: &[Sample], view: EvidenceView) -> Vec<Sample> {
+    samples.iter().map(|s| restrict(s, view)).collect()
+}
+
+/// EM/F1 of a QA model on an evaluation set.
+pub fn qa_em_f1(model: &QaModel, samples: &[Sample]) -> (f64, f64) {
+    let pairs: Vec<(String, String)> = samples
+        .iter()
+        .filter_map(|s| Some((model.predict(s), s.label.as_answer()?.to_string())))
+        .collect();
+    em_f1(&pairs)
+}
+
+/// EM/F1 broken down by evidence type plus the total (Table III layout).
+pub fn qa_breakdown(model: &QaModel, samples: &[Sample]) -> Vec<(String, f64, f64)> {
+    let mut rows = Vec::new();
+    for ev in [EvidenceType::TableOnly, EvidenceType::TableText, EvidenceType::TextOnly] {
+        let subset: Vec<Sample> = samples.iter().filter(|s| s.evidence == ev).cloned().collect();
+        let (em, f1) = qa_em_f1(model, &subset);
+        rows.push((ev.to_string(), em, f1));
+    }
+    let (em, f1) = qa_em_f1(model, samples);
+    rows.push(("Total".to_string(), em, f1));
+    rows
+}
+
+/// Verdict predictions of a verifier on a set.
+pub fn verifier_predictions(model: &VerifierModel, samples: &[Sample]) -> Vec<Verdict> {
+    samples.iter().map(|s| model.predict(s)).collect()
+}
+
+/// (label accuracy, FEVEROUS score) of a verifier.
+pub fn verifier_feverous(model: &VerifierModel, samples: &[Sample]) -> (f64, f64) {
+    let preds = verifier_predictions(model, samples);
+    let pairs: Vec<(Verdict, Verdict)> = preds
+        .iter()
+        .zip(samples)
+        .filter_map(|(p, s)| Some((*p, s.label.as_verdict()?)))
+        .collect();
+    (label_accuracy(&pairs), feverous_score(samples, &preds))
+}
+
+/// 3-way micro F1 of a verifier.
+pub fn verifier_micro_f1(model: &VerifierModel, samples: &[Sample]) -> f64 {
+    let pairs: Vec<(Verdict, Verdict)> = samples
+        .iter()
+        .filter_map(|s| Some((model.predict(s), s.label.as_verdict()?)))
+        .collect();
+    micro_f1(&pairs)
+}
+
+/// Pretrain-on-synthetic then fine-tune-on-gold (the few-shot recipe:
+/// a light fine-tune that must not wash out the pretraining).
+pub fn pretrain_finetune_verifier(
+    synthetic: &[Sample],
+    gold: &[Sample],
+    space: VerdictSpace,
+) -> VerifierModel {
+    pretrain_finetune_verifier_epochs(synthetic, gold, space, 4)
+}
+
+/// Augmentation recipe (paper §V-D): pretrain on synthetic, then fine-tune
+/// on the FULL gold train set with full training epochs.
+pub fn pretrain_finetune_verifier_epochs(
+    synthetic: &[Sample],
+    gold: &[Sample],
+    space: VerdictSpace,
+    epochs: usize,
+) -> VerifierModel {
+    let mut model = VerifierModel::train(synthetic, space, EvidenceView::Full);
+    model.fine_tune(gold, TrainConfig { epochs, ..TrainConfig::default() });
+    model
+}
+
+/// Few-shot recipe for QA.
+pub fn pretrain_finetune_qa(synthetic: &[Sample], gold: &[Sample]) -> QaModel {
+    pretrain_finetune_qa_epochs(synthetic, gold, 4)
+}
+
+/// Augmentation recipe for QA (full fine-tuning epochs).
+pub fn pretrain_finetune_qa_epochs(synthetic: &[Sample], gold: &[Sample], epochs: usize) -> QaModel {
+    let mut model = QaModel::train(synthetic);
+    model.fine_tune(gold, TrainConfig { epochs, ..TrainConfig::default() });
+    model
+}
+
+/// Data-augmentation recipe for convex models (Table VII): train on the
+/// union of synthetic and gold data, with gold replicated so it carries at
+/// least equal weight. For a max-ent model, sequential fine-tuning with
+/// full epochs converges back to the gold-only optimum, so the synthetic
+/// data must enter the same objective to act as the prior it is for a
+/// neural model's pretraining.
+pub fn augment_union(synthetic: &[Sample], gold: &[Sample]) -> Vec<Sample> {
+    let mut data = synthetic.to_vec();
+    let k = (synthetic.len() / gold.len().max(1)).max(1);
+    for _ in 0..k {
+        data.extend(gold.iter().cloned());
+    }
+    data
+}
+
+/// Union-trained augmented verifier.
+pub fn augment_verifier(synthetic: &[Sample], gold: &[Sample], space: VerdictSpace) -> VerifierModel {
+    VerifierModel::train(&augment_union(synthetic, gold), space, EvidenceView::Full)
+}
+
+/// Union-trained augmented QA model.
+pub fn augment_qa(synthetic: &[Sample], gold: &[Sample]) -> QaModel {
+    QaModel::train(&augment_union(synthetic, gold))
+}
+
+// ---------------------------------------------------------------------------
+// Output formatting.
+// ---------------------------------------------------------------------------
+
+/// Prints a formatted results table with a title.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats "measured (paper X)" comparison cells.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    format!("{measured:.1} (paper {paper:.1})")
+}
+
+/// Formats a plain metric.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uctr::Label;
+
+    fn t() -> Table {
+        Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"], vec!["y", "2"]]).unwrap()
+    }
+
+    #[test]
+    fn few_shot_is_deterministic_subset() {
+        let train: Vec<Sample> = (0..100)
+            .map(|i| Sample::qa(t(), format!("q{i}"), "1"))
+            .collect();
+        let a = few_shot(&train, 50);
+        let b = few_shot(&train, 50);
+        assert_eq!(a.len(), 50);
+        assert_eq!(
+            a.iter().map(|s| &s.text).collect::<Vec<_>>(),
+            b.iter().map(|s| &s.text).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn restrict_views() {
+        let mut s = Sample::qa(t(), "q", "1");
+        s.context = vec!["ctx".into()];
+        let table_only = restrict(&s, EvidenceView::TableOnly);
+        assert!(table_only.context.is_empty());
+        assert_eq!(table_only.table.n_rows(), 2);
+        let text_only = restrict(&s, EvidenceView::SentenceOnly);
+        assert_eq!(text_only.table.n_rows(), 0);
+        assert_eq!(text_only.context.len(), 1);
+    }
+
+    #[test]
+    fn qa_breakdown_has_four_rows() {
+        let samples = vec![Sample::qa(t(), "what is the b of x?", "1")];
+        let model = QaModel::untrained();
+        let rows = qa_breakdown(&model, &samples);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3].0, "Total");
+    }
+
+    #[test]
+    fn verifier_micro_f1_runs() {
+        let samples = vec![Sample::verification(t(), "b of x is 1.", uctr::Verdict::Supported)];
+        let model = VerifierModel::train(&samples, VerdictSpace::TwoWay, EvidenceView::Full);
+        let f1 = verifier_micro_f1(&model, &samples);
+        assert!((0.0..=100.0).contains(&f1));
+    }
+
+    #[test]
+    fn augment_union_balances_gold() {
+        let synth: Vec<Sample> = (0..100).map(|i| Sample::qa(t(), format!("s{i}"), "1")).collect();
+        let gold: Vec<Sample> = (0..10).map(|i| Sample::qa(t(), format!("g{i}"), "1")).collect();
+        let union = augment_union(&synth, &gold);
+        // gold replicated 10x -> 100 synthetic + 100 gold copies
+        assert_eq!(union.len(), 200);
+        let gold_count = union.iter().filter(|s| s.text.starts_with('g')).count();
+        assert_eq!(gold_count, 100);
+        // When gold is already large, it enters once.
+        let big_gold: Vec<Sample> = (0..200).map(|i| Sample::qa(t(), format!("g{i}"), "1")).collect();
+        assert_eq!(augment_union(&synth, &big_gold).len(), 300);
+    }
+
+    #[test]
+    fn qa_em_f1_skips_verdict_samples() {
+        let mut s = Sample::qa(t(), "q", "1");
+        s.label = Label::Verdict(uctr::Verdict::Supported);
+        let (em, f1) = qa_em_f1(&QaModel::untrained(), &[s]);
+        assert_eq!((em, f1), (0.0, 0.0));
+    }
+}

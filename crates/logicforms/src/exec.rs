@@ -1,0 +1,488 @@
+//! Logical-form evaluator.
+//!
+//! Evaluates an [`LfExpr`] against a table. Fact-verification programs have
+//! boolean roots; intermediate nodes evaluate to row sets ("views"), single
+//! rows, or scalars. Like the SQL executor, evaluation records the
+//! highlighted cells that took part in the reasoning, which the
+//! Table-To-Text operator consumes.
+
+use crate::ast::{LfExpr, LfOp};
+use rustc_hash::FxHashSet;
+use std::fmt;
+use tabular::{nearly_equal, Table, Value};
+
+/// Runtime value of a logical-form node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LfValue {
+    /// A subset of row indexes.
+    View(Vec<usize>),
+    /// A single row index.
+    Row(usize),
+    /// A scalar.
+    Scalar(Value),
+    /// A truth value.
+    Bool(bool),
+}
+
+impl LfValue {
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            LfValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            LfValue::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LfError {
+    UnknownColumn(String),
+    /// An argument had the wrong runtime type for its operator.
+    TypeMismatch { op: LfOp, expected: &'static str },
+    /// A row/ordinal lookup found nothing (empty view, n out of range).
+    Empty { op: LfOp },
+    /// The expression still contains template holes.
+    Uninstantiated,
+    /// A numeric operation met a non-numeric value.
+    NonNumeric { op: LfOp },
+}
+
+impl fmt::Display for LfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LfError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            LfError::TypeMismatch { op, expected } => {
+                write!(f, "`{op}` expected {expected}")
+            }
+            LfError::Empty { op } => write!(f, "`{op}` on empty input"),
+            LfError::Uninstantiated => write!(f, "logical form still contains template holes"),
+            LfError::NonNumeric { op } => write!(f, "`{op}` needs numeric values"),
+        }
+    }
+}
+
+impl std::error::Error for LfError {}
+
+/// Evaluation outcome with the cells used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LfOutcome {
+    pub value: LfValue,
+    pub highlighted: Vec<(usize, usize)>,
+}
+
+/// Evaluates a fully instantiated logical form on a table.
+pub fn evaluate(expr: &LfExpr, table: &Table) -> Result<LfOutcome, LfError> {
+    if expr.has_holes() {
+        return Err(LfError::Uninstantiated);
+    }
+    let mut hl = FxHashSet::default();
+    let value = eval(expr, table, &mut hl)?;
+    let mut highlighted: Vec<(usize, usize)> = hl.into_iter().collect();
+    highlighted.sort_unstable();
+    Ok(LfOutcome { value, highlighted })
+}
+
+/// Evaluates a boolean-rooted program to its truth value.
+pub fn evaluate_truth(expr: &LfExpr, table: &Table) -> Result<bool, LfError> {
+    let out = evaluate(expr, table)?;
+    out.value
+        .as_bool()
+        .ok_or(LfError::TypeMismatch { op: LfOp::Eq, expected: "a boolean-rooted program" })
+}
+
+fn column_index(table: &Table, e: &LfExpr) -> Result<usize, LfError> {
+    match e {
+        LfExpr::Column(name) | LfExpr::Const(name) => table
+            .column_index(name)
+            .ok_or_else(|| LfError::UnknownColumn(name.clone())),
+        _ => Err(LfError::TypeMismatch { op: LfOp::Hop, expected: "a column name" }),
+    }
+}
+
+fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<LfValue, LfError> {
+    use LfOp::*;
+    match e {
+        LfExpr::AllRows => Ok(LfValue::View((0..table.n_rows()).collect())),
+        LfExpr::Column(name) => Ok(LfValue::Scalar(Value::text(name.clone()))),
+        LfExpr::Const(text) => Ok(LfValue::Scalar(Value::parse(text))),
+        LfExpr::ColumnHole(_) | LfExpr::ValueHole(_) => Err(LfError::Uninstantiated),
+        LfExpr::Apply(op, args) => match op {
+            FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq | FilterLessEq => {
+                let view = eval_view(&args[0], table, hl)?;
+                let col = column_index(table, &args[1])?;
+                let rhs = eval_scalar(&args[2], table, hl)?;
+                let mut keep = Vec::new();
+                for ri in view {
+                    let cell = table.cell(ri, col).cloned().unwrap_or(Value::Null);
+                    if cell.is_null() {
+                        continue;
+                    }
+                    hl.insert((ri, col));
+                    let matched = match op {
+                        FilterEq => cell.loosely_equals(&rhs),
+                        FilterNotEq => !cell.loosely_equals(&rhs),
+                        FilterGreater => num_cmp(&cell, &rhs, |a, b| a > b),
+                        FilterLess => num_cmp(&cell, &rhs, |a, b| a < b),
+                        FilterGreaterEq => num_cmp(&cell, &rhs, |a, b| a >= b),
+                        FilterLessEq => num_cmp(&cell, &rhs, |a, b| a <= b),
+                        _ => unreachable!(),
+                    };
+                    if matched {
+                        keep.push(ri);
+                    }
+                }
+                Ok(LfValue::View(keep))
+            }
+            FilterAll => {
+                let view = eval_view(&args[0], table, hl)?;
+                let col = column_index(table, &args[1])?;
+                let keep: Vec<usize> = view
+                    .into_iter()
+                    .filter(|&ri| {
+                        let non_null = table.cell(ri, col).is_some_and(|v| !v.is_null());
+                        if non_null {
+                            hl.insert((ri, col));
+                        }
+                        non_null
+                    })
+                    .collect();
+                Ok(LfValue::View(keep))
+            }
+            Argmax | Argmin | NthArgmax | NthArgmin => {
+                let view = eval_view(&args[0], table, hl)?;
+                let col = column_index(table, &args[1])?;
+                let mut keyed: Vec<(Value, usize)> = view
+                    .into_iter()
+                    .filter_map(|ri| {
+                        let v = table.cell(ri, col)?.clone();
+                        if v.is_null() {
+                            None
+                        } else {
+                            hl.insert((ri, col));
+                            Some((v, ri))
+                        }
+                    })
+                    .collect();
+                if keyed.is_empty() {
+                    return Err(LfError::Empty { op: *op });
+                }
+                let descending = matches!(op, Argmax | NthArgmax);
+                keyed.sort_by(|a, b| if descending { b.0.cmp(&a.0) } else { a.0.cmp(&b.0) });
+                let n = match op {
+                    Argmax | Argmin => 1usize,
+                    _ => eval_ordinal(&args[2], table, hl)?,
+                };
+                keyed
+                    .get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
+                    .map(|(_, ri)| LfValue::Row(*ri))
+                    .ok_or(LfError::Empty { op: *op })
+            }
+            Count => {
+                let view = eval_view(&args[0], table, hl)?;
+                Ok(LfValue::Scalar(Value::Number(view.len() as f64)))
+            }
+            Only => {
+                let view = eval_view(&args[0], table, hl)?;
+                Ok(LfValue::Bool(view.len() == 1))
+            }
+            Max | Min | Sum | Avg | NthMax | NthMin => {
+                let view = eval_view(&args[0], table, hl)?;
+                let col = column_index(table, &args[1])?;
+                let mut nums: Vec<f64> = Vec::with_capacity(view.len());
+                for ri in view {
+                    if let Some(n) = table.cell(ri, col).and_then(Value::as_number) {
+                        hl.insert((ri, col));
+                        nums.push(n);
+                    }
+                }
+                if nums.is_empty() {
+                    return Err(LfError::Empty { op: *op });
+                }
+                let v = match op {
+                    Max => nums.iter().cloned().fold(f64::MIN, f64::max),
+                    Min => nums.iter().cloned().fold(f64::MAX, f64::min),
+                    Sum => nums.iter().sum(),
+                    Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+                    NthMax | NthMin => {
+                        let n = eval_ordinal(&args[2], table, hl)?;
+                        nums.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        if matches!(op, NthMax) {
+                            nums.reverse();
+                        }
+                        *nums.get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
+                            .ok_or(LfError::Empty { op: *op })?
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(LfValue::Scalar(Value::number(v)))
+            }
+            Hop => {
+                let row = match eval(&args[0], table, hl)? {
+                    LfValue::Row(r) => r,
+                    LfValue::View(v) if !v.is_empty() => v[0],
+                    LfValue::View(_) => return Err(LfError::Empty { op: *op }),
+                    _ => return Err(LfError::TypeMismatch { op: *op, expected: "a row" }),
+                };
+                let col = column_index(table, &args[1])?;
+                hl.insert((row, col));
+                Ok(LfValue::Scalar(table.cell(row, col).cloned().unwrap_or(Value::Null)))
+            }
+            Diff => {
+                let a = eval_scalar(&args[0], table, hl)?;
+                let b = eval_scalar(&args[1], table, hl)?;
+                match (a.as_number(), b.as_number()) {
+                    (Some(x), Some(y)) => Ok(LfValue::Scalar(Value::number(x - y))),
+                    _ => Err(LfError::NonNumeric { op: *op }),
+                }
+            }
+            Eq | NotEq | RoundEq | Greater | Less => {
+                let a = eval_scalar(&args[0], table, hl)?;
+                let b = eval_scalar(&args[1], table, hl)?;
+                let res = match op {
+                    Eq => a.loosely_equals(&b),
+                    NotEq => !a.loosely_equals(&b),
+                    RoundEq => match (a.as_number(), b.as_number()) {
+                        (Some(x), Some(y)) => {
+                            let scale = x.abs().max(y.abs()).max(1.0);
+                            (x - y).abs() <= 0.01 * scale
+                        }
+                        _ => a.loosely_equals(&b),
+                    },
+                    Greater => num_cmp(&a, &b, |x, y| x > y),
+                    Less => num_cmp(&a, &b, |x, y| x < y),
+                    _ => unreachable!(),
+                };
+                Ok(LfValue::Bool(res))
+            }
+            And => {
+                let a = eval(&args[0], table, hl)?
+                    .as_bool()
+                    .ok_or(LfError::TypeMismatch { op: *op, expected: "booleans" })?;
+                let b = eval(&args[1], table, hl)?
+                    .as_bool()
+                    .ok_or(LfError::TypeMismatch { op: *op, expected: "booleans" })?;
+                Ok(LfValue::Bool(a && b))
+            }
+            AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
+            | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
+                let view = eval_view(&args[0], table, hl)?;
+                let col = column_index(table, &args[1])?;
+                let rhs = eval_scalar(&args[2], table, hl)?;
+                if view.is_empty() {
+                    return Err(LfError::Empty { op: *op });
+                }
+                let mut matches = 0usize;
+                let total = view.len();
+                for ri in view {
+                    let cell = table.cell(ri, col).cloned().unwrap_or(Value::Null);
+                    hl.insert((ri, col));
+                    let m = match op {
+                        AllEq | MostEq => cell.loosely_equals(&rhs),
+                        AllNotEq | MostNotEq => !cell.is_null() && !cell.loosely_equals(&rhs),
+                        AllGreater | MostGreater => num_cmp(&cell, &rhs, |a, b| a > b),
+                        AllLess | MostLess => num_cmp(&cell, &rhs, |a, b| a < b),
+                        AllGreaterEq | MostGreaterEq => num_cmp(&cell, &rhs, |a, b| a >= b),
+                        AllLessEq | MostLessEq => num_cmp(&cell, &rhs, |a, b| a <= b),
+                        _ => unreachable!(),
+                    };
+                    if m {
+                        matches += 1;
+                    }
+                }
+                let is_all = matches!(op, AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq);
+                Ok(LfValue::Bool(if is_all {
+                    matches == total
+                } else {
+                    2 * matches > total
+                }))
+            }
+        },
+    }
+}
+
+fn eval_view(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<Vec<usize>, LfError> {
+    match eval(e, table, hl)? {
+        LfValue::View(v) => Ok(v),
+        LfValue::Row(r) => Ok(vec![r]),
+        _ => Err(LfError::TypeMismatch { op: LfOp::Count, expected: "a view" }),
+    }
+}
+
+fn eval_scalar(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<Value, LfError> {
+    match eval(e, table, hl)? {
+        LfValue::Scalar(v) => Ok(v),
+        LfValue::Bool(b) => Ok(Value::Bool(b)),
+        _ => Err(LfError::TypeMismatch { op: LfOp::Eq, expected: "a scalar" }),
+    }
+}
+
+fn eval_ordinal(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<usize, LfError> {
+    let v = eval_scalar(e, table, hl)?;
+    v.as_number()
+        .filter(|n| *n >= 1.0 && n.fract() == 0.0)
+        .map(|n| n as usize)
+        .ok_or(LfError::TypeMismatch { op: LfOp::NthMax, expected: "a positive integer ordinal" })
+}
+
+fn num_cmp(a: &Value, b: &Value, f: impl Fn(f64, f64) -> bool) -> bool {
+    match (a.as_number(), b.as_number()) {
+        (Some(x), Some(y)) => {
+            if nearly_equal(x, y) {
+                // treat near-equal as equal for strict comparisons
+                f(0.0, 0.0)
+            } else {
+                f(x, y)
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "Printers",
+            &[
+                vec!["model", "material", "speed", "price"],
+                vec!["P100", "PLA", "60", "199"],
+                vec!["P200", "ABS", "80", "299"],
+                vec!["P300", "PLA", "95", "399"],
+                vec!["P400", "PETG", "95", "349"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn truth(form: &str) -> bool {
+        evaluate_truth(&parse(form).unwrap(), &table()).unwrap()
+    }
+
+    #[test]
+    fn count_claims() {
+        assert!(truth("eq { count { filter_eq { all_rows ; material ; PLA } } ; 2 }"));
+        assert!(!truth("eq { count { filter_eq { all_rows ; material ; PLA } } ; 3 }"));
+    }
+
+    #[test]
+    fn superlative_claims() {
+        assert!(truth("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }"));
+        assert!(truth("eq { hop { argmin { all_rows ; price } ; model } ; P100 }"));
+        assert!(!truth("eq { hop { argmax { all_rows ; price } ; model } ; P100 }"));
+    }
+
+    #[test]
+    fn argmax_tie_breaks_to_first() {
+        // speed 95 appears twice (P300, P400); argmax picks the first.
+        assert!(truth("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }"));
+    }
+
+    #[test]
+    fn ordinal_claims() {
+        assert!(truth("eq { hop { nth_argmax { all_rows ; price ; 2 } ; model } ; P400 }"));
+        assert!(truth("eq { nth_max { all_rows ; price ; 3 } ; 299 }"));
+        assert!(truth("eq { nth_min { all_rows ; speed ; 1 } ; 60 }"));
+    }
+
+    #[test]
+    fn aggregation_claims() {
+        assert!(truth("round_eq { avg { all_rows ; price } ; 311.5 }"));
+        assert!(truth("eq { sum { all_rows ; speed } ; 330 }"));
+        assert!(truth("eq { max { all_rows ; price } ; 399 }"));
+        assert!(truth("eq { min { all_rows ; speed } ; 60 }"));
+    }
+
+    #[test]
+    fn majority_claims() {
+        assert!(truth("most_greater { all_rows ; speed ; 70 }"));
+        assert!(!truth("all_greater { all_rows ; speed ; 70 }"));
+        assert!(truth("all_greater { all_rows ; price ; 100 }"));
+        assert!(truth("most_eq { filter_eq { all_rows ; material ; PLA } ; material ; PLA }"));
+    }
+
+    #[test]
+    fn unique_claims() {
+        assert!(truth("only { filter_eq { all_rows ; material ; ABS } }"));
+        assert!(!truth("only { filter_eq { all_rows ; material ; PLA } }"));
+    }
+
+    #[test]
+    fn comparative_claims() {
+        assert!(truth(
+            "greater { hop { filter_eq { all_rows ; model ; P200 } ; price } ; hop { filter_eq { all_rows ; model ; P100 } ; price } }"
+        ));
+        assert!(truth(
+            "eq { diff { hop { filter_eq { all_rows ; model ; P300 } ; price } ; hop { filter_eq { all_rows ; model ; P200 } ; price } } ; 100 }"
+        ));
+    }
+
+    #[test]
+    fn conjunction_claims() {
+        assert!(truth(
+            "and { eq { count { all_rows } ; 4 } ; greater { max { all_rows ; speed } ; 90 } }"
+        ));
+        assert!(!truth(
+            "and { eq { count { all_rows } ; 4 } ; greater { max { all_rows ; speed } ; 100 } }"
+        ));
+    }
+
+    #[test]
+    fn filter_chains() {
+        assert!(truth(
+            "eq { count { filter_greater { filter_eq { all_rows ; material ; PLA } ; price ; 200 } } ; 1 }"
+        ));
+    }
+
+    #[test]
+    fn empty_superlative_is_error() {
+        let e = parse("eq { hop { argmax { filter_eq { all_rows ; material ; WOOD } ; price } ; model } ; P1 }").unwrap();
+        assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::Empty { .. })));
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let e = parse("eq { max { all_rows ; bogus } ; 1 }").unwrap();
+        assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn template_is_uninstantiated() {
+        let e = parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }").unwrap();
+        assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::Uninstantiated)));
+    }
+
+    #[test]
+    fn highlights_cover_reasoning_cells() {
+        let e = parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }").unwrap();
+        let out = evaluate(&e, &table()).unwrap();
+        // speed column scanned for all rows; model of the argmax row read.
+        assert!(out.highlighted.contains(&(0, 2)));
+        assert!(out.highlighted.contains(&(3, 2)));
+        assert!(out.highlighted.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn non_boolean_root_rejected_by_truth() {
+        let e = parse("count { all_rows }").unwrap();
+        assert!(evaluate_truth(&e, &table()).is_err());
+        // but plain evaluate returns the scalar
+        let out = evaluate(&e, &table()).unwrap();
+        assert_eq!(out.value, LfValue::Scalar(Value::Number(4.0)));
+    }
+
+    #[test]
+    fn ordinal_out_of_range_is_error() {
+        let e = parse("eq { nth_max { all_rows ; price ; 9 } ; 1 }").unwrap();
+        assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::Empty { .. })));
+    }
+}

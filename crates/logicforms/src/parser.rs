@@ -1,0 +1,277 @@
+//! Parser for the `func { arg ; arg }` logical-form surface syntax.
+//!
+//! Leaves are raw strings: `all_rows` becomes [`LfExpr::AllRows`], `cN` /
+//! `valN` become template holes, and any other string becomes a column or
+//! constant leaf. Column-vs-constant is positional: the grammar of every
+//! operator determines which argument slots are columns, so the parser
+//! resolves leaf kinds after building the raw tree.
+
+use crate::ast::{LfExpr, LfOp};
+use std::fmt;
+
+/// Parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LfParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "logical form parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LfParseError {}
+
+/// Parses a logical form string, e.g.
+/// `eq { hop { argmax { all_rows ; score } ; name } ; alpha }`.
+pub fn parse(input: &str) -> Result<LfExpr, LfParseError> {
+    let mut p = P { s: input.as_bytes(), i: 0 };
+    p.skip_ws();
+    let raw = p.node()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(LfParseError { pos: p.i, message: "trailing input".into() });
+    }
+    resolve_leaf_kinds(raw, LeafKind::Other)
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+/// Raw tree before leaf-kind resolution.
+enum Raw {
+    Apply(String, Vec<Raw>, usize),
+    Leaf(String, usize),
+}
+
+impl<'a> P<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    /// Parses one node: `ident { args }` or a bare leaf token.
+    fn node(&mut self) -> Result<Raw, LfParseError> {
+        let start = self.i;
+        let text = self.leaf_text()?;
+        self.skip_ws();
+        if self.i < self.s.len() && self.s[self.i] == b'{' {
+            self.i += 1;
+            let mut args = Vec::new();
+            loop {
+                self.skip_ws();
+                if self.i >= self.s.len() {
+                    return Err(LfParseError { pos: start, message: "unterminated '{'".into() });
+                }
+                if self.s[self.i] == b'}' {
+                    self.i += 1;
+                    break;
+                }
+                args.push(self.node()?);
+                self.skip_ws();
+                if self.i < self.s.len() && self.s[self.i] == b';' {
+                    self.i += 1;
+                }
+            }
+            Ok(Raw::Apply(text.trim().to_string(), args, start))
+        } else {
+            Ok(Raw::Leaf(text.trim().to_string(), start))
+        }
+    }
+
+    /// Reads leaf text up to a structural character, allowing internal
+    /// spaces ("total deputies", "January 5, 1999" would need escaping of
+    /// commas — values with `;{}` are not supported by the surface syntax).
+    fn leaf_text(&mut self) -> Result<String, LfParseError> {
+        let start = self.i;
+        while self.i < self.s.len() && !matches!(self.s[self.i], b'{' | b'}' | b';') {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|_| LfParseError { pos: start, message: "invalid utf8".into() })?;
+        if text.trim().is_empty() {
+            return Err(LfParseError { pos: start, message: "expected token".into() });
+        }
+        Ok(text.to_string())
+    }
+}
+
+/// What kind of leaf an argument slot expects.
+#[derive(Clone, Copy, PartialEq)]
+enum LeafKind {
+    Column,
+    Other,
+}
+
+/// Per-operator slot kinds (index → expected leaf kind for leaf arguments).
+fn slot_kinds(op: LfOp) -> &'static [LeafKind] {
+    use LeafKind::*;
+    use LfOp::*;
+    match op {
+        // view ; col ; val
+        FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq | FilterLessEq
+        | AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
+        | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
+            &[Other, Column, Other]
+        }
+        // view ; col
+        FilterAll | Argmax | Argmin | Max | Min | Sum | Avg => &[Other, Column],
+        // view ; col ; n
+        NthArgmax | NthArgmin | NthMax | NthMin => &[Other, Column, Other],
+        // row ; col
+        Hop => &[Other, Column],
+        // everything else: no column slots
+        Count | Diff | Eq | NotEq | RoundEq | Greater | Less | And | Only => &[Other, Other, Other],
+    }
+}
+
+fn resolve_leaf_kinds(raw: Raw, kind: LeafKind) -> Result<LfExpr, LfParseError> {
+    match raw {
+        Raw::Apply(name, args, pos) => {
+            let op = LfOp::from_name(&name)
+                .ok_or_else(|| LfParseError { pos, message: format!("unknown operator `{name}`") })?;
+            if args.len() != op.arity() {
+                return Err(LfParseError {
+                    pos,
+                    message: format!("`{name}` expects {} args, got {}", op.arity(), args.len()),
+                });
+            }
+            let kinds = slot_kinds(op);
+            let resolved: Result<Vec<LfExpr>, LfParseError> = args
+                .into_iter()
+                .enumerate()
+                .map(|(i, a)| resolve_leaf_kinds(a, kinds.get(i).copied().unwrap_or(LeafKind::Other)))
+                .collect();
+            Ok(LfExpr::Apply(op, resolved?))
+        }
+        Raw::Leaf(text, _pos) => Ok(classify_leaf(&text, kind)),
+    }
+}
+
+fn classify_leaf(text: &str, kind: LeafKind) -> LfExpr {
+    if text == "all_rows" {
+        return LfExpr::AllRows;
+    }
+    if let Some(idx) = strip_indexed(text, 'c') {
+        return LfExpr::ColumnHole(idx);
+    }
+    if let Some(idx) = text.strip_prefix("val").and_then(|d| {
+        if !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()) {
+            d.parse().ok()
+        } else {
+            None
+        }
+    }) {
+        return LfExpr::ValueHole(idx);
+    }
+    match kind {
+        LeafKind::Column => LfExpr::Column(text.to_string()),
+        LeafKind::Other => LfExpr::Const(text.to_string()),
+    }
+}
+
+fn strip_indexed(text: &str, prefix: char) -> Option<usize> {
+    let rest = text.strip_prefix(prefix)?;
+    if !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()) {
+        rest.parse().ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LfExpr::*;
+
+    #[test]
+    fn parse_paper_example() {
+        // From paper §IV-B: eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }
+        let e = parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }").unwrap();
+        assert!(e.has_holes());
+        match &e {
+            Apply(LfOp::Eq, args) => {
+                assert!(matches!(args[1], ValueHole(2)));
+                match &args[0] {
+                    Apply(LfOp::Hop, hop_args) => {
+                        assert!(matches!(hop_args[1], ColumnHole(2)));
+                    }
+                    other => panic!("expected hop, got {other:?}"),
+                }
+            }
+            other => panic!("expected eq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_concrete_form() {
+        let e = parse("eq { hop { argmax { all_rows ; score } ; name } ; alpha }").unwrap();
+        assert!(!e.has_holes());
+        // `score` and `name` are column slots; `alpha` is a constant.
+        let mut cols = Vec::new();
+        let mut consts = Vec::new();
+        e.visit(&mut |n| match n {
+            Column(c) => cols.push(c.clone()),
+            Const(v) => consts.push(v.clone()),
+            _ => {}
+        });
+        assert_eq!(cols, vec!["score", "name"]);
+        assert_eq!(consts, vec!["alpha"]);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let forms = [
+            "eq { count { filter_eq { all_rows ; team ; reds } } ; 3 }",
+            "most_greater { all_rows ; attendance ; 1000 }",
+            "and { eq { 1 ; 1 } ; less { 2 ; 3 } }",
+            "eq { nth_max { all_rows ; score ; 2 } ; 17 }",
+            "only { filter_eq { all_rows ; city ; oslo } }",
+            "round_eq { avg { all_rows ; pts } ; 12.5 }",
+            "eq { diff { hop { argmax { all_rows ; score } ; score } ; hop { argmin { all_rows ; score } ; score } } ; 15 }",
+        ];
+        for f in forms {
+            let e = parse(f).unwrap();
+            let rendered = e.to_string();
+            let reparsed = parse(&rendered).unwrap();
+            assert_eq!(e, reparsed, "roundtrip failed for {f}");
+        }
+    }
+
+    #[test]
+    fn column_names_with_spaces() {
+        let e = parse("max { all_rows ; total deputies }").unwrap();
+        match e {
+            Apply(LfOp::Max, args) => assert_eq!(args[1], Column("total deputies".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(parse("count { all_rows ; extra }").is_err());
+        assert!(parse("hop { all_rows }").is_err());
+        assert!(parse("eq { 1 }").is_err());
+    }
+
+    #[test]
+    fn unknown_operator_error() {
+        let err = parse("frobnicate { all_rows }").unwrap_err();
+        assert!(err.message.contains("unknown operator"));
+    }
+
+    #[test]
+    fn unterminated_brace_error() {
+        assert!(parse("count { all_rows").is_err());
+    }
+
+    #[test]
+    fn trailing_input_error() {
+        assert!(parse("count { all_rows } junk { all_rows }").is_err());
+    }
+}

@@ -1,0 +1,566 @@
+//! Logical-form templates: abstraction, sampling, and truth-targeted
+//! instantiation.
+//!
+//! Fact-verification claims need a *label*, and the paper gets it from
+//! execution (§IV-C): for a template `func { arg1 ; arg2 }` whose root is a
+//! comparator and whose `arg2` is a single value, the sampler first
+//! instantiates and executes `arg1`, then sets `arg2` from the result — the
+//! exact result yields a *Supported* claim, a perturbed one a *Refuted*
+//! claim. Non-root value holes (filter constants) are sampled from the
+//! column they constrain, exactly as in the SQL sampler.
+
+use crate::ast::{LfExpr, LfOp, LogicType};
+use crate::exec::{evaluate, evaluate_truth, LfError, LfValue};
+use crate::parser::{parse, LfParseError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+use tabular::{format_number, ColumnType, Table, Value};
+
+/// A reusable logical-form template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LfTemplate {
+    expr: LfExpr,
+}
+
+/// Result of instantiating a template: the concrete program and the truth
+/// value it executes to (= the claim's gold label).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantiatedClaim {
+    pub expr: LfExpr,
+    pub truth: bool,
+}
+
+impl LfTemplate {
+    /// Parses template text such as
+    /// `eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }`.
+    pub fn parse(text: &str) -> Result<LfTemplate, LfParseError> {
+        Ok(LfTemplate { expr: parse(text)? })
+    }
+
+    pub fn from_expr(expr: LfExpr) -> LfTemplate {
+        LfTemplate { expr }
+    }
+
+    pub fn expr(&self) -> &LfExpr {
+        &self.expr
+    }
+
+    /// Normalized signature for the redundancy filtration step.
+    pub fn signature(&self) -> String {
+        self.expr.to_string()
+    }
+
+    pub fn logic_type(&self) -> LogicType {
+        self.expr.logic_type()
+    }
+
+    /// Distinct column holes with a numeric-type requirement inferred from
+    /// the operators they appear under.
+    pub fn column_holes(&self) -> Vec<(usize, bool)> {
+        let mut holes: Vec<(usize, bool)> = Vec::new();
+        fn scan(e: &LfExpr, holes: &mut Vec<(usize, bool)>) {
+            if let LfExpr::Apply(op, args) = e {
+                for (slot, a) in args.iter().enumerate() {
+                    if let LfExpr::ColumnHole(i) = a {
+                        // Column slots sit at index 1 for every column-taking op.
+                        let numeric = slot == 1 && op.is_numeric();
+                        match holes.iter_mut().find(|(h, _)| h == i) {
+                            Some((_, n)) => *n |= numeric,
+                            None => holes.push((*i, numeric)),
+                        }
+                    } else {
+                        scan(a, holes);
+                    }
+                }
+            }
+        }
+        scan(&self.expr, &mut holes);
+        holes
+    }
+
+    /// Instantiates the template on `table`, aiming for the given truth
+    /// value. Returns `None` when the table cannot support the template or
+    /// sampling produced a degenerate program (paper: discarded).
+    pub fn instantiate(
+        &self,
+        table: &Table,
+        rng: &mut impl Rng,
+        desired: bool,
+    ) -> Option<InstantiatedClaim> {
+        if table.n_rows() == 0 {
+            return None;
+        }
+        for _attempt in 0..16 {
+            if let Some(claim) = self.try_instantiate(table, rng, desired) {
+                return Some(claim);
+            }
+        }
+        None
+    }
+
+    fn try_instantiate(
+        &self,
+        table: &Table,
+        rng: &mut impl Rng,
+        desired: bool,
+    ) -> Option<InstantiatedClaim> {
+        // 1. Assign columns to holes, numeric-constrained holes first.
+        let mut holes = self.column_holes();
+        holes.sort_by_key(|(_, numeric)| !numeric);
+        let mut available: Vec<usize> = (0..table.n_cols()).collect();
+        available.shuffle(rng);
+        let mut cols: FxHashMap<usize, usize> = FxHashMap::default();
+        for (hole, numeric) in &holes {
+            let pos = available.iter().position(|&ci| {
+                let ty = table.schema().column(ci).map(|c| c.ty);
+                if *numeric {
+                    matches!(ty, Some(ColumnType::Number))
+                } else {
+                    true
+                }
+            })?;
+            cols.insert(*hole, available.remove(pos));
+        }
+        let with_cols = substitute_columns(&self.expr, table, &cols)?;
+
+        // 2. Fill non-root value holes by sampling from their bound column.
+        let mut partially = fill_inner_values(&with_cols, table, rng)?;
+
+        // 3. Root hole: execute the sibling and set the value by `desired`.
+        if let LfExpr::Apply(op, args) = &partially {
+            if matches!(op, LfOp::Eq | LfOp::NotEq | LfOp::RoundEq | LfOp::Greater | LfOp::Less) {
+                let hole_side = args.iter().position(|a| matches!(a, LfExpr::ValueHole(_)));
+                if let Some(side) = hole_side {
+                    let sibling = &args[1 - side];
+                    if sibling.has_holes() {
+                        return None;
+                    }
+                    let out = evaluate(sibling, table).ok()?;
+                    let LfValue::Scalar(result) = out.value else { return None };
+                    if result.is_null() {
+                        return None;
+                    }
+                    // Decide the literal: equal for matches-desired, else a
+                    // perturbation that flips the comparator.
+                    let wants_match = match op {
+                        LfOp::Eq | LfOp::RoundEq => desired,
+                        LfOp::NotEq => !desired,
+                        // greater/less roots with a free side: pick a value
+                        // strictly beyond/before the result.
+                        LfOp::Greater | LfOp::Less => {
+                            let n = result.as_number()?;
+                            let delta = (n.abs() * 0.25).max(1.0);
+                            // `sibling cmp val`: hole on side 1 means result
+                            // is lhs. greater(lhs, val): true needs val < lhs.
+                            let val_should_be_less = match (op, side) {
+                                (LfOp::Greater, 1) => desired,
+                                (LfOp::Greater, 0) => !desired,
+                                (LfOp::Less, 1) => !desired,
+                                (LfOp::Less, 0) => desired,
+                                _ => unreachable!(),
+                            };
+                            let v = if val_should_be_less { n - delta } else { n + delta };
+                            let mut new_args = args.clone();
+                            new_args[side] = LfExpr::Const(format_number(v));
+                            partially = LfExpr::Apply(*op, new_args);
+                            return finish(partially, table, desired);
+                        }
+                        _ => unreachable!(),
+                    };
+                    let literal = if wants_match {
+                        result.clone()
+                    } else {
+                        perturb(&result, table, rng)?
+                    };
+                    let mut new_args = args.clone();
+                    new_args[side] = LfExpr::Const(literal.to_string());
+                    partially = LfExpr::Apply(*op, new_args);
+                }
+            }
+        }
+        finish(partially, table, desired)
+    }
+}
+
+fn finish(expr: LfExpr, table: &Table, desired: bool) -> Option<InstantiatedClaim> {
+    if expr.has_holes() {
+        return None;
+    }
+    match evaluate_truth(&expr, table) {
+        Ok(truth) if truth == desired => Some(InstantiatedClaim { expr, truth }),
+        Ok(_) => None, // let the caller retry with fresh sampling
+        Err(LfError::Empty { .. }) | Err(_) => None,
+    }
+}
+
+fn substitute_columns(
+    e: &LfExpr,
+    table: &Table,
+    cols: &FxHashMap<usize, usize>,
+) -> Option<LfExpr> {
+    Some(match e {
+        LfExpr::ColumnHole(i) => LfExpr::Column(table.column_name(*cols.get(i)?)?.to_string()),
+        LfExpr::Apply(op, args) => LfExpr::Apply(
+            *op,
+            args.iter()
+                .map(|a| substitute_columns(a, table, cols))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        other => other.clone(),
+    })
+}
+
+/// Fills value holes in *filter/majority val slots* and *ordinal slots* by
+/// sampling; leaves a root-comparator hole in place for the truth-targeting
+/// step.
+fn fill_inner_values(e: &LfExpr, table: &Table, rng: &mut impl Rng) -> Option<LfExpr> {
+    // Values already drawn per column: distinct holes over the same column
+    // must bind distinct values, or comparative templates degenerate into
+    // "X is greater than X".
+    let mut used: FxHashMap<usize, Vec<Value>> = FxHashMap::default();
+    fn walk(
+        e: &LfExpr,
+        table: &Table,
+        rng: &mut impl Rng,
+        at_root: bool,
+        used: &mut FxHashMap<usize, Vec<Value>>,
+    ) -> Option<LfExpr> {
+        match e {
+            LfExpr::Apply(op, args) => {
+                use LfOp::*;
+                let mut new_args: Vec<LfExpr> = Vec::with_capacity(args.len());
+                for (slot, a) in args.iter().enumerate() {
+                    let filled = match a {
+                        LfExpr::ValueHole(_) => {
+                            let is_root_comparator_slot = at_root
+                                && matches!(op, Eq | NotEq | RoundEq | Greater | Less);
+                            if is_root_comparator_slot {
+                                a.clone() // deferred to truth targeting
+                            } else if matches!(
+                                op,
+                                FilterEq | FilterNotEq | FilterGreater | FilterLess
+                                    | FilterGreaterEq | FilterLessEq | AllEq | AllNotEq
+                                    | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
+                                    | MostNotEq | MostGreater | MostLess | MostGreaterEq
+                                    | MostLessEq
+                            ) && slot == 2
+                            {
+                                let ordered_op = matches!(
+                                    op,
+                                    FilterGreater | FilterLess | FilterGreaterEq | FilterLessEq
+                                        | AllGreater | AllLess | AllGreaterEq | AllLessEq
+                                        | MostGreater | MostLess | MostGreaterEq | MostLessEq
+                                );
+                                // Sample from the column in slot 1,
+                                // avoiding values already bound to another
+                                // hole of the same column.
+                                let LfExpr::Column(col_name) = &args[1] else { return None };
+                                let ci = table.column_index(col_name)?;
+                                let taken = used.entry(ci).or_default();
+                                let candidates: Vec<Value> = table
+                                    .column_values(ci)
+                                    .into_iter()
+                                    .filter(|v| !v.is_null())
+                                    .filter(|v| !taken.iter().any(|t| t.loosely_equals(v)))
+                                    .collect();
+                                let mut v = candidates.choose(rng)?.clone();
+                                // Humans write round thresholds ("more than
+                                // 70"), not cell-exact ones; round half the
+                                // ordered-comparison thresholds the same way.
+                                if ordered_op && rng.gen_bool(0.5) {
+                                    if let Some(n) = v.as_number() {
+                                        v = Value::number(round_human(n));
+                                    }
+                                }
+                                taken.push(v.clone());
+                                LfExpr::Const(v.to_string())
+                            } else if matches!(op, NthArgmax | NthArgmin | NthMax | NthMin)
+                                && slot == 2
+                            {
+                                let max_n = table.n_rows().clamp(1, 3);
+                                LfExpr::Const(format!("{}", rng.gen_range(1..=max_n)))
+                            } else {
+                                return None; // hole in an unsupported position
+                            }
+                        }
+                        other => walk(other, table, rng, false, used)?,
+                    };
+                    new_args.push(filled);
+                }
+                Some(LfExpr::Apply(*op, new_args))
+            }
+            other => Some(other.clone()),
+        }
+    }
+    walk(e, table, rng, true, &mut used)
+}
+
+/// Rounds a threshold the way a human annotator would: to two leading
+/// significant digits (77 -> 80 or 75, 48212 -> 48000).
+fn round_human(n: f64) -> f64 {
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mag = 10f64.powf(n.abs().log10().floor() - 1.0).max(1.0);
+    (n / mag).round() * mag
+}
+
+/// Produces a value different from `v` for Refuted claims: numbers are
+/// shifted by a noticeable margin, text values are replaced with a different
+/// cell value from the table.
+fn perturb(v: &Value, table: &Table, rng: &mut impl Rng) -> Option<Value> {
+    match v {
+        Value::Number(n) => {
+            let delta = (n.abs() * 0.3).max(1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            Some(Value::number(n + delta))
+        }
+        Value::Text(s) => {
+            let mut pool: Vec<String> = Vec::new();
+            for row in table.rows() {
+                for cell in row {
+                    if let Value::Text(t) = cell {
+                        if !t.eq_ignore_ascii_case(s) && !pool.contains(t) {
+                            pool.push(t.clone());
+                        }
+                    }
+                }
+            }
+            pool.choose(rng).cloned().map(Value::Text)
+        }
+        Value::Date(d) => {
+            let year = d.year + if rng.gen_bool(0.5) { 1 } else { -1 };
+            tabular::Date::new(year, d.month, d.day).map(Value::Date)
+        }
+        Value::Bool(b) => Some(Value::Bool(!b)),
+        Value::Null => None,
+    }
+}
+
+/// Abstracts a concrete logical form into a template: column leaves become
+/// `cN` (consistent numbering) and constants in value slots become `valN`.
+/// Ordinal constants (the `n` of `nth_max`) are part of the logic structure
+/// and stay concrete.
+pub fn abstract_form(expr: &LfExpr) -> LfTemplate {
+    let mut col_map: FxHashMap<String, usize> = FxHashMap::default();
+    let mut next_col = 1usize;
+    let mut next_val = 1usize;
+
+    fn walk(
+        e: &LfExpr,
+        parent: Option<(LfOp, usize, bool)>, // (op, slot, at_root)
+        col_map: &mut FxHashMap<String, usize>,
+        next_col: &mut usize,
+        next_val: &mut usize,
+    ) -> LfExpr {
+        use LfOp::*;
+        match e {
+            LfExpr::Column(name) => {
+                let key = name.to_ascii_lowercase();
+                let idx = *col_map.entry(key).or_insert_with(|| {
+                    let i = *next_col;
+                    *next_col += 1;
+                    i
+                });
+                LfExpr::ColumnHole(idx)
+            }
+            LfExpr::Const(text) => {
+                if let Some((op, slot, at_root)) = parent {
+                    let is_filter_val = matches!(
+                        op,
+                        FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
+                            | FilterLessEq | AllEq | AllNotEq | AllGreater | AllLess
+                            | AllGreaterEq | AllLessEq | MostEq | MostNotEq | MostGreater
+                            | MostLess | MostGreaterEq | MostLessEq
+                    ) && slot == 2;
+                    let is_root_cmp_val =
+                        at_root && matches!(op, Eq | NotEq | RoundEq | Greater | Less);
+                    if is_filter_val || is_root_cmp_val {
+                        let i = *next_val;
+                        *next_val += 1;
+                        return LfExpr::ValueHole(i);
+                    }
+                    let _ = text;
+                }
+                e.clone()
+            }
+            LfExpr::Apply(op, args) => {
+                let at_root = parent.is_none();
+                LfExpr::Apply(
+                    *op,
+                    args.iter()
+                        .enumerate()
+                        .map(|(slot, a)| {
+                            walk(a, Some((*op, slot, at_root)), col_map, next_col, next_val)
+                        })
+                        .collect(),
+                )
+            }
+            other => other.clone(),
+        }
+    }
+
+    LfTemplate {
+        expr: walk(expr, None, &mut col_map, &mut next_col, &mut next_val),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "Teams",
+            &[
+                vec!["team", "city", "points", "wins"],
+                vec!["Reds", "Oslo", "77", "21"],
+                vec!["Blues", "Lima", "64", "18"],
+                vec!["Greens", "Kyiv", "81", "24"],
+                vec!["Golds", "Quito", "59", "15"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instantiate_supported_claim() {
+        let tpl =
+            LfTemplate::parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }")
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+            assert!(claim.truth);
+            assert!(evaluate_truth(&claim.expr, &table()).unwrap());
+        }
+    }
+
+    #[test]
+    fn instantiate_refuted_claim() {
+        let tpl =
+            LfTemplate::parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }")
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let claim = tpl.instantiate(&table(), &mut rng, false).unwrap();
+            assert!(!claim.truth);
+            assert!(!evaluate_truth(&claim.expr, &table()).unwrap());
+        }
+    }
+
+    #[test]
+    fn instantiate_superlative_template() {
+        let tpl = LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        assert!(claim.truth);
+        // c1 must have bound a numeric column.
+        let rendered = claim.expr.to_string();
+        assert!(rendered.contains("points") || rendered.contains("wins"), "{rendered}");
+    }
+
+    #[test]
+    fn instantiate_count_template_both_labels() {
+        let tpl =
+            LfTemplate::parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sup = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        assert!(sup.truth);
+        let refuted = tpl.instantiate(&table(), &mut rng, false).unwrap();
+        assert!(!refuted.truth);
+    }
+
+    #[test]
+    fn instantiate_majority_template() {
+        let tpl = LfTemplate::parse("most_greater { all_rows ; c1 ; val1 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Either label should be reachable within retries on this table.
+        let sup = tpl.instantiate(&table(), &mut rng, true);
+        assert!(sup.is_some());
+        assert!(sup.unwrap().truth);
+    }
+
+    #[test]
+    fn instantiate_greater_root() {
+        let tpl = LfTemplate::parse("greater { max { all_rows ; c1 } ; val1 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let sup = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        assert!(sup.truth);
+        let refuted = tpl.instantiate(&table(), &mut rng, false).unwrap();
+        assert!(!refuted.truth);
+    }
+
+    #[test]
+    fn instantiate_ordinal_template() {
+        let tpl =
+            LfTemplate::parse("eq { hop { nth_argmax { all_rows ; c1 ; val1 } ; c2 } ; val2 }")
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        assert!(claim.truth);
+        assert_eq!(claim.expr.logic_type(), LogicType::Ordinal);
+    }
+
+    #[test]
+    fn instantiate_fails_without_numeric_column() {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"]]).unwrap();
+        let tpl = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(tpl.instantiate(&t, &mut rng, true).is_none());
+    }
+
+    #[test]
+    fn column_holes_numeric_inference() {
+        let tpl =
+            LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }").unwrap();
+        let holes = tpl.column_holes();
+        assert_eq!(holes, vec![(1, true), (2, false)]);
+    }
+
+    #[test]
+    fn round_human_two_significant_digits() {
+        assert_eq!(round_human(77.0), 77.0); // already 2 significant digits
+        assert_eq!(round_human(777.0), 780.0);
+        assert_eq!(round_human(48212.0), 48000.0);
+        assert_eq!(round_human(0.0), 0.0);
+        assert_eq!(round_human(5.0), 5.0);
+        assert_eq!(round_human(-1234.0), -1200.0);
+    }
+
+    #[test]
+    fn abstraction_consistent_numbering() {
+        let e = parse("eq { hop { filter_eq { all_rows ; team ; Reds } ; points } ; 77 }").unwrap();
+        let tpl = abstract_form(&e);
+        assert_eq!(
+            tpl.signature(),
+            "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }"
+        );
+    }
+
+    #[test]
+    fn abstraction_keeps_ordinals() {
+        let e = parse("eq { nth_max { all_rows ; points ; 2 } ; 77 }").unwrap();
+        let tpl = abstract_form(&e);
+        assert_eq!(tpl.signature(), "eq { nth_max { all_rows ; c1 ; 2 } ; val1 }");
+    }
+
+    #[test]
+    fn abstraction_dedups_same_structure() {
+        let a = parse("eq { count { filter_eq { all_rows ; team ; Reds } } ; 1 }").unwrap();
+        let b = parse("eq { count { filter_eq { all_rows ; city ; Oslo } } ; 1 }").unwrap();
+        // Constant `1` at root becomes a hole in both.
+        assert_eq!(abstract_form(&a).signature(), abstract_form(&b).signature());
+    }
+
+    #[test]
+    fn abstract_then_instantiate_roundtrip() {
+        let e = parse("eq { hop { argmin { all_rows ; wins } ; team } ; Golds }").unwrap();
+        let tpl = abstract_form(&e);
+        let mut rng = StdRng::seed_from_u64(23);
+        let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        assert!(claim.truth);
+    }
+}

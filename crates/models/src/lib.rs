@@ -1,0 +1,28 @@
+//! # models — tabular reasoning models, training and metrics
+//!
+//! Feature-based statistical learners standing in for the paper's neural
+//! models (TAGOP, TAPAS, TAPEX, the FEVEROUS baseline): a hashed-feature
+//! max-ent core ([`LinearModel`]), a fact-verification model over
+//! verification-signal features ([`VerifierModel`]), a candidate-ranking QA
+//! model ([`QaModel`]), the random baselines, and the benchmark metrics
+//! (EM, numeracy F1, denotation accuracy, label accuracy, micro F1, and the
+//! FEVEROUS score with a simulated retriever). All of them learn from the
+//! training set they are given, so the paper's supervised / unsupervised /
+//! few-shot / augmentation contrasts are reproduced by swapping datasets.
+
+pub mod features;
+pub mod linear;
+pub mod metrics;
+pub mod qa;
+pub mod retriever;
+pub mod verifier;
+
+pub use features::{detect_cues, evidence_table, extract_numbers, verifier_features, TableStats};
+pub use linear::{FeatureVec, LinearModel, TrainConfig, FEATURE_DIM};
+pub use metrics::{
+    denotation_accuracy, em_f1, exact_match, feverous_score, gold_evidence_cells, label_accuracy,
+    micro_f1, numeracy_f1, retrieve_cells,
+};
+pub use qa::{generate_candidates, Candidate, CandidateSpace, QaModel};
+pub use retriever::{Retriever, DEFAULT_RETRIEVE_K};
+pub use verifier::{EvidenceView, RandomVerifier, VerdictSpace, VerifierModel};

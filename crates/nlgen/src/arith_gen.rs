@@ -1,0 +1,316 @@
+//! Surface realization of arithmetic expressions into questions.
+//!
+//! FinQA-style programs map to numeracy questions through idiom detection:
+//! `subtract(a,b), divide(#0,b)` is a *percentage change* question,
+//! `add(a,b), divide(#0,2)` an *average*, a bare `subtract` a *difference*,
+//! and so on — the same mapping the paper highlights in Table IX row 3,
+//! where the generator correctly renders subtract-then-divide as
+//! "by what percentage did ... change".
+
+use crate::lexicon::*;
+use arithexpr::{AeArg, AeOp, AeProgram};
+use rand::Rng;
+
+/// Produces `k` candidate questions for an instantiated program.
+pub fn realize_arith(program: &AeProgram, rng: &mut impl Rng, k: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.max(1) {
+        out.push(realize_once(program, rng));
+    }
+    out.dedup();
+    out
+}
+
+/// Renders a cell argument as a noun phrase ("the revenue of 2019").
+fn arg_phrase(a: &AeArg) -> String {
+    match a {
+        AeArg::Const(n) => tabular::format_number(*n),
+        AeArg::StepRef(i) => format!("the result of step {i}"),
+        AeArg::Cell { col, row } => format!("the {col} of {row}"),
+        AeArg::Column(c) => format!("the {c} column"),
+        AeArg::CellHole(i) => format!("value {i}"),
+        AeArg::ColumnHole(i) => format!("column {i}"),
+    }
+}
+
+/// For percentage-change phrasing we want "from {row_b} to {row_a}" when the
+/// two cells share a column (two periods of the same line item) or share a
+/// row (two items in the same period).
+fn change_endpoints<'a>(a: &'a AeArg, b: &'a AeArg) -> Option<(String, &'a str, &'a str)> {
+    if let (AeArg::Cell { col: ca, row: ra }, AeArg::Cell { col: cb, row: rb }) = (a, b) {
+        if ra.eq_ignore_ascii_case(rb) {
+            // same line item, different period columns
+            return Some((format!("the {ra}"), cb, ca));
+        }
+        if ca.eq_ignore_ascii_case(cb) {
+            // same column, different line items/rows
+            return Some((format!("the {ca}"), rb, ra));
+        }
+    }
+    None
+}
+
+fn realize_once(program: &AeProgram, rng: &mut impl Rng) -> String {
+    let steps = &program.steps;
+
+    // Idiom: percentage change = subtract(a, b), divide(#0, b).
+    if steps.len() == 2
+        && steps[0].op == AeOp::Subtract
+        && steps[1].op == AeOp::Divide
+        && steps[1].args[0] == AeArg::StepRef(0)
+        && steps[1].args[1] == steps[0].args[1]
+    {
+        let (a, b) = (&steps[0].args[0], &steps[0].args[1]);
+        let text = if let Some((subject, from, to)) = change_endpoints(a, b) {
+            match rng.gen_range(0..2) {
+                0 => format!(
+                    "{} the {} in {subject} from {from} to {to}",
+                    WHAT_IS.pick(rng),
+                    PCT_CHANGE.pick(rng)
+                ),
+                _ => format!(
+                    "by what percentage did {subject} change between {from} and {to}"
+                ),
+            }
+        } else {
+            format!(
+                "{} the {} from {} to {}",
+                WHAT_IS.pick(rng),
+                PCT_CHANGE.pick(rng),
+                arg_phrase(b),
+                arg_phrase(a)
+            )
+        };
+        return sentence_case(&tidy(&text), '?');
+    }
+
+    // Idiom: average of two values = add(a, b), divide(#0, 2).
+    if steps.len() == 2
+        && steps[0].op == AeOp::Add
+        && steps[1].op == AeOp::Divide
+        && steps[1].args[0] == AeArg::StepRef(0)
+        && steps[1].args[1] == AeArg::Const(2.0)
+    {
+        let text = format!(
+            "{} the {} of {} and {}",
+            WHAT_IS.pick(rng),
+            AVERAGE.pick(rng),
+            arg_phrase(&steps[0].args[0]),
+            arg_phrase(&steps[0].args[1])
+        );
+        return sentence_case(&tidy(&text), '?');
+    }
+
+    // Single-step idioms.
+    if steps.len() == 1 {
+        let step = &steps[0];
+        let text = match step.op {
+            AeOp::Subtract => {
+                let (a, b) = (&step.args[0], &step.args[1]);
+                if let Some((subject, from, to)) = change_endpoints(a, b) {
+                    format!(
+                        "{} the {} in {subject} from {from} to {to}",
+                        WHAT_IS.pick(rng),
+                        DIFFERENCE.pick(rng)
+                    )
+                } else {
+                    format!(
+                        "{} the {} between {} and {}",
+                        WHAT_IS.pick(rng),
+                        DIFFERENCE.pick(rng),
+                        arg_phrase(a),
+                        arg_phrase(b)
+                    )
+                }
+            }
+            AeOp::Add => format!(
+                "{} the {} of {} and {}",
+                WHAT_IS.pick(rng),
+                TOTAL.pick(rng),
+                arg_phrase(&step.args[0]),
+                arg_phrase(&step.args[1])
+            ),
+            AeOp::Multiply => format!(
+                "{} the product of {} and {}",
+                WHAT_IS.pick(rng),
+                arg_phrase(&step.args[0]),
+                arg_phrase(&step.args[1])
+            ),
+            AeOp::Divide => format!(
+                "{} the ratio of {} to {}",
+                WHAT_IS.pick(rng),
+                arg_phrase(&step.args[0]),
+                arg_phrase(&step.args[1])
+            ),
+            AeOp::Greater => format!(
+                "was {} {} {}",
+                arg_phrase(&step.args[0]),
+                MORE_THAN.pick(rng),
+                arg_phrase(&step.args[1])
+            ),
+            AeOp::Exp => format!(
+                "{} {} raised to the power of {}",
+                WHAT_IS.pick(rng),
+                arg_phrase(&step.args[0]),
+                arg_phrase(&step.args[1])
+            ),
+            AeOp::TableMax => format!(
+                "{} the {} value in {}",
+                WHAT_IS.pick(rng),
+                MOST.pick(rng),
+                arg_phrase(&step.args[0])
+            ),
+            AeOp::TableMin => format!(
+                "{} the {} value in {}",
+                WHAT_IS.pick(rng),
+                LEAST.pick(rng),
+                arg_phrase(&step.args[0])
+            ),
+            AeOp::TableSum => format!(
+                "{} the {} of all values in {}",
+                WHAT_IS.pick(rng),
+                TOTAL.pick(rng),
+                arg_phrase(&step.args[0])
+            ),
+            AeOp::TableAverage => format!(
+                "{} the {} of the values in {}",
+                WHAT_IS.pick(rng),
+                AVERAGE.pick(rng),
+                arg_phrase(&step.args[0])
+            ),
+        };
+        return sentence_case(&tidy(&text), '?');
+    }
+
+    // Generic multi-step fallback: describe the final step with its inputs
+    // expanded recursively.
+    let text = format!("{} {}", WHAT_IS.pick(rng), describe_step(program, steps.len() - 1));
+    sentence_case(&tidy(&text), '?')
+}
+
+/// Recursively describes a step by inlining `#N` references.
+fn describe_step(program: &AeProgram, idx: usize) -> String {
+    let step = &program.steps[idx];
+    let arg = |a: &AeArg| -> String {
+        match a {
+            AeArg::StepRef(i) => describe_step(program, *i),
+            other => arg_phrase(other),
+        }
+    };
+    match step.op {
+        AeOp::Add => format!("the sum of {} and {}", arg(&step.args[0]), arg(&step.args[1])),
+        AeOp::Subtract => format!("{} minus {}", arg(&step.args[0]), arg(&step.args[1])),
+        AeOp::Multiply => format!("{} times {}", arg(&step.args[0]), arg(&step.args[1])),
+        AeOp::Divide => format!("{} divided by {}", arg(&step.args[0]), arg(&step.args[1])),
+        AeOp::Greater => format!("whether {} exceeds {}", arg(&step.args[0]), arg(&step.args[1])),
+        AeOp::Exp => format!("{} to the power of {}", arg(&step.args[0]), arg(&step.args[1])),
+        AeOp::TableMax => format!("the maximum of {}", arg(&step.args[0])),
+        AeOp::TableMin => format!("the minimum of {}", arg(&step.args[0])),
+        AeOp::TableSum => format!("the total of {}", arg(&step.args[0])),
+        AeOp::TableAverage => format!("the average of {}", arg(&step.args[0])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arithexpr::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn realize(p: &str, seed: u64) -> String {
+        let program = parse(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        realize_arith(&program, &mut rng, 1).remove(0)
+    }
+
+    #[test]
+    fn percentage_change_idiom() {
+        let q = realize(
+            "subtract( the 2019 of Stockholders' equity , the 2018 of Stockholders' equity ), divide( #0 , the 2018 of Stockholders' equity )",
+            1,
+        );
+        let lower = q.to_lowercase();
+        assert!(lower.contains("percent"), "{q}");
+        assert!(lower.contains("2018") && lower.contains("2019"), "{q}");
+        assert!(lower.contains("stockholders"), "{q}");
+        assert!(q.ends_with('?'));
+    }
+
+    #[test]
+    fn percentage_change_orders_from_to() {
+        // subtract(new=2019, old=2018): the question must read "from 2018 to 2019".
+        let q = realize(
+            "subtract( the 2019 of Revenue , the 2018 of Revenue ), divide( #0 , the 2018 of Revenue )",
+            2,
+        );
+        let lower = q.to_lowercase();
+        if let (Some(f), Some(t)) = (lower.find("2018"), lower.find("2019")) {
+            assert!(f < t, "{q}");
+        }
+    }
+
+    #[test]
+    fn difference_idiom() {
+        let q = realize("subtract( the 2019 of Revenue , the 2018 of Revenue )", 3);
+        let lower = q.to_lowercase();
+        assert!(
+            ["difference", "change", "gap"].iter().any(|w| lower.contains(w)),
+            "{q}"
+        );
+    }
+
+    #[test]
+    fn total_idiom() {
+        let q = realize("add( the 2019 of Revenue , the 2018 of Revenue )", 4);
+        let lower = q.to_lowercase();
+        assert!(["total", "sum", "combined"].iter().any(|w| lower.contains(w)), "{q}");
+    }
+
+    #[test]
+    fn average_of_two_idiom() {
+        let q = realize("add( the 2019 of Revenue , the 2018 of Revenue ), divide( #0 , 2 )", 5);
+        let lower = q.to_lowercase();
+        assert!(lower.contains("average") || lower.contains("mean"), "{q}");
+    }
+
+    #[test]
+    fn ratio_idiom() {
+        let q = realize("divide( the 2019 of Revenue , the 2019 of Costs )", 6);
+        assert!(q.to_lowercase().contains("ratio"), "{q}");
+    }
+
+    #[test]
+    fn greater_question() {
+        let q = realize("greater( the 2019 of Revenue , the 2018 of Revenue )", 7);
+        let lower = q.to_lowercase();
+        assert!(lower.starts_with("was"), "{q}");
+    }
+
+    #[test]
+    fn table_op_questions() {
+        let q = realize("table_sum( 2019 )", 8);
+        let lower = q.to_lowercase();
+        assert!(lower.contains("2019"), "{q}");
+        assert!(["total", "sum", "combined"].iter().any(|w| lower.contains(w)), "{q}");
+    }
+
+    #[test]
+    fn generic_fallback_multi_step() {
+        let q = realize(
+            "table_sum( 2019 ) , subtract( #0 , the 2018 of Revenue ) , divide( #1 , 100 )",
+            9,
+        );
+        let lower = q.to_lowercase();
+        assert!(lower.contains("divided by 100"), "{q}");
+        assert!(lower.contains("minus"), "{q}");
+    }
+
+    #[test]
+    fn candidates_vary() {
+        let p = parse("subtract( the 2019 of Revenue , the 2018 of Revenue )").unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let cands = realize_arith(&p, &mut rng, 8);
+        assert!(cands.len() > 1, "{cands:?}");
+    }
+}

@@ -1,0 +1,183 @@
+//! The unified NL-Generator (paper §IV-A, Eq. 3: `f(P) → L`).
+//!
+//! Combines the per-program-type realizers, the n-gram fluency model, and
+//! the noise channel into one module with the same contract as the paper's
+//! fine-tuned GPT-2/BART generators: program in, natural-language sentence
+//! out. `fit` plays the role of fine-tuning — it trains the reranker LM on
+//! a seed corpus of gold-style sentences.
+
+use crate::arith_gen::realize_arith;
+use crate::logic_gen::realize_logic;
+use crate::ngram::{seed_corpus, NgramLm};
+use crate::noise::{apply_noise, NoiseConfig};
+use crate::sql_gen::realize_sql;
+use arithexpr::AeProgram;
+use logicforms::LfExpr;
+use rand::Rng;
+use sqlexec::SelectStmt;
+
+/// Number of candidate realizations proposed per program before reranking.
+const CANDIDATES: usize = 6;
+
+/// A generated sentence with its rejected alternatives (useful for analysis
+/// binaries like the Table IX reproduction).
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The selected sentence.
+    pub text: String,
+    /// All candidates that were proposed (including the winner, pre-noise).
+    pub candidates: Vec<String>,
+}
+
+/// Program-to-text generator over all three program types.
+#[derive(Debug, Clone)]
+pub struct NlGenerator {
+    lm: NgramLm,
+    noise: NoiseConfig,
+}
+
+impl Default for NlGenerator {
+    fn default() -> Self {
+        NlGenerator::new()
+    }
+}
+
+impl NlGenerator {
+    /// A generator "fine-tuned" on the built-in seed corpus.
+    pub fn new() -> NlGenerator {
+        let mut lm = NgramLm::new(3);
+        lm.fit(&seed_corpus());
+        NlGenerator { lm, noise: NoiseConfig::default() }
+    }
+
+    /// A generator with an untrained LM (candidates are picked in proposal
+    /// order) — the "no fine-tuning" ablation.
+    pub fn untrained() -> NlGenerator {
+        NlGenerator { lm: NgramLm::new(3), noise: NoiseConfig::default() }
+    }
+
+    /// Extends the fluency model with additional in-domain sentences
+    /// (the counterpart of continuing fine-tuning on domain data).
+    pub fn fit<S: AsRef<str>>(&mut self, corpus: &[S]) {
+        self.lm.fit(corpus);
+    }
+
+    /// Replaces the noise configuration.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> NlGenerator {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the fluency model (used by the n-gram-order ablation).
+    pub fn with_lm(mut self, lm: NgramLm) -> NlGenerator {
+        self.lm = lm;
+        self
+    }
+
+    /// Access to the underlying LM (for benchmarking / analysis).
+    pub fn lm(&self) -> &NgramLm {
+        &self.lm
+    }
+
+    fn select(&self, candidates: Vec<String>, rng: &mut impl Rng) -> Generated {
+        let best = self
+            .lm
+            .best(&candidates)
+            .cloned()
+            .unwrap_or_else(|| candidates.first().cloned().unwrap_or_default());
+        let text = apply_noise(&best, self.noise, rng);
+        Generated { text, candidates }
+    }
+
+    /// Generates a question from an instantiated SQL query.
+    pub fn sql_question(&self, stmt: &SelectStmt, rng: &mut impl Rng) -> Generated {
+        let candidates = realize_sql(stmt, rng, CANDIDATES);
+        self.select(candidates, rng)
+    }
+
+    /// Generates a claim from an instantiated logical form.
+    pub fn logic_claim(&self, expr: &LfExpr, rng: &mut impl Rng) -> Generated {
+        let candidates = realize_logic(expr, rng, CANDIDATES);
+        self.select(candidates, rng)
+    }
+
+    /// Generates a question from an instantiated arithmetic expression.
+    pub fn arith_question(&self, program: &AeProgram, rng: &mut impl Rng) -> Generated {
+        let candidates = realize_arith(program, rng, CANDIDATES);
+        self.select(candidates, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sql_generation_end_to_end() {
+        let g = NlGenerator::new().with_noise(NoiseConfig::off());
+        let stmt = sqlexec::parse("select [department] from w order by [total deputies] desc limit 1").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = g.sql_question(&stmt, &mut rng);
+        assert!(out.text.to_lowercase().contains("department"), "{}", out.text);
+        assert!(out.candidates.contains(&out.text) || !out.candidates.is_empty());
+    }
+
+    #[test]
+    fn logic_generation_end_to_end() {
+        let g = NlGenerator::new().with_noise(NoiseConfig::off());
+        let e = logicforms::parse("eq { count { filter_eq { all_rows ; material ; PLA } } ; 3 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = g.logic_claim(&e, &mut rng);
+        assert!(out.text.contains('3'), "{}", out.text);
+        assert!(out.text.ends_with('.'), "{}", out.text);
+    }
+
+    #[test]
+    fn arith_generation_end_to_end() {
+        let g = NlGenerator::new().with_noise(NoiseConfig::off());
+        let p = arithexpr::parse(
+            "subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , the 2018 of Equity )",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = g.arith_question(&p, &mut rng);
+        assert!(out.text.to_lowercase().contains("percent"), "{}", out.text);
+    }
+
+    #[test]
+    fn lm_reranking_changes_choice() {
+        // With a heavily biased LM, the winner should track the bias.
+        let mut biased = NlGenerator::untrained().with_noise(NoiseConfig::off());
+        biased.fit(&["what is the name with the most amount of points?"]);
+        let stmt = sqlexec::parse("select [name] from w order by [points] desc limit 1").unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = biased.sql_question(&stmt, &mut rng);
+        assert!(out.text.to_lowercase().contains("points"), "{}", out.text);
+    }
+
+    #[test]
+    fn fit_extends_vocabulary() {
+        let mut g = NlGenerator::new();
+        let before = g.lm().vocab_size();
+        g.fit(&["totally new domain specific vocabulary flange widget"]);
+        assert!(g.lm().vocab_size() > before);
+    }
+
+    #[test]
+    fn noise_applies_when_enabled() {
+        let g = NlGenerator::new().with_noise(NoiseConfig { sentence_rate: 1.0 });
+        let stmt = sqlexec::parse("select [department] from w order by [total deputies] desc limit 1").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_noise = false;
+        for _ in 0..20 {
+            let out = g.sql_question(&stmt, &mut rng);
+            if !out.candidates.contains(&out.text) {
+                saw_noise = true;
+                break;
+            }
+        }
+        assert!(saw_noise, "noise channel never fired at rate 1.0");
+    }
+}

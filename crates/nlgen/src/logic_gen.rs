@@ -1,0 +1,424 @@
+//! Surface realization of logical forms into natural-language claims.
+//!
+//! Claims are declarative sentences whose truth equals the program's
+//! execution result. The realizer is compositional: filter chains become
+//! relative clauses ("the rows whose material is PLA"), and the root
+//! operator picks a claim frame per logic type (count / superlative /
+//! ordinal / aggregation / majority / unique / comparative), matching the
+//! Logic2Text phrasing the paper's fine-tuned GPT-2 produces (Table IX).
+
+use crate::lexicon::*;
+use logicforms::{LfExpr, LfOp};
+use rand::Rng;
+
+/// Produces `k` candidate claims for an instantiated logical form.
+pub fn realize_logic(expr: &LfExpr, rng: &mut impl Rng, k: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.max(1) {
+        out.push(realize_once(expr, rng));
+    }
+    out.dedup();
+    out
+}
+
+/// Describes a view as a relative clause (empty for `all_rows`).
+fn view_clause(e: &LfExpr, rng: &mut impl Rng) -> String {
+    match e {
+        LfExpr::AllRows => String::new(),
+        LfExpr::Apply(op, args) => {
+            use LfOp::*;
+            match op {
+                FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
+                | FilterLessEq => {
+                    let inner = view_clause(&args[0], rng);
+                    let col = leaf_text(&args[1]);
+                    let val = leaf_text(&args[2]);
+                    let this = match op {
+                        FilterEq => format!("whose {col} is {val}"),
+                        FilterNotEq => format!("whose {col} is not {val}"),
+                        FilterGreater => format!("whose {col} is {} {val}", MORE_THAN.pick(rng)),
+                        FilterLess => format!("whose {col} is {} {val}", LESS_THAN.pick(rng)),
+                        FilterGreaterEq => format!("whose {col} is at least {val}"),
+                        FilterLessEq => format!("whose {col} is at most {val}"),
+                        _ => unreachable!(),
+                    };
+                    if inner.is_empty() {
+                        this
+                    } else {
+                        format!("{inner} and {this}")
+                    }
+                }
+                FilterAll => {
+                    let inner = view_clause(&args[0], rng);
+                    let col = leaf_text(&args[1]);
+                    let this = format!("with a listed {col}");
+                    if inner.is_empty() {
+                        this
+                    } else {
+                        format!("{inner} {this}")
+                    }
+                }
+                _ => String::new(),
+            }
+        }
+        _ => String::new(),
+    }
+}
+
+fn leaf_text(e: &LfExpr) -> String {
+    match e {
+        LfExpr::Column(c) => c.clone(),
+        LfExpr::Const(v) => v.clone(),
+        LfExpr::AllRows => "all rows".to_string(),
+        LfExpr::ColumnHole(i) => format!("column {i}"),
+        LfExpr::ValueHole(i) => format!("value {i}"),
+        LfExpr::Apply(..) => describe_scalar(e),
+    }
+}
+
+/// Describes a scalar-producing subtree as a noun phrase.
+fn describe_scalar(e: &LfExpr) -> String {
+    match e {
+        LfExpr::Apply(op, args) => {
+            use LfOp::*;
+            match op {
+                Hop => {
+                    let row = describe_row(&args[0]);
+                    let col = leaf_text(&args[1]);
+                    format!("the {col} of {row}")
+                }
+                Count => format!("the number of rows {}", describe_view_np(&args[0])),
+                Max => format!("the highest {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
+                Min => format!("the lowest {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
+                Sum => format!("the total {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
+                Avg => format!("the average {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
+                NthMax => format!(
+                    "the {} highest {}",
+                    ordinal_word(parse_ordinal(&args[2])),
+                    leaf_text(&args[1])
+                ),
+                NthMin => format!(
+                    "the {} lowest {}",
+                    ordinal_word(parse_ordinal(&args[2])),
+                    leaf_text(&args[1])
+                ),
+                Diff => format!(
+                    "the difference between {} and {}",
+                    describe_scalar(&args[0]),
+                    describe_scalar(&args[1])
+                ),
+                _ => e.to_string(),
+            }
+        }
+        other => leaf_text(other),
+    }
+}
+
+/// Describes a row-producing subtree.
+fn describe_row(e: &LfExpr) -> String {
+    match e {
+        LfExpr::Apply(op, args) => {
+            use LfOp::*;
+            match op {
+                Argmax => format!(
+                    "the row with the highest {} {}",
+                    leaf_text(&args[1]),
+                    describe_view_np(&args[0])
+                ),
+                Argmin => format!(
+                    "the row with the lowest {} {}",
+                    leaf_text(&args[1]),
+                    describe_view_np(&args[0])
+                ),
+                NthArgmax => format!(
+                    "the row with the {} highest {}",
+                    ordinal_word(parse_ordinal(&args[2])),
+                    leaf_text(&args[1])
+                ),
+                NthArgmin => format!(
+                    "the row with the {} lowest {}",
+                    ordinal_word(parse_ordinal(&args[2])),
+                    leaf_text(&args[1])
+                ),
+                FilterEq => {
+                    // hop over a filter: identify the row by its filter
+                    // value; text filters read naturally as the entity name
+                    // ("P300"), numeric ones keep the column for clarity
+                    // ("the row whose wins is 24").
+                    let val = leaf_text(&args[2]);
+                    if val.parse::<f64>().is_ok() {
+                        format!("the row whose {} is {val}", leaf_text(&args[1]))
+                    } else {
+                        val
+                    }
+                }
+                _ => "the selected row".to_string(),
+            }
+        }
+        _ => "the selected row".to_string(),
+    }
+}
+
+/// View description as a trailing prepositional phrase ("among the rows
+/// whose X is V"), empty for all_rows.
+fn describe_view_np(e: &LfExpr) -> String {
+    let mut throwaway = rand::rngs::mock::StepRng::new(7, 11);
+    let clause = view_clause(e, &mut throwaway);
+    if clause.is_empty() {
+        String::new()
+    } else {
+        format!("among the rows {clause}")
+    }
+}
+
+fn parse_ordinal(e: &LfExpr) -> usize {
+    match e {
+        LfExpr::Const(t) => t.parse().unwrap_or(1),
+        _ => 1,
+    }
+}
+
+fn realize_once(expr: &LfExpr, rng: &mut impl Rng) -> String {
+    use LfOp::*;
+    let text = match expr {
+        LfExpr::Apply(op, args) => match op {
+            Eq | RoundEq | NotEq => realize_comparison(*op, &args[0], &args[1], rng),
+            Greater | Less => {
+                let a = describe_scalar(&args[0]);
+                let b = describe_scalar(&args[1]);
+                let cmp = if matches!(op, Greater) { MORE_THAN.pick(rng) } else { LESS_THAN.pick(rng) };
+                format!("{a} {} {cmp} {b}", IS_ARE.pick(rng))
+            }
+            And => {
+                let a = realize_once(&args[0], rng);
+                let b = realize_once(&args[1], rng);
+                format!(
+                    "{} and {}",
+                    a.trim_end_matches(['.', '?']),
+                    lowercase_first(b.trim_end_matches(['.', '?']))
+                )
+            }
+            Only => {
+                let clause = view_clause(&args[0], rng);
+                format!("there is only one row {clause}")
+            }
+            AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
+            | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
+                let quant = if matches!(op, AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq)
+                {
+                    ALL_OF.pick(rng)
+                } else {
+                    MAJORITY.pick(rng)
+                };
+                let inner = view_clause(&args[0], rng);
+                let col = leaf_text(&args[1]);
+                let val = leaf_text(&args[2]);
+                let pred = match op {
+                    AllEq | MostEq => format!("a {col} of {val}"),
+                    AllNotEq | MostNotEq => format!("a {col} other than {val}"),
+                    AllGreater | MostGreater => format!("a {col} {} {val}", MORE_THAN.pick(rng)),
+                    AllLess | MostLess => format!("a {col} {} {val}", LESS_THAN.pick(rng)),
+                    AllGreaterEq | MostGreaterEq => format!("a {col} of at least {val}"),
+                    AllLessEq | MostLessEq => format!("a {col} of at most {val}"),
+                    _ => unreachable!(),
+                };
+                if inner.is_empty() {
+                    format!("{quant} rows have {pred}")
+                } else {
+                    format!("{quant} rows {inner} have {pred}")
+                }
+            }
+            _ => describe_scalar(expr),
+        },
+        other => leaf_text(other),
+    };
+    sentence_case(&tidy(&text), '.')
+}
+
+fn realize_comparison(op: LfOp, lhs: &LfExpr, rhs: &LfExpr, rng: &mut impl Rng) -> String {
+    use LfOp::*;
+    // Count claims: "there are N rows ..."
+    if let LfExpr::Apply(Count, count_args) = lhs {
+        let n = leaf_text(rhs);
+        let clause = view_clause(&count_args[0], rng);
+        let frame = rng.gen_range(0..2);
+        let body = if clause.is_empty() {
+            match frame {
+                0 => format!("there are {n} rows in the table"),
+                _ => format!("the table has {n} rows"),
+            }
+        } else {
+            match frame {
+                0 => format!("there are {n} rows {clause}"),
+                _ => format!("{n} of the rows are {clause}"),
+            }
+        };
+        return match op {
+            NotEq => format!("it is not the case that {body}"),
+            _ => body,
+        };
+    }
+    // Superlative / ordinal hop claims: "{v} has the highest {col}".
+    if let LfExpr::Apply(Hop, hop_args) = lhs {
+        if let LfExpr::Apply(inner_op, inner_args) = &hop_args[0] {
+            if matches!(inner_op, Argmax | Argmin | NthArgmax | NthArgmin) {
+                let target_col = leaf_text(&hop_args[1]);
+                let sort_col = leaf_text(&inner_args[1]);
+                let v = leaf_text(rhs);
+                let among = describe_view_np(&inner_args[0]);
+                let adj: String = match inner_op {
+                    Argmax => MOST.pick(rng).to_string(),
+                    Argmin => LEAST.pick(rng).to_string(),
+                    NthArgmax => format!("{} highest", ordinal_word(parse_ordinal(&inner_args[2]))),
+                    NthArgmin => format!("{} lowest", ordinal_word(parse_ordinal(&inner_args[2]))),
+                    _ => unreachable!(),
+                };
+                let body = match rng.gen_range(0..2) {
+                    0 => format!("the {target_col} with the {adj} {sort_col} {among} {} {v}", IS_ARE.pick(rng)),
+                    _ => format!("{v} has the {adj} {sort_col} {among}"),
+                };
+                return negate_if(op == NotEq, body);
+            }
+        }
+    }
+    // Generic scalar comparison.
+    let a = describe_scalar(lhs);
+    let b = describe_scalar(rhs);
+    let body = format!("{a} {} {b}", IS_ARE.pick(rng));
+    negate_if(op == NotEq, body)
+}
+
+fn negate_if(neg: bool, body: String) -> String {
+    if neg {
+        format!("it is not the case that {body}")
+    } else {
+        body
+    }
+}
+
+fn lowercase_first(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicforms::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn realize(form: &str, seed: u64) -> String {
+        let e = parse(form).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        realize_logic(&e, &mut rng, 1).remove(0)
+    }
+
+    #[test]
+    fn count_claim() {
+        let c = realize("eq { count { filter_eq { all_rows ; material ; PLA } } ; 2 }", 1);
+        let lower = c.to_lowercase();
+        assert!(lower.contains('2'), "{c}");
+        assert!(lower.contains("material"), "{c}");
+        assert!(lower.contains("pla"), "{c}");
+        assert!(c.ends_with('.'));
+    }
+
+    #[test]
+    fn superlative_claim() {
+        let c = realize("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }", 2);
+        let lower = c.to_lowercase();
+        assert!(lower.contains("p300"), "{c}");
+        assert!(lower.contains("speed"), "{c}");
+        assert!(
+            ["highest", "most", "greatest", "largest", "top", "maximum"].iter().any(|w| lower.contains(w)),
+            "{c}"
+        );
+    }
+
+    #[test]
+    fn ordinal_claim() {
+        let c = realize("eq { hop { nth_argmax { all_rows ; price ; 2 } ; model } ; P400 }", 3);
+        assert!(c.to_lowercase().contains("second highest"), "{c}");
+    }
+
+    #[test]
+    fn aggregation_claim() {
+        let c = realize("round_eq { avg { all_rows ; price } ; 311.5 }", 4);
+        let lower = c.to_lowercase();
+        assert!(lower.contains("average") || lower.contains("mean"), "{c}");
+        assert!(lower.contains("311.5"), "{c}");
+    }
+
+    #[test]
+    fn majority_claim() {
+        let c = realize("most_greater { all_rows ; speed ; 70 }", 5);
+        let lower = c.to_lowercase();
+        assert!(lower.contains("most of the") || lower.contains("majority"), "{c}");
+        assert!(lower.contains("70"), "{c}");
+    }
+
+    #[test]
+    fn all_claim() {
+        let c = realize("all_greater { all_rows ; price ; 100 }", 6);
+        let lower = c.to_lowercase();
+        assert!(lower.contains("all") || lower.contains("every"), "{c}");
+    }
+
+    #[test]
+    fn unique_claim() {
+        let c = realize("only { filter_eq { all_rows ; material ; ABS } }", 7);
+        let lower = c.to_lowercase();
+        assert!(lower.contains("only one"), "{c}");
+        assert!(lower.contains("abs"), "{c}");
+    }
+
+    #[test]
+    fn comparative_claim() {
+        let c = realize(
+            "greater { hop { filter_eq { all_rows ; model ; P200 } ; price } ; hop { filter_eq { all_rows ; model ; P100 } ; price } }",
+            8,
+        );
+        let lower = c.to_lowercase();
+        assert!(lower.contains("p200"), "{c}");
+        assert!(lower.contains("p100"), "{c}");
+    }
+
+    #[test]
+    fn negated_claim() {
+        let c = realize("not_eq { count { all_rows } ; 5 }", 9);
+        assert!(c.to_lowercase().contains("not the case"), "{c}");
+    }
+
+    #[test]
+    fn conjunction_claim() {
+        let c = realize(
+            "and { eq { count { all_rows } ; 4 } ; greater { max { all_rows ; speed } ; 90 } }",
+            10,
+        );
+        assert!(c.contains(" and "), "{c}");
+        assert_eq!(c.matches('.').count(), 1, "{c}");
+    }
+
+    #[test]
+    fn filtered_view_clause() {
+        let c = realize(
+            "eq { count { filter_greater { filter_eq { all_rows ; material ; PLA } ; price ; 200 } } ; 1 }",
+            11,
+        );
+        let lower = c.to_lowercase();
+        assert!(lower.contains("pla") && lower.contains("200"), "{c}");
+        assert!(lower.contains(" and "), "{c}");
+    }
+
+    #[test]
+    fn candidates_vary() {
+        let e = parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let cands = realize_logic(&e, &mut rng, 8);
+        assert!(cands.len() > 1, "{cands:?}");
+    }
+}

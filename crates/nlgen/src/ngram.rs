@@ -1,0 +1,243 @@
+//! Trainable n-gram language model with interpolated smoothing.
+//!
+//! Stands in for the fine-tuned generator's learned fluency preferences:
+//! the grammar proposes several candidate realizations of a program, and
+//! the LM (fit on a seed corpus of gold-style questions/claims, playing the
+//! role of the paper's fine-tuning sets) reranks them. Stupid-backoff-style
+//! interpolation over orders 1..=N keeps unseen n-grams from zeroing a
+//! candidate.
+
+use rustc_hash::FxHashMap;
+use tabular::text::tokenize;
+
+/// Sentence-boundary markers.
+const BOS: &str = "<s>";
+const EOS: &str = "</s>";
+
+/// An interpolated n-gram language model.
+#[derive(Debug, Clone)]
+pub struct NgramLm {
+    order: usize,
+    /// counts[k] maps a k+1-gram (joined with '\x1f') to its count.
+    counts: Vec<FxHashMap<String, u32>>,
+    /// context counts for each order (k-gram prefix counts).
+    context: Vec<FxHashMap<String, u32>>,
+    vocab: usize,
+    total_unigrams: u64,
+}
+
+impl NgramLm {
+    /// Creates an empty model of the given order (≥ 1).
+    pub fn new(order: usize) -> NgramLm {
+        let order = order.max(1);
+        NgramLm {
+            order,
+            counts: vec![FxHashMap::default(); order],
+            context: vec![FxHashMap::default(); order],
+            vocab: 0,
+            total_unigrams: 0,
+        }
+    }
+
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of training sentences is not stored; vocabulary size is.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Adds one sentence to the model.
+    pub fn observe(&mut self, sentence: &str) {
+        let mut toks: Vec<String> = Vec::with_capacity(16);
+        for _ in 0..self.order.saturating_sub(1) {
+            toks.push(BOS.to_string());
+        }
+        toks.extend(tokenize(sentence));
+        toks.push(EOS.to_string());
+        for n in 1..=self.order {
+            if toks.len() < n {
+                continue;
+            }
+            for w in toks.windows(n) {
+                let key = w.join("\x1f");
+                *self.counts[n - 1].entry(key).or_insert(0) += 1;
+                if n > 1 {
+                    let ctx = w[..n - 1].join("\x1f");
+                    *self.context[n - 1].entry(ctx).or_insert(0) += 1;
+                }
+            }
+        }
+        self.vocab = self.counts[0].len();
+        self.total_unigrams = self.counts[0].values().map(|&c| u64::from(c)).sum();
+    }
+
+    /// Trains on a corpus of sentences.
+    pub fn fit<S: AsRef<str>>(&mut self, corpus: &[S]) {
+        for s in corpus {
+            self.observe(s.as_ref());
+        }
+    }
+
+    /// Average per-token log2 probability of a sentence (higher = more
+    /// fluent under the model). Length-normalized so candidates of
+    /// different lengths are comparable.
+    pub fn score(&self, sentence: &str) -> f64 {
+        let mut toks: Vec<String> = Vec::with_capacity(16);
+        for _ in 0..self.order.saturating_sub(1) {
+            toks.push(BOS.to_string());
+        }
+        toks.extend(tokenize(sentence));
+        toks.push(EOS.to_string());
+        let start = self.order.saturating_sub(1);
+        if toks.len() <= start {
+            return f64::NEG_INFINITY;
+        }
+        let mut total = 0.0;
+        let mut n_scored = 0usize;
+        for i in start..toks.len() {
+            let p = self.token_prob(&toks, i);
+            total += p.log2();
+            n_scored += 1;
+        }
+        total / n_scored.max(1) as f64
+    }
+
+    /// Probability of token i given its history: stupid backoff with a 0.4
+    /// discount per backoff level, ending at an add-one unigram estimate.
+    fn token_prob(&self, toks: &[String], i: usize) -> f64 {
+        let mut discount = 1.0;
+        let max_n = self.order.min(i + 1);
+        for n in (2..=max_n).rev() {
+            let gram = toks[i + 1 - n..=i].join("\x1f");
+            let ctx = toks[i + 1 - n..i].join("\x1f");
+            if let (Some(&c), Some(&cc)) = (self.counts[n - 1].get(&gram), self.context[n - 1].get(&ctx)) {
+                if cc > 0 && c > 0 {
+                    return discount * f64::from(c) / f64::from(cc);
+                }
+            }
+            discount *= 0.4;
+        }
+        let c = self.counts[0].get(&toks[i]).copied().unwrap_or(0);
+        discount * (f64::from(c) + 1.0) / (self.total_unigrams as f64 + self.vocab as f64 + 1.0)
+    }
+
+    /// Selects the best candidate under the model (ties keep order).
+    pub fn best<'a>(&self, candidates: &'a [String]) -> Option<&'a String> {
+        candidates
+            .iter()
+            .max_by(|a, b| self.score(a).partial_cmp(&self.score(b)).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+/// Built-in seed corpus standing in for the SQUALL / Logic2Text / FinQA
+/// fine-tuning sets: gold-style questions and claims in the phrasing the
+/// benchmarks use. The default generator's LM is fit on this.
+pub fn seed_corpus() -> Vec<&'static str> {
+    vec![
+        // SQUALL-style questions
+        "what is the department with the most amount of total deputies?",
+        "which team has the highest number of points?",
+        "which player scored the fewest goals in the season?",
+        "what is the name of the city with the largest population?",
+        "how many teams scored more than 50 points?",
+        "how many players are from brazil?",
+        "what is the total number of wins for the reds?",
+        "what is the average attendance across all games?",
+        "what is the sum of the budgets of all departments?",
+        "which country finished first in the rankings?",
+        "what is the difference between the highest and lowest scores?",
+        "who was the first driver to finish the race?",
+        "what was the score of the last game of the season?",
+        "which model has the highest speed?",
+        // Logic2Text-style claims
+        "there are 3 materials used for basic printer settings.",
+        "the reds scored the most points in the league.",
+        "most of the teams scored more than 40 points.",
+        "all of the games were played in october.",
+        "the second highest price was 349 dollars.",
+        "only one team is from oslo.",
+        "the average price of the printers was 311.5.",
+        "the total attendance for the season was 50000.",
+        "the blues scored 13 fewer points than the reds.",
+        "there is only one printer that uses abs material.",
+        // FinQA / TAT-QA-style questions
+        "what was the percentage change in stockholders' equity between 2018 and 2019?",
+        "what was the change in revenue from 2018 to 2019?",
+        "what was the total of operating costs in 2019 and 2018?",
+        "what was the average revenue for 2018 and 2019?",
+        "what was the ratio of revenue to operating costs in 2019?",
+        "was the revenue in 2019 greater than the revenue in 2018?",
+        "what was the difference between revenue and operating costs in 2019?",
+        "what was the sum of all values for revenue?",
+        "what was the highest quarterly revenue during 2019?",
+        "what percentage did operating costs decrease from 2018 to 2019?",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> NgramLm {
+        let mut lm = NgramLm::new(3);
+        lm.fit(&seed_corpus());
+        lm
+    }
+
+    #[test]
+    fn prefers_fluent_order() {
+        let lm = trained();
+        let fluent = "what is the department with the most total deputies?";
+        let shuffled = "deputies what most the is department total with the?";
+        assert!(lm.score(fluent) > lm.score(shuffled));
+    }
+
+    #[test]
+    fn prefers_seen_phrasing() {
+        let lm = trained();
+        let natural = "which team has the highest number of points?";
+        let awkward = "which team has the maximum magnitude of points?";
+        assert!(lm.score(natural) > lm.score(awkward));
+    }
+
+    #[test]
+    fn best_picks_highest() {
+        let lm = trained();
+        let candidates = vec![
+            "points team which highest has the?".to_string(),
+            "which team has the highest points?".to_string(),
+        ];
+        assert_eq!(lm.best(&candidates).unwrap(), &candidates[1]);
+    }
+
+    #[test]
+    fn unseen_tokens_get_nonzero_probability() {
+        let lm = trained();
+        let s = lm.score("zyzzyva quux flibbertigibbet");
+        assert!(s.is_finite());
+        assert!(s < lm.score("what is the total?"));
+    }
+
+    #[test]
+    fn empty_model_scores_finite() {
+        let lm = NgramLm::new(2);
+        assert!(lm.score("anything at all").is_finite());
+    }
+
+    #[test]
+    fn order_one_model_works() {
+        let mut lm = NgramLm::new(1);
+        lm.fit(&["a a a b"]);
+        assert!(lm.score("a a") > lm.score("b b"));
+    }
+
+    #[test]
+    fn observe_updates_vocab() {
+        let mut lm = NgramLm::new(2);
+        assert_eq!(lm.vocab_size(), 0);
+        lm.observe("one two three");
+        assert!(lm.vocab_size() >= 3);
+    }
+}

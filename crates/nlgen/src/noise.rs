@@ -1,0 +1,164 @@
+//! Generation-noise channel.
+//!
+//! The paper's analysis of generated text (§V-F) finds that "in some cases,
+//! the generated text loses some critical information or contains
+//! inaccurate information". The noise channel reproduces those error modes
+//! at a configurable rate so the synthetic training distribution matches a
+//! real fine-tuned generator rather than an unrealistically clean oracle:
+//!
+//! * **drop** — a non-content token disappears;
+//! * **swap** — two adjacent tokens transpose;
+//! * **synonym drift** — a function word is replaced by a near-synonym.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Noise configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Probability that a sentence receives any corruption at all.
+    pub sentence_rate: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        // Roughly matches the error frequency visible in paper Table IX.
+        NoiseConfig { sentence_rate: 0.12 }
+    }
+}
+
+impl NoiseConfig {
+    /// A channel that never corrupts (for ablations).
+    pub fn off() -> NoiseConfig {
+        NoiseConfig { sentence_rate: 0.0 }
+    }
+}
+
+const DRIFT_PAIRS: &[(&str, &str)] = &[
+    ("between", "among"),
+    ("highest", "greatest"),
+    ("lowest", "smallest"),
+    ("total", "overall"),
+    ("change", "shift"),
+    ("rows", "entries"),
+    ("when", "where"),
+];
+
+/// Applies the noise channel to a sentence.
+pub fn apply_noise(text: &str, cfg: NoiseConfig, rng: &mut impl Rng) -> String {
+    if cfg.sentence_rate <= 0.0 || !rng.gen_bool(cfg.sentence_rate.min(1.0)) {
+        return text.to_string();
+    }
+    let terminal = text.chars().last().filter(|c| ['.', '?', '!'].contains(c));
+    let body = match terminal {
+        Some(_) => &text[..text.len() - 1],
+        None => text,
+    };
+    let mut words: Vec<String> = body.split_whitespace().map(str::to_string).collect();
+    if words.len() < 4 {
+        return text.to_string();
+    }
+    match rng.gen_range(0..3) {
+        // Drop a short (function-ish) word from the middle.
+        0 => {
+            let candidates: Vec<usize> = (1..words.len() - 1)
+                .filter(|&i| words[i].len() <= 4 && words[i].chars().all(|c| c.is_alphabetic()))
+                .collect();
+            if let Some(&i) = candidates.choose(rng) {
+                words.remove(i);
+            }
+        }
+        // Transpose two adjacent middle words.
+        1 => {
+            let i = rng.gen_range(1..words.len() - 2);
+            words.swap(i, i + 1);
+        }
+        // Synonym drift.
+        _ => {
+            let mut hit = false;
+            for w in &mut words {
+                if hit {
+                    break;
+                }
+                for (from, to) in DRIFT_PAIRS {
+                    if w.eq_ignore_ascii_case(from) {
+                        *w = (*to).to_string();
+                        hit = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = words.join(" ");
+    if let Some(t) = terminal {
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn off_channel_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = "Which team has the highest score?";
+        assert_eq!(apply_noise(s, NoiseConfig::off(), &mut rng), s);
+    }
+
+    #[test]
+    fn full_rate_changes_most_sentences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = NoiseConfig { sentence_rate: 1.0 };
+        let s = "Which team has the highest total score in the table?";
+        let changed = (0..50)
+            .filter(|_| apply_noise(s, cfg, &mut rng) != s)
+            .count();
+        assert!(changed > 30, "only {changed}/50 corrupted");
+    }
+
+    #[test]
+    fn preserves_terminal_punctuation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = NoiseConfig { sentence_rate: 1.0 };
+        for _ in 0..20 {
+            let out = apply_noise("What is the total change between 2018 and 2019?", cfg, &mut rng);
+            assert!(out.ends_with('?'), "{out}");
+        }
+    }
+
+    #[test]
+    fn short_sentences_untouched() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = NoiseConfig { sentence_rate: 1.0 };
+        assert_eq!(apply_noise("Too short now.", cfg, &mut rng), "Too short now.");
+    }
+
+    #[test]
+    fn noise_is_rng_deterministic() {
+        let cfg = NoiseConfig { sentence_rate: 1.0 };
+        let s = "How many rows have a score greater than fifty points?";
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| apply_noise(s, cfg, &mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| apply_noise(s, cfg, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_rate_moderate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = NoiseConfig::default();
+        let s = "How many rows have a score greater than fifty points?";
+        let changed = (0..200).filter(|_| apply_noise(s, cfg, &mut rng) != s).count();
+        assert!(changed > 5 && changed < 60, "{changed}/200");
+    }
+}

@@ -1,0 +1,274 @@
+//! Surface realization of SQL queries into natural-language questions.
+//!
+//! The realizer inspects the instantiated query's shape (superlative,
+//! counting, aggregation, lookup, difference, ...) and emits several
+//! candidate phrasings with randomized lexical choices; the caller reranks
+//! them with the n-gram LM. This mirrors how the paper's fine-tuned BART
+//! maps SQUALL-style queries to questions (Table IX row 1).
+
+use crate::lexicon::*;
+use rand::Rng;
+use sqlexec::{AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, OrderDir, SelectItem, SelectStmt};
+
+/// Renders a column reference (placeholders should not reach realization).
+fn col_name(c: &ColumnRef) -> String {
+    match c {
+        ColumnRef::Named(n) => n.clone(),
+        ColumnRef::Placeholder { index, .. } => format!("column {index}"),
+    }
+}
+
+/// Renders a scalar expression as a noun phrase.
+fn expr_phrase(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => col_name(c),
+        Expr::Literal(v) => v.to_string(),
+        Expr::ValuePlaceholder(i) => format!("value {i}"),
+        Expr::Binary { op, lhs, rhs } => {
+            let word = match op {
+                ArithOp::Add => "plus",
+                ArithOp::Sub => "minus",
+                ArithOp::Mul => "times",
+                ArithOp::Div => "divided by",
+            };
+            format!("{} {} {}", expr_phrase(lhs), word, expr_phrase(rhs))
+        }
+    }
+}
+
+/// Renders a condition tree as an English clause ("the city is Oslo and the
+/// score is more than 10").
+fn cond_phrase(c: &Cond, rng: &mut impl Rng) -> String {
+    match c {
+        Cond::Compare { op, lhs, rhs } => {
+            let l = expr_phrase(lhs);
+            let r = expr_phrase(rhs);
+            match op {
+                CmpOp::Eq => format!("the {l} is {r}"),
+                CmpOp::NotEq => format!("the {l} is not {r}"),
+                CmpOp::Gt => format!("the {l} is {} {r}", MORE_THAN.pick(rng)),
+                CmpOp::Lt => format!("the {l} is {} {r}", LESS_THAN.pick(rng)),
+                CmpOp::GtEq => format!("the {l} is at least {r}"),
+                CmpOp::LtEq => format!("the {l} is at most {r}"),
+            }
+        }
+        Cond::And(a, b) => format!("{} and {}", cond_phrase(a, rng), cond_phrase(b, rng)),
+        Cond::Or(a, b) => format!("{} or {}", cond_phrase(a, rng), cond_phrase(b, rng)),
+    }
+}
+
+/// Produces `k` candidate questions for an instantiated query.
+pub fn realize_sql(stmt: &SelectStmt, rng: &mut impl Rng, k: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.max(1) {
+        out.push(realize_once(stmt, rng));
+    }
+    out.dedup();
+    out
+}
+
+fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
+    let where_suffix = stmt
+        .where_clause
+        .as_ref()
+        .map(|w| cond_phrase(w, rng));
+
+    // Superlative: `select X from w order by Y desc limit 1`.
+    if let (Some((Expr::Column(order_col), dir)), Some(1)) = (&stmt.order_by, stmt.limit) {
+        if let Some(SelectItem::Expr(Expr::Column(sel))) = stmt.items.first() {
+            let adj = match dir {
+                OrderDir::Desc => MOST.pick(rng),
+                OrderDir::Asc => LEAST.pick(rng),
+            };
+            let sel = col_name(sel);
+            let order = col_name(order_col);
+            let base = match rng.gen_range(0..3) {
+                0 => format!("{} {sel} has the {adj} {order}", WHICH.pick(rng)),
+                1 => format!("{} the {sel} with the {adj} {order}", WHAT_IS.pick(rng)),
+                _ => format!("{} the {sel} with the {adj} amount of {order}", WHAT_IS.pick(rng)),
+            };
+            let full = match &where_suffix {
+                Some(w) => format!("{base} when {w}"),
+                None => base,
+            };
+            return sentence_case(&tidy(&full), '?');
+        }
+    }
+
+    // Aggregates.
+    if let Some(SelectItem::Aggregate { func, arg, .. }) = stmt.items.first() {
+        let text = match (func, arg) {
+            (AggFunc::Count, None) => {
+                let noun = Slot::new(&["rows", "entries", "records", "times"]).pick(rng);
+                match &where_suffix {
+                    Some(w) => format!("{} {noun} are there where {w}", HOW_MANY.pick(rng)),
+                    None => format!("{} {noun} are in the table", HOW_MANY.pick(rng)),
+                }
+            }
+            (AggFunc::Count, Some(e)) => {
+                let target = expr_phrase(e);
+                match &where_suffix {
+                    Some(w) => format!(
+                        "{} {} values are there where {w}",
+                        HOW_MANY.pick(rng),
+                        target
+                    ),
+                    None => format!("{} {} values are listed", HOW_MANY.pick(rng), pluralize(&target)),
+                }
+            }
+            (agg, Some(e)) => {
+                let noun = match agg {
+                    AggFunc::Sum => TOTAL.pick(rng),
+                    AggFunc::Avg => AVERAGE.pick(rng),
+                    AggFunc::Min => LEAST.pick(rng),
+                    AggFunc::Max => MOST.pick(rng),
+                    AggFunc::Count => unreachable!(),
+                };
+                let target = expr_phrase(e);
+                match &where_suffix {
+                    Some(w) => format!("{} the {noun} {target} when {w}", WHAT_IS.pick(rng)),
+                    None => format!("{} the {noun} {target}", WHAT_IS.pick(rng)),
+                }
+            }
+            (_, None) => format!("{} the result", WHAT_IS.pick(rng)),
+        };
+        return sentence_case(&tidy(&text), '?');
+    }
+
+    // Difference between two columns.
+    if let Some(SelectItem::Expr(Expr::Binary { op: ArithOp::Sub, lhs, rhs })) = stmt.items.first() {
+        let text = match &where_suffix {
+            Some(w) => format!(
+                "{} the {} between {} and {} when {w}",
+                WHAT_IS.pick(rng),
+                DIFFERENCE.pick(rng),
+                expr_phrase(lhs),
+                expr_phrase(rhs)
+            ),
+            None => format!(
+                "{} the {} between {} and {}",
+                WHAT_IS.pick(rng),
+                DIFFERENCE.pick(rng),
+                expr_phrase(lhs),
+                expr_phrase(rhs)
+            ),
+        };
+        return sentence_case(&tidy(&text), '?');
+    }
+
+    // Plain lookup: `select X from w where ...`.
+    if let Some(SelectItem::Expr(e)) = stmt.items.first() {
+        let target = expr_phrase(e);
+        let text = match &where_suffix {
+            Some(w) => match rng.gen_range(0..3) {
+                0 => format!("{} the {target} when {w}", WHAT_IS.pick(rng)),
+                1 => format!("{} {target} is listed where {w}", WHICH.pick(rng)),
+                _ => format!("{} the {target} for the row where {w}", WHAT_IS.pick(rng)),
+            },
+            None => format!("{} all the {} in the table", WHAT_IS.pick(rng), pluralize(&target)),
+        };
+        return sentence_case(&tidy(&text), '?');
+    }
+
+    // `select *` fallback.
+    let text = match &where_suffix {
+        Some(w) => format!("{} the full record where {w}", WHAT_IS.pick(rng)),
+        None => format!("{} in the table", WHAT_IS.pick(rng)),
+    };
+    sentence_case(&tidy(&text), '?')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqlexec::parse;
+
+    fn realize(q: &str, seed: u64) -> String {
+        let stmt = parse(q).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        realize_sql(&stmt, &mut rng, 1).remove(0)
+    }
+
+    #[test]
+    fn superlative_question() {
+        let q = realize("select [department] from w order by [total deputies] desc limit 1", 1);
+        let lower = q.to_lowercase();
+        assert!(lower.contains("department"), "{q}");
+        assert!(lower.contains("total deputies"), "{q}");
+        assert!(q.ends_with('?'));
+        assert!(
+            ["highest", "most", "greatest", "largest", "top", "maximum"]
+                .iter()
+                .any(|w| lower.contains(w)),
+            "{q}"
+        );
+    }
+
+    #[test]
+    fn minimum_question() {
+        let q = realize("select [name] from w order by [score] asc limit 1", 2);
+        let lower = q.to_lowercase();
+        assert!(
+            ["lowest", "least", "smallest", "fewest", "minimum"].iter().any(|w| lower.contains(w)),
+            "{q}"
+        );
+    }
+
+    #[test]
+    fn count_question() {
+        let q = realize("select count(*) from w where [points] > 50", 3);
+        let lower = q.to_lowercase();
+        assert!(lower.starts_with("how many") || lower.starts_with("what number of"), "{q}");
+        assert!(lower.contains("points"), "{q}");
+        assert!(lower.contains("50"), "{q}");
+    }
+
+    #[test]
+    fn aggregation_question() {
+        let q = realize("select sum([budget]) from w", 4);
+        let lower = q.to_lowercase();
+        assert!(lower.contains("budget"), "{q}");
+        assert!(
+            ["total", "sum", "combined total"].iter().any(|w| lower.contains(w)),
+            "{q}"
+        );
+    }
+
+    #[test]
+    fn lookup_question() {
+        let q = realize("select [budget] from w where [department] = 'Treasury'", 5);
+        let lower = q.to_lowercase();
+        assert!(lower.contains("budget"), "{q}");
+        assert!(lower.contains("treasury"), "{q}");
+    }
+
+    #[test]
+    fn conjunction_appears() {
+        let q = realize(
+            "select [name] from w where [points] > 10 and [wins] < 5",
+            6,
+        );
+        let lower = q.to_lowercase();
+        assert!(lower.contains(" and "), "{q}");
+    }
+
+    #[test]
+    fn difference_question() {
+        let q = realize("select [budget] - [spend] from w where [dept] = 'X'", 7);
+        let lower = q.to_lowercase();
+        assert!(
+            ["difference", "change", "gap"].iter().any(|w| lower.contains(w)),
+            "{q}"
+        );
+    }
+
+    #[test]
+    fn candidates_vary() {
+        let stmt = parse("select [name] from w order by [score] desc limit 1").unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let cands = realize_sql(&stmt, &mut rng, 8);
+        assert!(cands.len() > 1, "expected lexical variety, got {cands:?}");
+    }
+}

@@ -1,0 +1,448 @@
+//! SQL abstract syntax tree.
+//!
+//! Covers the reasoning types the paper lists for SQL queries (§II-C):
+//! equivalence (`=`), comparison (`>`, `<`, `ORDER BY`, `MAX`, `MIN`),
+//! counting (`COUNT`), sum (`+` / `SUM`), diff (`-`), and conjunction
+//! (`AND`), plus `OR`, `DISTINCT`, `GROUP BY`, `AVG` for template coverage.
+//!
+//! Every AST node renders back to SQL text via `Display`, which gives the
+//! parser a round-trip property that the proptest suite checks.
+
+use std::fmt;
+use tabular::Value;
+
+/// A column reference: by name (as in instantiated queries) or by template
+/// placeholder (`c1`, `c2_number`), kept distinct so the template sampler
+/// can find the holes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnRef {
+    Named(String),
+    /// Placeholder index (1-based, as in SQUALL) and an optional required
+    /// type suffix (`number`, `date`, `text`).
+    Placeholder { index: usize, ty: Option<PlaceholderType>, },
+}
+
+/// Type constraint a template placeholder imposes on the column it binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaceholderType {
+    Number,
+    Date,
+    Text,
+}
+
+impl fmt::Display for PlaceholderType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceholderType::Number => write!(f, "number"),
+            PlaceholderType::Date => write!(f, "date"),
+            PlaceholderType::Text => write!(f, "text"),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnRef::Named(name) => {
+                if is_bare_safe(name) {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "[{name}]")
+                }
+            }
+            ColumnRef::Placeholder { index, ty } => match ty {
+                Some(t) => write!(f, "c{index}_{t}"),
+                None => write!(f, "c{index}"),
+            },
+        }
+    }
+}
+
+/// True when a column name can be rendered without brackets and reparse as
+/// the same identifier: it must start with a letter/underscore, contain only
+/// word characters, and not collide with a keyword or a placeholder pattern
+/// (`c1`, `val2`) — a year-named column like `2015` would otherwise reparse
+/// as a number literal.
+fn is_bare_safe(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return false;
+    }
+    if !chars.all(|c| c.is_alphanumeric() || c == '_') {
+        return false;
+    }
+    const KEYWORDS: &[&str] = &[
+        "select", "distinct", "from", "where", "group", "by", "order", "asc", "desc", "limit",
+        "and", "or", "count", "sum", "avg", "min", "max", "null", "true", "false", "w",
+    ];
+    let lower = name.to_ascii_lowercase();
+    if KEYWORDS.contains(&lower.as_str()) {
+        return false;
+    }
+    // c<digits>[_type] and val<digits> would reparse as template holes.
+    let is_placeholder = |prefix: &str| {
+        lower
+            .strip_prefix(prefix)
+            .map(|rest| {
+                let digits = rest.split('_').next().unwrap_or(rest);
+                !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+            })
+            .unwrap_or(false)
+    };
+    !(is_placeholder("c") || is_placeholder("val"))
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    /// A literal constant.
+    Literal(Value),
+    /// A value placeholder `val1` bound during sampling to a cell of the
+    /// column placeholder it co-occurs with.
+    ValuePlaceholder(usize),
+    /// Binary arithmetic.
+    Binary { op: ArithOp, lhs: Box<Expr>, rhs: Box<Expr>, },
+}
+
+/// Arithmetic operators in scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithOp::Add => write!(f, "+"),
+            ArithOp::Sub => write!(f, "-"),
+            ArithOp::Mul => write!(f, "*"),
+            ArithOp::Div => write!(f, "/"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => match v {
+                Value::Number(n) => write!(f, "{}", tabular::format_number(*n)),
+                Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+                Value::Date(d) => write!(f, "'{d}'"),
+                Value::Bool(b) => write!(f, "{b}"),
+                Value::Null => write!(f, "null"),
+            },
+            Expr::ValuePlaceholder(i) => write!(f, "val{i}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "( {lhs} {op} {rhs} )"),
+        }
+    }
+}
+
+/// Comparison operators in WHERE conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Eq => write!(f, "="),
+            CmpOp::NotEq => write!(f, "!="),
+            CmpOp::Lt => write!(f, "<"),
+            CmpOp::Gt => write!(f, ">"),
+            CmpOp::LtEq => write!(f, "<="),
+            CmpOp::GtEq => write!(f, ">="),
+        }
+    }
+}
+
+/// A boolean condition tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    Compare { op: CmpOp, lhs: Expr, rhs: Expr },
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Compare { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Cond::And(a, b) => write!(f, "{a} and {b}"),
+            Cond::Or(a, b) => write!(f, "( {a} or {b} )"),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Count => write!(f, "count"),
+            AggFunc::Sum => write!(f, "sum"),
+            AggFunc::Avg => write!(f, "avg"),
+            AggFunc::Min => write!(f, "min"),
+            AggFunc::Max => write!(f, "max"),
+        }
+    }
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// Plain expression.
+    Expr(Expr),
+    /// `agg(expr)`; `COUNT(*)` is `Aggregate { func: Count, arg: None }`.
+    Aggregate { func: AggFunc, arg: Option<Expr>, distinct: bool },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => write!(f, "*"),
+            SelectItem::Expr(e) => write!(f, "{e}"),
+            SelectItem::Aggregate { func, arg, distinct } => {
+                let d = if *distinct { "distinct " } else { "" };
+                match arg {
+                    Some(e) => write!(f, "{func} ( {d}{e} )"),
+                    None => write!(f, "{func} ( * )"),
+                }
+            }
+        }
+    }
+}
+
+/// ORDER BY direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderDir {
+    #[default]
+    Asc,
+    Desc,
+}
+
+impl fmt::Display for OrderDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderDir::Asc => write!(f, "asc"),
+            OrderDir::Desc => write!(f, "desc"),
+        }
+    }
+}
+
+/// A complete SELECT statement over the single table `w` (as in SQUALL
+/// templates, where `w` always denotes "the table").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub distinct: bool,
+    pub where_clause: Option<Cond>,
+    pub group_by: Option<ColumnRef>,
+    pub order_by: Option<(Expr, OrderDir)>,
+    pub limit: Option<usize>,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        if self.distinct {
+            write!(f, "distinct ")?;
+        }
+        let items: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
+        write!(f, "{} from w", items.join(" , "))?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " group by {g}")?;
+        }
+        if let Some((e, dir)) = &self.order_by {
+            write!(f, " order by {e} {dir}")?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl SelectStmt {
+    /// Visits all column references in the statement.
+    pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColumnRef)) {
+        fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a ColumnRef)) {
+            match e {
+                Expr::Column(c) => f(c),
+                Expr::Binary { lhs, rhs, .. } => {
+                    walk_expr(lhs, f);
+                    walk_expr(rhs, f);
+                }
+                _ => {}
+            }
+        }
+        fn walk_cond<'a>(c: &'a Cond, f: &mut impl FnMut(&'a ColumnRef)) {
+            match c {
+                Cond::Compare { lhs, rhs, .. } => {
+                    walk_expr(lhs, f);
+                    walk_expr(rhs, f);
+                }
+                Cond::And(a, b) | Cond::Or(a, b) => {
+                    walk_cond(a, f);
+                    walk_cond(b, f);
+                }
+            }
+        }
+        for item in &self.items {
+            match item {
+                SelectItem::Expr(e) | SelectItem::Aggregate { arg: Some(e), .. } => walk_expr(e, f),
+                _ => {}
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            walk_cond(w, f);
+        }
+        if let Some(g) = &self.group_by {
+            f(g);
+        }
+        if let Some((e, _)) = &self.order_by {
+            walk_expr(e, f);
+        }
+    }
+
+    /// True if any node is still a template placeholder (column or value).
+    pub fn has_placeholders(&self) -> bool {
+        let mut found = false;
+        self.visit_columns(&mut |c| {
+            if matches!(c, ColumnRef::Placeholder { .. }) {
+                found = true;
+            }
+        });
+        if found {
+            return true;
+        }
+        // Check value placeholders too.
+        fn expr_has_valp(e: &Expr) -> bool {
+            match e {
+                Expr::ValuePlaceholder(_) => true,
+                Expr::Binary { lhs, rhs, .. } => expr_has_valp(lhs) || expr_has_valp(rhs),
+                _ => false,
+            }
+        }
+        fn cond_has_valp(c: &Cond) -> bool {
+            match c {
+                Cond::Compare { lhs, rhs, .. } => expr_has_valp(lhs) || expr_has_valp(rhs),
+                Cond::And(a, b) | Cond::Or(a, b) => cond_has_valp(a) || cond_has_valp(b),
+            }
+        }
+        self.items.iter().any(|i| match i {
+            SelectItem::Expr(e) | SelectItem::Aggregate { arg: Some(e), .. } => expr_has_valp(e),
+            _ => false,
+        }) || self.where_clause.as_ref().is_some_and(cond_has_valp)
+            || self.order_by.as_ref().is_some_and(|(e, _)| expr_has_valp(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_simple() {
+        let stmt = SelectStmt {
+            items: vec![SelectItem::Expr(Expr::Column(ColumnRef::Named("name".into())))],
+            distinct: false,
+            where_clause: Some(Cond::Compare {
+                op: CmpOp::Gt,
+                lhs: Expr::Column(ColumnRef::Named("score".into())),
+                rhs: Expr::Literal(Value::Number(10.0)),
+            }),
+            group_by: None,
+            order_by: None,
+            limit: Some(1),
+        };
+        assert_eq!(stmt.to_string(), "select name from w where score > 10 limit 1");
+    }
+
+    #[test]
+    fn display_placeholder_with_type() {
+        let c = ColumnRef::Placeholder { index: 2, ty: Some(PlaceholderType::Number) };
+        assert_eq!(c.to_string(), "c2_number");
+    }
+
+    #[test]
+    fn display_bracketed_names() {
+        let c = ColumnRef::Named("total deputies".into());
+        assert_eq!(c.to_string(), "[total deputies]");
+    }
+
+    #[test]
+    fn has_placeholders_detects_value_holes() {
+        let stmt = SelectStmt {
+            items: vec![SelectItem::Expr(Expr::Column(ColumnRef::Named("a".into())))],
+            distinct: false,
+            where_clause: Some(Cond::Compare {
+                op: CmpOp::Eq,
+                lhs: Expr::Column(ColumnRef::Named("b".into())),
+                rhs: Expr::ValuePlaceholder(1),
+            }),
+            group_by: None,
+            order_by: None,
+            limit: None,
+        };
+        assert!(stmt.has_placeholders());
+    }
+
+    #[test]
+    fn visit_columns_covers_all_clauses() {
+        let stmt = SelectStmt {
+            items: vec![SelectItem::Aggregate {
+                func: AggFunc::Sum,
+                arg: Some(Expr::Column(ColumnRef::Named("x".into()))),
+                distinct: false,
+            }],
+            distinct: false,
+            where_clause: Some(Cond::And(
+                Box::new(Cond::Compare {
+                    op: CmpOp::Eq,
+                    lhs: Expr::Column(ColumnRef::Named("y".into())),
+                    rhs: Expr::Literal(Value::Number(1.0)),
+                }),
+                Box::new(Cond::Compare {
+                    op: CmpOp::Lt,
+                    lhs: Expr::Column(ColumnRef::Named("z".into())),
+                    rhs: Expr::Literal(Value::Number(2.0)),
+                }),
+            )),
+            group_by: Some(ColumnRef::Named("g".into())),
+            order_by: Some((Expr::Column(ColumnRef::Named("o".into())), OrderDir::Desc)),
+            limit: None,
+        };
+        let mut names = Vec::new();
+        stmt.visit_columns(&mut |c| {
+            if let ColumnRef::Named(n) = c {
+                names.push(n.clone());
+            }
+        });
+        assert_eq!(names, vec!["x", "y", "z", "g", "o"]);
+    }
+}

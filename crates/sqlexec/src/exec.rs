@@ -1,0 +1,643 @@
+//! SQL executor over [`tabular::Table`].
+//!
+//! This is the workspace's substitute for the paper's sqlite3 executor
+//! (§V-B): given a fully instantiated `SelectStmt` and a table, it produces
+//! the denotation the Program-Executor module reports as the answer.
+//!
+//! Execution also records **highlighted cells** — the `(row, col)` pairs
+//! that participated in filtering, ordering and projection — because the
+//! Table-To-Text operator needs them to choose which row to verbalize
+//! (paper §III-A: "we define the cells involving the reasoning process as
+//! highlighted cells").
+
+use crate::ast::*;
+use rustc_hash::FxHashSet;
+use std::fmt;
+use tabular::{format_number, Table, Value};
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A named column was not found in the table.
+    UnknownColumn(String),
+    /// The statement still contains template placeholders.
+    Uninstantiated,
+    /// Division by zero in a scalar expression.
+    DivisionByZero,
+    /// An aggregate was applied to a column with no usable values.
+    EmptyAggregate,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ExecError::Uninstantiated => write!(f, "statement still contains template placeholders"),
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::EmptyAggregate => write!(f, "aggregate over empty input"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Source-table cells that took part in the computation.
+    pub highlighted: Vec<(usize, usize)>,
+}
+
+impl QueryResult {
+    /// Flattens the result to a list of values (the "denotation" compared
+    /// against gold answers in WikiSQL-style evaluation).
+    pub fn denotation(&self) -> Vec<Value> {
+        self.rows.iter().flatten().cloned().collect()
+    }
+
+    /// True if the query returned nothing (paper §IV-C: such programs are
+    /// discarded during sampling).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() || self.rows.iter().all(|r| r.iter().all(Value::is_null))
+    }
+
+    /// Renders the denotation as a human-readable answer string.
+    pub fn answer_text(&self) -> String {
+        let vals: Vec<String> = self
+            .denotation()
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.to_string())
+            .collect();
+        vals.join(", ")
+    }
+}
+
+/// Executes a fully instantiated SELECT statement against a table.
+pub fn execute(stmt: &SelectStmt, table: &Table) -> Result<QueryResult, ExecError> {
+    if stmt.has_placeholders() {
+        return Err(ExecError::Uninstantiated);
+    }
+    // Validate all column references up front (a zero-row table must still
+    // reject unknown columns, as real SQL engines do).
+    {
+        let mut bad: Option<String> = None;
+        stmt.visit_columns(&mut |c| {
+            if let ColumnRef::Named(name) = c {
+                if bad.is_none() && table.column_index(name).is_none() {
+                    bad = Some(name.clone());
+                }
+            }
+        });
+        if let Some(name) = bad {
+            return Err(ExecError::UnknownColumn(name));
+        }
+    }
+    let mut highlights: FxHashSet<(usize, usize)> = FxHashSet::default();
+
+    // 1. WHERE filter.
+    let mut kept: Vec<usize> = Vec::with_capacity(table.n_rows());
+    for ri in 0..table.n_rows() {
+        let keep = match &stmt.where_clause {
+            Some(cond) => eval_cond(cond, table, ri, &mut highlights)?,
+            None => true,
+        };
+        if keep {
+            kept.push(ri);
+        }
+    }
+
+    // 2. ORDER BY (on source rows, before projection).
+    if let Some((expr, dir)) = &stmt.order_by {
+        let mut keyed: Vec<(Value, usize)> = Vec::with_capacity(kept.len());
+        for &ri in &kept {
+            let v = eval_expr(expr, table, ri, &mut highlights)?;
+            keyed.push((v, ri));
+        }
+        keyed.sort_by(|a, b| {
+            let ord = a.0.cmp(&b.0);
+            if *dir == OrderDir::Desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        kept = keyed.into_iter().map(|(_, ri)| ri).collect();
+    }
+
+    let has_aggregate = stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+
+    let mut result = if let Some(group_col) = &stmt.group_by {
+        exec_grouped(stmt, table, &kept, group_col, &mut highlights)?
+    } else if has_aggregate {
+        // Whole-filtered-set aggregation: one output row. LIMIT applies to
+        // the input rows first (SQUALL templates use `order by ... limit 1`
+        // then aggregate).
+        let input: Vec<usize> = match stmt.limit {
+            Some(n) => kept.iter().copied().take(n).collect(),
+            None => kept.clone(),
+        };
+        let mut row = Vec::with_capacity(stmt.items.len());
+        let mut columns = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            match item {
+                SelectItem::Aggregate { func, arg, distinct } => {
+                    row.push(eval_aggregate(*func, arg.as_ref(), *distinct, table, &input, &mut highlights)?);
+                    columns.push(item.to_string());
+                }
+                SelectItem::Expr(e) => {
+                    // Mixed select: evaluate on the first row if any.
+                    let v = input
+                        .first()
+                        .map(|&ri| eval_expr(e, table, ri, &mut highlights))
+                        .transpose()?
+                        .unwrap_or(Value::Null);
+                    row.push(v);
+                    columns.push(e.to_string());
+                }
+                SelectItem::Star => {
+                    return Err(ExecError::UnknownColumn("* mixed with aggregate".into()))
+                }
+            }
+        }
+        QueryResult { columns, rows: vec![row], highlighted: vec![] }
+    } else {
+        // Plain projection.
+        let rows_in: Vec<usize> = match stmt.limit {
+            Some(n) => kept.iter().copied().take(n).collect(),
+            None => kept.clone(),
+        };
+        let mut columns: Vec<String> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Star => {
+                    for c in table.schema().columns() {
+                        columns.push(c.name.clone());
+                    }
+                }
+                SelectItem::Expr(e) => columns.push(e.to_string()),
+                SelectItem::Aggregate { .. } => unreachable!(),
+            }
+        }
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(rows_in.len());
+        for &ri in &rows_in {
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &stmt.items {
+                match item {
+                    SelectItem::Star => {
+                        for ci in 0..table.n_cols() {
+                            highlights.insert((ri, ci));
+                            out.push(table.cell(ri, ci).cloned().unwrap_or(Value::Null));
+                        }
+                    }
+                    SelectItem::Expr(e) => out.push(eval_expr(e, table, ri, &mut highlights)?),
+                    SelectItem::Aggregate { .. } => unreachable!(),
+                }
+            }
+            rows.push(out);
+        }
+        if stmt.distinct {
+            let mut seen: Vec<Vec<Value>> = Vec::new();
+            rows.retain(|r| {
+                if seen.iter().any(|s| s == r) {
+                    false
+                } else {
+                    seen.push(r.clone());
+                    true
+                }
+            });
+        }
+        QueryResult { columns, rows, highlighted: vec![] }
+    };
+
+    let mut hl: Vec<(usize, usize)> = highlights.into_iter().collect();
+    hl.sort_unstable();
+    result.highlighted = hl;
+    Ok(result)
+}
+
+fn exec_grouped(
+    stmt: &SelectStmt,
+    table: &Table,
+    kept: &[usize],
+    group_col: &ColumnRef,
+    highlights: &mut FxHashSet<(usize, usize)>,
+) -> Result<QueryResult, ExecError> {
+    let gci = resolve(group_col, table)?;
+    // Group in first-occurrence order.
+    let mut groups: Vec<(Value, Vec<usize>)> = Vec::new();
+    for &ri in kept {
+        let key = table.cell(ri, gci).cloned().unwrap_or(Value::Null);
+        highlights.insert((ri, gci));
+        match groups.iter_mut().find(|(k, _)| k.loosely_equals(&key)) {
+            Some((_, members)) => members.push(ri),
+            None => groups.push((key, vec![ri])),
+        }
+    }
+    let mut columns = Vec::new();
+    for item in &stmt.items {
+        columns.push(item.to_string());
+    }
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key, members) in &groups {
+        let mut out = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            match item {
+                SelectItem::Expr(Expr::Column(c)) if resolve(c, table)? == gci => {
+                    out.push(key.clone());
+                }
+                SelectItem::Expr(e) => {
+                    let v = members
+                        .first()
+                        .map(|&ri| eval_expr(e, table, ri, highlights))
+                        .transpose()?
+                        .unwrap_or(Value::Null);
+                    out.push(v);
+                }
+                SelectItem::Aggregate { func, arg, distinct } => {
+                    out.push(eval_aggregate(*func, arg.as_ref(), *distinct, table, members, highlights)?);
+                }
+                SelectItem::Star => return Err(ExecError::UnknownColumn("* in group by".into())),
+            }
+        }
+        rows.push(out);
+    }
+    if let Some(n) = stmt.limit {
+        rows.truncate(n);
+    }
+    Ok(QueryResult { columns, rows, highlighted: vec![] })
+}
+
+fn resolve(c: &ColumnRef, table: &Table) -> Result<usize, ExecError> {
+    match c {
+        ColumnRef::Named(name) => table
+            .column_index(name)
+            .ok_or_else(|| ExecError::UnknownColumn(name.clone())),
+        ColumnRef::Placeholder { .. } => Err(ExecError::Uninstantiated),
+    }
+}
+
+fn eval_expr(
+    e: &Expr,
+    table: &Table,
+    row: usize,
+    highlights: &mut FxHashSet<(usize, usize)>,
+) -> Result<Value, ExecError> {
+    match e {
+        Expr::Column(c) => {
+            let ci = resolve(c, table)?;
+            highlights.insert((row, ci));
+            Ok(table.cell(row, ci).cloned().unwrap_or(Value::Null))
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::ValuePlaceholder(_) => Err(ExecError::Uninstantiated),
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_expr(lhs, table, row, highlights)?;
+            let b = eval_expr(rhs, table, row, highlights)?;
+            let (Some(x), Some(y)) = (a.as_number(), b.as_number()) else {
+                return Ok(Value::Null);
+            };
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Err(ExecError::DivisionByZero);
+                    }
+                    x / y
+                }
+            };
+            Ok(Value::number(r))
+        }
+    }
+}
+
+fn eval_cond(
+    c: &Cond,
+    table: &Table,
+    row: usize,
+    highlights: &mut FxHashSet<(usize, usize)>,
+) -> Result<bool, ExecError> {
+    match c {
+        Cond::Compare { op, lhs, rhs } => {
+            let a = eval_expr(lhs, table, row, highlights)?;
+            let b = eval_expr(rhs, table, row, highlights)?;
+            if a.is_null() || b.is_null() {
+                return Ok(false); // SQL three-valued logic: NULL compares false
+            }
+            Ok(match op {
+                CmpOp::Eq => a.loosely_equals(&b),
+                CmpOp::NotEq => !a.loosely_equals(&b),
+                CmpOp::Lt => compare_lt(&a, &b),
+                CmpOp::Gt => compare_lt(&b, &a),
+                CmpOp::LtEq => !compare_lt(&b, &a),
+                CmpOp::GtEq => !compare_lt(&a, &b),
+            })
+        }
+        Cond::And(x, y) => Ok(eval_cond(x, table, row, highlights)? && eval_cond(y, table, row, highlights)?),
+        Cond::Or(x, y) => Ok(eval_cond(x, table, row, highlights)? || eval_cond(y, table, row, highlights)?),
+    }
+}
+
+/// `<` with numeric coercion where possible, else the total `Value` order.
+fn compare_lt(a: &Value, b: &Value) -> bool {
+    match (a.as_number(), b.as_number()) {
+        (Some(x), Some(y)) => x < y,
+        _ => a < b,
+    }
+}
+
+fn eval_aggregate(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+    table: &Table,
+    rows: &[usize],
+    highlights: &mut FxHashSet<(usize, usize)>,
+) -> Result<Value, ExecError> {
+    // COUNT(*) counts rows.
+    let Some(arg) = arg else {
+        return Ok(Value::Number(rows.len() as f64));
+    };
+    let mut values: Vec<Value> = Vec::with_capacity(rows.len());
+    for &ri in rows {
+        let v = eval_expr(arg, table, ri, highlights)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut uniq: Vec<Value> = Vec::new();
+        for v in values {
+            if !uniq.iter().any(|u| u.loosely_equals(&v)) {
+                uniq.push(v);
+            }
+        }
+        values = uniq;
+    }
+    match func {
+        AggFunc::Count => Ok(Value::Number(values.len() as f64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(Value::as_number).collect();
+            if nums.is_empty() {
+                return Ok(Value::Null);
+            }
+            let s: f64 = nums.iter().sum();
+            Ok(Value::number(if func == AggFunc::Sum { s } else { s / nums.len() as f64 }))
+        }
+        AggFunc::Min => Ok(values.into_iter().min().unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(values.into_iter().max().unwrap_or(Value::Null)),
+    }
+}
+
+/// Convenience: parse + execute.
+pub fn run_sql(query: &str, table: &Table) -> Result<QueryResult, String> {
+    let stmt = crate::parser::parse(query).map_err(|e| e.to_string())?;
+    execute(&stmt, table).map_err(|e| e.to_string())
+}
+
+/// Formats a value list the way denotation accuracy compares answers.
+pub fn denotation_string(values: &[Value]) -> String {
+    values
+        .iter()
+        .map(|v| match v {
+            Value::Number(n) => format_number(*n),
+            other => other.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "Departments",
+            &[
+                vec!["department", "total deputies", "budget", "founded"],
+                vec!["Commerce", "18", "500", "1913-03-04"],
+                vec!["Defense", "42", "9000", "1947-09-18"],
+                vec!["Treasury", "30", "3000", "1789-09-02"],
+                vec!["Energy", "12", "700", "1977-08-04"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_with_order_limit() {
+        let r = run_sql("select [department] from w order by [total deputies] desc limit 1", &table()).unwrap();
+        assert_eq!(r.answer_text(), "Defense");
+    }
+
+    #[test]
+    fn select_where_eq() {
+        let r = run_sql("select [budget] from w where [department] = 'Treasury'", &table()).unwrap();
+        assert_eq!(r.answer_text(), "3000");
+    }
+
+    #[test]
+    fn where_case_insensitive_text_match() {
+        let r = run_sql("select [budget] from w where [department] = 'treasury'", &table()).unwrap();
+        assert_eq!(r.answer_text(), "3000");
+    }
+
+    #[test]
+    fn count_star_with_filter() {
+        let r = run_sql("select count(*) from w where [total deputies] > 15", &table()).unwrap();
+        assert_eq!(r.answer_text(), "3");
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let r = run_sql("select sum([budget]) from w", &table()).unwrap();
+        assert_eq!(r.answer_text(), "13200");
+        let r = run_sql("select avg([total deputies]) from w", &table()).unwrap();
+        assert_eq!(r.answer_text(), "25.5");
+    }
+
+    #[test]
+    fn min_max_on_text() {
+        let r = run_sql("select min([department]) from w", &table()).unwrap();
+        assert_eq!(r.answer_text(), "Commerce");
+        let r = run_sql("select max([department]) from w", &table()).unwrap();
+        assert_eq!(r.answer_text(), "Treasury");
+    }
+
+    #[test]
+    fn arithmetic_diff_between_columns() {
+        let r = run_sql(
+            "select [budget] - [total deputies] from w where [department] = 'Energy'",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.answer_text(), "688");
+    }
+
+    #[test]
+    fn conjunction_where() {
+        let r = run_sql(
+            "select [department] from w where [total deputies] > 15 and [budget] < 4000",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.answer_text(), "Commerce, Treasury");
+    }
+
+    #[test]
+    fn or_where() {
+        let r = run_sql(
+            "select [department] from w where [department] = 'Energy' or [department] = 'Defense'",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.answer_text(), "Defense, Energy");
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let t = Table::from_strings("t", &[vec!["x"], vec!["a"], vec!["a"], vec!["b"]]).unwrap();
+        let r = run_sql("select distinct [x] from w", &t).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn group_by_count() {
+        let t = Table::from_strings(
+            "t",
+            &[vec!["team", "pts"], vec!["a", "1"], vec!["b", "2"], vec!["a", "3"]],
+        )
+        .unwrap();
+        let r = run_sql("select [team], count(*) from w group by [team]", &t).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0].to_string(), "a");
+        assert_eq!(r.rows[0][1], Value::Number(2.0));
+    }
+
+    #[test]
+    fn group_by_sum() {
+        let t = Table::from_strings(
+            "t",
+            &[vec!["team", "pts"], vec!["a", "1"], vec!["b", "2"], vec!["a", "3"]],
+        )
+        .unwrap();
+        let r = run_sql("select [team], sum([pts]) from w group by [team]", &t).unwrap();
+        assert_eq!(r.rows[0][1], Value::Number(4.0));
+        assert_eq!(r.rows[1][1], Value::Number(2.0));
+    }
+
+    #[test]
+    fn empty_result_detected() {
+        let r = run_sql("select [department] from w where [total deputies] > 1000", &table()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unknown_column_error() {
+        let err = run_sql("select [nope] from w", &table()).unwrap_err();
+        assert!(err.contains("unknown column"));
+    }
+
+    #[test]
+    fn uninstantiated_template_error() {
+        let err = run_sql("select c1 from w", &table()).unwrap_err();
+        assert!(err.contains("placeholders"));
+    }
+
+    #[test]
+    fn division_by_zero_error() {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["1", "0"]]).unwrap();
+        let err = run_sql("select [a] / [b] from w", &t).unwrap_err();
+        assert!(err.contains("division"));
+    }
+
+    #[test]
+    fn nulls_filtered_by_comparisons() {
+        let t = Table::from_strings("t", &[vec!["x", "y"], vec!["", "1"], vec!["5", "2"]]).unwrap();
+        let r = run_sql("select [y] from w where [x] > 0", &t).unwrap();
+        assert_eq!(r.answer_text(), "2");
+    }
+
+    #[test]
+    fn date_comparisons() {
+        let r = run_sql(
+            "select [department] from w where [founded] > '1950-01-01'",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.answer_text(), "Energy");
+    }
+
+    #[test]
+    fn highlights_recorded() {
+        let r = run_sql("select [department] from w order by [total deputies] desc limit 1", &table()).unwrap();
+        // Ordering touched column 1 of every row; projection touched (1, 0).
+        assert!(r.highlighted.contains(&(1, 0)));
+        assert!(r.highlighted.contains(&(0, 1)));
+        assert!(r.highlighted.contains(&(3, 1)));
+    }
+
+    #[test]
+    fn order_by_asc_default() {
+        let r = run_sql("select [department] from w order by [budget] limit 2", &table()).unwrap();
+        assert_eq!(r.answer_text(), "Commerce, Energy");
+    }
+
+    #[test]
+    fn count_distinct() {
+        let t = Table::from_strings("t", &[vec!["x"], vec!["a"], vec!["A"], vec!["b"]]).unwrap();
+        let r = run_sql("select count(distinct [x]) from w", &t).unwrap();
+        assert_eq!(r.answer_text(), "2"); // loose (case-insensitive) equality
+    }
+
+    #[test]
+    fn denotation_string_formats_numbers() {
+        let vals = vec![Value::Number(5.0), Value::text("x"), Value::Number(2.5)];
+        assert_eq!(denotation_string(&vals), "5|x|2.5");
+        assert_eq!(denotation_string(&[]), "");
+    }
+
+    #[test]
+    fn group_by_then_limit() {
+        let t = Table::from_strings(
+            "t",
+            &[vec!["team", "pts"], vec!["a", "1"], vec!["b", "2"], vec!["a", "3"], vec!["c", "9"]],
+        )
+        .unwrap();
+        let r = run_sql("select [team], count(*) from w group by [team] limit 2", &t).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn where_on_ordered_limit_applies_before_limit() {
+        // WHERE filters first, then ORDER BY, then LIMIT.
+        let r = run_sql(
+            "select [department] from w where [budget] < 5000 order by [total deputies] desc limit 1",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.answer_text(), "Treasury");
+    }
+
+    #[test]
+    fn aggregate_after_order_limit() {
+        // SQUALL pattern: value of the top row.
+        let r = run_sql(
+            "select max([budget]) from w order by [total deputies] asc limit 2",
+            &table(),
+        )
+        .unwrap();
+        // Two smallest by deputies: Energy (700), Commerce (500) -> max 700.
+        assert_eq!(r.answer_text(), "700");
+    }
+}

@@ -1,0 +1,31 @@
+//! # sqlexec — SQL-subset engine for UCTR
+//!
+//! The reproduction's substitute for the paper's sqlite3 Program-Executor:
+//! a lexer, recursive-descent parser, AST, and executor for the SQL subset
+//! used by SQUALL-style program templates, plus the template
+//! abstraction/instantiation machinery for UCTR's random sampling strategy
+//! (paper §IV-B, §IV-C).
+//!
+//! ```
+//! use tabular::Table;
+//! use sqlexec::run_sql;
+//!
+//! let t = Table::from_strings("deps", &[
+//!     vec!["department", "total deputies"],
+//!     vec!["Commerce", "18"],
+//!     vec!["Defense", "42"],
+//! ]).unwrap();
+//! let r = run_sql("select [department] from w order by [total deputies] desc limit 1", &t).unwrap();
+//! assert_eq!(r.answer_text(), "Defense");
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+pub mod template;
+pub mod token;
+
+pub use ast::{AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, OrderDir, PlaceholderType, SelectItem, SelectStmt};
+pub use exec::{denotation_string, execute, run_sql, ExecError, QueryResult};
+pub use parser::{parse, ParseError};
+pub use template::{abstract_query, SqlTemplate};

@@ -1,0 +1,488 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! stmt      := SELECT [DISTINCT] items FROM w [WHERE cond] [GROUP BY colref]
+//!              [ORDER BY expr (ASC|DESC)?] [LIMIT number] [;]
+//! items     := item (',' item)*
+//! item      := '*' | agg '(' [DISTINCT] (expr | '*') ')' | expr
+//! agg       := COUNT | SUM | AVG | MIN | MAX
+//! cond      := orcond
+//! orcond    := andcond (OR andcond)*
+//! andcond   := cmp (AND cmp)*
+//! cmp       := expr (= | != | <> | < | > | <= | >=) expr | '(' cond ')'
+//! expr      := term ((+|-) term)*
+//! term      := factor ((*|/) factor)*
+//! factor    := colref | literal | valN | '(' expr ')'
+//! colref    := cN[_type] | identifier | [bracketed] | "quoted"
+//! ```
+//!
+//! Identifiers of the form `c<digits>` / `c<digits>_<type>` are parsed as
+//! template column placeholders; `val<digits>` as value placeholders. Any
+//! other identifier is a literal column name.
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Token};
+use std::fmt;
+use tabular::Value;
+
+/// Parser error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    Lex(LexError),
+    /// Unexpected token (or end of input) with a description of what was
+    /// expected.
+    Unexpected { got: Option<Token>, expected: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { got: Some(t), expected } => {
+                write!(f, "unexpected token `{t}`, expected {expected}")
+            }
+            ParseError::Unexpected { got: None, expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses one SELECT statement.
+pub fn parse(input: &str) -> Result<SelectStmt, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_stmt()?;
+    p.eat_optional_semicolon();
+    if let Some(t) = p.peek() {
+        return Err(ParseError::Unexpected { got: Some(t.clone()), expected: "end of input".into() });
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected { got: self.peek().cloned(), expected: format!("keyword `{kw}`") })
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected { got: self.peek().cloned(), expected: format!("`{t}`") })
+        }
+    }
+
+    fn eat_optional_semicolon(&mut self) {
+        if self.peek() == Some(&Token::Semicolon) {
+            self.pos += 1;
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut items = vec![self.select_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        // table name: accept `w` or any identifier (templates always use w)
+        match self.next() {
+            Some(Token::Ident(_)) | Some(Token::QuotedIdent(_)) => {}
+            got => return Err(ParseError::Unexpected { got, expected: "table name".into() }),
+        }
+        let where_clause = if self.eat_keyword("where") { Some(self.cond()?) } else { None };
+        let group_by = if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            Some(self.column_ref()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            let e = self.expr()?;
+            let dir = if self.eat_keyword("desc") {
+                OrderDir::Desc
+            } else {
+                self.eat_keyword("asc");
+                OrderDir::Asc
+            };
+            Some((e, dir))
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("limit") {
+            match self.next() {
+                Some(Token::NumberLit(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                got => return Err(ParseError::Unexpected { got, expected: "non-negative integer".into() }),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, distinct, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate?
+        if let Some(Token::Ident(s)) = self.peek() {
+            let func = match s.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "avg" => Some(AggFunc::Avg),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2;
+                    let distinct = self.eat_keyword("distinct");
+                    let arg = if self.peek() == Some(&Token::Star) {
+                        self.pos += 1;
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(&Token::RParen)?;
+                    return Ok(SelectItem::Aggregate { func, arg, distinct });
+                }
+            }
+        }
+        Ok(SelectItem::Expr(self.expr()?))
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let mut lhs = self.and_cond()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_cond()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut lhs = self.cmp()?;
+        while self.eat_keyword("and") {
+            let rhs = self.cmp()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Cond, ParseError> {
+        // Parenthesized sub-condition: look ahead to decide between
+        // `( cond )` and `( expr ) op expr`. We try cond first and fall back.
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.cond() {
+                if self.peek() == Some(&Token::RParen) {
+                    self.pos += 1;
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        let lhs = self.expr()?;
+        let op = match self.next() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::NotEq) => CmpOp::NotEq,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::LtEq) => CmpOp::LtEq,
+            Some(Token::GtEq) => CmpOp::GtEq,
+            got => return Err(ParseError::Unexpected { got, expected: "comparison operator".into() }),
+        };
+        let rhs = self.expr()?;
+        Ok(Cond::Compare { op, lhs, rhs })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::NumberLit(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Number(n)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::NumberLit(n)) => Ok(Expr::Literal(Value::Number(-n))),
+                    got => Err(ParseError::Unexpected { got, expected: "number after unary minus".into() }),
+                }
+            }
+            Some(Token::StringLit(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::parse(&s)))
+            }
+            Some(Token::Ident(s)) => {
+                if let Some(idx) = parse_value_placeholder(&s) {
+                    self.pos += 1;
+                    return Ok(Expr::ValuePlaceholder(idx));
+                }
+                if s.eq_ignore_ascii_case("null") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if s.eq_ignore_ascii_case("true") || s.eq_ignore_ascii_case("false") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Bool(s.eq_ignore_ascii_case("true"))));
+                }
+                Ok(Expr::Column(self.column_ref()?))
+            }
+            Some(Token::QuotedIdent(_)) => Ok(Expr::Column(self.column_ref()?)),
+            got => Err(ParseError::Unexpected { got, expected: "expression".into() }),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => {
+                if let Some(ph) = parse_column_placeholder(&s) {
+                    Ok(ph)
+                } else {
+                    Ok(ColumnRef::Named(s))
+                }
+            }
+            Some(Token::QuotedIdent(s)) => Ok(ColumnRef::Named(s)),
+            got => Err(ParseError::Unexpected { got, expected: "column reference".into() }),
+        }
+    }
+}
+
+/// Recognizes `c3` / `c3_number` / `c3_date` / `c3_text` placeholders.
+fn parse_column_placeholder(s: &str) -> Option<ColumnRef> {
+    let rest = s.strip_prefix('c')?;
+    let (digits, suffix) = match rest.find('_') {
+        Some(p) => (&rest[..p], Some(&rest[p + 1..])),
+        None => (rest, None),
+    };
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let index: usize = digits.parse().ok()?;
+    let ty = match suffix {
+        None => None,
+        Some("number") => Some(PlaceholderType::Number),
+        Some("date") => Some(PlaceholderType::Date),
+        Some("text") => Some(PlaceholderType::Text),
+        Some(_) => return None, // `c1_foo` is a real column name, not a hole
+    };
+    Some(ColumnRef::Placeholder { index, ty })
+}
+
+/// Recognizes `val1`, `val2`, ... placeholders.
+fn parse_value_placeholder(s: &str) -> Option<usize> {
+    let digits = s.strip_prefix("val")?;
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_squall_style_template() {
+        let stmt = parse("select c1 from w order by c2_number desc limit 1").unwrap();
+        assert!(stmt.has_placeholders());
+        assert_eq!(stmt.limit, Some(1));
+        let (e, dir) = stmt.order_by.as_ref().unwrap();
+        assert_eq!(dir, &OrderDir::Desc);
+        assert_eq!(
+            e,
+            &Expr::Column(ColumnRef::Placeholder { index: 2, ty: Some(PlaceholderType::Number) })
+        );
+    }
+
+    #[test]
+    fn parse_where_conjunction() {
+        let stmt = parse("select c1 from w where c2 = val1 and c3_number > val2").unwrap();
+        match stmt.where_clause.as_ref().unwrap() {
+            Cond::And(a, b) => {
+                assert!(matches!(**a, Cond::Compare { op: CmpOp::Eq, .. }));
+                assert!(matches!(**b, Cond::Compare { op: CmpOp::Gt, .. }));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_aggregates() {
+        let stmt = parse("select count ( * ) from w").unwrap();
+        assert_eq!(stmt.items, vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }]);
+        let stmt = parse("select sum(c2_number) from w where c1 = 'x'").unwrap();
+        assert!(matches!(stmt.items[0], SelectItem::Aggregate { func: AggFunc::Sum, .. }));
+        let stmt = parse("select count(distinct c1) from w").unwrap();
+        assert!(matches!(stmt.items[0], SelectItem::Aggregate { distinct: true, .. }));
+    }
+
+    #[test]
+    fn parse_arithmetic_in_select() {
+        let stmt = parse("select c2_number - c3_number from w where c1 = val1").unwrap();
+        match &stmt.items[0] {
+            SelectItem::Expr(Expr::Binary { op: ArithOp::Sub, .. }) => {}
+            other => panic!("expected Binary Sub, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_named_columns_with_spaces() {
+        let stmt = parse("select [total deputies] from w where [department] = 'Defense'").unwrap();
+        assert!(!stmt.has_placeholders());
+        assert_eq!(
+            stmt.items[0],
+            SelectItem::Expr(Expr::Column(ColumnRef::Named("total deputies".into())))
+        );
+    }
+
+    #[test]
+    fn parse_or_condition() {
+        let stmt = parse("select c1 from w where c2 = 1 or c2 = 2").unwrap();
+        assert!(matches!(stmt.where_clause, Some(Cond::Or(_, _))));
+    }
+
+    #[test]
+    fn parse_parenthesized_condition() {
+        let stmt = parse("select c1 from w where ( c2 = 1 or c2 = 2 ) and c3 > 0").unwrap();
+        match stmt.where_clause.as_ref().unwrap() {
+            Cond::And(a, _) => assert!(matches!(**a, Cond::Or(_, _))),
+            other => panic!("expected And(Or, _), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let queries = [
+            "select c1 from w order by c2_number desc limit 1",
+            "select count ( * ) from w where c1 = 'x'",
+            "select sum ( c2_number ) from w where c3 = val1 and c4_number > val2",
+            "select distinct c1 from w",
+            "select [a b] from w where [c d] = 'v' order by [e f] asc",
+            "select c1 , c2 from w group by c1",
+        ];
+        for q in queries {
+            let stmt = parse(q).unwrap();
+            let rendered = stmt.to_string();
+            let reparsed = parse(&rendered).unwrap_or_else(|e| panic!("reparse `{rendered}`: {e}"));
+            assert_eq!(stmt, reparsed, "roundtrip failed for {q}");
+        }
+    }
+
+    #[test]
+    fn group_by_parses() {
+        let stmt = parse("select c1, count(*) from w group by c1").unwrap();
+        assert_eq!(stmt.group_by, Some(ColumnRef::Placeholder { index: 1, ty: None }));
+    }
+
+    #[test]
+    fn c_prefixed_real_names_not_placeholders() {
+        let stmt = parse("select city from w").unwrap();
+        assert!(!stmt.has_placeholders());
+        let stmt = parse("select c1_foo from w").unwrap();
+        assert!(!stmt.has_placeholders());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("select from w").is_err());
+        assert!(parse("select c1 from").is_err());
+        assert!(parse("select c1 from w limit -1").is_err());
+        assert!(parse("select c1 from w where").is_err());
+        assert!(parse("select c1 from w extra").is_err());
+    }
+
+    #[test]
+    fn unary_minus_literal() {
+        let stmt = parse("select c1 from w where c2_number > -5").unwrap();
+        match stmt.where_clause.as_ref().unwrap() {
+            Cond::Compare { rhs: Expr::Literal(Value::Number(n)), .. } => assert_eq!(*n, -5.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

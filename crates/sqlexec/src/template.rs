@@ -1,0 +1,458 @@
+//! SQL template abstraction and sampling.
+//!
+//! Implements the paper's program-template machinery for SQL queries
+//! (§IV-B/§IV-C): a template is a `SelectStmt` whose column references are
+//! placeholders (`c1`, `c2_number`) and whose compared constants are value
+//! placeholders (`val1`). [`SqlTemplate::instantiate`] performs the random
+//! sampling strategy — column placeholders are filled with randomly chosen
+//! columns of a matching type, then each value placeholder is filled with a
+//! random cell value *from the column it is compared against*, which keeps
+//! the internal relationships of the original program intact.
+//!
+//! The inverse direction, [`abstract_query`], turns a concrete query into a
+//! template (used when mining templates from a seed corpus) and produces the
+//! normalized signature used for the redundancy filtration step.
+
+use crate::ast::*;
+use crate::parser::{parse, ParseError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+use tabular::{ColumnType, Table, Value};
+
+/// A reusable SQL program template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlTemplate {
+    stmt: SelectStmt,
+}
+
+impl SqlTemplate {
+    /// Parses template text such as
+    /// `select c1 from w order by c2_number desc limit 1`.
+    pub fn parse(text: &str) -> Result<SqlTemplate, ParseError> {
+        Ok(SqlTemplate { stmt: parse(text)? })
+    }
+
+    /// Wraps an already parsed statement.
+    pub fn from_stmt(stmt: SelectStmt) -> SqlTemplate {
+        SqlTemplate { stmt }
+    }
+
+    /// The underlying (hole-y) statement.
+    pub fn stmt(&self) -> &SelectStmt {
+        &self.stmt
+    }
+
+    /// Normalized signature for deduplication: the rendered template text.
+    /// Two mined queries with the same logic structure abstract to the same
+    /// signature (paper: "dropping redundant program templates").
+    pub fn signature(&self) -> String {
+        self.stmt.to_string()
+    }
+
+    /// Distinct column placeholders with their type constraints, in
+    /// first-appearance order.
+    pub fn column_holes(&self) -> Vec<(usize, Option<PlaceholderType>)> {
+        let mut seen: Vec<(usize, Option<PlaceholderType>)> = Vec::new();
+        self.stmt.visit_columns(&mut |c| {
+            if let ColumnRef::Placeholder { index, ty } = c {
+                if !seen.iter().any(|(i, _)| i == index) {
+                    seen.push((*index, *ty));
+                }
+            }
+        });
+        seen
+    }
+
+    /// Instantiates the template on `table` using the random sampling
+    /// strategy. Returns `None` when the table cannot satisfy the template
+    /// (e.g. it needs two numeric columns but the table has one).
+    pub fn instantiate(&self, table: &Table, rng: &mut impl Rng) -> Option<SelectStmt> {
+        let mut holes = self.column_holes();
+        // Assign typed holes first so an untyped hole cannot steal the only
+        // column satisfying a type constraint.
+        holes.sort_by_key(|(_, ty)| ty.is_none());
+        let mut available: Vec<usize> = (0..table.n_cols()).collect();
+        available.shuffle(rng);
+        let mut assignment: FxHashMap<usize, usize> = FxHashMap::default();
+        for (hole_idx, ty) in &holes {
+            let pos = available.iter().position(|&ci| {
+                let col_ty = table.schema().column(ci).map(|c| c.ty);
+                match ty {
+                    None => true,
+                    Some(PlaceholderType::Number) => {
+                        matches!(col_ty, Some(ColumnType::Number))
+                    }
+                    Some(PlaceholderType::Date) => matches!(col_ty, Some(ColumnType::Date)),
+                    Some(PlaceholderType::Text) => matches!(col_ty, Some(ColumnType::Text)),
+                }
+            })?;
+            let ci = available.remove(pos);
+            assignment.insert(*hole_idx, ci);
+        }
+        // Pair each value placeholder with the column placeholder it is
+        // compared against, then sample a value from that column.
+        let pairs = value_hole_columns(&self.stmt);
+        let mut value_assignment: FxHashMap<usize, Value> = FxHashMap::default();
+        for (val_idx, col_hole) in pairs {
+            let ci = *assignment.get(&col_hole)?;
+            let candidates: Vec<Value> = table
+                .column_values(ci)
+                .into_iter()
+                .filter(|v| !v.is_null())
+                .collect();
+            let v = candidates.choose(rng)?.clone();
+            value_assignment.insert(val_idx, v);
+        }
+        let stmt = substitute(&self.stmt, table, &assignment, &value_assignment)?;
+        debug_assert!(!stmt.has_placeholders());
+        Some(stmt)
+    }
+}
+
+/// For every `valN` placeholder, the index of the column placeholder it is
+/// compared against. Returns `None`-free map only for well-formed templates;
+/// unpaired value holes are simply missing from the result (instantiation
+/// will then fail, which discards the malformed template).
+fn value_hole_columns(stmt: &SelectStmt) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    fn scan_cond(c: &Cond, pairs: &mut Vec<(usize, usize)>) {
+        match c {
+            Cond::Compare { lhs, rhs, .. } => {
+                scan_pair(lhs, rhs, pairs);
+                scan_pair(rhs, lhs, pairs);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                scan_cond(a, pairs);
+                scan_cond(b, pairs);
+            }
+        }
+    }
+    fn scan_pair(a: &Expr, b: &Expr, pairs: &mut Vec<(usize, usize)>) {
+        if let (Expr::ValuePlaceholder(v), Expr::Column(ColumnRef::Placeholder { index, .. })) = (a, b) {
+            pairs.push((*v, *index));
+        }
+    }
+    if let Some(w) = &stmt.where_clause {
+        scan_cond(w, &mut pairs);
+    }
+    pairs
+}
+
+fn substitute(
+    stmt: &SelectStmt,
+    table: &Table,
+    cols: &FxHashMap<usize, usize>,
+    vals: &FxHashMap<usize, Value>,
+) -> Option<SelectStmt> {
+    let sub_col = |c: &ColumnRef| -> Option<ColumnRef> {
+        match c {
+            ColumnRef::Named(n) => Some(ColumnRef::Named(n.clone())),
+            ColumnRef::Placeholder { index, .. } => {
+                let ci = cols.get(index)?;
+                Some(ColumnRef::Named(table.column_name(*ci)?.to_string()))
+            }
+        }
+    };
+    fn sub_expr(
+        e: &Expr,
+        sub_col: &impl Fn(&ColumnRef) -> Option<ColumnRef>,
+        vals: &FxHashMap<usize, Value>,
+    ) -> Option<Expr> {
+        Some(match e {
+            Expr::Column(c) => Expr::Column(sub_col(c)?),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::ValuePlaceholder(i) => Expr::Literal(vals.get(i)?.clone()),
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(sub_expr(lhs, sub_col, vals)?),
+                rhs: Box::new(sub_expr(rhs, sub_col, vals)?),
+            },
+        })
+    }
+    fn sub_cond(
+        c: &Cond,
+        sub_col: &impl Fn(&ColumnRef) -> Option<ColumnRef>,
+        vals: &FxHashMap<usize, Value>,
+    ) -> Option<Cond> {
+        Some(match c {
+            Cond::Compare { op, lhs, rhs } => Cond::Compare {
+                op: *op,
+                lhs: sub_expr(lhs, sub_col, vals)?,
+                rhs: sub_expr(rhs, sub_col, vals)?,
+            },
+            Cond::And(a, b) => Cond::And(
+                Box::new(sub_cond(a, sub_col, vals)?),
+                Box::new(sub_cond(b, sub_col, vals)?),
+            ),
+            Cond::Or(a, b) => Cond::Or(
+                Box::new(sub_cond(a, sub_col, vals)?),
+                Box::new(sub_cond(b, sub_col, vals)?),
+            ),
+        })
+    }
+    let items = stmt
+        .items
+        .iter()
+        .map(|i| {
+            Some(match i {
+                SelectItem::Star => SelectItem::Star,
+                SelectItem::Expr(e) => SelectItem::Expr(sub_expr(e, &sub_col, vals)?),
+                SelectItem::Aggregate { func, arg, distinct } => SelectItem::Aggregate {
+                    func: *func,
+                    arg: match arg {
+                        Some(e) => Some(sub_expr(e, &sub_col, vals)?),
+                        None => None,
+                    },
+                    distinct: *distinct,
+                },
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(SelectStmt {
+        items,
+        distinct: stmt.distinct,
+        where_clause: match &stmt.where_clause {
+            Some(w) => Some(sub_cond(w, &sub_col, vals)?),
+            None => None,
+        },
+        group_by: match &stmt.group_by {
+            Some(g) => Some(sub_col(g)?),
+            None => None,
+        },
+        order_by: match &stmt.order_by {
+            Some((e, d)) => Some((sub_expr(e, &sub_col, vals)?, *d)),
+            None => None,
+        },
+        limit: stmt.limit,
+    })
+}
+
+/// Abstracts a concrete query over `table` into a template: each distinct
+/// named column becomes `cN` (with a `_number`/`_date` suffix from the
+/// table's schema), and each literal compared against a column becomes
+/// `valN`. Used by the template mining step (§IV-B).
+pub fn abstract_query(stmt: &SelectStmt, table: &Table) -> SqlTemplate {
+    let mut col_map: FxHashMap<String, usize> = FxHashMap::default();
+    let mut next_col = 1usize;
+    let mut next_val = 1usize;
+
+    let mut map_col = |c: &ColumnRef| -> ColumnRef {
+        match c {
+            ColumnRef::Named(name) => {
+                let key = name.to_ascii_lowercase();
+                let index = *col_map.entry(key).or_insert_with(|| {
+                    let i = next_col;
+                    next_col += 1;
+                    i
+                });
+                let ty = table
+                    .column_index(name)
+                    .and_then(|ci| table.schema().column(ci))
+                    .and_then(|c| match c.ty {
+                        ColumnType::Number => Some(PlaceholderType::Number),
+                        ColumnType::Date => Some(PlaceholderType::Date),
+                        _ => None,
+                    });
+                ColumnRef::Placeholder { index, ty }
+            }
+            other => other.clone(),
+        }
+    };
+
+    fn abs_expr(e: &Expr, map_col: &mut impl FnMut(&ColumnRef) -> ColumnRef) -> Expr {
+        match e {
+            Expr::Column(c) => Expr::Column(map_col(c)),
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(abs_expr(lhs, map_col)),
+                rhs: Box::new(abs_expr(rhs, map_col)),
+            },
+            other => other.clone(),
+        }
+    }
+
+    fn abs_cond(
+        c: &Cond,
+        map_col: &mut impl FnMut(&ColumnRef) -> ColumnRef,
+        next_val: &mut usize,
+    ) -> Cond {
+        match c {
+            Cond::Compare { op, lhs, rhs } => {
+                // Literal compared against a column becomes a value hole.
+                let (mut l, mut r) = (abs_expr(lhs, map_col), abs_expr(rhs, map_col));
+                if matches!(l, Expr::Column(ColumnRef::Placeholder { .. })) && matches!(r, Expr::Literal(_)) {
+                    r = Expr::ValuePlaceholder(*next_val);
+                    *next_val += 1;
+                } else if matches!(r, Expr::Column(ColumnRef::Placeholder { .. }))
+                    && matches!(l, Expr::Literal(_))
+                {
+                    l = Expr::ValuePlaceholder(*next_val);
+                    *next_val += 1;
+                }
+                Cond::Compare { op: *op, lhs: l, rhs: r }
+            }
+            Cond::And(a, b) => Cond::And(
+                Box::new(abs_cond(a, map_col, next_val)),
+                Box::new(abs_cond(b, map_col, next_val)),
+            ),
+            Cond::Or(a, b) => Cond::Or(
+                Box::new(abs_cond(a, map_col, next_val)),
+                Box::new(abs_cond(b, map_col, next_val)),
+            ),
+        }
+    }
+
+    let items = stmt
+        .items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Star => SelectItem::Star,
+            SelectItem::Expr(e) => SelectItem::Expr(abs_expr(e, &mut map_col)),
+            SelectItem::Aggregate { func, arg, distinct } => SelectItem::Aggregate {
+                func: *func,
+                arg: arg.as_ref().map(|e| abs_expr(e, &mut map_col)),
+                distinct: *distinct,
+            },
+        })
+        .collect();
+    let where_clause = stmt
+        .where_clause
+        .as_ref()
+        .map(|w| abs_cond(w, &mut map_col, &mut next_val));
+    let group_by = stmt.group_by.as_ref().map(&mut map_col);
+    let order_by = stmt
+        .order_by
+        .as_ref()
+        .map(|(e, d)| (abs_expr(e, &mut map_col), *d));
+    SqlTemplate {
+        stmt: SelectStmt {
+            items,
+            distinct: stmt.distinct,
+            where_clause,
+            group_by,
+            order_by,
+            limit: stmt.limit,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "t",
+            &[
+                vec!["name", "city", "score", "year"],
+                vec!["alpha", "oslo", "10", "2001-01-01"],
+                vec!["beta", "lima", "25", "2005-06-05"],
+                vec!["gamma", "kyiv", "17", "1999-12-31"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instantiate_superlative_template() {
+        let tpl = SqlTemplate::parse("select c1 from w order by c2_number desc limit 1").unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
+        assert!(!stmt.has_placeholders());
+        let r = execute(&stmt, &table()).unwrap();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn instantiate_respects_type_constraints() {
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
+            let rendered = stmt.to_string();
+            // The compared column must be the (only) numeric column `score`.
+            assert!(rendered.contains("score >"), "got {rendered}");
+        }
+    }
+
+    #[test]
+    fn instantiate_value_comes_from_bound_column() {
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number = val1").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
+            let r = execute(&stmt, &table()).unwrap();
+            // Sampling from the real column means equality always matches.
+            assert!(!r.is_empty(), "instantiated query found nothing: {stmt}");
+        }
+    }
+
+    #[test]
+    fn instantiate_fails_when_types_unavailable() {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]]).unwrap();
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(tpl.instantiate(&t, &mut rng).is_none());
+    }
+
+    #[test]
+    fn instantiate_distinct_columns_for_distinct_holes() {
+        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
+            // c1 and c2 must not both map to the same column.
+            let rendered = stmt.to_string();
+            let sel_col = rendered.split_whitespace().nth(1).unwrap().to_string();
+            assert!(!rendered[rendered.find("where").unwrap()..].starts_with(&format!("where {sel_col} =")));
+        }
+    }
+
+    #[test]
+    fn abstraction_dedups_same_structure() {
+        let t = table();
+        let a = parse("select [name] from w order by [score] desc limit 1").unwrap();
+        let b = parse("select [city] from w order by [score] desc limit 1").unwrap();
+        let sig_a = abstract_query(&a, &t).signature();
+        let sig_b = abstract_query(&b, &t).signature();
+        assert_eq!(sig_a, sig_b);
+        assert_eq!(sig_a, "select c1 from w order by c2_number desc limit 1");
+    }
+
+    #[test]
+    fn abstraction_introduces_value_holes() {
+        let t = table();
+        let q = parse("select [score] from w where [name] = 'alpha'").unwrap();
+        let sig = abstract_query(&q, &t).signature();
+        assert_eq!(sig, "select c1_number from w where c2 = val1");
+    }
+
+    #[test]
+    fn abstract_then_instantiate_roundtrip_executes() {
+        let t = table();
+        let q = parse("select count(*) from w where [score] > 12").unwrap();
+        let tpl = abstract_query(&q, &t);
+        let mut rng = StdRng::seed_from_u64(21);
+        let stmt = tpl.instantiate(&t, &mut rng).unwrap();
+        let r = execute(&stmt, &t).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn column_holes_reports_types() {
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1 and c3_date = val2").unwrap();
+        let holes = tpl.column_holes();
+        assert_eq!(
+            holes,
+            vec![
+                (1, None),
+                (2, Some(PlaceholderType::Number)),
+                (3, Some(PlaceholderType::Date)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! SQL lexer.
+//!
+//! Tokenizes the SQL-query subset used by UCTR's program templates (mined
+//! from SQUALL): `SELECT ... FROM w [WHERE ...] [GROUP BY ...]
+//! [ORDER BY ...] [LIMIT n]`. Identifiers may be bare (`c1`, `w`), quoted
+//! with double quotes, or bracketed (`[total deputies]`) so templates can
+//! reference real-world column headers containing spaces.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or bare identifier (keywords are recognized in the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// `[bracketed name]` or `"quoted name"` identifier.
+    QuotedIdent(String),
+    /// String literal in single quotes.
+    StringLit(String),
+    /// Numeric literal.
+    NumberLit(f64),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::QuotedIdent(s) => write!(f, "[{s}]"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::NumberLit(n) => write!(f, "{n}"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::LtEq => write!(f, "<="),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Lexer error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an input SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError { pos: start, message: "unterminated string literal".into() })
+                        }
+                    }
+                }
+                out.push(Token::StringLit(s));
+            }
+            '"' | '[' => {
+                let close = if c == '"' { '"' } else { ']' };
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(&ch) if ch == close => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError { pos: start, message: "unterminated quoted identifier".into() })
+                        }
+                    }
+                }
+                out.push(Token::QuotedIdent(s));
+            }
+            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| LexError { pos: start, message: format!("bad number: {text}") })?;
+                out.push(Token::NumberLit(n));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_query() {
+        let toks = lex("select c1 from w where c2 = 'x'").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert_eq!(toks[6], Token::Eq);
+        assert_eq!(toks[7], Token::StringLit("x".into()));
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = lex("<= >= != <> < > = + - * /").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LtEq,
+                Token::GtEq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_bracketed_identifier() {
+        let toks = lex("select [total deputies] from w").unwrap();
+        assert_eq!(toks[1], Token::QuotedIdent("total deputies".into()));
+    }
+
+    #[test]
+    fn lex_quoted_identifier() {
+        let toks = lex("select \"total deputies\" from w").unwrap();
+        assert_eq!(toks[1], Token::QuotedIdent("total deputies".into()));
+    }
+
+    #[test]
+    fn lex_escaped_quote_in_string() {
+        let toks = lex("select c1 from w where c2 = 'it''s'").unwrap();
+        assert!(matches!(&toks[7], Token::StringLit(s) if s == "it's"));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let toks = lex("limit 10").unwrap();
+        assert_eq!(toks[1], Token::NumberLit(10.0));
+        let toks = lex("where x = 3.5").unwrap();
+        assert_eq!(toks[3], Token::NumberLit(3.5));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("[unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a ? b").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! CSV and JSON (de)serialization for tables.
+//!
+//! The experiment harness writes generated corpora to disk and the examples
+//! load tables from CSV, so the table type needs a small, dependency-light
+//! I/O layer. The CSV dialect here supports quoted fields with embedded
+//! commas/newlines and doubled-quote escapes — enough for the synthetic
+//! corpora and typical exported spreadsheets.
+
+use crate::table::{Table, TableError};
+use std::fmt;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote { line: usize },
+    /// Structural error constructing the table.
+    Table(TableError),
+    /// Input had no header row.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::Table(e) => write!(f, "{e}"),
+            CsvError::Empty => write!(f, "empty CSV input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> Self {
+        CsvError::Table(e)
+    }
+}
+
+/// Splits CSV text into records of fields, honoring quotes.
+pub fn parse_csv_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut quote_start_line = 1usize;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    quote_start_line = line;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    // Skip blank lines.
+                    if !(record.len() == 1 && record[0].is_empty()) {
+                        records.push(std::mem::take(&mut record));
+                    } else {
+                        record.clear();
+                    }
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_start_line });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parses a CSV document (first record = header) into a typed [`Table`].
+pub fn table_from_csv(title: &str, input: &str) -> Result<Table, CsvError> {
+    let records = parse_csv_records(input)?;
+    if records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let grid: Vec<Vec<&str>> = records
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    Ok(Table::from_strings(title, &grid)?)
+}
+
+/// Quotes a CSV field if it contains a delimiter, quote, or newline.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes a table to CSV (header + rows).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote_field(&c.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let cells: Vec<String> = row.iter().map(|v| quote_field(&v.to_string())).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    #[test]
+    fn simple_roundtrip() {
+        let csv = "name,score\nalpha,3\nbeta,5\n";
+        let t = table_from_csv("t", csv).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.schema().column(1).unwrap().ty, ColumnType::Number);
+        let back = table_to_csv(&t);
+        let t2 = table_from_csv("t", &back).unwrap();
+        assert_eq!(t.rows(), t2.rows());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "name,desc\n\"Smith, John\",\"said \"\"hi\"\"\"\n";
+        let t = table_from_csv("t", csv).unwrap();
+        assert_eq!(t.cell(0, 0).unwrap().to_string(), "Smith, John");
+        assert_eq!(t.cell(0, 1).unwrap().to_string(), "said \"hi\"");
+    }
+
+    #[test]
+    fn quoted_newline_preserved() {
+        let csv = "a,b\n\"line1\nline2\",x\n";
+        let t = table_from_csv("t", csv).unwrap();
+        assert_eq!(t.cell(0, 0).unwrap().to_string(), "line1\nline2");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = table_from_csv("t", "a,b\n\"oops,1\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a\n1\n\n2\n";
+        let t = table_from_csv("t", csv).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(table_from_csv("t", "").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let t = table_from_csv("t", "a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.n_cols(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip_via_serde() {
+        let t = table_from_csv("t", "a,b\n1,x\n").unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let t2: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, t2);
+    }
+}

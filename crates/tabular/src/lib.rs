@@ -1,0 +1,34 @@
+//! # tabular — relational tables for UCTR
+//!
+//! The substrate data model for the UCTR reproduction: dynamically typed
+//! cell [`Value`]s with a total order, typed [`Schema`]s with inference,
+//! the [`Table`] container with the row/column algebra all three program
+//! executors build on, CSV/JSON I/O, and the text utilities (tokenization,
+//! token-F1, sentence splitting) shared by the generator, the operators and
+//! the reasoning models.
+//!
+//! ```
+//! use tabular::{Table, Value};
+//!
+//! let t = Table::from_strings(
+//!     "Departments",
+//!     &[
+//!         vec!["department", "total deputies"],
+//!         vec!["Commerce", "18"],
+//!         vec!["Defense", "42"],
+//!     ],
+//! ).unwrap();
+//! assert_eq!(t.argmax(1), Some(1));
+//! assert_eq!(t.cell(1, 0), Some(&Value::text("Defense")));
+//! ```
+
+pub mod io;
+pub mod schema;
+pub mod table;
+pub mod text;
+pub mod value;
+
+pub use io::{table_from_csv, table_to_csv, CsvError};
+pub use schema::{infer_column_type, Column, ColumnType, Schema};
+pub use table::{Table, TableBuilder, TableError};
+pub use value::{format_number, nearly_equal, Date, Value};

@@ -1,0 +1,186 @@
+//! Table-To-Text operator (paper §IV-A, Eq. 5: `f(T) → T_sub, S`).
+//!
+//! Follows MQA-QG's `DescribeEnt`: one table row is verbalized into a
+//! natural-language sentence, and the row is removed from the table. The
+//! paper adds a *filtering step* — "if important information in the table
+//! is missing from the generated sentence, we will discard it" — which is
+//! implemented here as a faithfulness check that every non-null cell value
+//! of the row is recoverable from the sentence.
+
+use rand::Rng;
+use tabular::{ColumnType, Table, Value};
+
+/// Index of the column that names the row's entity: the first text column,
+/// else column 0.
+pub fn entity_column(table: &Table) -> usize {
+    table
+        .schema()
+        .columns()
+        .iter()
+        .position(|c| c.ty == ColumnType::Text)
+        .unwrap_or(0)
+}
+
+/// Verbalizes a row into a sentence ("Defense has a total deputies of 42
+/// and a budget of 9000.").
+pub fn describe_row(table: &Table, row: usize, rng: &mut impl Rng) -> Option<String> {
+    let cells = table.row(row)?;
+    let ecol = entity_column(table);
+    let entity = cells.get(ecol).filter(|v| !v.is_null())?.to_string();
+    let mut facts: Vec<String> = Vec::new();
+    for (ci, v) in cells.iter().enumerate() {
+        if ci == ecol || v.is_null() {
+            continue;
+        }
+        let col = table.column_name(ci)?;
+        facts.push(match rng.gen_range(0..3) {
+            0 => format!("a {col} of {v}"),
+            1 => format!("a recorded {col} of {v}"),
+            _ => format!("{col} equal to {v}"),
+        });
+    }
+    if facts.is_empty() {
+        return None;
+    }
+    let joined = match facts.len() {
+        1 => facts.remove(0),
+        _ => {
+            let last = facts.pop().unwrap();
+            format!("{} and {}", facts.join(", "), last)
+        }
+    };
+    let frame = match rng.gen_range(0..2) {
+        0 => format!("{entity} has {joined}."),
+        _ => format!("In {}, {entity} has {joined}.", table.title),
+    };
+    Some(frame)
+}
+
+/// The faithfulness filter: true when every non-null cell value of `row`
+/// appears in `sentence` (so no table information was lost by generation).
+pub fn is_faithful(table: &Table, row: usize, sentence: &str) -> bool {
+    let Some(cells) = table.row(row) else { return false };
+    let lower = sentence.to_lowercase();
+    cells.iter().all(|v| match v {
+        Value::Null => true,
+        other => lower.contains(&other.to_string().to_lowercase()),
+    })
+}
+
+/// The result of one Table-To-Text application.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// The table minus the verbalized row.
+    pub sub_table: Table,
+    /// The generated sentence.
+    pub sentence: String,
+    /// The entity name of the removed row (useful for linking).
+    pub entity: String,
+}
+
+/// Applies the operator to the row containing `highlight_row` (one of the
+/// execution's highlighted cells, per §III-A). Returns `None` when the row
+/// cannot be verbalized faithfully — the paper's filtering step.
+pub fn table_to_text(table: &Table, highlight_row: usize, rng: &mut impl Rng) -> Option<SplitResult> {
+    if table.n_rows() < 2 {
+        return None; // splitting a 1-row table leaves no table evidence
+    }
+    let sentence = describe_row(table, highlight_row, rng)?;
+    if !is_faithful(table, highlight_row, &sentence) {
+        return None;
+    }
+    let ecol = entity_column(table);
+    let entity = table.cell(highlight_row, ecol)?.to_string();
+    let keep: Vec<usize> = (0..table.n_rows()).filter(|&r| r != highlight_row).collect();
+    let sub_table = table.select_rows(&keep);
+    Some(SplitResult { sub_table, sentence, entity })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "Departments",
+            &[
+                vec!["department", "total deputies", "budget"],
+                vec!["Commerce", "18", "500"],
+                vec!["Defense", "42", "9000"],
+                vec!["Treasury", "30", "3000"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn describe_row_mentions_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = describe_row(&table(), 1, &mut rng).unwrap();
+        assert!(s.contains("Defense"), "{s}");
+        assert!(s.contains("42"), "{s}");
+        assert!(s.contains("9000"), "{s}");
+        assert!(s.contains("total deputies"), "{s}");
+    }
+
+    #[test]
+    fn split_removes_row_and_keeps_rest() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = table_to_text(&table(), 1, &mut rng).unwrap();
+        assert_eq!(r.sub_table.n_rows(), 2);
+        assert_eq!(r.entity, "Defense");
+        assert!(!r.sub_table.rows().iter().any(|row| row[0].to_string() == "Defense"));
+        assert!(r.sentence.contains("Defense"));
+    }
+
+    #[test]
+    fn faithfulness_checker() {
+        let t = table();
+        assert!(is_faithful(&t, 0, "Commerce has a total deputies of 18 and a budget of 500."));
+        assert!(!is_faithful(&t, 0, "Commerce has a budget of 500.")); // 18 missing
+    }
+
+    #[test]
+    fn single_row_table_not_splittable() {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(table_to_text(&t, 0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn row_with_null_entity_not_describable() {
+        let t = Table::from_strings(
+            "t",
+            &[vec!["name", "v"], vec!["", "1"], vec!["x", "2"]],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(describe_row(&t, 0, &mut rng).is_none());
+        assert!(describe_row(&t, 1, &mut rng).is_some());
+    }
+
+    #[test]
+    fn entity_column_prefers_text() {
+        let t = Table::from_strings(
+            "t",
+            &[vec!["score", "player"], vec!["10", "alice"], vec!["20", "bob"]],
+        )
+        .unwrap();
+        assert_eq!(entity_column(&t), 1);
+    }
+
+    #[test]
+    fn nulls_skipped_in_description() {
+        let t = Table::from_strings(
+            "t",
+            &[vec!["name", "a", "b"], vec!["x", "", "7"], vec!["y", "1", "2"]],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = describe_row(&t, 0, &mut rng).unwrap();
+        assert!(s.contains('7'), "{s}");
+        assert!(is_faithful(&t, 0, &s));
+    }
+}

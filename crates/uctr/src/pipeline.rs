@@ -1,0 +1,672 @@
+//! The UCTR data-generation pipeline (paper §III and Algorithm 1).
+//!
+//! Orchestrates the four basic components — Program-Executor, NL-Generator,
+//! Table-To-Text, Text-To-Table — over a collection of unlabeled tables
+//! (with optional surrounding text) and produces labeled [`Sample`]s:
+//!
+//! * **table-only** samples: instantiate a program on the table, execute,
+//!   verbalize (the homogeneous setting);
+//! * **table splitting** (§III-A): execute on the full table, move one
+//!   highlighted row into a generated sentence, keep the rest as the
+//!   sub-table — a joint table-text sample;
+//! * **table expansion** (§III-B): integrate a record from the surrounding
+//!   paragraph into the table, generate against the expanded table, and
+//!   emit the original table + paragraph as the evidence;
+//! * **text-only** samples: a row verbalized to a sentence with a lookup
+//!   question about it (the A2 ablation source).
+//!
+//! Every config flag corresponds to a row of the paper's ablation grid
+//! (Table VIII).
+
+use crate::sample::{AnswerKind, EvidenceType, Label, ProgramKind, Sample, Verdict};
+use crate::templates::TemplateBank;
+use nlgen::{NlGenerator, NoiseConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tabular::Table;
+use textops::{table_to_text, text_to_table};
+
+/// Which task the generated data trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    QuestionAnswering,
+    FactVerification,
+}
+
+/// Pipeline configuration; every flag maps to an ablation row (Table VIII).
+#[derive(Debug, Clone)]
+pub struct UctrConfig {
+    pub task: TaskKind,
+    /// Program types (columns of the ablation grid).
+    pub use_sql: bool,
+    pub use_logic: bool,
+    pub use_arith: bool,
+    /// Data sources (rows of the ablation grid).
+    pub table_only: bool,
+    pub text_only: bool,
+    /// Table-To-Text / Text-To-Table joint samples ("Table↔Text").
+    pub table_split: bool,
+    pub table_expand: bool,
+    /// How many programs to attempt per table per enabled source.
+    pub samples_per_table: usize,
+    /// Generation-noise configuration.
+    pub noise: NoiseConfig,
+    /// Fraction of verification samples turned into `Unknown` by pairing a
+    /// claim with evidence that cannot decide it.
+    pub unknown_rate: f64,
+    pub seed: u64,
+}
+
+impl UctrConfig {
+    /// Standard QA configuration (SQL + arithmetic, all sources).
+    pub fn qa() -> UctrConfig {
+        UctrConfig {
+            task: TaskKind::QuestionAnswering,
+            use_sql: true,
+            use_logic: false,
+            use_arith: true,
+            table_only: true,
+            text_only: true,
+            table_split: true,
+            table_expand: true,
+            samples_per_table: 8,
+            noise: NoiseConfig::default(),
+            unknown_rate: 0.0,
+            seed: 13,
+        }
+    }
+
+    /// Standard fact-verification configuration (logical forms).
+    pub fn verification() -> UctrConfig {
+        UctrConfig {
+            task: TaskKind::FactVerification,
+            use_sql: false,
+            use_logic: true,
+            use_arith: false,
+            table_only: true,
+            text_only: true,
+            table_split: true,
+            table_expand: true,
+            samples_per_table: 8,
+            noise: NoiseConfig::default(),
+            unknown_rate: 0.0,
+            seed: 13,
+        }
+    }
+
+    /// The `-w/o T2T` ablation: no Table-To-Text / Text-To-Table operators.
+    pub fn without_t2t(mut self) -> UctrConfig {
+        self.table_split = false;
+        self.table_expand = false;
+        self
+    }
+}
+
+/// One unlabeled input: a table with optional surrounding text and a topic
+/// tag (used for the Figure 1 topic-shift experiment).
+#[derive(Debug, Clone)]
+pub struct TableWithContext {
+    pub table: Table,
+    pub paragraph: Option<String>,
+    pub topic: String,
+}
+
+impl TableWithContext {
+    pub fn bare(table: Table) -> TableWithContext {
+        TableWithContext { table, paragraph: None, topic: String::new() }
+    }
+}
+
+/// The unified UCTR pipeline.
+pub struct UctrPipeline {
+    config: UctrConfig,
+    bank: TemplateBank,
+    generator: NlGenerator,
+}
+
+impl UctrPipeline {
+    /// Builds a pipeline with the built-in template bank and a default
+    /// generator configured by `config.noise`.
+    pub fn new(config: UctrConfig) -> UctrPipeline {
+        let generator = NlGenerator::new().with_noise(config.noise);
+        UctrPipeline { config, bank: TemplateBank::builtin(), generator }
+    }
+
+    /// Replaces the template bank (e.g. with mined templates).
+    pub fn with_bank(mut self, bank: TemplateBank) -> UctrPipeline {
+        self.bank = bank;
+        self
+    }
+
+    /// Replaces the NL generator (e.g. a domain-fit one).
+    pub fn with_generator(mut self, generator: NlGenerator) -> UctrPipeline {
+        self.generator = generator;
+        self
+    }
+
+    pub fn config(&self) -> &UctrConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 over the inputs and returns the synthetic samples.
+    pub fn generate(&self, inputs: &[TableWithContext]) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut out: Vec<Sample> = Vec::new();
+        for input in inputs {
+            self.generate_for(input, &mut rng, &mut out);
+        }
+        // Unknown verdicts: pair a fraction of claims with evidence from a
+        // different table so the claim becomes undecidable.
+        if self.config.task == TaskKind::FactVerification && self.config.unknown_rate > 0.0 {
+            self.inject_unknowns(&mut out, &mut rng);
+        }
+        out
+    }
+
+    /// Parallel variant of [`UctrPipeline::generate`]: inputs are sharded
+    /// over `threads` workers (crossbeam scoped threads), each with its own
+    /// derived RNG stream, and the shards are concatenated in input order —
+    /// so the output is deterministic for a given `(seed, threads)` pair.
+    /// Useful when synthesizing tens of thousands of samples (the paper
+    /// generates up to ~80k for FEVEROUS).
+    pub fn generate_parallel(&self, inputs: &[TableWithContext], threads: usize) -> Vec<Sample> {
+        let threads = threads.clamp(1, inputs.len().max(1));
+        if threads == 1 {
+            return self.generate(inputs);
+        }
+        let chunk = inputs.len().div_ceil(threads);
+        let shards: Vec<&[TableWithContext]> = inputs.chunks(chunk).collect();
+        let results: parking_lot::Mutex<Vec<(usize, Vec<Sample>)>> =
+            parking_lot::Mutex::new(Vec::with_capacity(shards.len()));
+        crossbeam::thread::scope(|scope| {
+            for (shard_idx, shard) in shards.iter().enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let mut rng =
+                        StdRng::seed_from_u64(self.config.seed.wrapping_add(shard_idx as u64 + 1));
+                    let mut out = Vec::new();
+                    for input in *shard {
+                        self.generate_for(input, &mut rng, &mut out);
+                    }
+                    results.lock().push((shard_idx, out));
+                });
+            }
+        })
+        .expect("generation worker panicked");
+        let mut shard_outputs = results.into_inner();
+        shard_outputs.sort_by_key(|(i, _)| *i);
+        let mut out: Vec<Sample> = shard_outputs.into_iter().flat_map(|(_, v)| v).collect();
+        if self.config.task == TaskKind::FactVerification && self.config.unknown_rate > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            self.inject_unknowns(&mut out, &mut rng);
+        }
+        out
+    }
+
+    fn generate_for(&self, input: &TableWithContext, rng: &mut StdRng, out: &mut Vec<Sample>) {
+        let table = &input.table;
+        if table.n_rows() == 0 || table.n_cols() == 0 {
+            return;
+        }
+        let n = self.config.samples_per_table;
+
+        if self.config.table_only {
+            for _ in 0..n {
+                if let Some(s) = self.table_only_sample(table, rng) {
+                    out.push(with_topic(s, input));
+                }
+            }
+        }
+        if self.config.text_only {
+            for _ in 0..n.div_ceil(2) {
+                if let Some(s) = self.text_only_sample(table, rng) {
+                    out.push(with_topic(s, input));
+                }
+            }
+        }
+        if self.config.table_split {
+            for _ in 0..n {
+                if let Some(s) = self.split_sample(table, rng) {
+                    out.push(with_topic(s, input));
+                }
+            }
+        }
+        if self.config.table_expand {
+            if let Some(paragraph) = &input.paragraph {
+                for _ in 0..n {
+                    if let Some(s) = self.expand_sample(table, paragraph, rng) {
+                        out.push(with_topic(s, input));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A program executed directly on the table (homogeneous setting).
+    fn table_only_sample(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
+        let (text, label, program, answer_kind, _hl) = self.run_program(table, rng)?;
+        Some(Sample {
+            table: table.clone(),
+            context: Vec::new(),
+            text,
+            label,
+            evidence: EvidenceType::TableOnly,
+            program,
+            answer_kind,
+            topic: String::new(),
+        })
+    }
+
+    /// Table splitting (§III-A): program on the full table, one highlighted
+    /// row verbalized into a sentence, evidence = sub-table + sentence.
+    fn split_sample(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
+        if table.n_rows() < 3 {
+            return None;
+        }
+        let (text, label, program, answer_kind, highlighted) = self.run_program(table, rng)?;
+        // Pick a highlighted row to move into text.
+        let rows: Vec<usize> = {
+            let mut rs: Vec<usize> = highlighted.iter().map(|&(r, _)| r).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            rs
+        };
+        let &row = rows.choose(rng)?;
+        let split = table_to_text(table, row, rng)?;
+        Some(Sample {
+            table: split.sub_table,
+            context: vec![split.sentence],
+            text,
+            label,
+            evidence: EvidenceType::TableText,
+            program,
+            answer_kind,
+            topic: String::new(),
+        })
+    }
+
+    /// Table expansion (§III-B): integrate a record from the paragraph,
+    /// generate on the expanded table, evidence = original table + text.
+    fn expand_sample(&self, table: &Table, paragraph: &str, rng: &mut StdRng) -> Option<Sample> {
+        let expanded = text_to_table(table, paragraph)?;
+        let (text, label, program, answer_kind, highlighted) =
+            self.run_program(&expanded.expanded, rng)?;
+        // Only keep samples whose reasoning actually touches the new row —
+        // otherwise the paragraph is decoration, not evidence.
+        let new_row = expanded.expanded.n_rows() - 1;
+        if !highlighted.iter().any(|&(r, _)| r == new_row) {
+            return None;
+        }
+        Some(Sample {
+            table: table.clone(),
+            context: tabular::text::split_sentences(paragraph),
+            text,
+            label,
+            evidence: EvidenceType::TableText,
+            program,
+            answer_kind,
+            topic: String::new(),
+        })
+    }
+
+    /// Text-only sample: a verbalized row with a lookup question (QA) or a
+    /// claim about it (verification).
+    fn text_only_sample(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
+        let row = rng.gen_range(0..table.n_rows());
+        let sentence = textops::describe_row(table, row, rng)?;
+        let ecol = textops::entity_column(table);
+        let entity = table.cell(row, ecol).filter(|v| !v.is_null())?.to_string();
+        // Pick a non-entity, non-null cell to ask about.
+        let cols: Vec<usize> = (0..table.n_cols())
+            .filter(|&c| c != ecol && table.cell(row, c).is_some_and(|v| !v.is_null()))
+            .collect();
+        let &col = cols.choose(rng)?;
+        let col_name = table.column_name(col)?.to_string();
+        let value = table.cell(row, col)?.to_string();
+        let empty_table = Table::from_strings(&table.title, &[vec![]]).ok()?;
+        match self.config.task {
+            TaskKind::QuestionAnswering => Some(Sample {
+                table: empty_table,
+                context: vec![sentence],
+                text: format!("What is the {col_name} of {entity}?"),
+                label: Label::Answer(value),
+                evidence: EvidenceType::TextOnly,
+                program: ProgramKind::None,
+                answer_kind: AnswerKind::Span,
+                topic: String::new(),
+            }),
+            TaskKind::FactVerification => {
+                let supported = rng.gen_bool(0.5);
+                let (claim_value, verdict) = if supported {
+                    (value, Verdict::Supported)
+                } else {
+                    // A different value from the same column, else perturbed.
+                    let alternatives: Vec<String> = table
+                        .column_values(col)
+                        .iter()
+                        .filter(|v| !v.is_null() && v.to_string() != value)
+                        .map(|v| v.to_string())
+                        .collect();
+                    match alternatives.choose(rng) {
+                        Some(alt) => (alt.clone(), Verdict::Refuted),
+                        None => return None,
+                    }
+                };
+                Some(Sample {
+                    table: empty_table,
+                    context: vec![sentence],
+                    text: format!("The {col_name} of {entity} is {claim_value}."),
+                    label: Label::Verdict(verdict),
+                    evidence: EvidenceType::TextOnly,
+                    program: ProgramKind::None,
+                    answer_kind: AnswerKind::NotApplicable,
+                    topic: String::new(),
+                })
+            }
+        }
+    }
+
+    /// Samples a program type per the config, instantiates, executes and
+    /// verbalizes it. Returns (text, label, program, answer kind,
+    /// highlighted cells).
+    #[allow(clippy::type_complexity)]
+    fn run_program(
+        &self,
+        table: &Table,
+        rng: &mut StdRng,
+    ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
+        match self.config.task {
+            TaskKind::FactVerification => self.run_logic(table, rng),
+            TaskKind::QuestionAnswering => {
+                let mut kinds: Vec<u8> = Vec::new();
+                if self.config.use_sql {
+                    kinds.push(0);
+                }
+                if self.config.use_arith {
+                    kinds.push(1);
+                }
+                if self.config.use_logic {
+                    kinds.push(2);
+                }
+                match kinds.choose(rng)? {
+                    0 => self.run_sql(table, rng),
+                    1 => self.run_arith(table, rng),
+                    _ => self.run_logic(table, rng),
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_sql(
+        &self,
+        table: &Table,
+        rng: &mut StdRng,
+    ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
+        let tpl = self.bank.sql().choose(rng)?;
+        let stmt = tpl.instantiate(table, rng)?;
+        let result = sqlexec::execute(&stmt, table).ok()?;
+        if result.is_empty() {
+            return None; // paper §IV-C: discard empty-result programs
+        }
+        let answer = result.answer_text();
+        if answer.is_empty() {
+            return None;
+        }
+        let generated = self.generator.sql_question(&stmt, rng);
+        let answer_kind = if stmt
+            .items
+            .iter()
+            .any(|i| matches!(i, sqlexec::SelectItem::Aggregate { func: sqlexec::AggFunc::Count, .. }))
+        {
+            AnswerKind::Count
+        } else if stmt.items.iter().any(|i| {
+            matches!(i, sqlexec::SelectItem::Aggregate { .. } | sqlexec::SelectItem::Expr(sqlexec::Expr::Binary { .. }))
+        }) {
+            AnswerKind::Arithmetic
+        } else {
+            AnswerKind::Span
+        };
+        Some((
+            generated.text,
+            Label::Answer(answer),
+            ProgramKind::Sql(stmt.to_string()),
+            answer_kind,
+            result.highlighted,
+        ))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_arith(
+        &self,
+        table: &Table,
+        rng: &mut StdRng,
+    ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
+        let tpl = self.bank.arith().choose(rng)?;
+        let inst = tpl.instantiate(table, rng)?;
+        let generated = self.generator.arith_question(&inst.program, rng);
+        Some((
+            generated.text,
+            Label::Answer(inst.outcome.answer.to_string()),
+            ProgramKind::Arith(inst.program.to_string()),
+            AnswerKind::Arithmetic,
+            inst.outcome.highlighted,
+        ))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_logic(
+        &self,
+        table: &Table,
+        rng: &mut StdRng,
+    ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
+        let tpl = self.bank.logic().choose(rng)?;
+        let desired = rng.gen_bool(0.5);
+        let claim = tpl.instantiate(table, rng, desired)?;
+        let outcome = logicforms::evaluate(&claim.expr, table).ok()?;
+        let generated = self.generator.logic_claim(&claim.expr, rng);
+        let verdict = if claim.truth { Verdict::Supported } else { Verdict::Refuted };
+        Some((
+            generated.text,
+            Label::Verdict(verdict),
+            ProgramKind::Logic(claim.expr.to_string()),
+            AnswerKind::NotApplicable,
+            outcome.highlighted,
+        ))
+    }
+
+    /// Replaces the evidence of a random fraction of claims with evidence
+    /// from another sample, relabeling them `Unknown`.
+    fn inject_unknowns(&self, samples: &mut [Sample], rng: &mut StdRng) {
+        let n = samples.len();
+        if n < 2 {
+            return;
+        }
+        for i in 0..n {
+            if !rng.gen_bool(self.config.unknown_rate.min(1.0)) {
+                continue;
+            }
+            let j = rng.gen_range(0..n - 1);
+            let j = if j >= i { j + 1 } else { j };
+            // Claim i paired with evidence j: the evidence cannot decide the
+            // claim (different table), so the gold verdict becomes Unknown.
+            let (table, context, evidence) =
+                (samples[j].table.clone(), samples[j].context.clone(), samples[j].evidence);
+            if table.title == samples[i].table.title {
+                continue; // same source table could still decide the claim
+            }
+            samples[i].table = table;
+            samples[i].context = context;
+            samples[i].evidence = evidence;
+            samples[i].label = Label::Verdict(Verdict::Unknown);
+        }
+    }
+}
+
+fn with_topic(mut s: Sample, input: &TableWithContext) -> Sample {
+    s.topic = input.topic.clone();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Vec<TableWithContext> {
+        let t1 = Table::from_strings(
+            "Teams",
+            &[
+                vec!["team", "city", "points", "wins"],
+                vec!["Reds", "Oslo", "77", "21"],
+                vec!["Blues", "Lima", "64", "18"],
+                vec!["Greens", "Kyiv", "81", "24"],
+                vec!["Golds", "Quito", "59", "15"],
+            ],
+        )
+        .unwrap();
+        let t2 = Table::from_strings(
+            "Budgets",
+            &[
+                vec!["department", "2019", "2018"],
+                vec!["Revenue", "8800", "8000"],
+                vec!["Costs", "6100", "5900"],
+                vec!["Equity", "3200", "4000"],
+            ],
+        )
+        .unwrap();
+        vec![
+            TableWithContext {
+                table: t1,
+                paragraph: Some(
+                    "The league expanded recently. Silvers has a city of Rome, a points of 70 and a wins of 19. Attendance rose."
+                        .to_string(),
+                ),
+                topic: "sports".into(),
+            },
+            TableWithContext {
+                table: t2,
+                paragraph: Some("Margins has a 2019 of 2700 and a 2018 of 2100.".to_string()),
+                topic: "finance".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn qa_pipeline_generates_labeled_samples() {
+        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let samples = pipeline.generate(&inputs());
+        assert!(samples.len() > 10, "only {} samples", samples.len());
+        for s in &samples {
+            assert!(!s.text.is_empty());
+            assert!(s.label.as_answer().is_some());
+            assert!(!s.label.as_answer().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn verification_pipeline_generates_both_verdicts() {
+        let pipeline = UctrPipeline::new(UctrConfig {
+            noise: NoiseConfig::off(),
+            ..UctrConfig::verification()
+        });
+        let samples = pipeline.generate(&inputs());
+        let sup = samples
+            .iter()
+            .filter(|s| s.label.as_verdict() == Some(Verdict::Supported))
+            .count();
+        let refuted = samples
+            .iter()
+            .filter(|s| s.label.as_verdict() == Some(Verdict::Refuted))
+            .count();
+        assert!(sup > 0, "no supported claims in {} samples", samples.len());
+        assert!(refuted > 0, "no refuted claims in {} samples", samples.len());
+    }
+
+    #[test]
+    fn evidence_types_cover_sources() {
+        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let samples = pipeline.generate(&inputs());
+        let has = |e: EvidenceType| samples.iter().any(|s| s.evidence == e);
+        assert!(has(EvidenceType::TableOnly));
+        assert!(has(EvidenceType::TextOnly));
+        assert!(has(EvidenceType::TableText));
+    }
+
+    #[test]
+    fn without_t2t_has_no_joint_samples_from_split() {
+        let cfg = UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() }.without_t2t();
+        let pipeline = UctrPipeline::new(cfg);
+        let samples = pipeline.generate(&inputs());
+        // text_only still enabled -> TextOnly remains, but no TableText.
+        assert!(samples.iter().all(|s| s.evidence != EvidenceType::TableText));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() };
+        let a = UctrPipeline::new(cfg.clone()).generate(&inputs());
+        let b = UctrPipeline::new(cfg).generate(&inputs());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn unknown_injection_produces_unknowns() {
+        let cfg = UctrConfig {
+            unknown_rate: 0.3,
+            noise: NoiseConfig::off(),
+            ..UctrConfig::verification()
+        };
+        let samples = UctrPipeline::new(cfg).generate(&inputs());
+        let unknowns = samples
+            .iter()
+            .filter(|s| s.label.as_verdict() == Some(Verdict::Unknown))
+            .count();
+        assert!(unknowns > 0, "no Unknown labels among {}", samples.len());
+    }
+
+    #[test]
+    fn parallel_generation_is_deterministic_and_complete() {
+        let cfg = UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() };
+        let pipeline = UctrPipeline::new(cfg);
+        let data = inputs();
+        let a = pipeline.generate_parallel(&data, 2);
+        let b = pipeline.generate_parallel(&data, 2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
+        assert!(!a.is_empty());
+        // One thread falls back to the sequential path.
+        let seq = pipeline.generate_parallel(&data, 1);
+        let plain = pipeline.generate(&data);
+        assert_eq!(seq.len(), plain.len());
+    }
+
+    #[test]
+    fn topics_propagate() {
+        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let samples = pipeline.generate(&inputs());
+        assert!(samples.iter().any(|s| s.topic == "sports"));
+        assert!(samples.iter().any(|s| s.topic == "finance"));
+    }
+
+    #[test]
+    fn split_samples_answer_survives_split() {
+        // For split samples, the question was generated against the FULL
+        // table; model evidence is sub-table + sentence. The gold answer is
+        // stored before splitting, so it must be non-empty and the sample
+        // must carry exactly one context sentence.
+        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let samples = pipeline.generate(&inputs());
+        for s in samples.iter().filter(|s| s.evidence == EvidenceType::TableText) {
+            if s.context.len() == 1 {
+                assert!(!s.context[0].is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Root meta-crate for the UCTR reproduction workspace; see crates/*.
+pub use uctr;
