@@ -138,11 +138,9 @@ pub struct AeProgram {
 impl AeProgram {
     /// True if any argument is a template hole.
     pub fn has_holes(&self) -> bool {
-        self.steps.iter().any(|s| {
-            s.args
-                .iter()
-                .any(|a| matches!(a, AeArg::CellHole(_) | AeArg::ColumnHole(_)))
-        })
+        self.steps
+            .iter()
+            .any(|s| s.args.iter().any(|a| matches!(a, AeArg::CellHole(_) | AeArg::ColumnHole(_))))
     }
 
     /// The final step's index (programs answer with their last result).
@@ -226,7 +224,10 @@ mod tests {
     #[test]
     fn has_holes() {
         let p = AeProgram {
-            steps: vec![AeStep { op: AeOp::Subtract, args: vec![AeArg::CellHole(1), AeArg::CellHole(2)] }],
+            steps: vec![AeStep {
+                op: AeOp::Subtract,
+                args: vec![AeArg::CellHole(1), AeArg::CellHole(2)],
+            }],
         };
         assert!(p.has_holes());
     }

@@ -41,7 +41,10 @@ pub enum AeError {
     UnknownColumn(String),
     UnknownRow(String),
     /// The addressed cell exists but holds no number.
-    NonNumericCell { col: String, row: String },
+    NonNumericCell {
+        col: String,
+        row: String,
+    },
     DivisionByZero,
     /// The program still contains template holes.
     Uninstantiated,
@@ -78,26 +81,19 @@ pub struct AeOutcome {
 /// The index of the row-name column: the first `Text` column, falling back
 /// to column 0 (financial tables lead with a label column).
 pub fn row_name_column(table: &Table) -> usize {
-    table
-        .schema()
-        .columns()
-        .iter()
-        .position(|c| c.ty == ColumnType::Text)
-        .unwrap_or(0)
+    table.schema().columns().iter().position(|c| c.ty == ColumnType::Text).unwrap_or(0)
 }
 
 /// Resolves `col of row` to a (row, col) pair.
 pub fn resolve_cell(table: &Table, col: &str, row: &str) -> Result<(usize, usize), AeError> {
-    let ci = table
-        .column_index(col)
-        .ok_or_else(|| AeError::UnknownColumn(col.to_string()))?;
+    let ci = table.column_index(col).ok_or_else(|| AeError::UnknownColumn(col.to_string()))?;
     let name_col = row_name_column(table);
     let target = Value::parse(row);
     let ri = (0..table.n_rows())
         .find(|&ri| {
-            table
-                .cell(ri, name_col)
-                .is_some_and(|v| v.loosely_equals(&target) || v.to_string().eq_ignore_ascii_case(row))
+            table.cell(ri, name_col).is_some_and(|v| {
+                v.loosely_equals(&target) || v.to_string().eq_ignore_ascii_case(row)
+            })
         })
         .ok_or_else(|| AeError::UnknownRow(row.to_string()))?;
     Ok((ri, ci))
@@ -178,11 +174,9 @@ fn resolve_numeric(
 ) -> Result<f64, AeError> {
     match arg {
         AeArg::Const(n) => Ok(*n),
-        AeArg::StepRef(i) => results
-            .get(*i)
-            .ok_or(AeError::BoolAsNumber)?
-            .as_number()
-            .ok_or(AeError::BoolAsNumber),
+        AeArg::StepRef(i) => {
+            results.get(*i).ok_or(AeError::BoolAsNumber)?.as_number().ok_or(AeError::BoolAsNumber)
+        }
         AeArg::Cell { col, row } => {
             let (ri, ci) = resolve_cell(table, col, row)?;
             highlighted.push((ri, ci));
@@ -232,7 +226,8 @@ mod tests {
 
     #[test]
     fn add_and_multiply() {
-        let out = run_arith("add( the 2019 of Revenue , the 2018 of Revenue )", &financials()).unwrap();
+        let out =
+            run_arith("add( the 2019 of Revenue , the 2018 of Revenue )", &financials()).unwrap();
         assert_eq!(out.answer, AeAnswer::Number(16800.0));
         let out = run_arith("multiply( the 2019 of Revenue , 0.5 )", &financials()).unwrap();
         assert_eq!(out.answer, AeAnswer::Number(4400.0));
@@ -240,7 +235,8 @@ mod tests {
 
     #[test]
     fn greater_yields_yes_no() {
-        let out = run_arith("greater( the 2019 of Revenue , the 2018 of Revenue )", &financials()).unwrap();
+        let out = run_arith("greater( the 2019 of Revenue , the 2018 of Revenue )", &financials())
+            .unwrap();
         assert_eq!(out.answer, AeAnswer::YesNo(true));
         assert_eq!(out.answer.to_string(), "yes");
         let out = run_arith(
@@ -291,8 +287,7 @@ mod tests {
 
     #[test]
     fn bool_as_number_error() {
-        let err =
-            run_arith("greater( 2 , 1 ) , add( #0 , 1 )", &financials()).unwrap_err();
+        let err = run_arith("greater( 2 , 1 ) , add( #0 , 1 )", &financials()).unwrap_err();
         assert!(err.contains("boolean"));
     }
 
@@ -304,18 +299,16 @@ mod tests {
 
     #[test]
     fn highlights_recorded() {
-        let out = run_arith(
-            "subtract( the 2019 of Revenue , the 2018 of Revenue )",
-            &financials(),
-        )
-        .unwrap();
+        let out = run_arith("subtract( the 2019 of Revenue , the 2018 of Revenue )", &financials())
+            .unwrap();
         assert_eq!(out.highlighted, vec![(1, 1), (1, 2)]);
     }
 
     #[test]
     fn row_name_column_detection() {
         assert_eq!(row_name_column(&financials()), 0);
-        let t = Table::from_strings("t", &[vec!["x", "label"], vec!["1", "a"], vec!["2", "b"]]).unwrap();
+        let t = Table::from_strings("t", &[vec!["x", "label"], vec!["1", "a"], vec!["2", "b"]])
+            .unwrap();
         assert_eq!(row_name_column(&t), 1);
     }
 }

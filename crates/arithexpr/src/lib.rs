@@ -30,4 +30,4 @@ pub mod template;
 pub use ast::{AeArg, AeOp, AeProgram, AeStep};
 pub use exec::{execute, resolve_cell, row_name_column, run_arith, AeAnswer, AeError, AeOutcome};
 pub use parser::{parse, AeParseError};
-pub use template::{abstract_program, AeTemplate, InstantiatedArith};
+pub use template::{abstract_program, AeInstantiateError, AeTemplate, InstantiatedArith};

@@ -94,10 +94,7 @@ fn parse_step(text: &str) -> Result<AeStep, AeParseError> {
             arg_texts.len()
         )));
     }
-    let args = arg_texts
-        .iter()
-        .map(|a| parse_arg(a, op))
-        .collect::<Result<Vec<_>, _>>()?;
+    let args = arg_texts.iter().map(|a| parse_arg(a, op)).collect::<Result<Vec<_>, _>>()?;
     Ok(AeStep { op, args })
 }
 

@@ -14,6 +14,33 @@ use rand::Rng;
 use rustc_hash::FxHashMap;
 use tabular::{ColumnType, Table, Value};
 
+/// Why instantiation failed — the structured discard reasons the pipeline
+/// telemetry aggregates (instead of an opaque `None`). For the retrying
+/// entry point the reported reason is the one from the *last* attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AeInstantiateError {
+    /// The table has fewer addressable numeric cells than the template has
+    /// distinct holes.
+    NotEnoughNumericCells,
+    /// No numeric column available for a column hole, or a dangling
+    /// reference during substitution.
+    MalformedTemplate,
+    /// The instantiated program failed to execute (e.g. divide-by-zero).
+    ExecutionFailed,
+}
+
+impl std::fmt::Display for AeInstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AeInstantiateError::NotEnoughNumericCells => write!(f, "not enough numeric cells"),
+            AeInstantiateError::MalformedTemplate => write!(f, "malformed template"),
+            AeInstantiateError::ExecutionFailed => write!(f, "execution failed"),
+        }
+    }
+}
+
+impl std::error::Error for AeInstantiateError {}
+
 /// A reusable arithmetic-expression template.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AeTemplate {
@@ -66,15 +93,31 @@ impl AeTemplate {
     /// Returns the program and its executed answer, or `None` when the table
     /// cannot support it (or execution degenerates, e.g. divide-by-zero).
     pub fn instantiate(&self, table: &Table, rng: &mut impl Rng) -> Option<InstantiatedArith> {
-        for _ in 0..8 {
-            if let Some(done) = self.try_instantiate(table, rng) {
-                return Some(done);
-            }
-        }
-        None
+        self.try_instantiate(table, rng).ok()
     }
 
-    fn try_instantiate(&self, table: &Table, rng: &mut impl Rng) -> Option<InstantiatedArith> {
+    /// Like [`AeTemplate::instantiate`], but reports the failure reason of
+    /// the last sampling attempt.
+    pub fn try_instantiate(
+        &self,
+        table: &Table,
+        rng: &mut impl Rng,
+    ) -> Result<InstantiatedArith, AeInstantiateError> {
+        let mut last = AeInstantiateError::NotEnoughNumericCells;
+        for _ in 0..8 {
+            match self.attempt_instantiate(table, rng) {
+                Ok(done) => return Ok(done),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn attempt_instantiate(
+        &self,
+        table: &Table,
+        rng: &mut impl Rng,
+    ) -> Result<InstantiatedArith, AeInstantiateError> {
         let name_col = row_name_column(table);
         // Numeric cells addressable as (col of row): need a non-null row name.
         let mut cells: Vec<(usize, usize)> = Vec::new();
@@ -94,7 +137,7 @@ impl AeTemplate {
         }
         let holes = self.cell_holes();
         if cells.len() < holes.len() {
-            return None;
+            return Err(AeInstantiateError::NotEnoughNumericCells);
         }
         cells.shuffle(rng);
         // Real FinQA programs relate cells that share a line item (same row,
@@ -107,7 +150,13 @@ impl AeTemplate {
             let same_col: Vec<(usize, usize)> =
                 cells.iter().copied().filter(|&(_, c)| c == c0).collect();
             let preferred = if rng.gen_bool(0.5) { &same_row } else { &same_col };
-            let fallback = if preferred.len() >= holes.len() { preferred } else if same_row.len() >= holes.len() { &same_row } else { &same_col };
+            let fallback = if preferred.len() >= holes.len() {
+                preferred
+            } else if same_row.len() >= holes.len() {
+                &same_row
+            } else {
+                &same_col
+            };
             if fallback.len() >= holes.len() {
                 cells = fallback.clone();
             }
@@ -115,41 +164,44 @@ impl AeTemplate {
         let mut cell_binding: FxHashMap<usize, AeArg> = FxHashMap::default();
         for (k, hole) in holes.iter().enumerate() {
             let (ri, ci) = cells[k];
-            cell_binding.insert(
-                *hole,
-                AeArg::Cell {
-                    col: table.column_name(ci)?.to_string(),
-                    row: table.cell(ri, name_col)?.to_string(),
-                },
-            );
+            let col =
+                table.column_name(ci).ok_or(AeInstantiateError::MalformedTemplate)?.to_string();
+            let row =
+                table.cell(ri, name_col).ok_or(AeInstantiateError::MalformedTemplate)?.to_string();
+            cell_binding.insert(*hole, AeArg::Cell { col, row });
         }
         let numeric_cols: Vec<usize> = table.schema().columns_of_type(ColumnType::Number);
-        let program = AeProgram {
-            steps: self
-                .program
-                .steps
-                .iter()
-                .map(|s| {
-                    Some(AeStep {
-                        op: s.op,
-                        args: s
-                            .args
-                            .iter()
-                            .map(|a| match a {
-                                AeArg::CellHole(i) => cell_binding.get(i).cloned(),
-                                AeArg::ColumnHole(_) => {
-                                    let ci = numeric_cols.choose(rng)?;
-                                    Some(AeArg::Column(table.column_name(*ci)?.to_string()))
-                                }
-                                other => Some(other.clone()),
-                            })
-                            .collect::<Option<Vec<_>>>()?,
+        let steps = self
+            .program
+            .steps
+            .iter()
+            .map(|s| {
+                let args = s
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        AeArg::CellHole(i) => cell_binding
+                            .get(i)
+                            .cloned()
+                            .ok_or(AeInstantiateError::MalformedTemplate),
+                        AeArg::ColumnHole(_) => {
+                            let ci = numeric_cols
+                                .choose(rng)
+                                .ok_or(AeInstantiateError::NotEnoughNumericCells)?;
+                            let name = table
+                                .column_name(*ci)
+                                .ok_or(AeInstantiateError::MalformedTemplate)?;
+                            Ok(AeArg::Column(name.to_string()))
+                        }
+                        other => Ok(other.clone()),
                     })
-                })
-                .collect::<Option<Vec<_>>>()?,
-        };
-        let outcome = execute(&program, table).ok()?;
-        Some(InstantiatedArith { program, outcome })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(AeStep { op: s.op, args })
+            })
+            .collect::<Result<Vec<_>, AeInstantiateError>>()?;
+        let program = AeProgram { steps };
+        let outcome = execute(&program, table).map_err(|_| AeInstantiateError::ExecutionFailed)?;
+        Ok(InstantiatedArith { program, outcome })
     }
 }
 
@@ -256,6 +308,10 @@ mod tests {
         let tpl = AeTemplate::parse("add( val1 , val2 )").unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(tpl.instantiate(&t, &mut rng).is_none());
+        assert_eq!(
+            tpl.try_instantiate(&t, &mut rng),
+            Err(AeInstantiateError::NotEnoughNumericCells)
+        );
     }
 
     #[test]
@@ -265,15 +321,13 @@ mod tests {
         )
         .unwrap();
         let tpl = abstract_program(&p);
-        assert_eq!(
-            tpl.signature(),
-            "subtract( val1 , val2 ) , divide( #0 , val2 )"
-        );
+        assert_eq!(tpl.signature(), "subtract( val1 , val2 ) , divide( #0 , val2 )");
     }
 
     #[test]
     fn abstraction_keeps_constants() {
-        let p = parse("subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , 100 )").unwrap();
+        let p = parse("subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , 100 )")
+            .unwrap();
         let tpl = abstract_program(&p);
         assert!(tpl.signature().ends_with("divide( #0 , 100 )"));
     }

@@ -6,13 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tabular::Table;
 
 fn sample_table() -> Table {
-    let mut grid: Vec<Vec<String>> = vec![vec![
-        "team".into(),
-        "city".into(),
-        "points".into(),
-        "wins".into(),
-        "losses".into(),
-    ]];
+    let mut grid: Vec<Vec<String>> =
+        vec![vec!["team".into(), "city".into(), "points".into(), "wins".into(), "losses".into()]];
     for i in 0..64 {
         grid.push(vec![
             format!("Team{i}"),
@@ -22,7 +17,8 @@ fn sample_table() -> Table {
             format!("{}", (i * 5) % 20),
         ]);
     }
-    let borrowed: Vec<Vec<&str>> = grid.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+    let borrowed: Vec<Vec<&str>> =
+        grid.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
     Table::from_strings("standings", &borrowed).unwrap()
 }
 

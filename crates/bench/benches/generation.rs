@@ -9,8 +9,10 @@ use tabular::Table;
 
 fn bench_realization(c: &mut Criterion) {
     let generator = NlGenerator::new().with_noise(NoiseConfig::off());
-    let stmt = sqlexec::parse("select [department] from w order by [total deputies] desc limit 1").unwrap();
-    let lf = logicforms::parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }").unwrap();
+    let stmt = sqlexec::parse("select [department] from w order by [total deputies] desc limit 1")
+        .unwrap();
+    let lf =
+        logicforms::parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }").unwrap();
     let ae = arithexpr::parse(
         "subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , the 2018 of Equity )",
     )
@@ -58,7 +60,8 @@ fn bench_templates(c: &mut Criterion) {
         ],
     )
     .unwrap();
-    let sql_tpl = sqlexec::SqlTemplate::parse("select c1 from w order by c2_number desc limit 1").unwrap();
+    let sql_tpl =
+        sqlexec::SqlTemplate::parse("select c1 from w order by c2_number desc limit 1").unwrap();
     let lf_tpl = logicforms::LfTemplate::parse(
         "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }",
     )

@@ -37,10 +37,7 @@ fn bench_operators(c: &mut Criterion) {
     });
     c.bench_function("textops/text_to_table", |b| {
         b.iter(|| {
-            black_box(textops::text_to_table(
-                &input.table,
-                input.paragraph.as_deref().unwrap(),
-            ))
+            black_box(textops::text_to_table(&input.table, input.paragraph.as_deref().unwrap()))
         })
     });
 }

@@ -35,10 +35,12 @@ fn verification_set(n: usize) -> Vec<Sample> {
 }
 
 fn bench_features(c: &mut Criterion) {
-    let s = Sample::verification(table(), "Most of the models have a speed above 70.", Verdict::Supported);
-    c.bench_function("models/verifier_features", |b| {
-        b.iter(|| black_box(verifier_features(&s)))
-    });
+    let s = Sample::verification(
+        table(),
+        "Most of the models have a speed above 70.",
+        Verdict::Supported,
+    );
+    c.bench_function("models/verifier_features", |b| b.iter(|| black_box(verifier_features(&s))));
     let qa = Sample::qa(table(), "What is the total price of all models?", "1246");
     c.bench_function("models/qa_candidates", |b| {
         b.iter(|| black_box(models::generate_candidates(&qa)))
@@ -50,9 +52,7 @@ fn bench_training(c: &mut Criterion) {
     c.bench_function("models/verifier_train_100", |b| {
         b.iter_batched(
             || train.clone(),
-            |data| {
-                black_box(VerifierModel::train(&data, VerdictSpace::TwoWay, EvidenceView::Full))
-            },
+            |data| black_box(VerifierModel::train(&data, VerdictSpace::TwoWay, EvidenceView::Full)),
             BatchSize::SmallInput,
         )
     });

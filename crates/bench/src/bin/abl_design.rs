@@ -32,7 +32,8 @@ fn probe() -> Table {
 fn main() {
     let bench = semtab_like(CorpusConfig::default());
     let dev = &bench.gold.dev;
-    let base_cfg = UctrConfig { unknown_rate: 0.06, samples_per_table: 16, ..UctrConfig::verification() };
+    let base_cfg =
+        UctrConfig { unknown_rate: 0.06, samples_per_table: 16, ..UctrConfig::verification() };
     // Average each configuration over three generation seeds: single runs
     // carry several points of variance that would drown the ablation.
     let eval = |make: &dyn Fn(UctrConfig) -> UctrPipeline, cfg: &UctrConfig| -> (f64, usize) {
@@ -74,7 +75,11 @@ fn main() {
             UctrPipeline::new(cfg).with_generator(generator)
         };
         let (f1, n) = eval(&make, &base_cfg);
-        rows.push(vec!["reranker: untrained (first candidate)".into(), format!("{f1:.1}"), n.to_string()]);
+        rows.push(vec![
+            "reranker: untrained (first candidate)".into(),
+            format!("{f1:.1}"),
+            n.to_string(),
+        ]);
     }
 
     // --- synthetic volume per table ---

@@ -20,7 +20,8 @@ fn denot(model: &QaModel, samples: &[Sample]) -> f64 {
 }
 
 fn main() {
-    let bench = wikisql_like(CorpusConfig { n_tables: 240, eval_per_table: 24, ..CorpusConfig::default() });
+    let bench =
+        wikisql_like(CorpusConfig { n_tables: 240, eval_per_table: 24, ..CorpusConfig::default() });
     let mut rows = Vec::new();
     let mut in_sum = 0.0;
     let mut out_sum = 0.0;
@@ -29,20 +30,10 @@ fn main() {
     // isolates the topic-transfer effect (Chemmengath et al. [4]).
     for topic in TOPICS {
         let train_with: Vec<Sample> = bench.gold.train.to_vec();
-        let train_without: Vec<Sample> = bench
-            .gold
-            .train
-            .iter()
-            .filter(|s| s.topic != *topic)
-            .cloned()
-            .collect();
-        let dev_topic: Vec<Sample> = bench
-            .gold
-            .dev
-            .iter()
-            .filter(|s| s.topic == *topic)
-            .cloned()
-            .collect();
+        let train_without: Vec<Sample> =
+            bench.gold.train.iter().filter(|s| s.topic != *topic).cloned().collect();
+        let dev_topic: Vec<Sample> =
+            bench.gold.dev.iter().filter(|s| s.topic == *topic).cloned().collect();
         let model_with = QaModel::train(&train_with);
         let model_without = QaModel::train(&train_without);
         let acc_in = denot(&model_with, &dev_topic);

@@ -13,7 +13,12 @@ use models::{QaModel, TrainConfig};
 use uctr::{UctrConfig, UctrPipeline};
 
 fn main() {
-    let bench = tatqa_like(CorpusConfig { n_tables: 140, train_per_table: 10, eval_per_table: 3, seed: 2023 });
+    let bench = tatqa_like(CorpusConfig {
+        n_tables: 140,
+        train_per_table: 10,
+        eval_per_table: 3,
+        seed: 2023,
+    });
     let dev = &bench.gold.dev;
     let synth = UctrPipeline::new(UctrConfig::qa()).generate(&bench.unlabeled);
     println!(
@@ -28,11 +33,8 @@ fn main() {
     for &n in &budgets {
         let labeled = few_shot(&bench.gold.train, n);
         // Blue curve: labeled data only.
-        let (_, f1_labeled) = if n == 0 {
-            (0.0, 0.0)
-        } else {
-            qa_em_f1(&QaModel::train(&labeled), dev)
-        };
+        let (_, f1_labeled) =
+            if n == 0 { (0.0, 0.0) } else { qa_em_f1(&QaModel::train(&labeled), dev) };
         // Orange curve: synthetic pretraining + labeled fine-tuning.
         let mut pretrained = QaModel::train(&synth);
         if n > 0 {

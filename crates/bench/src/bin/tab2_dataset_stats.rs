@@ -1,10 +1,20 @@
 //! Reproduces **Table II**: dataset statistics of the four (synthetic
 //! stand-in) benchmarks — totals, evidence-type mix, and label/question
-//! types — next to the original datasets' numbers.
+//! types — next to the original datasets' numbers. Also runs the UCTR
+//! synthesis pipeline over each benchmark's unlabeled tables and prints the
+//! live [`uctr::PipelineReport`] counters (the generation funnel behind the
+//! composition numbers).
+//!
+//! Flags (the CI generation-quality gate):
+//!   --report-json PATH   write all four pipeline reports as one JSON object
+//!   --check-floor PATH   exit non-zero if any run is below the committed
+//!                        floor (see ci/acceptance_floor.json)
 
-use bench::print_table;
-use corpora::{feverous_like, semtab_like, tatqa_like, wikisql_like, CorpusConfig};
-use uctr::{AnswerKind, Dataset};
+use bench::{
+    check_floor, composition_row, flag_value, print_table, reports_to_json, AcceptanceFloor,
+};
+use corpora::{feverous_like, semtab_like, tatqa_like, wikisql_like, Benchmark, CorpusConfig};
+use uctr::{AnswerKind, Dataset, PipelineReport, UctrConfig, UctrPipeline};
 
 fn verdict_cells(d: &Dataset) -> String {
     let v = d.verdict_counts();
@@ -31,7 +41,21 @@ fn answer_kind_cells(d: &Dataset) -> String {
     format!("{span} Span, {count} Counting, {arith} Arithmetic")
 }
 
+/// Runs the synthesis pipeline over a benchmark's unlabeled tables and
+/// returns the live telemetry report.
+fn synthesize(bench: &Benchmark, config: UctrConfig) -> PipelineReport {
+    let pipeline = UctrPipeline::new(config);
+    let (samples, report) = pipeline.generate_with_report(&bench.unlabeled);
+    assert_eq!(
+        samples.len() as u64,
+        report.accepted(),
+        "accepted counter must equal the sample count"
+    );
+    report
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = CorpusConfig::default();
     let feverous = feverous_like(cfg);
     let tatqa = tatqa_like(cfg);
@@ -80,4 +104,45 @@ fn main() {
     println!("  SEM-TAB-FACTS  5,715 total; 1,085 tables; 3,342 Sup, 2,149 Ref, 224 Unknown");
     println!("\nThe stand-ins are scaled down ~20x for CPU-speed experiments; the evidence,");
     println!("label and answer-type *proportions* follow the originals (see corpora crate).");
+
+    // Synthesis telemetry: rerun UCTR over each benchmark's unlabeled
+    // tables and report the generation funnel from live counters.
+    let reports: Vec<(String, PipelineReport)> = vec![
+        ("feverous-like".into(), synthesize(&feverous, UctrConfig::verification())),
+        ("tatqa-like".into(), synthesize(&tatqa, UctrConfig::qa())),
+        ("wikisql-like".into(), synthesize(&wikisql, UctrConfig::qa())),
+        ("semtabfacts-like".into(), synthesize(&semtab, UctrConfig::verification())),
+    ];
+    let rows: Vec<Vec<String>> = reports.iter().map(|(name, r)| composition_row(name, r)).collect();
+    print_table(
+        "Synthesis telemetry — live PipelineReport counters per benchmark",
+        &["Run", "Tables", "Accepted", "Rate", "By program kind", "By data source"],
+        &rows,
+    );
+    for (name, r) in &reports {
+        println!("\n[{name}] {}", r.summary().trim_end());
+    }
+
+    if let Some(path) = flag_value(&args, "--report-json") {
+        if let Err(e) = std::fs::write(&path, reports_to_json(&reports)) {
+            eprintln!("cannot write report JSON to {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("\nwrote pipeline reports to {path}");
+    }
+    if let Some(path) = flag_value(&args, "--check-floor") {
+        let floor = match AcceptanceFloor::load(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot load acceptance floor: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!();
+        if !check_floor(&floor, &reports) {
+            eprintln!("generation-quality gate FAILED (floor: {path})");
+            std::process::exit(1);
+        }
+        println!("generation-quality gate passed (floor: {path})");
+    }
 }

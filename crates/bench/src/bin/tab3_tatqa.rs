@@ -17,7 +17,12 @@ fn row(name: &str, model: &QaModel, dev: &[uctr::Sample]) -> Vec<String> {
 
 /// Evidence-restricted baselines cannot see the hidden modality at test
 /// time either (their architecture lacks the input).
-fn row_view(name: &str, model: &QaModel, dev: &[uctr::Sample], view: Option<EvidenceView>) -> Vec<String> {
+fn row_view(
+    name: &str,
+    model: &QaModel,
+    dev: &[uctr::Sample],
+    view: Option<EvidenceView>,
+) -> Vec<String> {
     let dev_view: Vec<uctr::Sample> = match view {
         Some(v) => restrict_all(dev, v),
         None => dev.to_vec(),
@@ -40,7 +45,9 @@ fn qa_breakdown_original_evidence(
     use models::em_f1;
     let mut rows = Vec::new();
     let mut all_pairs = Vec::new();
-    for ev in [uctr::EvidenceType::TableOnly, uctr::EvidenceType::TableText, uctr::EvidenceType::TextOnly] {
+    for ev in
+        [uctr::EvidenceType::TableOnly, uctr::EvidenceType::TableText, uctr::EvidenceType::TextOnly]
+    {
         let pairs: Vec<(String, String)> = original
             .iter()
             .zip(view)
@@ -67,7 +74,8 @@ fn main() {
     );
 
     // --- supervised models ---
-    let text_span_only = QaModel::train(&restrict_all(&bench.gold.train, EvidenceView::SentenceOnly));
+    let text_span_only =
+        QaModel::train(&restrict_all(&bench.gold.train, EvidenceView::SentenceOnly));
     let table_cell_only = QaModel::train(&restrict_all(&bench.gold.train, EvidenceView::TableOnly));
     let tapas = QaModel::train_in_space(
         &bench.gold.train,
@@ -80,8 +88,9 @@ fn main() {
     let mqa_data = generate_mqaqg(&bench.unlabeled, &MqaQgConfig::qa());
     let mqaqg = QaModel::train(&mqa_data);
     // The paper generates 23,933 synthetic samples for TAT-QA.
-    let uctr_full_data = UctrPipeline::new(UctrConfig { samples_per_table: 16, ..UctrConfig::qa() })
-        .generate(&bench.unlabeled);
+    let uctr_full_data =
+        UctrPipeline::new(UctrConfig { samples_per_table: 16, ..UctrConfig::qa() })
+            .generate(&bench.unlabeled);
     let uctr_model = QaModel::train(&uctr_full_data);
     let uctr_no_t2t_data =
         UctrPipeline::new(UctrConfig { samples_per_table: 16, ..UctrConfig::qa() }.without_t2t())
@@ -95,8 +104,18 @@ fn main() {
 
     let header = ["Model", "Table EM/F1", "Table-Text EM/F1", "Text EM/F1", "Total EM/F1"];
     let rows = vec![
-        row_view("Supervised: Text-Span only  (paper 14.0/20.9)", &text_span_only, dev, Some(EvidenceView::SentenceOnly)),
-        row_view("Supervised: Table-Cell only (paper 11.9/16.9)", &table_cell_only, dev, Some(EvidenceView::TableOnly)),
+        row_view(
+            "Supervised: Text-Span only  (paper 14.0/20.9)",
+            &text_span_only,
+            dev,
+            Some(EvidenceView::SentenceOnly),
+        ),
+        row_view(
+            "Supervised: Table-Cell only (paper 11.9/16.9)",
+            &table_cell_only,
+            dev,
+            Some(EvidenceView::TableOnly),
+        ),
         row("Supervised: TAPAS           (paper 18.9/26.5)", &tapas, dev),
         row("Supervised: TAGOP           (paper 55.5/62.9)", &tagop, dev),
         row("Unsup: MQA-QG               (paper 19.4/27.7)", &mqaqg, dev),

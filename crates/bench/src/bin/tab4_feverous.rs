@@ -16,11 +16,7 @@ use uctr::{generate_mqaqg, MqaQgConfig, Sample, UctrConfig, UctrPipeline, Verdic
 /// FEVEROUS practice (paper §V-B, following Malon \[35\]): the tiny NEI slice
 /// is dropped and the model predicts Supported/Refuted only.
 fn drop_nei(samples: &[Sample]) -> Vec<Sample> {
-    samples
-        .iter()
-        .filter(|s| s.label.as_verdict() != Some(Verdict::Unknown))
-        .cloned()
-        .collect()
+    samples.iter().filter(|s| s.label.as_verdict() != Some(Verdict::Unknown)).cloned().collect()
 }
 
 fn row(name: &str, model: &VerifierModel, dev: &[Sample], test: &[Sample]) -> Vec<String> {
@@ -85,5 +81,9 @@ fn main() {
     ];
     print_table("Table IV — FEVEROUS (accuracy / FEVEROUS score)", &header, &rows);
     let _ = label_accuracy(&[]);
-    println!("\nSynthetic data: UCTR {} samples, MQA-QG {} (paper: 79,856 UCTR samples).", uctr_data.len(), mqa_data.len());
+    println!(
+        "\nSynthetic data: UCTR {} samples, MQA-QG {} (paper: 79,856 UCTR samples).",
+        uctr_data.len(),
+        mqa_data.len()
+    );
 }

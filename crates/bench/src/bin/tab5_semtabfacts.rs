@@ -11,7 +11,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uctr::{generate_mqaqg, MqaQgConfig, UctrConfig, UctrPipeline};
 
-fn row(name: &str, model: &VerifierModel, dev: &[uctr::Sample], test: &[uctr::Sample]) -> Vec<String> {
+fn row(
+    name: &str,
+    model: &VerifierModel,
+    dev: &[uctr::Sample],
+    test: &[uctr::Sample],
+) -> Vec<String> {
     vec![
         name.to_string(),
         format!("{:.1}", verifier_micro_f1(model, dev)),
@@ -81,5 +86,9 @@ fn main() {
         row("Few-shot: TAPAS+UCTR   (paper 62.4/60.1)", &tapas_uctr, dev, test),
     ];
     print_table("Table V — SEM-TAB-FACTS (3-way micro F1)", &header, &rows);
-    println!("\nSynthetic data: UCTR {} samples, MQA-QG {} (paper: 4,071 UCTR samples).", uctr_data.len(), mqa_data.len());
+    println!(
+        "\nSynthetic data: UCTR {} samples, MQA-QG {} (paper: 4,071 UCTR samples).",
+        uctr_data.len(),
+        mqa_data.len()
+    );
 }

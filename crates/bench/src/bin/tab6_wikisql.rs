@@ -18,7 +18,11 @@ fn denot(model: &QaModel, samples: &[Sample]) -> f64 {
 }
 
 fn row(name: &str, model: &QaModel, dev: &[Sample], test: &[Sample]) -> Vec<String> {
-    vec![name.to_string(), format!("{:.1}", denot(model, dev)), format!("{:.1}", denot(model, test))]
+    vec![
+        name.to_string(),
+        format!("{:.1}", denot(model, dev)),
+        format!("{:.1}", denot(model, test)),
+    ]
 }
 
 fn main() {
@@ -72,5 +76,9 @@ fn main() {
         row("Few-shot: TAPEX+UCTR     (paper 62.3/61.6)", &tapex_uctr, dev, test),
     ];
     print_table("Table VI — WikiSQL (denotation accuracy)", &header, &rows);
-    println!("\nSynthetic data: UCTR {} samples, MQA-QG {} (paper: 27,365 UCTR samples).", uctr_data.len(), mqa_data.len());
+    println!(
+        "\nSynthetic data: UCTR {} samples, MQA-QG {} (paper: 27,365 UCTR samples).",
+        uctr_data.len(),
+        mqa_data.len()
+    );
 }

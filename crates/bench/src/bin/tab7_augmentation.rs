@@ -8,7 +8,9 @@
 //! helps the low-resource specialized domains (TAT-QA, SEM-TAB-FACTS) and
 //! is flat on the table-rich general-domain benchmarks.
 
-use bench::{augment_qa, augment_verifier, print_table, qa_em_f1, verifier_feverous, verifier_micro_f1};
+use bench::{
+    augment_qa, augment_verifier, print_table, qa_em_f1, verifier_feverous, verifier_micro_f1,
+};
 use corpora::{feverous_like, semtab_like, tatqa_like, wikisql_like, CorpusConfig};
 use models::{denotation_accuracy, EvidenceView, QaModel, VerdictSpace, VerifierModel};
 use uctr::{Sample, UctrConfig, UctrPipeline, Verdict};
@@ -22,19 +24,17 @@ fn denot(model: &QaModel, samples: &[Sample]) -> f64 {
 }
 
 fn drop_nei(samples: &[Sample]) -> Vec<Sample> {
-    samples
-        .iter()
-        .filter(|s| s.label.as_verdict() != Some(Verdict::Unknown))
-        .cloned()
-        .collect()
+    samples.iter().filter(|s| s.label.as_verdict() != Some(Verdict::Unknown)).cloned().collect()
 }
 
 fn main() {
     // Paper scale note (§V-D): TAT-QA and SEM-TAB-FACTS have far fewer
     // tables than FEVEROUS/WikiSQL; we mirror that with a smaller table
     // budget for the specialized domains.
-    let low_resource = CorpusConfig { n_tables: 40, train_per_table: 3, eval_per_table: 16, seed: 2023 };
-    let high_resource = CorpusConfig { n_tables: 160, train_per_table: 10, eval_per_table: 16, seed: 2023 };
+    let low_resource =
+        CorpusConfig { n_tables: 40, train_per_table: 3, eval_per_table: 16, seed: 2023 };
+    let high_resource =
+        CorpusConfig { n_tables: 160, train_per_table: 10, eval_per_table: 16, seed: 2023 };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
 
@@ -58,8 +58,9 @@ fn main() {
     // --- SEM-TAB-FACTS (micro F1) ---
     {
         let b = semtab_like(low_resource);
-        let synth = UctrPipeline::new(UctrConfig { unknown_rate: 0.06, ..UctrConfig::verification() })
-            .generate(&b.unlabeled);
+        let synth =
+            UctrPipeline::new(UctrConfig { unknown_rate: 0.06, ..UctrConfig::verification() })
+                .generate(&b.unlabeled);
         let baseline =
             VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::Full);
         let augmented = augment_verifier(&synth, &b.gold.train, VerdictSpace::ThreeWay);
@@ -87,8 +88,16 @@ fn main() {
         let augmented = augment_qa(&synth, &b.gold.train);
         rows.push(vec![
             "WikiSQL denot. acc (paper dev 88.1 -> 87.9)".into(),
-            format!("{:.1} -> {:.1}", denot(&baseline, &b.gold.dev), denot(&augmented, &b.gold.dev)),
-            format!("{:.1} -> {:.1}", denot(&baseline, &b.gold.test), denot(&augmented, &b.gold.test)),
+            format!(
+                "{:.1} -> {:.1}",
+                denot(&baseline, &b.gold.dev),
+                denot(&augmented, &b.gold.dev)
+            ),
+            format!(
+                "{:.1} -> {:.1}",
+                denot(&baseline, &b.gold.test),
+                denot(&augmented, &b.gold.test)
+            ),
         ]);
     }
 

@@ -13,8 +13,9 @@ use models::{
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde_json::Value;
 use tabular::Table;
-use uctr::{EvidenceType, Sample, Verdict};
+use uctr::{EvidenceType, PipelineReport, Sample, Verdict};
 
 /// Fixed seed for the few-shot subset (paper: "randomly selected from the
 /// original training set").
@@ -81,20 +82,15 @@ pub fn verifier_predictions(model: &VerifierModel, samples: &[Sample]) -> Vec<Ve
 /// (label accuracy, FEVEROUS score) of a verifier.
 pub fn verifier_feverous(model: &VerifierModel, samples: &[Sample]) -> (f64, f64) {
     let preds = verifier_predictions(model, samples);
-    let pairs: Vec<(Verdict, Verdict)> = preds
-        .iter()
-        .zip(samples)
-        .filter_map(|(p, s)| Some((*p, s.label.as_verdict()?)))
-        .collect();
+    let pairs: Vec<(Verdict, Verdict)> =
+        preds.iter().zip(samples).filter_map(|(p, s)| Some((*p, s.label.as_verdict()?))).collect();
     (label_accuracy(&pairs), feverous_score(samples, &preds))
 }
 
 /// 3-way micro F1 of a verifier.
 pub fn verifier_micro_f1(model: &VerifierModel, samples: &[Sample]) -> f64 {
-    let pairs: Vec<(Verdict, Verdict)> = samples
-        .iter()
-        .filter_map(|s| Some((model.predict(s), s.label.as_verdict()?)))
-        .collect();
+    let pairs: Vec<(Verdict, Verdict)> =
+        samples.iter().filter_map(|s| Some((model.predict(s), s.label.as_verdict()?))).collect();
     micro_f1(&pairs)
 }
 
@@ -127,7 +123,11 @@ pub fn pretrain_finetune_qa(synthetic: &[Sample], gold: &[Sample]) -> QaModel {
 }
 
 /// Augmentation recipe for QA (full fine-tuning epochs).
-pub fn pretrain_finetune_qa_epochs(synthetic: &[Sample], gold: &[Sample], epochs: usize) -> QaModel {
+pub fn pretrain_finetune_qa_epochs(
+    synthetic: &[Sample],
+    gold: &[Sample],
+    epochs: usize,
+) -> QaModel {
     let mut model = QaModel::train(synthetic);
     model.fine_tune(gold, TrainConfig { epochs, ..TrainConfig::default() });
     model
@@ -149,13 +149,132 @@ pub fn augment_union(synthetic: &[Sample], gold: &[Sample]) -> Vec<Sample> {
 }
 
 /// Union-trained augmented verifier.
-pub fn augment_verifier(synthetic: &[Sample], gold: &[Sample], space: VerdictSpace) -> VerifierModel {
+pub fn augment_verifier(
+    synthetic: &[Sample],
+    gold: &[Sample],
+    space: VerdictSpace,
+) -> VerifierModel {
     VerifierModel::train(&augment_union(synthetic, gold), space, EvidenceView::Full)
 }
 
 /// Union-trained augmented QA model.
 pub fn augment_qa(synthetic: &[Sample], gold: &[Sample]) -> QaModel {
     QaModel::train(&augment_union(synthetic, gold))
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline telemetry plumbing (CI gate).
+// ---------------------------------------------------------------------------
+
+/// Looks up `--name VALUE` in a binary's argument list.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// A Table II-style composition row built from a run's live counters:
+/// accepted samples per program kind and per data source.
+pub fn composition_row(name: &str, report: &PipelineReport) -> Vec<String> {
+    let kinds = report
+        .kinds
+        .iter()
+        .filter(|k| k.accepted > 0)
+        .map(|k| format!("{} {}", k.accepted, k.kind))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let sources = report
+        .sources
+        .iter()
+        .filter(|s| s.accepted > 0)
+        .map(|s| format!("{} {}", s.accepted, s.source))
+        .collect::<Vec<_>>()
+        .join(", ");
+    vec![
+        name.to_string(),
+        report.inputs_total.to_string(),
+        report.accepted().to_string(),
+        format!("{:.1}%", report.acceptance_rate() * 100.0),
+        if kinds.is_empty() { "-".into() } else { kinds },
+        if sources.is_empty() { "-".into() } else { sources },
+    ]
+}
+
+/// Serializes named pipeline reports into one JSON object keyed by run name
+/// (the CI artifact format).
+pub fn reports_to_json(reports: &[(String, PipelineReport)]) -> String {
+    let entries: Vec<(String, Value)> =
+        reports.iter().map(|(n, r)| (n.clone(), serde_json::to_value(r))).collect();
+    serde_json::to_string_pretty(&Value::Obj(entries)).expect("report serialization is infallible")
+}
+
+/// The committed generation-quality floor (`ci/acceptance_floor.json`). CI
+/// regenerates the synthesis reports and fails the build when any run drops
+/// below these thresholds — a regression gate on the generation funnel, not
+/// just on unit tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptanceFloor {
+    /// Minimum accepted-samples / source-attempts ratio per run.
+    pub min_acceptance_rate: f64,
+    /// Minimum absolute number of accepted samples per run.
+    pub min_accepted: u64,
+}
+
+impl AcceptanceFloor {
+    pub fn parse(text: &str) -> Result<AcceptanceFloor, String> {
+        let v = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+        let rate = v
+            .get("min_acceptance_rate")
+            .and_then(Value::as_f64)
+            .ok_or("missing `min_acceptance_rate`")?;
+        let accepted =
+            v.get("min_accepted").and_then(Value::as_i64).ok_or("missing `min_accepted`")?;
+        Ok(AcceptanceFloor { min_acceptance_rate: rate, min_accepted: accepted as u64 })
+    }
+
+    pub fn load(path: &str) -> Result<AcceptanceFloor, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        AcceptanceFloor::parse(&text)
+    }
+
+    /// Checks one run against the floor; `Err` carries the CI failure text.
+    pub fn check(&self, name: &str, report: &PipelineReport) -> Result<(), String> {
+        let rate = report.acceptance_rate();
+        if rate < self.min_acceptance_rate {
+            return Err(format!(
+                "{name}: acceptance rate {:.3} below floor {:.3}",
+                rate, self.min_acceptance_rate
+            ));
+        }
+        if report.accepted() < self.min_accepted {
+            return Err(format!(
+                "{name}: {} accepted samples below floor {}",
+                report.accepted(),
+                self.min_accepted
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs every report against the floor, printing per-run verdicts; returns
+/// `false` (CI failure) if any run is under the floor.
+pub fn check_floor(floor: &AcceptanceFloor, reports: &[(String, PipelineReport)]) -> bool {
+    let mut ok = true;
+    for (name, report) in reports {
+        match floor.check(name, report) {
+            Ok(()) => println!(
+                "floor OK   {name}: rate {:.1}% >= {:.1}%, accepted {} >= {}",
+                report.acceptance_rate() * 100.0,
+                floor.min_acceptance_rate * 100.0,
+                report.accepted(),
+                floor.min_accepted
+            ),
+            Err(msg) => {
+                println!("floor FAIL {msg}");
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 // ---------------------------------------------------------------------------
@@ -182,10 +301,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", padded.join(" | "));
     };
     line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         line(row);
     }
@@ -212,9 +328,7 @@ mod tests {
 
     #[test]
     fn few_shot_is_deterministic_subset() {
-        let train: Vec<Sample> = (0..100)
-            .map(|i| Sample::qa(t(), format!("q{i}"), "1"))
-            .collect();
+        let train: Vec<Sample> = (0..100).map(|i| Sample::qa(t(), format!("q{i}"), "1")).collect();
         let a = few_shot(&train, 50);
         let b = few_shot(&train, 50);
         assert_eq!(a.len(), 50);
@@ -263,7 +377,8 @@ mod tests {
         let gold_count = union.iter().filter(|s| s.text.starts_with('g')).count();
         assert_eq!(gold_count, 100);
         // When gold is already large, it enters once.
-        let big_gold: Vec<Sample> = (0..200).map(|i| Sample::qa(t(), format!("g{i}"), "1")).collect();
+        let big_gold: Vec<Sample> =
+            (0..200).map(|i| Sample::qa(t(), format!("g{i}"), "1")).collect();
         assert_eq!(augment_union(&synth, &big_gold).len(), 300);
     }
 

@@ -129,21 +129,14 @@ fn domain_lookup(topic: &str) -> Option<&'static str> {
 
 /// Human phrasing of an instantiated SQL query, with optional
 /// topic-idiomatic variants.
-pub fn human_sql_question_for_topic(
-    stmt: &SelectStmt,
-    topic: &str,
-    rng: &mut impl Rng,
-) -> String {
+pub fn human_sql_question_for_topic(stmt: &SelectStmt, topic: &str, rng: &mut impl Rng) -> String {
     let use_idiom = rng.gen_bool(0.8);
     // Superlative questions.
     if let (Some((Expr::Column(oc), dir)), Some(1)) = (&stmt.order_by, stmt.limit) {
         if let Some(SelectItem::Expr(Expr::Column(sel))) = stmt.items.first() {
             if stmt.where_clause.is_none() && use_idiom {
                 if let Some(idiom) = domain_superlative(topic, *dir == OrderDir::Desc) {
-                    return finish(
-                        &format!("which {} {idiom} {}", col_of(sel), col_of(oc)),
-                        '?',
-                    );
+                    return finish(&format!("which {} {idiom} {}", col_of(sel), col_of(oc)), '?');
                 }
             }
         }
@@ -213,13 +206,13 @@ pub fn human_sql_question(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
         };
         return finish(&q, '?');
     }
-    if let Some(SelectItem::Expr(Expr::Binary { op: sqlexec::ArithOp::Sub, lhs, rhs })) = stmt.items.first() {
+    if let Some(SelectItem::Expr(Expr::Binary { op: sqlexec::ArithOp::Sub, lhs, rhs })) =
+        stmt.items.first()
+    {
         let q = match cond {
-            Some(w) => format!(
-                "by how much does {} differ from {} where {w}",
-                expr_np(lhs),
-                expr_np(rhs)
-            ),
+            Some(w) => {
+                format!("by how much does {} differ from {} where {w}", expr_np(lhs), expr_np(rhs))
+            }
             None => format!("by how much does {} differ from {}", expr_np(lhs), expr_np(rhs)),
         };
         return finish(&q, '?');
@@ -264,7 +257,10 @@ pub fn human_logic_claim(expr: &LfExpr, rng: &mut impl Rng) -> String {
             Only => format!("a single entry {}", clause(&args[0])),
             AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
             | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
-                let quant = if matches!(op, MostEq | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq) {
+                let quant = if matches!(
+                    op,
+                    MostEq | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq
+                ) {
                     "more than half of the entries"
                 } else {
                     "without exception, the entries"
@@ -312,8 +308,13 @@ fn human_comparison(op: LfOp, lhs: &LfExpr, rhs: &LfExpr, rng: &mut impl Rng) ->
                 let phrase = match inner {
                     Argmax => format!("no entry posts a higher {sort_col} than {v}"),
                     Argmin => format!("no entry posts a lower {sort_col} than {v}"),
-                    NthArgmax => format!("{v} ranks number {} from the top in {sort_col}", leaf(&iargs[2])),
-                    NthArgmin => format!("{v} ranks number {} from the bottom in {sort_col}", leaf(&iargs[2])),
+                    NthArgmax => {
+                        format!("{v} ranks number {} from the top in {sort_col}", leaf(&iargs[2]))
+                    }
+                    NthArgmin => format!(
+                        "{v} ranks number {} from the bottom in {sort_col}",
+                        leaf(&iargs[2])
+                    ),
                     _ => unreachable!(),
                 };
                 return if op == NotEq { format!("it is false that {phrase}") } else { phrase };
@@ -339,7 +340,9 @@ fn clause(view: &LfExpr) -> String {
                 FilterNotEq => format!("avoid {} in {}", leaf(&args[2]), leaf(&args[1])),
                 FilterGreater => format!("push {} past {}", leaf(&args[1]), leaf(&args[2])),
                 FilterLess => format!("keep {} beneath {}", leaf(&args[1]), leaf(&args[2])),
-                FilterGreaterEq => format!("reach {} or more in {}", leaf(&args[2]), leaf(&args[1])),
+                FilterGreaterEq => {
+                    format!("reach {} or more in {}", leaf(&args[2]), leaf(&args[1]))
+                }
                 FilterLessEq => format!("stay at {} or less in {}", leaf(&args[2]), leaf(&args[1])),
                 FilterAll => format!("report a {}", leaf(&args[1])),
                 _ => return inner,
@@ -381,7 +384,9 @@ fn row_np(e: &LfExpr) -> String {
             Argmax => format!("the leader in {}", leaf(&args[1])),
             Argmin => format!("the last-place entry in {}", leaf(&args[1])),
             NthArgmax => format!("the rank-{} entry in {}", leaf(&args[2]), leaf(&args[1])),
-            NthArgmin => format!("the rank-{} entry from the bottom in {}", leaf(&args[2]), leaf(&args[1])),
+            NthArgmin => {
+                format!("the rank-{} entry from the bottom in {}", leaf(&args[2]), leaf(&args[1]))
+            }
             _ => "that entry".to_string(),
         },
         _ => "that entry".to_string(),
@@ -472,12 +477,20 @@ pub fn human_arith_question(program: &arithexpr::AeProgram, rng: &mut impl Rng) 
     if steps.len() == 1 {
         let s = &steps[0];
         let q = match s.op {
-            AeOp::Subtract => format!("how far apart are {} and {}", cell(&s.args[0]), cell(&s.args[1])),
+            AeOp::Subtract => {
+                format!("how far apart are {} and {}", cell(&s.args[0]), cell(&s.args[1]))
+            }
             AeOp::Add => format!("adding {} to {} gives what", cell(&s.args[1]), cell(&s.args[0])),
-            AeOp::Multiply => format!("multiplying {} by {} gives what", cell(&s.args[0]), cell(&s.args[1])),
-            AeOp::Divide => format!("how many times does {} fit into {}", cell(&s.args[1]), cell(&s.args[0])),
+            AeOp::Multiply => {
+                format!("multiplying {} by {} gives what", cell(&s.args[0]), cell(&s.args[1]))
+            }
+            AeOp::Divide => {
+                format!("how many times does {} fit into {}", cell(&s.args[1]), cell(&s.args[0]))
+            }
             AeOp::Greater => format!("does {} top {}", cell(&s.args[0]), cell(&s.args[1])),
-            AeOp::Exp => format!("what does {} to the power {} equal", cell(&s.args[0]), cell(&s.args[1])),
+            AeOp::Exp => {
+                format!("what does {} to the power {} equal", cell(&s.args[0]), cell(&s.args[1]))
+            }
             AeOp::TableMax => format!("where does {} peak", cell(&s.args[0])),
             AeOp::TableMin => format!("what is the floor of {}", cell(&s.args[0])),
             AeOp::TableSum => format!("adding up {} gives what", cell(&s.args[0])),
@@ -541,21 +554,20 @@ pub fn gold_qa_sql_for_topic(
     }
     let text = human_sql_question_for_topic(&stmt, topic, rng);
     let mut s = Sample::qa(table.clone(), text, answer);
-    s.answer_kind = if stmt
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Aggregate { func: AggFunc::Count, .. }))
-    {
-        AnswerKind::Count
-    } else if stmt
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Aggregate { .. } | SelectItem::Expr(Expr::Binary { .. })))
-    {
-        AnswerKind::Arithmetic
-    } else {
-        AnswerKind::Span
-    };
+    s.answer_kind =
+        if stmt
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { func: AggFunc::Count, .. }))
+        {
+            AnswerKind::Count
+        } else if stmt.items.iter().any(|i| {
+            matches!(i, SelectItem::Aggregate { .. } | SelectItem::Expr(Expr::Binary { .. }))
+        }) {
+            AnswerKind::Arithmetic
+        } else {
+            AnswerKind::Span
+        };
     s.program = ProgramKind::Sql(stmt.to_string());
     Some(s)
 }
@@ -654,7 +666,8 @@ mod tests {
             let Some(s) = gold_verification(&table, &bank, &mut rng) else { continue };
             produced += 1;
             let ProgramKind::Logic(f) = &s.program else { panic!() };
-            let truth = logicforms::evaluate_truth(&logicforms::parse(f).unwrap(), &s.table).unwrap();
+            let truth =
+                logicforms::evaluate_truth(&logicforms::parse(f).unwrap(), &s.table).unwrap();
             let expect = if truth { Verdict::Supported } else { Verdict::Refuted };
             assert_eq!(s.label.as_verdict(), Some(expect));
         }
@@ -759,13 +772,18 @@ mod tests {
         .unwrap();
         let t = human_arith_question(&pct, &mut rng);
         assert!(t.to_lowercase().contains("percentage"), "{t}");
-        let avg2 = arithexpr::parse("add( the 2019 of Revenue , the 2018 of Revenue ), divide( #0 , 2 )").unwrap();
+        let avg2 =
+            arithexpr::parse("add( the 2019 of Revenue , the 2018 of Revenue ), divide( #0 , 2 )")
+                .unwrap();
         let t = human_arith_question(&avg2, &mut rng);
         assert!(t.to_lowercase().contains("average"), "{t}");
-        let prop = arithexpr::parse("table_sum( 2019 ) , divide( the 2019 of Costs , #0 )").unwrap();
+        let prop =
+            arithexpr::parse("table_sum( 2019 ) , divide( the 2019 of Costs , #0 )").unwrap();
         let t = human_arith_question(&prop, &mut rng);
         assert!(t.to_lowercase().contains("share"), "{t}");
-        let sumdiff = arithexpr::parse("table_sum( 2019 ) , table_sum( 2018 ) , subtract( #0 , #1 )").unwrap();
+        let sumdiff =
+            arithexpr::parse("table_sum( 2019 ) , table_sum( 2018 ) , subtract( #0 , #1 )")
+                .unwrap();
         let t = human_arith_question(&sumdiff, &mut rng);
         assert!(t.to_lowercase().contains("sum"), "{t}");
     }

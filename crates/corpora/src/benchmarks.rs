@@ -294,7 +294,7 @@ mod tests {
         assert!(!b.gold.dev.is_empty());
         assert!(!b.gold.test.is_empty());
         assert_eq!(b.unlabeled.len(), 30); // 75% of 40 tables
-        // All QA, all table-only.
+                                           // All QA, all table-only.
         for s in &b.gold.train {
             assert!(s.label.as_answer().is_some());
             assert_eq!(s.evidence, EvidenceType::TableOnly);
@@ -328,12 +328,7 @@ mod tests {
     #[test]
     fn tatqa_like_answer_mix() {
         let b = tatqa_like(CorpusConfig::default());
-        let arith = b
-            .gold
-            .train
-            .iter()
-            .filter(|s| s.answer_kind == AnswerKind::Arithmetic)
-            .count();
+        let arith = b.gold.train.iter().filter(|s| s.answer_kind == AnswerKind::Arithmetic).count();
         let span = b.gold.train.iter().filter(|s| s.answer_kind == AnswerKind::Span).count();
         assert!(arith > 0 && span > 0);
         // Arithmetic should be a large minority (Table II: ~42%).

@@ -13,5 +13,7 @@ pub mod annotator;
 pub mod benchmarks;
 pub mod vocab;
 
-pub use benchmarks::{feverous_like, semtab_like, tatqa_like, wikisql_like, Benchmark, CorpusConfig};
+pub use benchmarks::{
+    feverous_like, semtab_like, tatqa_like, wikisql_like, Benchmark, CorpusConfig,
+};
 pub use vocab::{finance_table, science_table, surrounding_text, wiki_table, TOPICS};

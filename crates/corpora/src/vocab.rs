@@ -20,29 +20,66 @@ const TEAM_NOUN: &[&str] = &[
     "Dragons", "Knights", "Raiders", "Rangers", "Comets", "Pirates", "Giants",
 ];
 const CITIES: &[&str] = &[
-    "Oslo", "Lima", "Kyiv", "Quito", "Porto", "Leeds", "Graz", "Turin", "Nagoya", "Accra",
-    "Perth", "Quebec", "Malmo", "Basel", "Gdansk", "Split", "Bergen", "Cork", "Ghent", "Brno",
+    "Oslo", "Lima", "Kyiv", "Quito", "Porto", "Leeds", "Graz", "Turin", "Nagoya", "Accra", "Perth",
+    "Quebec", "Malmo", "Basel", "Gdansk", "Split", "Bergen", "Cork", "Ghent", "Brno",
 ];
 const FIRST_NAMES: &[&str] = &[
-    "Ada", "Boris", "Clara", "Dmitri", "Elena", "Farid", "Greta", "Hugo", "Ines", "Jonas",
-    "Karin", "Luca", "Mira", "Nils", "Olga", "Pavel", "Rosa", "Sven", "Tania", "Viktor",
+    "Ada", "Boris", "Clara", "Dmitri", "Elena", "Farid", "Greta", "Hugo", "Ines", "Jonas", "Karin",
+    "Luca", "Mira", "Nils", "Olga", "Pavel", "Rosa", "Sven", "Tania", "Viktor",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Almeida", "Bergman", "Castro", "Dvorak", "Eriksen", "Fischer", "Gruber", "Haraldsen",
-    "Ivanov", "Jansen", "Koval", "Lindqvist", "Moreau", "Novak", "Okafor", "Petrov", "Quist",
-    "Rossi", "Silva", "Tanaka",
+    "Almeida",
+    "Bergman",
+    "Castro",
+    "Dvorak",
+    "Eriksen",
+    "Fischer",
+    "Gruber",
+    "Haraldsen",
+    "Ivanov",
+    "Jansen",
+    "Koval",
+    "Lindqvist",
+    "Moreau",
+    "Novak",
+    "Okafor",
+    "Petrov",
+    "Quist",
+    "Rossi",
+    "Silva",
+    "Tanaka",
 ];
 const FILM_WORDS_A: &[&str] = &[
-    "Midnight", "Silent", "Broken", "Hidden", "Endless", "Burning", "Frozen", "Distant",
-    "Golden", "Crimson", "Forgotten", "Wandering",
+    "Midnight",
+    "Silent",
+    "Broken",
+    "Hidden",
+    "Endless",
+    "Burning",
+    "Frozen",
+    "Distant",
+    "Golden",
+    "Crimson",
+    "Forgotten",
+    "Wandering",
 ];
 const FILM_WORDS_B: &[&str] = &[
     "Harbor", "Garden", "Mirror", "River", "Empire", "Voyage", "Letter", "Horizon", "Winter",
     "Promise", "Signal", "Orchard",
 ];
 const DEPARTMENTS: &[&str] = &[
-    "Commerce", "Defense", "Treasury", "Energy", "Education", "Transport", "Agriculture",
-    "Justice", "Labor", "Interior", "Health", "Housing",
+    "Commerce",
+    "Defense",
+    "Treasury",
+    "Energy",
+    "Education",
+    "Transport",
+    "Agriculture",
+    "Justice",
+    "Labor",
+    "Interior",
+    "Health",
+    "Housing",
 ];
 const COUNTRIES: &[(&str, &str)] = &[
     ("Norway", "Oslo"),
@@ -62,8 +99,8 @@ const COUNTRIES: &[(&str, &str)] = &[
     ("Czechia", "Prague"),
 ];
 const ALBUM_WORDS: &[&str] = &[
-    "Echoes", "Gravity", "Daylight", "Static", "Bloom", "Parade", "Voltage", "Mosaic",
-    "Harvest", "Neon", "Tides", "Ember",
+    "Echoes", "Gravity", "Daylight", "Static", "Bloom", "Parade", "Voltage", "Mosaic", "Harvest",
+    "Neon", "Tides", "Ember",
 ];
 const FIN_ITEMS: &[&str] = &[
     "Revenue",
@@ -83,12 +120,21 @@ const FIN_ITEMS: &[&str] = &[
     "Interest expense",
 ];
 const MATERIALS: &[&str] = &[
-    "PLA", "ABS", "PETG", "Nylon", "Resin", "Graphene", "Kevlar", "Titanium", "Ceramic",
-    "Basalt", "Aerogel", "Polyimide",
+    "PLA",
+    "ABS",
+    "PETG",
+    "Nylon",
+    "Resin",
+    "Graphene",
+    "Kevlar",
+    "Titanium",
+    "Ceramic",
+    "Basalt",
+    "Aerogel",
+    "Polyimide",
 ];
 const COMPOUNDS: &[&str] = &[
-    "NaCl", "KBr", "CaCO3", "MgO", "SiO2", "Fe2O3", "Al2O3", "TiO2", "ZnS", "CuSO4", "LiF",
-    "H3BO3",
+    "NaCl", "KBr", "CaCO3", "MgO", "SiO2", "Fe2O3", "Al2O3", "TiO2", "ZnS", "CuSO4", "LiF", "H3BO3",
 ];
 
 /// Topic families used by the general-domain (Wikipedia-like) generators.
@@ -104,11 +150,7 @@ fn distinct<'a>(pool: &[&'a str], n: usize, rng: &mut impl Rng) -> Vec<&'a str> 
 
 /// A random person name.
 pub fn person_name(rng: &mut impl Rng) -> String {
-    format!(
-        "{} {}",
-        FIRST_NAMES.choose(rng).unwrap(),
-        LAST_NAMES.choose(rng).unwrap()
-    )
+    format!("{} {}", FIRST_NAMES.choose(rng).unwrap(), LAST_NAMES.choose(rng).unwrap())
 }
 
 fn num(rng: &mut impl Rng, lo: i64, hi: i64) -> String {
@@ -133,11 +175,7 @@ pub fn wiki_table(topic: &str, rng: &mut impl Rng) -> Table {
                     ]
                 })
                 .collect();
-            build(
-                "Feature films",
-                &["film", "director", "year", "box office", "rating"],
-                grid_rows,
-            )
+            build("Feature films", &["film", "director", "year", "box office", "rating"], grid_rows)
         }
         "politics" => {
             let names = distinct(DEPARTMENTS, rows.min(DEPARTMENTS.len()), rng);
@@ -174,11 +212,7 @@ pub fn wiki_table(topic: &str, rng: &mut impl Rng) -> Table {
                     ]
                 })
                 .collect();
-            build(
-                "Countries",
-                &["country", "capital", "population", "area"],
-                grid_rows,
-            )
+            build("Countries", &["country", "capital", "population", "area"], grid_rows)
         }
         "music" => {
             let names = distinct(ALBUM_WORDS, rows.min(ALBUM_WORDS.len()), rng);
@@ -279,11 +313,7 @@ pub fn science_table(rng: &mut impl Rng) -> Table {
                 ]
             })
             .collect();
-        build(
-            "Measured compounds",
-            &["compound", "molar mass", "solubility", "yield"],
-            grid_rows,
-        )
+        build("Measured compounds", &["compound", "molar mass", "solubility", "yield"], grid_rows)
     }
 }
 
@@ -320,15 +350,11 @@ pub fn extra_record_sentence(table: &Table, rng: &mut impl Rng) -> Option<String
             "Material properties" => MATERIALS.choose(rng)?.to_string(),
             "Measured compounds" => COMPOUNDS.choose(rng)?.to_string(),
             "Federal departments" => DEPARTMENTS.choose(rng)?.to_string(),
-            _ => format!(
-                "{} {}",
-                TEAM_ADJ.choose(rng)?,
-                TEAM_NOUN.choose(rng)?
-            ),
+            _ => format!("{} {}", TEAM_ADJ.choose(rng)?, TEAM_NOUN.choose(rng)?),
         };
         let v = Value::text(candidate.clone());
-        let exists = (0..table.n_rows())
-            .any(|r| table.cell(r, ecol).is_some_and(|c| c.loosely_equals(&v)));
+        let exists =
+            (0..table.n_rows()).any(|r| table.cell(r, ecol).is_some_and(|c| c.loosely_equals(&v)));
         if !exists {
             break candidate;
         }
@@ -340,11 +366,8 @@ pub fn extra_record_sentence(table: &Table, rng: &mut impl Rng) -> Option<String
         }
         let col = table.column_name(ci)?;
         // Sample a plausible value: reuse the column's own distribution.
-        let pool: Vec<Value> = table
-            .column_values(ci)
-            .into_iter()
-            .filter(|v| !v.is_null())
-            .collect();
+        let pool: Vec<Value> =
+            table.column_values(ci).into_iter().filter(|v| !v.is_null()).collect();
         let v = pool.choose(rng)?;
         let v = match v {
             Value::Number(n) => Value::number((n * rng.gen_range(0.8..1.2)).round()),

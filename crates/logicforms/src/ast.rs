@@ -191,10 +191,10 @@ impl LfOp {
             Count | Only => 1,
             FilterAll | Argmax | Argmin | Max | Min | Sum | Avg | Hop | Diff | Eq | NotEq
             | RoundEq | Greater | Less | And => 2,
-            FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq | FilterLessEq
-            | NthArgmax | NthArgmin | NthMax | NthMin | AllEq | AllNotEq | AllGreater | AllLess
-            | AllGreaterEq | AllLessEq | MostEq | MostNotEq | MostGreater | MostLess
-            | MostGreaterEq | MostLessEq => 3,
+            FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
+            | FilterLessEq | NthArgmax | NthArgmin | NthMax | NthMin | AllEq | AllNotEq
+            | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq | MostNotEq
+            | MostGreater | MostLess | MostGreaterEq | MostLessEq => 3,
         }
     }
 
@@ -312,7 +312,8 @@ impl LfExpr {
         } else if contains(self, &|op| {
             matches!(
                 op,
-                AllEq | AllNotEq
+                AllEq
+                    | AllNotEq
                     | AllGreater
                     | AllLess
                     | AllGreaterEq
@@ -416,10 +417,7 @@ mod tests {
                 LfExpr::Const("alpha".into()),
             ],
         );
-        assert_eq!(
-            e.to_string(),
-            "eq { hop { argmax { all_rows ; score } ; name } ; alpha }"
-        );
+        assert_eq!(e.to_string(), "eq { hop { argmax { all_rows ; score } ; name } ; alpha }");
     }
 
     #[test]
@@ -428,7 +426,13 @@ mod tests {
         let count = Apply(
             LfOp::Eq,
             vec![
-                Apply(LfOp::Count, vec![Apply(LfOp::FilterEq, vec![AllRows, Column("a".into()), Const("x".into())])]),
+                Apply(
+                    LfOp::Count,
+                    vec![Apply(
+                        LfOp::FilterEq,
+                        vec![AllRows, Column("a".into()), Const("x".into())],
+                    )],
+                ),
                 Const("3".into()),
             ],
         );
@@ -436,7 +440,13 @@ mod tests {
         let superl = Apply(
             LfOp::Eq,
             vec![
-                Apply(LfOp::Hop, vec![Apply(LfOp::Argmax, vec![AllRows, Column("s".into())]), Column("n".into())]),
+                Apply(
+                    LfOp::Hop,
+                    vec![
+                        Apply(LfOp::Argmax, vec![AllRows, Column("s".into())]),
+                        Column("n".into()),
+                    ],
+                ),
                 Const("x".into()),
             ],
         );

@@ -45,13 +45,20 @@ impl LfValue {
 pub enum LfError {
     UnknownColumn(String),
     /// An argument had the wrong runtime type for its operator.
-    TypeMismatch { op: LfOp, expected: &'static str },
+    TypeMismatch {
+        op: LfOp,
+        expected: &'static str,
+    },
     /// A row/ordinal lookup found nothing (empty view, n out of range).
-    Empty { op: LfOp },
+    Empty {
+        op: LfOp,
+    },
     /// The expression still contains template holes.
     Uninstantiated,
     /// A numeric operation met a non-numeric value.
-    NonNumeric { op: LfOp },
+    NonNumeric {
+        op: LfOp,
+    },
 }
 
 impl fmt::Display for LfError {
@@ -99,9 +106,9 @@ pub fn evaluate_truth(expr: &LfExpr, table: &Table) -> Result<bool, LfError> {
 
 fn column_index(table: &Table, e: &LfExpr) -> Result<usize, LfError> {
     match e {
-        LfExpr::Column(name) | LfExpr::Const(name) => table
-            .column_index(name)
-            .ok_or_else(|| LfError::UnknownColumn(name.clone())),
+        LfExpr::Column(name) | LfExpr::Const(name) => {
+            table.column_index(name).ok_or_else(|| LfError::UnknownColumn(name.clone()))
+        }
         _ => Err(LfError::TypeMismatch { op: LfOp::Hop, expected: "a column name" }),
     }
 }
@@ -114,7 +121,8 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
         LfExpr::Const(text) => Ok(LfValue::Scalar(Value::parse(text))),
         LfExpr::ColumnHole(_) | LfExpr::ValueHole(_) => Err(LfError::Uninstantiated),
         LfExpr::Apply(op, args) => match op {
-            FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq | FilterLessEq => {
+            FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
+            | FilterLessEq => {
                 let view = eval_view(&args[0], table, hl)?;
                 let col = column_index(table, &args[1])?;
                 let rhs = eval_scalar(&args[2], table, hl)?;
@@ -216,7 +224,8 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                         if matches!(op, NthMax) {
                             nums.reverse();
                         }
-                        *nums.get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
+                        *nums
+                            .get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
                             .ok_or(LfError::Empty { op: *op })?
                     }
                     _ => unreachable!(),
@@ -296,18 +305,21 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                         matches += 1;
                     }
                 }
-                let is_all = matches!(op, AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq);
-                Ok(LfValue::Bool(if is_all {
-                    matches == total
-                } else {
-                    2 * matches > total
-                }))
+                let is_all = matches!(
+                    op,
+                    AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq
+                );
+                Ok(LfValue::Bool(if is_all { matches == total } else { 2 * matches > total }))
             }
         },
     }
 }
 
-fn eval_view(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<Vec<usize>, LfError> {
+fn eval_view(
+    e: &LfExpr,
+    table: &Table,
+    hl: &mut FxHashSet<(usize, usize)>,
+) -> Result<Vec<usize>, LfError> {
     match eval(e, table, hl)? {
         LfValue::View(v) => Ok(v),
         LfValue::Row(r) => Ok(vec![r]),
@@ -315,7 +327,11 @@ fn eval_view(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> R
     }
 }
 
-fn eval_scalar(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<Value, LfError> {
+fn eval_scalar(
+    e: &LfExpr,
+    table: &Table,
+    hl: &mut FxHashSet<(usize, usize)>,
+) -> Result<Value, LfError> {
     match eval(e, table, hl)? {
         LfValue::Scalar(v) => Ok(v),
         LfValue::Bool(b) => Ok(Value::Bool(b)),
@@ -323,7 +339,11 @@ fn eval_scalar(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) ->
     }
 }
 
-fn eval_ordinal(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<usize, LfError> {
+fn eval_ordinal(
+    e: &LfExpr,
+    table: &Table,
+    hl: &mut FxHashSet<(usize, usize)>,
+) -> Result<usize, LfError> {
     let v = eval_scalar(e, table, hl)?;
     v.as_number()
         .filter(|n| *n >= 1.0 && n.fract() == 0.0)

@@ -28,4 +28,4 @@ pub mod template;
 pub use ast::{LfExpr, LfOp, LogicType};
 pub use exec::{evaluate, evaluate_truth, LfError, LfOutcome, LfValue};
 pub use parser::{parse, LfParseError};
-pub use template::{abstract_form, InstantiatedClaim, LfTemplate};
+pub use template::{abstract_form, InstantiatedClaim, LfInstantiateError, LfTemplate};

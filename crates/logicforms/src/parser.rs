@@ -133,8 +133,10 @@ fn slot_kinds(op: LfOp) -> &'static [LeafKind] {
 fn resolve_leaf_kinds(raw: Raw, kind: LeafKind) -> Result<LfExpr, LfParseError> {
     match raw {
         Raw::Apply(name, args, pos) => {
-            let op = LfOp::from_name(&name)
-                .ok_or_else(|| LfParseError { pos, message: format!("unknown operator `{name}`") })?;
+            let op = LfOp::from_name(&name).ok_or_else(|| LfParseError {
+                pos,
+                message: format!("unknown operator `{name}`"),
+            })?;
             if args.len() != op.arity() {
                 return Err(LfParseError {
                     pos,
@@ -145,7 +147,9 @@ fn resolve_leaf_kinds(raw: Raw, kind: LeafKind) -> Result<LfExpr, LfParseError> 
             let resolved: Result<Vec<LfExpr>, LfParseError> = args
                 .into_iter()
                 .enumerate()
-                .map(|(i, a)| resolve_leaf_kinds(a, kinds.get(i).copied().unwrap_or(LeafKind::Other)))
+                .map(|(i, a)| {
+                    resolve_leaf_kinds(a, kinds.get(i).copied().unwrap_or(LeafKind::Other))
+                })
                 .collect();
             Ok(LfExpr::Apply(op, resolved?))
         }

@@ -17,6 +17,47 @@ use rand::Rng;
 use rustc_hash::FxHashMap;
 use tabular::{format_number, ColumnType, Table, Value};
 
+/// Why truth-targeted instantiation failed — the structured discard reasons
+/// the pipeline telemetry aggregates (instead of an opaque `None`). For the
+/// retrying entry point the reported reason is the one from the *last*
+/// attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LfInstantiateError {
+    /// The table has no rows to sample from.
+    EmptyTable,
+    /// No table column satisfies a column hole's (numeric) constraint.
+    NoCompatibleColumn,
+    /// A constrained column has no admissible value to fill a hole from.
+    NoValueCandidates,
+    /// A hole sits in a position the sampler does not support, or
+    /// substitution left holes behind.
+    MalformedTemplate,
+    /// Evaluating the partially instantiated program failed.
+    ExecutionFailed,
+    /// Execution produced a null / non-scalar result that cannot anchor a
+    /// truth-targeted literal.
+    DegenerateResult,
+    /// Sampling never reached the desired truth value within the retry
+    /// budget (paper §IV-C: such programs are discarded).
+    TruthUnreachable,
+}
+
+impl std::fmt::Display for LfInstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LfInstantiateError::EmptyTable => write!(f, "empty table"),
+            LfInstantiateError::NoCompatibleColumn => write!(f, "no compatible column"),
+            LfInstantiateError::NoValueCandidates => write!(f, "no value candidates"),
+            LfInstantiateError::MalformedTemplate => write!(f, "malformed template"),
+            LfInstantiateError::ExecutionFailed => write!(f, "execution failed"),
+            LfInstantiateError::DegenerateResult => write!(f, "degenerate result"),
+            LfInstantiateError::TruthUnreachable => write!(f, "desired truth unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for LfInstantiateError {}
+
 /// A reusable logical-form template.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LfTemplate {
@@ -81,30 +122,44 @@ impl LfTemplate {
 
     /// Instantiates the template on `table`, aiming for the given truth
     /// value. Returns `None` when the table cannot support the template or
-    /// sampling produced a degenerate program (paper: discarded).
+    /// sampling produced a degenerate program (paper: discarded); use
+    /// [`LfTemplate::try_instantiate`] to learn why.
     pub fn instantiate(
         &self,
         table: &Table,
         rng: &mut impl Rng,
         desired: bool,
     ) -> Option<InstantiatedClaim> {
-        if table.n_rows() == 0 {
-            return None;
-        }
-        for _attempt in 0..16 {
-            if let Some(claim) = self.try_instantiate(table, rng, desired) {
-                return Some(claim);
-            }
-        }
-        None
+        self.try_instantiate(table, rng, desired).ok()
     }
 
-    fn try_instantiate(
+    /// Like [`LfTemplate::instantiate`], but reports the failure reason of
+    /// the last sampling attempt.
+    pub fn try_instantiate(
         &self,
         table: &Table,
         rng: &mut impl Rng,
         desired: bool,
-    ) -> Option<InstantiatedClaim> {
+    ) -> Result<InstantiatedClaim, LfInstantiateError> {
+        if table.n_rows() == 0 {
+            return Err(LfInstantiateError::EmptyTable);
+        }
+        let mut last = LfInstantiateError::TruthUnreachable;
+        for _attempt in 0..16 {
+            match self.attempt_instantiate(table, rng, desired) {
+                Ok(claim) => return Ok(claim),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn attempt_instantiate(
+        &self,
+        table: &Table,
+        rng: &mut impl Rng,
+        desired: bool,
+    ) -> Result<InstantiatedClaim, LfInstantiateError> {
         // 1. Assign columns to holes, numeric-constrained holes first.
         let mut holes = self.column_holes();
         holes.sort_by_key(|(_, numeric)| !numeric);
@@ -112,17 +167,21 @@ impl LfTemplate {
         available.shuffle(rng);
         let mut cols: FxHashMap<usize, usize> = FxHashMap::default();
         for (hole, numeric) in &holes {
-            let pos = available.iter().position(|&ci| {
-                let ty = table.schema().column(ci).map(|c| c.ty);
-                if *numeric {
-                    matches!(ty, Some(ColumnType::Number))
-                } else {
-                    true
-                }
-            })?;
+            let pos = available
+                .iter()
+                .position(|&ci| {
+                    let ty = table.schema().column(ci).map(|c| c.ty);
+                    if *numeric {
+                        matches!(ty, Some(ColumnType::Number))
+                    } else {
+                        true
+                    }
+                })
+                .ok_or(LfInstantiateError::NoCompatibleColumn)?;
             cols.insert(*hole, available.remove(pos));
         }
-        let with_cols = substitute_columns(&self.expr, table, &cols)?;
+        let with_cols = substitute_columns(&self.expr, table, &cols)
+            .ok_or(LfInstantiateError::MalformedTemplate)?;
 
         // 2. Fill non-root value holes by sampling from their bound column.
         let mut partially = fill_inner_values(&with_cols, table, rng)?;
@@ -134,12 +193,15 @@ impl LfTemplate {
                 if let Some(side) = hole_side {
                     let sibling = &args[1 - side];
                     if sibling.has_holes() {
-                        return None;
+                        return Err(LfInstantiateError::MalformedTemplate);
                     }
-                    let out = evaluate(sibling, table).ok()?;
-                    let LfValue::Scalar(result) = out.value else { return None };
+                    let out = evaluate(sibling, table)
+                        .map_err(|_| LfInstantiateError::ExecutionFailed)?;
+                    let LfValue::Scalar(result) = out.value else {
+                        return Err(LfInstantiateError::DegenerateResult);
+                    };
                     if result.is_null() {
-                        return None;
+                        return Err(LfInstantiateError::DegenerateResult);
                     }
                     // Decide the literal: equal for matches-desired, else a
                     // perturbation that flips the comparator.
@@ -149,7 +211,8 @@ impl LfTemplate {
                         // greater/less roots with a free side: pick a value
                         // strictly beyond/before the result.
                         LfOp::Greater | LfOp::Less => {
-                            let n = result.as_number()?;
+                            let n =
+                                result.as_number().ok_or(LfInstantiateError::DegenerateResult)?;
                             let delta = (n.abs() * 0.25).max(1.0);
                             // `sibling cmp val`: hole on side 1 means result
                             // is lhs. greater(lhs, val): true needs val < lhs.
@@ -171,7 +234,7 @@ impl LfTemplate {
                     let literal = if wants_match {
                         result.clone()
                     } else {
-                        perturb(&result, table, rng)?
+                        perturb(&result, table, rng).ok_or(LfInstantiateError::NoValueCandidates)?
                     };
                     let mut new_args = args.clone();
                     new_args[side] = LfExpr::Const(literal.to_string());
@@ -183,29 +246,29 @@ impl LfTemplate {
     }
 }
 
-fn finish(expr: LfExpr, table: &Table, desired: bool) -> Option<InstantiatedClaim> {
+fn finish(
+    expr: LfExpr,
+    table: &Table,
+    desired: bool,
+) -> Result<InstantiatedClaim, LfInstantiateError> {
     if expr.has_holes() {
-        return None;
+        return Err(LfInstantiateError::MalformedTemplate);
     }
     match evaluate_truth(&expr, table) {
-        Ok(truth) if truth == desired => Some(InstantiatedClaim { expr, truth }),
-        Ok(_) => None, // let the caller retry with fresh sampling
-        Err(LfError::Empty { .. }) | Err(_) => None,
+        Ok(truth) if truth == desired => Ok(InstantiatedClaim { expr, truth }),
+        // Let the caller retry with fresh sampling.
+        Ok(_) => Err(LfInstantiateError::TruthUnreachable),
+        Err(LfError::Empty { .. }) => Err(LfInstantiateError::DegenerateResult),
+        Err(_) => Err(LfInstantiateError::ExecutionFailed),
     }
 }
 
-fn substitute_columns(
-    e: &LfExpr,
-    table: &Table,
-    cols: &FxHashMap<usize, usize>,
-) -> Option<LfExpr> {
+fn substitute_columns(e: &LfExpr, table: &Table, cols: &FxHashMap<usize, usize>) -> Option<LfExpr> {
     Some(match e {
         LfExpr::ColumnHole(i) => LfExpr::Column(table.column_name(*cols.get(i)?)?.to_string()),
         LfExpr::Apply(op, args) => LfExpr::Apply(
             *op,
-            args.iter()
-                .map(|a| substitute_columns(a, table, cols))
-                .collect::<Option<Vec<_>>>()?,
+            args.iter().map(|a| substitute_columns(a, table, cols)).collect::<Option<Vec<_>>>()?,
         ),
         other => other.clone(),
     })
@@ -214,7 +277,11 @@ fn substitute_columns(
 /// Fills value holes in *filter/majority val slots* and *ordinal slots* by
 /// sampling; leaves a root-comparator hole in place for the truth-targeting
 /// step.
-fn fill_inner_values(e: &LfExpr, table: &Table, rng: &mut impl Rng) -> Option<LfExpr> {
+fn fill_inner_values(
+    e: &LfExpr,
+    table: &Table,
+    rng: &mut impl Rng,
+) -> Result<LfExpr, LfInstantiateError> {
     // Values already drawn per column: distinct holes over the same column
     // must bind distinct values, or comparative templates degenerate into
     // "X is greater than X".
@@ -225,7 +292,7 @@ fn fill_inner_values(e: &LfExpr, table: &Table, rng: &mut impl Rng) -> Option<Lf
         rng: &mut impl Rng,
         at_root: bool,
         used: &mut FxHashMap<usize, Vec<Value>>,
-    ) -> Option<LfExpr> {
+    ) -> Result<LfExpr, LfInstantiateError> {
         match e {
             LfExpr::Apply(op, args) => {
                 use LfOp::*;
@@ -233,30 +300,56 @@ fn fill_inner_values(e: &LfExpr, table: &Table, rng: &mut impl Rng) -> Option<Lf
                 for (slot, a) in args.iter().enumerate() {
                     let filled = match a {
                         LfExpr::ValueHole(_) => {
-                            let is_root_comparator_slot = at_root
-                                && matches!(op, Eq | NotEq | RoundEq | Greater | Less);
+                            let is_root_comparator_slot =
+                                at_root && matches!(op, Eq | NotEq | RoundEq | Greater | Less);
                             if is_root_comparator_slot {
                                 a.clone() // deferred to truth targeting
                             } else if matches!(
                                 op,
-                                FilterEq | FilterNotEq | FilterGreater | FilterLess
-                                    | FilterGreaterEq | FilterLessEq | AllEq | AllNotEq
-                                    | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
-                                    | MostNotEq | MostGreater | MostLess | MostGreaterEq
+                                FilterEq
+                                    | FilterNotEq
+                                    | FilterGreater
+                                    | FilterLess
+                                    | FilterGreaterEq
+                                    | FilterLessEq
+                                    | AllEq
+                                    | AllNotEq
+                                    | AllGreater
+                                    | AllLess
+                                    | AllGreaterEq
+                                    | AllLessEq
+                                    | MostEq
+                                    | MostNotEq
+                                    | MostGreater
+                                    | MostLess
+                                    | MostGreaterEq
                                     | MostLessEq
                             ) && slot == 2
                             {
                                 let ordered_op = matches!(
                                     op,
-                                    FilterGreater | FilterLess | FilterGreaterEq | FilterLessEq
-                                        | AllGreater | AllLess | AllGreaterEq | AllLessEq
-                                        | MostGreater | MostLess | MostGreaterEq | MostLessEq
+                                    FilterGreater
+                                        | FilterLess
+                                        | FilterGreaterEq
+                                        | FilterLessEq
+                                        | AllGreater
+                                        | AllLess
+                                        | AllGreaterEq
+                                        | AllLessEq
+                                        | MostGreater
+                                        | MostLess
+                                        | MostGreaterEq
+                                        | MostLessEq
                                 );
                                 // Sample from the column in slot 1,
                                 // avoiding values already bound to another
                                 // hole of the same column.
-                                let LfExpr::Column(col_name) = &args[1] else { return None };
-                                let ci = table.column_index(col_name)?;
+                                let LfExpr::Column(col_name) = &args[1] else {
+                                    return Err(LfInstantiateError::MalformedTemplate);
+                                };
+                                let ci = table
+                                    .column_index(col_name)
+                                    .ok_or(LfInstantiateError::MalformedTemplate)?;
                                 let taken = used.entry(ci).or_default();
                                 let candidates: Vec<Value> = table
                                     .column_values(ci)
@@ -264,7 +357,10 @@ fn fill_inner_values(e: &LfExpr, table: &Table, rng: &mut impl Rng) -> Option<Lf
                                     .filter(|v| !v.is_null())
                                     .filter(|v| !taken.iter().any(|t| t.loosely_equals(v)))
                                     .collect();
-                                let mut v = candidates.choose(rng)?.clone();
+                                let mut v = candidates
+                                    .choose(rng)
+                                    .ok_or(LfInstantiateError::NoValueCandidates)?
+                                    .clone();
                                 // Humans write round thresholds ("more than
                                 // 70"), not cell-exact ones; round half the
                                 // ordered-comparison thresholds the same way.
@@ -281,16 +377,17 @@ fn fill_inner_values(e: &LfExpr, table: &Table, rng: &mut impl Rng) -> Option<Lf
                                 let max_n = table.n_rows().clamp(1, 3);
                                 LfExpr::Const(format!("{}", rng.gen_range(1..=max_n)))
                             } else {
-                                return None; // hole in an unsupported position
+                                // Hole in an unsupported position.
+                                return Err(LfInstantiateError::MalformedTemplate);
                             }
                         }
                         other => walk(other, table, rng, false, used)?,
                     };
                     new_args.push(filled);
                 }
-                Some(LfExpr::Apply(*op, new_args))
+                Ok(LfExpr::Apply(*op, new_args))
             }
-            other => Some(other.clone()),
+            other => Ok(other.clone()),
         }
     }
     walk(e, table, rng, true, &mut used)
@@ -368,10 +465,24 @@ pub fn abstract_form(expr: &LfExpr) -> LfTemplate {
                 if let Some((op, slot, at_root)) = parent {
                     let is_filter_val = matches!(
                         op,
-                        FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
-                            | FilterLessEq | AllEq | AllNotEq | AllGreater | AllLess
-                            | AllGreaterEq | AllLessEq | MostEq | MostNotEq | MostGreater
-                            | MostLess | MostGreaterEq | MostLessEq
+                        FilterEq
+                            | FilterNotEq
+                            | FilterGreater
+                            | FilterLess
+                            | FilterGreaterEq
+                            | FilterLessEq
+                            | AllEq
+                            | AllNotEq
+                            | AllGreater
+                            | AllLess
+                            | AllGreaterEq
+                            | AllLessEq
+                            | MostEq
+                            | MostNotEq
+                            | MostGreater
+                            | MostLess
+                            | MostGreaterEq
+                            | MostLessEq
                     ) && slot == 2;
                     let is_root_cmp_val =
                         at_root && matches!(op, Eq | NotEq | RoundEq | Greater | Less);
@@ -400,9 +511,7 @@ pub fn abstract_form(expr: &LfExpr) -> LfTemplate {
         }
     }
 
-    LfTemplate {
-        expr: walk(expr, None, &mut col_map, &mut next_col, &mut next_val),
-    }
+    LfTemplate { expr: walk(expr, None, &mut col_map, &mut next_col, &mut next_val) }
 }
 
 #[cfg(test)]
@@ -464,8 +573,8 @@ mod tests {
 
     #[test]
     fn instantiate_count_template_both_labels() {
-        let tpl =
-            LfTemplate::parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }").unwrap();
+        let tpl = LfTemplate::parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }")
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let sup = tpl.instantiate(&table(), &mut rng, true).unwrap();
         assert!(sup.truth);
@@ -506,16 +615,28 @@ mod tests {
 
     #[test]
     fn instantiate_fails_without_numeric_column() {
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"]]).unwrap();
+        let t =
+            Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"]]).unwrap();
         let tpl = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }").unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(tpl.instantiate(&t, &mut rng, true).is_none());
+        assert_eq!(
+            tpl.try_instantiate(&t, &mut rng, true),
+            Err(LfInstantiateError::NoCompatibleColumn)
+        );
+    }
+
+    #[test]
+    fn try_instantiate_reports_empty_table() {
+        let t = Table::from_strings("t", &[vec!["a", "b"]]).unwrap();
+        let tpl = LfTemplate::parse("eq { count { all_rows } ; val1 }").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(tpl.try_instantiate(&t, &mut rng, true), Err(LfInstantiateError::EmptyTable));
     }
 
     #[test]
     fn column_holes_numeric_inference() {
-        let tpl =
-            LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }").unwrap();
+        let tpl = LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }").unwrap();
         let holes = tpl.column_holes();
         assert_eq!(holes, vec![(1, true), (2, false)]);
     }

@@ -98,10 +98,7 @@ impl TableStats {
             }
             let sum: f64 = values.iter().sum();
             let entity_of = |ri: usize| {
-                table
-                    .cell(ri, ecol)
-                    .filter(|v| !v.is_null())
-                    .map(|v| v.to_string().to_lowercase())
+                table.cell(ri, ecol).filter(|v| !v.is_null()).map(|v| v.to_string().to_lowercase())
             };
             numeric.push(ColStats {
                 header: table.column_name(ci).unwrap_or("").to_lowercase(),
@@ -126,12 +123,7 @@ impl TableStats {
             .filter(|v| !v.is_null())
             .map(|v| v.to_string().to_lowercase())
             .collect();
-        let headers = table
-            .schema()
-            .columns()
-            .iter()
-            .map(|c| c.name.to_lowercase())
-            .collect();
+        let headers = table.schema().columns().iter().map(|c| c.name.to_lowercase()).collect();
         TableStats { n_rows: table.n_rows(), numeric, cell_texts, entities, headers }
     }
 }
@@ -164,12 +156,26 @@ pub fn detect_cues(text: &str) -> Cues {
         // corpus-specific question idioms must be learned from training
         // data via the lexical features.
         superlative_max: has(&[
-            "highest", "most ", "greatest", "largest", "top", "maximum", "no entry posts a higher",
-            "no row has a higher", "leads", "ahead of",
+            "highest",
+            "most ",
+            "greatest",
+            "largest",
+            "top",
+            "maximum",
+            "no entry posts a higher",
+            "no row has a higher",
+            "leads",
+            "ahead of",
         ]),
         superlative_min: has(&[
-            "lowest", "least", "smallest", "fewest", "minimum", "no entry posts a lower",
-            "falls short", "last",
+            "lowest",
+            "least",
+            "smallest",
+            "fewest",
+            "minimum",
+            "no entry posts a lower",
+            "falls short",
+            "last",
         ]),
         count: has(&["there are", "number of", "how many", "count", "a total of", "exactly"]),
         majority: has(&["most of the", "majority", "more than half"]),
@@ -179,8 +185,16 @@ pub fn detect_cues(text: &str) -> Cues {
         total: has(&["total", "sum", "combined", "overall"]),
         negation: has(&["not the case", "it is false", " not ", "never", "no longer"]),
         comparative: has(&[
-            "more than", "less than", "greater than", "fewer than", "higher than", "lower than",
-            "above", "below", "gap between", "difference",
+            "more than",
+            "less than",
+            "greater than",
+            "fewer than",
+            "higher than",
+            "lower than",
+            "above",
+            "below",
+            "gap between",
+            "difference",
         ]),
         ordinal: has(&["second", "third", "fourth", "2nd", "3rd", "4th", "rank"]),
     }
@@ -188,10 +202,7 @@ pub fn detect_cues(text: &str) -> Cues {
 
 /// Extracts the numbers mentioned in a text.
 pub fn extract_numbers(text: &str) -> Vec<f64> {
-    tokenize(text)
-        .iter()
-        .filter_map(|t| t.parse::<f64>().ok())
-        .collect()
+    tokenize(text).iter().filter_map(|t| t.parse::<f64>().ok()).collect()
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -235,10 +246,8 @@ pub fn verifier_features(sample: &Sample) -> FeatureVec {
     let mut any_agg: [bool; 4] = [false; 4]; // max, min, sum, avg
     let mut count_match = false;
     for &n in &numbers {
-        let cell_match = stats
-            .cell_texts
-            .iter()
-            .any(|c| c.parse::<f64>().is_ok_and(|x| close(x, n)));
+        let cell_match =
+            stats.cell_texts.iter().any(|c| c.parse::<f64>().is_ok_and(|x| close(x, n)));
         if cell_match {
             any_cell_match = true;
         }
@@ -380,7 +389,11 @@ pub fn verifier_features(sample: &Sample) -> FeatureVec {
         let mut all_true = false;
         let mut most_true = false;
         let mut all_false_possible = false;
-        for col in if mentioned_cols.is_empty() { stats.numeric.iter().collect::<Vec<_>>() } else { mentioned_cols.clone() } {
+        for col in if mentioned_cols.is_empty() {
+            stats.numeric.iter().collect::<Vec<_>>()
+        } else {
+            mentioned_cols.clone()
+        } {
             for &n in &numbers {
                 let gt = col.values.iter().filter(|&&v| v > n).count();
                 let lt = col.values.iter().filter(|&&v| v < n).count();
@@ -412,7 +425,8 @@ pub fn verifier_features(sample: &Sample) -> FeatureVec {
     // mentioned entity's own row? (the basic single-row fact check --
     // decisive for simple claims like "X has a budget of 700") ---
     {
-        let ecol = if sample.table.n_cols() > 0 { textops::entity_column(&sample.table) } else { 0 };
+        let ecol =
+            if sample.table.n_cols() > 0 { textops::entity_column(&sample.table) } else { 0 };
         let mut row_hit = false;
         let mut row_miss = false;
         for ri in 0..sample.table.n_rows() {
@@ -423,10 +437,7 @@ pub fn verifier_features(sample: &Sample) -> FeatureVec {
             }
             let row = sample.table.row(ri).unwrap_or(&[]);
             for &n in &numbers {
-                let hit = row
-                    .iter()
-                    .filter_map(tabular::Value::as_number)
-                    .any(|x| close(x, n));
+                let hit = row.iter().filter_map(tabular::Value::as_number).any(|x| close(x, n));
                 if hit {
                     row_hit = true;
                 } else {
@@ -494,10 +505,10 @@ pub fn verifier_features(sample: &Sample) -> FeatureVec {
     // (already handled by the numeric signals above) would dilute the
     // ratio and make ordinary count/threshold claims look off-topic.
     const STOP: &[&str] = &[
-        "the", "a", "an", "of", "is", "was", "are", "were", "has", "have", "in", "on", "for",
-        "to", "and", "or", "that", "than", "more", "less", "there", "rows", "row", "whose",
-        "with", "its", "it", "as", "by", "at", "from", "their", "most", "all", "only", "not",
-        "entries", "entry", "table", "one", "no", "be",
+        "the", "a", "an", "of", "is", "was", "are", "were", "has", "have", "in", "on", "for", "to",
+        "and", "or", "that", "than", "more", "less", "there", "rows", "row", "whose", "with",
+        "its", "it", "as", "by", "at", "from", "their", "most", "all", "only", "not", "entries",
+        "entry", "table", "one", "no", "be",
     ];
     let content_tokens: Vec<&String> = claim_tokens
         .iter()
@@ -511,21 +522,16 @@ pub fn verifier_features(sample: &Sample) -> FeatureVec {
                 || context.contains(t.as_str())
         })
         .count();
-    let coverage = if content_tokens.is_empty() {
-        1.0
-    } else {
-        covered as f64 / content_tokens.len() as f64
-    };
+    let coverage =
+        if content_tokens.is_empty() { 1.0 } else { covered as f64 / content_tokens.len() as f64 };
     fv.add("sig:coverage", coverage);
     if coverage < 0.35 {
         fv.flag("sig:low_coverage");
     }
     // A claim is anchored when it mentions an entity, matches a cell value,
     // or names a column it quantifies over.
-    let mentions_header = stats
-        .headers
-        .iter()
-        .any(|h| !h.is_empty() && claim_lower.contains(h.as_str()));
+    let mentions_header =
+        stats.headers.iter().any(|h| !h.is_empty() && claim_lower.contains(h.as_str()));
     let ent_or_num_anchor = !mentioned_entities.is_empty() || any_cell_match || mentions_header;
     if !ent_or_num_anchor {
         fv.flag("sig:no_anchor");
@@ -587,7 +593,8 @@ mod tests {
 
     #[test]
     fn supmax_hit_feature_fires_for_true_superlative() {
-        let s = uctr::Sample::verification(table(), "P300 has the highest speed.", Verdict::Supported);
+        let s =
+            uctr::Sample::verification(table(), "P300 has the highest speed.", Verdict::Supported);
         let fv = verifier_features(&s);
         let hit = FeatureVec::hash_name("x:supmax_hit");
         assert!(fv.iter().any(|(i, _)| i == hit), "expected supmax_hit");
@@ -595,7 +602,8 @@ mod tests {
 
     #[test]
     fn supmax_nohit_for_false_superlative() {
-        let s = uctr::Sample::verification(table(), "P100 has the highest speed.", Verdict::Refuted);
+        let s =
+            uctr::Sample::verification(table(), "P100 has the highest speed.", Verdict::Refuted);
         let fv = verifier_features(&s);
         let nohit = FeatureVec::hash_name("x:supmax_nohit");
         assert!(fv.iter().any(|(i, _)| i == nohit), "expected supmax_nohit");
@@ -625,7 +633,8 @@ mod tests {
     #[test]
     fn aggregate_signal() {
         // avg price = 299
-        let s = uctr::Sample::verification(table(), "The average price is 299.", Verdict::Supported);
+        let s =
+            uctr::Sample::verification(table(), "The average price is 299.", Verdict::Supported);
         let fv = verifier_features(&s);
         let hit = FeatureVec::hash_name("x:avg_hit");
         assert!(fv.iter().any(|(i, _)| i == hit));
@@ -647,7 +656,8 @@ mod tests {
     fn row_consistency_signal() {
         let t = table();
         // Claimed value sits in P200's row.
-        let s = uctr::Sample::verification(t.clone(), "P200 has a price of 299.", Verdict::Supported);
+        let s =
+            uctr::Sample::verification(t.clone(), "P200 has a price of 299.", Verdict::Supported);
         let fv = verifier_features(&s);
         let hit = FeatureVec::hash_name("sig:row_value_hit");
         assert!(fv.iter().any(|(i, _)| i == hit));

@@ -109,7 +109,11 @@ impl LinearModel {
     }
 
     /// Trains with AdaGrad SGD on (features, class) pairs.
-    pub fn train(examples: &[(FeatureVec, usize)], n_classes: usize, cfg: TrainConfig) -> LinearModel {
+    pub fn train(
+        examples: &[(FeatureVec, usize)],
+        n_classes: usize,
+        cfg: TrainConfig,
+    ) -> LinearModel {
         let mut model = LinearModel::zeros(n_classes);
         if examples.is_empty() {
             return model;
@@ -309,7 +313,8 @@ mod tests {
         let base: Vec<(FeatureVec, usize)> = (0..20).map(|_| (fv(&[("x", 1.0)]), 0usize)).collect();
         let mut model = LinearModel::train(&base, 2, TrainConfig::default());
         assert_eq!(model.predict(&fv(&[("x", 1.0)])), 0);
-        let flip: Vec<(FeatureVec, usize)> = (0..200).map(|_| (fv(&[("x", 1.0)]), 1usize)).collect();
+        let flip: Vec<(FeatureVec, usize)> =
+            (0..200).map(|_| (fv(&[("x", 1.0)]), 1usize)).collect();
         model.train_more(&flip, TrainConfig { epochs: 30, ..TrainConfig::default() });
         assert_eq!(model.predict(&fv(&[("x", 1.0)])), 1);
     }

@@ -19,7 +19,8 @@ pub fn exact_match(pred: &str, gold: &str) -> bool {
     }
     // Numeric tolerance: "−0.2" vs "-0.200001" style float noise.
     if let (Ok(a), Ok(b)) = (p.parse::<f64>(), g.parse::<f64>()) {
-        return tabular::nearly_equal(a, b) || (a - b).abs() <= 0.005 * a.abs().max(b.abs()).max(1e-9);
+        return tabular::nearly_equal(a, b)
+            || (a - b).abs() <= 0.005 * a.abs().max(b.abs()).max(1e-9);
     }
     false
 }
@@ -29,7 +30,9 @@ pub fn numeracy_f1(pred: &str, gold: &str) -> f64 {
     let p = normalize_answer(pred);
     let g = normalize_answer(gold);
     if let (Ok(a), Ok(b)) = (p.parse::<f64>(), g.parse::<f64>()) {
-        return if tabular::nearly_equal(a, b) || (a - b).abs() <= 0.005 * a.abs().max(b.abs()).max(1e-9) {
+        return if tabular::nearly_equal(a, b)
+            || (a - b).abs() <= 0.005 * a.abs().max(b.abs()).max(1e-9)
+        {
             1.0
         } else {
             0.0
@@ -130,10 +133,8 @@ mod tests {
 
     #[test]
     fn em_f1_aggregation() {
-        let pairs = vec![
-            ("5".to_string(), "5".to_string()),
-            ("x b".to_string(), "x c".to_string()),
-        ];
+        let pairs =
+            vec![("5".to_string(), "5".to_string()), ("x b".to_string(), "x c".to_string())];
         let (em, f1) = em_f1(&pairs);
         assert_eq!(em, 50.0);
         assert!(f1 > 50.0 && f1 < 100.0);
@@ -153,15 +154,12 @@ mod tests {
     fn sample_with_program() -> Sample {
         let t = Table::from_strings(
             "Printers",
-            &[
-                vec!["model", "speed"],
-                vec!["P100", "60"],
-                vec!["P300", "95"],
-            ],
+            &[vec!["model", "speed"], vec!["P100", "60"], vec!["P300", "95"]],
         )
         .unwrap();
         let mut s = Sample::verification(t, "P300 has the highest speed.", Verdict::Supported);
-        s.program = ProgramKind::Logic("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }".into());
+        s.program =
+            ProgramKind::Logic("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }".into());
         s
     }
 

@@ -56,8 +56,11 @@ fn qa_cues(question: &str) -> QaCues {
         pct: has(&["percent", "percentage", "relative change"]),
         diff: has(&["difference", "change in", "gap", "differ"]),
         ratio: has(&["ratio", "product"]),
-        yesno: lower.starts_with("was ") || lower.starts_with("does ") || lower.starts_with("did ")
-            || lower.starts_with("is ") || lower.contains("greater than") && lower.starts_with("w"),
+        yesno: lower.starts_with("was ")
+            || lower.starts_with("does ")
+            || lower.starts_with("did ")
+            || lower.starts_with("is ")
+            || lower.contains("greater than") && lower.starts_with("w"),
         lookup: has(&["what is the", "tell me the", "which", "name the", "listed", "recorded"]),
     }
 }
@@ -160,11 +163,7 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
     let numeric_cols: Vec<usize> = table.schema().columns_of_type(ColumnType::Number);
     for &ci in &numeric_cols {
         let header = table.column_name(ci).unwrap_or("").to_string();
-        let vals: Vec<f64> = table
-            .column_values(ci)
-            .iter()
-            .filter_map(Value::as_number)
-            .collect();
+        let vals: Vec<f64> = table.column_values(ci).iter().filter_map(Value::as_number).collect();
         if vals.is_empty() {
             continue;
         }
@@ -172,7 +171,9 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
         let min = vals.iter().cloned().fold(f64::MAX, f64::min);
         let sum: f64 = vals.iter().sum();
         let avg = sum / vals.len() as f64;
-        for (kind, value) in [("agg_max", max), ("agg_min", min), ("agg_sum", sum), ("agg_avg", avg)] {
+        for (kind, value) in
+            [("agg_max", max), ("agg_min", min), ("agg_sum", sum), ("agg_avg", avg)]
+        {
             let text = format_number(value);
             let fv = base_features(kind, &cues, &qtokens, Some(&header), None, &text);
             out.push(Candidate { text, kind: kind.to_string(), features: fv });
@@ -206,7 +207,8 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
                 .count();
             if matches > 0 {
                 let text = format_number(matches as f64);
-                let mut fv = base_features("count_filter", &cues, &qtokens, Some(&header), None, &text);
+                let mut fv =
+                    base_features("count_filter", &cues, &qtokens, Some(&header), None, &text);
                 fv.flag("count:has_filter_value");
                 out.push(Candidate { text, kind: "count_filter".into(), features: fv });
             }
@@ -216,7 +218,8 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
     for &ci in &numeric_cols {
         let header = table.column_name(ci).unwrap_or("").to_string();
         for &n in &qnumbers {
-            let vals: Vec<f64> = table.column_values(ci).iter().filter_map(Value::as_number).collect();
+            let vals: Vec<f64> =
+                table.column_values(ci).iter().filter_map(Value::as_number).collect();
             let gt = vals.iter().filter(|&&v| v > n).count();
             let lt = vals.iter().filter(|&&v| v < n).count();
             for (kind, k) in [("count_gt", gt), ("count_lt", lt)] {
@@ -291,7 +294,14 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
                         return;
                     }
                     let text = format_number(round6(value));
-                    let fv = base_features(kind, &cues, &qtokens, Some(&pair_header), row_ent.as_deref(), &text);
+                    let fv = base_features(
+                        kind,
+                        &cues,
+                        &qtokens,
+                        Some(&pair_header),
+                        row_ent.as_deref(),
+                        &text,
+                    );
                     out.push(Candidate { text, kind: kind.to_string(), features: fv });
                 };
                 push("arith_diff", a - b);
@@ -329,7 +339,8 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
                         return;
                     }
                     let text = format_number(round6(value));
-                    let fv = base_features(kind, &cues, &qtokens, Some(&header), Some(&pair_ent), &text);
+                    let fv =
+                        base_features(kind, &cues, &qtokens, Some(&header), Some(&pair_ent), &text);
                     out.push(Candidate { text, kind: kind.to_string(), features: fv });
                 };
                 push("arith_diff", a - b);
@@ -358,7 +369,14 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
         for ri in 0..table.n_rows() {
             let Some(v) = table.cell(ri, ci).and_then(Value::as_number) else { continue };
             let text = format_number(round6(v / sum));
-            let fv = base_features("arith_prop", &cues, &qtokens, Some(&header), entity_of(ri).as_deref(), &text);
+            let fv = base_features(
+                "arith_prop",
+                &cues,
+                &qtokens,
+                Some(&header),
+                entity_of(ri).as_deref(),
+                &text,
+            );
             out.push(Candidate { text, kind: "arith_prop".into(), features: fv });
         }
     }
@@ -454,7 +472,9 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
                     .iter()
                     .filter_map(|&r| table.cell(r, sc).and_then(Value::as_number).map(|n| (n, r)))
                     .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                for (kind, best) in [("lookup_filter_max", best_max), ("lookup_filter_min", best_min)] {
+                for (kind, best) in
+                    [("lookup_filter_max", best_max), ("lookup_filter_min", best_min)]
+                {
                     let Some((_, ri)) = best else { continue };
                     for tc in 0..table.n_cols() {
                         if tc == sc || tc == fc {
@@ -495,7 +515,10 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
                     }
                     for &n in &qnumbers {
                         for (kind, pred) in [
-                            ("count_filter_gt", Box::new(move |v: f64| v > n) as Box<dyn Fn(f64) -> bool>),
+                            (
+                                "count_filter_gt",
+                                Box::new(move |v: f64| v > n) as Box<dyn Fn(f64) -> bool>,
+                            ),
                             ("count_filter_lt", Box::new(move |v: f64| v < n)),
                         ] {
                             let k = (0..table.n_rows())
@@ -530,13 +553,18 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
     if cues.yesno {
         let truth = resolve_comparison(sample, &table);
         for yes in [true, false] {
-            let mut fv = base_features("yesno", &cues, &qtokens, None, None, if yes { "yes" } else { "no" });
+            let mut fv =
+                base_features("yesno", &cues, &qtokens, None, None, if yes { "yes" } else { "no" });
             match truth {
                 Some(t) if t == yes => fv.flag("yesno:consistent"),
                 Some(_) => fv.flag("yesno:inconsistent"),
                 None => fv.flag("yesno:unresolved"),
             }
-            out.push(Candidate { text: if yes { "yes" } else { "no" }.to_string(), kind: "yesno".into(), features: fv });
+            out.push(Candidate {
+                text: if yes { "yes" } else { "no" }.to_string(),
+                kind: "yesno".into(),
+                features: fv,
+            });
         }
     }
 
@@ -628,8 +656,17 @@ impl CandidateSpace {
             CandidateSpace::CellsAndAggs => {
                 matches!(
                     kind,
-                    "cell" | "agg_max" | "agg_min" | "agg_sum" | "agg_avg" | "argmax_ent"
-                        | "argmin_ent" | "count_all" | "count_filter" | "lookup" | "ctx_num"
+                    "cell"
+                        | "agg_max"
+                        | "agg_min"
+                        | "agg_sum"
+                        | "agg_avg"
+                        | "argmax_ent"
+                        | "argmin_ent"
+                        | "count_all"
+                        | "count_filter"
+                        | "lookup"
+                        | "ctx_num"
                 )
             }
         }
@@ -672,10 +709,8 @@ impl QaModel {
         for s in samples {
             let Some(gold) = s.label.as_answer() else { continue };
             let gold_norm = normalize_answer(gold);
-            let candidates: Vec<Candidate> = generate_candidates(s)
-                .into_iter()
-                .filter(|c| self.space.allows(&c.kind))
-                .collect();
+            let candidates: Vec<Candidate> =
+                generate_candidates(s).into_iter().filter(|c| self.space.allows(&c.kind)).collect();
             let has_pos = candidates.iter().any(|c| normalize_answer(&c.text) == gold_norm);
             if !has_pos {
                 continue; // unanswerable under the candidate space
@@ -697,8 +732,10 @@ impl QaModel {
         candidates
             .into_iter()
             .max_by(|a, b| {
-                let sa = self.ranker.class_score(&a.features, 1) - self.ranker.class_score(&a.features, 0);
-                let sb = self.ranker.class_score(&b.features, 1) - self.ranker.class_score(&b.features, 0);
+                let sa = self.ranker.class_score(&a.features, 1)
+                    - self.ranker.class_score(&a.features, 0);
+                let sb = self.ranker.class_score(&b.features, 1)
+                    - self.ranker.class_score(&b.features, 0);
                 sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|c| c.text)
@@ -742,7 +779,11 @@ mod tests {
             &[vec!["item", "2019", "2018"], vec!["Equity", "3200", "4000"]],
         )
         .unwrap();
-        let s = Sample::qa(t, "In percentage terms, how did Equity move between 2018 and 2019?", "-0.2");
+        let s = Sample::qa(
+            t,
+            "In percentage terms, how did Equity move between 2018 and 2019?",
+            "-0.2",
+        );
         let cands = generate_candidates(&s);
         assert!(cands.iter().any(|c| c.text == "-0.2"), "pct candidate missing");
     }
@@ -757,7 +798,11 @@ mod tests {
 
     #[test]
     fn yes_no_candidates_for_comparatives() {
-        let s = Sample::qa(table(), "Was the budget of Defense greater than the budget of Treasury?", "yes");
+        let s = Sample::qa(
+            table(),
+            "Was the budget of Defense greater than the budget of Treasury?",
+            "yes",
+        );
         let cands = generate_candidates(&s);
         assert!(cands.iter().any(|c| c.text == "yes"));
         assert!(cands.iter().any(|c| c.text == "no"));
@@ -765,7 +810,12 @@ mod tests {
 
     #[test]
     fn trained_model_beats_untrained() {
-        let b = wikisql_like(CorpusConfig { n_tables: 40, train_per_table: 8, eval_per_table: 2, seed: 3 });
+        let b = wikisql_like(CorpusConfig {
+            n_tables: 40,
+            train_per_table: 8,
+            eval_per_table: 2,
+            seed: 3,
+        });
         let trained = QaModel::train(&b.gold.train);
         let untrained = QaModel::untrained();
         let em = |m: &QaModel| {
@@ -773,7 +823,10 @@ mod tests {
                 .gold
                 .dev
                 .iter()
-                .filter(|s| normalize_answer(&m.predict(s)) == normalize_answer(s.label.as_answer().unwrap()))
+                .filter(|s| {
+                    normalize_answer(&m.predict(s))
+                        == normalize_answer(s.label.as_answer().unwrap())
+                })
                 .count();
             hits as f64 / b.gold.dev.len() as f64
         };
@@ -795,7 +848,11 @@ mod tests {
             &[vec!["item", "2019"], vec!["Revenue", "8800"], vec!["Costs", "6100"]],
         )
         .unwrap();
-        let s = Sample::qa(t, "How far apart are Revenue's 2019 figure and Costs's 2019 figure?", "2700");
+        let s = Sample::qa(
+            t,
+            "How far apart are Revenue's 2019 figure and Costs's 2019 figure?",
+            "2700",
+        );
         let cands = generate_candidates(&s);
         assert!(cands.iter().any(|c| c.text == "2700" && c.kind == "arith_diff"));
         assert!(cands.iter().any(|c| c.text == "-2700"));
@@ -814,7 +871,10 @@ mod tests {
         .unwrap();
         let s = Sample::qa(t, "What share of the 2019 total does Costs account for?", "0.2");
         let cands = generate_candidates(&s);
-        assert!(cands.iter().any(|c| c.text == "0.2" && c.kind == "arith_prop"), "proportion missing");
+        assert!(
+            cands.iter().any(|c| c.text == "0.2" && c.kind == "arith_prop"),
+            "proportion missing"
+        );
         // sum(2019)=10000, sum(2018)=10000 -> sumdiff 0
         assert!(cands.iter().any(|c| c.kind == "arith_sumdiff"));
     }
@@ -846,7 +906,11 @@ mod tests {
             ],
         )
         .unwrap();
-        let s = Sample::qa(t, "Name the entry that leads in pts, considering only rows where group equals x?", "b");
+        let s = Sample::qa(
+            t,
+            "Name the entry that leads in pts, considering only rows where group equals x?",
+            "b",
+        );
         let cands = generate_candidates(&s);
         assert!(
             cands.iter().any(|c| c.text == "b" && c.kind == "lookup_filter_max"),
@@ -881,7 +945,11 @@ mod tests {
             &[vec!["item", "2019", "2018"], vec!["Equity", "3200", "4000"]],
         )
         .unwrap();
-        let s = Sample::qa(t, "In percentage terms, how did Equity move between 2018 and 2019?", "-0.2");
+        let s = Sample::qa(
+            t,
+            "In percentage terms, how did Equity move between 2018 and 2019?",
+            "-0.2",
+        );
         let full = generate_candidates(&s);
         assert!(full.iter().any(|c| c.kind.starts_with("arith")));
         assert!(CandidateSpace::CellsAndAggs.allows("cell"));

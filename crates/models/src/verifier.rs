@@ -183,15 +183,17 @@ mod tests {
 
     #[test]
     fn trained_verifier_beats_random_on_gold() {
-        let b = semtab_like(CorpusConfig { n_tables: 40, train_per_table: 6, eval_per_table: 2, seed: 5 });
+        let b = semtab_like(CorpusConfig {
+            n_tables: 40,
+            train_per_table: 6,
+            eval_per_table: 2,
+            seed: 5,
+        });
         let model = VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::Full);
         let acc = model.accuracy(&b.gold.dev);
         let mut rng = StdRng::seed_from_u64(1);
         let rand_acc = RandomVerifier::new(VerdictSpace::ThreeWay).accuracy(&b.gold.dev, &mut rng);
-        assert!(
-            acc > rand_acc + 0.12,
-            "trained {acc:.3} vs random {rand_acc:.3}"
-        );
+        assert!(acc > rand_acc + 0.12, "trained {acc:.3} vs random {rand_acc:.3}");
     }
 
     #[test]
@@ -202,9 +204,15 @@ mod tests {
 
     #[test]
     fn sentence_only_fails_on_table_claims() {
-        let b = semtab_like(CorpusConfig { n_tables: 80, train_per_table: 6, eval_per_table: 8, seed: 9 });
+        let b = semtab_like(CorpusConfig {
+            n_tables: 80,
+            train_per_table: 6,
+            eval_per_table: 8,
+            seed: 9,
+        });
         let full = VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::Full);
-        let blind = VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::SentenceOnly);
+        let blind =
+            VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::SentenceOnly);
         // SEM-TAB-FACTS claims are table-grounded: hiding the table hurts.
         let (af, ab) = (full.accuracy(&b.gold.dev), blind.accuracy(&b.gold.dev));
         assert!(af > ab, "full {af:.3} vs blind {ab:.3}");
@@ -212,10 +220,16 @@ mod tests {
 
     #[test]
     fn fine_tuning_improves_over_few_shot_alone() {
-        let b = semtab_like(CorpusConfig { n_tables: 40, train_per_table: 6, eval_per_table: 2, seed: 11 });
+        let b = semtab_like(CorpusConfig {
+            n_tables: 40,
+            train_per_table: 6,
+            eval_per_table: 2,
+            seed: 11,
+        });
         let few: Vec<Sample> = b.gold.train.iter().take(10).cloned().collect();
         let few_only = VerifierModel::train(&few, VerdictSpace::ThreeWay, EvidenceView::Full);
-        let mut pretrained = VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::Full);
+        let mut pretrained =
+            VerifierModel::train(&b.gold.train, VerdictSpace::ThreeWay, EvidenceView::Full);
         pretrained.fine_tune(&few, TrainConfig { epochs: 2, ..TrainConfig::default() });
         assert!(pretrained.accuracy(&b.gold.dev) >= few_only.accuracy(&b.gold.dev));
     }

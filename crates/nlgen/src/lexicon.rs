@@ -42,7 +42,8 @@ pub const WHAT_IS: Slot = Slot::new(&["what is", "what was", "what's"]);
 /// Counting starters.
 pub const HOW_MANY: Slot = Slot::new(&["how many", "what number of"]);
 /// "more than" comparatives.
-pub const MORE_THAN: Slot = Slot::new(&["more than", "greater than", "above", "over", "higher than"]);
+pub const MORE_THAN: Slot =
+    Slot::new(&["more than", "greater than", "above", "over", "higher than"]);
 /// "less than" comparatives.
 pub const LESS_THAN: Slot = Slot::new(&["less than", "fewer than", "below", "under", "lower than"]);
 /// Total/sum nouns.
@@ -60,8 +61,9 @@ pub const MAJORITY: Slot = Slot::new(&["most of the", "the majority of"]);
 /// Universal adverbs ("all of the").
 pub const ALL_OF: Slot = Slot::new(&["all of the", "every", "all"]);
 /// Ordinal words 1..=9 (index 0 unused).
-pub const ORDINALS: [&str; 10] =
-    ["zeroth", "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth", "ninth"];
+pub const ORDINALS: [&str; 10] = [
+    "zeroth", "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth", "ninth",
+];
 
 /// Renders an ordinal (1 -> "first", 12 -> "12th").
 pub fn ordinal_word(n: usize) -> String {

@@ -88,10 +88,14 @@ fn describe_scalar(e: &LfExpr) -> String {
                     format!("the {col} of {row}")
                 }
                 Count => format!("the number of rows {}", describe_view_np(&args[0])),
-                Max => format!("the highest {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
+                Max => {
+                    format!("the highest {} {}", leaf_text(&args[1]), describe_view_np(&args[0]))
+                }
                 Min => format!("the lowest {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
                 Sum => format!("the total {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
-                Avg => format!("the average {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
+                Avg => {
+                    format!("the average {} {}", leaf_text(&args[1]), describe_view_np(&args[0]))
+                }
                 NthMax => format!(
                     "the {} highest {}",
                     ordinal_word(parse_ordinal(&args[2])),
@@ -186,7 +190,8 @@ fn realize_once(expr: &LfExpr, rng: &mut impl Rng) -> String {
             Greater | Less => {
                 let a = describe_scalar(&args[0]);
                 let b = describe_scalar(&args[1]);
-                let cmp = if matches!(op, Greater) { MORE_THAN.pick(rng) } else { LESS_THAN.pick(rng) };
+                let cmp =
+                    if matches!(op, Greater) { MORE_THAN.pick(rng) } else { LESS_THAN.pick(rng) };
                 format!("{a} {} {cmp} {b}", IS_ARE.pick(rng))
             }
             And => {
@@ -204,8 +209,10 @@ fn realize_once(expr: &LfExpr, rng: &mut impl Rng) -> String {
             }
             AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
             | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
-                let quant = if matches!(op, AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq)
-                {
+                let quant = if matches!(
+                    op,
+                    AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq
+                ) {
                     ALL_OF.pick(rng)
                 } else {
                     MAJORITY.pick(rng)
@@ -274,7 +281,10 @@ fn realize_comparison(op: LfOp, lhs: &LfExpr, rhs: &LfExpr, rng: &mut impl Rng) 
                     _ => unreachable!(),
                 };
                 let body = match rng.gen_range(0..2) {
-                    0 => format!("the {target_col} with the {adj} {sort_col} {among} {} {v}", IS_ARE.pick(rng)),
+                    0 => format!(
+                        "the {target_col} with the {adj} {sort_col} {among} {} {v}",
+                        IS_ARE.pick(rng)
+                    ),
                     _ => format!("{v} has the {adj} {sort_col} {among}"),
                 };
                 return negate_if(op == NotEq, body);
@@ -334,7 +344,9 @@ mod tests {
         assert!(lower.contains("p300"), "{c}");
         assert!(lower.contains("speed"), "{c}");
         assert!(
-            ["highest", "most", "greatest", "largest", "top", "maximum"].iter().any(|w| lower.contains(w)),
+            ["highest", "most", "greatest", "largest", "top", "maximum"]
+                .iter()
+                .any(|w| lower.contains(w)),
             "{c}"
         );
     }

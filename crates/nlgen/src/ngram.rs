@@ -112,7 +112,9 @@ impl NgramLm {
         for n in (2..=max_n).rev() {
             let gram = toks[i + 1 - n..=i].join("\x1f");
             let ctx = toks[i + 1 - n..i].join("\x1f");
-            if let (Some(&c), Some(&cc)) = (self.counts[n - 1].get(&gram), self.context[n - 1].get(&ctx)) {
+            if let (Some(&c), Some(&cc)) =
+                (self.counts[n - 1].get(&gram), self.context[n - 1].get(&ctx))
+            {
                 if cc > 0 && c > 0 {
                     return discount * f64::from(c) / f64::from(cc);
                 }
@@ -125,9 +127,9 @@ impl NgramLm {
 
     /// Selects the best candidate under the model (ties keep order).
     pub fn best<'a>(&self, candidates: &'a [String]) -> Option<&'a String> {
-        candidates
-            .iter()
-            .max_by(|a, b| self.score(a).partial_cmp(&self.score(b)).unwrap_or(std::cmp::Ordering::Equal))
+        candidates.iter().max_by(|a, b| {
+            self.score(a).partial_cmp(&self.score(b)).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 

@@ -115,9 +115,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = NoiseConfig { sentence_rate: 1.0 };
         let s = "Which team has the highest total score in the table?";
-        let changed = (0..50)
-            .filter(|_| apply_noise(s, cfg, &mut rng) != s)
-            .count();
+        let changed = (0..50).filter(|_| apply_noise(s, cfg, &mut rng) != s).count();
         assert!(changed > 30, "only {changed}/50 corrupted");
     }
 

@@ -68,10 +68,7 @@ pub fn realize_sql(stmt: &SelectStmt, rng: &mut impl Rng, k: usize) -> Vec<Strin
 }
 
 fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
-    let where_suffix = stmt
-        .where_clause
-        .as_ref()
-        .map(|w| cond_phrase(w, rng));
+    let where_suffix = stmt.where_clause.as_ref().map(|w| cond_phrase(w, rng));
 
     // Superlative: `select X from w order by Y desc limit 1`.
     if let (Some((Expr::Column(order_col), dir)), Some(1)) = (&stmt.order_by, stmt.limit) {
@@ -108,12 +105,12 @@ fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
             (AggFunc::Count, Some(e)) => {
                 let target = expr_phrase(e);
                 match &where_suffix {
-                    Some(w) => format!(
-                        "{} {} values are there where {w}",
-                        HOW_MANY.pick(rng),
-                        target
-                    ),
-                    None => format!("{} {} values are listed", HOW_MANY.pick(rng), pluralize(&target)),
+                    Some(w) => {
+                        format!("{} {} values are there where {w}", HOW_MANY.pick(rng), target)
+                    }
+                    None => {
+                        format!("{} {} values are listed", HOW_MANY.pick(rng), pluralize(&target))
+                    }
                 }
             }
             (agg, Some(e)) => {
@@ -136,7 +133,8 @@ fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
     }
 
     // Difference between two columns.
-    if let Some(SelectItem::Expr(Expr::Binary { op: ArithOp::Sub, lhs, rhs })) = stmt.items.first() {
+    if let Some(SelectItem::Expr(Expr::Binary { op: ArithOp::Sub, lhs, rhs })) = stmt.items.first()
+    {
         let text = match &where_suffix {
             Some(w) => format!(
                 "{} the {} between {} and {} when {w}",
@@ -230,10 +228,7 @@ mod tests {
         let q = realize("select sum([budget]) from w", 4);
         let lower = q.to_lowercase();
         assert!(lower.contains("budget"), "{q}");
-        assert!(
-            ["total", "sum", "combined total"].iter().any(|w| lower.contains(w)),
-            "{q}"
-        );
+        assert!(["total", "sum", "combined total"].iter().any(|w| lower.contains(w)), "{q}");
     }
 
     #[test]
@@ -246,10 +241,7 @@ mod tests {
 
     #[test]
     fn conjunction_appears() {
-        let q = realize(
-            "select [name] from w where [points] > 10 and [wins] < 5",
-            6,
-        );
+        let q = realize("select [name] from w where [points] > 10 and [wins] < 5", 6);
         let lower = q.to_lowercase();
         assert!(lower.contains(" and "), "{q}");
     }
@@ -258,10 +250,7 @@ mod tests {
     fn difference_question() {
         let q = realize("select [budget] - [spend] from w where [dept] = 'X'", 7);
         let lower = q.to_lowercase();
-        assert!(
-            ["difference", "change", "gap"].iter().any(|w| lower.contains(w)),
-            "{q}"
-        );
+        assert!(["difference", "change", "gap"].iter().any(|w| lower.contains(w)), "{q}");
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub enum ColumnRef {
     Named(String),
     /// Placeholder index (1-based, as in SQUALL) and an optional required
     /// type suffix (`number`, `date`, `text`).
-    Placeholder { index: usize, ty: Option<PlaceholderType>, },
+    Placeholder {
+        index: usize,
+        ty: Option<PlaceholderType>,
+    },
 }
 
 /// Type constraint a template placeholder imposes on the column it binds.
@@ -103,7 +106,11 @@ pub enum Expr {
     /// column placeholder it co-occurs with.
     ValuePlaceholder(usize),
     /// Binary arithmetic.
-    Binary { op: ArithOp, lhs: Box<Expr>, rhs: Box<Expr>, },
+    Binary {
+        op: ArithOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
 }
 
 /// Arithmetic operators in scalar expressions.

@@ -32,7 +32,9 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
-            ExecError::Uninstantiated => write!(f, "statement still contains template placeholders"),
+            ExecError::Uninstantiated => {
+                write!(f, "statement still contains template placeholders")
+            }
             ExecError::DivisionByZero => write!(f, "division by zero"),
             ExecError::EmptyAggregate => write!(f, "aggregate over empty input"),
         }
@@ -67,12 +69,8 @@ impl QueryResult {
 
     /// Renders the denotation as a human-readable answer string.
     pub fn answer_text(&self) -> String {
-        let vals: Vec<String> = self
-            .denotation()
-            .iter()
-            .filter(|v| !v.is_null())
-            .map(|v| v.to_string())
-            .collect();
+        let vals: Vec<String> =
+            self.denotation().iter().filter(|v| !v.is_null()).map(|v| v.to_string()).collect();
         vals.join(", ")
     }
 }
@@ -129,10 +127,7 @@ pub fn execute(stmt: &SelectStmt, table: &Table) -> Result<QueryResult, ExecErro
         kept = keyed.into_iter().map(|(_, ri)| ri).collect();
     }
 
-    let has_aggregate = stmt
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+    let has_aggregate = stmt.items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. }));
 
     let mut result = if let Some(group_col) = &stmt.group_by {
         exec_grouped(stmt, table, &kept, group_col, &mut highlights)?
@@ -149,7 +144,14 @@ pub fn execute(stmt: &SelectStmt, table: &Table) -> Result<QueryResult, ExecErro
         for item in &stmt.items {
             match item {
                 SelectItem::Aggregate { func, arg, distinct } => {
-                    row.push(eval_aggregate(*func, arg.as_ref(), *distinct, table, &input, &mut highlights)?);
+                    row.push(eval_aggregate(
+                        *func,
+                        arg.as_ref(),
+                        *distinct,
+                        table,
+                        &input,
+                        &mut highlights,
+                    )?);
                     columns.push(item.to_string());
                 }
                 SelectItem::Expr(e) => {
@@ -262,7 +264,14 @@ fn exec_grouped(
                     out.push(v);
                 }
                 SelectItem::Aggregate { func, arg, distinct } => {
-                    out.push(eval_aggregate(*func, arg.as_ref(), *distinct, table, members, highlights)?);
+                    out.push(eval_aggregate(
+                        *func,
+                        arg.as_ref(),
+                        *distinct,
+                        table,
+                        members,
+                        highlights,
+                    )?);
                 }
                 SelectItem::Star => return Err(ExecError::UnknownColumn("* in group by".into())),
             }
@@ -277,9 +286,9 @@ fn exec_grouped(
 
 fn resolve(c: &ColumnRef, table: &Table) -> Result<usize, ExecError> {
     match c {
-        ColumnRef::Named(name) => table
-            .column_index(name)
-            .ok_or_else(|| ExecError::UnknownColumn(name.clone())),
+        ColumnRef::Named(name) => {
+            table.column_index(name).ok_or_else(|| ExecError::UnknownColumn(name.clone()))
+        }
         ColumnRef::Placeholder { .. } => Err(ExecError::Uninstantiated),
     }
 }
@@ -342,8 +351,12 @@ fn eval_cond(
                 CmpOp::GtEq => !compare_lt(&a, &b),
             })
         }
-        Cond::And(x, y) => Ok(eval_cond(x, table, row, highlights)? && eval_cond(y, table, row, highlights)?),
-        Cond::Or(x, y) => Ok(eval_cond(x, table, row, highlights)? || eval_cond(y, table, row, highlights)?),
+        Cond::And(x, y) => {
+            Ok(eval_cond(x, table, row, highlights)? && eval_cond(y, table, row, highlights)?)
+        }
+        Cond::Or(x, y) => {
+            Ok(eval_cond(x, table, row, highlights)? || eval_cond(y, table, row, highlights)?)
+        }
     }
 }
 
@@ -436,19 +449,23 @@ mod tests {
 
     #[test]
     fn select_with_order_limit() {
-        let r = run_sql("select [department] from w order by [total deputies] desc limit 1", &table()).unwrap();
+        let r =
+            run_sql("select [department] from w order by [total deputies] desc limit 1", &table())
+                .unwrap();
         assert_eq!(r.answer_text(), "Defense");
     }
 
     #[test]
     fn select_where_eq() {
-        let r = run_sql("select [budget] from w where [department] = 'Treasury'", &table()).unwrap();
+        let r =
+            run_sql("select [budget] from w where [department] = 'Treasury'", &table()).unwrap();
         assert_eq!(r.answer_text(), "3000");
     }
 
     #[test]
     fn where_case_insensitive_text_match() {
-        let r = run_sql("select [budget] from w where [department] = 'treasury'", &table()).unwrap();
+        let r =
+            run_sql("select [budget] from w where [department] = 'treasury'", &table()).unwrap();
         assert_eq!(r.answer_text(), "3000");
     }
 
@@ -538,7 +555,8 @@ mod tests {
 
     #[test]
     fn empty_result_detected() {
-        let r = run_sql("select [department] from w where [total deputies] > 1000", &table()).unwrap();
+        let r =
+            run_sql("select [department] from w where [total deputies] > 1000", &table()).unwrap();
         assert!(r.is_empty());
     }
 
@@ -570,17 +588,16 @@ mod tests {
 
     #[test]
     fn date_comparisons() {
-        let r = run_sql(
-            "select [department] from w where [founded] > '1950-01-01'",
-            &table(),
-        )
-        .unwrap();
+        let r =
+            run_sql("select [department] from w where [founded] > '1950-01-01'", &table()).unwrap();
         assert_eq!(r.answer_text(), "Energy");
     }
 
     #[test]
     fn highlights_recorded() {
-        let r = run_sql("select [department] from w order by [total deputies] desc limit 1", &table()).unwrap();
+        let r =
+            run_sql("select [department] from w order by [total deputies] desc limit 1", &table())
+                .unwrap();
         // Ordering touched column 1 of every row; projection touched (1, 0).
         assert!(r.highlighted.contains(&(1, 0)));
         assert!(r.highlighted.contains(&(0, 1)));
@@ -632,11 +649,9 @@ mod tests {
     #[test]
     fn aggregate_after_order_limit() {
         // SQUALL pattern: value of the top row.
-        let r = run_sql(
-            "select max([budget]) from w order by [total deputies] asc limit 2",
-            &table(),
-        )
-        .unwrap();
+        let r =
+            run_sql("select max([budget]) from w order by [total deputies] asc limit 2", &table())
+                .unwrap();
         // Two smallest by deputies: Energy (700), Commerce (500) -> max 700.
         assert_eq!(r.answer_text(), "700");
     }

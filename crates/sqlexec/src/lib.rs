@@ -25,7 +25,10 @@ pub mod parser;
 pub mod template;
 pub mod token;
 
-pub use ast::{AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, OrderDir, PlaceholderType, SelectItem, SelectStmt};
+pub use ast::{
+    AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, OrderDir, PlaceholderType, SelectItem,
+    SelectStmt,
+};
 pub use exec::{denotation_string, execute, run_sql, ExecError, QueryResult};
 pub use parser::{parse, ParseError};
-pub use template::{abstract_query, SqlTemplate};
+pub use template::{abstract_query, SqlInstantiateError, SqlTemplate};

@@ -33,7 +33,10 @@ pub enum ParseError {
     Lex(LexError),
     /// Unexpected token (or end of input) with a description of what was
     /// expected.
-    Unexpected { got: Option<Token>, expected: String },
+    Unexpected {
+        got: Option<Token>,
+        expected: String,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -65,7 +68,10 @@ pub fn parse(input: &str) -> Result<SelectStmt, ParseError> {
     let stmt = p.select_stmt()?;
     p.eat_optional_semicolon();
     if let Some(t) = p.peek() {
-        return Err(ParseError::Unexpected { got: Some(t.clone()), expected: "end of input".into() });
+        return Err(ParseError::Unexpected {
+            got: Some(t.clone()),
+            expected: "end of input".into(),
+        });
     }
     Ok(stmt)
 }
@@ -102,7 +108,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(ParseError::Unexpected { got: self.peek().cloned(), expected: format!("keyword `{kw}`") })
+            Err(ParseError::Unexpected {
+                got: self.peek().cloned(),
+                expected: format!("keyword `{kw}`"),
+            })
         }
     }
 
@@ -158,7 +167,12 @@ impl Parser {
         let limit = if self.eat_keyword("limit") {
             match self.next() {
                 Some(Token::NumberLit(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
-                got => return Err(ParseError::Unexpected { got, expected: "non-negative integer".into() }),
+                got => {
+                    return Err(ParseError::Unexpected {
+                        got,
+                        expected: "non-negative integer".into(),
+                    })
+                }
             }
         } else {
             None
@@ -239,7 +253,9 @@ impl Parser {
             Some(Token::Gt) => CmpOp::Gt,
             Some(Token::LtEq) => CmpOp::LtEq,
             Some(Token::GtEq) => CmpOp::GtEq,
-            got => return Err(ParseError::Unexpected { got, expected: "comparison operator".into() }),
+            got => {
+                return Err(ParseError::Unexpected { got, expected: "comparison operator".into() })
+            }
         };
         let rhs = self.expr()?;
         Ok(Cond::Compare { op, lhs, rhs })
@@ -291,7 +307,10 @@ impl Parser {
                 self.pos += 1;
                 match self.next() {
                     Some(Token::NumberLit(n)) => Ok(Expr::Literal(Value::Number(-n))),
-                    got => Err(ParseError::Unexpected { got, expected: "number after unary minus".into() }),
+                    got => Err(ParseError::Unexpected {
+                        got,
+                        expected: "number after unary minus".into(),
+                    }),
                 }
             }
             Some(Token::StringLit(s)) => {
@@ -395,7 +414,10 @@ mod tests {
     #[test]
     fn parse_aggregates() {
         let stmt = parse("select count ( * ) from w").unwrap();
-        assert_eq!(stmt.items, vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }]);
+        assert_eq!(
+            stmt.items,
+            vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }]
+        );
         let stmt = parse("select sum(c2_number) from w where c1 = 'x'").unwrap();
         assert!(matches!(stmt.items[0], SelectItem::Aggregate { func: AggFunc::Sum, .. }));
         let stmt = parse("select count(distinct c1) from w").unwrap();

@@ -20,6 +20,33 @@ use rand::Rng;
 use rustc_hash::FxHashMap;
 use tabular::{ColumnType, Table, Value};
 
+/// Why instantiating a template on a given table failed — the structured
+/// discard reasons the pipeline telemetry aggregates (instead of an opaque
+/// `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlInstantiateError {
+    /// No table column satisfies a column hole's type constraint (e.g. the
+    /// template needs two numeric columns but the table has one).
+    NoCompatibleColumn,
+    /// A bound column has no non-null cell to fill a value hole from.
+    NoValueCandidates,
+    /// The template itself is malformed: a value hole not compared against
+    /// any column hole, or a dangling reference during substitution.
+    MalformedTemplate,
+}
+
+impl std::fmt::Display for SqlInstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlInstantiateError::NoCompatibleColumn => write!(f, "no compatible column"),
+            SqlInstantiateError::NoValueCandidates => write!(f, "no value candidates"),
+            SqlInstantiateError::MalformedTemplate => write!(f, "malformed template"),
+        }
+    }
+}
+
+impl std::error::Error for SqlInstantiateError {}
+
 /// A reusable SQL program template.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlTemplate {
@@ -66,8 +93,19 @@ impl SqlTemplate {
 
     /// Instantiates the template on `table` using the random sampling
     /// strategy. Returns `None` when the table cannot satisfy the template
-    /// (e.g. it needs two numeric columns but the table has one).
+    /// (e.g. it needs two numeric columns but the table has one); use
+    /// [`SqlTemplate::try_instantiate`] to learn why.
     pub fn instantiate(&self, table: &Table, rng: &mut impl Rng) -> Option<SelectStmt> {
+        self.try_instantiate(table, rng).ok()
+    }
+
+    /// Like [`SqlTemplate::instantiate`], but reports the reason the table
+    /// could not satisfy the template.
+    pub fn try_instantiate(
+        &self,
+        table: &Table,
+        rng: &mut impl Rng,
+    ) -> Result<SelectStmt, SqlInstantiateError> {
         let mut holes = self.column_holes();
         // Assign typed holes first so an untyped hole cannot steal the only
         // column satisfying a type constraint.
@@ -76,17 +114,20 @@ impl SqlTemplate {
         available.shuffle(rng);
         let mut assignment: FxHashMap<usize, usize> = FxHashMap::default();
         for (hole_idx, ty) in &holes {
-            let pos = available.iter().position(|&ci| {
-                let col_ty = table.schema().column(ci).map(|c| c.ty);
-                match ty {
-                    None => true,
-                    Some(PlaceholderType::Number) => {
-                        matches!(col_ty, Some(ColumnType::Number))
+            let pos = available
+                .iter()
+                .position(|&ci| {
+                    let col_ty = table.schema().column(ci).map(|c| c.ty);
+                    match ty {
+                        None => true,
+                        Some(PlaceholderType::Number) => {
+                            matches!(col_ty, Some(ColumnType::Number))
+                        }
+                        Some(PlaceholderType::Date) => matches!(col_ty, Some(ColumnType::Date)),
+                        Some(PlaceholderType::Text) => matches!(col_ty, Some(ColumnType::Text)),
                     }
-                    Some(PlaceholderType::Date) => matches!(col_ty, Some(ColumnType::Date)),
-                    Some(PlaceholderType::Text) => matches!(col_ty, Some(ColumnType::Text)),
-                }
-            })?;
+                })
+                .ok_or(SqlInstantiateError::NoCompatibleColumn)?;
             let ci = available.remove(pos);
             assignment.insert(*hole_idx, ci);
         }
@@ -95,18 +136,16 @@ impl SqlTemplate {
         let pairs = value_hole_columns(&self.stmt);
         let mut value_assignment: FxHashMap<usize, Value> = FxHashMap::default();
         for (val_idx, col_hole) in pairs {
-            let ci = *assignment.get(&col_hole)?;
-            let candidates: Vec<Value> = table
-                .column_values(ci)
-                .into_iter()
-                .filter(|v| !v.is_null())
-                .collect();
-            let v = candidates.choose(rng)?.clone();
+            let ci = *assignment.get(&col_hole).ok_or(SqlInstantiateError::MalformedTemplate)?;
+            let candidates: Vec<Value> =
+                table.column_values(ci).into_iter().filter(|v| !v.is_null()).collect();
+            let v = candidates.choose(rng).ok_or(SqlInstantiateError::NoValueCandidates)?.clone();
             value_assignment.insert(val_idx, v);
         }
-        let stmt = substitute(&self.stmt, table, &assignment, &value_assignment)?;
+        let stmt = substitute(&self.stmt, table, &assignment, &value_assignment)
+            .ok_or(SqlInstantiateError::MalformedTemplate)?;
         debug_assert!(!stmt.has_placeholders());
-        Some(stmt)
+        Ok(stmt)
     }
 }
 
@@ -129,7 +168,9 @@ fn value_hole_columns(stmt: &SelectStmt) -> Vec<(usize, usize)> {
         }
     }
     fn scan_pair(a: &Expr, b: &Expr, pairs: &mut Vec<(usize, usize)>) {
-        if let (Expr::ValuePlaceholder(v), Expr::Column(ColumnRef::Placeholder { index, .. })) = (a, b) {
+        if let (Expr::ValuePlaceholder(v), Expr::Column(ColumnRef::Placeholder { index, .. })) =
+            (a, b)
+        {
             pairs.push((*v, *index));
         }
     }
@@ -281,7 +322,9 @@ pub fn abstract_query(stmt: &SelectStmt, table: &Table) -> SqlTemplate {
             Cond::Compare { op, lhs, rhs } => {
                 // Literal compared against a column becomes a value hole.
                 let (mut l, mut r) = (abs_expr(lhs, map_col), abs_expr(rhs, map_col));
-                if matches!(l, Expr::Column(ColumnRef::Placeholder { .. })) && matches!(r, Expr::Literal(_)) {
+                if matches!(l, Expr::Column(ColumnRef::Placeholder { .. }))
+                    && matches!(r, Expr::Literal(_))
+                {
                     r = Expr::ValuePlaceholder(*next_val);
                     *next_val += 1;
                 } else if matches!(r, Expr::Column(ColumnRef::Placeholder { .. }))
@@ -316,15 +359,9 @@ pub fn abstract_query(stmt: &SelectStmt, table: &Table) -> SqlTemplate {
             },
         })
         .collect();
-    let where_clause = stmt
-        .where_clause
-        .as_ref()
-        .map(|w| abs_cond(w, &mut map_col, &mut next_val));
+    let where_clause = stmt.where_clause.as_ref().map(|w| abs_cond(w, &mut map_col, &mut next_val));
     let group_by = stmt.group_by.as_ref().map(&mut map_col);
-    let order_by = stmt
-        .order_by
-        .as_ref()
-        .map(|(e, d)| (abs_expr(e, &mut map_col), *d));
+    let order_by = stmt.order_by.as_ref().map(|(e, d)| (abs_expr(e, &mut map_col), *d));
     SqlTemplate {
         stmt: SelectStmt {
             items,
@@ -397,6 +434,23 @@ mod tests {
         let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1").unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(tpl.instantiate(&t, &mut rng).is_none());
+        assert_eq!(tpl.try_instantiate(&t, &mut rng), Err(SqlInstantiateError::NoCompatibleColumn));
+    }
+
+    #[test]
+    fn try_instantiate_reports_missing_values() {
+        // A text column whose cells are all null: binding succeeds, value
+        // sampling cannot.
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", ""], vec!["y", ""]]).unwrap();
+        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_no_values = false;
+        for _ in 0..20 {
+            if let Err(SqlInstantiateError::NoValueCandidates) = tpl.try_instantiate(&t, &mut rng) {
+                saw_no_values = true;
+            }
+        }
+        assert!(saw_no_values);
     }
 
     #[test]
@@ -408,7 +462,8 @@ mod tests {
             // c1 and c2 must not both map to the same column.
             let rendered = stmt.to_string();
             let sel_col = rendered.split_whitespace().nth(1).unwrap().to_string();
-            assert!(!rendered[rendered.find("where").unwrap()..].starts_with(&format!("where {sel_col} =")));
+            assert!(!rendered[rendered.find("where").unwrap()..]
+                .starts_with(&format!("where {sel_col} =")));
         }
     }
 
@@ -444,15 +499,12 @@ mod tests {
 
     #[test]
     fn column_holes_reports_types() {
-        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1 and c3_date = val2").unwrap();
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1 and c3_date = val2")
+            .unwrap();
         let holes = tpl.column_holes();
         assert_eq!(
             holes,
-            vec![
-                (1, None),
-                (2, Some(PlaceholderType::Number)),
-                (3, Some(PlaceholderType::Date)),
-            ]
+            vec![(1, None), (2, Some(PlaceholderType::Number)), (3, Some(PlaceholderType::Date)),]
         );
     }
 }

@@ -169,7 +169,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                             i += 1;
                         }
                         None => {
-                            return Err(LexError { pos: start, message: "unterminated string literal".into() })
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
                         }
                     }
                 }
@@ -191,13 +194,18 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                             i += 1;
                         }
                         None => {
-                            return Err(LexError { pos: start, message: "unterminated quoted identifier".into() })
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated quoted identifier".into(),
+                            })
                         }
                     }
                 }
                 out.push(Token::QuotedIdent(s));
             }
-            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
                     i += 1;

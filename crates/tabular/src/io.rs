@@ -107,10 +107,8 @@ pub fn table_from_csv(title: &str, input: &str) -> Result<Table, CsvError> {
     if records.is_empty() {
         return Err(CsvError::Empty);
     }
-    let grid: Vec<Vec<&str>> = records
-        .iter()
-        .map(|r| r.iter().map(String::as_str).collect())
-        .collect();
+    let grid: Vec<Vec<&str>> =
+        records.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
     Ok(Table::from_strings(title, &grid)?)
 }
 
@@ -126,12 +124,8 @@ fn quote_field(s: &str) -> String {
 /// Serializes a table to CSV (header + rows).
 pub fn table_to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<String> = table
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| quote_field(&c.name))
-        .collect();
+    let header: Vec<String> =
+        table.schema().columns().iter().map(|c| quote_field(&c.name)).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in table.rows() {

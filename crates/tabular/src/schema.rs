@@ -82,9 +82,7 @@ impl Schema {
 
     /// Case-insensitive lookup of a column index by header name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn column(&self, idx: usize) -> Option<&Column> {
@@ -93,22 +91,12 @@ impl Schema {
 
     /// Indexes of all columns of the given type.
     pub fn columns_of_type(&self, ty: ColumnType) -> Vec<usize> {
-        self.columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.ty == ty)
-            .map(|(i, _)| i)
-            .collect()
+        self.columns.iter().enumerate().filter(|(_, c)| c.ty == ty).map(|(i, _)| i).collect()
     }
 
     /// Indexes of all numeric columns (numbers or dates).
     pub fn numeric_columns(&self) -> Vec<usize> {
-        self.columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.ty.is_numeric())
-            .map(|(i, _)| i)
-            .collect()
+        self.columns.iter().enumerate().filter(|(_, c)| c.ty.is_numeric()).map(|(i, _)| i).collect()
     }
 
     pub fn push(&mut self, col: Column) {
@@ -178,11 +166,7 @@ mod tests {
 
     #[test]
     fn infer_text_when_mixed() {
-        let vals = vec![
-            Value::Number(1.0),
-            Value::Text("a".into()),
-            Value::Text("b".into()),
-        ];
+        let vals = vec![Value::Number(1.0), Value::Text("a".into()), Value::Text("b".into())];
         assert_eq!(infer_column_type(&vals), ColumnType::Text);
     }
 

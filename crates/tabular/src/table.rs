@@ -46,7 +46,11 @@ pub struct Table {
 
 impl Table {
     /// Creates a table from a schema and rows, checking arity.
-    pub fn new(title: impl Into<String>, schema: Schema, rows: Vec<Vec<Value>>) -> Result<Table, TableError> {
+    pub fn new(
+        title: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Table, TableError> {
         let n = schema.len();
         for row in &rows {
             if row.len() != n {
@@ -62,10 +66,8 @@ impl Table {
         let Some((header, body)) = grid.split_first() else {
             return Ok(Table { title: title.into(), schema: Schema::default(), rows: vec![] });
         };
-        let rows: Vec<Vec<Value>> = body
-            .iter()
-            .map(|r| r.iter().map(|c| Value::parse(c)).collect())
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            body.iter().map(|r| r.iter().map(|c| Value::parse(c)).collect()).collect();
         let ncols = header.len();
         for row in &rows {
             if row.len() != ncols {
@@ -157,11 +159,8 @@ impl Table {
 
     /// Projects onto a subset of columns (by index, order preserved).
     pub fn project(&self, cols: &[usize]) -> Table {
-        let schema = Schema::new(
-            cols.iter()
-                .filter_map(|&c| self.schema.column(c).cloned())
-                .collect(),
-        );
+        let schema =
+            Schema::new(cols.iter().filter_map(|&c| self.schema.column(c).cloned()).collect());
         let rows = self
             .rows
             .iter()
@@ -255,10 +254,7 @@ impl Table {
     }
 
     fn numeric_column(&self, col: usize) -> Vec<f64> {
-        self.rows
-            .iter()
-            .filter_map(|r| r.get(col).and_then(Value::as_number))
-            .collect()
+        self.rows.iter().filter_map(|r| r.get(col).and_then(Value::as_number)).collect()
     }
 
     /// Distinct values of a column, in first-occurrence order.
@@ -281,7 +277,10 @@ impl Table {
     /// step of the Text-To-Table operator (paper §IV-A).
     pub fn concat_rows(&self, other: &Table) -> Result<Table, TableError> {
         if other.schema.len() != self.schema.len() {
-            return Err(TableError::RowArity { expected: self.schema.len(), got: other.schema.len() });
+            return Err(TableError::RowArity {
+                expected: self.schema.len(),
+                got: other.schema.len(),
+            });
         }
         for (a, b) in self.schema.columns().iter().zip(other.schema.columns()) {
             if !a.name.eq_ignore_ascii_case(&b.name) {
@@ -430,11 +429,8 @@ mod tests {
 
     #[test]
     fn sort_with_nulls_last() {
-        let t = Table::from_strings(
-            "t",
-            &[vec!["x"], vec!["5"], vec![""], vec!["1"], vec!["3"]],
-        )
-        .unwrap();
+        let t = Table::from_strings("t", &[vec!["x"], vec!["5"], vec![""], vec!["1"], vec!["3"]])
+            .unwrap();
         let asc = t.sort_by_column(0, false);
         let vals: Vec<String> = asc.rows().iter().map(|r| r[0].to_string()).collect();
         assert_eq!(vals, vec!["1", "3", "5", ""]);

@@ -16,7 +16,10 @@ pub fn tokenize(text: &str) -> Vec<String> {
         let c = ch.to_ascii_lowercase();
         if c.is_alphanumeric() {
             cur.push(c);
-        } else if (c == '.' || c == '-') && !cur.is_empty() && cur.chars().all(|x| x.is_ascii_digit() || x == '.' || x == '-') {
+        } else if (c == '.' || c == '-')
+            && !cur.is_empty()
+            && cur.chars().all(|x| x.is_ascii_digit() || x == '.' || x == '-')
+        {
             // keep decimal points / minus inside numeric tokens: "3.5", "-2"
             cur.push(c);
         } else {
@@ -135,11 +138,7 @@ pub fn split_sentences(paragraph: &str) -> Vec<String> {
     if !cur.trim().is_empty() {
         sentences.push(cur);
     }
-    sentences
-        .into_iter()
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect()
+    sentences.into_iter().map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
 }
 
 #[cfg(test)]

@@ -63,7 +63,8 @@ impl Date {
     /// Days since a fixed epoch-ish origin; monotone in calendar order, used
     /// for date arithmetic in programs (e.g. `diff` on date columns).
     pub fn ordinal(&self) -> i64 {
-        let mut days = i64::from(self.year) * 365 + i64::from(self.year / 4) - i64::from(self.year / 100)
+        let mut days = i64::from(self.year) * 365 + i64::from(self.year / 4)
+            - i64::from(self.year / 100)
             + i64::from(self.year / 400);
         for m in 1..self.month {
             days += i64::from(days_in_month(self.year, m));
@@ -89,8 +90,18 @@ fn days_in_month(year: i32, month: u8) -> u8 {
 
 fn month_from_name(name: &str) -> Option<u8> {
     const MONTHS: [&str; 12] = [
-        "january", "february", "march", "april", "may", "june", "july", "august", "september",
-        "october", "november", "december",
+        "january",
+        "february",
+        "march",
+        "april",
+        "may",
+        "june",
+        "july",
+        "august",
+        "september",
+        "october",
+        "november",
+        "december",
     ];
     let lower = name.to_ascii_lowercase();
     MONTHS
@@ -146,7 +157,11 @@ impl Value {
     /// date-like → `Date`, otherwise `Text`.
     pub fn parse(raw: &str) -> Value {
         let s = raw.trim();
-        if s.is_empty() || s == "-" || s.eq_ignore_ascii_case("n/a") || s.eq_ignore_ascii_case("none") {
+        if s.is_empty()
+            || s == "-"
+            || s.eq_ignore_ascii_case("n/a")
+            || s.eq_ignore_ascii_case("none")
+        {
             return Value::Null;
         }
         if let Some(n) = parse_numeric(s) {
@@ -337,10 +352,7 @@ mod tests {
 
     #[test]
     fn parse_dates() {
-        assert_eq!(
-            Value::parse("1999-01-05"),
-            Value::Date(Date { year: 1999, month: 1, day: 5 })
-        );
+        assert_eq!(Value::parse("1999-01-05"), Value::Date(Date { year: 1999, month: 1, day: 5 }));
         assert_eq!(
             Value::parse("January 5, 1999"),
             Value::Date(Date { year: 1999, month: 1, day: 5 })

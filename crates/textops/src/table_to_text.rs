@@ -13,12 +13,7 @@ use tabular::{ColumnType, Table, Value};
 /// Index of the column that names the row's entity: the first text column,
 /// else column 0.
 pub fn entity_column(table: &Table) -> usize {
-    table
-        .schema()
-        .columns()
-        .iter()
-        .position(|c| c.ty == ColumnType::Text)
-        .unwrap_or(0)
+    table.schema().columns().iter().position(|c| c.ty == ColumnType::Text).unwrap_or(0)
 }
 
 /// Verbalizes a row into a sentence ("Defense has a total deputies of 42
@@ -81,7 +76,11 @@ pub struct SplitResult {
 /// Applies the operator to the row containing `highlight_row` (one of the
 /// execution's highlighted cells, per §III-A). Returns `None` when the row
 /// cannot be verbalized faithfully — the paper's filtering step.
-pub fn table_to_text(table: &Table, highlight_row: usize, rng: &mut impl Rng) -> Option<SplitResult> {
+pub fn table_to_text(
+    table: &Table,
+    highlight_row: usize,
+    rng: &mut impl Rng,
+) -> Option<SplitResult> {
     if table.n_rows() < 2 {
         return None; // splitting a 1-row table leaves no table evidence
     }
@@ -151,11 +150,8 @@ mod tests {
 
     #[test]
     fn row_with_null_entity_not_describable() {
-        let t = Table::from_strings(
-            "t",
-            &[vec!["name", "v"], vec!["", "1"], vec!["x", "2"]],
-        )
-        .unwrap();
+        let t =
+            Table::from_strings("t", &[vec!["name", "v"], vec!["", "1"], vec!["x", "2"]]).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         assert!(describe_row(&t, 0, &mut rng).is_none());
         assert!(describe_row(&t, 1, &mut rng).is_some());

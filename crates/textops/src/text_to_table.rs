@@ -85,12 +85,8 @@ pub fn extract_record(sentence: &str, table: &Table) -> Option<ExtractedRecord> 
     if entity.is_none() {
         if let Some(pos) = lower.find(" has ") {
             let subject = s[..pos].trim();
-            let subject = subject
-                .trim_start_matches("In ")
-                .split(',')
-                .next_back()
-                .unwrap_or(subject)
-                .trim();
+            let subject =
+                subject.trim_start_matches("In ").split(',').next_back().unwrap_or(subject).trim();
             if !subject.is_empty() {
                 entity = Some(subject.to_string());
             }
@@ -218,11 +214,8 @@ mod tests {
 
     #[test]
     fn extract_describe_row_style() {
-        let r = extract_record(
-            "Energy has a total deputies of 12 and a budget of 700.",
-            &table(),
-        )
-        .unwrap();
+        let r = extract_record("Energy has a total deputies of 12 and a budget of 700.", &table())
+            .unwrap();
         assert_eq!(r.entity, "Energy");
         assert_eq!(r.fields.len(), 2);
         assert_eq!(r.fields[0], (1, Value::Number(12.0)));
@@ -286,10 +279,7 @@ mod tests {
     fn expanded_types_reinferred() {
         let p = "Energy has a total deputies of 12 and a budget of 700.";
         let r = text_to_table(&table(), p).unwrap();
-        assert_eq!(
-            r.expanded.schema().column(1).unwrap().ty,
-            tabular::ColumnType::Number
-        );
+        assert_eq!(r.expanded.schema().column(1).unwrap().ty, tabular::ColumnType::Number);
     }
 
     #[test]

@@ -221,8 +221,20 @@ impl AutoGenerator {
             &[Eq, RoundEq, Greater, Less, Only, MostEq, MostGreater, MostLess, AllGreater, AllLess]
         } else {
             &[
-                Eq, NotEq, RoundEq, Greater, Less, And, Only, MostEq, MostGreater, MostLess,
-                AllGreater, AllLess, AllGreaterEq, AllLessEq,
+                Eq,
+                NotEq,
+                RoundEq,
+                Greater,
+                Less,
+                And,
+                Only,
+                MostEq,
+                MostGreater,
+                MostLess,
+                AllGreater,
+                AllLess,
+                AllGreaterEq,
+                AllLessEq,
             ]
         };
         let op = self.dist.sample_op(ops, rng);
@@ -234,11 +246,7 @@ impl AutoGenerator {
             Greater | Less => {
                 // Either scalar-vs-literal or scalar-vs-scalar.
                 let a = self.gen_scalar(rng, 0);
-                let b = if rng.gen_bool(0.5) {
-                    self.fresh_val()
-                } else {
-                    self.gen_scalar(rng, 1)
-                };
+                let b = if rng.gen_bool(0.5) { self.fresh_val() } else { self.gen_scalar(rng, 1) };
                 LfExpr::Apply(op, vec![a, b])
             }
             And => {
@@ -357,8 +365,7 @@ mod tests {
         let mut bank = TemplateBank::builtin();
         extend_bank_auto(&mut bank, 8, &probe(), 5);
         let pipeline = crate::UctrPipeline::new(crate::UctrConfig::verification()).with_bank(bank);
-        let samples =
-            pipeline.generate(&[crate::TableWithContext::bare(probe())]);
+        let samples = pipeline.generate(&[crate::TableWithContext::bare(probe())]);
         assert!(!samples.is_empty());
     }
 }

@@ -42,7 +42,8 @@ pub fn generate_mqaqg(inputs: &[TableWithContext], config: &MqaQgConfig) -> Vec<
     let mut out = Vec::new();
     for input in inputs {
         for _ in 0..config.samples_per_table {
-            if let Some(mut s) = one_sample(&input.table, input.paragraph.as_deref(), config, &mut rng)
+            if let Some(mut s) =
+                one_sample(&input.table, input.paragraph.as_deref(), config, &mut rng)
             {
                 s.topic = input.topic.clone();
                 out.push(s);
@@ -202,11 +203,7 @@ mod tests {
     fn inputs() -> Vec<TableWithContext> {
         let t = Table::from_strings(
             "Teams",
-            &[
-                vec!["team", "points", "wins"],
-                vec!["Reds", "77", "21"],
-                vec!["Blues", "64", "18"],
-            ],
+            &[vec!["team", "points", "wins"], vec!["Reds", "77", "21"], vec!["Blues", "64", "18"]],
         )
         .unwrap();
         vec![TableWithContext {
@@ -239,15 +236,20 @@ mod tests {
 
     #[test]
     fn text_samples_generated() {
-        let samples = generate_mqaqg(&inputs(), &MqaQgConfig::qa());
+        // Text samples are drawn with probability 1/3; use enough draws that
+        // their absence would be a real bug, not seed luck.
+        let cfg = MqaQgConfig { samples_per_table: 40, ..MqaQgConfig::qa() };
+        let samples = generate_mqaqg(&inputs(), &cfg);
         assert!(samples.iter().any(|s| s.evidence == EvidenceType::TextOnly));
     }
 
     #[test]
     fn verification_samples_have_both_verdicts() {
         let samples = generate_mqaqg(&inputs(), &MqaQgConfig::verification());
-        let sup = samples.iter().filter(|s| s.label.as_verdict() == Some(Verdict::Supported)).count();
-        let refuted = samples.iter().filter(|s| s.label.as_verdict() == Some(Verdict::Refuted)).count();
+        let sup =
+            samples.iter().filter(|s| s.label.as_verdict() == Some(Verdict::Supported)).count();
+        let refuted =
+            samples.iter().filter(|s| s.label.as_verdict() == Some(Verdict::Refuted)).count();
         assert!(sup > 0 && refuted > 0, "sup={sup} ref={refuted}");
     }
 

@@ -19,6 +19,7 @@
 //! (Table VIII).
 
 use crate::sample::{AnswerKind, EvidenceType, Label, ProgramKind, Sample, Verdict};
+use crate::telemetry::{Discard, KindSlot, PipelineReport, Source, Stage, TelemetryBank, Timer};
 use crate::templates::TemplateBank;
 use nlgen::{NlGenerator, NoiseConfig};
 use rand::rngs::StdRng;
@@ -151,92 +152,152 @@ impl UctrPipeline {
 
     /// Runs Algorithm 1 over the inputs and returns the synthetic samples.
     pub fn generate(&self, inputs: &[TableWithContext]) -> Vec<Sample> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.generate_with_report(inputs).0
+    }
+
+    /// Like [`UctrPipeline::generate`], but also returns the run's
+    /// [`PipelineReport`] — the per-kind / per-source generation funnel and
+    /// wall-clock histograms gathered from lock-free counters.
+    pub fn generate_with_report(
+        &self,
+        inputs: &[TableWithContext],
+    ) -> (Vec<Sample>, PipelineReport) {
+        let tel = TelemetryBank::new();
         let mut out: Vec<Sample> = Vec::new();
-        for input in inputs {
-            self.generate_for(input, &mut rng, &mut out);
+        for (index, input) in inputs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(input_seed(self.config.seed, index as u64));
+            self.generate_for(input, &mut rng, &mut out, &tel);
         }
-        // Unknown verdicts: pair a fraction of claims with evidence from a
-        // different table so the claim becomes undecidable.
-        if self.config.task == TaskKind::FactVerification && self.config.unknown_rate > 0.0 {
-            self.inject_unknowns(&mut out, &mut rng);
-        }
-        out
+        self.finalize(&mut out, &tel);
+        let report = tel.report(1);
+        (out, report)
     }
 
     /// Parallel variant of [`UctrPipeline::generate`]: inputs are sharded
-    /// over `threads` workers (crossbeam scoped threads), each with its own
-    /// derived RNG stream, and the shards are concatenated in input order —
-    /// so the output is deterministic for a given `(seed, threads)` pair.
-    /// Useful when synthesizing tens of thousands of samples (the paper
-    /// generates up to ~80k for FEVEROUS).
+    /// over `threads` scoped workers and the shards are concatenated in
+    /// input order. Every input owns an RNG stream derived from
+    /// `(config.seed, input index)`, so the output — and the telemetry
+    /// counters — are identical for a fixed seed *regardless of thread
+    /// count*. Useful when synthesizing tens of thousands of samples (the
+    /// paper generates up to ~80k for FEVEROUS).
     pub fn generate_parallel(&self, inputs: &[TableWithContext], threads: usize) -> Vec<Sample> {
-        let threads = threads.clamp(1, inputs.len().max(1));
-        if threads == 1 {
-            return self.generate(inputs);
-        }
-        let chunk = inputs.len().div_ceil(threads);
-        let shards: Vec<&[TableWithContext]> = inputs.chunks(chunk).collect();
-        let results: parking_lot::Mutex<Vec<(usize, Vec<Sample>)>> =
-            parking_lot::Mutex::new(Vec::with_capacity(shards.len()));
-        crossbeam::thread::scope(|scope| {
-            for (shard_idx, shard) in shards.iter().enumerate() {
-                let results = &results;
-                scope.spawn(move |_| {
-                    let mut rng =
-                        StdRng::seed_from_u64(self.config.seed.wrapping_add(shard_idx as u64 + 1));
-                    let mut out = Vec::new();
-                    for input in *shard {
-                        self.generate_for(input, &mut rng, &mut out);
-                    }
-                    results.lock().push((shard_idx, out));
-                });
-            }
-        })
-        .expect("generation worker panicked");
-        let mut shard_outputs = results.into_inner();
-        shard_outputs.sort_by_key(|(i, _)| *i);
-        let mut out: Vec<Sample> = shard_outputs.into_iter().flat_map(|(_, v)| v).collect();
-        if self.config.task == TaskKind::FactVerification && self.config.unknown_rate > 0.0 {
-            let mut rng = StdRng::seed_from_u64(self.config.seed);
-            self.inject_unknowns(&mut out, &mut rng);
-        }
-        out
+        self.generate_parallel_with_report(inputs, threads).0
     }
 
-    fn generate_for(&self, input: &TableWithContext, rng: &mut StdRng, out: &mut Vec<Sample>) {
+    /// Like [`UctrPipeline::generate_parallel`], but also returns the run's
+    /// [`PipelineReport`]. Each worker fills a private [`TelemetryBank`]
+    /// (no shared cache lines on the hot path); banks are merged after the
+    /// workers are joined.
+    pub fn generate_parallel_with_report(
+        &self,
+        inputs: &[TableWithContext],
+        threads: usize,
+    ) -> (Vec<Sample>, PipelineReport) {
+        let threads = threads.clamp(1, inputs.len().max(1));
+        if threads == 1 {
+            return self.generate_with_report(inputs);
+        }
+        let chunk = inputs.len().div_ceil(threads);
+        let tel = TelemetryBank::new();
+        let mut shard_outputs: Vec<(usize, Vec<Sample>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(shard_idx, shard)| {
+                    let base = shard_idx * chunk;
+                    scope.spawn(move || {
+                        let worker_tel = TelemetryBank::new();
+                        let mut out = Vec::new();
+                        for (offset, input) in shard.iter().enumerate() {
+                            let mut rng = StdRng::seed_from_u64(input_seed(
+                                self.config.seed,
+                                (base + offset) as u64,
+                            ));
+                            self.generate_for(input, &mut rng, &mut out, &worker_tel);
+                        }
+                        (shard_idx, out, worker_tel)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (shard_idx, out, worker_tel) =
+                        h.join().expect("generation worker panicked");
+                    tel.merge(&worker_tel);
+                    (shard_idx, out)
+                })
+                .collect()
+        });
+        shard_outputs.sort_by_key(|(i, _)| *i);
+        let mut out: Vec<Sample> = shard_outputs.into_iter().flat_map(|(_, v)| v).collect();
+        self.finalize(&mut out, &tel);
+        let report = tel.report(threads);
+        (out, report)
+    }
+
+    /// Post-generation passes over the merged sample list. Runs on the
+    /// final, input-ordered output with a fresh seed so its effect is
+    /// independent of how generation was sharded.
+    fn finalize(&self, out: &mut [Sample], tel: &TelemetryBank) {
+        // Unknown verdicts: pair a fraction of claims with evidence from a
+        // different table so the claim becomes undecidable.
+        if self.config.task == TaskKind::FactVerification && self.config.unknown_rate > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            self.inject_unknowns(out, &mut rng, tel);
+        }
+    }
+
+    fn generate_for(
+        &self,
+        input: &TableWithContext,
+        rng: &mut StdRng,
+        out: &mut Vec<Sample>,
+        tel: &TelemetryBank,
+    ) {
         let table = &input.table;
-        if table.n_rows() == 0 || table.n_cols() == 0 {
+        let degenerate = table.n_rows() == 0 || table.n_cols() == 0;
+        tel.input(degenerate);
+        if degenerate {
             return;
         }
         let n = self.config.samples_per_table;
+        let push = |source: Source, s: Sample, out: &mut Vec<Sample>| {
+            tel.source_accept(source);
+            tel.stage(KindSlot::of(&s.program), Stage::Accepted);
+            out.push(with_topic(s, input));
+        };
 
         if self.config.table_only {
             for _ in 0..n {
-                if let Some(s) = self.table_only_sample(table, rng) {
-                    out.push(with_topic(s, input));
+                tel.source_attempt(Source::TableOnly);
+                if let Some(s) = self.table_only_sample(table, rng, tel) {
+                    push(Source::TableOnly, s, out);
                 }
             }
         }
         if self.config.text_only {
             for _ in 0..n.div_ceil(2) {
-                if let Some(s) = self.text_only_sample(table, rng) {
-                    out.push(with_topic(s, input));
+                tel.source_attempt(Source::TextOnly);
+                if let Some(s) = self.text_only_sample(table, rng, tel) {
+                    push(Source::TextOnly, s, out);
                 }
             }
         }
         if self.config.table_split {
             for _ in 0..n {
-                if let Some(s) = self.split_sample(table, rng) {
-                    out.push(with_topic(s, input));
+                tel.source_attempt(Source::TableSplit);
+                if let Some(s) = self.split_sample(table, rng, tel) {
+                    push(Source::TableSplit, s, out);
                 }
             }
         }
         if self.config.table_expand {
             if let Some(paragraph) = &input.paragraph {
                 for _ in 0..n {
-                    if let Some(s) = self.expand_sample(table, paragraph, rng) {
-                        out.push(with_topic(s, input));
+                    tel.source_attempt(Source::TableExpand);
+                    if let Some(s) = self.expand_sample(table, paragraph, rng, tel) {
+                        push(Source::TableExpand, s, out);
                     }
                 }
             }
@@ -244,8 +305,13 @@ impl UctrPipeline {
     }
 
     /// A program executed directly on the table (homogeneous setting).
-    fn table_only_sample(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
-        let (text, label, program, answer_kind, _hl) = self.run_program(table, rng)?;
+    fn table_only_sample(
+        &self,
+        table: &Table,
+        rng: &mut StdRng,
+        tel: &TelemetryBank,
+    ) -> Option<Sample> {
+        let (text, label, program, answer_kind, _hl) = self.run_program(table, rng, tel)?;
         Some(Sample {
             table: table.clone(),
             context: Vec::new(),
@@ -260,11 +326,12 @@ impl UctrPipeline {
 
     /// Table splitting (§III-A): program on the full table, one highlighted
     /// row verbalized into a sentence, evidence = sub-table + sentence.
-    fn split_sample(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
+    fn split_sample(&self, table: &Table, rng: &mut StdRng, tel: &TelemetryBank) -> Option<Sample> {
         if table.n_rows() < 3 {
             return None;
         }
-        let (text, label, program, answer_kind, highlighted) = self.run_program(table, rng)?;
+        let (text, label, program, answer_kind, highlighted) = self.run_program(table, rng, tel)?;
+        let kind = KindSlot::of(&program);
         // Pick a highlighted row to move into text.
         let rows: Vec<usize> = {
             let mut rs: Vec<usize> = highlighted.iter().map(|&(r, _)| r).collect();
@@ -272,8 +339,14 @@ impl UctrPipeline {
             rs.dedup();
             rs
         };
-        let &row = rows.choose(rng)?;
-        let split = table_to_text(table, row, rng)?;
+        let Some(&row) = rows.choose(rng) else {
+            tel.discard(kind, Discard::PostFilter);
+            return None;
+        };
+        let Some(split) = table_to_text(table, row, rng) else {
+            tel.discard(kind, Discard::PostFilter);
+            return None;
+        };
         Some(Sample {
             table: split.sub_table,
             context: vec![split.sentence],
@@ -288,14 +361,21 @@ impl UctrPipeline {
 
     /// Table expansion (§III-B): integrate a record from the paragraph,
     /// generate on the expanded table, evidence = original table + text.
-    fn expand_sample(&self, table: &Table, paragraph: &str, rng: &mut StdRng) -> Option<Sample> {
+    fn expand_sample(
+        &self,
+        table: &Table,
+        paragraph: &str,
+        rng: &mut StdRng,
+        tel: &TelemetryBank,
+    ) -> Option<Sample> {
         let expanded = text_to_table(table, paragraph)?;
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(&expanded.expanded, rng)?;
+            self.run_program(&expanded.expanded, rng, tel)?;
         // Only keep samples whose reasoning actually touches the new row —
         // otherwise the paragraph is decoration, not evidence.
         let new_row = expanded.expanded.n_rows() - 1;
         if !highlighted.iter().any(|&(r, _)| r == new_row) {
+            tel.discard(KindSlot::of(&program), Discard::PostFilter);
             return None;
         }
         Some(Sample {
@@ -312,7 +392,21 @@ impl UctrPipeline {
 
     /// Text-only sample: a verbalized row with a lookup question (QA) or a
     /// claim about it (verification).
-    fn text_only_sample(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
+    fn text_only_sample(
+        &self,
+        table: &Table,
+        rng: &mut StdRng,
+        tel: &TelemetryBank,
+    ) -> Option<Sample> {
+        tel.stage(KindSlot::None, Stage::Attempted);
+        let sample = self.text_only_inner(table, rng);
+        if sample.is_none() {
+            tel.discard(KindSlot::None, Discard::PostFilter);
+        }
+        sample
+    }
+
+    fn text_only_inner(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
         let row = rng.gen_range(0..table.n_rows());
         let sentence = textops::describe_row(table, row, rng)?;
         let ecol = textops::entity_column(table);
@@ -375,9 +469,10 @@ impl UctrPipeline {
         &self,
         table: &Table,
         rng: &mut StdRng,
+        tel: &TelemetryBank,
     ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
         match self.config.task {
-            TaskKind::FactVerification => self.run_logic(table, rng),
+            TaskKind::FactVerification => self.run_logic(table, rng, tel),
             TaskKind::QuestionAnswering => {
                 let mut kinds: Vec<u8> = Vec::new();
                 if self.config.use_sql {
@@ -390,9 +485,9 @@ impl UctrPipeline {
                     kinds.push(2);
                 }
                 match kinds.choose(rng)? {
-                    0 => self.run_sql(table, rng),
-                    1 => self.run_arith(table, rng),
-                    _ => self.run_logic(table, rng),
+                    0 => self.run_sql(table, rng, tel),
+                    1 => self.run_arith(table, rng, tel),
+                    _ => self.run_logic(table, rng, tel),
                 }
             }
         }
@@ -403,26 +498,50 @@ impl UctrPipeline {
         &self,
         table: &Table,
         rng: &mut StdRng,
+        tel: &TelemetryBank,
     ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        let tpl = self.bank.sql().choose(rng)?;
-        let stmt = tpl.instantiate(table, rng)?;
-        let result = sqlexec::execute(&stmt, table).ok()?;
+        tel.stage(KindSlot::Sql, Stage::Attempted);
+        let Some(tpl) = self.bank.sql().choose(rng) else {
+            tel.discard(KindSlot::Sql, Discard::NoTemplate);
+            return None;
+        };
+        let stmt = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, rng)) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                tel.discard(KindSlot::Sql, e.into());
+                return None;
+            }
+        };
+        tel.stage(KindSlot::Sql, Stage::Instantiated);
+        let result = match tel.timed(Timer::Execute, || sqlexec::execute(&stmt, table)) {
+            Ok(result) => result,
+            Err(_) => {
+                tel.discard(KindSlot::Sql, Discard::ExecFailed);
+                return None;
+            }
+        };
         if result.is_empty() {
-            return None; // paper §IV-C: discard empty-result programs
+            // paper §IV-C: discard empty-result programs
+            tel.discard(KindSlot::Sql, Discard::EmptyResult);
+            return None;
         }
         let answer = result.answer_text();
         if answer.is_empty() {
+            tel.discard(KindSlot::Sql, Discard::EmptyAnswer);
             return None;
         }
-        let generated = self.generator.sql_question(&stmt, rng);
-        let answer_kind = if stmt
-            .items
-            .iter()
-            .any(|i| matches!(i, sqlexec::SelectItem::Aggregate { func: sqlexec::AggFunc::Count, .. }))
-        {
+        tel.stage(KindSlot::Sql, Stage::Executed);
+        let generated = tel.timed(Timer::NlGen, || self.generator.sql_question(&stmt, rng));
+        let answer_kind = if stmt.items.iter().any(|i| {
+            matches!(i, sqlexec::SelectItem::Aggregate { func: sqlexec::AggFunc::Count, .. })
+        }) {
             AnswerKind::Count
         } else if stmt.items.iter().any(|i| {
-            matches!(i, sqlexec::SelectItem::Aggregate { .. } | sqlexec::SelectItem::Expr(sqlexec::Expr::Binary { .. }))
+            matches!(
+                i,
+                sqlexec::SelectItem::Aggregate { .. }
+                    | sqlexec::SelectItem::Expr(sqlexec::Expr::Binary { .. })
+            )
         }) {
             AnswerKind::Arithmetic
         } else {
@@ -442,10 +561,26 @@ impl UctrPipeline {
         &self,
         table: &Table,
         rng: &mut StdRng,
+        tel: &TelemetryBank,
     ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        let tpl = self.bank.arith().choose(rng)?;
-        let inst = tpl.instantiate(table, rng)?;
-        let generated = self.generator.arith_question(&inst.program, rng);
+        tel.stage(KindSlot::Arith, Stage::Attempted);
+        let Some(tpl) = self.bank.arith().choose(rng) else {
+            tel.discard(KindSlot::Arith, Discard::NoTemplate);
+            return None;
+        };
+        let inst = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, rng)) {
+            Ok(inst) => inst,
+            Err(e) => {
+                tel.discard(KindSlot::Arith, e.into());
+                return None;
+            }
+        };
+        // Arithmetic instantiation executes internally to produce the
+        // outcome, so a successful instantiation is also an execution.
+        tel.stage(KindSlot::Arith, Stage::Instantiated);
+        tel.stage(KindSlot::Arith, Stage::Executed);
+        let generated =
+            tel.timed(Timer::NlGen, || self.generator.arith_question(&inst.program, rng));
         Some((
             generated.text,
             Label::Answer(inst.outcome.answer.to_string()),
@@ -460,12 +595,32 @@ impl UctrPipeline {
         &self,
         table: &Table,
         rng: &mut StdRng,
+        tel: &TelemetryBank,
     ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        let tpl = self.bank.logic().choose(rng)?;
+        tel.stage(KindSlot::Logic, Stage::Attempted);
+        let Some(tpl) = self.bank.logic().choose(rng) else {
+            tel.discard(KindSlot::Logic, Discard::NoTemplate);
+            return None;
+        };
         let desired = rng.gen_bool(0.5);
-        let claim = tpl.instantiate(table, rng, desired)?;
-        let outcome = logicforms::evaluate(&claim.expr, table).ok()?;
-        let generated = self.generator.logic_claim(&claim.expr, rng);
+        let claim = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, rng, desired))
+        {
+            Ok(claim) => claim,
+            Err(e) => {
+                tel.discard(KindSlot::Logic, e.into());
+                return None;
+            }
+        };
+        tel.stage(KindSlot::Logic, Stage::Instantiated);
+        let outcome = match tel.timed(Timer::Execute, || logicforms::evaluate(&claim.expr, table)) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                tel.discard(KindSlot::Logic, Discard::ExecFailed);
+                return None;
+            }
+        };
+        tel.stage(KindSlot::Logic, Stage::Executed);
+        let generated = tel.timed(Timer::NlGen, || self.generator.logic_claim(&claim.expr, rng));
         let verdict = if claim.truth { Verdict::Supported } else { Verdict::Refuted };
         Some((
             generated.text,
@@ -478,7 +633,7 @@ impl UctrPipeline {
 
     /// Replaces the evidence of a random fraction of claims with evidence
     /// from another sample, relabeling them `Unknown`.
-    fn inject_unknowns(&self, samples: &mut [Sample], rng: &mut StdRng) {
+    fn inject_unknowns(&self, samples: &mut [Sample], rng: &mut StdRng, tel: &TelemetryBank) {
         let n = samples.len();
         if n < 2 {
             return;
@@ -500,6 +655,7 @@ impl UctrPipeline {
             samples[i].context = context;
             samples[i].evidence = evidence;
             samples[i].label = Label::Verdict(Verdict::Unknown);
+            tel.unknown_injected();
         }
     }
 }
@@ -507,6 +663,17 @@ impl UctrPipeline {
 fn with_topic(mut s: Sample, input: &TableWithContext) -> Sample {
     s.topic = input.topic.clone();
     s
+}
+
+/// Derives a per-input RNG seed from the pipeline seed and the input's
+/// global index (splitmix64-style mix). Both the sequential and the
+/// parallel paths seed each input's RNG this way, which is what makes
+/// generation independent of the thread count.
+fn input_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -554,7 +721,8 @@ mod tests {
 
     #[test]
     fn qa_pipeline_generates_labeled_samples() {
-        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let pipeline =
+            UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
         let samples = pipeline.generate(&inputs());
         assert!(samples.len() > 10, "only {} samples", samples.len());
         for s in &samples {
@@ -571,21 +739,18 @@ mod tests {
             ..UctrConfig::verification()
         });
         let samples = pipeline.generate(&inputs());
-        let sup = samples
-            .iter()
-            .filter(|s| s.label.as_verdict() == Some(Verdict::Supported))
-            .count();
-        let refuted = samples
-            .iter()
-            .filter(|s| s.label.as_verdict() == Some(Verdict::Refuted))
-            .count();
+        let sup =
+            samples.iter().filter(|s| s.label.as_verdict() == Some(Verdict::Supported)).count();
+        let refuted =
+            samples.iter().filter(|s| s.label.as_verdict() == Some(Verdict::Refuted)).count();
         assert!(sup > 0, "no supported claims in {} samples", samples.len());
         assert!(refuted > 0, "no refuted claims in {} samples", samples.len());
     }
 
     #[test]
     fn evidence_types_cover_sources() {
-        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let pipeline =
+            UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
         let samples = pipeline.generate(&inputs());
         let has = |e: EvidenceType| samples.iter().any(|s| s.evidence == e);
         assert!(has(EvidenceType::TableOnly));
@@ -622,10 +787,8 @@ mod tests {
             ..UctrConfig::verification()
         };
         let samples = UctrPipeline::new(cfg).generate(&inputs());
-        let unknowns = samples
-            .iter()
-            .filter(|s| s.label.as_verdict() == Some(Verdict::Unknown))
-            .count();
+        let unknowns =
+            samples.iter().filter(|s| s.label.as_verdict() == Some(Verdict::Unknown)).count();
         assert!(unknowns > 0, "no Unknown labels among {}", samples.len());
     }
 
@@ -649,7 +812,8 @@ mod tests {
 
     #[test]
     fn topics_propagate() {
-        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let pipeline =
+            UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
         let samples = pipeline.generate(&inputs());
         assert!(samples.iter().any(|s| s.topic == "sports"));
         assert!(samples.iter().any(|s| s.topic == "finance"));
@@ -661,7 +825,8 @@ mod tests {
         // table; model evidence is sub-table + sentence. The gold answer is
         // stored before splitting, so it must be non-empty and the sample
         // must carry exactly one context sentence.
-        let pipeline = UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
+        let pipeline =
+            UctrPipeline::new(UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() });
         let samples = pipeline.generate(&inputs());
         for s in samples.iter().filter(|s| s.evidence == EvidenceType::TableText) {
             if s.context.len() == 1 {

@@ -37,13 +37,19 @@ impl TemplateBank {
     pub fn builtin() -> TemplateBank {
         let mut bank = TemplateBank::new();
         for t in BUILTIN_SQL {
-            bank.add_sql(SqlTemplate::parse(t).unwrap_or_else(|e| panic!("builtin SQL `{t}`: {e}")));
+            bank.add_sql(
+                SqlTemplate::parse(t).unwrap_or_else(|e| panic!("builtin SQL `{t}`: {e}")),
+            );
         }
         for t in BUILTIN_LOGIC {
-            bank.add_logic(LfTemplate::parse(t).unwrap_or_else(|e| panic!("builtin LF `{t}`: {e}")));
+            bank.add_logic(
+                LfTemplate::parse(t).unwrap_or_else(|e| panic!("builtin LF `{t}`: {e}")),
+            );
         }
         for t in BUILTIN_ARITH {
-            bank.add_arith(AeTemplate::parse(t).unwrap_or_else(|e| panic!("builtin AE `{t}`: {e}")));
+            bank.add_arith(
+                AeTemplate::parse(t).unwrap_or_else(|e| panic!("builtin AE `{t}`: {e}")),
+            );
         }
         bank
     }
@@ -238,11 +244,9 @@ mod tests {
 
     #[test]
     fn mining_abstracts_and_dedups() {
-        let table = Table::from_strings(
-            "t",
-            &[vec!["name", "pts"], vec!["a", "1"], vec!["b", "2"]],
-        )
-        .unwrap();
+        let table =
+            Table::from_strings("t", &[vec!["name", "pts"], vec!["a", "1"], vec!["b", "2"]])
+                .unwrap();
         let mut bank = TemplateBank::new();
         let q1 = sqlexec::parse("select [name] from w where [pts] > 1").unwrap();
         let q2 = sqlexec::parse("select [name] from w where [pts] > 2").unwrap();

@@ -24,15 +24,19 @@ fn main() {
 
     let mut bank = TemplateBank::builtin();
     let before = bank.len();
-    println!("Built-in bank: {} templates ({} SQL / {} logic / {} arithmetic)",
-        before, bank.sql().len(), bank.logic().len(), bank.arith().len());
+    println!(
+        "Built-in bank: {} templates ({} SQL / {} logic / {} arithmetic)",
+        before,
+        bank.sql().len(),
+        bank.logic().len(),
+        bank.arith().len()
+    );
 
     // Mine a new SQL template from a concrete query: the column names and
     // compared constants are abstracted to typed placeholders.
-    let query = sqlexec::parse(
-        "select [secretary] from w where [budget] > 600 and [total deputies] < 40",
-    )
-    .unwrap();
+    let query =
+        sqlexec::parse("select [secretary] from w where [budget] > 600 and [total deputies] < 40")
+            .unwrap();
     let added = bank.mine_sql(&query, &table);
     println!("\nMined from: {query}");
     println!("  new template added: {added}");

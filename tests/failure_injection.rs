@@ -53,15 +53,51 @@ fn pipeline_skips_degenerate_inputs() {
 }
 
 #[test]
+fn degenerate_inputs_are_visible_in_the_report() {
+    let inputs = vec![
+        TableWithContext::bare(empty_table()),
+        TableWithContext::bare(header_only()),
+        TableWithContext::bare(empty_table()),
+    ];
+    for cfg in [UctrConfig::qa(), UctrConfig::verification()] {
+        let (samples, report) = UctrPipeline::new(cfg).generate_with_report(&inputs);
+        assert!(samples.is_empty());
+        // The telemetry must show the inputs were seen and skipped, not
+        // silently lost.
+        assert_eq!(report.inputs_total, 3);
+        assert_eq!(report.inputs_degenerate, 3);
+        assert_eq!(report.accepted(), 0);
+        assert_eq!(report.attempted(), 0, "degenerate inputs must not reach the sources");
+    }
+}
+
+#[test]
+fn unsuitable_tables_surface_as_discards_in_the_report() {
+    // An all-text table: numeric SQL/arith templates bind nothing, so the
+    // funnel must record discards rather than quietly shrinking.
+    let text_table =
+        Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"], vec!["q", "r"]])
+            .unwrap();
+    let (samples, report) = UctrPipeline::new(UctrConfig::qa())
+        .generate_with_report(&[TableWithContext::bare(text_table)]);
+    let discards = report.discards_by_reason();
+    let total_discards: u64 = discards.values().sum();
+    assert!(
+        total_discards > 0,
+        "an all-text table under a numeric-heavy config must discard attempts: {}",
+        report.summary()
+    );
+    // Whatever was accepted is still exactly what the report claims.
+    assert_eq!(report.accepted(), samples.len() as u64);
+}
+
+#[test]
 fn templates_refuse_unsuitable_tables() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     // All-text table: numeric templates must decline.
-    let text_only = Table::from_strings(
-        "t",
-        &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"]],
-    )
-    .unwrap();
+    let text_only =
+        Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"]]).unwrap();
     let sql = sqlexec::SqlTemplate::parse("select sum ( c1_number ) from w").unwrap();
     assert!(sql.instantiate(&text_only, &mut rng).is_none());
     let lf = logicforms::LfTemplate::parse("round_eq { avg { all_rows ; c1 } ; val1 }").unwrap();

@@ -36,11 +36,8 @@ fn feverous_score_never_exceeds_label_accuracy() {
     let model = VerifierModel::train(&b.gold.train, VerdictSpace::TwoWay, EvidenceView::Full);
     let preds: Vec<Verdict> = dev.iter().map(|s| model.predict(s)).collect();
     let fs = feverous_score(&dev, &preds);
-    let pairs: Vec<(Verdict, Verdict)> = preds
-        .iter()
-        .zip(&dev)
-        .map(|(p, s)| (*p, s.label.as_verdict().unwrap()))
-        .collect();
+    let pairs: Vec<(Verdict, Verdict)> =
+        preds.iter().zip(&dev).map(|(p, s)| (*p, s.label.as_verdict().unwrap())).collect();
     let acc = label_accuracy(&pairs);
     assert!(fs <= acc + 1e-9, "FEVEROUS score {fs} > accuracy {acc}");
 }
@@ -101,10 +98,7 @@ fn qa_model_answers_are_always_from_candidates() {
     for s in b.gold.dev.iter().take(30) {
         let pred = model.predict(s);
         let cands = models::generate_candidates(s);
-        assert!(
-            cands.iter().any(|c| c.text == pred),
-            "prediction `{pred}` not among candidates"
-        );
+        assert!(cands.iter().any(|c| c.text == pred), "prediction `{pred}` not among candidates");
     }
 }
 

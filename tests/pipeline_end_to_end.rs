@@ -54,10 +54,8 @@ fn verification_labels_are_execution_faithful() {
 /// Every synthetic QA sample's program re-executes to the stored answer.
 #[test]
 fn qa_answers_are_execution_faithful() {
-    let pipeline = UctrPipeline::new(UctrConfig {
-        noise: nlgen::NoiseConfig::off(),
-        ..UctrConfig::qa()
-    });
+    let pipeline =
+        UctrPipeline::new(UctrConfig { noise: nlgen::NoiseConfig::off(), ..UctrConfig::qa() });
     let samples = pipeline.generate(&tatqa_inputs());
     let mut checked = 0;
     for s in &samples {
@@ -88,10 +86,8 @@ fn qa_answers_are_execution_faithful() {
 /// needs (the sentence faithfully carries the removed row).
 #[test]
 fn split_samples_carry_one_sentence_and_smaller_table() {
-    let pipeline = UctrPipeline::new(UctrConfig {
-        noise: nlgen::NoiseConfig::off(),
-        ..UctrConfig::qa()
-    });
+    let pipeline =
+        UctrPipeline::new(UctrConfig { noise: nlgen::NoiseConfig::off(), ..UctrConfig::qa() });
     let samples = pipeline.generate(&wiki_inputs());
     let split: Vec<&Sample> = samples
         .iter()
@@ -104,11 +100,7 @@ fn split_samples_carry_one_sentence_and_smaller_table() {
         // The sentence must be extractable back into the table's schema
         // (Text-To-Table can restore the row).
         let restored = textops::extract_record(&s.context[0], &s.table);
-        assert!(
-            restored.is_some(),
-            "sentence not machine-readable: {}",
-            s.context[0]
-        );
+        assert!(restored.is_some(), "sentence not machine-readable: {}", s.context[0]);
     }
 }
 
@@ -155,8 +147,12 @@ fn headline_orderings_hold() {
         eval_per_table: 10,
         seed: 5,
     });
-    let synth = UctrPipeline::new(UctrConfig { use_arith: false, samples_per_table: 16, ..UctrConfig::qa() })
-        .generate(&b.unlabeled);
+    let synth = UctrPipeline::new(UctrConfig {
+        use_arith: false,
+        samples_per_table: 16,
+        ..UctrConfig::qa()
+    })
+    .generate(&b.unlabeled);
     let supervised = models::QaModel::train(&b.gold.train);
     let unsupervised = models::QaModel::train(&synth);
     let em = |m: &models::QaModel| {

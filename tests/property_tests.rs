@@ -1,73 +1,76 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: parser round-trips for all three program DSLs, executor
-//! algebra, sampling type-discipline, and label faithfulness of generated
-//! claims.
+//! Property-style tests on the core data structures and invariants: parser
+//! round-trips for all three program DSLs, executor algebra, sampling
+//! type-discipline, and label faithfulness of generated claims.
+//!
+//! Formerly written with `proptest`; the build environment has no crates.io
+//! access, so the same invariants now run over deterministic seeded case
+//! sweeps (see `vendor/README.md`).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tabular::{Table, Value};
 
-// ---------------------------------------------------------------------------
-// Random-table strategy.
-// ---------------------------------------------------------------------------
+/// Number of random cases per property.
+const CASES: u64 = 64;
 
-fn arb_table() -> impl Strategy<Value = Table> {
-    // 3..=8 rows, schema [name text, a number, b number]
-    (3usize..=8, any::<u64>()).prop_map(|(rows, seed)| {
-        let mut grid: Vec<Vec<String>> = vec![vec!["name".into(), "alpha".into(), "beta".into()]];
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for i in 0..rows {
-            grid.push(vec![
-                format!("row{i}"),
-                format!("{}", next() % 1000),
-                format!("{}", next() % 500),
-            ]);
-        }
-        let borrowed: Vec<Vec<&str>> =
-            grid.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
-        Table::from_strings("prop", &borrowed).unwrap()
-    })
+/// A random table: 3..=8 rows, schema [name text, alpha number, beta number].
+fn random_table(seed: u64) -> Table {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let rows = 3 + (next() % 6) as usize;
+    let mut grid: Vec<Vec<String>> = vec![vec!["name".into(), "alpha".into(), "beta".into()]];
+    for i in 0..rows {
+        grid.push(vec![
+            format!("row{i}"),
+            format!("{}", next() % 1000),
+            format!("{}", next() % 500),
+        ]);
+    }
+    let borrowed: Vec<Vec<&str>> =
+        grid.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+    Table::from_strings("prop", &borrowed).unwrap()
 }
 
 // ---------------------------------------------------------------------------
 // Parser round-trips.
 // ---------------------------------------------------------------------------
 
-fn arb_sql() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("select c1 from w order by c2_number desc limit 1".to_string()),
-        Just("select count ( * ) from w where c1 = val1".to_string()),
-        Just("select sum ( c1_number ) from w where c2 = val1 and c3_number > val2".to_string()),
-        Just("select [a b] from w where [c d] = 'v' order by [e f] asc".to_string()),
-        Just("select distinct c1 from w group by c1".to_string()),
-        Just("select c1_number - c2_number from w where c3 = val1".to_string()),
-        (1usize..5, 1usize..5).prop_map(|(a, b)| format!(
-            "select c{a} from w where c{b}_number > val1 limit {}",
-            a + b
-        )),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn sql_render_parse_roundtrip(q in arb_sql()) {
-        let stmt = sqlexec::parse(&q).unwrap();
+#[test]
+fn sql_render_parse_roundtrip() {
+    let mut queries: Vec<String> = vec![
+        "select c1 from w order by c2_number desc limit 1".into(),
+        "select count ( * ) from w where c1 = val1".into(),
+        "select sum ( c1_number ) from w where c2 = val1 and c3_number > val2".into(),
+        "select [a b] from w where [c d] = 'v' order by [e f] asc".into(),
+        "select distinct c1 from w group by c1".into(),
+        "select c1_number - c2_number from w where c3 = val1".into(),
+    ];
+    for a in 1usize..5 {
+        for b in 1usize..5 {
+            queries.push(format!("select c{a} from w where c{b}_number > val1 limit {}", a + b));
+        }
+    }
+    for q in &queries {
+        let stmt = sqlexec::parse(q).unwrap();
         let rendered = stmt.to_string();
         let reparsed = sqlexec::parse(&rendered).unwrap();
-        prop_assert_eq!(stmt, reparsed);
+        assert_eq!(stmt, reparsed, "round-trip failed for {q}");
     }
+}
 
-    #[test]
-    fn logic_render_parse_roundtrip(
-        col in prop_oneof![Just("alpha"), Just("beta"), Just("name")],
-        val in 0i64..1000,
-        n in 1usize..4,
-    ) {
+#[test]
+fn logic_render_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let col =
+            *rand::seq::SliceRandom::choose(&["alpha", "beta", "name"][..], &mut rng).unwrap();
+        let val: i64 = rng.gen_range(0..1000);
+        let n: usize = rng.gen_range(1..4);
         let forms = [
             format!("eq {{ count {{ filter_eq {{ all_rows ; {col} ; {val} }} }} ; {n} }}"),
             format!("most_greater {{ all_rows ; {col} ; {val} }}"),
@@ -77,12 +80,17 @@ proptest! {
         for f in &forms {
             let e = logicforms::parse(f).unwrap();
             let reparsed = logicforms::parse(&e.to_string()).unwrap();
-            prop_assert_eq!(e, reparsed);
+            assert_eq!(e, reparsed, "round-trip failed for {f}");
         }
     }
+}
 
-    #[test]
-    fn arith_render_parse_roundtrip(a in 1i64..5000, b in 1i64..5000) {
+#[test]
+fn arith_render_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let a: i64 = rng.gen_range(1..5000);
+        let b: i64 = rng.gen_range(1..5000);
         let programs = [
             format!("subtract( {a} , {b} ) , divide( #0 , {b} )"),
             format!("greater( {a} , {b} )"),
@@ -91,154 +99,212 @@ proptest! {
         for p in &programs {
             let prog = arithexpr::parse(p).unwrap();
             let reparsed = arithexpr::parse(&prog.to_string()).unwrap();
-            prop_assert_eq!(prog, reparsed);
+            assert_eq!(prog, reparsed, "round-trip failed for {p}");
         }
     }
+}
 
-    // -----------------------------------------------------------------------
-    // Executor algebra.
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Executor algebra.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn count_filter_at_most_rows(table in arb_table(), threshold in 0i64..1000) {
+#[test]
+fn count_filter_at_most_rows() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for case in 0..CASES {
+        let table = random_table(case + 1);
+        let threshold: i64 = rng.gen_range(0..1000);
         let q = format!("select count(*) from w where [alpha] > {threshold}");
         let r = sqlexec::run_sql(&q, &table).unwrap();
         let count = r.denotation()[0].as_number().unwrap() as usize;
-        prop_assert!(count <= table.n_rows());
+        assert!(count <= table.n_rows());
     }
+}
 
-    #[test]
-    fn argmax_row_achieves_max(table in arb_table()) {
-        let e = logicforms::parse("eq { hop { argmax { all_rows ; alpha } ; alpha } ; 0 }").unwrap();
-        // Evaluate the inner hop via the outcome of max: argmax value == max value.
+#[test]
+fn argmax_row_achieves_max() {
+    for case in 0..CASES {
+        let table = random_table(case + 1);
         let max_e = logicforms::parse("max { all_rows ; alpha }").unwrap();
         let max_v = logicforms::evaluate(&max_e, &table).unwrap();
         let hop_e = logicforms::parse("hop { argmax { all_rows ; alpha } ; alpha }").unwrap();
         let hop_v = logicforms::evaluate(&hop_e, &table).unwrap();
-        let (Some(a), Some(b)) = (
-            max_v.value.as_scalar().and_then(Value::as_number),
-            hop_v.value.as_scalar().and_then(Value::as_number),
-        ) else {
-            return Err(TestCaseError::fail("non-numeric"));
-        };
-        prop_assert!((a - b).abs() < 1e-9);
-        let _ = e;
+        let a = max_v.value.as_scalar().and_then(Value::as_number).expect("non-numeric max");
+        let b = hop_v.value.as_scalar().and_then(Value::as_number).expect("non-numeric hop");
+        assert!((a - b).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn sum_equals_avg_times_count(table in arb_table()) {
-        let sum = logicforms::evaluate(&logicforms::parse("sum { all_rows ; beta }").unwrap(), &table).unwrap();
-        let avg = logicforms::evaluate(&logicforms::parse("avg { all_rows ; beta }").unwrap(), &table).unwrap();
+#[test]
+fn sum_equals_avg_times_count() {
+    for case in 0..CASES {
+        let table = random_table(case + 1);
+        let sum =
+            logicforms::evaluate(&logicforms::parse("sum { all_rows ; beta }").unwrap(), &table)
+                .unwrap();
+        let avg =
+            logicforms::evaluate(&logicforms::parse("avg { all_rows ; beta }").unwrap(), &table)
+                .unwrap();
         let s = sum.value.as_scalar().and_then(Value::as_number).unwrap();
         let a = avg.value.as_scalar().and_then(Value::as_number).unwrap();
-        prop_assert!((s - a * table.n_rows() as f64).abs() < 1e-6 * s.abs().max(1.0));
+        assert!((s - a * table.n_rows() as f64).abs() < 1e-6 * s.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn comparator_duality(table in arb_table(), threshold in 0i64..1000) {
-        // all_greater(v, t) implies !most_less_eq is not generally true, but
-        // filter_greater + filter_less_eq partition the rows.
+#[test]
+fn comparator_duality() {
+    // filter_greater + filter_less_eq partition the rows.
+    let mut rng = StdRng::seed_from_u64(4);
+    for case in 0..CASES {
+        let table = random_table(case + 1);
+        let threshold: i64 = rng.gen_range(0..1000);
         let gt = logicforms::evaluate(
-            &logicforms::parse(&format!("count {{ filter_greater {{ all_rows ; alpha ; {threshold} }} }}")).unwrap(),
+            &logicforms::parse(&format!(
+                "count {{ filter_greater {{ all_rows ; alpha ; {threshold} }} }}"
+            ))
+            .unwrap(),
             &table,
-        ).unwrap();
+        )
+        .unwrap();
         let le = logicforms::evaluate(
-            &logicforms::parse(&format!("count {{ filter_less_eq {{ all_rows ; alpha ; {threshold} }} }}")).unwrap(),
+            &logicforms::parse(&format!(
+                "count {{ filter_less_eq {{ all_rows ; alpha ; {threshold} }} }}"
+            ))
+            .unwrap(),
             &table,
-        ).unwrap();
+        )
+        .unwrap();
         let g = gt.value.as_scalar().and_then(Value::as_number).unwrap() as usize;
         let l = le.value.as_scalar().and_then(Value::as_number).unwrap() as usize;
-        prop_assert_eq!(g + l, table.n_rows());
+        assert_eq!(g + l, table.n_rows());
     }
+}
 
-    #[test]
-    fn sql_order_limit_prefix(table in arb_table(), k in 1usize..6) {
+#[test]
+fn sql_order_limit_prefix() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for case in 0..CASES {
+        let table = random_table(case + 1);
+        let k: usize = rng.gen_range(1..6);
         let all = sqlexec::run_sql("select [name] from w order by [alpha] desc", &table).unwrap();
-        let topk = sqlexec::run_sql(&format!("select [name] from w order by [alpha] desc limit {k}"), &table).unwrap();
-        prop_assert_eq!(
-            topk.rows.len(),
-            k.min(table.n_rows())
-        );
+        let topk = sqlexec::run_sql(
+            &format!("select [name] from w order by [alpha] desc limit {k}"),
+            &table,
+        )
+        .unwrap();
+        assert_eq!(topk.rows.len(), k.min(table.n_rows()));
         for (a, b) in topk.rows.iter().zip(all.rows.iter()) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    // -----------------------------------------------------------------------
-    // Sampling discipline.
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Sampling discipline.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn sql_sampling_respects_types(table in arb_table(), seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let tpl = sqlexec::SqlTemplate::parse("select c1 from w where c2_number > val1").unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn sql_sampling_respects_types() {
+    let tpl = sqlexec::SqlTemplate::parse("select c1 from w where c2_number > val1").unwrap();
+    for case in 0..CASES {
+        let table = random_table(case + 1);
+        let mut rng = StdRng::seed_from_u64(case * 7 + 1);
         if let Some(stmt) = tpl.instantiate(&table, &mut rng) {
             // The compared column must be numeric (alpha or beta).
             let rendered = stmt.to_string();
-            prop_assert!(
+            assert!(
                 rendered.contains("alpha >") || rendered.contains("beta >"),
-                "non-numeric column bound to c2_number: {}", rendered
+                "non-numeric column bound to c2_number: {rendered}"
             );
             // And it must execute.
-            prop_assert!(sqlexec::execute(&stmt, &table).is_ok());
+            assert!(sqlexec::execute(&stmt, &table).is_ok());
         }
     }
+}
 
-    #[test]
-    fn generated_claims_match_their_labels(table in arb_table(), seed in any::<u64>(), desired in any::<bool>()) {
-        use rand::SeedableRng;
-        let tpl = logicforms::LfTemplate::parse(
-            "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }"
-        ).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        if let Some(claim) = tpl.instantiate(&table, &mut rng, desired) {
-            prop_assert_eq!(claim.truth, desired);
-            let truth = logicforms::evaluate_truth(&claim.expr, &table).unwrap();
-            prop_assert_eq!(truth, desired);
+#[test]
+fn generated_claims_match_their_labels() {
+    let tpl = logicforms::LfTemplate::parse(
+        "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }",
+    )
+    .unwrap();
+    for case in 0..CASES {
+        let table = random_table(case + 1);
+        for desired in [false, true] {
+            let mut rng = StdRng::seed_from_u64(case * 11 + 3);
+            if let Some(claim) = tpl.instantiate(&table, &mut rng, desired) {
+                assert_eq!(claim.truth, desired);
+                let truth = logicforms::evaluate_truth(&claim.expr, &table).unwrap();
+                assert_eq!(truth, desired);
+            }
         }
     }
+}
 
-    #[test]
-    fn arith_instantiation_executes(table in arb_table(), seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let tpl = arithexpr::AeTemplate::parse("subtract( val1 , val2 ) , divide( #0 , val2 )").unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn arith_instantiation_executes() {
+    let tpl =
+        arithexpr::AeTemplate::parse("subtract( val1 , val2 ) , divide( #0 , val2 )").unwrap();
+    for case in 0..CASES {
+        let table = random_table(case + 1);
+        let mut rng = StdRng::seed_from_u64(case * 13 + 5);
         if let Some(inst) = tpl.instantiate(&table, &mut rng) {
-            prop_assert!(!inst.program.has_holes());
+            assert!(!inst.program.has_holes());
             // Re-execution is deterministic.
             let again = arithexpr::execute(&inst.program, &table).unwrap();
-            prop_assert_eq!(again.answer, inst.outcome.answer);
+            assert_eq!(again.answer, inst.outcome.answer);
         }
     }
+}
 
-    // -----------------------------------------------------------------------
-    // Text utilities.
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Text utilities.
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn token_f1_symmetric_and_bounded(a in "[a-z]{1,8}( [a-z]{1,8}){0,6}", b in "[a-z]{1,8}( [a-z]{1,8}){0,6}") {
-        use tabular::text::{token_f1, tokenize};
+#[test]
+fn token_f1_symmetric_and_bounded() {
+    use tabular::text::{token_f1, tokenize};
+    let mut rng = StdRng::seed_from_u64(6);
+    let random_phrase = |rng: &mut StdRng| {
+        let words: usize = rng.gen_range(1..=7);
+        (0..words)
+            .map(|_| {
+                let len: usize = rng.gen_range(1..=8);
+                (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for _ in 0..CASES {
+        let a = random_phrase(&mut rng);
+        let b = random_phrase(&mut rng);
         let ta = tokenize(&a);
         let tb = tokenize(&b);
         let f_ab = token_f1(&ta, &tb);
         let f_ba = token_f1(&tb, &ta);
-        prop_assert!((f_ab - f_ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&f_ab));
-        prop_assert!((token_f1(&ta, &ta) - 1.0).abs() < 1e-12);
+        assert!((f_ab - f_ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&f_ab));
+        assert!((token_f1(&ta, &ta) - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn csv_roundtrip(table in arb_table()) {
+#[test]
+fn csv_roundtrip() {
+    for case in 0..CASES {
+        let table = random_table(case + 1);
         let csv = tabular::table_to_csv(&table);
         let back = tabular::table_from_csv("prop", &csv).unwrap();
-        prop_assert_eq!(table.rows(), back.rows());
+        assert_eq!(table.rows(), back.rows());
     }
+}
 
-    #[test]
-    fn value_parse_display_stable(n in -1e9f64..1e9f64) {
+#[test]
+fn value_parse_display_stable() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..1000 {
+        let n: f64 = rng.gen_range(-1e9..1e9);
         let v = Value::number((n * 100.0).round() / 100.0);
         let reparsed = Value::parse(&v.to_string());
-        prop_assert!(v.loosely_equals(&reparsed), "{:?} vs {:?}", v, reparsed);
+        assert!(v.loosely_equals(&reparsed), "{v:?} vs {reparsed:?}");
     }
 }

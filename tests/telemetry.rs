@@ -1,0 +1,153 @@
+//! Telemetry integration tests: the [`uctr::PipelineReport`] counters must
+//! be deterministic, thread-count-invariant, and consistent with the samples
+//! the pipeline actually returns.
+
+use corpora::{tatqa_like, wikisql_like, CorpusConfig};
+use uctr::{PipelineReport, ProgramKind, Sample, TableWithContext, UctrConfig, UctrPipeline};
+
+fn inputs() -> Vec<TableWithContext> {
+    tatqa_like(CorpusConfig::tiny()).unlabeled
+}
+
+/// Full-content fingerprint of a sample list (Sample is Serialize).
+fn fingerprint(samples: &[Sample]) -> Vec<String> {
+    samples.iter().map(|s| serde_json::to_string(s).unwrap()).collect()
+}
+
+#[test]
+fn report_accompanies_identical_samples() {
+    let pipeline = UctrPipeline::new(UctrConfig::qa());
+    let inputs = inputs();
+    let (samples, report) = pipeline.generate_with_report(&inputs);
+    let plain = pipeline.generate(&inputs);
+    assert_eq!(fingerprint(&samples), fingerprint(&plain));
+    assert_eq!(report.accepted(), samples.len() as u64);
+    assert_eq!(report.inputs_total, inputs.len() as u64);
+}
+
+#[test]
+fn thread_count_does_not_change_samples_or_counters() {
+    let pipeline = UctrPipeline::new(UctrConfig::qa());
+    let inputs = inputs();
+    let (seq, seq_report) = pipeline.generate_with_report(&inputs);
+    for threads in [2, 8] {
+        let (par, par_report) = pipeline.generate_parallel_with_report(&inputs, threads);
+        assert_eq!(fingerprint(&seq), fingerprint(&par), "samples diverged at {threads} threads");
+        assert!(
+            seq_report.deterministic_eq(&par_report),
+            "counters diverged at {threads} threads:\n{}\nvs\n{}",
+            seq_report.summary(),
+            par_report.summary()
+        );
+        assert_eq!(par_report.threads, threads as u64);
+    }
+}
+
+#[test]
+fn unknown_injection_is_thread_invariant_and_counted() {
+    let mut cfg = UctrConfig::verification();
+    cfg.unknown_rate = 0.3;
+    let pipeline = UctrPipeline::new(cfg);
+    // Wiki tables have distinct titles; injection skips same-title pairs, so
+    // single-title finance inputs would inject nothing.
+    let inputs = wikisql_like(CorpusConfig::tiny()).unlabeled;
+    let (seq, seq_report) = pipeline.generate_with_report(&inputs);
+    let (par, par_report) = pipeline.generate_parallel_with_report(&inputs, 4);
+    assert_eq!(fingerprint(&seq), fingerprint(&par));
+    assert!(seq_report.deterministic_eq(&par_report));
+    let unknowns =
+        seq.iter().filter(|s| s.label == uctr::Label::Verdict(uctr::Verdict::Unknown)).count();
+    assert_eq!(seq_report.unknown_injected, unknowns as u64);
+    assert!(unknowns > 0, "unknown_rate 0.3 should inject at least one Unknown");
+}
+
+#[test]
+fn accepted_counts_partition_samples_by_kind() {
+    for cfg in [UctrConfig::qa(), UctrConfig::verification()] {
+        let pipeline = UctrPipeline::new(cfg);
+        let (samples, report) = pipeline.generate_with_report(&inputs());
+        let mut by_kind = [("sql", 0u64), ("logic", 0), ("arith", 0), ("none", 0)];
+        for s in &samples {
+            let i = match s.program {
+                ProgramKind::Sql(_) => 0,
+                ProgramKind::Logic(_) => 1,
+                ProgramKind::Arith(_) => 2,
+                ProgramKind::None => 3,
+            };
+            by_kind[i].1 += 1;
+        }
+        let reported = report.accepted_by_kind();
+        for (name, count) in by_kind {
+            assert_eq!(
+                reported.get(name).copied().unwrap_or(0),
+                count,
+                "kind {name} accepted count mismatch"
+            );
+        }
+        assert_eq!(report.accepted(), samples.len() as u64);
+    }
+}
+
+#[test]
+fn funnel_is_monotone_per_kind() {
+    let (_, report) = UctrPipeline::new(UctrConfig::qa()).generate_with_report(&inputs());
+    for k in &report.kinds {
+        assert!(k.attempted >= k.instantiated, "{}: attempted < instantiated", k.kind);
+        assert!(k.instantiated >= k.executed, "{}: instantiated < executed", k.kind);
+        if k.kind != "none" {
+            // `none` (programless text-only) never passes through the
+            // execute stage, so this leg only holds for real programs.
+            assert!(k.executed >= k.accepted, "{}: executed < accepted", k.kind);
+        }
+        // Every attempt ends in exactly one outcome: accepted or one
+        // recorded discard (including post-execution source filters).
+        let discarded: u64 = k.discards.iter().map(|d| d.count).sum();
+        assert_eq!(
+            k.attempted,
+            k.accepted + discarded,
+            "{}: funnel leak — attempted {} != accepted {} + discarded {}",
+            k.kind,
+            k.attempted,
+            k.accepted,
+            discarded
+        );
+    }
+}
+
+#[test]
+fn source_acceptance_partitions_samples() {
+    let (samples, report) = UctrPipeline::new(UctrConfig::qa()).generate_with_report(&inputs());
+    let total: u64 = report.sources.iter().map(|s| s.accepted).sum();
+    assert_eq!(total, samples.len() as u64);
+    for s in &report.sources {
+        assert!(s.attempted >= s.accepted, "{}: accepted exceeds attempts", s.source);
+    }
+}
+
+#[test]
+fn report_json_round_trips() {
+    let (_, report) = UctrPipeline::new(UctrConfig::verification()).generate_with_report(&inputs());
+    let json = report.to_json();
+    let back = PipelineReport::from_json(&json).expect("report JSON must parse back");
+    assert_eq!(report, back);
+    // And the deterministic view agrees with itself.
+    assert!(report.deterministic_eq(&back));
+}
+
+#[test]
+fn timings_cover_the_work_that_happened() {
+    let bench = wikisql_like(CorpusConfig::tiny());
+    let (_, report) = UctrPipeline::new(UctrConfig::qa()).generate_with_report(&bench.unlabeled);
+    // Instantiation/NL-generation ran, so their histograms must be populated
+    // and internally consistent (bucket sums equal the recorded count).
+    for t in &report.timings {
+        let bucket_sum: u64 = t.log2_ns_buckets.iter().sum();
+        assert_eq!(bucket_sum, t.count, "{}: histogram buckets disagree with count", t.name);
+        if t.count > 0 {
+            assert!(t.total_ns > 0, "{}: recorded events but zero total time", t.name);
+            assert!(t.mean_ns() > 0);
+        }
+    }
+    let instantiate = report.timings.iter().find(|t| t.name == "instantiate").unwrap();
+    assert!(instantiate.count > 0, "instantiation must have been timed");
+}

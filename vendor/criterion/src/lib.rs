@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! small API surface the workspace benches use — [`black_box`],
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a plain
+//! `Instant`-based timing loop instead of criterion's statistical engine.
+//! Output is one `name ... ns/iter` line per benchmark, enough to eyeball
+//! regressions; it makes no claim of criterion-grade rigor.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defers to `std::hint::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hint for how much setup output `iter_batched` should buffer. The shim
+/// runs setup per iteration regardless, so the variants only exist for
+/// source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Measured wall-clock per iteration, filled in by `iter`/`iter_batched`.
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Target duration for the measurement loop of one benchmark.
+const MEASURE_FOR: Duration = Duration::from_millis(300);
+/// Iterations used to estimate the per-iteration cost before measuring.
+const PROBE_ITERS: u64 = 8;
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to fill
+    /// [`MEASURE_FOR`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Probe to pick an iteration count, then measure.
+        let probe_start = Instant::now();
+        for _ in 0..PROBE_ITERS {
+            black_box(routine());
+        }
+        let per_iter = probe_start.elapsed() / PROBE_ITERS as u32;
+        let iters = iters_for(per_iter);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(input));
+        let per_iter = probe_start.elapsed().max(Duration::from_nanos(1));
+        let iters = iters_for(per_iter);
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn iters_for(per_iter: Duration) -> u64 {
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    (MEASURE_FOR.as_nanos() / per_iter_ns).clamp(1, 1_000_000) as u64
+}
+
+/// Entry point mirroring criterion's `Criterion` driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let ns = if b.iters == 0 { 0 } else { b.elapsed.as_nanos() / u128::from(b.iters) };
+        println!("{name:<40} {ns:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` as running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("shim/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/iter_batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

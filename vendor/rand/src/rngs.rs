@@ -1,0 +1,78 @@
+//! Generator implementations: [`StdRng`], [`SmallRng`], and [`mock::StepRng`].
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Not the upstream ChaCha12 — only internal determinism matters here.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state_seed(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        StdRng { s }
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng::from_state_seed(seed)
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A small fast generator; identical to [`StdRng`] in this shim.
+pub type SmallRng = StdRng;
+
+pub mod mock {
+    use crate::RngCore;
+
+    /// A mock generator yielding `initial`, `initial + increment`, … —
+    /// mirrors `rand::rngs::mock::StepRng`.
+    #[derive(Debug, Clone)]
+    pub struct StepRng {
+        v: u64,
+        step: u64,
+    }
+
+    impl StepRng {
+        pub fn new(initial: u64, increment: u64) -> StepRng {
+            StepRng { v: initial, step: increment }
+        }
+    }
+
+    impl RngCore for StepRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.step);
+            out
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Slice sampling helpers ([`SliceRandom`]).
+
+use crate::Rng;
+
+/// Random sampling from slices: `choose` and `shuffle`.
+pub trait SliceRandom {
+    type Item;
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    #[inline]
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

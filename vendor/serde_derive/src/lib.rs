@@ -1,0 +1,325 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! The build container has no crates.io access, so there is no `syn`/`quote`;
+//! the derive input is parsed directly from the `proc_macro` token stream.
+//! Supported shapes — exactly what the workspace defines:
+//!
+//! * structs with named fields;
+//! * enums whose variants are units or tuples.
+//!
+//! Generated code follows serde's externally-tagged defaults: structs
+//! serialize to objects, unit variants to their name as a string, tuple
+//! variants to `{"Variant": value}` (single field) or `{"Variant": [..]}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named struct fields, in declaration order.
+    Struct(Vec<String>),
+    /// Enum variants: name plus tuple-field count (0 = unit variant).
+    Enum(Vec<(String, usize)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    let body = match &def.shape {
+        Shape::Struct(fields) => serialize_struct(&def.name, fields),
+        Shape::Enum(variants) => serialize_enum(&def.name, variants),
+    };
+    body.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    let body = match &def.shape {
+        Shape::Struct(fields) => deserialize_struct(&def.name, fields),
+        Shape::Enum(variants) => deserialize_enum(&def.name, variants),
+    };
+    body.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// --- input parsing ---------------------------------------------------------
+
+fn parse_type_def(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic types (deriving `{name}`)");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no braced body found for `{name}`"),
+        }
+    };
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body, &name)),
+        "enum" => Shape::Enum(parse_variants(body, &name)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    TypeDef { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional restriction like pub(crate)
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name in `{name}`, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive: `{name}` has unsupported field syntax (tuple struct?): {other:?}"
+            ),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the comma that ends the field (or
+/// at end of input). Tracks `<`/`>` depth; grouped tokens are atomic.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream, name: &str) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name in `{name}`, got {other:?}"),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                tuple_arity(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim does not support struct variants (`{name}::{variant}`)")
+            }
+            _ => 0,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!(
+                "serde_derive: unsupported variant syntax after `{name}::{variant}`: {other:?}"
+            ),
+        }
+        variants.push((variant, arity));
+    }
+    variants
+}
+
+fn tuple_arity(fields: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = fields.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+// --- code generation -------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(clippy::all, unused_variables)]\n";
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n\
+                ::serde::Value::Obj(::std::vec![{pushes}])\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!("{f}: ::serde::field(o, \"{f}\")?,"));
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                match v {{\n\
+                    ::serde::Value::Obj(o) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                    other => ::std::result::Result::Err(::serde::Error::expected(\"object\", other)),\n\
+                }}\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn bindings(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+fn serialize_enum(name: &str, variants: &[(String, usize)]) -> String {
+    let mut arms = String::new();
+    for (v, arity) in variants {
+        match arity {
+            0 => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+            )),
+            1 => arms.push_str(&format!(
+                "{name}::{v}(__f0) => ::serde::Value::Obj(::std::vec![(\
+                    ::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),"
+            )),
+            n => {
+                let binds = bindings(*n).join(", ");
+                let items: String = bindings(*n)
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{v}({binds}) => ::serde::Value::Obj(::std::vec![(\
+                        ::std::string::String::from(\"{v}\"), \
+                        ::serde::Value::Arr(::std::vec![{items}]))]),"
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n\
+                match self {{ {arms} }}\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, usize)]) -> String {
+    let mut unit_arms = String::new();
+    for (v, arity) in variants.iter().filter(|(_, a)| *a == 0) {
+        let _ = arity;
+        unit_arms.push_str(&format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"));
+    }
+    let mut tagged_arms = String::new();
+    for (v, arity) in variants.iter().filter(|(_, a)| *a > 0) {
+        match arity {
+            1 => tagged_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                    ::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            n => {
+                let gets: String = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?,"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                        let __arr = __inner.as_arr()\
+                            .filter(|a| a.len() == {n})\
+                            .ok_or_else(|| ::serde::Error::expected(\"{n}-element array\", __inner))?;\n\
+                        ::std::result::Result::Ok({name}::{v}({gets}))\n\
+                    }},"
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                match v {{\n\
+                    ::serde::Value::Str(s) => match s.as_str() {{\n\
+                        {unit_arms}\n\
+                        other => ::std::result::Result::Err(\
+                            ::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                    }},\n\
+                    ::serde::Value::Obj(o) if o.len() == 1 => {{\n\
+                        let (__tag, __inner) = &o[0];\n\
+                        match __tag.as_str() {{\n\
+                            {tagged_arms}\n\
+                            other => ::std::result::Result::Err(\
+                                ::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                        }}\n\
+                    }},\n\
+                    other => ::std::result::Result::Err(\
+                        ::serde::Error::expected(\"enum representation\", other)),\n\
+                }}\n\
+            }}\n\
+        }}"
+    )
+}
