@@ -7,7 +7,7 @@
 
 use crate::ast::{AeArg, AeOp, AeProgram};
 use std::fmt;
-use tabular::{format_number, ColumnType, Table, Value};
+use tabular::{format_number, ColumnType, ExecContext, Table, Value};
 
 /// The answer of an arithmetic program.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,21 +86,63 @@ pub fn row_name_column(table: &Table) -> usize {
 
 /// Resolves `col of row` to a (row, col) pair.
 pub fn resolve_cell(table: &Table, col: &str, row: &str) -> Result<(usize, usize), AeError> {
+    resolve_cell_impl(table, None, col, row)
+}
+
+fn resolve_cell_impl(
+    table: &Table,
+    ctx: Option<&ExecContext>,
+    col: &str,
+    row: &str,
+) -> Result<(usize, usize), AeError> {
     let ci = table.column_index(col).ok_or_else(|| AeError::UnknownColumn(col.to_string()))?;
-    let name_col = row_name_column(table);
     let target = Value::parse(row);
-    let ri = (0..table.n_rows())
-        .find(|&ri| {
-            table.cell(ri, name_col).is_some_and(|v| {
-                v.loosely_equals(&target) || v.to_string().eq_ignore_ascii_case(row)
+    let ri = match ctx {
+        // Same first-match scan, but the row-name renderings come from the
+        // context's lowercase cache instead of a `to_string` per row.
+        Some(ctx) => {
+            let name_col = ctx.row_name_column();
+            let row_lower = row.to_ascii_lowercase();
+            (0..table.n_rows()).find(|&ri| {
+                table.cell(ri, name_col).is_some_and(|v| {
+                    v.loosely_equals(&target) || ctx.name_lower(ri) == Some(row_lower.as_str())
+                })
             })
-        })
-        .ok_or_else(|| AeError::UnknownRow(row.to_string()))?;
+        }
+        None => {
+            let name_col = row_name_column(table);
+            (0..table.n_rows()).find(|&ri| {
+                table.cell(ri, name_col).is_some_and(|v| {
+                    v.loosely_equals(&target) || v.to_string().eq_ignore_ascii_case(row)
+                })
+            })
+        }
+    }
+    .ok_or_else(|| AeError::UnknownRow(row.to_string()))?;
     Ok((ri, ci))
 }
 
 /// Executes a fully instantiated program against a table.
 pub fn execute(program: &AeProgram, table: &Table) -> Result<AeOutcome, AeError> {
+    execute_impl(program, table, None)
+}
+
+/// [`execute`] using a prebuilt [`ExecContext`]: table aggregations read the
+/// cached per-column numeric pairs and cell addressing uses the cached
+/// row-name renderings. Result-identical to [`execute`].
+pub fn execute_in(
+    program: &AeProgram,
+    table: &Table,
+    ctx: &ExecContext,
+) -> Result<AeOutcome, AeError> {
+    execute_impl(program, table, Some(ctx))
+}
+
+fn execute_impl(
+    program: &AeProgram,
+    table: &Table,
+    ctx: Option<&ExecContext>,
+) -> Result<AeOutcome, AeError> {
     if program.has_holes() {
         return Err(AeError::Uninstantiated);
     }
@@ -118,10 +160,20 @@ pub fn execute(program: &AeProgram, table: &Table) -> Result<AeOutcome, AeError>
                 .column_index(&col_name)
                 .ok_or_else(|| AeError::UnknownColumn(col_name.clone()))?;
             let mut nums = Vec::new();
-            for ri in 0..table.n_rows() {
-                if let Some(n) = table.cell(ri, ci).and_then(Value::as_number) {
-                    highlighted.push((ri, ci));
-                    nums.push(n);
+            match ctx {
+                Some(ctx) => {
+                    for &(ri, n) in ctx.numeric_pairs(ci) {
+                        highlighted.push((ri, ci));
+                        nums.push(n);
+                    }
+                }
+                None => {
+                    for ri in 0..table.n_rows() {
+                        if let Some(n) = table.cell(ri, ci).and_then(Value::as_number) {
+                            highlighted.push((ri, ci));
+                            nums.push(n);
+                        }
+                    }
                 }
             }
             if nums.is_empty() {
@@ -136,8 +188,8 @@ pub fn execute(program: &AeProgram, table: &Table) -> Result<AeOutcome, AeError>
             };
             AeAnswer::Number(v)
         } else {
-            let a = resolve_numeric(&step.args[0], table, &results, &mut highlighted)?;
-            let b = resolve_numeric(&step.args[1], table, &results, &mut highlighted)?;
+            let a = resolve_numeric(&step.args[0], table, ctx, &results, &mut highlighted)?;
+            let b = resolve_numeric(&step.args[1], table, ctx, &results, &mut highlighted)?;
             match step.op {
                 AeOp::Add => AeAnswer::Number(a + b),
                 AeOp::Subtract => AeAnswer::Number(a - b),
@@ -169,6 +221,7 @@ pub fn execute(program: &AeProgram, table: &Table) -> Result<AeOutcome, AeError>
 fn resolve_numeric(
     arg: &AeArg,
     table: &Table,
+    ctx: Option<&ExecContext>,
     results: &[AeAnswer],
     highlighted: &mut Vec<(usize, usize)>,
 ) -> Result<f64, AeError> {
@@ -178,12 +231,13 @@ fn resolve_numeric(
             results.get(*i).ok_or(AeError::BoolAsNumber)?.as_number().ok_or(AeError::BoolAsNumber)
         }
         AeArg::Cell { col, row } => {
-            let (ri, ci) = resolve_cell(table, col, row)?;
+            let (ri, ci) = resolve_cell_impl(table, ctx, col, row)?;
             highlighted.push((ri, ci));
-            table
-                .cell(ri, ci)
-                .and_then(Value::as_number)
-                .ok_or_else(|| AeError::NonNumericCell { col: col.clone(), row: row.clone() })
+            match ctx {
+                Some(ctx) => ctx.number_at(ri, ci),
+                None => table.cell(ri, ci).and_then(Value::as_number),
+            }
+            .ok_or_else(|| AeError::NonNumericCell { col: col.clone(), row: row.clone() })
         }
         AeArg::Column(c) => Err(AeError::UnknownColumn(c.clone())),
         AeArg::CellHole(_) | AeArg::ColumnHole(_) => Err(AeError::Uninstantiated),

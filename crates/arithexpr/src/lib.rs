@@ -28,6 +28,8 @@ pub mod parser;
 pub mod template;
 
 pub use ast::{AeArg, AeOp, AeProgram, AeStep};
-pub use exec::{execute, resolve_cell, row_name_column, run_arith, AeAnswer, AeError, AeOutcome};
+pub use exec::{
+    execute, execute_in, resolve_cell, row_name_column, run_arith, AeAnswer, AeError, AeOutcome,
+};
 pub use parser::{parse, AeParseError};
 pub use template::{abstract_program, AeInstantiateError, AeTemplate, InstantiatedArith};

@@ -7,12 +7,12 @@
 //! internal relationships.
 
 use crate::ast::{AeArg, AeProgram, AeStep};
-use crate::exec::{execute, row_name_column, AeOutcome};
+use crate::exec::{execute, execute_in, row_name_column, AeOutcome};
 use crate::parser::{parse, AeParseError};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rustc_hash::FxHashMap;
-use tabular::{ColumnType, Table, Value};
+use tabular::{ColumnType, ExecContext, Table, Value};
 
 /// Why instantiation failed — the structured discard reasons the pipeline
 /// telemetry aggregates (instead of an opaque `None`). For the retrying
@@ -103,9 +103,31 @@ impl AeTemplate {
         table: &Table,
         rng: &mut impl Rng,
     ) -> Result<InstantiatedArith, AeInstantiateError> {
+        self.try_instantiate_impl(table, None, rng)
+    }
+
+    /// [`AeTemplate::try_instantiate`] using a prebuilt [`ExecContext`]: the
+    /// addressable-cell and numeric-column scans come from the context, as
+    /// does the execution of the instantiated program. Draw-for-draw
+    /// identical to the context-free path.
+    pub fn try_instantiate_in(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut impl Rng,
+    ) -> Result<InstantiatedArith, AeInstantiateError> {
+        self.try_instantiate_impl(table, Some(ctx), rng)
+    }
+
+    fn try_instantiate_impl(
+        &self,
+        table: &Table,
+        ctx: Option<&ExecContext>,
+        rng: &mut impl Rng,
+    ) -> Result<InstantiatedArith, AeInstantiateError> {
         let mut last = AeInstantiateError::NotEnoughNumericCells;
         for _ in 0..8 {
-            match self.attempt_instantiate(table, rng) {
+            match self.attempt_instantiate(table, ctx, rng) {
                 Ok(done) => return Ok(done),
                 Err(e) => last = e,
             }
@@ -116,25 +138,35 @@ impl AeTemplate {
     fn attempt_instantiate(
         &self,
         table: &Table,
+        ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
     ) -> Result<InstantiatedArith, AeInstantiateError> {
-        let name_col = row_name_column(table);
+        let name_col = match ctx {
+            Some(ctx) => ctx.row_name_column(),
+            None => row_name_column(table),
+        };
         // Numeric cells addressable as (col of row): need a non-null row name.
-        let mut cells: Vec<(usize, usize)> = Vec::new();
-        for ri in 0..table.n_rows() {
-            let has_name = table.cell(ri, name_col).is_some_and(|v| !v.is_null());
-            if !has_name {
-                continue;
-            }
-            for ci in 0..table.n_cols() {
-                if ci == name_col {
-                    continue;
+        let mut cells: Vec<(usize, usize)> = match ctx {
+            Some(ctx) => ctx.addressable_cells().to_vec(),
+            None => {
+                let mut cells = Vec::new();
+                for ri in 0..table.n_rows() {
+                    let has_name = table.cell(ri, name_col).is_some_and(|v| !v.is_null());
+                    if !has_name {
+                        continue;
+                    }
+                    for ci in 0..table.n_cols() {
+                        if ci == name_col {
+                            continue;
+                        }
+                        if table.cell(ri, ci).and_then(Value::as_number).is_some() {
+                            cells.push((ri, ci));
+                        }
+                    }
                 }
-                if table.cell(ri, ci).and_then(Value::as_number).is_some() {
-                    cells.push((ri, ci));
-                }
+                cells
             }
-        }
+        };
         let holes = self.cell_holes();
         if cells.len() < holes.len() {
             return Err(AeInstantiateError::NotEnoughNumericCells);
@@ -170,7 +202,14 @@ impl AeTemplate {
                 table.cell(ri, name_col).ok_or(AeInstantiateError::MalformedTemplate)?.to_string();
             cell_binding.insert(*hole, AeArg::Cell { col, row });
         }
-        let numeric_cols: Vec<usize> = table.schema().columns_of_type(ColumnType::Number);
+        let owned_numeric_cols;
+        let numeric_cols: &[usize] = match ctx {
+            Some(ctx) => ctx.numeric_columns(),
+            None => {
+                owned_numeric_cols = table.schema().columns_of_type(ColumnType::Number);
+                &owned_numeric_cols
+            }
+        };
         let steps = self
             .program
             .steps
@@ -200,7 +239,11 @@ impl AeTemplate {
             })
             .collect::<Result<Vec<_>, AeInstantiateError>>()?;
         let program = AeProgram { steps };
-        let outcome = execute(&program, table).map_err(|_| AeInstantiateError::ExecutionFailed)?;
+        let outcome = match ctx {
+            Some(ctx) => execute_in(&program, table, ctx),
+            None => execute(&program, table),
+        }
+        .map_err(|_| AeInstantiateError::ExecutionFailed)?;
         Ok(InstantiatedArith { program, outcome })
     }
 }

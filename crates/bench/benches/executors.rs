@@ -3,12 +3,16 @@
 //! and arithmetic-expression execution.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use tabular::Table;
+use tabular::{ExecContext, Table};
 
 fn sample_table() -> Table {
+    sized_table(64)
+}
+
+fn sized_table(rows: usize) -> Table {
     let mut grid: Vec<Vec<String>> =
         vec![vec!["team".into(), "city".into(), "points".into(), "wins".into(), "losses".into()]];
-    for i in 0..64 {
+    for i in 0..rows {
         grid.push(vec![
             format!("Team{i}"),
             format!("City{}", i % 12),
@@ -105,5 +109,96 @@ fn bench_arith(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sql, bench_logic, bench_arith);
+/// ExecContext vs naive scans on a 128-row table: the per-table caches must
+/// measurably beat re-scanning per program on tables ≥ 100 rows (the
+/// ExecContext acceptance criterion).
+fn bench_exec_context(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let table = sized_table(128);
+    let ctx = ExecContext::new(&table);
+
+    c.bench_function("ctx/build_128rows", |b| {
+        b.iter(|| black_box(ExecContext::new(black_box(&table))))
+    });
+
+    let forms = [
+        "eq { max { all_rows ; points } ; 99 }",
+        "round_eq { avg { all_rows ; wins } ; 14.5 }",
+        "round_eq { sum { all_rows ; losses } ; 1216 }",
+        "eq { nth_max { all_rows ; points ; 3 } ; 97 }",
+    ];
+    let exprs: Vec<_> = forms.iter().map(|f| logicforms::parse(f).unwrap()).collect();
+    c.bench_function("logic/evaluate_128rows_naive", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                black_box(logicforms::evaluate(e, &table).unwrap());
+            }
+        })
+    });
+    c.bench_function("logic/evaluate_128rows_ctx", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                black_box(logicforms::evaluate_in(e, &table, &ctx).unwrap());
+            }
+        })
+    });
+
+    let programs = [
+        "table_sum( points ) , divide( the points of Team3 , #0 )",
+        "table_average( wins )",
+        "table_max( points ) , table_min( points ) , subtract( #0 , #1 )",
+    ];
+    let parsed: Vec<_> = programs.iter().map(|p| arithexpr::parse(p).unwrap()).collect();
+    c.bench_function("arith/execute_128rows_naive", |b| {
+        b.iter(|| {
+            for p in &parsed {
+                black_box(arithexpr::execute(p, &table).unwrap());
+            }
+        })
+    });
+    c.bench_function("arith/execute_128rows_ctx", |b| {
+        b.iter(|| {
+            for p in &parsed {
+                black_box(arithexpr::execute_in(p, &table, &ctx).unwrap());
+            }
+        })
+    });
+
+    let tpl =
+        sqlexec::SqlTemplate::parse("select c1 from w where c2 = val1 and c3 = val2").unwrap();
+    c.bench_function("sql/instantiate_128rows_naive", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(tpl.try_instantiate(&table, &mut rng)))
+    });
+    c.bench_function("sql/instantiate_128rows_ctx", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(tpl.try_instantiate_in(&table, &ctx, &mut rng)))
+    });
+
+    let lf_tpl =
+        logicforms::LfTemplate::parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }")
+            .unwrap();
+    c.bench_function("logic/instantiate_128rows_naive", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| black_box(lf_tpl.try_instantiate(&table, &mut rng, true)))
+    });
+    c.bench_function("logic/instantiate_128rows_ctx", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| black_box(lf_tpl.try_instantiate_in(&table, &ctx, &mut rng, true)))
+    });
+
+    let ae_tpl = arithexpr::AeTemplate::parse("table_sum( c1 ) , divide( val1 , #0 )").unwrap();
+    c.bench_function("arith/instantiate_128rows_naive", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        b.iter(|| black_box(ae_tpl.try_instantiate(&table, &mut rng)))
+    });
+    c.bench_function("arith/instantiate_128rows_ctx", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        b.iter(|| black_box(ae_tpl.try_instantiate_in(&table, &ctx, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_sql, bench_logic, bench_arith, bench_exec_context);
 criterion_main!(benches);

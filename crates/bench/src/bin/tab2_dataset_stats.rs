@@ -11,7 +11,8 @@
 //!                        floor (see ci/acceptance_floor.json)
 
 use bench::{
-    check_floor, composition_row, flag_value, print_table, reports_to_json, AcceptanceFloor,
+    check_floor, composition_row, flag_value, print_table, reports_to_json, throughput_line,
+    AcceptanceFloor,
 };
 use corpora::{feverous_like, semtab_like, tatqa_like, wikisql_like, Benchmark, CorpusConfig};
 use uctr::{AnswerKind, Dataset, PipelineReport, UctrConfig, UctrPipeline};
@@ -107,12 +108,14 @@ fn main() {
 
     // Synthesis telemetry: rerun UCTR over each benchmark's unlabeled
     // tables and report the generation funnel from live counters.
+    let started = std::time::Instant::now();
     let reports: Vec<(String, PipelineReport)> = vec![
         ("feverous-like".into(), synthesize(&feverous, UctrConfig::verification())),
         ("tatqa-like".into(), synthesize(&tatqa, UctrConfig::qa())),
         ("wikisql-like".into(), synthesize(&wikisql, UctrConfig::qa())),
         ("semtabfacts-like".into(), synthesize(&semtab, UctrConfig::verification())),
     ];
+    let elapsed = started.elapsed();
     let rows: Vec<Vec<String>> = reports.iter().map(|(name, r)| composition_row(name, r)).collect();
     print_table(
         "Synthesis telemetry — live PipelineReport counters per benchmark",
@@ -123,6 +126,18 @@ fn main() {
         println!("\n[{name}] {}", r.summary().trim_end());
     }
 
+    // Pipeline throughput across all four runs; the delta against the
+    // committed baseline is informative only (never gates CI).
+    let floor = flag_value(&args, "--check-floor").map(|path| match AcceptanceFloor::load(&path) {
+        Ok(f) => (path, f),
+        Err(e) => {
+            eprintln!("cannot load acceptance floor: {e}");
+            std::process::exit(2);
+        }
+    });
+    let total_accepted: u64 = reports.iter().map(|(_, r)| r.accepted()).sum();
+    println!("\n{}", throughput_line(total_accepted, elapsed, floor.as_ref().map(|(_, f)| f)));
+
     if let Some(path) = flag_value(&args, "--report-json") {
         if let Err(e) = std::fs::write(&path, reports_to_json(&reports)) {
             eprintln!("cannot write report JSON to {path}: {e}");
@@ -130,14 +145,7 @@ fn main() {
         }
         println!("\nwrote pipeline reports to {path}");
     }
-    if let Some(path) = flag_value(&args, "--check-floor") {
-        let floor = match AcceptanceFloor::load(&path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("cannot load acceptance floor: {e}");
-                std::process::exit(2);
-            }
-        };
+    if let Some((path, floor)) = floor {
         println!();
         if !check_floor(&floor, &reports) {
             eprintln!("generation-quality gate FAILED (floor: {path})");

@@ -216,6 +216,11 @@ pub struct AcceptanceFloor {
     pub min_acceptance_rate: f64,
     /// Minimum absolute number of accepted samples per run.
     pub min_accepted: u64,
+    /// Optional recorded pipeline throughput (accepted samples per second)
+    /// of the commit the floor was last calibrated on. Purely informative:
+    /// CI prints the delta against it in the job summary but never fails
+    /// on it (wall-clock on shared runners is too noisy for a gate).
+    pub baseline_pipeline_samples_per_sec: Option<f64>,
 }
 
 impl AcceptanceFloor {
@@ -227,7 +232,12 @@ impl AcceptanceFloor {
             .ok_or("missing `min_acceptance_rate`")?;
         let accepted =
             v.get("min_accepted").and_then(Value::as_i64).ok_or("missing `min_accepted`")?;
-        Ok(AcceptanceFloor { min_acceptance_rate: rate, min_accepted: accepted as u64 })
+        let baseline = v.get("baseline_pipeline_samples_per_sec").and_then(Value::as_f64);
+        Ok(AcceptanceFloor {
+            min_acceptance_rate: rate,
+            min_accepted: accepted as u64,
+            baseline_pipeline_samples_per_sec: baseline,
+        })
     }
 
     pub fn load(path: &str) -> Result<AcceptanceFloor, String> {
@@ -253,6 +263,28 @@ impl AcceptanceFloor {
         }
         Ok(())
     }
+}
+
+/// Formats the pipeline-throughput line the CI smoke run prints and appends
+/// to the job summary: measured accepted-samples/sec, plus the delta
+/// against the floor file's recorded baseline when one is present.
+pub fn throughput_line(
+    accepted: u64,
+    elapsed: std::time::Duration,
+    floor: Option<&AcceptanceFloor>,
+) -> String {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let rate = accepted as f64 / secs;
+    let mut line = format!(
+        "pipeline throughput: {accepted} accepted samples in {secs:.2}s = {rate:.0} samples/sec"
+    );
+    if let Some(base) = floor.and_then(|f| f.baseline_pipeline_samples_per_sec) {
+        if base > 0.0 {
+            let delta = (rate - base) / base * 100.0;
+            line.push_str(&format!(" ({delta:+.1}% vs recorded baseline {base:.0}/sec)"));
+        }
+    }
+    line
 }
 
 /// Runs every report against the floor, printing per-run verdicts; returns
@@ -380,6 +412,34 @@ mod tests {
         let big_gold: Vec<Sample> =
             (0..200).map(|i| Sample::qa(t(), format!("g{i}"), "1")).collect();
         assert_eq!(augment_union(&synth, &big_gold).len(), 300);
+    }
+
+    #[test]
+    fn acceptance_floor_parses_with_and_without_baseline() {
+        let bare = AcceptanceFloor::parse(r#"{"min_acceptance_rate": 0.5, "min_accepted": 10}"#)
+            .expect("bare floor parses");
+        assert_eq!(bare.baseline_pipeline_samples_per_sec, None);
+        let with = AcceptanceFloor::parse(
+            r#"{"min_acceptance_rate": 0.5, "min_accepted": 10,
+                "baseline_pipeline_samples_per_sec": 1250.0}"#,
+        )
+        .expect("floor with baseline parses");
+        assert_eq!(with.baseline_pipeline_samples_per_sec, Some(1250.0));
+        assert!(AcceptanceFloor::parse(r#"{"min_accepted": 10}"#).is_err());
+    }
+
+    #[test]
+    fn throughput_line_reports_delta_against_baseline() {
+        let floor = AcceptanceFloor {
+            min_acceptance_rate: 0.5,
+            min_accepted: 10,
+            baseline_pipeline_samples_per_sec: Some(100.0),
+        };
+        let line = throughput_line(220, std::time::Duration::from_secs(2), Some(&floor));
+        assert!(line.contains("110 samples/sec"), "{line}");
+        assert!(line.contains("+10.0%"), "{line}");
+        let bare = throughput_line(220, std::time::Duration::from_secs(2), None);
+        assert!(!bare.contains('%'), "{bare}");
     }
 
     #[test]

@@ -520,7 +520,7 @@ fn lowercase_first(s: &str) -> String {
 
 /// Produces one gold verification sample (Supported/Refuted) on `table`.
 pub fn gold_verification(table: &Table, bank: &TemplateBank, rng: &mut impl Rng) -> Option<Sample> {
-    let tpl = bank.logic().choose(rng)?;
+    let tpl = bank.logic().choose(rng).copied()?;
     let desired = rng.gen_bool(0.5);
     let claim = tpl.instantiate(table, rng, desired)?;
     let text = human_logic_claim(&claim.expr, rng);
@@ -542,7 +542,7 @@ pub fn gold_qa_sql_for_topic(
     topic: &str,
     rng: &mut impl Rng,
 ) -> Option<Sample> {
-    let tpl = bank.sql().choose(rng)?;
+    let tpl = bank.sql().choose(rng).copied()?;
     let stmt = tpl.instantiate(table, rng)?;
     let result = sqlexec::execute(&stmt, table).ok()?;
     if result.is_empty() {
@@ -574,7 +574,7 @@ pub fn gold_qa_sql_for_topic(
 
 /// Produces one gold arithmetic QA sample on `table`.
 pub fn gold_qa_arith(table: &Table, bank: &TemplateBank, rng: &mut impl Rng) -> Option<Sample> {
-    let tpl = bank.arith().choose(rng)?;
+    let tpl = bank.arith().choose(rng).copied()?;
     let inst = tpl.instantiate(table, rng)?;
     let text = human_arith_question(&inst.program, rng);
     let mut s = Sample::qa(table.clone(), text, inst.outcome.answer.to_string());

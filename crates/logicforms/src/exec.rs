@@ -9,7 +9,7 @@
 use crate::ast::{LfExpr, LfOp};
 use rustc_hash::FxHashSet;
 use std::fmt;
-use tabular::{nearly_equal, Table, Value};
+use tabular::{nearly_equal, ExecContext, Table, Value};
 
 /// Runtime value of a logical-form node.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,11 +86,26 @@ pub struct LfOutcome {
 
 /// Evaluates a fully instantiated logical form on a table.
 pub fn evaluate(expr: &LfExpr, table: &Table) -> Result<LfOutcome, LfError> {
+    evaluate_impl(expr, table, None)
+}
+
+/// [`evaluate`] using a prebuilt [`ExecContext`] so numeric aggregations
+/// read cached cell parses instead of re-running [`Value::as_number`] per
+/// cell. Result-identical to [`evaluate`].
+pub fn evaluate_in(expr: &LfExpr, table: &Table, ctx: &ExecContext) -> Result<LfOutcome, LfError> {
+    evaluate_impl(expr, table, Some(ctx))
+}
+
+pub(crate) fn evaluate_impl(
+    expr: &LfExpr,
+    table: &Table,
+    ctx: Option<&ExecContext>,
+) -> Result<LfOutcome, LfError> {
     if expr.has_holes() {
         return Err(LfError::Uninstantiated);
     }
     let mut hl = FxHashSet::default();
-    let value = eval(expr, table, &mut hl)?;
+    let value = eval(expr, table, ctx, &mut hl)?;
     let mut highlighted: Vec<(usize, usize)> = hl.into_iter().collect();
     highlighted.sort_unstable();
     Ok(LfOutcome { value, highlighted })
@@ -98,7 +113,23 @@ pub fn evaluate(expr: &LfExpr, table: &Table) -> Result<LfOutcome, LfError> {
 
 /// Evaluates a boolean-rooted program to its truth value.
 pub fn evaluate_truth(expr: &LfExpr, table: &Table) -> Result<bool, LfError> {
-    let out = evaluate(expr, table)?;
+    truth_of(evaluate(expr, table)?)
+}
+
+/// [`evaluate_truth`] over a prebuilt [`ExecContext`].
+pub fn evaluate_truth_in(expr: &LfExpr, table: &Table, ctx: &ExecContext) -> Result<bool, LfError> {
+    truth_of(evaluate_in(expr, table, ctx)?)
+}
+
+pub(crate) fn evaluate_truth_impl(
+    expr: &LfExpr,
+    table: &Table,
+    ctx: Option<&ExecContext>,
+) -> Result<bool, LfError> {
+    truth_of(evaluate_impl(expr, table, ctx)?)
+}
+
+fn truth_of(out: LfOutcome) -> Result<bool, LfError> {
     out.value
         .as_bool()
         .ok_or(LfError::TypeMismatch { op: LfOp::Eq, expected: "a boolean-rooted program" })
@@ -113,7 +144,12 @@ fn column_index(table: &Table, e: &LfExpr) -> Result<usize, LfError> {
     }
 }
 
-fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result<LfValue, LfError> {
+fn eval(
+    e: &LfExpr,
+    table: &Table,
+    ctx: Option<&ExecContext>,
+    hl: &mut FxHashSet<(usize, usize)>,
+) -> Result<LfValue, LfError> {
     use LfOp::*;
     match e {
         LfExpr::AllRows => Ok(LfValue::View((0..table.n_rows()).collect())),
@@ -123,9 +159,9 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
         LfExpr::Apply(op, args) => match op {
             FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
             | FilterLessEq => {
-                let view = eval_view(&args[0], table, hl)?;
+                let view = eval_view(&args[0], table, ctx, hl)?;
                 let col = column_index(table, &args[1])?;
-                let rhs = eval_scalar(&args[2], table, hl)?;
+                let rhs = eval_scalar(&args[2], table, ctx, hl)?;
                 let mut keep = Vec::new();
                 for ri in view {
                     let cell = table.cell(ri, col).cloned().unwrap_or(Value::Null);
@@ -149,7 +185,7 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                 Ok(LfValue::View(keep))
             }
             FilterAll => {
-                let view = eval_view(&args[0], table, hl)?;
+                let view = eval_view(&args[0], table, ctx, hl)?;
                 let col = column_index(table, &args[1])?;
                 let keep: Vec<usize> = view
                     .into_iter()
@@ -164,7 +200,7 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                 Ok(LfValue::View(keep))
             }
             Argmax | Argmin | NthArgmax | NthArgmin => {
-                let view = eval_view(&args[0], table, hl)?;
+                let view = eval_view(&args[0], table, ctx, hl)?;
                 let col = column_index(table, &args[1])?;
                 let mut keyed: Vec<(Value, usize)> = view
                     .into_iter()
@@ -185,7 +221,7 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                 keyed.sort_by(|a, b| if descending { b.0.cmp(&a.0) } else { a.0.cmp(&b.0) });
                 let n = match op {
                     Argmax | Argmin => 1usize,
-                    _ => eval_ordinal(&args[2], table, hl)?,
+                    _ => eval_ordinal(&args[2], table, ctx, hl)?,
                 };
                 keyed
                     .get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
@@ -193,19 +229,23 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                     .ok_or(LfError::Empty { op: *op })
             }
             Count => {
-                let view = eval_view(&args[0], table, hl)?;
+                let view = eval_view(&args[0], table, ctx, hl)?;
                 Ok(LfValue::Scalar(Value::Number(view.len() as f64)))
             }
             Only => {
-                let view = eval_view(&args[0], table, hl)?;
+                let view = eval_view(&args[0], table, ctx, hl)?;
                 Ok(LfValue::Bool(view.len() == 1))
             }
             Max | Min | Sum | Avg | NthMax | NthMin => {
-                let view = eval_view(&args[0], table, hl)?;
+                let view = eval_view(&args[0], table, ctx, hl)?;
                 let col = column_index(table, &args[1])?;
                 let mut nums: Vec<f64> = Vec::with_capacity(view.len());
                 for ri in view {
-                    if let Some(n) = table.cell(ri, col).and_then(Value::as_number) {
+                    let n = match ctx {
+                        Some(ctx) => ctx.number_at(ri, col),
+                        None => table.cell(ri, col).and_then(Value::as_number),
+                    };
+                    if let Some(n) = n {
                         hl.insert((ri, col));
                         nums.push(n);
                     }
@@ -219,7 +259,7 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                     Sum => nums.iter().sum(),
                     Avg => nums.iter().sum::<f64>() / nums.len() as f64,
                     NthMax | NthMin => {
-                        let n = eval_ordinal(&args[2], table, hl)?;
+                        let n = eval_ordinal(&args[2], table, ctx, hl)?;
                         nums.sort_by(|a, b| a.partial_cmp(b).unwrap());
                         if matches!(op, NthMax) {
                             nums.reverse();
@@ -233,7 +273,7 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                 Ok(LfValue::Scalar(Value::number(v)))
             }
             Hop => {
-                let row = match eval(&args[0], table, hl)? {
+                let row = match eval(&args[0], table, ctx, hl)? {
                     LfValue::Row(r) => r,
                     LfValue::View(v) if !v.is_empty() => v[0],
                     LfValue::View(_) => return Err(LfError::Empty { op: *op }),
@@ -244,16 +284,16 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                 Ok(LfValue::Scalar(table.cell(row, col).cloned().unwrap_or(Value::Null)))
             }
             Diff => {
-                let a = eval_scalar(&args[0], table, hl)?;
-                let b = eval_scalar(&args[1], table, hl)?;
+                let a = eval_scalar(&args[0], table, ctx, hl)?;
+                let b = eval_scalar(&args[1], table, ctx, hl)?;
                 match (a.as_number(), b.as_number()) {
                     (Some(x), Some(y)) => Ok(LfValue::Scalar(Value::number(x - y))),
                     _ => Err(LfError::NonNumeric { op: *op }),
                 }
             }
             Eq | NotEq | RoundEq | Greater | Less => {
-                let a = eval_scalar(&args[0], table, hl)?;
-                let b = eval_scalar(&args[1], table, hl)?;
+                let a = eval_scalar(&args[0], table, ctx, hl)?;
+                let b = eval_scalar(&args[1], table, ctx, hl)?;
                 let res = match op {
                     Eq => a.loosely_equals(&b),
                     NotEq => !a.loosely_equals(&b),
@@ -271,19 +311,19 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
                 Ok(LfValue::Bool(res))
             }
             And => {
-                let a = eval(&args[0], table, hl)?
+                let a = eval(&args[0], table, ctx, hl)?
                     .as_bool()
                     .ok_or(LfError::TypeMismatch { op: *op, expected: "booleans" })?;
-                let b = eval(&args[1], table, hl)?
+                let b = eval(&args[1], table, ctx, hl)?
                     .as_bool()
                     .ok_or(LfError::TypeMismatch { op: *op, expected: "booleans" })?;
                 Ok(LfValue::Bool(a && b))
             }
             AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
             | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
-                let view = eval_view(&args[0], table, hl)?;
+                let view = eval_view(&args[0], table, ctx, hl)?;
                 let col = column_index(table, &args[1])?;
-                let rhs = eval_scalar(&args[2], table, hl)?;
+                let rhs = eval_scalar(&args[2], table, ctx, hl)?;
                 if view.is_empty() {
                     return Err(LfError::Empty { op: *op });
                 }
@@ -318,9 +358,10 @@ fn eval(e: &LfExpr, table: &Table, hl: &mut FxHashSet<(usize, usize)>) -> Result
 fn eval_view(
     e: &LfExpr,
     table: &Table,
+    ctx: Option<&ExecContext>,
     hl: &mut FxHashSet<(usize, usize)>,
 ) -> Result<Vec<usize>, LfError> {
-    match eval(e, table, hl)? {
+    match eval(e, table, ctx, hl)? {
         LfValue::View(v) => Ok(v),
         LfValue::Row(r) => Ok(vec![r]),
         _ => Err(LfError::TypeMismatch { op: LfOp::Count, expected: "a view" }),
@@ -330,9 +371,10 @@ fn eval_view(
 fn eval_scalar(
     e: &LfExpr,
     table: &Table,
+    ctx: Option<&ExecContext>,
     hl: &mut FxHashSet<(usize, usize)>,
 ) -> Result<Value, LfError> {
-    match eval(e, table, hl)? {
+    match eval(e, table, ctx, hl)? {
         LfValue::Scalar(v) => Ok(v),
         LfValue::Bool(b) => Ok(Value::Bool(b)),
         _ => Err(LfError::TypeMismatch { op: LfOp::Eq, expected: "a scalar" }),
@@ -342,9 +384,10 @@ fn eval_scalar(
 fn eval_ordinal(
     e: &LfExpr,
     table: &Table,
+    ctx: Option<&ExecContext>,
     hl: &mut FxHashSet<(usize, usize)>,
 ) -> Result<usize, LfError> {
-    let v = eval_scalar(e, table, hl)?;
+    let v = eval_scalar(e, table, ctx, hl)?;
     v.as_number()
         .filter(|n| *n >= 1.0 && n.fract() == 0.0)
         .map(|n| n as usize)

@@ -26,6 +26,8 @@ pub mod parser;
 pub mod template;
 
 pub use ast::{LfExpr, LfOp, LogicType};
-pub use exec::{evaluate, evaluate_truth, LfError, LfOutcome, LfValue};
+pub use exec::{
+    evaluate, evaluate_in, evaluate_truth, evaluate_truth_in, LfError, LfOutcome, LfValue,
+};
 pub use parser::{parse, LfParseError};
 pub use template::{abstract_form, InstantiatedClaim, LfInstantiateError, LfTemplate};

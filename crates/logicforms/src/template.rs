@@ -10,12 +10,12 @@
 //! column they constrain, exactly as in the SQL sampler.
 
 use crate::ast::{LfExpr, LfOp, LogicType};
-use crate::exec::{evaluate, evaluate_truth, LfError, LfValue};
+use crate::exec::{evaluate_impl, evaluate_truth_impl, LfError, LfValue};
 use crate::parser::{parse, LfParseError};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rustc_hash::FxHashMap;
-use tabular::{format_number, ColumnType, Table, Value};
+use tabular::{format_number, ColumnType, ExecContext, Table, Value};
 
 /// Why truth-targeted instantiation failed — the structured discard reasons
 /// the pipeline telemetry aggregates (instead of an opaque `None`). For the
@@ -141,12 +141,35 @@ impl LfTemplate {
         rng: &mut impl Rng,
         desired: bool,
     ) -> Result<InstantiatedClaim, LfInstantiateError> {
+        self.try_instantiate_impl(table, None, rng, desired)
+    }
+
+    /// [`LfTemplate::try_instantiate`] using a prebuilt [`ExecContext`] for
+    /// value-candidate sampling, perturbation pools and truth-targeting
+    /// execution. Draw-for-draw identical to the context-free path.
+    pub fn try_instantiate_in(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut impl Rng,
+        desired: bool,
+    ) -> Result<InstantiatedClaim, LfInstantiateError> {
+        self.try_instantiate_impl(table, Some(ctx), rng, desired)
+    }
+
+    fn try_instantiate_impl(
+        &self,
+        table: &Table,
+        ctx: Option<&ExecContext>,
+        rng: &mut impl Rng,
+        desired: bool,
+    ) -> Result<InstantiatedClaim, LfInstantiateError> {
         if table.n_rows() == 0 {
             return Err(LfInstantiateError::EmptyTable);
         }
         let mut last = LfInstantiateError::TruthUnreachable;
         for _attempt in 0..16 {
-            match self.attempt_instantiate(table, rng, desired) {
+            match self.attempt_instantiate(table, ctx, rng, desired) {
                 Ok(claim) => return Ok(claim),
                 Err(e) => last = e,
             }
@@ -157,6 +180,7 @@ impl LfTemplate {
     fn attempt_instantiate(
         &self,
         table: &Table,
+        ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
         desired: bool,
     ) -> Result<InstantiatedClaim, LfInstantiateError> {
@@ -184,7 +208,7 @@ impl LfTemplate {
             .ok_or(LfInstantiateError::MalformedTemplate)?;
 
         // 2. Fill non-root value holes by sampling from their bound column.
-        let mut partially = fill_inner_values(&with_cols, table, rng)?;
+        let mut partially = fill_inner_values(&with_cols, table, ctx, rng)?;
 
         // 3. Root hole: execute the sibling and set the value by `desired`.
         if let LfExpr::Apply(op, args) = &partially {
@@ -195,7 +219,7 @@ impl LfTemplate {
                     if sibling.has_holes() {
                         return Err(LfInstantiateError::MalformedTemplate);
                     }
-                    let out = evaluate(sibling, table)
+                    let out = evaluate_impl(sibling, table, ctx)
                         .map_err(|_| LfInstantiateError::ExecutionFailed)?;
                     let LfValue::Scalar(result) = out.value else {
                         return Err(LfInstantiateError::DegenerateResult);
@@ -227,14 +251,15 @@ impl LfTemplate {
                             let mut new_args = args.clone();
                             new_args[side] = LfExpr::Const(format_number(v));
                             partially = LfExpr::Apply(*op, new_args);
-                            return finish(partially, table, desired);
+                            return finish(partially, table, ctx, desired);
                         }
                         _ => unreachable!(),
                     };
                     let literal = if wants_match {
                         result.clone()
                     } else {
-                        perturb(&result, table, rng).ok_or(LfInstantiateError::NoValueCandidates)?
+                        perturb(&result, table, ctx, rng)
+                            .ok_or(LfInstantiateError::NoValueCandidates)?
                     };
                     let mut new_args = args.clone();
                     new_args[side] = LfExpr::Const(literal.to_string());
@@ -242,19 +267,20 @@ impl LfTemplate {
                 }
             }
         }
-        finish(partially, table, desired)
+        finish(partially, table, ctx, desired)
     }
 }
 
 fn finish(
     expr: LfExpr,
     table: &Table,
+    ctx: Option<&ExecContext>,
     desired: bool,
 ) -> Result<InstantiatedClaim, LfInstantiateError> {
     if expr.has_holes() {
         return Err(LfInstantiateError::MalformedTemplate);
     }
-    match evaluate_truth(&expr, table) {
+    match evaluate_truth_impl(&expr, table, ctx) {
         Ok(truth) if truth == desired => Ok(InstantiatedClaim { expr, truth }),
         // Let the caller retry with fresh sampling.
         Ok(_) => Err(LfInstantiateError::TruthUnreachable),
@@ -280,6 +306,7 @@ fn substitute_columns(e: &LfExpr, table: &Table, cols: &FxHashMap<usize, usize>)
 fn fill_inner_values(
     e: &LfExpr,
     table: &Table,
+    ctx: Option<&ExecContext>,
     rng: &mut impl Rng,
 ) -> Result<LfExpr, LfInstantiateError> {
     // Values already drawn per column: distinct holes over the same column
@@ -289,6 +316,7 @@ fn fill_inner_values(
     fn walk(
         e: &LfExpr,
         table: &Table,
+        ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
         at_root: bool,
         used: &mut FxHashMap<usize, Vec<Value>>,
@@ -351,16 +379,31 @@ fn fill_inner_values(
                                     .column_index(col_name)
                                     .ok_or(LfInstantiateError::MalformedTemplate)?;
                                 let taken = used.entry(ci).or_default();
-                                let candidates: Vec<Value> = table
-                                    .column_values(ci)
-                                    .into_iter()
-                                    .filter(|v| !v.is_null())
-                                    .filter(|v| !taken.iter().any(|t| t.loosely_equals(v)))
-                                    .collect();
-                                let mut v = candidates
-                                    .choose(rng)
-                                    .ok_or(LfInstantiateError::NoValueCandidates)?
-                                    .clone();
+                                let mut v = match ctx {
+                                    Some(ctx) => {
+                                        let candidates: Vec<&Value> = ctx
+                                            .non_null_values(ci)
+                                            .iter()
+                                            .filter(|v| !taken.iter().any(|t| t.loosely_equals(v)))
+                                            .collect();
+                                        (*candidates
+                                            .choose(rng)
+                                            .ok_or(LfInstantiateError::NoValueCandidates)?)
+                                        .clone()
+                                    }
+                                    None => {
+                                        let candidates: Vec<Value> = table
+                                            .column_values(ci)
+                                            .into_iter()
+                                            .filter(|v| !v.is_null())
+                                            .filter(|v| !taken.iter().any(|t| t.loosely_equals(v)))
+                                            .collect();
+                                        candidates
+                                            .choose(rng)
+                                            .ok_or(LfInstantiateError::NoValueCandidates)?
+                                            .clone()
+                                    }
+                                };
                                 // Humans write round thresholds ("more than
                                 // 70"), not cell-exact ones; round half the
                                 // ordered-comparison thresholds the same way.
@@ -381,7 +424,7 @@ fn fill_inner_values(
                                 return Err(LfInstantiateError::MalformedTemplate);
                             }
                         }
-                        other => walk(other, table, rng, false, used)?,
+                        other => walk(other, table, ctx, rng, false, used)?,
                     };
                     new_args.push(filled);
                 }
@@ -390,7 +433,7 @@ fn fill_inner_values(
             other => Ok(other.clone()),
         }
     }
-    walk(e, table, rng, true, &mut used)
+    walk(e, table, ctx, rng, true, &mut used)
 }
 
 /// Rounds a threshold the way a human annotator would: to two leading
@@ -406,25 +449,40 @@ fn round_human(n: f64) -> f64 {
 /// Produces a value different from `v` for Refuted claims: numbers are
 /// shifted by a noticeable margin, text values are replaced with a different
 /// cell value from the table.
-fn perturb(v: &Value, table: &Table, rng: &mut impl Rng) -> Option<Value> {
+fn perturb(
+    v: &Value,
+    table: &Table,
+    ctx: Option<&ExecContext>,
+    rng: &mut impl Rng,
+) -> Option<Value> {
     match v {
         Value::Number(n) => {
             let delta = (n.abs() * 0.3).max(1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             Some(Value::number(n + delta))
         }
-        Value::Text(s) => {
-            let mut pool: Vec<String> = Vec::new();
-            for row in table.rows() {
-                for cell in row {
-                    if let Value::Text(t) = cell {
-                        if !t.eq_ignore_ascii_case(s) && !pool.contains(t) {
-                            pool.push(t.clone());
+        Value::Text(s) => match ctx {
+            // The context's distinct-text pool is built in the same
+            // row-major scan order, so filtering it by the excluded value
+            // yields exactly the pool the scan below would build.
+            Some(ctx) => {
+                let pool: Vec<&String> =
+                    ctx.text_pool().iter().filter(|t| !t.eq_ignore_ascii_case(s)).collect();
+                pool.choose(rng).map(|t| Value::Text((*t).clone()))
+            }
+            None => {
+                let mut pool: Vec<String> = Vec::new();
+                for row in table.rows() {
+                    for cell in row {
+                        if let Value::Text(t) = cell {
+                            if !t.eq_ignore_ascii_case(s) && !pool.contains(t) {
+                                pool.push(t.clone());
+                            }
                         }
                     }
                 }
+                pool.choose(rng).cloned().map(Value::Text)
             }
-            pool.choose(rng).cloned().map(Value::Text)
-        }
+        },
         Value::Date(d) => {
             let year = d.year + if rng.gen_bool(0.5) { 1 } else { -1 };
             tabular::Date::new(year, d.month, d.day).map(Value::Date)
@@ -517,6 +575,7 @@ pub fn abstract_form(expr: &LfExpr) -> LfTemplate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::evaluate_truth;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

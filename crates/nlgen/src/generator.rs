@@ -106,6 +106,30 @@ impl NlGenerator {
         let candidates = realize_arith(program, rng, CANDIDATES);
         self.select(candidates, rng)
     }
+
+    /// Single verbalization entry point over any program kind. Dispatches to
+    /// the kind-specific surface realizer; the RNG draws are identical to
+    /// calling [`NlGenerator::sql_question`] / [`NlGenerator::logic_claim`] /
+    /// [`NlGenerator::arith_question`] directly.
+    pub fn verbalize(&self, program: ProgramRef<'_>, rng: &mut impl Rng) -> Generated {
+        match program {
+            ProgramRef::Sql(stmt) => self.sql_question(stmt, rng),
+            ProgramRef::Logic(expr) => self.logic_claim(expr, rng),
+            ProgramRef::Arith(prog) => self.arith_question(prog, rng),
+        }
+    }
+}
+
+/// A borrowed view of an instantiated program of any kind, for uniform
+/// verbalization via [`NlGenerator::verbalize`].
+#[derive(Debug, Clone, Copy)]
+pub enum ProgramRef<'a> {
+    /// An instantiated SQL `SELECT` statement.
+    Sql(&'a SelectStmt),
+    /// An instantiated logical-form expression.
+    Logic(&'a LfExpr),
+    /// An instantiated arithmetic program.
+    Arith(&'a AeProgram),
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ pub mod noise;
 pub mod sql_gen;
 
 pub use arith_gen::realize_arith;
-pub use generator::{Generated, NlGenerator};
+pub use generator::{Generated, NlGenerator, ProgramRef};
 pub use logic_gen::realize_logic;
 pub use ngram::{seed_corpus, NgramLm};
 pub use noise::{apply_noise, NoiseConfig};

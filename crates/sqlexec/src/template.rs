@@ -18,7 +18,7 @@ use crate::parser::{parse, ParseError};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rustc_hash::FxHashMap;
-use tabular::{ColumnType, Table, Value};
+use tabular::{ColumnType, ExecContext, Table, Value};
 
 /// Why instantiating a template on a given table failed — the structured
 /// discard reasons the pipeline telemetry aggregates (instead of an opaque
@@ -106,6 +106,28 @@ impl SqlTemplate {
         table: &Table,
         rng: &mut impl Rng,
     ) -> Result<SelectStmt, SqlInstantiateError> {
+        self.try_instantiate_impl(table, None, rng)
+    }
+
+    /// [`SqlTemplate::try_instantiate`] using a prebuilt [`ExecContext`] for
+    /// the value-candidate lookups, so repeated instantiation on the same
+    /// table stops rescanning its columns. Draw-for-draw identical to the
+    /// context-free path.
+    pub fn try_instantiate_in(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut impl Rng,
+    ) -> Result<SelectStmt, SqlInstantiateError> {
+        self.try_instantiate_impl(table, Some(ctx), rng)
+    }
+
+    fn try_instantiate_impl(
+        &self,
+        table: &Table,
+        ctx: Option<&ExecContext>,
+        rng: &mut impl Rng,
+    ) -> Result<SelectStmt, SqlInstantiateError> {
         let mut holes = self.column_holes();
         // Assign typed holes first so an untyped hole cannot steal the only
         // column satisfying a type constraint.
@@ -137,9 +159,18 @@ impl SqlTemplate {
         let mut value_assignment: FxHashMap<usize, Value> = FxHashMap::default();
         for (val_idx, col_hole) in pairs {
             let ci = *assignment.get(&col_hole).ok_or(SqlInstantiateError::MalformedTemplate)?;
-            let candidates: Vec<Value> =
-                table.column_values(ci).into_iter().filter(|v| !v.is_null()).collect();
-            let v = candidates.choose(rng).ok_or(SqlInstantiateError::NoValueCandidates)?.clone();
+            let v = match ctx {
+                Some(ctx) => ctx
+                    .non_null_values(ci)
+                    .choose(rng)
+                    .ok_or(SqlInstantiateError::NoValueCandidates)?
+                    .clone(),
+                None => {
+                    let candidates: Vec<Value> =
+                        table.column_values(ci).into_iter().filter(|v| !v.is_null()).collect();
+                    candidates.choose(rng).ok_or(SqlInstantiateError::NoValueCandidates)?.clone()
+                }
+            };
             value_assignment.insert(val_idx, v);
         }
         let stmt = substitute(&self.stmt, table, &assignment, &value_assignment)

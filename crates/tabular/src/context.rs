@@ -1,0 +1,269 @@
+//! Per-table execution context shared by the program executors.
+//!
+//! Template instantiation and program execution repeatedly scan the same
+//! table: value-candidate collection walks a column per value hole, numeric
+//! aggregations re-parse every cell through [`Value::as_number`], and
+//! arithmetic cell addressing re-renders the row-name column per lookup.
+//! [`ExecContext`] performs those scans **once per table** and hands the
+//! executors cached, immutable indexes. The pipeline builds one context per
+//! input table and shares it across all `samples_per_table` program
+//! attempts.
+//!
+//! Every cache mirrors the exact scan order of the naive code it replaces,
+//! so indexed execution is observably identical to a fresh table scan —
+//! same candidate lists (hence identical RNG draws during instantiation),
+//! same highlight order, same results. The equivalence tests in the
+//! workspace root (`tests/exec_context.rs`) lock this in on randomized
+//! tables.
+
+use crate::schema::ColumnType;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Cached per-table indexes for program instantiation and execution.
+///
+/// Build once per [`Table`] with [`ExecContext::new`]; the context borrows
+/// nothing and must only be used with the table it was built from (the
+/// executors debug-assert the dimensions match).
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    n_rows: usize,
+    n_cols: usize,
+    /// Per column: the non-null values in row order — exactly
+    /// `table.column_values(ci)` with nulls dropped (the value-candidate
+    /// list used by template instantiation).
+    non_null: Vec<Vec<Value>>,
+    /// Per column: `(row, numeric value)` for every cell with a numeric
+    /// interpretation, in row order (the scan behind `table_sum`, `max`,
+    /// `avg`, …).
+    numeric: Vec<Vec<(usize, f64)>>,
+    /// Row-major `Value::as_number` of every cell (`None` for non-numeric).
+    grid: Vec<Option<f64>>,
+    /// Columns whose inferred schema type is `Number`.
+    numeric_cols: Vec<usize>,
+    /// First `Text` column (else 0) — the arithmetic executor's row-name
+    /// column.
+    row_name_col: usize,
+    /// Per row: ASCII-lowercased rendering of the row-name cell (`None`
+    /// where the row is shorter than the name column).
+    name_lower: Vec<Option<String>>,
+    /// Numeric cells addressable as `the <col> of <row>` by arithmetic
+    /// templates, in the instantiation scan order: rows ascending (rows
+    /// with a null name cell skipped), columns ascending (name column
+    /// skipped).
+    addressable: Vec<(usize, usize)>,
+    /// Distinct text cells in row-major scan order (the perturbation pool
+    /// for refuted-claim synthesis).
+    text_pool: Vec<String>,
+}
+
+impl ExecContext {
+    /// Scans `table` once and builds every index.
+    pub fn new(table: &Table) -> ExecContext {
+        let n_rows = table.n_rows();
+        let n_cols = table.n_cols();
+        let mut non_null = Vec::with_capacity(n_cols);
+        let mut numeric = Vec::with_capacity(n_cols);
+        let mut grid = vec![None; n_rows * n_cols];
+        for ci in 0..n_cols {
+            let mut vals = Vec::new();
+            let mut nums = Vec::new();
+            for ri in 0..n_rows {
+                let Some(v) = table.cell(ri, ci) else { continue };
+                if !v.is_null() {
+                    vals.push(v.clone());
+                }
+                if let Some(n) = v.as_number() {
+                    grid[ri * n_cols + ci] = Some(n);
+                    nums.push((ri, n));
+                }
+            }
+            non_null.push(vals);
+            numeric.push(nums);
+        }
+
+        let numeric_cols = table.schema().columns_of_type(ColumnType::Number);
+        let row_name_col =
+            table.schema().columns().iter().position(|c| c.ty == ColumnType::Text).unwrap_or(0);
+
+        let name_lower: Vec<Option<String>> = (0..n_rows)
+            .map(|ri| table.cell(ri, row_name_col).map(|v| v.to_string().to_ascii_lowercase()))
+            .collect();
+
+        let mut addressable = Vec::new();
+        for ri in 0..n_rows {
+            let named = table.cell(ri, row_name_col).is_some_and(|v| !v.is_null());
+            if !named {
+                continue;
+            }
+            for ci in 0..n_cols {
+                if ci != row_name_col && grid[ri * n_cols + ci].is_some() {
+                    addressable.push((ri, ci));
+                }
+            }
+        }
+
+        let mut text_pool: Vec<String> = Vec::new();
+        for row in table.rows() {
+            for v in row {
+                if let Value::Text(t) = v {
+                    if !text_pool.contains(t) {
+                        text_pool.push(t.clone());
+                    }
+                }
+            }
+        }
+
+        ExecContext {
+            n_rows,
+            n_cols,
+            non_null,
+            numeric,
+            grid,
+            numeric_cols,
+            row_name_col,
+            name_lower,
+            addressable,
+            text_pool,
+        }
+    }
+
+    /// Dimensions of the table this context was built from.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Non-null values of a column in row order; empty for out-of-range
+    /// columns.
+    pub fn non_null_values(&self, col: usize) -> &[Value] {
+        self.non_null.get(col).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `(row, number)` pairs of a column's numeric cells in row order.
+    pub fn numeric_pairs(&self, col: usize) -> &[(usize, f64)] {
+        self.numeric.get(col).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Cached `Value::as_number` of one cell.
+    pub fn number_at(&self, row: usize, col: usize) -> Option<f64> {
+        if col >= self.n_cols {
+            return None;
+        }
+        self.grid.get(row * self.n_cols + col).copied().flatten()
+    }
+
+    /// Columns typed `Number` by schema inference.
+    pub fn numeric_columns(&self) -> &[usize] {
+        &self.numeric_cols
+    }
+
+    /// The arithmetic executor's row-name column (first `Text` column,
+    /// else 0).
+    pub fn row_name_column(&self) -> usize {
+        self.row_name_col
+    }
+
+    /// ASCII-lowercased rendering of a row's name cell.
+    pub fn name_lower(&self, row: usize) -> Option<&str> {
+        self.name_lower.get(row).and_then(|s| s.as_deref())
+    }
+
+    /// Numeric cells addressable by arithmetic templates (see field docs
+    /// for the ordering contract).
+    pub fn addressable_cells(&self) -> &[(usize, usize)] {
+        &self.addressable
+    }
+
+    /// Distinct text cells in row-major order.
+    pub fn text_pool(&self) -> &[String] {
+        &self.text_pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "t",
+            &[
+                vec!["name", "score", "city", "when"],
+                vec!["Ada", "91", "Oslo", "1990-05-01"],
+                vec!["-", "84", "Lima", "n/a"],
+                vec!["Cleo", "n/a", "Oslo", "2001-08-23"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn non_null_matches_column_values_filter() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        for ci in 0..t.n_cols() {
+            let naive: Vec<Value> =
+                t.column_values(ci).into_iter().filter(|v| !v.is_null()).collect();
+            assert_eq!(ctx.non_null_values(ci), naive.as_slice(), "column {ci}");
+        }
+        assert!(ctx.non_null_values(99).is_empty());
+    }
+
+    #[test]
+    fn numeric_pairs_match_cell_scan() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        for ci in 0..t.n_cols() {
+            let naive: Vec<(usize, f64)> = (0..t.n_rows())
+                .filter_map(|ri| t.cell(ri, ci).and_then(Value::as_number).map(|n| (ri, n)))
+                .collect();
+            assert_eq!(ctx.numeric_pairs(ci), naive.as_slice(), "column {ci}");
+            for (ri, n) in naive {
+                assert_eq!(ctx.number_at(ri, ci), Some(n));
+            }
+        }
+        // The null score cell has no numeric reading.
+        assert_eq!(ctx.number_at(2, 1), None);
+        assert_eq!(ctx.number_at(0, 99), None);
+    }
+
+    #[test]
+    fn name_column_and_lowercase_cache() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        assert_eq!(ctx.row_name_column(), 0);
+        assert_eq!(ctx.name_lower(0), Some("ada"));
+        assert_eq!(ctx.name_lower(2), Some("cleo"));
+        assert_eq!(ctx.name_lower(99), None);
+    }
+
+    #[test]
+    fn addressable_skips_null_named_rows_and_name_column() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        // Row 1 has a null name cell; the date column is numeric via its
+        // ordinal, the city column is not.
+        assert_eq!(ctx.addressable_cells(), &[(0, 1), (0, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn text_pool_is_distinct_row_major() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        assert_eq!(ctx.text_pool(), &["Ada", "Oslo", "Lima", "Cleo"]);
+    }
+
+    #[test]
+    fn empty_table_context() {
+        let t = Table::from_strings("e", &[vec!["a", "b"]]).unwrap();
+        let ctx = ExecContext::new(&t);
+        assert_eq!(ctx.n_rows(), 0);
+        assert!(ctx.addressable_cells().is_empty());
+        assert!(ctx.text_pool().is_empty());
+        assert!(ctx.non_null_values(0).is_empty());
+    }
+}

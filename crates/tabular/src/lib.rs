@@ -22,12 +22,14 @@
 //! assert_eq!(t.cell(1, 0), Some(&Value::text("Defense")));
 //! ```
 
+pub mod context;
 pub mod io;
 pub mod schema;
 pub mod table;
 pub mod text;
 pub mod value;
 
+pub use context::ExecContext;
 pub use io::{table_from_csv, table_to_csv, CsvError};
 pub use schema::{infer_column_type, Column, ColumnType, Schema};
 pub use table::{Table, TableBuilder, TableError};

@@ -38,8 +38,13 @@ pub struct ProgramDistribution {
 }
 
 impl ProgramDistribution {
-    /// Fits the distribution on a corpus of templates.
-    pub fn fit(templates: &[LfTemplate]) -> ProgramDistribution {
+    /// Fits the distribution on a corpus of templates (accepts anything
+    /// yielding `&LfTemplate` — a slice, or
+    /// [`crate::TemplateBank::logic`]'s borrowed view).
+    pub fn fit<'a, I>(templates: I) -> ProgramDistribution
+    where
+        I: IntoIterator<Item = &'a LfTemplate>,
+    {
         let mut dist = ProgramDistribution::default();
         for t in templates {
             t.expr().visit(&mut |node| {
@@ -107,7 +112,10 @@ pub struct AutoGenerator {
 impl AutoGenerator {
     /// Builds a generator whose proposal distribution follows the seed
     /// corpus (typically [`crate::TemplateBank::builtin`]'s logic side).
-    pub fn fit(seed: &[LfTemplate]) -> AutoGenerator {
+    pub fn fit<'a, I>(seed: I) -> AutoGenerator
+    where
+        I: IntoIterator<Item = &'a LfTemplate>,
+    {
         AutoGenerator { dist: ProgramDistribution::fit(seed), next_col: 1, next_val: 1 }
     }
 

@@ -25,6 +25,7 @@
 pub mod autogen;
 pub mod mqaqg;
 pub mod pipeline;
+pub mod program;
 pub mod sample;
 pub mod telemetry;
 pub mod templates;
@@ -32,8 +33,9 @@ pub mod templates;
 pub use autogen::{extend_bank_auto, AutoGenerator, ProgramDistribution};
 pub use mqaqg::{generate_mqaqg, MqaQgConfig};
 pub use pipeline::{TableWithContext, TaskKind, UctrConfig, UctrPipeline};
+pub use program::{AnyTemplate, InstantiatedProgram, ProgramOutput, ProgramTemplate};
 pub use sample::{AnswerKind, Dataset, EvidenceType, Label, ProgramKind, Sample, Verdict};
 pub use telemetry::{
-    DiscardReport, KindReport, PipelineReport, SourceReport, TelemetryBank, TimingReport,
+    DiscardReport, KindReport, KindSlot, PipelineReport, SourceReport, TelemetryBank, TimingReport,
 };
 pub use templates::{TemplateBank, BUILTIN_ARITH, BUILTIN_LOGIC, BUILTIN_SQL};

@@ -18,6 +18,7 @@
 //! Every config flag corresponds to a row of the paper's ablation grid
 //! (Table VIII).
 
+use crate::program::ProgramOutput;
 use crate::sample::{AnswerKind, EvidenceType, Label, ProgramKind, Sample, Verdict};
 use crate::telemetry::{Discard, KindSlot, PipelineReport, Source, Stage, TelemetryBank, Timer};
 use crate::templates::TemplateBank;
@@ -25,7 +26,7 @@ use nlgen::{NlGenerator, NoiseConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use tabular::Table;
+use tabular::{ExecContext, Table};
 use textops::{table_to_text, text_to_table};
 
 /// Which task the generated data trains.
@@ -261,6 +262,9 @@ impl UctrPipeline {
         if degenerate {
             return;
         }
+        // One execution context per input table, shared by all
+        // `samples_per_table` program runs against it.
+        let ctx = ExecContext::new(table);
         let n = self.config.samples_per_table;
         let push = |source: Source, s: Sample, out: &mut Vec<Sample>| {
             tel.source_accept(source);
@@ -271,7 +275,7 @@ impl UctrPipeline {
         if self.config.table_only {
             for _ in 0..n {
                 tel.source_attempt(Source::TableOnly);
-                if let Some(s) = self.table_only_sample(table, rng, tel) {
+                if let Some(s) = self.table_only_sample(table, &ctx, rng, tel) {
                     push(Source::TableOnly, s, out);
                 }
             }
@@ -287,16 +291,25 @@ impl UctrPipeline {
         if self.config.table_split {
             for _ in 0..n {
                 tel.source_attempt(Source::TableSplit);
-                if let Some(s) = self.split_sample(table, rng, tel) {
+                if let Some(s) = self.split_sample(table, &ctx, rng, tel) {
                     push(Source::TableSplit, s, out);
                 }
             }
         }
         if self.config.table_expand {
             if let Some(paragraph) = &input.paragraph {
+                // The paragraph integration is deterministic (no RNG), so
+                // hoist it — and the expanded table's execution context —
+                // out of the attempt loop.
+                let expanded = text_to_table(table, paragraph);
+                let expanded_ctx = expanded.as_ref().map(|e| ExecContext::new(&e.expanded));
                 for _ in 0..n {
                     tel.source_attempt(Source::TableExpand);
-                    if let Some(s) = self.expand_sample(table, paragraph, rng, tel) {
+                    let (Some(expanded), Some(ectx)) = (&expanded, &expanded_ctx) else {
+                        continue;
+                    };
+                    if let Some(s) = self.expand_sample(table, paragraph, expanded, ectx, rng, tel)
+                    {
                         push(Source::TableExpand, s, out);
                     }
                 }
@@ -308,10 +321,11 @@ impl UctrPipeline {
     fn table_only_sample(
         &self,
         table: &Table,
+        ctx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
     ) -> Option<Sample> {
-        let (text, label, program, answer_kind, _hl) = self.run_program(table, rng, tel)?;
+        let (text, label, program, answer_kind, _hl) = self.run_program(table, ctx, rng, tel)?;
         Some(Sample {
             table: table.clone(),
             context: Vec::new(),
@@ -326,11 +340,18 @@ impl UctrPipeline {
 
     /// Table splitting (§III-A): program on the full table, one highlighted
     /// row verbalized into a sentence, evidence = sub-table + sentence.
-    fn split_sample(&self, table: &Table, rng: &mut StdRng, tel: &TelemetryBank) -> Option<Sample> {
+    fn split_sample(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+        tel: &TelemetryBank,
+    ) -> Option<Sample> {
         if table.n_rows() < 3 {
             return None;
         }
-        let (text, label, program, answer_kind, highlighted) = self.run_program(table, rng, tel)?;
+        let (text, label, program, answer_kind, highlighted) =
+            self.run_program(table, ctx, rng, tel)?;
         let kind = KindSlot::of(&program);
         // Pick a highlighted row to move into text.
         let rows: Vec<usize> = {
@@ -361,16 +382,19 @@ impl UctrPipeline {
 
     /// Table expansion (§III-B): integrate a record from the paragraph,
     /// generate on the expanded table, evidence = original table + text.
+    /// The caller performs (and caches) the paragraph integration, since it
+    /// is deterministic per input.
     fn expand_sample(
         &self,
         table: &Table,
         paragraph: &str,
+        expanded: &textops::ExpandResult,
+        ectx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
     ) -> Option<Sample> {
-        let expanded = text_to_table(table, paragraph)?;
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(&expanded.expanded, rng, tel)?;
+            self.run_program(&expanded.expanded, ectx, rng, tel)?;
         // Only keep samples whose reasoning actually touches the new row —
         // otherwise the paragraph is decoration, not evidence.
         let new_row = expanded.expanded.n_rows() - 1;
@@ -461,174 +485,69 @@ impl UctrPipeline {
         }
     }
 
-    /// Samples a program type per the config, instantiates, executes and
-    /// verbalizes it. Returns (text, label, program, answer kind,
-    /// highlighted cells).
+    /// Samples a program kind per the config and drives one template
+    /// through the generic funnel: Attempted → instantiate → Instantiated →
+    /// execute → Executed → verbalize. Every kind-specific behavior lives
+    /// behind [`crate::program::ProgramTemplate`]; this is the only place
+    /// the telemetry funnel is driven. Returns (text, label, program,
+    /// answer kind, highlighted cells).
     #[allow(clippy::type_complexity)]
     fn run_program(
         &self,
         table: &Table,
+        ctx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
     ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        match self.config.task {
-            TaskKind::FactVerification => self.run_logic(table, rng, tel),
+        let kind = match self.config.task {
+            TaskKind::FactVerification => KindSlot::Logic,
             TaskKind::QuestionAnswering => {
-                let mut kinds: Vec<u8> = Vec::new();
-                if self.config.use_sql {
-                    kinds.push(0);
+                // Enabled kinds on the stack — the draw order (sql, arith,
+                // logic) and the single `choose` call are part of the
+                // fixed-seed determinism contract.
+                let mut kinds = [KindSlot::Sql; 3];
+                let mut n = 0;
+                for (flag, slot) in [
+                    (self.config.use_sql, KindSlot::Sql),
+                    (self.config.use_arith, KindSlot::Arith),
+                    (self.config.use_logic, KindSlot::Logic),
+                ] {
+                    if flag {
+                        kinds[n] = slot;
+                        n += 1;
+                    }
                 }
-                if self.config.use_arith {
-                    kinds.push(1);
-                }
-                if self.config.use_logic {
-                    kinds.push(2);
-                }
-                match kinds.choose(rng)? {
-                    0 => self.run_sql(table, rng, tel),
-                    1 => self.run_arith(table, rng, tel),
-                    _ => self.run_logic(table, rng, tel),
-                }
-            }
-        }
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_sql(
-        &self,
-        table: &Table,
-        rng: &mut StdRng,
-        tel: &TelemetryBank,
-    ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        tel.stage(KindSlot::Sql, Stage::Attempted);
-        let Some(tpl) = self.bank.sql().choose(rng) else {
-            tel.discard(KindSlot::Sql, Discard::NoTemplate);
-            return None;
-        };
-        let stmt = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, rng)) {
-            Ok(stmt) => stmt,
-            Err(e) => {
-                tel.discard(KindSlot::Sql, e.into());
-                return None;
+                *kinds[..n].choose(rng)?
             }
         };
-        tel.stage(KindSlot::Sql, Stage::Instantiated);
-        let result = match tel.timed(Timer::Execute, || sqlexec::execute(&stmt, table)) {
-            Ok(result) => result,
-            Err(_) => {
-                tel.discard(KindSlot::Sql, Discard::ExecFailed);
-                return None;
-            }
-        };
-        if result.is_empty() {
-            // paper §IV-C: discard empty-result programs
-            tel.discard(KindSlot::Sql, Discard::EmptyResult);
-            return None;
-        }
-        let answer = result.answer_text();
-        if answer.is_empty() {
-            tel.discard(KindSlot::Sql, Discard::EmptyAnswer);
-            return None;
-        }
-        tel.stage(KindSlot::Sql, Stage::Executed);
-        let generated = tel.timed(Timer::NlGen, || self.generator.sql_question(&stmt, rng));
-        let answer_kind = if stmt.items.iter().any(|i| {
-            matches!(i, sqlexec::SelectItem::Aggregate { func: sqlexec::AggFunc::Count, .. })
-        }) {
-            AnswerKind::Count
-        } else if stmt.items.iter().any(|i| {
-            matches!(
-                i,
-                sqlexec::SelectItem::Aggregate { .. }
-                    | sqlexec::SelectItem::Expr(sqlexec::Expr::Binary { .. })
-            )
-        }) {
-            AnswerKind::Arithmetic
-        } else {
-            AnswerKind::Span
-        };
-        Some((
-            generated.text,
-            Label::Answer(answer),
-            ProgramKind::Sql(stmt.to_string()),
-            answer_kind,
-            result.highlighted,
-        ))
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_arith(
-        &self,
-        table: &Table,
-        rng: &mut StdRng,
-        tel: &TelemetryBank,
-    ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        tel.stage(KindSlot::Arith, Stage::Attempted);
-        let Some(tpl) = self.bank.arith().choose(rng) else {
-            tel.discard(KindSlot::Arith, Discard::NoTemplate);
+        tel.stage(kind, Stage::Attempted);
+        let Some(tpl) = self.bank.choose(kind, rng) else {
+            tel.discard(kind, Discard::NoTemplate);
             return None;
         };
-        let inst = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, rng)) {
-            Ok(inst) => inst,
-            Err(e) => {
-                tel.discard(KindSlot::Arith, e.into());
-                return None;
-            }
-        };
-        // Arithmetic instantiation executes internally to produce the
-        // outcome, so a successful instantiation is also an execution.
-        tel.stage(KindSlot::Arith, Stage::Instantiated);
-        tel.stage(KindSlot::Arith, Stage::Executed);
-        let generated =
-            tel.timed(Timer::NlGen, || self.generator.arith_question(&inst.program, rng));
-        Some((
-            generated.text,
-            Label::Answer(inst.outcome.answer.to_string()),
-            ProgramKind::Arith(inst.program.to_string()),
-            AnswerKind::Arithmetic,
-            inst.outcome.highlighted,
-        ))
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_logic(
-        &self,
-        table: &Table,
-        rng: &mut StdRng,
-        tel: &TelemetryBank,
-    ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        tel.stage(KindSlot::Logic, Stage::Attempted);
-        let Some(tpl) = self.bank.logic().choose(rng) else {
-            tel.discard(KindSlot::Logic, Discard::NoTemplate);
-            return None;
-        };
-        let desired = rng.gen_bool(0.5);
-        let claim = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, rng, desired))
+        let mut inst = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, ctx, rng))
         {
-            Ok(claim) => claim,
-            Err(e) => {
-                tel.discard(KindSlot::Logic, e.into());
+            Ok(inst) => inst,
+            Err(reason) => {
+                tel.discard(kind, reason);
                 return None;
             }
         };
-        tel.stage(KindSlot::Logic, Stage::Instantiated);
-        let outcome = match tel.timed(Timer::Execute, || logicforms::evaluate(&claim.expr, table)) {
-            Ok(outcome) => outcome,
-            Err(_) => {
-                tel.discard(KindSlot::Logic, Discard::ExecFailed);
-                return None;
+        tel.stage(kind, Stage::Instantiated);
+        if inst.pre_executed() {
+            tel.stage(kind, Stage::Executed);
+        } else {
+            match tel.timed(Timer::Execute, || inst.execute(table, ctx)) {
+                Ok(()) => tel.stage(kind, Stage::Executed),
+                Err(reason) => {
+                    tel.discard(kind, reason);
+                    return None;
+                }
             }
-        };
-        tel.stage(KindSlot::Logic, Stage::Executed);
-        let generated = tel.timed(Timer::NlGen, || self.generator.logic_claim(&claim.expr, rng));
-        let verdict = if claim.truth { Verdict::Supported } else { Verdict::Refuted };
-        Some((
-            generated.text,
-            Label::Verdict(verdict),
-            ProgramKind::Logic(claim.expr.to_string()),
-            AnswerKind::NotApplicable,
-            outcome.highlighted,
-        ))
+        }
+        let generated = tel.timed(Timer::NlGen, || inst.verbalize(&self.generator, rng));
+        let ProgramOutput { label, program, answer_kind, highlighted } = inst.output();
+        Some((generated.text, label, program, answer_kind, highlighted))
     }
 
     /// Replaces the evidence of a random fraction of claims with evidence
@@ -646,11 +565,11 @@ impl UctrPipeline {
             let j = if j >= i { j + 1 } else { j };
             // Claim i paired with evidence j: the evidence cannot decide the
             // claim (different table), so the gold verdict becomes Unknown.
-            let (table, context, evidence) =
-                (samples[j].table.clone(), samples[j].context.clone(), samples[j].evidence);
-            if table.title == samples[i].table.title {
+            if samples[j].table.title == samples[i].table.title {
                 continue; // same source table could still decide the claim
             }
+            let (table, context, evidence) =
+                (samples[j].table.clone(), samples[j].context.clone(), samples[j].evidence);
             samples[i].table = table;
             samples[i].context = context;
             samples[i].evidence = evidence;

@@ -1,0 +1,397 @@
+//! The unified program layer: one trait-object interface over the three
+//! executor crates (paper §II-C's reasoning-program types).
+//!
+//! Before this layer existed the pipeline had one hand-written driver per
+//! program kind (`run_sql` / `run_arith` / `run_logic`), each repeating the
+//! same telemetry funnel. [`ProgramTemplate`] and [`InstantiatedProgram`]
+//! factor that shape out:
+//!
+//! * a [`ProgramTemplate`] can **instantiate** itself against a table
+//!   (sampling holes from the table via a shared [`ExecContext`]),
+//! * the resulting [`InstantiatedProgram`] can **execute** (unless the
+//!   executor already ran during instantiation — see
+//!   [`InstantiatedProgram::pre_executed`]), **verbalize** through the
+//!   [`NlGenerator`], and finally surrender its [`ProgramOutput`]: the gold
+//!   label, the serialized program, the answer kind and the highlighted
+//!   cells that downstream sample builders (table splitting / expansion)
+//!   need.
+//!
+//! Every fallible step reports a unified [`Discard`] reason, so the
+//! telemetry funnel (Attempted → Instantiated → Executed → Accepted) is
+//! driven once, generically, in `pipeline::run_program`.
+//!
+//! Adding a fourth program kind means implementing these two traits plus a
+//! [`KindSlot`] — see `DESIGN.md` for the walkthrough.
+
+use crate::sample::{AnswerKind, Label, ProgramKind, Verdict};
+use crate::telemetry::{Discard, KindSlot};
+use arithexpr::{AeOutcome, AeProgram, AeTemplate};
+use logicforms::{LfExpr, LfTemplate};
+use nlgen::{Generated, NlGenerator, ProgramRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlexec::{SelectStmt, SqlTemplate};
+use tabular::{ExecContext, Table};
+
+/// Everything the pipeline carries away from one successful program run.
+#[derive(Debug, Clone)]
+pub struct ProgramOutput {
+    /// The gold label (answer text for QA, verdict for verification).
+    pub label: Label,
+    /// The serialized program that produced the label.
+    pub program: ProgramKind,
+    /// The answer-type bucket the sample falls into (paper Table VI).
+    pub answer_kind: AnswerKind,
+    /// Table cells the execution touched; table splitting and expansion
+    /// filter on these.
+    pub highlighted: Vec<(usize, usize)>,
+}
+
+/// A program template of any kind, instantiable against a table.
+///
+/// Implemented by [`sqlexec::SqlTemplate`], [`logicforms::LfTemplate`] and
+/// [`arithexpr::AeTemplate`]; the pipeline only sees `dyn ProgramTemplate`.
+pub trait ProgramTemplate: Send + Sync {
+    /// The telemetry slot this template's attempts are counted under.
+    fn kind(&self) -> KindSlot;
+
+    /// The dedup signature (unprefixed — the bank prefixes by kind so that
+    /// signatures never collide across kinds).
+    fn signature(&self) -> String;
+
+    /// Samples the template's holes from `table`, returning a runnable
+    /// program. All table scans go through the shared `ctx` caches. The
+    /// RNG draw sequence is part of the pipeline's determinism contract:
+    /// implementations must consume draws exactly as the pre-trait
+    /// per-kind drivers did.
+    fn try_instantiate(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn InstantiatedProgram>, Discard>;
+}
+
+/// A fully-instantiated program: executable, verbalizable, and finally
+/// convertible into a [`ProgramOutput`].
+pub trait InstantiatedProgram {
+    /// True when instantiation already executed the program (arithmetic
+    /// templates execute while sampling, to validate the binding). The
+    /// pipeline then skips [`InstantiatedProgram::execute`] and its timer.
+    fn pre_executed(&self) -> bool {
+        false
+    }
+
+    /// Executes against the table, storing the result internally. Includes
+    /// the paper's §IV-C result filters (empty results / empty answers are
+    /// discards, not successes).
+    fn execute(&mut self, table: &Table, ctx: &ExecContext) -> Result<(), Discard>;
+
+    /// Verbalizes the program into a question / claim.
+    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated;
+
+    /// Surrenders the run's output. Called once, after a successful
+    /// execute; the implementation may leave itself empty behind.
+    fn output(&mut self) -> ProgramOutput;
+}
+
+// --- SQL ---------------------------------------------------------------
+
+struct SqlProgram {
+    stmt: SelectStmt,
+    answer: String,
+    highlighted: Vec<(usize, usize)>,
+}
+
+impl ProgramTemplate for SqlTemplate {
+    fn kind(&self) -> KindSlot {
+        KindSlot::Sql
+    }
+
+    fn signature(&self) -> String {
+        SqlTemplate::signature(self)
+    }
+
+    fn try_instantiate(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn InstantiatedProgram>, Discard> {
+        let stmt = self.try_instantiate_in(table, ctx, rng).map_err(Discard::from)?;
+        Ok(Box::new(SqlProgram { stmt, answer: String::new(), highlighted: Vec::new() }))
+    }
+}
+
+impl InstantiatedProgram for SqlProgram {
+    fn execute(&mut self, table: &Table, _ctx: &ExecContext) -> Result<(), Discard> {
+        let result = sqlexec::execute(&self.stmt, table).map_err(Discard::from)?;
+        if result.is_empty() {
+            // paper §IV-C: discard empty-result programs
+            return Err(Discard::EmptyResult);
+        }
+        let answer = result.answer_text();
+        if answer.is_empty() {
+            return Err(Discard::EmptyAnswer);
+        }
+        self.answer = answer;
+        self.highlighted = result.highlighted;
+        Ok(())
+    }
+
+    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated {
+        generator.verbalize(ProgramRef::Sql(&self.stmt), rng)
+    }
+
+    fn output(&mut self) -> ProgramOutput {
+        let answer_kind = if self.stmt.items.iter().any(|i| {
+            matches!(i, sqlexec::SelectItem::Aggregate { func: sqlexec::AggFunc::Count, .. })
+        }) {
+            AnswerKind::Count
+        } else if self.stmt.items.iter().any(|i| {
+            matches!(
+                i,
+                sqlexec::SelectItem::Aggregate { .. }
+                    | sqlexec::SelectItem::Expr(sqlexec::Expr::Binary { .. })
+            )
+        }) {
+            AnswerKind::Arithmetic
+        } else {
+            AnswerKind::Span
+        };
+        ProgramOutput {
+            label: Label::Answer(std::mem::take(&mut self.answer)),
+            program: ProgramKind::Sql(self.stmt.to_string()),
+            answer_kind,
+            highlighted: std::mem::take(&mut self.highlighted),
+        }
+    }
+}
+
+// --- Logical forms -----------------------------------------------------
+
+struct LogicProgram {
+    expr: LfExpr,
+    truth: bool,
+    highlighted: Vec<(usize, usize)>,
+}
+
+impl ProgramTemplate for LfTemplate {
+    fn kind(&self) -> KindSlot {
+        KindSlot::Logic
+    }
+
+    fn signature(&self) -> String {
+        LfTemplate::signature(self)
+    }
+
+    fn try_instantiate(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn InstantiatedProgram>, Discard> {
+        // Truth-targeted sampling: flip the target first, then sample. The
+        // draw order (gen_bool before the template's own draws) is part of
+        // the determinism contract.
+        let desired = rng.gen_bool(0.5);
+        let claim = self.try_instantiate_in(table, ctx, rng, desired).map_err(Discard::from)?;
+        Ok(Box::new(LogicProgram { expr: claim.expr, truth: claim.truth, highlighted: Vec::new() }))
+    }
+}
+
+impl InstantiatedProgram for LogicProgram {
+    fn execute(&mut self, table: &Table, ctx: &ExecContext) -> Result<(), Discard> {
+        let outcome = logicforms::evaluate_in(&self.expr, table, ctx).map_err(Discard::from)?;
+        self.highlighted = outcome.highlighted;
+        Ok(())
+    }
+
+    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated {
+        generator.verbalize(ProgramRef::Logic(&self.expr), rng)
+    }
+
+    fn output(&mut self) -> ProgramOutput {
+        let verdict = if self.truth { Verdict::Supported } else { Verdict::Refuted };
+        ProgramOutput {
+            label: Label::Verdict(verdict),
+            program: ProgramKind::Logic(self.expr.to_string()),
+            answer_kind: AnswerKind::NotApplicable,
+            highlighted: std::mem::take(&mut self.highlighted),
+        }
+    }
+}
+
+// --- Arithmetic --------------------------------------------------------
+
+struct ArithProgram {
+    program: AeProgram,
+    outcome: AeOutcome,
+}
+
+impl ProgramTemplate for AeTemplate {
+    fn kind(&self) -> KindSlot {
+        KindSlot::Arith
+    }
+
+    fn signature(&self) -> String {
+        AeTemplate::signature(self)
+    }
+
+    fn try_instantiate(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn InstantiatedProgram>, Discard> {
+        let inst = self.try_instantiate_in(table, ctx, rng).map_err(Discard::from)?;
+        Ok(Box::new(ArithProgram { program: inst.program, outcome: inst.outcome }))
+    }
+}
+
+impl InstantiatedProgram for ArithProgram {
+    /// Arithmetic instantiation executes internally to validate the cell
+    /// binding, so a successful instantiation is also an execution.
+    fn pre_executed(&self) -> bool {
+        true
+    }
+
+    fn execute(&mut self, _table: &Table, _ctx: &ExecContext) -> Result<(), Discard> {
+        Ok(())
+    }
+
+    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated {
+        generator.verbalize(ProgramRef::Arith(&self.program), rng)
+    }
+
+    fn output(&mut self) -> ProgramOutput {
+        ProgramOutput {
+            label: Label::Answer(self.outcome.answer.to_string()),
+            program: ProgramKind::Arith(self.program.to_string()),
+            answer_kind: AnswerKind::Arithmetic,
+            highlighted: std::mem::take(&mut self.outcome.highlighted),
+        }
+    }
+}
+
+// --- The kind-erased template ------------------------------------------
+
+/// A template of any kind, stored by value in the unified
+/// [`crate::TemplateBank`].
+#[derive(Debug, Clone)]
+pub enum AnyTemplate {
+    Sql(SqlTemplate),
+    Logic(LfTemplate),
+    Arith(AeTemplate),
+}
+
+impl AnyTemplate {
+    /// The trait-object view the pipeline runs against.
+    pub fn as_program(&self) -> &dyn ProgramTemplate {
+        match self {
+            AnyTemplate::Sql(t) => t,
+            AnyTemplate::Logic(t) => t,
+            AnyTemplate::Arith(t) => t,
+        }
+    }
+
+    pub fn kind(&self) -> KindSlot {
+        self.as_program().kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "t",
+            &[
+                vec!["name", "city", "points", "wins"],
+                vec!["Reds", "Oslo", "77", "21"],
+                vec!["Blues", "Lima", "64", "18"],
+                vec!["Greens", "Kyiv", "81", "24"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sql_template_runs_end_to_end_through_the_trait() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1").unwrap();
+        let dyn_tpl: &dyn ProgramTemplate = &tpl;
+        assert_eq!(dyn_tpl.kind(), KindSlot::Sql);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut inst = dyn_tpl.try_instantiate(&t, &ctx, &mut rng).unwrap();
+        assert!(!inst.pre_executed());
+        inst.execute(&t, &ctx).unwrap();
+        let gen = inst.verbalize(&NlGenerator::new(), &mut rng);
+        assert!(!gen.text.is_empty());
+        let out = inst.output();
+        assert!(matches!(out.program, ProgramKind::Sql(_)));
+        assert!(out.label.as_answer().is_some());
+    }
+
+    #[test]
+    fn logic_template_reports_verdict_labels() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        let tpl = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }").unwrap();
+        let dyn_tpl: &dyn ProgramTemplate = &tpl;
+        assert_eq!(dyn_tpl.kind(), KindSlot::Logic);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut inst = dyn_tpl.try_instantiate(&t, &ctx, &mut rng).unwrap();
+        inst.execute(&t, &ctx).unwrap();
+        let out = inst.output();
+        assert!(matches!(out.program, ProgramKind::Logic(_)));
+        assert!(out.label.as_verdict().is_some());
+        assert_eq!(out.answer_kind, AnswerKind::NotApplicable);
+        assert!(!out.highlighted.is_empty());
+    }
+
+    #[test]
+    fn arith_template_is_pre_executed() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        let tpl = AeTemplate::parse("table_sum( c1 )").unwrap();
+        let dyn_tpl: &dyn ProgramTemplate = &tpl;
+        assert_eq!(dyn_tpl.kind(), KindSlot::Arith);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut inst = dyn_tpl.try_instantiate(&t, &ctx, &mut rng).unwrap();
+        assert!(inst.pre_executed());
+        let out = inst.output();
+        assert!(matches!(out.program, ProgramKind::Arith(_)));
+        assert_eq!(out.answer_kind, AnswerKind::Arithmetic);
+    }
+
+    #[test]
+    fn instantiation_failures_map_to_unified_discards() {
+        // A table with no numeric columns cannot satisfy an arithmetic
+        // template.
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]]).unwrap();
+        let ctx = ExecContext::new(&t);
+        let tpl = AeTemplate::parse("table_sum( c1 )").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = match ProgramTemplate::try_instantiate(&tpl, &t, &ctx, &mut rng) {
+            Err(e) => e,
+            Ok(_) => panic!("instantiation should fail on a numberless table"),
+        };
+        assert_eq!(err, Discard::ColumnMismatch);
+    }
+
+    #[test]
+    fn any_template_exposes_its_kind() {
+        let sql = AnyTemplate::Sql(SqlTemplate::parse("select c1 from w").unwrap());
+        let logic = AnyTemplate::Logic(
+            LfTemplate::parse("only { filter_eq { all_rows ; c1 ; val1 } }").unwrap(),
+        );
+        let arith = AnyTemplate::Arith(AeTemplate::parse("table_max( c1 )").unwrap());
+        assert_eq!(sql.kind(), KindSlot::Sql);
+        assert_eq!(logic.kind(), KindSlot::Logic);
+        assert_eq!(arith.kind(), KindSlot::Arith);
+    }
+}

@@ -158,6 +158,24 @@ impl From<arithexpr::AeInstantiateError> for Discard {
     }
 }
 
+impl From<sqlexec::ExecError> for Discard {
+    fn from(_: sqlexec::ExecError) -> Discard {
+        Discard::ExecFailed
+    }
+}
+
+impl From<logicforms::LfError> for Discard {
+    fn from(_: logicforms::LfError) -> Discard {
+        Discard::ExecFailed
+    }
+}
+
+impl From<arithexpr::AeError> for Discard {
+    fn from(_: arithexpr::AeError) -> Discard {
+        Discard::ExecFailed
+    }
+}
+
 /// Data sources of the generation loop (rows of the paper's ablation grid).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Source {

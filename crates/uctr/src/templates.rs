@@ -13,17 +13,30 @@
 //! families those corpora contain, stratified over the reasoning types the
 //! paper enumerates (§II-C).
 
+use crate::program::{AnyTemplate, ProgramTemplate};
+use crate::telemetry::KindSlot;
 use arithexpr::AeTemplate;
 use logicforms::LfTemplate;
+use rand::seq::SliceRandom;
+use rand::Rng;
 use rustc_hash::FxHashSet;
 use sqlexec::SqlTemplate;
 
-/// A deduplicated collection of program templates of all three types.
+/// Number of storable template kinds (`sql` / `logic` / `arith` — the
+/// `none` slot holds no templates).
+const N_TEMPLATE_KINDS: usize = 3;
+
+/// A deduplicated, kind-stratified collection of program templates.
+///
+/// All templates live in one `Vec<AnyTemplate>` in insertion order; the
+/// `by_kind` index stratifies them so that per-kind sampling
+/// ([`TemplateBank::choose`]) stays O(1) and draws the same RNG stream as
+/// sampling from a dedicated per-kind vector would.
 #[derive(Debug, Clone, Default)]
 pub struct TemplateBank {
-    sql: Vec<SqlTemplate>,
-    logic: Vec<LfTemplate>,
-    arith: Vec<AeTemplate>,
+    templates: Vec<AnyTemplate>,
+    /// Indices into `templates`, stratified by `KindSlot as usize`.
+    by_kind: [Vec<usize>; N_TEMPLATE_KINDS],
     signatures: FxHashSet<String>,
 }
 
@@ -54,38 +67,36 @@ impl TemplateBank {
         bank
     }
 
-    /// Adds a SQL template; returns false if a template with the same
-    /// signature is already present (the filtration step).
-    pub fn add_sql(&mut self, t: SqlTemplate) -> bool {
-        let sig = format!("sql:{}", t.signature());
+    /// Adds a template of any kind; returns false if a template of the
+    /// same kind with the same signature is already present (the paper's
+    /// filtration step). Signatures are prefixed per kind, so identical
+    /// surface text in different DSLs never collides.
+    pub fn add(&mut self, t: AnyTemplate) -> bool {
+        let program = t.as_program();
+        let kind = program.kind();
+        let sig = format!("{}:{}", kind_prefix(kind), program.signature());
         if self.signatures.insert(sig) {
-            self.sql.push(t);
+            self.by_kind[kind as usize].push(self.templates.len());
+            self.templates.push(t);
             true
         } else {
             false
         }
+    }
+
+    /// Adds a SQL template with dedup.
+    pub fn add_sql(&mut self, t: SqlTemplate) -> bool {
+        self.add(AnyTemplate::Sql(t))
     }
 
     /// Adds a logical-form template with dedup.
     pub fn add_logic(&mut self, t: LfTemplate) -> bool {
-        let sig = format!("lf:{}", t.signature());
-        if self.signatures.insert(sig) {
-            self.logic.push(t);
-            true
-        } else {
-            false
-        }
+        self.add(AnyTemplate::Logic(t))
     }
 
     /// Adds an arithmetic template with dedup.
     pub fn add_arith(&mut self, t: AeTemplate) -> bool {
-        let sig = format!("ae:{}", t.signature());
-        if self.signatures.insert(sig) {
-            self.arith.push(t);
-            true
-        } else {
-            false
-        }
+        self.add(AnyTemplate::Arith(t))
     }
 
     /// Mines a template from a concrete SQL query over `table`.
@@ -103,24 +114,71 @@ impl TemplateBank {
         self.add_arith(arithexpr::abstract_program(program))
     }
 
-    pub fn sql(&self) -> &[SqlTemplate] {
-        &self.sql
+    /// Samples a template of `kind` uniformly, as a trait object. `None`
+    /// when the bank holds no template of that kind (or `kind` is
+    /// [`KindSlot::None`]). Consumes exactly one `gen_range` draw when
+    /// templates of the kind exist — the same stream a `slice::choose`
+    /// over a dedicated per-kind vector would consume.
+    pub fn choose(&self, kind: KindSlot, rng: &mut impl Rng) -> Option<&dyn ProgramTemplate> {
+        let stratum = self.by_kind.get(kind as usize)?;
+        stratum.choose(rng).map(|&i| self.templates[i].as_program())
     }
 
-    pub fn logic(&self) -> &[LfTemplate] {
-        &self.logic
+    /// All templates of one kind, in insertion order.
+    fn of_kind(&self, kind: KindSlot) -> impl Iterator<Item = &AnyTemplate> {
+        self.by_kind[kind as usize].iter().map(|&i| &self.templates[i])
     }
 
-    pub fn arith(&self) -> &[AeTemplate] {
-        &self.arith
+    /// The SQL templates, in insertion order.
+    pub fn sql(&self) -> Vec<&SqlTemplate> {
+        self.of_kind(KindSlot::Sql)
+            .filter_map(|t| match t {
+                AnyTemplate::Sql(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The logical-form templates, in insertion order.
+    pub fn logic(&self) -> Vec<&LfTemplate> {
+        self.of_kind(KindSlot::Logic)
+            .filter_map(|t| match t {
+                AnyTemplate::Logic(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The arithmetic templates, in insertion order.
+    pub fn arith(&self) -> Vec<&AeTemplate> {
+        self.of_kind(KindSlot::Arith)
+            .filter_map(|t| match t {
+                AnyTemplate::Arith(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All templates across kinds, in insertion order.
+    pub fn templates(&self) -> &[AnyTemplate] {
+        &self.templates
     }
 
     pub fn len(&self) -> usize {
-        self.sql.len() + self.logic.len() + self.arith.len()
+        self.templates.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.templates.is_empty()
+    }
+}
+
+fn kind_prefix(kind: KindSlot) -> &'static str {
+    match kind {
+        KindSlot::Sql => "sql",
+        KindSlot::Logic => "lf",
+        KindSlot::Arith => "ae",
+        KindSlot::None => "none",
     }
 }
 
@@ -240,6 +298,39 @@ mod tests {
         assert!(bank.add_sql(t.clone()));
         assert!(!bank.add_sql(t));
         assert_eq!(bank.sql().len(), 1);
+    }
+
+    #[test]
+    fn dedup_does_not_collide_across_kinds() {
+        // Two templates of different kinds whose raw signatures are the
+        // same string: the kind prefix must keep them apart, while each
+        // kind still dedups against itself.
+        let sql = SqlTemplate::parse("select c1 from w").unwrap();
+        let raw = sql.signature();
+        let logic = logicforms::LfTemplate::from_expr(logicforms::LfExpr::Const(raw.clone()));
+        assert_eq!(logic.signature(), raw, "test premise: identical raw signatures");
+
+        let mut bank = TemplateBank::new();
+        assert!(bank.add_sql(sql.clone()), "first SQL admitted");
+        assert!(bank.add_logic(logic.clone()), "same-signature logic template admitted");
+        assert!(!bank.add_sql(sql), "second SQL deduped within its kind");
+        assert!(!bank.add_logic(logic), "second logic deduped within its kind");
+        assert_eq!(bank.sql().len(), 1);
+        assert_eq!(bank.logic().len(), 1);
+        assert_eq!(bank.len(), 2);
+    }
+
+    #[test]
+    fn choose_is_kind_stratified() {
+        let bank = TemplateBank::builtin();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..32 {
+            let t = bank.choose(crate::telemetry::KindSlot::Arith, &mut rng).unwrap();
+            assert_eq!(t.kind(), crate::telemetry::KindSlot::Arith);
+        }
+        assert!(bank.choose(crate::telemetry::KindSlot::None, &mut rng).is_none());
+        let empty = TemplateBank::new();
+        assert!(empty.choose(crate::telemetry::KindSlot::Sql, &mut rng).is_none());
     }
 
     #[test]

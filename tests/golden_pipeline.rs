@@ -1,0 +1,152 @@
+//! Golden fixed-seed pipeline output (refactor guard).
+//!
+//! The program-layer refactor (ProgramTemplate trait + ExecContext) must be
+//! behavior-preserving: for a fixed seed and fixed inputs, the generated
+//! samples and the deterministic telemetry counters must be *identical* to
+//! the pre-refactor pipeline. These digests were captured from the direct
+//! `run_sql`/`run_arith`/`run_logic` implementation; any RNG-draw or
+//! counter-order drift in the unified `run_program` changes them.
+
+use tabular::Table;
+use uctr::{TableWithContext, UctrConfig, UctrPipeline};
+
+/// FNV-1a 64-bit, so the expectation is a single stable integer per run.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn inputs() -> Vec<TableWithContext> {
+    let teams = Table::from_strings(
+        "Teams",
+        &[
+            vec!["team", "wins", "losses", "founded"],
+            vec!["Sharks", "12", "4", "1990-05-01"],
+            vec!["Lions", "9", "7", "1985-03-12"],
+            vec!["Bears", "15", "1", "2001-08-23"],
+            vec!["Wolves", "7", "9", "1999-11-30"],
+        ],
+    )
+    .unwrap();
+    let budgets = Table::from_strings(
+        "Budgets",
+        &[
+            vec!["department", "budget", "staff"],
+            vec!["Research", "1200", "30"],
+            vec!["Marketing", "800", "18"],
+            vec!["Operations", "2100", "55"],
+        ],
+    )
+    .unwrap();
+    let albums = Table::from_strings(
+        "Albums",
+        &[
+            vec!["album", "year", "sales", "certified"],
+            vec!["Dawn", "1998", "1500000", "yes"],
+            vec!["Harbor", "2003", "870000", "no"],
+            vec!["Meridian", "2010", "2300000", "yes"],
+            vec!["Atlas", "2015", "640000", "no"],
+            vec!["Voyage", "2019", "1100000", "yes"],
+        ],
+    )
+    .unwrap();
+    vec![
+        TableWithContext {
+            table: teams,
+            paragraph: Some(
+                "The Sharks were founded on 1990-05-01 and have 12 wins this season. \
+                 The Bears lead the league with 15 wins and only 1 loss."
+                    .into(),
+            ),
+            topic: "sports".into(),
+        },
+        TableWithContext {
+            table: budgets,
+            paragraph: Some(
+                "Research has a budget of 1200 with 30 staff. \
+                 Operations is the largest department with a budget of 2100."
+                    .into(),
+            ),
+            topic: "finance".into(),
+        },
+        TableWithContext { table: albums, paragraph: None, topic: "music".into() },
+    ]
+}
+
+/// One canonical byte rendering of a run: every sample field (via `Debug`,
+/// which round-trips f64s exactly) plus the deterministic report sections.
+fn run_digests(config: UctrConfig) -> (u64, u64, u64) {
+    let pipeline = UctrPipeline::new(config);
+    let (samples, report) = pipeline.generate_with_report(&inputs());
+    let sample_digest = fnv1a(format!("{samples:?}").as_bytes());
+    let counters = format!(
+        "{:?}",
+        (
+            report.inputs_total,
+            report.inputs_degenerate,
+            report.unknown_injected,
+            &report.kinds,
+            &report.sources,
+        )
+    );
+    (sample_digest, fnv1a(counters.as_bytes()), report.accepted())
+}
+
+#[test]
+fn qa_run_is_byte_identical_to_prerefactor() {
+    let (samples, counters, accepted) = run_digests(UctrConfig::qa());
+    assert_eq!(
+        (samples, counters, accepted),
+        (EXPECT_QA.0, EXPECT_QA.1, EXPECT_QA.2),
+        "fixed-seed QA output drifted from the pre-refactor pipeline"
+    );
+}
+
+#[test]
+fn verification_run_is_byte_identical_to_prerefactor() {
+    let (samples, counters, accepted) = run_digests(UctrConfig::verification());
+    assert_eq!(
+        (samples, counters, accepted),
+        (EXPECT_VERIF.0, EXPECT_VERIF.1, EXPECT_VERIF.2),
+        "fixed-seed verification output drifted from the pre-refactor pipeline"
+    );
+}
+
+#[test]
+fn alternate_seed_run_is_byte_identical_to_prerefactor() {
+    let mut config = UctrConfig::qa();
+    config.seed = 2024;
+    config.use_logic = true;
+    let (samples, counters, accepted) = run_digests(config);
+    assert_eq!(
+        (samples, counters, accepted),
+        (EXPECT_ALT.0, EXPECT_ALT.1, EXPECT_ALT.2),
+        "fixed-seed all-kinds output drifted from the pre-refactor pipeline"
+    );
+}
+
+/// Prints current digests; run with `--nocapture` to regenerate the
+/// constants above after an *intentional* behavior change.
+#[test]
+fn print_current_digests() {
+    for (name, d) in [
+        ("EXPECT_QA", run_digests(UctrConfig::qa())),
+        ("EXPECT_VERIF", run_digests(UctrConfig::verification())),
+        ("EXPECT_ALT", {
+            let mut config = UctrConfig::qa();
+            config.seed = 2024;
+            config.use_logic = true;
+            run_digests(config)
+        }),
+    ] {
+        println!("const {name}: (u64, u64, u64) = ({:#x}, {:#x}, {});", d.0, d.1, d.2);
+    }
+}
+
+const EXPECT_QA: (u64, u64, u64) = (0x6d5a4d9013979880, 0xc867d1d0db860539, 56);
+const EXPECT_VERIF: (u64, u64, u64) = (0x648fbc6273502dd5, 0x5a5822e8d1ada934, 56);
+const EXPECT_ALT: (u64, u64, u64) = (0xb23eed0c8013e5d9, 0xa9c4d95137de1d2b, 58);

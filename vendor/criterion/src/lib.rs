@@ -42,7 +42,7 @@ const PROBE_ITERS: u64 = 8;
 
 impl Bencher {
     /// Times `routine`, auto-scaling the iteration count to fill
-    /// [`MEASURE_FOR`].
+    /// the target measurement window (`MEASURE_FOR`).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Probe to pick an iteration count, then measure.
         let probe_start = Instant::now();
