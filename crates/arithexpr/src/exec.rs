@@ -51,6 +51,9 @@ pub enum AeError {
     /// A step used a boolean result as a number.
     BoolAsNumber,
     EmptyColumn(String),
+    /// An executor invariant was violated (never expected on any input; a
+    /// `Discard`-able stand-in for what would otherwise be a panic).
+    Internal(&'static str),
 }
 
 impl fmt::Display for AeError {
@@ -65,6 +68,7 @@ impl fmt::Display for AeError {
             AeError::Uninstantiated => write!(f, "program still contains template holes"),
             AeError::BoolAsNumber => write!(f, "boolean step result used as a number"),
             AeError::EmptyColumn(c) => write!(f, "column `{c}` has no numeric values"),
+            AeError::Internal(what) => write!(f, "executor invariant violated: {what}"),
         }
     }
 }
@@ -184,7 +188,7 @@ fn execute_impl(
                 AeOp::TableMin => nums.iter().cloned().fold(f64::MAX, f64::min),
                 AeOp::TableSum => nums.iter().sum(),
                 AeOp::TableAverage => nums.iter().sum::<f64>() / nums.len() as f64,
-                _ => unreachable!(),
+                _ => return Err(AeError::Internal("scalar op in table-op dispatch")),
             };
             AeAnswer::Number(v)
         } else {
@@ -208,14 +212,15 @@ fn execute_impl(
                     }
                     AeAnswer::Number(v)
                 }
-                _ => unreachable!(),
+                _ => return Err(AeError::Internal("table op in scalar-op dispatch")),
             }
         };
         results.push(answer);
     }
     highlighted.sort_unstable();
     highlighted.dedup();
-    Ok(AeOutcome { answer: results.pop().expect("non-empty program"), highlighted })
+    let answer = results.pop().ok_or(AeError::Internal("program with no steps"))?;
+    Ok(AeOutcome { answer, highlighted })
 }
 
 fn resolve_numeric(
@@ -268,59 +273,62 @@ mod tests {
     }
 
     #[test]
-    fn paper_percentage_change() {
+    fn paper_percentage_change() -> Result<(), Box<dyn std::error::Error>> {
         // (equity2019 - equity2018) / equity2018 = (3200-4000)/4000 = -0.2
         let out = run_arith(
             "subtract( the 2019 of Stockholders' equity , the 2018 of Stockholders' equity ), divide( #0 , the 2018 of Stockholders' equity )",
             &financials(),
         )
-        .unwrap();
+        ?;
         assert_eq!(out.answer, AeAnswer::Number(-0.2));
+        Ok(())
     }
 
     #[test]
-    fn add_and_multiply() {
-        let out =
-            run_arith("add( the 2019 of Revenue , the 2018 of Revenue )", &financials()).unwrap();
+    fn add_and_multiply() -> Result<(), Box<dyn std::error::Error>> {
+        let out = run_arith("add( the 2019 of Revenue , the 2018 of Revenue )", &financials())?;
         assert_eq!(out.answer, AeAnswer::Number(16800.0));
-        let out = run_arith("multiply( the 2019 of Revenue , 0.5 )", &financials()).unwrap();
+        let out = run_arith("multiply( the 2019 of Revenue , 0.5 )", &financials())?;
         assert_eq!(out.answer, AeAnswer::Number(4400.0));
+        Ok(())
     }
 
     #[test]
-    fn greater_yields_yes_no() {
-        let out = run_arith("greater( the 2019 of Revenue , the 2018 of Revenue )", &financials())
-            .unwrap();
+    fn greater_yields_yes_no() -> Result<(), Box<dyn std::error::Error>> {
+        let out = run_arith("greater( the 2019 of Revenue , the 2018 of Revenue )", &financials())?;
         assert_eq!(out.answer, AeAnswer::YesNo(true));
         assert_eq!(out.answer.to_string(), "yes");
         let out = run_arith(
             "greater( the 2019 of Stockholders' equity , the 2018 of Stockholders' equity )",
             &financials(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(out.answer.to_string(), "no");
+        Ok(())
     }
 
     #[test]
-    fn exp_operation() {
-        let out = run_arith("exp( 2 , 10 )", &financials()).unwrap();
+    fn exp_operation() -> Result<(), Box<dyn std::error::Error>> {
+        let out = run_arith("exp( 2 , 10 )", &financials())?;
         assert_eq!(out.answer, AeAnswer::Number(1024.0));
+        Ok(())
     }
 
     #[test]
-    fn table_aggregations() {
-        let out = run_arith("table_sum( 2019 )", &financials()).unwrap();
+    fn table_aggregations() -> Result<(), Box<dyn std::error::Error>> {
+        let out = run_arith("table_sum( 2019 )", &financials())?;
         assert_eq!(out.answer, AeAnswer::Number(18100.0));
-        let out = run_arith("table_max( 2018 )", &financials()).unwrap();
+        let out = run_arith("table_max( 2018 )", &financials())?;
         assert_eq!(out.answer, AeAnswer::Number(8000.0));
-        let out = run_arith("table_average( 2018 )", &financials()).unwrap();
-        assert_eq!(out.answer.as_number().unwrap().round(), 5967.0);
+        let out = run_arith("table_average( 2018 )", &financials())?;
+        assert_eq!(out.answer.as_number().ok_or("non-numeric answer")?.round(), 5967.0);
+        Ok(())
     }
 
     #[test]
-    fn chained_table_op() {
-        let out = run_arith("table_sum( 2019 ) , divide( #0 , 3 )", &financials()).unwrap();
-        assert!((out.answer.as_number().unwrap() - 6033.333).abs() < 0.001);
+    fn chained_table_op() -> Result<(), Box<dyn std::error::Error>> {
+        let out = run_arith("table_sum( 2019 ) , divide( #0 , 3 )", &financials())?;
+        assert!((out.answer.as_number().ok_or("non-numeric answer")? - 6033.333).abs() < 0.001);
+        Ok(())
     }
 
     #[test]
@@ -352,17 +360,18 @@ mod tests {
     }
 
     #[test]
-    fn highlights_recorded() {
-        let out = run_arith("subtract( the 2019 of Revenue , the 2018 of Revenue )", &financials())
-            .unwrap();
+    fn highlights_recorded() -> Result<(), Box<dyn std::error::Error>> {
+        let out =
+            run_arith("subtract( the 2019 of Revenue , the 2018 of Revenue )", &financials())?;
         assert_eq!(out.highlighted, vec![(1, 1), (1, 2)]);
+        Ok(())
     }
 
     #[test]
-    fn row_name_column_detection() {
+    fn row_name_column_detection() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(row_name_column(&financials()), 0);
-        let t = Table::from_strings("t", &[vec!["x", "label"], vec!["1", "a"], vec!["2", "b"]])
-            .unwrap();
+        let t = Table::from_strings("t", &[vec!["x", "label"], vec!["1", "a"], vec!["2", "b"]])?;
         assert_eq!(row_name_column(&t), 1);
+        Ok(())
     }
 }

@@ -85,7 +85,8 @@ fn parse_step(text: &str) -> Result<AeStep, AeParseError> {
     }
     let name = text[..open].trim();
     let op = AeOp::from_name(name).ok_or_else(|| err(format!("unknown operation `{name}`")))?;
-    let inner = &text[open + 1..text.rfind(')').unwrap()];
+    let close = text.rfind(')').ok_or_else(|| err(format!("missing ')' in step `{text}`")))?;
+    let inner = &text[open + 1..close];
     let arg_texts = split_top_level(inner);
     if arg_texts.len() != op.arity() {
         return Err(err(format!(
@@ -152,59 +153,64 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_paper_template() {
-        let p = parse("subtract( val1 , val2 ), divide( #0 , val2 )").unwrap();
+    fn parse_paper_template() -> Result<(), Box<dyn std::error::Error>> {
+        let p = parse("subtract( val1 , val2 ), divide( #0 , val2 )")?;
         assert_eq!(p.steps.len(), 2);
         assert!(p.has_holes());
         assert_eq!(p.steps[1].args[0], AeArg::StepRef(0));
+        Ok(())
     }
 
     #[test]
-    fn parse_cell_references() {
+    fn parse_cell_references() -> Result<(), Box<dyn std::error::Error>> {
         let p = parse(
             "subtract( the Stockholders' equity of 2019 , the Stockholders' equity of 2018 )",
-        )
-        .unwrap();
+        )?;
         assert_eq!(
             p.steps[0].args[0],
             AeArg::Cell { col: "Stockholders' equity".into(), row: "2019".into() }
         );
+        Ok(())
     }
 
     #[test]
-    fn parse_cell_reference_without_the() {
-        let p = parse("add( revenue of 2020 , revenue of 2021 )").unwrap();
+    fn parse_cell_reference_without_the() -> Result<(), Box<dyn std::error::Error>> {
+        let p = parse("add( revenue of 2020 , revenue of 2021 )")?;
         assert_eq!(p.cells().len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn cell_reference_with_of_in_column() {
-        let p = parse("add( the cost of goods of 2020 , 5 )").unwrap();
+    fn cell_reference_with_of_in_column() -> Result<(), Box<dyn std::error::Error>> {
+        let p = parse("add( the cost of goods of 2020 , 5 )")?;
         assert_eq!(
             p.steps[0].args[0],
             AeArg::Cell { col: "cost of goods".into(), row: "2020".into() }
         );
+        Ok(())
     }
 
     #[test]
-    fn parse_table_ops() {
-        let p = parse("table_sum( revenue )").unwrap();
+    fn parse_table_ops() -> Result<(), Box<dyn std::error::Error>> {
+        let p = parse("table_sum( revenue )")?;
         assert_eq!(p.steps[0].args[0], AeArg::Column("revenue".into()));
-        let p = parse("table_average( c1 )").unwrap();
+        let p = parse("table_average( c1 )")?;
         assert_eq!(p.steps[0].args[0], AeArg::ColumnHole(1));
+        Ok(())
     }
 
     #[test]
-    fn parse_constants() {
+    fn parse_constants() -> Result<(), Box<dyn std::error::Error>> {
         let p = parse("divide( #0 , 100 )").unwrap_err();
         // #0 in the first step is a forward reference -> error
         assert!(p.message.contains("not yet computed"));
-        let p = parse("add( 3.5 , -2 )").unwrap();
+        let p = parse("add( 3.5 , -2 )")?;
         assert_eq!(p.steps[0].args, vec![AeArg::Const(3.5), AeArg::Const(-2.0)]);
+        Ok(())
     }
 
     #[test]
-    fn roundtrip_display_parse() {
+    fn roundtrip_display_parse() -> Result<(), Box<dyn std::error::Error>> {
         let programs = [
             "subtract( val1 , val2 ) , divide( #0 , val2 )",
             "table_sum( c1 ) , divide( #0 , 4 )",
@@ -212,11 +218,12 @@ mod tests {
             "exp( 2 , 10 )",
         ];
         for text in programs {
-            let p = parse(text).unwrap();
+            let p = parse(text)?;
             let rendered = p.to_string();
-            let reparsed = parse(&rendered).unwrap();
+            let reparsed = parse(&rendered)?;
             assert_eq!(p, reparsed, "roundtrip failed for `{text}`");
         }
+        Ok(())
     }
 
     #[test]

@@ -312,81 +312,89 @@ mod tests {
     }
 
     #[test]
-    fn instantiate_paper_template() {
-        let tpl = AeTemplate::parse("subtract( val1 , val2 ), divide( #0 , val2 )").unwrap();
+    fn instantiate_paper_template() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = AeTemplate::parse("subtract( val1 , val2 ), divide( #0 , val2 )")?;
         let mut rng = StdRng::seed_from_u64(42);
-        let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
+        let inst = tpl.instantiate(&financials(), &mut rng).ok_or("instantiate returned None")?;
         assert!(!inst.program.has_holes());
         assert!(matches!(inst.outcome.answer, AeAnswer::Number(_)));
         // val2 appears twice: both occurrences must be the same cell.
         let cells = inst.program.cells();
         assert_eq!(cells.len(), 3);
         assert_eq!(cells[1], cells[2]);
+        Ok(())
     }
 
     #[test]
-    fn instantiate_distinct_holes_get_distinct_cells() {
-        let tpl = AeTemplate::parse("subtract( val1 , val2 )").unwrap();
+    fn instantiate_distinct_holes_get_distinct_cells() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = AeTemplate::parse("subtract( val1 , val2 )")?;
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..10 {
-            let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
+            let inst =
+                tpl.instantiate(&financials(), &mut rng).ok_or("instantiate returned None")?;
             let cells = inst.program.cells();
             assert_ne!(cells[0], cells[1]);
         }
+        Ok(())
     }
 
     #[test]
-    fn instantiate_table_op_template() {
-        let tpl = AeTemplate::parse("table_sum( c1 ) , divide( #0 , 3 )").unwrap();
+    fn instantiate_table_op_template() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = AeTemplate::parse("table_sum( c1 ) , divide( #0 , 3 )")?;
         let mut rng = StdRng::seed_from_u64(5);
-        let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
-        let n = inst.outcome.answer.as_number().unwrap();
+        let inst = tpl.instantiate(&financials(), &mut rng).ok_or("instantiate returned None")?;
+        let n = inst.outcome.answer.as_number().ok_or("non-numeric answer")?;
         // one of sum(2019)/3, sum(2018)/3
         assert!((n - 18100.0 / 3.0).abs() < 1e-9 || (n - 17900.0 / 3.0).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn instantiate_fails_on_text_only_table() {
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]]).unwrap();
-        let tpl = AeTemplate::parse("add( val1 , val2 )").unwrap();
+    fn instantiate_fails_on_text_only_table() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]])?;
+        let tpl = AeTemplate::parse("add( val1 , val2 )")?;
         let mut rng = StdRng::seed_from_u64(1);
         assert!(tpl.instantiate(&t, &mut rng).is_none());
         assert_eq!(
             tpl.try_instantiate(&t, &mut rng),
             Err(AeInstantiateError::NotEnoughNumericCells)
         );
+        Ok(())
     }
 
     #[test]
-    fn abstraction_shares_holes_for_repeated_cells() {
+    fn abstraction_shares_holes_for_repeated_cells() -> Result<(), Box<dyn std::error::Error>> {
         let p = parse(
             "subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , the 2018 of Equity )",
         )
-        .unwrap();
+        ?;
         let tpl = abstract_program(&p);
         assert_eq!(tpl.signature(), "subtract( val1 , val2 ) , divide( #0 , val2 )");
+        Ok(())
     }
 
     #[test]
-    fn abstraction_keeps_constants() {
-        let p = parse("subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , 100 )")
-            .unwrap();
+    fn abstraction_keeps_constants() -> Result<(), Box<dyn std::error::Error>> {
+        let p = parse("subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , 100 )")?;
         let tpl = abstract_program(&p);
         assert!(tpl.signature().ends_with("divide( #0 , 100 )"));
+        Ok(())
     }
 
     #[test]
-    fn abstract_then_instantiate_roundtrip() {
-        let p = parse("greater( the 2019 of Revenue , the 2018 of Revenue )").unwrap();
+    fn abstract_then_instantiate_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let p = parse("greater( the 2019 of Revenue , the 2018 of Revenue )")?;
         let tpl = abstract_program(&p);
         let mut rng = StdRng::seed_from_u64(3);
-        let inst = tpl.instantiate(&financials(), &mut rng).unwrap();
+        let inst = tpl.instantiate(&financials(), &mut rng).ok_or("instantiate returned None")?;
         assert!(matches!(inst.outcome.answer, AeAnswer::YesNo(_)));
+        Ok(())
     }
 
     #[test]
-    fn cell_holes_order() {
-        let tpl = AeTemplate::parse("subtract( val2 , val1 ), add( #0 , val1 )").unwrap();
+    fn cell_holes_order() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = AeTemplate::parse("subtract( val2 , val1 ), add( #0 , val1 )")?;
         assert_eq!(tpl.cell_holes(), vec![2, 1]);
+        Ok(())
     }
 }

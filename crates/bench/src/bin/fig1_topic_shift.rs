@@ -6,6 +6,9 @@
 //! other four topics and evaluated both in-domain (topics it saw) and on
 //! the held-out topic.
 
+// Reporting binary: stdout tables are the product, and unwrap aborts the report on malformed input.
+#![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
+
 use bench::print_table;
 use corpora::{wikisql_like, CorpusConfig, TOPICS};
 use models::{denotation_accuracy, QaModel};

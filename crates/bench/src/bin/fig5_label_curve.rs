@@ -7,6 +7,9 @@
 //! samples; (iii) synthetic + 1,000 labels reaches the level of ~13,217
 //! labels alone.
 
+// Reporting binary: stdout tables are the product, and unwrap aborts the report on malformed input.
+#![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
+
 use bench::{few_shot, print_table, qa_em_f1};
 use corpora::{tatqa_like, CorpusConfig};
 use models::{QaModel, TrainConfig};

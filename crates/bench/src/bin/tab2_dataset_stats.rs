@@ -10,6 +10,9 @@
 //!   --check-floor PATH   exit non-zero if any run is below the committed
 //!                        floor (see ci/acceptance_floor.json)
 
+// Reporting binary: stdout tables are the product, and unwrap aborts the report on malformed input.
+#![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
+
 use bench::{
     check_floor, composition_row, flag_value, print_table, reports_to_json, throughput_line,
     AcceptanceFloor,

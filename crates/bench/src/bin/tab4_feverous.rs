@@ -6,6 +6,9 @@
 //! (13.2), MQA-QG 71.1 / 17.6 (16.4), UCTR 74.8 / 18.3 (17.0); few-shot
 //! Full 67.3 / 14.2 (13.3), Full+UCTR 75.5 / 17.4 (16.4).
 
+// Reporting binary: stdout tables are the product, and unwrap aborts the report on malformed input.
+#![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
+
 use bench::{few_shot, pretrain_finetune_verifier, print_table, verifier_feverous};
 use corpora::{feverous_like, CorpusConfig};
 use models::{label_accuracy, EvidenceView, RandomVerifier, VerdictSpace, VerifierModel};

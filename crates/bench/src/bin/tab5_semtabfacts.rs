@@ -4,6 +4,9 @@
 //! MQA-QG 53.2/50.4, TAPAS-Transfer 59.0/58.7, UCTR 62.6/60.3; few-shot
 //! TAPAS 48.6/46.5, TAPAS+UCTR 62.4/60.1.
 
+// Reporting binary: stdout tables are the product, and unwrap aborts the report on malformed input.
+#![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
+
 use bench::{few_shot, pretrain_finetune_verifier, print_table, verifier_micro_f1};
 use corpora::{feverous_like, semtab_like, CorpusConfig};
 use models::{EvidenceView, RandomVerifier, VerdictSpace, VerifierModel};

@@ -4,6 +4,9 @@
 //! TAPEX no-fine-tuning 21.4/21.8, MQA-QG 57.8/57.2, UCTR 62.2/61.6;
 //! few-shot TAPEX 53.8/52.9, TAPEX+UCTR 62.3/61.6.
 
+// Reporting binary: stdout tables are the product, and unwrap aborts the report on malformed input.
+#![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
+
 use bench::{few_shot, pretrain_finetune_qa, print_table};
 use corpora::{wikisql_like, CorpusConfig};
 use models::{denotation_accuracy, CandidateSpace, QaModel, TrainConfig};

@@ -1,10 +1,14 @@
 //! Shared harness code for the experiment binaries.
 //!
 //! One binary per paper table/figure regenerates the corresponding artifact
-//! (see DESIGN.md §4). This library holds the evaluation plumbing they
+//! (see DESIGN.md §6). This library holds the evaluation plumbing they
 //! share: model training wrappers per setting (supervised / unsupervised /
 //! few-shot / augmentation), per-evidence-type breakdowns, and the table
 //! printer that renders paper-vs-measured rows.
+
+// Stdout tables and floor verdicts are this crate's product, not stray debug
+// output.
+#![allow(clippy::print_stdout)]
 
 use models::{
     em_f1, feverous_score, label_accuracy, micro_f1, EvidenceView, QaModel, TrainConfig,

@@ -59,6 +59,11 @@ pub enum LfError {
     NonNumeric {
         op: LfOp,
     },
+    /// An evaluator invariant was violated (never expected on any input; a
+    /// `Discard`-able stand-in for what would otherwise be a panic).
+    Internal {
+        op: LfOp,
+    },
 }
 
 impl fmt::Display for LfError {
@@ -71,6 +76,7 @@ impl fmt::Display for LfError {
             LfError::Empty { op } => write!(f, "`{op}` on empty input"),
             LfError::Uninstantiated => write!(f, "logical form still contains template holes"),
             LfError::NonNumeric { op } => write!(f, "`{op}` needs numeric values"),
+            LfError::Internal { op } => write!(f, "`{op}` evaluator invariant violated"),
         }
     }
 }
@@ -176,7 +182,7 @@ fn eval(
                         FilterLess => num_cmp(&cell, &rhs, |a, b| a < b),
                         FilterGreaterEq => num_cmp(&cell, &rhs, |a, b| a >= b),
                         FilterLessEq => num_cmp(&cell, &rhs, |a, b| a <= b),
-                        _ => unreachable!(),
+                        _ => return Err(LfError::Internal { op: *op }),
                     };
                     if matched {
                         keep.push(ri);
@@ -260,7 +266,7 @@ fn eval(
                     Avg => nums.iter().sum::<f64>() / nums.len() as f64,
                     NthMax | NthMin => {
                         let n = eval_ordinal(&args[2], table, ctx, hl)?;
-                        nums.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        nums.sort_by(f64::total_cmp);
                         if matches!(op, NthMax) {
                             nums.reverse();
                         }
@@ -268,7 +274,7 @@ fn eval(
                             .get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
                             .ok_or(LfError::Empty { op: *op })?
                     }
-                    _ => unreachable!(),
+                    _ => return Err(LfError::Internal { op: *op }),
                 };
                 Ok(LfValue::Scalar(Value::number(v)))
             }
@@ -306,7 +312,7 @@ fn eval(
                     },
                     Greater => num_cmp(&a, &b, |x, y| x > y),
                     Less => num_cmp(&a, &b, |x, y| x < y),
-                    _ => unreachable!(),
+                    _ => return Err(LfError::Internal { op: *op }),
                 };
                 Ok(LfValue::Bool(res))
             }
@@ -339,7 +345,7 @@ fn eval(
                         AllLess | MostLess => num_cmp(&cell, &rhs, |a, b| a < b),
                         AllGreaterEq | MostGreaterEq => num_cmp(&cell, &rhs, |a, b| a >= b),
                         AllLessEq | MostLessEq => num_cmp(&cell, &rhs, |a, b| a <= b),
-                        _ => unreachable!(),
+                        _ => return Err(LfError::Internal { op: *op }),
                     };
                     if m {
                         matches += 1;
@@ -507,45 +513,51 @@ mod tests {
     }
 
     #[test]
-    fn empty_superlative_is_error() {
-        let e = parse("eq { hop { argmax { filter_eq { all_rows ; material ; WOOD } ; price } ; model } ; P1 }").unwrap();
+    fn empty_superlative_is_error() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { hop { argmax { filter_eq { all_rows ; material ; WOOD } ; price } ; model } ; P1 }")?;
         assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::Empty { .. })));
+        Ok(())
     }
 
     #[test]
-    fn unknown_column_is_error() {
-        let e = parse("eq { max { all_rows ; bogus } ; 1 }").unwrap();
+    fn unknown_column_is_error() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { max { all_rows ; bogus } ; 1 }")?;
         assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::UnknownColumn(_))));
+        Ok(())
     }
 
     #[test]
-    fn template_is_uninstantiated() {
-        let e = parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }").unwrap();
+    fn template_is_uninstantiated() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }")?;
         assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::Uninstantiated)));
+        Ok(())
     }
 
     #[test]
-    fn highlights_cover_reasoning_cells() {
-        let e = parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }").unwrap();
-        let out = evaluate(&e, &table()).unwrap();
+    fn highlights_cover_reasoning_cells() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }")?;
+        let out = evaluate(&e, &table())?;
         // speed column scanned for all rows; model of the argmax row read.
         assert!(out.highlighted.contains(&(0, 2)));
         assert!(out.highlighted.contains(&(3, 2)));
         assert!(out.highlighted.contains(&(2, 0)));
+        Ok(())
     }
 
     #[test]
-    fn non_boolean_root_rejected_by_truth() {
-        let e = parse("count { all_rows }").unwrap();
+    fn non_boolean_root_rejected_by_truth() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("count { all_rows }")?;
         assert!(evaluate_truth(&e, &table()).is_err());
         // but plain evaluate returns the scalar
-        let out = evaluate(&e, &table()).unwrap();
+        let out = evaluate(&e, &table())?;
         assert_eq!(out.value, LfValue::Scalar(Value::Number(4.0)));
+        Ok(())
     }
 
     #[test]
-    fn ordinal_out_of_range_is_error() {
-        let e = parse("eq { nth_max { all_rows ; price ; 9 } ; 1 }").unwrap();
+    fn ordinal_out_of_range_is_error() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { nth_max { all_rows ; price ; 9 } ; 1 }")?;
         assert!(matches!(evaluate_truth(&e, &table()), Err(LfError::Empty { .. })));
+        Ok(())
     }
 }

@@ -194,9 +194,9 @@ mod tests {
     use crate::ast::LfExpr::*;
 
     #[test]
-    fn parse_paper_example() {
+    fn parse_paper_example() -> Result<(), Box<dyn std::error::Error>> {
         // From paper §IV-B: eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }
-        let e = parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }").unwrap();
+        let e = parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }")?;
         assert!(e.has_holes());
         match &e {
             Apply(LfOp::Eq, args) => {
@@ -210,11 +210,12 @@ mod tests {
             }
             other => panic!("expected eq, got {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn parse_concrete_form() {
-        let e = parse("eq { hop { argmax { all_rows ; score } ; name } ; alpha }").unwrap();
+    fn parse_concrete_form() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { hop { argmax { all_rows ; score } ; name } ; alpha }")?;
         assert!(!e.has_holes());
         // `score` and `name` are column slots; `alpha` is a constant.
         let mut cols = Vec::new();
@@ -226,10 +227,11 @@ mod tests {
         });
         assert_eq!(cols, vec!["score", "name"]);
         assert_eq!(consts, vec!["alpha"]);
+        Ok(())
     }
 
     #[test]
-    fn roundtrip_display_parse() {
+    fn roundtrip_display_parse() -> Result<(), Box<dyn std::error::Error>> {
         let forms = [
             "eq { count { filter_eq { all_rows ; team ; reds } } ; 3 }",
             "most_greater { all_rows ; attendance ; 1000 }",
@@ -240,20 +242,22 @@ mod tests {
             "eq { diff { hop { argmax { all_rows ; score } ; score } ; hop { argmin { all_rows ; score } ; score } } ; 15 }",
         ];
         for f in forms {
-            let e = parse(f).unwrap();
+            let e = parse(f)?;
             let rendered = e.to_string();
-            let reparsed = parse(&rendered).unwrap();
+            let reparsed = parse(&rendered)?;
             assert_eq!(e, reparsed, "roundtrip failed for {f}");
         }
+        Ok(())
     }
 
     #[test]
-    fn column_names_with_spaces() {
-        let e = parse("max { all_rows ; total deputies }").unwrap();
+    fn column_names_with_spaces() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("max { all_rows ; total deputies }")?;
         match e {
             Apply(LfOp::Max, args) => assert_eq!(args[1], Column("total deputies".into())),
             other => panic!("{other:?}"),
         }
+        Ok(())
     }
 
     #[test]

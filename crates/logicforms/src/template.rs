@@ -245,7 +245,7 @@ impl LfTemplate {
                                 (LfOp::Greater, 0) => !desired,
                                 (LfOp::Less, 1) => !desired,
                                 (LfOp::Less, 0) => desired,
-                                _ => unreachable!(),
+                                _ => return Err(LfInstantiateError::MalformedTemplate),
                             };
                             let v = if val_should_be_less { n - delta } else { n + delta };
                             let mut new_args = args.clone();
@@ -253,7 +253,7 @@ impl LfTemplate {
                             partially = LfExpr::Apply(*op, new_args);
                             return finish(partially, table, ctx, desired);
                         }
-                        _ => unreachable!(),
+                        _ => return Err(LfInstantiateError::MalformedTemplate),
                     };
                     let literal = if wants_match {
                         result.clone()
@@ -594,110 +594,118 @@ mod tests {
     }
 
     #[test]
-    fn instantiate_supported_claim() {
+    fn instantiate_supported_claim() -> Result<(), Box<dyn std::error::Error>> {
         let tpl =
-            LfTemplate::parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }")
-                .unwrap();
+            LfTemplate::parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }")?;
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..10 {
-            let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+            let claim =
+                tpl.instantiate(&table(), &mut rng, true).ok_or("instantiate returned None")?;
             assert!(claim.truth);
-            assert!(evaluate_truth(&claim.expr, &table()).unwrap());
+            assert!(evaluate_truth(&claim.expr, &table())?);
         }
+        Ok(())
     }
 
     #[test]
-    fn instantiate_refuted_claim() {
+    fn instantiate_refuted_claim() -> Result<(), Box<dyn std::error::Error>> {
         let tpl =
-            LfTemplate::parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }")
-                .unwrap();
+            LfTemplate::parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }")?;
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..10 {
-            let claim = tpl.instantiate(&table(), &mut rng, false).unwrap();
+            let claim =
+                tpl.instantiate(&table(), &mut rng, false).ok_or("instantiate returned None")?;
             assert!(!claim.truth);
-            assert!(!evaluate_truth(&claim.expr, &table()).unwrap());
+            assert!(!evaluate_truth(&claim.expr, &table())?);
         }
+        Ok(())
     }
 
     #[test]
-    fn instantiate_superlative_template() {
-        let tpl = LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }").unwrap();
+    fn instantiate_superlative_template() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }")?;
         let mut rng = StdRng::seed_from_u64(3);
-        let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        let claim = tpl.instantiate(&table(), &mut rng, true).ok_or("instantiate returned None")?;
         assert!(claim.truth);
         // c1 must have bound a numeric column.
         let rendered = claim.expr.to_string();
         assert!(rendered.contains("points") || rendered.contains("wins"), "{rendered}");
+        Ok(())
     }
 
     #[test]
-    fn instantiate_count_template_both_labels() {
-        let tpl = LfTemplate::parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }")
-            .unwrap();
+    fn instantiate_count_template_both_labels() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = LfTemplate::parse("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }")?;
         let mut rng = StdRng::seed_from_u64(11);
-        let sup = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        let sup = tpl.instantiate(&table(), &mut rng, true).ok_or("instantiate returned None")?;
         assert!(sup.truth);
-        let refuted = tpl.instantiate(&table(), &mut rng, false).unwrap();
+        let refuted =
+            tpl.instantiate(&table(), &mut rng, false).ok_or("instantiate returned None")?;
         assert!(!refuted.truth);
+        Ok(())
     }
 
     #[test]
-    fn instantiate_majority_template() {
-        let tpl = LfTemplate::parse("most_greater { all_rows ; c1 ; val1 }").unwrap();
+    fn instantiate_majority_template() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = LfTemplate::parse("most_greater { all_rows ; c1 ; val1 }")?;
         let mut rng = StdRng::seed_from_u64(5);
         // Either label should be reachable within retries on this table.
         let sup = tpl.instantiate(&table(), &mut rng, true);
-        assert!(sup.is_some());
-        assert!(sup.unwrap().truth);
+        assert!(sup.ok_or("instantiate returned None")?.truth);
+        Ok(())
     }
 
     #[test]
-    fn instantiate_greater_root() {
-        let tpl = LfTemplate::parse("greater { max { all_rows ; c1 } ; val1 }").unwrap();
+    fn instantiate_greater_root() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = LfTemplate::parse("greater { max { all_rows ; c1 } ; val1 }")?;
         let mut rng = StdRng::seed_from_u64(13);
-        let sup = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        let sup = tpl.instantiate(&table(), &mut rng, true).ok_or("instantiate returned None")?;
         assert!(sup.truth);
-        let refuted = tpl.instantiate(&table(), &mut rng, false).unwrap();
+        let refuted =
+            tpl.instantiate(&table(), &mut rng, false).ok_or("instantiate returned None")?;
         assert!(!refuted.truth);
+        Ok(())
     }
 
     #[test]
-    fn instantiate_ordinal_template() {
+    fn instantiate_ordinal_template() -> Result<(), Box<dyn std::error::Error>> {
         let tpl =
-            LfTemplate::parse("eq { hop { nth_argmax { all_rows ; c1 ; val1 } ; c2 } ; val2 }")
-                .unwrap();
+            LfTemplate::parse("eq { hop { nth_argmax { all_rows ; c1 ; val1 } ; c2 } ; val2 }")?;
         let mut rng = StdRng::seed_from_u64(17);
-        let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        let claim = tpl.instantiate(&table(), &mut rng, true).ok_or("instantiate returned None")?;
         assert!(claim.truth);
         assert_eq!(claim.expr.logic_type(), LogicType::Ordinal);
+        Ok(())
     }
 
     #[test]
-    fn instantiate_fails_without_numeric_column() {
-        let t =
-            Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"]]).unwrap();
-        let tpl = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }").unwrap();
+    fn instantiate_fails_without_numeric_column() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"]])?;
+        let tpl = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }")?;
         let mut rng = StdRng::seed_from_u64(1);
         assert!(tpl.instantiate(&t, &mut rng, true).is_none());
         assert_eq!(
             tpl.try_instantiate(&t, &mut rng, true),
             Err(LfInstantiateError::NoCompatibleColumn)
         );
+        Ok(())
     }
 
     #[test]
-    fn try_instantiate_reports_empty_table() {
-        let t = Table::from_strings("t", &[vec!["a", "b"]]).unwrap();
-        let tpl = LfTemplate::parse("eq { count { all_rows } ; val1 }").unwrap();
+    fn try_instantiate_reports_empty_table() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["a", "b"]])?;
+        let tpl = LfTemplate::parse("eq { count { all_rows } ; val1 }")?;
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(tpl.try_instantiate(&t, &mut rng, true), Err(LfInstantiateError::EmptyTable));
+        Ok(())
     }
 
     #[test]
-    fn column_holes_numeric_inference() {
-        let tpl = LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }").unwrap();
+    fn column_holes_numeric_inference() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = LfTemplate::parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }")?;
         let holes = tpl.column_holes();
         assert_eq!(holes, vec![(1, true), (2, false)]);
+        Ok(())
     }
 
     #[test]
@@ -711,36 +719,40 @@ mod tests {
     }
 
     #[test]
-    fn abstraction_consistent_numbering() {
-        let e = parse("eq { hop { filter_eq { all_rows ; team ; Reds } ; points } ; 77 }").unwrap();
+    fn abstraction_consistent_numbering() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { hop { filter_eq { all_rows ; team ; Reds } ; points } ; 77 }")?;
         let tpl = abstract_form(&e);
         assert_eq!(
             tpl.signature(),
             "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }"
         );
+        Ok(())
     }
 
     #[test]
-    fn abstraction_keeps_ordinals() {
-        let e = parse("eq { nth_max { all_rows ; points ; 2 } ; 77 }").unwrap();
+    fn abstraction_keeps_ordinals() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { nth_max { all_rows ; points ; 2 } ; 77 }")?;
         let tpl = abstract_form(&e);
         assert_eq!(tpl.signature(), "eq { nth_max { all_rows ; c1 ; 2 } ; val1 }");
+        Ok(())
     }
 
     #[test]
-    fn abstraction_dedups_same_structure() {
-        let a = parse("eq { count { filter_eq { all_rows ; team ; Reds } } ; 1 }").unwrap();
-        let b = parse("eq { count { filter_eq { all_rows ; city ; Oslo } } ; 1 }").unwrap();
+    fn abstraction_dedups_same_structure() -> Result<(), Box<dyn std::error::Error>> {
+        let a = parse("eq { count { filter_eq { all_rows ; team ; Reds } } ; 1 }")?;
+        let b = parse("eq { count { filter_eq { all_rows ; city ; Oslo } } ; 1 }")?;
         // Constant `1` at root becomes a hole in both.
         assert_eq!(abstract_form(&a).signature(), abstract_form(&b).signature());
+        Ok(())
     }
 
     #[test]
-    fn abstract_then_instantiate_roundtrip() {
-        let e = parse("eq { hop { argmin { all_rows ; wins } ; team } ; Golds }").unwrap();
+    fn abstract_then_instantiate_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let e = parse("eq { hop { argmin { all_rows ; wins } ; team } ; Golds }")?;
         let tpl = abstract_form(&e);
         let mut rng = StdRng::seed_from_u64(23);
-        let claim = tpl.instantiate(&table(), &mut rng, true).unwrap();
+        let claim = tpl.instantiate(&table(), &mut rng, true).ok_or("instantiate returned None")?;
         assert!(claim.truth);
+        Ok(())
     }
 }

@@ -26,6 +26,9 @@ pub enum ExecError {
     DivisionByZero,
     /// An aggregate was applied to a column with no usable values.
     EmptyAggregate,
+    /// An executor invariant was violated (never expected on any input; a
+    /// `Discard`-able stand-in for what would otherwise be a panic).
+    Internal(&'static str),
 }
 
 impl fmt::Display for ExecError {
@@ -37,6 +40,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::DivisionByZero => write!(f, "division by zero"),
             ExecError::EmptyAggregate => write!(f, "aggregate over empty input"),
+            ExecError::Internal(what) => write!(f, "executor invariant violated: {what}"),
         }
     }
 }
@@ -185,7 +189,9 @@ pub fn execute(stmt: &SelectStmt, table: &Table) -> Result<QueryResult, ExecErro
                     }
                 }
                 SelectItem::Expr(e) => columns.push(e.to_string()),
-                SelectItem::Aggregate { .. } => unreachable!(),
+                SelectItem::Aggregate { .. } => {
+                    return Err(ExecError::Internal("aggregate item in plain projection"))
+                }
             }
         }
         let mut rows: Vec<Vec<Value>> = Vec::with_capacity(rows_in.len());
@@ -200,7 +206,9 @@ pub fn execute(stmt: &SelectStmt, table: &Table) -> Result<QueryResult, ExecErro
                         }
                     }
                     SelectItem::Expr(e) => out.push(eval_expr(e, table, ri, &mut highlights)?),
-                    SelectItem::Aggregate { .. } => unreachable!(),
+                    SelectItem::Aggregate { .. } => {
+                        return Err(ExecError::Internal("aggregate item in plain projection"))
+                    }
                 }
             }
             rows.push(out);
@@ -448,116 +456,120 @@ mod tests {
     }
 
     #[test]
-    fn select_with_order_limit() {
+    fn select_with_order_limit() -> Result<(), Box<dyn std::error::Error>> {
         let r =
-            run_sql("select [department] from w order by [total deputies] desc limit 1", &table())
-                .unwrap();
+            run_sql("select [department] from w order by [total deputies] desc limit 1", &table())?;
         assert_eq!(r.answer_text(), "Defense");
+        Ok(())
     }
 
     #[test]
-    fn select_where_eq() {
-        let r =
-            run_sql("select [budget] from w where [department] = 'Treasury'", &table()).unwrap();
+    fn select_where_eq() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select [budget] from w where [department] = 'Treasury'", &table())?;
         assert_eq!(r.answer_text(), "3000");
+        Ok(())
     }
 
     #[test]
-    fn where_case_insensitive_text_match() {
-        let r =
-            run_sql("select [budget] from w where [department] = 'treasury'", &table()).unwrap();
+    fn where_case_insensitive_text_match() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select [budget] from w where [department] = 'treasury'", &table())?;
         assert_eq!(r.answer_text(), "3000");
+        Ok(())
     }
 
     #[test]
-    fn count_star_with_filter() {
-        let r = run_sql("select count(*) from w where [total deputies] > 15", &table()).unwrap();
+    fn count_star_with_filter() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select count(*) from w where [total deputies] > 15", &table())?;
         assert_eq!(r.answer_text(), "3");
+        Ok(())
     }
 
     #[test]
-    fn sum_and_avg() {
-        let r = run_sql("select sum([budget]) from w", &table()).unwrap();
+    fn sum_and_avg() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select sum([budget]) from w", &table())?;
         assert_eq!(r.answer_text(), "13200");
-        let r = run_sql("select avg([total deputies]) from w", &table()).unwrap();
+        let r = run_sql("select avg([total deputies]) from w", &table())?;
         assert_eq!(r.answer_text(), "25.5");
+        Ok(())
     }
 
     #[test]
-    fn min_max_on_text() {
-        let r = run_sql("select min([department]) from w", &table()).unwrap();
+    fn min_max_on_text() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select min([department]) from w", &table())?;
         assert_eq!(r.answer_text(), "Commerce");
-        let r = run_sql("select max([department]) from w", &table()).unwrap();
+        let r = run_sql("select max([department]) from w", &table())?;
         assert_eq!(r.answer_text(), "Treasury");
+        Ok(())
     }
 
     #[test]
-    fn arithmetic_diff_between_columns() {
+    fn arithmetic_diff_between_columns() -> Result<(), Box<dyn std::error::Error>> {
         let r = run_sql(
             "select [budget] - [total deputies] from w where [department] = 'Energy'",
             &table(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.answer_text(), "688");
+        Ok(())
     }
 
     #[test]
-    fn conjunction_where() {
+    fn conjunction_where() -> Result<(), Box<dyn std::error::Error>> {
         let r = run_sql(
             "select [department] from w where [total deputies] > 15 and [budget] < 4000",
             &table(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.answer_text(), "Commerce, Treasury");
+        Ok(())
     }
 
     #[test]
-    fn or_where() {
+    fn or_where() -> Result<(), Box<dyn std::error::Error>> {
         let r = run_sql(
             "select [department] from w where [department] = 'Energy' or [department] = 'Defense'",
             &table(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.answer_text(), "Defense, Energy");
+        Ok(())
     }
 
     #[test]
-    fn distinct_dedups() {
-        let t = Table::from_strings("t", &[vec!["x"], vec!["a"], vec!["a"], vec!["b"]]).unwrap();
-        let r = run_sql("select distinct [x] from w", &t).unwrap();
+    fn distinct_dedups() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["x"], vec!["a"], vec!["a"], vec!["b"]])?;
+        let r = run_sql("select distinct [x] from w", &t)?;
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn group_by_count() {
+    fn group_by_count() -> Result<(), Box<dyn std::error::Error>> {
         let t = Table::from_strings(
             "t",
             &[vec!["team", "pts"], vec!["a", "1"], vec!["b", "2"], vec!["a", "3"]],
-        )
-        .unwrap();
-        let r = run_sql("select [team], count(*) from w group by [team]", &t).unwrap();
+        )?;
+        let r = run_sql("select [team], count(*) from w group by [team]", &t)?;
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][0].to_string(), "a");
         assert_eq!(r.rows[0][1], Value::Number(2.0));
+        Ok(())
     }
 
     #[test]
-    fn group_by_sum() {
+    fn group_by_sum() -> Result<(), Box<dyn std::error::Error>> {
         let t = Table::from_strings(
             "t",
             &[vec!["team", "pts"], vec!["a", "1"], vec!["b", "2"], vec!["a", "3"]],
-        )
-        .unwrap();
-        let r = run_sql("select [team], sum([pts]) from w group by [team]", &t).unwrap();
+        )?;
+        let r = run_sql("select [team], sum([pts]) from w group by [team]", &t)?;
         assert_eq!(r.rows[0][1], Value::Number(4.0));
         assert_eq!(r.rows[1][1], Value::Number(2.0));
+        Ok(())
     }
 
     #[test]
-    fn empty_result_detected() {
-        let r =
-            run_sql("select [department] from w where [total deputies] > 1000", &table()).unwrap();
+    fn empty_result_detected() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select [department] from w where [total deputies] > 1000", &table())?;
         assert!(r.is_empty());
+        Ok(())
     }
 
     #[test]
@@ -573,48 +585,52 @@ mod tests {
     }
 
     #[test]
-    fn division_by_zero_error() {
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["1", "0"]]).unwrap();
+    fn division_by_zero_error() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["1", "0"]])?;
         let err = run_sql("select [a] / [b] from w", &t).unwrap_err();
         assert!(err.contains("division"));
+        Ok(())
     }
 
     #[test]
-    fn nulls_filtered_by_comparisons() {
-        let t = Table::from_strings("t", &[vec!["x", "y"], vec!["", "1"], vec!["5", "2"]]).unwrap();
-        let r = run_sql("select [y] from w where [x] > 0", &t).unwrap();
+    fn nulls_filtered_by_comparisons() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["x", "y"], vec!["", "1"], vec!["5", "2"]])?;
+        let r = run_sql("select [y] from w where [x] > 0", &t)?;
         assert_eq!(r.answer_text(), "2");
+        Ok(())
     }
 
     #[test]
-    fn date_comparisons() {
-        let r =
-            run_sql("select [department] from w where [founded] > '1950-01-01'", &table()).unwrap();
+    fn date_comparisons() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select [department] from w where [founded] > '1950-01-01'", &table())?;
         assert_eq!(r.answer_text(), "Energy");
+        Ok(())
     }
 
     #[test]
-    fn highlights_recorded() {
+    fn highlights_recorded() -> Result<(), Box<dyn std::error::Error>> {
         let r =
-            run_sql("select [department] from w order by [total deputies] desc limit 1", &table())
-                .unwrap();
+            run_sql("select [department] from w order by [total deputies] desc limit 1", &table())?;
         // Ordering touched column 1 of every row; projection touched (1, 0).
         assert!(r.highlighted.contains(&(1, 0)));
         assert!(r.highlighted.contains(&(0, 1)));
         assert!(r.highlighted.contains(&(3, 1)));
+        Ok(())
     }
 
     #[test]
-    fn order_by_asc_default() {
-        let r = run_sql("select [department] from w order by [budget] limit 2", &table()).unwrap();
+    fn order_by_asc_default() -> Result<(), Box<dyn std::error::Error>> {
+        let r = run_sql("select [department] from w order by [budget] limit 2", &table())?;
         assert_eq!(r.answer_text(), "Commerce, Energy");
+        Ok(())
     }
 
     #[test]
-    fn count_distinct() {
-        let t = Table::from_strings("t", &[vec!["x"], vec!["a"], vec!["A"], vec!["b"]]).unwrap();
-        let r = run_sql("select count(distinct [x]) from w", &t).unwrap();
+    fn count_distinct() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["x"], vec!["a"], vec!["A"], vec!["b"]])?;
+        let r = run_sql("select count(distinct [x]) from w", &t)?;
         assert_eq!(r.answer_text(), "2"); // loose (case-insensitive) equality
+        Ok(())
     }
 
     #[test]
@@ -625,34 +641,35 @@ mod tests {
     }
 
     #[test]
-    fn group_by_then_limit() {
+    fn group_by_then_limit() -> Result<(), Box<dyn std::error::Error>> {
         let t = Table::from_strings(
             "t",
             &[vec!["team", "pts"], vec!["a", "1"], vec!["b", "2"], vec!["a", "3"], vec!["c", "9"]],
-        )
-        .unwrap();
-        let r = run_sql("select [team], count(*) from w group by [team] limit 2", &t).unwrap();
+        )?;
+        let r = run_sql("select [team], count(*) from w group by [team] limit 2", &t)?;
         assert_eq!(r.rows.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn where_on_ordered_limit_applies_before_limit() {
+    fn where_on_ordered_limit_applies_before_limit() -> Result<(), Box<dyn std::error::Error>> {
         // WHERE filters first, then ORDER BY, then LIMIT.
         let r = run_sql(
             "select [department] from w where [budget] < 5000 order by [total deputies] desc limit 1",
             &table(),
         )
-        .unwrap();
+        ?;
         assert_eq!(r.answer_text(), "Treasury");
+        Ok(())
     }
 
     #[test]
-    fn aggregate_after_order_limit() {
+    fn aggregate_after_order_limit() -> Result<(), Box<dyn std::error::Error>> {
         // SQUALL pattern: value of the top row.
         let r =
-            run_sql("select max([budget]) from w order by [total deputies] asc limit 2", &table())
-                .unwrap();
+            run_sql("select max([budget]) from w order by [total deputies] asc limit 2", &table())?;
         // Two smallest by deputies: Energy (700), Commerce (500) -> max 700.
         assert_eq!(r.answer_text(), "700");
+        Ok(())
     }
 }

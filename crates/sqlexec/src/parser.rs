@@ -387,79 +387,86 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_squall_style_template() {
-        let stmt = parse("select c1 from w order by c2_number desc limit 1").unwrap();
+    fn parse_squall_style_template() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select c1 from w order by c2_number desc limit 1")?;
         assert!(stmt.has_placeholders());
         assert_eq!(stmt.limit, Some(1));
-        let (e, dir) = stmt.order_by.as_ref().unwrap();
+        let (e, dir) = stmt.order_by.as_ref().ok_or("unexpected None")?;
         assert_eq!(dir, &OrderDir::Desc);
         assert_eq!(
             e,
             &Expr::Column(ColumnRef::Placeholder { index: 2, ty: Some(PlaceholderType::Number) })
         );
+        Ok(())
     }
 
     #[test]
-    fn parse_where_conjunction() {
-        let stmt = parse("select c1 from w where c2 = val1 and c3_number > val2").unwrap();
-        match stmt.where_clause.as_ref().unwrap() {
+    fn parse_where_conjunction() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select c1 from w where c2 = val1 and c3_number > val2")?;
+        match stmt.where_clause.as_ref().ok_or("unexpected None")? {
             Cond::And(a, b) => {
                 assert!(matches!(**a, Cond::Compare { op: CmpOp::Eq, .. }));
                 assert!(matches!(**b, Cond::Compare { op: CmpOp::Gt, .. }));
             }
             other => panic!("expected And, got {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn parse_aggregates() {
-        let stmt = parse("select count ( * ) from w").unwrap();
+    fn parse_aggregates() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select count ( * ) from w")?;
         assert_eq!(
             stmt.items,
             vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }]
         );
-        let stmt = parse("select sum(c2_number) from w where c1 = 'x'").unwrap();
+        let stmt = parse("select sum(c2_number) from w where c1 = 'x'")?;
         assert!(matches!(stmt.items[0], SelectItem::Aggregate { func: AggFunc::Sum, .. }));
-        let stmt = parse("select count(distinct c1) from w").unwrap();
+        let stmt = parse("select count(distinct c1) from w")?;
         assert!(matches!(stmt.items[0], SelectItem::Aggregate { distinct: true, .. }));
+        Ok(())
     }
 
     #[test]
-    fn parse_arithmetic_in_select() {
-        let stmt = parse("select c2_number - c3_number from w where c1 = val1").unwrap();
+    fn parse_arithmetic_in_select() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select c2_number - c3_number from w where c1 = val1")?;
         match &stmt.items[0] {
             SelectItem::Expr(Expr::Binary { op: ArithOp::Sub, .. }) => {}
             other => panic!("expected Binary Sub, got {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn parse_named_columns_with_spaces() {
-        let stmt = parse("select [total deputies] from w where [department] = 'Defense'").unwrap();
+    fn parse_named_columns_with_spaces() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select [total deputies] from w where [department] = 'Defense'")?;
         assert!(!stmt.has_placeholders());
         assert_eq!(
             stmt.items[0],
             SelectItem::Expr(Expr::Column(ColumnRef::Named("total deputies".into())))
         );
+        Ok(())
     }
 
     #[test]
-    fn parse_or_condition() {
-        let stmt = parse("select c1 from w where c2 = 1 or c2 = 2").unwrap();
+    fn parse_or_condition() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select c1 from w where c2 = 1 or c2 = 2")?;
         assert!(matches!(stmt.where_clause, Some(Cond::Or(_, _))));
+        Ok(())
     }
 
     #[test]
-    fn parse_parenthesized_condition() {
-        let stmt = parse("select c1 from w where ( c2 = 1 or c2 = 2 ) and c3 > 0").unwrap();
-        match stmt.where_clause.as_ref().unwrap() {
+    fn parse_parenthesized_condition() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select c1 from w where ( c2 = 1 or c2 = 2 ) and c3 > 0")?;
+        match stmt.where_clause.as_ref().ok_or("unexpected None")? {
             Cond::And(a, _) => assert!(matches!(**a, Cond::Or(_, _))),
             other => panic!("expected And(Or, _), got {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn roundtrip_display_parse() {
+    fn roundtrip_display_parse() -> Result<(), Box<dyn std::error::Error>> {
         let queries = [
             "select c1 from w order by c2_number desc limit 1",
             "select count ( * ) from w where c1 = 'x'",
@@ -469,25 +476,28 @@ mod tests {
             "select c1 , c2 from w group by c1",
         ];
         for q in queries {
-            let stmt = parse(q).unwrap();
+            let stmt = parse(q)?;
             let rendered = stmt.to_string();
             let reparsed = parse(&rendered).unwrap_or_else(|e| panic!("reparse `{rendered}`: {e}"));
             assert_eq!(stmt, reparsed, "roundtrip failed for {q}");
         }
+        Ok(())
     }
 
     #[test]
-    fn group_by_parses() {
-        let stmt = parse("select c1, count(*) from w group by c1").unwrap();
+    fn group_by_parses() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select c1, count(*) from w group by c1")?;
         assert_eq!(stmt.group_by, Some(ColumnRef::Placeholder { index: 1, ty: None }));
+        Ok(())
     }
 
     #[test]
-    fn c_prefixed_real_names_not_placeholders() {
-        let stmt = parse("select city from w").unwrap();
+    fn c_prefixed_real_names_not_placeholders() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select city from w")?;
         assert!(!stmt.has_placeholders());
-        let stmt = parse("select c1_foo from w").unwrap();
+        let stmt = parse("select c1_foo from w")?;
         assert!(!stmt.has_placeholders());
+        Ok(())
     }
 
     #[test]
@@ -500,11 +510,12 @@ mod tests {
     }
 
     #[test]
-    fn unary_minus_literal() {
-        let stmt = parse("select c1 from w where c2_number > -5").unwrap();
-        match stmt.where_clause.as_ref().unwrap() {
+    fn unary_minus_literal() -> Result<(), Box<dyn std::error::Error>> {
+        let stmt = parse("select c1 from w where c2_number > -5")?;
+        match stmt.where_clause.as_ref().ok_or("unexpected None")? {
             Cond::Compare { rhs: Expr::Literal(Value::Number(n)), .. } => assert_eq!(*n, -5.0),
             other => panic!("unexpected {other:?}"),
         }
+        Ok(())
     }
 }

@@ -426,54 +426,58 @@ mod tests {
     }
 
     #[test]
-    fn instantiate_superlative_template() {
-        let tpl = SqlTemplate::parse("select c1 from w order by c2_number desc limit 1").unwrap();
+    fn instantiate_superlative_template() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = SqlTemplate::parse("select c1 from w order by c2_number desc limit 1")?;
         let mut rng = StdRng::seed_from_u64(7);
-        let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
+        let stmt = tpl.instantiate(&table(), &mut rng).ok_or("instantiate returned None")?;
         assert!(!stmt.has_placeholders());
-        let r = execute(&stmt, &table()).unwrap();
+        let r = execute(&stmt, &table())?;
         assert!(!r.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn instantiate_respects_type_constraints() {
-        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1").unwrap();
+    fn instantiate_respects_type_constraints() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1")?;
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
-            let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
+            let stmt = tpl.instantiate(&table(), &mut rng).ok_or("instantiate returned None")?;
             let rendered = stmt.to_string();
             // The compared column must be the (only) numeric column `score`.
             assert!(rendered.contains("score >"), "got {rendered}");
         }
+        Ok(())
     }
 
     #[test]
-    fn instantiate_value_comes_from_bound_column() {
-        let tpl = SqlTemplate::parse("select c1 from w where c2_number = val1").unwrap();
+    fn instantiate_value_comes_from_bound_column() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number = val1")?;
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..20 {
-            let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
-            let r = execute(&stmt, &table()).unwrap();
+            let stmt = tpl.instantiate(&table(), &mut rng).ok_or("instantiate returned None")?;
+            let r = execute(&stmt, &table())?;
             // Sampling from the real column means equality always matches.
             assert!(!r.is_empty(), "instantiated query found nothing: {stmt}");
         }
+        Ok(())
     }
 
     #[test]
-    fn instantiate_fails_when_types_unavailable() {
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]]).unwrap();
-        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1").unwrap();
+    fn instantiate_fails_when_types_unavailable() -> Result<(), Box<dyn std::error::Error>> {
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]])?;
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1")?;
         let mut rng = StdRng::seed_from_u64(1);
         assert!(tpl.instantiate(&t, &mut rng).is_none());
         assert_eq!(tpl.try_instantiate(&t, &mut rng), Err(SqlInstantiateError::NoCompatibleColumn));
+        Ok(())
     }
 
     #[test]
-    fn try_instantiate_reports_missing_values() {
+    fn try_instantiate_reports_missing_values() -> Result<(), Box<dyn std::error::Error>> {
         // A text column whose cells are all null: binding succeeds, value
         // sampling cannot.
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", ""], vec!["y", ""]]).unwrap();
-        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1").unwrap();
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", ""], vec!["y", ""]])?;
+        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1")?;
         let mut rng = StdRng::seed_from_u64(2);
         let mut saw_no_values = false;
         for _ in 0..20 {
@@ -482,60 +486,65 @@ mod tests {
             }
         }
         assert!(saw_no_values);
+        Ok(())
     }
 
     #[test]
-    fn instantiate_distinct_columns_for_distinct_holes() {
-        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1").unwrap();
+    fn instantiate_distinct_columns_for_distinct_holes() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1")?;
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..30 {
-            let stmt = tpl.instantiate(&table(), &mut rng).unwrap();
+            let stmt = tpl.instantiate(&table(), &mut rng).ok_or("instantiate returned None")?;
             // c1 and c2 must not both map to the same column.
             let rendered = stmt.to_string();
-            let sel_col = rendered.split_whitespace().nth(1).unwrap().to_string();
-            assert!(!rendered[rendered.find("where").unwrap()..]
+            let sel_col = rendered.split_whitespace().nth(1).ok_or("unexpected None")?.to_string();
+            assert!(!rendered[rendered.find("where").ok_or("unexpected None")?..]
                 .starts_with(&format!("where {sel_col} =")));
         }
+        Ok(())
     }
 
     #[test]
-    fn abstraction_dedups_same_structure() {
+    fn abstraction_dedups_same_structure() -> Result<(), Box<dyn std::error::Error>> {
         let t = table();
-        let a = parse("select [name] from w order by [score] desc limit 1").unwrap();
-        let b = parse("select [city] from w order by [score] desc limit 1").unwrap();
+        let a = parse("select [name] from w order by [score] desc limit 1")?;
+        let b = parse("select [city] from w order by [score] desc limit 1")?;
         let sig_a = abstract_query(&a, &t).signature();
         let sig_b = abstract_query(&b, &t).signature();
         assert_eq!(sig_a, sig_b);
         assert_eq!(sig_a, "select c1 from w order by c2_number desc limit 1");
+        Ok(())
     }
 
     #[test]
-    fn abstraction_introduces_value_holes() {
+    fn abstraction_introduces_value_holes() -> Result<(), Box<dyn std::error::Error>> {
         let t = table();
-        let q = parse("select [score] from w where [name] = 'alpha'").unwrap();
+        let q = parse("select [score] from w where [name] = 'alpha'")?;
         let sig = abstract_query(&q, &t).signature();
         assert_eq!(sig, "select c1_number from w where c2 = val1");
+        Ok(())
     }
 
     #[test]
-    fn abstract_then_instantiate_roundtrip_executes() {
+    fn abstract_then_instantiate_roundtrip_executes() -> Result<(), Box<dyn std::error::Error>> {
         let t = table();
-        let q = parse("select count(*) from w where [score] > 12").unwrap();
+        let q = parse("select count(*) from w where [score] > 12")?;
         let tpl = abstract_query(&q, &t);
         let mut rng = StdRng::seed_from_u64(21);
-        let stmt = tpl.instantiate(&t, &mut rng).unwrap();
-        let r = execute(&stmt, &t).unwrap();
+        let stmt = tpl.instantiate(&t, &mut rng).ok_or("instantiate returned None")?;
+        let r = execute(&stmt, &t)?;
         assert_eq!(r.rows.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn column_holes_reports_types() {
-        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1 and c3_date = val2")
-            .unwrap();
+    fn column_holes_reports_types() -> Result<(), Box<dyn std::error::Error>> {
+        let tpl = SqlTemplate::parse("select c1 from w where c2_number > val1 and c3_date = val2")?;
         let holes = tpl.column_holes();
         assert_eq!(
             holes,
             vec![(1, None), (2, Some(PlaceholderType::Number)), (3, Some(PlaceholderType::Date)),]
         );
+        Ok(())
     }
 }

@@ -236,16 +236,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lex_basic_query() {
-        let toks = lex("select c1 from w where c2 = 'x'").unwrap();
+    fn lex_basic_query() -> Result<(), Box<dyn std::error::Error>> {
+        let toks = lex("select c1 from w where c2 = 'x'")?;
         assert_eq!(toks[0], Token::Ident("select".into()));
         assert_eq!(toks[6], Token::Eq);
         assert_eq!(toks[7], Token::StringLit("x".into()));
+        Ok(())
     }
 
     #[test]
-    fn lex_operators() {
-        let toks = lex("<= >= != <> < > = + - * /").unwrap();
+    fn lex_operators() -> Result<(), Box<dyn std::error::Error>> {
+        let toks = lex("<= >= != <> < > = + - * /")?;
         assert_eq!(
             toks,
             vec![
@@ -262,32 +263,37 @@ mod tests {
                 Token::Slash
             ]
         );
+        Ok(())
     }
 
     #[test]
-    fn lex_bracketed_identifier() {
-        let toks = lex("select [total deputies] from w").unwrap();
+    fn lex_bracketed_identifier() -> Result<(), Box<dyn std::error::Error>> {
+        let toks = lex("select [total deputies] from w")?;
         assert_eq!(toks[1], Token::QuotedIdent("total deputies".into()));
+        Ok(())
     }
 
     #[test]
-    fn lex_quoted_identifier() {
-        let toks = lex("select \"total deputies\" from w").unwrap();
+    fn lex_quoted_identifier() -> Result<(), Box<dyn std::error::Error>> {
+        let toks = lex("select \"total deputies\" from w")?;
         assert_eq!(toks[1], Token::QuotedIdent("total deputies".into()));
+        Ok(())
     }
 
     #[test]
-    fn lex_escaped_quote_in_string() {
-        let toks = lex("select c1 from w where c2 = 'it''s'").unwrap();
+    fn lex_escaped_quote_in_string() -> Result<(), Box<dyn std::error::Error>> {
+        let toks = lex("select c1 from w where c2 = 'it''s'")?;
         assert!(matches!(&toks[7], Token::StringLit(s) if s == "it's"));
+        Ok(())
     }
 
     #[test]
-    fn lex_numbers() {
-        let toks = lex("limit 10").unwrap();
+    fn lex_numbers() -> Result<(), Box<dyn std::error::Error>> {
+        let toks = lex("limit 10")?;
         assert_eq!(toks[1], Token::NumberLit(10.0));
-        let toks = lex("where x = 3.5").unwrap();
+        let toks = lex("where x = 3.5")?;
         assert_eq!(toks[3], Token::NumberLit(3.5));
+        Ok(())
     }
 
     #[test]

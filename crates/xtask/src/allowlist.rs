@@ -1,0 +1,202 @@
+//! Parser for `ci/lint_allowlist.toml` — the justified-suppression list.
+//!
+//! The build environment has no crates.io access, so this is a deliberate
+//! TOML *subset* parser: `#` comments, blank lines, `[[allow]]` table
+//! headers, and `key = "basic string"` pairs (with `\"`, `\\`, `\n`, `\t`
+//! escapes). Anything else is a hard error — the allowlist is a reviewed,
+//! machine-checked artifact, not a config playground.
+//!
+//! Every entry must carry `rule`, `path`, and a non-trivial
+//! `justification`; `pattern` optionally narrows the suppression to lines
+//! containing a substring.
+
+use crate::rules::Violation;
+
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule id the suppression applies to (e.g. `"D002"`).
+    pub rule: String,
+    /// Workspace-relative file path the suppression applies to.
+    pub path: String,
+    /// Optional substring the offending source line must contain.
+    pub pattern: Option<String>,
+    /// Human rationale; required, at least 10 characters.
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header (for diagnostics).
+    pub decl_line: usize,
+}
+
+impl AllowEntry {
+    pub fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule.name()
+            && self.path == v.path
+            && self.pattern.as_ref().is_none_or(|p| v.excerpt.contains(p.as_str()))
+    }
+}
+
+/// Parses the allowlist file contents. Returns entries in file order.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(AllowEntry { decl_line: lineno, ..AllowEntry::default() });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("allowlist line {lineno}: only [[allow]] tables are supported"));
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("allowlist line {lineno}: expected `key = \"value\"`"));
+        };
+        let key = line[..eq].trim();
+        let value = parse_basic_string(line[eq + 1..].trim())
+            .map_err(|e| format!("allowlist line {lineno}: {e}"))?;
+        let Some(entry) = entries.last_mut() else {
+            return Err(format!("allowlist line {lineno}: key `{key}` before any [[allow]] table"));
+        };
+        match key {
+            "rule" => entry.rule = value,
+            "path" => entry.path = value,
+            "pattern" => entry.pattern = Some(value),
+            "justification" => entry.justification = value,
+            other => {
+                return Err(format!(
+                    "allowlist line {lineno}: unknown key `{other}` \
+                     (expected rule/path/pattern/justification)"
+                ))
+            }
+        }
+    }
+    for e in &entries {
+        if e.rule.is_empty() || e.path.is_empty() {
+            return Err(format!(
+                "allowlist entry at line {}: `rule` and `path` are required",
+                e.decl_line
+            ));
+        }
+        if e.justification.trim().len() < 10 {
+            return Err(format!(
+                "allowlist entry at line {}: a real `justification` (>= 10 chars) is required",
+                e.decl_line
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+pub(crate) fn parse_basic_string(s: &str) -> Result<String, String> {
+    let b = s.as_bytes();
+    if b.first() != Some(&b'"') {
+        return Err("value must be a double-quoted string".to_string());
+    }
+    let mut out = String::new();
+    let mut chars = s[1..].chars();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => return Err(format!("unsupported escape `\\{other:?}`")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+    let rest: &str = chars.as_str().trim();
+    if !rest.is_empty() && !rest.starts_with('#') {
+        return Err(format!("trailing content after string: `{rest}`"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{rule_info, RuleId, Violation};
+
+    fn violation(rule: RuleId, path: &str, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            severity: rule_info(rule).severity,
+            krate: "demo".to_string(),
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            matched: String::new(),
+            excerpt: excerpt.to_string(),
+            in_test: false,
+            allowlisted: None,
+        }
+    }
+
+    #[test]
+    fn parses_entries_in_order() -> Result<(), String> {
+        let entries = parse(
+            "# header comment\n\
+             [[allow]]\n\
+             rule = \"D002\"\n\
+             path = \"crates/a/src/lib.rs\"\n\
+             pattern = \"Instant::now\"\n\
+             justification = \"timing is observability-only\"\n\
+             \n\
+             [[allow]]\n\
+             rule = \"P001\"\n\
+             path = \"crates/b/src/lib.rs\"\n\
+             justification = \"documented startup invariant\"\n",
+        )?;
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "D002");
+        assert_eq!(entries[0].pattern.as_deref(), Some("Instant::now"));
+        assert_eq!(entries[1].decl_line, 8);
+        assert_eq!(entries[1].pattern, None);
+        Ok(())
+    }
+
+    #[test]
+    fn rejects_trivial_justification() {
+        let err = parse("[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\njustification = \"ok\"\n")
+            .unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_tables() {
+        assert!(parse("[[allow]]\nrule = \"D001\"\nseverity = \"deny\"\n").is_err());
+        assert!(parse("[other]\n").is_err());
+        assert!(parse("rule = \"D001\"\n").is_err(), "key before any [[allow]] table");
+    }
+
+    #[test]
+    fn basic_string_escapes() -> Result<(), String> {
+        assert_eq!(parse_basic_string("\"a\\\"b\\\\c\\n\"")?, "a\"b\\c\n");
+        assert!(parse_basic_string("\"unterminated").is_err());
+        assert!(parse_basic_string("bare").is_err());
+        assert!(parse_basic_string("\"x\" trailing").is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn matching_is_rule_path_and_pattern() {
+        let entry = AllowEntry {
+            rule: "D002".to_string(),
+            path: "crates/a/src/lib.rs".to_string(),
+            pattern: Some("Instant::now".to_string()),
+            justification: "timing is observability-only".to_string(),
+            decl_line: 1,
+        };
+        let hit = violation(RuleId::D002, "crates/a/src/lib.rs", "let t = Instant::now();");
+        assert!(entry.matches(&hit));
+        // Wrong rule, wrong path, or missing pattern substring -> no match.
+        assert!(!entry.matches(&violation(RuleId::D003, "crates/a/src/lib.rs", "Instant::now")));
+        assert!(!entry.matches(&violation(RuleId::D002, "crates/b/src/lib.rs", "Instant::now")));
+        assert!(!entry.matches(&violation(RuleId::D002, "crates/a/src/lib.rs", "thread_rng()")));
+    }
+}

@@ -1,0 +1,90 @@
+//! Orchestration: walk the scoped crates, scan, apply the allowlist, count.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::allowlist::AllowEntry;
+use crate::ratchet::Counts;
+use crate::rules::{scan_masked, Violation};
+use crate::scanner::mask;
+use crate::workspace::{rel_display, rs_files, SCOPES};
+
+pub struct LintOutcome {
+    /// Every hit, allowlisted ones flagged, ordered by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Active (non-allowlisted) counts per crate per rule.
+    pub counts: Counts,
+    /// Allowlist entries that suppressed nothing (likely stale).
+    pub unused_allow: Vec<AllowEntry>,
+}
+
+impl LintOutcome {
+    pub fn active_total(&self) -> i64 {
+        self.counts.values().flat_map(|r| r.values()).sum()
+    }
+
+    pub fn allowlisted_total(&self) -> i64 {
+        self.violations.iter().filter(|v| v.allowlisted.is_some()).count() as i64
+    }
+}
+
+/// Runs the full audit over the workspace rooted at `root`.
+pub fn run(root: &Path, allowlist: &[AllowEntry]) -> Result<LintOutcome, String> {
+    let mut violations: Vec<Violation> = Vec::new();
+    for scope in SCOPES {
+        let dir = root.join(scope.src_rel);
+        if !dir.is_dir() {
+            return Err(format!(
+                "scoped crate `{}` has no source dir at {}",
+                scope.name,
+                dir.display()
+            ));
+        }
+        for file in rs_files(&dir)? {
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let masked = mask(&src);
+            let rel = rel_display(root, &file);
+            violations.extend(scan_masked(
+                &masked,
+                &src,
+                scope.name,
+                &rel,
+                scope.generation_path,
+                scope.panic_scope,
+            ));
+        }
+    }
+    violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    let mut used = vec![false; allowlist.len()];
+    for v in &mut violations {
+        for (i, entry) in allowlist.iter().enumerate() {
+            if entry.matches(v) {
+                v.allowlisted = Some(entry.justification.clone());
+                used[i] = true;
+                break;
+            }
+        }
+    }
+
+    let mut counts: Counts = BTreeMap::new();
+    for scope in SCOPES {
+        // Seed every scoped crate so the report shows explicit zeros.
+        counts.entry(scope.name.to_string()).or_default();
+    }
+    for v in violations.iter().filter(|v| v.allowlisted.is_none()) {
+        *counts
+            .entry(v.krate.clone())
+            .or_default()
+            .entry(v.rule.name().to_string())
+            .or_insert(0) += 1;
+    }
+
+    let unused_allow =
+        allowlist.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
+
+    Ok(LintOutcome { violations, counts, unused_allow })
+}

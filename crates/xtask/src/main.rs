@@ -1,0 +1,229 @@
+//! CLI for the workspace auditor. See `xtask lint --help`.
+
+// This is the workspace's CLI tool: printing reports is its interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::ratchet;
+use xtask::report::{json_report, markdown_summary, RatchetStatus};
+
+const USAGE: &str = "\
+xtask — workspace-native static analysis for UCTR
+
+USAGE:
+    cargo run -p xtask -- lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>            workspace root (default: auto-detected)
+    --allowlist <FILE>      suppression list (default: ci/lint_allowlist.toml)
+    --check-ratchet <FILE>  fail unless counts match the recorded ratchet
+    --write-ratchet <FILE>  rewrite the ratchet file from current counts
+    --json <FILE>           write the machine-readable report
+    --md <FILE>             write a markdown summary table (for CI job summaries)
+    --quiet                 suppress per-violation lines
+    -h, --help              show this help
+
+EXIT CODES:
+    0  clean (or counts match the ratchet exactly)
+    1  ratchet regression/staleness, or an invalid allowlist
+    2  usage or I/O error
+";
+
+struct Opts {
+    root: PathBuf,
+    allowlist: PathBuf,
+    check_ratchet: Option<PathBuf>,
+    write_ratchet: Option<PathBuf>,
+    json: Option<PathBuf>,
+    md: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {}
+        Some("-h" | "--help") | None => {
+            print!("{USAGE}");
+            return ExitCode::from(u8::from(args.is_empty()) * 2);
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: default_root(),
+        allowlist: PathBuf::new(),
+        check_ratchet: None,
+        write_ratchet: None,
+        json: None,
+        md: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_arg = |name: &str| {
+            it.next().map(PathBuf::from).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = path_arg("--root")?,
+            "--allowlist" => opts.allowlist = path_arg("--allowlist")?,
+            "--check-ratchet" => opts.check_ratchet = Some(path_arg("--check-ratchet")?),
+            "--write-ratchet" => opts.write_ratchet = Some(path_arg("--write-ratchet")?),
+            "--json" => opts.json = Some(path_arg("--json")?),
+            "--md" => opts.md = Some(path_arg("--md")?),
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.allowlist.as_os_str().is_empty() {
+        opts.allowlist = opts.root.join("ci/lint_allowlist.toml");
+    }
+    Ok(opts)
+}
+
+/// Workspace root: two levels up from this crate's manifest.
+fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap_or_else(|_| {
+        // Fall back to the cwd `cargo run` was invoked from.
+        PathBuf::from(".")
+    })
+}
+
+fn run(opts: &Opts) -> Result<bool, String> {
+    let outcome = xtask::run_with_allowlist(&opts.root, &opts.allowlist)?;
+
+    if !opts.quiet {
+        for v in &outcome.violations {
+            match &v.allowlisted {
+                None => println!(
+                    "{}:{}:{}: {} [{}] {}{}",
+                    v.path,
+                    v.line,
+                    v.col,
+                    v.rule.name(),
+                    v.severity.name(),
+                    v.matched,
+                    if v.in_test { " (in test code)" } else { "" },
+                ),
+                Some(just) => println!(
+                    "{}:{}:{}: {} allowlisted: {}",
+                    v.path,
+                    v.line,
+                    v.col,
+                    v.rule.name(),
+                    just
+                ),
+            }
+        }
+    }
+    for entry in &outcome.unused_allow {
+        eprintln!(
+            "warning: allowlist entry at line {} ({} {}) suppressed nothing — remove it?",
+            entry.decl_line, entry.rule, entry.path
+        );
+    }
+
+    let mut status: Option<RatchetStatus> = None;
+    let mut clean = true;
+    if let Some(path) = &opts.check_ratchet {
+        let path = resolve(&opts.root, path);
+        let recorded = ratchet::load(&path)?;
+        let (regressions, stale) = ratchet::compare(&outcome.counts, &recorded);
+        for d in &regressions {
+            eprintln!(
+                "ratchet REGRESSION: {}/{} rose {} -> {} — fix the new site(s) or add a \
+                 justified entry to ci/lint_allowlist.toml",
+                d.krate, d.rule, d.recorded, d.current
+            );
+        }
+        for d in &stale {
+            eprintln!(
+                "ratchet stale: {}/{} fell {} -> {} — lock in the improvement with \
+                 `cargo run -p xtask -- lint --write-ratchet ci/lint_ratchet.json`",
+                d.krate, d.rule, d.recorded, d.current
+            );
+        }
+        clean = regressions.is_empty() && stale.is_empty();
+        status = Some(RatchetStatus {
+            path: xtask::workspace::rel_display(&opts.root, &path),
+            regressions,
+            stale,
+        });
+    }
+
+    if let Some(path) = &opts.write_ratchet {
+        let path = resolve(&opts.root, path);
+        let comment = match ratchet::load(&path) {
+            Ok(existing) => existing.comment,
+            Err(_) => default_ratchet_comment(),
+        };
+        let new = ratchet::Ratchet { comment, counts: outcome.counts.clone() };
+        std::fs::write(&path, ratchet::render(&new))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote ratchet {}", path.display());
+    }
+
+    if let Some(path) = &opts.json {
+        std::fs::write(path, json_report(&outcome, status.as_ref()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.md {
+        std::fs::write(path, markdown_summary(&outcome, status.as_ref()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    println!(
+        "xtask lint: {} active violation(s), {} allowlisted{}",
+        outcome.active_total(),
+        outcome.allowlisted_total(),
+        match (&opts.check_ratchet, clean) {
+            (Some(_), true) => " — ratchet ok",
+            (Some(_), false) => " — RATCHET FAILED",
+            (None, _) => "",
+        }
+    );
+    Ok(clean)
+}
+
+fn resolve(root: &Path, path: &Path) -> PathBuf {
+    if path.is_absolute() || path.exists() {
+        path.to_path_buf()
+    } else {
+        root.join(path)
+    }
+}
+
+fn default_ratchet_comment() -> String {
+    "Per-crate per-rule violation counts measured by `cargo run -p xtask -- lint`. \
+     CI compares two-sided: counts above these values are regressions; counts below \
+     mean sites were fixed and this file must be regenerated with --write-ratchet so \
+     the improvement sticks. Missing entries are zero."
+        .to_string()
+}

@@ -1,0 +1,194 @@
+//! The per-rule per-crate violation ratchet (`ci/lint_ratchet.json`).
+//!
+//! Same gate pattern as `ci/acceptance_floor.json` (PR 1): CI compares the
+//! live measurement against a committed bound and fails on regression. Here
+//! the bound is a count per `(crate, rule)` and the check is two-sided:
+//!
+//! * count **above** the recorded value → a new violation slipped in; fix
+//!   it or add a justified allowlist entry.
+//! * count **below** the recorded value → sites were fixed; re-ratchet with
+//!   `cargo run -p xtask -- lint --write-ratchet ci/lint_ratchet.json` so
+//!   the improvement can never regress silently.
+//!
+//! Missing `(crate, rule)` pairs are implicitly zero in both directions, so
+//! D-rule entries never need seeding: the first hit in a clean crate is a
+//! regression from 0.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::Value;
+
+pub type Counts = BTreeMap<String, BTreeMap<String, i64>>;
+
+#[derive(Debug, Clone)]
+pub struct Ratchet {
+    pub comment: String,
+    pub counts: Counts,
+}
+
+/// One `(crate, rule)` mismatch between the measurement and the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff {
+    pub krate: String,
+    pub rule: String,
+    pub recorded: i64,
+    pub current: i64,
+}
+
+pub fn load(path: &Path) -> Result<Ratchet, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read ratchet {}: {e}", path.display()))?;
+    let value: Value = serde_json::parse_value(&text)
+        .map_err(|e| format!("ratchet {} is not valid JSON: {e}", path.display()))?;
+    let obj = value.as_obj().ok_or("ratchet root must be a JSON object")?;
+    let mut ratchet = Ratchet { comment: String::new(), counts: BTreeMap::new() };
+    for (key, val) in obj {
+        match key.as_str() {
+            "comment" => {
+                ratchet.comment = val.as_str().unwrap_or_default().to_string();
+            }
+            "counts" => {
+                let crates = val.as_obj().ok_or("ratchet `counts` must be an object")?;
+                for (krate, rules) in crates {
+                    let rules = rules
+                        .as_obj()
+                        .ok_or_else(|| format!("ratchet counts for `{krate}` must be an object"))?;
+                    let mut per_rule = BTreeMap::new();
+                    for (rule, n) in rules {
+                        let n = n.as_f64().ok_or_else(|| {
+                            format!("ratchet count {krate}/{rule} must be a number")
+                        })? as i64;
+                        per_rule.insert(rule.clone(), n);
+                    }
+                    ratchet.counts.insert(krate.clone(), per_rule);
+                }
+            }
+            other => return Err(format!("ratchet has unknown top-level key `{other}`")),
+        }
+    }
+    Ok(ratchet)
+}
+
+/// Renders the ratchet deterministically (sorted keys, trailing newline).
+pub fn render(ratchet: &Ratchet) -> String {
+    let counts = Value::Obj(
+        ratchet
+            .counts
+            .iter()
+            .filter(|(_, rules)| rules.values().any(|&n| n != 0))
+            .map(|(krate, rules)| {
+                let per_rule = rules
+                    .iter()
+                    .filter(|(_, &n)| n != 0)
+                    .map(|(rule, &n)| (rule.clone(), Value::Int(n)))
+                    .collect();
+                (krate.clone(), Value::Obj(per_rule))
+            })
+            .collect(),
+    );
+    let root = Value::Obj(vec![
+        ("comment".to_string(), Value::Str(ratchet.comment.clone())),
+        ("counts".to_string(), counts),
+    ]);
+    let mut text = serde_json::to_string_pretty(&root).expect("ratchet JSON always renders");
+    text.push('\n');
+    text
+}
+
+/// Compares a measurement against the recorded ratchet.
+/// Returns `(regressions, stale)`.
+pub fn compare(current: &Counts, ratchet: &Ratchet) -> (Vec<Diff>, Vec<Diff>) {
+    let mut regressions = Vec::new();
+    let mut stale = Vec::new();
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for (krate, rules) in current.iter().chain(ratchet.counts.iter()) {
+        for rule in rules.keys() {
+            let key = (krate.clone(), rule.clone());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    keys.sort();
+    for (krate, rule) in keys {
+        let cur = current.get(&krate).and_then(|r| r.get(&rule)).copied().unwrap_or(0);
+        let rec = ratchet.counts.get(&krate).and_then(|r| r.get(&rule)).copied().unwrap_or(0);
+        let diff = Diff { krate, rule, recorded: rec, current: cur };
+        if cur > rec {
+            regressions.push(diff);
+        } else if cur < rec {
+            stale.push(diff);
+        }
+    }
+    (regressions, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, i64)]) -> Counts {
+        let mut c: Counts = BTreeMap::new();
+        for &(krate, rule, n) in entries {
+            c.entry(krate.to_string()).or_default().insert(rule.to_string(), n);
+        }
+        c
+    }
+
+    #[test]
+    fn compare_is_two_sided_with_implicit_zeros() {
+        let ratchet = Ratchet {
+            comment: String::new(),
+            counts: counts(&[("a", "P002", 3), ("b", "P001", 1)]),
+        };
+        // a/P002 regressed, b/P001 improved (stale), c/D001 regressed from
+        // an implicit zero.
+        let current = counts(&[("a", "P002", 4), ("b", "P001", 0), ("c", "D001", 1)]);
+        let (regressions, stale) = compare(&current, &ratchet);
+        let reg: Vec<_> = regressions
+            .iter()
+            .map(|d| (d.krate.as_str(), d.rule.as_str(), d.recorded, d.current))
+            .collect();
+        assert_eq!(reg, vec![("a", "P002", 3, 4), ("c", "D001", 0, 1)]);
+        let st: Vec<_> = stale.iter().map(|d| (d.krate.as_str(), d.current)).collect();
+        assert_eq!(st, vec![("b", 0)]);
+    }
+
+    #[test]
+    fn compare_clean_when_counts_match() {
+        let ratchet = Ratchet { comment: String::new(), counts: counts(&[("a", "P002", 2)]) };
+        let (regressions, stale) =
+            compare(&counts(&[("a", "P002", 2), ("b", "P001", 0)]), &ratchet);
+        assert!(regressions.is_empty() && stale.is_empty());
+    }
+
+    #[test]
+    fn render_load_roundtrip_drops_zero_entries() -> Result<(), String> {
+        let ratchet = Ratchet {
+            comment: "test".to_string(),
+            counts: counts(&[("a", "P002", 2), ("a", "P001", 0), ("z", "D001", 0)]),
+        };
+        let rendered = render(&ratchet);
+        assert!(rendered.ends_with('\n'));
+        let path = std::env::temp_dir().join(format!("xtask_ratchet_{}.json", std::process::id()));
+        std::fs::write(&path, &rendered).map_err(|e| e.to_string())?;
+        let loaded = load(&path);
+        let _ = std::fs::remove_file(&path);
+        let loaded = loaded?;
+        assert_eq!(loaded.comment, "test");
+        assert_eq!(loaded.counts, counts(&[("a", "P002", 2)]), "zero entries are filtered");
+        Ok(())
+    }
+
+    #[test]
+    fn load_rejects_unknown_top_level_keys() -> Result<(), String> {
+        let path =
+            std::env::temp_dir().join(format!("xtask_ratchet_bad_{}.json", std::process::id()));
+        std::fs::write(&path, "{\"counts\": {}, \"extra\": 1}").map_err(|e| e.to_string())?;
+        let res = load(&path);
+        let _ = std::fs::remove_file(&path);
+        assert!(res.is_err());
+        Ok(())
+    }
+}

@@ -1,0 +1,291 @@
+//! The determinism / panic-discipline rule set.
+//!
+//! Every rule is a set of token-anchored patterns applied to a masked source
+//! view (see [`crate::scanner`]), so comments and string contents can never
+//! trigger a hit. Rules carry a severity and a scope:
+//!
+//! | id   | severity | scope           | what it catches                                  |
+//! |------|----------|-----------------|--------------------------------------------------|
+//! | D001 | deny     | generation-path | `HashMap`/`HashSet` (iteration order is seeded   |
+//! |      |          |                 | per-process; use `rustc_hash::Fx*`)              |
+//! | D002 | deny     | generation-path | `thread_rng`, `rand::random`, `SystemTime::now`, |
+//! |      |          |                 | `Instant::now` (OS entropy / wall clock)         |
+//! | D003 | deny     | generation-path | env/date inputs: `env::var`, `env!`,             |
+//! |      |          |                 | `option_env!`, `Utc::now`, `Local::now`, …       |
+//! | P001 | deny     | panic-scope     | `panic!`, `unreachable!`, `todo!`, `dbg!`        |
+//! |      |          |                 | outside test regions                             |
+//! | P002 | warn     | panic-scope     | `.unwrap()` and `.expect("…")` anywhere in       |
+//! |      |          |                 | `src/` (test regions flagged, still counted)     |
+//!
+//! Adding a rule: add an [`RuleId`] variant, describe it in `ALL_RULES`,
+//! emit matches for it in [`scan_masked`], cover it with a fixture in
+//! `crates/xtask/tests/`, and re-ratchet `ci/lint_ratchet.json` via
+//! `cargo run -p xtask -- lint --write-ratchet ci/lint_ratchet.json`.
+
+use crate::scanner::Masked;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    D001,
+    D002,
+    D003,
+    P001,
+    P002,
+}
+
+impl RuleId {
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::P001 => "P001",
+            RuleId::P002 => "P002",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Never acceptable in scope without an allowlist entry.
+    Deny,
+    /// Discouraged; held down by the ratchet rather than forbidden.
+    Warn,
+}
+
+impl Severity {
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+pub struct RuleInfo {
+    pub id: RuleId,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+pub const ALL_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: RuleId::D001,
+        severity: Severity::Deny,
+        summary: "std HashMap/HashSet in a generation-path crate: iteration order is \
+                  per-process-seeded; use rustc_hash::FxHashMap/FxHashSet",
+    },
+    RuleInfo {
+        id: RuleId::D002,
+        severity: Severity::Deny,
+        summary: "entropy or wall-clock source (thread_rng, rand::random, SystemTime::now, \
+                  Instant::now) in a generation-path crate",
+    },
+    RuleInfo {
+        id: RuleId::D003,
+        severity: Severity::Deny,
+        summary: "environment- or date-dependent input (env::var, env!, option_env!, \
+                  Utc::now, Local::now, OffsetDateTime::now_utc) in a generation-path crate",
+    },
+    RuleInfo {
+        id: RuleId::P001,
+        severity: Severity::Deny,
+        summary: "panic!/unreachable!/todo!/dbg! in non-test executor/pipeline code: invalid \
+                  programs must map to a Discard reason, not a process abort",
+    },
+    RuleInfo {
+        id: RuleId::P002,
+        severity: Severity::Warn,
+        summary: ".unwrap()/.expect(\"…\") in library code: prefer `?` into the structured \
+                  instantiate/exec error types",
+    },
+];
+
+pub fn rule_info(id: RuleId) -> &'static RuleInfo {
+    ALL_RULES.iter().find(|r| r.id == id).expect("every RuleId is described in ALL_RULES")
+}
+
+/// One pattern hit.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: RuleId,
+    pub severity: Severity,
+    pub krate: String,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// The offending token/pattern.
+    pub matched: String,
+    /// Trimmed original source line.
+    pub excerpt: String,
+    /// Hit inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+    /// Suppressed by `ci/lint_allowlist.toml`; justification attached.
+    pub allowlisted: Option<String>,
+}
+
+/// Scans one masked file. `generation_path` enables D-rules, `panic_scope`
+/// enables P-rules.
+pub fn scan_masked(
+    masked: &Masked,
+    src: &str,
+    krate: &str,
+    path: &str,
+    generation_path: bool,
+    panic_scope: bool,
+) -> Vec<Violation> {
+    let mut out: Vec<(usize, RuleId, String)> = Vec::new();
+    let text = masked.text.as_str();
+
+    if generation_path {
+        for ident in ["HashMap", "HashSet"] {
+            for pos in find_path_token(text, ident) {
+                out.push((pos, RuleId::D001, ident.to_string()));
+            }
+        }
+        for pat in ["thread_rng", "rand::random", "SystemTime::now", "Instant::now"] {
+            for pos in find_path_token(text, pat) {
+                out.push((pos, RuleId::D002, pat.to_string()));
+            }
+        }
+        for pat in ["env::var", "env::vars", "Utc::now", "Local::now", "OffsetDateTime::now_utc"] {
+            for pos in find_path_token(text, pat) {
+                out.push((pos, RuleId::D003, pat.to_string()));
+            }
+        }
+        for mac in ["env", "option_env"] {
+            for pos in find_macro(text, mac) {
+                out.push((pos, RuleId::D003, format!("{mac}!")));
+            }
+        }
+    }
+
+    if panic_scope {
+        for mac in ["panic", "unreachable", "todo", "dbg"] {
+            for pos in find_macro(text, mac) {
+                if !masked.in_test_region(pos) {
+                    out.push((pos, RuleId::P001, format!("{mac}!")));
+                }
+            }
+        }
+        for pos in find_unwrap(text) {
+            out.push((pos, RuleId::P002, ".unwrap()".to_string()));
+        }
+        for pos in find_expect_literal(text) {
+            out.push((pos, RuleId::P002, ".expect(\"…\")".to_string()));
+        }
+    }
+
+    out.sort_by_key(|v| (v.0, v.1));
+    let lines: Vec<&str> = src.lines().collect();
+    out.into_iter()
+        .map(|(pos, rule, matched)| {
+            let (line, col) = masked.position(pos);
+            Violation {
+                rule,
+                severity: rule_info(rule).severity,
+                krate: krate.to_string(),
+                path: path.to_string(),
+                line,
+                col,
+                matched,
+                excerpt: lines.get(line - 1).map_or(String::new(), |l| l.trim().to_string()),
+                in_test: masked.in_test_region(pos),
+                allowlisted: None,
+            }
+        })
+        .collect()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds `pat` (an identifier or a contiguous `A::b` path) at identifier
+/// boundaries: the byte before must not be an identifier byte (a preceding
+/// `::` is fine, so `std::time::Instant::now` matches `Instant::now`), and
+/// the byte after the final segment must not extend the identifier.
+fn find_path_token(text: &str, pat: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let b = text.as_bytes();
+    let pb = pat.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find(pat) {
+        let i = from + rel;
+        from = i + 1;
+        if i > 0 && is_ident_byte(b[i - 1]) {
+            continue;
+        }
+        let end = i + pb.len();
+        if b.get(end).is_some_and(|&c| is_ident_byte(c)) {
+            continue;
+        }
+        hits.push(i);
+    }
+    hits
+}
+
+/// Finds macro invocations `name!` at identifier boundaries.
+fn find_macro(text: &str, name: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    find_path_token(text, name)
+        .into_iter()
+        .filter(|&i| b.get(i + name.len()) == Some(&b'!'))
+        .collect()
+}
+
+/// Finds `.unwrap()` (whitespace tolerated inside the call parens).
+fn find_unwrap(text: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    find_path_token(text, "unwrap")
+        .into_iter()
+        .filter(|&i| {
+            if i == 0 || b[i - 1] != b'.' {
+                return false;
+            }
+            let j = skip_ws(b, i + "unwrap".len());
+            if b.get(j) != Some(&b'(') {
+                return false;
+            }
+            b.get(skip_ws(b, j + 1)) == Some(&b')')
+        })
+        .collect()
+}
+
+/// Finds `.expect(` whose first argument is a (possibly raw) string literal.
+/// `.expect(&Token::RParen)`-style calls to same-named inherent methods are
+/// deliberately not matched.
+fn find_expect_literal(text: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    find_path_token(text, "expect")
+        .into_iter()
+        .filter(|&i| {
+            if i == 0 || b[i - 1] != b'.' {
+                return false;
+            }
+            let j = skip_ws(b, i + "expect".len());
+            if b.get(j) != Some(&b'(') {
+                return false;
+            }
+            let mut k = skip_ws(b, j + 1);
+            // Accept `"`, `r"`, `r#"` — masking keeps these delimiters.
+            if b.get(k) == Some(&b'r') {
+                k += 1;
+                while b.get(k) == Some(&b'#') {
+                    k += 1;
+                }
+            }
+            b.get(k) == Some(&b'"')
+        })
+        .collect()
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}

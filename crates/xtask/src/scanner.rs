@@ -1,0 +1,345 @@
+//! Comment-, string-, and raw-string-aware masking for Rust source files.
+//!
+//! The lint rules in [`crate::rules`] are plain token/substring patterns; to
+//! keep them honest without a full parser (the build environment has no
+//! crates.io access, so `syn` is not an option) every scanned file is first
+//! *masked*: bytes inside comments, string literals, raw strings, and char
+//! literals are replaced with spaces while newlines and all code bytes keep
+//! their exact byte positions. Pattern hits on the masked text therefore
+//! carry exact line/column information and can never come from a comment or
+//! the inside of a literal. String *delimiters* (quotes and raw-string
+//! hashes) are kept so rules can anchor on them (e.g. `.expect("`).
+
+/// A masked view of one source file.
+pub struct Masked {
+    /// Same byte length as the input; see module docs for what survives.
+    pub text: String,
+    /// Byte ranges covered by `#[cfg(test)]` items and `#[test]` functions.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    line_starts: Vec<usize>,
+}
+
+impl Masked {
+    /// Converts a byte offset into 1-based `(line, column)`.
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// True if the byte offset falls inside a detected test region.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+}
+
+/// Masks one source file and locates its test regions.
+pub fn mask(src: &str) -> Masked {
+    let text = mask_text(src);
+    let test_regions = find_test_regions(text.as_bytes());
+    let mut line_starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    Masked { text, test_regions, line_starts }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn blank(out: &mut [u8], start: usize, end: usize) {
+    let end = end.min(out.len());
+    for slot in &mut out[start..end] {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+fn mask_text(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => i = mask_cooked_string(b, &mut out, i),
+            b'r' | b'b' if i == 0 || !is_ident_byte(b[i - 1]) => {
+                if let Some((quote, hashes, raw)) = string_prefix(b, i) {
+                    if raw {
+                        i = mask_raw_string(b, &mut out, quote, hashes);
+                    } else {
+                        i = mask_cooked_string(b, &mut out, quote);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => i = mask_char_or_lifetime(b, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    // Whole literals and comments are always blanked as units, so no UTF-8
+    // sequence is ever split.
+    String::from_utf8(out).expect("masking preserves UTF-8 validity")
+}
+
+/// At `b[i]` ∈ {`r`, `b`}: does a raw/byte string literal start here?
+/// Returns `(index_of_opening_quote, n_hashes, is_raw)`.
+fn string_prefix(b: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let mut raw = false;
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j < b.len() && b[j] == b'"' && (raw || b[i] == b'b') {
+        Some((j, hashes, raw))
+    } else {
+        None
+    }
+}
+
+/// Masks a `"..."` (or `b"..."`) body; `open` is the opening quote. Returns
+/// the index just past the closing quote. Quote delimiters are kept.
+fn mask_cooked_string(b: &[u8], out: &mut [u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                blank(out, open + 1, i);
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    blank(out, open + 1, b.len());
+    b.len()
+}
+
+/// Masks a raw string body; `open` is the opening quote after `r#...`.
+fn mask_raw_string(b: &[u8], out: &mut [u8], open: usize, hashes: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+        {
+            blank(out, open + 1, i);
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    blank(out, open + 1, b.len());
+    b.len()
+}
+
+/// At a `'`: masks a char literal, or steps over a lifetime tick.
+fn mask_char_or_lifetime(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let Some(&next) = b.get(i + 1) else { return i + 1 };
+    if next == b'\\' {
+        // Escaped char literal: skip the escaped byte, then scan for the
+        // closing quote (covers `'\''` and `'\u{...}'`).
+        let mut j = i + 3;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        blank(out, i, (j + 1).min(b.len()));
+        return j + 1;
+    }
+    if next == b'\'' {
+        return i + 2; // `''` — not valid Rust, step over defensively
+    }
+    // One char (1–4 UTF-8 bytes) followed by a quote → char literal;
+    // anything else (`'a>`, `'static`, `'_,`) is a lifetime.
+    let ch_len = match next {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    };
+    if b.get(i + 1 + ch_len) == Some(&b'\'') {
+        blank(out, i, i + 2 + ch_len);
+        i + 2 + ch_len
+    } else {
+        i + 1
+    }
+}
+
+// --- test-region detection -------------------------------------------------
+
+enum TestAttr {
+    CfgTest,
+    Test,
+}
+
+/// Finds byte ranges introduced by `#[cfg(test)]` or `#[test]`: the range
+/// spans from the attribute to the closing brace of the annotated item.
+fn find_test_regions(b: &[u8]) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, _kind)) = parse_test_attr(b, i) else {
+            i += 1;
+            continue;
+        };
+        // Skip whitespace and any further attributes down to the item.
+        let mut j = attr_end;
+        loop {
+            j = skip_ws(b, j);
+            if j < b.len() && b[j] == b'#' {
+                j = skip_attr(b, j);
+            } else {
+                break;
+            }
+        }
+        // The item body is the next `{ ... }`; a `;` first means a bodyless
+        // item (e.g. `mod tests;`) and the region ends there.
+        let mut k = j;
+        while k < b.len() && b[k] != b'{' && b[k] != b';' {
+            k += 1;
+        }
+        let end = if k < b.len() && b[k] == b'{' { match_brace(b, k) } else { k.min(b.len()) };
+        regions.push((i, end));
+        i = end.max(i + 1);
+    }
+    regions
+}
+
+/// Parses `#[cfg(test)]` or `#[test]` starting at `i` (whitespace allowed
+/// between tokens). Returns the index just past `]` and the attribute kind.
+fn parse_test_attr(b: &[u8], i: usize) -> Option<(usize, TestAttr)> {
+    let mut j = skip_ws(b, i + 1);
+    if b.get(j) != Some(&b'[') {
+        return None;
+    }
+    j = skip_ws(b, j + 1);
+    if let Some(after) = eat_word(b, j, b"cfg") {
+        j = skip_ws(b, after);
+        if b.get(j) != Some(&b'(') {
+            return None;
+        }
+        j = skip_ws(b, j + 1);
+        let after_test = eat_word(b, j, b"test")?;
+        j = skip_ws(b, after_test);
+        if b.get(j) != Some(&b')') {
+            return None;
+        }
+        j = skip_ws(b, j + 1);
+        if b.get(j) != Some(&b']') {
+            return None;
+        }
+        Some((j + 1, TestAttr::CfgTest))
+    } else if let Some(after) = eat_word(b, j, b"test") {
+        j = skip_ws(b, after);
+        if b.get(j) != Some(&b']') {
+            return None;
+        }
+        Some((j + 1, TestAttr::Test))
+    } else {
+        None
+    }
+}
+
+fn eat_word(b: &[u8], i: usize, word: &[u8]) -> Option<usize> {
+    if b.len() >= i + word.len() && &b[i..i + word.len()] == word {
+        let end = i + word.len();
+        if b.get(end).is_none_or(|&c| !is_ident_byte(c)) {
+            return Some(end);
+        }
+    }
+    None
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Skips a balanced `#[...]` attribute starting at `#`.
+fn skip_attr(b: &[u8], i: usize) -> usize {
+    let mut j = skip_ws(b, i + 1);
+    if b.get(j) != Some(&b'[') {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < b.len() {
+        match b[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+/// Given `b[open] == b'{'` in masked text, returns the index just past the
+/// matching close brace (or `b.len()` if unbalanced).
+fn match_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}

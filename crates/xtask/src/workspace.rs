@@ -1,0 +1,120 @@
+//! Which crates the auditor scans, and with which rule families.
+//!
+//! Scope is part of the tool (reviewed like code), not runtime config:
+//!
+//! * **generation-path** (D-rules): every crate whose code can run while a
+//!   sample is being synthesized — nondeterminism anywhere in this set can
+//!   leak into dataset bytes or telemetry counters. `bench` is included
+//!   because its binaries re-synthesize the datasets (its throughput timer
+//!   is allowlisted, not exempted).
+//! * **panic-scope** (P-rules): executor and pipeline library crates, where
+//!   an invalid sampled program must become a `Discard` reason (paper
+//!   §III-B), never a process abort. `bench` binaries are CLI tools and may
+//!   panic on misuse, so they are outside P-scope.
+//!
+//! `vendor/*` (third-party shims) and `xtask` itself are never scanned.
+//! Only `src/` trees are scanned: integration tests, benches, and examples
+//! are not shipped in the generation path.
+
+use std::path::{Path, PathBuf};
+
+pub struct CrateScope {
+    pub name: &'static str,
+    /// Source directory relative to the workspace root.
+    pub src_rel: &'static str,
+    pub generation_path: bool,
+    pub panic_scope: bool,
+}
+
+pub const SCOPES: &[CrateScope] = &[
+    CrateScope { name: "uctr-repro", src_rel: "src", generation_path: true, panic_scope: true },
+    CrateScope {
+        name: "tabular",
+        src_rel: "crates/tabular/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "sqlexec",
+        src_rel: "crates/sqlexec/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "logicforms",
+        src_rel: "crates/logicforms/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "arithexpr",
+        src_rel: "crates/arithexpr/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "nlgen",
+        src_rel: "crates/nlgen/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "textops",
+        src_rel: "crates/textops/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "corpora",
+        src_rel: "crates/corpora/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "uctr",
+        src_rel: "crates/uctr/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "models",
+        src_rel: "crates/models/src",
+        generation_path: true,
+        panic_scope: true,
+    },
+    CrateScope {
+        name: "bench",
+        src_rel: "crates/bench/src",
+        generation_path: true,
+        panic_scope: false,
+    },
+];
+
+/// All `.rs` files under `dir`, recursively, sorted for determinism.
+pub fn rs_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    collect(dir, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders a path relative to the workspace root with forward slashes.
+pub fn rel_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}

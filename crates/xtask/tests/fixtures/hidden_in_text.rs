@@ -1,0 +1,50 @@
+//! Fixture: the scanner must report ZERO hits for this file — every
+//! dangerous-looking token sits inside a comment, a string literal, a raw
+//! string, a byte string, a char literal, or a longer identifier.
+//!
+//! This file is fixture *text* loaded with `include_str!`; it is never
+//! compiled, so it only needs to be lexically plausible Rust.
+
+// panic!("in a line comment") plus .unwrap() and std::collections::HashMap
+/* block comment: thread_rng() /* nested: unreachable!() */ still hidden */
+/// doc comment: std::collections::HashSet and Instant::now() and todo!()
+
+pub fn hidden() -> usize {
+    let s = "panic!(\"in a string\") .unwrap() HashMap";
+    let e = "escaped quote \\\" then .expect(\"still a string\")";
+    let r = r#"raw: thread_rng() SystemTime::now() dbg!(x)"#;
+    let b = b"byte string: rand::random() env::var";
+    let rb = br#"raw byte string: unreachable!() HashSet"#;
+    let q = '"'; // a char holding a quote must not open a string
+    let lifetime: &'static str = "env!(\"HIDDEN\") option_env!(\"ALSO\")";
+    s.len() + e.len() + r.len() + b.len() + rb.len() + lifetime.len() + q.len_utf8()
+}
+
+/// Identifier boundaries: none of these contain a match.
+pub struct MyHashMapLike;
+
+pub fn boundaries(o: Option<u32>) -> u32 {
+    let a = o.unwrap_or(7); // unwrap_or is not .unwrap()
+    let b = unwrap(); // free call without a receiver dot
+    let c = parser_expect(&a); // helper named like the method
+    a + b + c
+}
+
+fn unwrap() -> u32 {
+    7
+}
+
+fn parser_expect(x: &u32) -> u32 {
+    // `.expect(` with a non-literal argument models sqlexec's own
+    // `self.expect(&Token::RParen)` parser method: not a P002 hit.
+    let p = Parser;
+    p.expect(x)
+}
+
+struct Parser;
+
+impl Parser {
+    fn expect(&self, x: &u32) -> u32 {
+        *x
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: P001 is exempt inside `#[cfg(test)]` / `#[test]` regions (panic
+//! in a test is idiomatic), while P002 still reports there with the
+//! `in_test` flag set.
+//!
+//! Fixture text only — never compiled.
+
+pub fn library_code(n: u32) -> u32 {
+    if n > 100 {
+        panic!("LIBRARY_PANIC_MARKER");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exercises() {
+        if library_code(1) == 0 {
+            panic!("panicking inside a test module is exempt from P001");
+        }
+        let v = Some(1).unwrap(); // P002, flagged in_test
+        assert_eq!(v, 1);
+    }
+}
+
+#[test]
+fn top_level_test_fn() {
+    unreachable!("a #[test] fn outside a cfg(test) module is also exempt");
+}

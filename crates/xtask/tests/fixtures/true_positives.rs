@@ -1,0 +1,51 @@
+//! Fixture: every tilde-marker (two slashes, a tilde, then rule names)
+//! denotes a hit the scanner must report at exactly that line (one name
+//! per expected hit, so a line with two
+//! `HashMap` tokens carries two markers). The markers live in comments,
+//! which the scanner masks out, so they can never produce hits themselves.
+//!
+//! Fixture text only — never compiled.
+
+use std::collections::HashMap; //~ D001
+use std::collections::HashSet; //~ D001
+
+fn containers() {
+    let m: HashMap<u32, u32> = HashMap::new(); //~ D001 D001
+    let s: HashSet<u32> = HashSet::new(); //~ D001 D001
+    let _ = (m, s);
+}
+
+fn entropy_and_clocks() {
+    let mut rng = rand::thread_rng(); //~ D002
+    let x: u8 = rand::random(); //~ D002
+    let t = std::time::SystemTime::now(); //~ D002
+    let i = std::time::Instant::now(); //~ D002
+    let _ = (rng, x, t, i);
+}
+
+fn environment() {
+    let v = std::env::var("HOME"); //~ D003
+    let c = env!("CARGO"); //~ D003
+    let o = option_env!("OPT"); //~ D003
+    let _ = (v, c, o);
+}
+
+fn panics(n: u32) -> u32 {
+    match n {
+        0 => panic!("zero"), //~ P001
+        1 => unreachable!(), //~ P001
+        2 => todo!(), //~ P001
+        _ => {
+            dbg!(n); //~ P001
+            n
+        }
+    }
+}
+
+fn unwraps(o: Option<u32>, r: Result<u32, String>, r2: Result<u32, String>) -> u32 {
+    let a = o.unwrap(); //~ P002
+    let b = r.expect("fixture message"); //~ P002
+    let c = Some(1).unwrap(); //~ P002
+    let d = r2.expect(r#"raw-string message"#); //~ P002
+    a + b + c + d
+}

@@ -1,0 +1,77 @@
+//! Fixture-driven scanner tests: zero false positives on tokens hidden in
+//! comments/strings, exact line numbers on true positives (driven by
+//! `//~ RULE` markers inside the fixtures), and test-region exemptions.
+
+// Test assertions on known-good fixtures; aborting on a broken fixture is
+// the point.
+#![allow(clippy::unwrap_used)]
+
+use xtask::rules::{scan_masked, RuleId, Violation};
+use xtask::scanner::mask;
+
+const HIDDEN: &str = include_str!("fixtures/hidden_in_text.rs");
+const MARKED: &str = include_str!("fixtures/true_positives.rs");
+const REGIONS: &str = include_str!("fixtures/test_regions.rs");
+
+fn scan(src: &str, generation_path: bool, panic_scope: bool) -> Vec<Violation> {
+    let masked = mask(src);
+    scan_masked(&masked, src, "fixture", "tests/fixtures/x.rs", generation_path, panic_scope)
+}
+
+/// Collects `(line, rule)` expectations from `//~ RULE [RULE …]` markers.
+fn expected_markers(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for rule in line[pos + 3..].split_whitespace() {
+                out.push((idx + 1, rule.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn hidden_tokens_produce_zero_hits() {
+    let hits = scan(HIDDEN, true, true);
+    let shown: Vec<_> = hits.iter().map(|v| (v.line, v.rule.name(), v.excerpt.clone())).collect();
+    assert!(hits.is_empty(), "false positives: {shown:?}");
+}
+
+#[test]
+fn marked_lines_hit_at_exact_lines() {
+    let mut got: Vec<(usize, String)> =
+        scan(MARKED, true, true).iter().map(|v| (v.line, v.rule.name().to_string())).collect();
+    got.sort();
+    assert_eq!(got, expected_markers(MARKED));
+}
+
+#[test]
+fn scopes_gate_rule_families() {
+    // D-rules only fire in generation-path crates, P-rules only in
+    // panic-scope crates.
+    assert!(scan(MARKED, false, true).iter().all(|v| v.rule.name().starts_with('P')));
+    assert!(scan(MARKED, true, false).iter().all(|v| v.rule.name().starts_with('D')));
+    assert!(scan(MARKED, false, false).is_empty());
+}
+
+#[test]
+fn panic_rule_exempts_test_regions() {
+    let hits = scan(REGIONS, true, true);
+    let lib_line = REGIONS.lines().position(|l| l.contains("LIBRARY_PANIC_MARKER")).unwrap() + 1;
+    let p001: Vec<usize> = hits.iter().filter(|v| v.rule == RuleId::P001).map(|v| v.line).collect();
+    assert_eq!(p001, vec![lib_line], "only the library panic may trip P001");
+    let p002: Vec<bool> =
+        hits.iter().filter(|v| v.rule == RuleId::P002).map(|v| v.in_test).collect();
+    assert_eq!(p002, vec![true], "the test-module unwrap is reported and flagged in_test");
+}
+
+#[test]
+fn violations_carry_source_excerpts() {
+    let hits = scan(MARKED, true, true);
+    let unwrap_hit =
+        hits.iter().find(|v| v.rule == RuleId::P002 && v.excerpt.contains("o.unwrap()")).unwrap();
+    assert!(unwrap_hit.col > 1);
+    assert_eq!(unwrap_hit.matched, ".unwrap()");
+}

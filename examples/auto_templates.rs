@@ -6,6 +6,9 @@
 //! cargo run --example auto_templates --release
 //! ```
 
+// Examples are demonstration entry points: println! is their output and unwrap on known-good literals keeps them readable.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tabular::Table;

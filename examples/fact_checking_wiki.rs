@@ -6,6 +6,9 @@
 //! cargo run --example fact_checking_wiki --release
 //! ```
 
+// Examples are demonstration entry points: println! is their output and unwrap on known-good literals keeps them readable.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use models::{retrieve_cells, EvidenceView, VerdictSpace, VerifierModel};
 use tabular::Table;
 use uctr::{EvidenceType, Sample, TableWithContext, UctrConfig, UctrPipeline, Verdict};

@@ -5,6 +5,9 @@
 //! cargo run --example quickstart --release
 //! ```
 
+// Examples are demonstration entry points: println! is their output and unwrap on known-good literals keeps them readable.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use models::{EvidenceView, VerdictSpace, VerifierModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -6,6 +6,9 @@
 //! cargo run --example template_mining --release
 //! ```
 
+// Examples are demonstration entry points: println! is their output and unwrap on known-good literals keeps them readable.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use tabular::Table;
 use uctr::{TableWithContext, TemplateBank, UctrConfig, UctrPipeline};
 

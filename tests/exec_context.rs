@@ -7,6 +7,9 @@
 //! result of the naive paths AND consume the exact same RNG draws — the
 //! pipeline's fixed-seed byte-identity depends on both.
 
+// Integration-test helpers run outside #[cfg(test)], so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used)]
+
 use arithexpr::AeTemplate;
 use logicforms::LfTemplate;
 use rand::rngs::StdRng;

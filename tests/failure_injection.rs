@@ -2,6 +2,9 @@
 //! strings, and out-of-contract inputs must produce errors or empty results
 //! — never panics or corrupt state.
 
+// Integration-test helpers run outside #[cfg(test)], so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used)]
+
 use tabular::{Table, Value};
 use uctr::{Sample, TableWithContext, UctrConfig, UctrPipeline, Verdict};
 

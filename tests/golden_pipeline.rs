@@ -7,6 +7,9 @@
 //! `run_sql`/`run_arith`/`run_logic` implementation; any RNG-draw or
 //! counter-order drift in the unified `run_program` changes them.
 
+// Integration-test helpers run outside #[cfg(test)], so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used)]
+
 use tabular::Table;
 use uctr::{TableWithContext, UctrConfig, UctrPipeline};
 

@@ -6,6 +6,9 @@
 //! access, so the same invariants now run over deterministic seeded case
 //! sweeps (see `vendor/README.md`).
 
+// Integration-test helpers run outside #[cfg(test)], so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tabular::{Table, Value};

@@ -2,6 +2,9 @@
 //! be deterministic, thread-count-invariant, and consistent with the samples
 //! the pipeline actually returns.
 
+// Integration-test helpers run outside #[cfg(test)], so the clippy.toml test exemption does not reach them.
+#![allow(clippy::unwrap_used)]
+
 use corpora::{tatqa_like, wikisql_like, CorpusConfig};
 use uctr::{PipelineReport, ProgramKind, Sample, TableWithContext, UctrConfig, UctrPipeline};
 
