@@ -1,0 +1,211 @@
+//! Static analysis of arithmetic-expression templates: typechecking
+//! without a table.
+//!
+//! [`analyze`] inspects a parsed [`AeTemplate`] and reports the defects the
+//! executor (`crate::exec`) would otherwise turn into deterministic runtime
+//! discards, plus the [`SchemaRequirement`] a table must satisfy for
+//! instantiation to have any chance of succeeding.
+//!
+//! Type rules (each mirrors an exact executor code path):
+//!
+//! * **empty-program** — a program with no steps has no final answer.
+//! * **arity-mismatch** — a step with the wrong argument count. The parser
+//!   enforces arity, so this fires only for programmatically built
+//!   templates (`AeTemplate::from_program`).
+//! * **dangling-step-ref** — `#N` referencing the current or a later step;
+//!   step results are only available to *later* steps.
+//! * **bool-as-number** — `#N` referencing a `greater` step used where a
+//!   number is required; `greater` yields a yes/no answer, so the executor
+//!   fails with `BoolAsNumber` on every table.
+//! * **invalid-table-op-arg** — a table aggregation whose argument is not a
+//!   column or cell (hole); constants and step refs make the executor
+//!   return `Uninstantiated` unconditionally.
+//! * **column-as-scalar** — a column (hole) argument in a scalar step;
+//!   `resolve_numeric` rejects whole-column arguments on every table.
+//!
+//! Requirement rules: the sampler rejects the pair before any RNG draw when
+//! the table has fewer addressable numeric cells than the template has
+//! distinct cell holes, and a column hole can only bind when at least one
+//! schema-`Number` column exists (an empty pool fails the draw on every
+//! stream).
+
+use crate::ast::{AeArg, AeOp};
+use crate::template::AeTemplate;
+use tabular::{SchemaRequirement, TemplateAnalysis, TemplateIssue};
+
+/// Statically analyzes an arithmetic template. See the module docs for the
+/// rules.
+pub fn analyze(template: &AeTemplate) -> TemplateAnalysis {
+    let program = template.program();
+    let mut issues = Vec::new();
+
+    if program.steps.is_empty() {
+        issues.push(TemplateIssue::new(
+            "empty-program",
+            "program",
+            "program has no steps, so it has no final answer",
+        ));
+    }
+
+    let mut has_column_hole = false;
+    for (si, step) in program.steps.iter().enumerate() {
+        let locus = |slot: usize| format!("{}[{slot}]@step{si}", step.op);
+        if step.args.len() != step.op.arity() {
+            issues.push(TemplateIssue::new(
+                "arity-mismatch",
+                format!("{}@step{si}", step.op),
+                format!(
+                    "{} takes {} arguments, step supplies {}",
+                    step.op,
+                    step.op.arity(),
+                    step.args.len()
+                ),
+            ));
+            continue;
+        }
+        for (slot, arg) in step.args.iter().enumerate() {
+            match arg {
+                AeArg::StepRef(r) => {
+                    if *r >= si {
+                        issues.push(TemplateIssue::new(
+                            "dangling-step-ref",
+                            locus(slot),
+                            format!("#{r} must reference an earlier step (this is step {si})"),
+                        ));
+                    } else if program.steps[*r].op == AeOp::Greater {
+                        issues.push(TemplateIssue::new(
+                            "bool-as-number",
+                            locus(slot),
+                            format!(
+                                "#{r} is the yes/no result of a greater step; it cannot be \
+                                 used as a number"
+                            ),
+                        ));
+                    }
+                }
+                AeArg::ColumnHole(_) | AeArg::Column(_) if !step.op.is_table_op() => {
+                    issues.push(TemplateIssue::new(
+                        "column-as-scalar",
+                        locus(slot),
+                        format!(
+                            "{} is a scalar operation; a whole-column argument always fails \
+                             to resolve",
+                            step.op
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+            if step.op.is_table_op()
+                && slot == 0
+                && !matches!(
+                    arg,
+                    AeArg::Column(_)
+                        | AeArg::ColumnHole(_)
+                        | AeArg::Cell { .. }
+                        | AeArg::CellHole(_)
+                )
+            {
+                issues.push(TemplateIssue::new(
+                    "invalid-table-op-arg",
+                    locus(slot),
+                    format!("{} aggregates a column; its argument must name one", step.op),
+                ));
+            }
+            if matches!(arg, AeArg::ColumnHole(_)) {
+                has_column_hole = true;
+            }
+        }
+    }
+
+    let requirement = SchemaRequirement {
+        min_addressable_cells: template.cell_holes().len(),
+        needs_number_column: has_column_hole,
+        ..SchemaRequirement::NONE
+    };
+    TemplateAnalysis { issues, requirement }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AeProgram, AeStep};
+
+    fn parse(text: &str) -> AeTemplate {
+        AeTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}"))
+    }
+
+    #[test]
+    fn well_typed_template_is_clean_with_exact_requirement() {
+        let a = analyze(&parse("subtract( val1 , val2 ), divide( #0 , val2 )"));
+        assert!(a.is_clean(), "{:?}", a.issues);
+        assert_eq!(
+            a.requirement,
+            SchemaRequirement { min_addressable_cells: 2, ..SchemaRequirement::NONE }
+        );
+    }
+
+    #[test]
+    fn column_hole_requires_a_number_column() {
+        let a = analyze(&parse("table_sum( c1 ) , divide( #0 , 3 )"));
+        assert!(a.is_clean(), "{:?}", a.issues);
+        assert!(a.requirement.needs_number_column);
+        assert_eq!(a.requirement.min_addressable_cells, 0);
+    }
+
+    #[test]
+    fn dangling_step_ref_is_flagged() {
+        // The parser rejects forward references, so this can only arrive
+        // through from_program.
+        let a = analyze(&AeTemplate::from_program(AeProgram {
+            steps: vec![AeStep {
+                op: AeOp::Add,
+                args: vec![AeArg::StepRef(0), AeArg::CellHole(1)],
+            }],
+        }));
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, "dangling-step-ref");
+    }
+
+    #[test]
+    fn bool_result_used_as_number_is_flagged() {
+        let a = analyze(&parse("greater( val1 , val2 ) , add( #0 , 1 )"));
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, "bool-as-number");
+        assert_eq!(a.issues[0].locus, "add[0]@step1");
+    }
+
+    #[test]
+    fn column_hole_in_scalar_op_is_flagged() {
+        let a = analyze(&parse("add( c1 , 1 )"));
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, "column-as-scalar");
+    }
+
+    #[test]
+    fn invalid_table_op_arg_is_flagged() {
+        let a = analyze(&parse("add( 1 , 2 ) , table_sum( #0 )"));
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, "invalid-table-op-arg");
+    }
+
+    #[test]
+    fn programmatic_defects_are_flagged() {
+        let empty = analyze(&AeTemplate::from_program(AeProgram { steps: vec![] }));
+        assert_eq!(empty.issues[0].code, "empty-program");
+
+        let bad_arity = analyze(&AeTemplate::from_program(AeProgram {
+            steps: vec![AeStep { op: AeOp::Add, args: vec![AeArg::Const(1.0)] }],
+        }));
+        assert_eq!(bad_arity.issues[0].code, "arity-mismatch");
+    }
+
+    #[test]
+    fn schema_infeasible_requirement_is_reported_not_flagged() {
+        // Three distinct cell holes: fine as a template, needs a table with
+        // three addressable numeric cells.
+        let a = analyze(&parse("add( val1 , val2 ) , subtract( #0 , val3 )"));
+        assert!(a.is_clean());
+        assert_eq!(a.requirement.min_addressable_cells, 3);
+    }
+}

@@ -14,8 +14,8 @@
 #![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
 
 use bench::{
-    check_floor, composition_row, flag_value, print_table, reports_to_json, throughput_line,
-    AcceptanceFloor,
+    check_floor, composition_row, flag_value, prefilter_line, print_table, reports_to_json,
+    throughput_line, AcceptanceFloor,
 };
 use corpora::{feverous_like, semtab_like, tatqa_like, wikisql_like, Benchmark, CorpusConfig};
 use uctr::{AnswerKind, Dataset, PipelineReport, UctrConfig, UctrPipeline};
@@ -140,6 +140,7 @@ fn main() {
     });
     let total_accepted: u64 = reports.iter().map(|(_, r)| r.accepted()).sum();
     println!("\n{}", throughput_line(total_accepted, elapsed, floor.as_ref().map(|(_, f)| f)));
+    println!("{}", prefilter_line(&reports));
 
     if let Some(path) = flag_value(&args, "--report-json") {
         if let Err(e) = std::fs::write(&path, reports_to_json(&reports)) {

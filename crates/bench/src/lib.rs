@@ -1,7 +1,7 @@
 //! Shared harness code for the experiment binaries.
 //!
 //! One binary per paper table/figure regenerates the corresponding artifact
-//! (see DESIGN.md §6). This library holds the evaluation plumbing they
+//! (see DESIGN.md §7). This library holds the evaluation plumbing they
 //! share: model training wrappers per setting (supervised / unsupervised /
 //! few-shot / augmentation), per-evidence-type breakdowns, and the table
 //! printer that renders paper-vs-measured rows.
@@ -291,6 +291,21 @@ pub fn throughput_line(
     line
 }
 
+/// Formats the prefilter summary line the CI smoke run prints and appends
+/// to the job summary: how many sampled (template, table) attempts the
+/// schema analyzers proved infeasible before instantiation, aggregated
+/// over the named runs. Informative only — the hit rate depends on the
+/// corpus mix, so the gate never fails on it.
+pub fn prefilter_line(reports: &[(String, PipelineReport)]) -> String {
+    let prefiltered: u64 = reports.iter().map(|(_, r)| r.prefiltered()).sum();
+    let attempted: u64 =
+        reports.iter().flat_map(|(_, r)| r.kinds.iter().map(|k| k.attempted)).sum();
+    let rate = if attempted == 0 { 0.0 } else { prefiltered as f64 / attempted as f64 * 100.0 };
+    format!(
+        "prefilter hit rate: {rate:.1}% ({prefiltered} of {attempted} program attempts skipped statically)"
+    )
+}
+
 /// Runs every report against the floor, printing per-run verdicts; returns
 /// `false` (CI failure) if any run is under the floor.
 pub fn check_floor(floor: &AcceptanceFloor, reports: &[(String, PipelineReport)]) -> bool {
@@ -444,6 +459,33 @@ mod tests {
         assert!(line.contains("+10.0%"), "{line}");
         let bare = throughput_line(220, std::time::Duration::from_secs(2), None);
         assert!(!bare.contains('%'), "{bare}");
+    }
+
+    #[test]
+    fn prefilter_line_aggregates_over_runs() {
+        let report = |pre: u64, att: u64| PipelineReport {
+            threads: 1,
+            inputs_total: 1,
+            inputs_degenerate: 0,
+            unknown_injected: 0,
+            kinds: vec![uctr::KindReport {
+                kind: "sql".into(),
+                attempted: att,
+                prefiltered: pre,
+                instantiated: att - pre,
+                executed: att - pre,
+                accepted: att - pre,
+                discards: Vec::new(),
+            }],
+            sources: Vec::new(),
+            timings: Vec::new(),
+        };
+        let runs = vec![("a".to_string(), report(1, 4)), ("b".to_string(), report(2, 8))];
+        let line = prefilter_line(&runs);
+        assert!(line.starts_with("prefilter hit rate: 25.0%"), "{line}");
+        assert!(line.contains("3 of 12"), "{line}");
+        let empty = prefilter_line(&[]);
+        assert!(empty.starts_with("prefilter hit rate: 0.0%"), "{empty}");
     }
 
     #[test]

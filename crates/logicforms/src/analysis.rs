@@ -1,0 +1,252 @@
+//! Static analysis of logical-form templates: typechecking without a table.
+//!
+//! [`analyze`] inspects a parsed [`LfTemplate`] and reports the defects the
+//! truth-targeted sampler (`crate::template`) would otherwise turn into
+//! deterministic runtime discards, plus the [`SchemaRequirement`] a table
+//! must satisfy for instantiation to have any chance of succeeding.
+//!
+//! Type rules (each mirrors an exact code path of the sampler):
+//!
+//! * **arity-mismatch** — `op { args }` with the wrong argument count. The
+//!   parser enforces arity, so this only fires for programmatically built
+//!   templates (`LfTemplate::from_expr`); evaluation fails on every table.
+//! * **non-boolean-root** — the root operator does not produce a truth
+//!   value, so `evaluate_truth` can never label a claim.
+//! * **value-hole-misplaced** — a `valN` hole outside the positions
+//!   `fill_inner_values` supports: the value slot (slot 2) of a
+//!   filter/all/most operator whose slot 1 is a column (hole), the ordinal
+//!   slot of `nth_*`, or an argument of a *root* comparator
+//!   (`eq`/`not_eq`/`round_eq`/`greater`/`less`). Anywhere else the sampler
+//!   returns `MalformedTemplate` unconditionally.
+//! * **root-double-value-hole** — both arguments of a root comparator are
+//!   value holes; truth targeting needs a hole-free sibling to execute, so
+//!   this too is `MalformedTemplate` on every stream.
+//!
+//! Requirement rules: every logical form needs one row (the sampler
+//! rejects empty tables before drawing anything); numeric-constrained
+//! column holes bind only to schema-`Number` columns and are assigned
+//! before unconstrained ones, so the table needs at least as many `Number`
+//! columns as there are numeric holes and at least as many columns overall
+//! as there are distinct holes.
+
+use crate::ast::{LfExpr, LfOp};
+use crate::template::LfTemplate;
+use tabular::{SchemaRequirement, TemplateAnalysis, TemplateIssue};
+
+/// Statically analyzes a logical-form template. See the module docs for
+/// the rules.
+pub fn analyze(template: &LfTemplate) -> TemplateAnalysis {
+    let mut issues = Vec::new();
+    check(template.expr(), "root", true, &mut issues);
+
+    let holes = template.column_holes();
+    let requirement = SchemaRequirement {
+        min_rows: 1,
+        min_cols: holes.len(),
+        min_number_cols: holes.iter().filter(|&&(_, numeric)| numeric).count(),
+        ..SchemaRequirement::NONE
+    };
+    TemplateAnalysis { issues, requirement }
+}
+
+/// Whether `op` can produce the truth value of a claim.
+fn is_bool_producer(op: LfOp) -> bool {
+    use LfOp::*;
+    matches!(
+        op,
+        Eq | NotEq
+            | RoundEq
+            | Greater
+            | Less
+            | And
+            | Only
+            | AllEq
+            | AllNotEq
+            | AllGreater
+            | AllLess
+            | AllGreaterEq
+            | AllLessEq
+            | MostEq
+            | MostNotEq
+            | MostGreater
+            | MostLess
+            | MostGreaterEq
+            | MostLessEq
+    )
+}
+
+/// The 18 filter/all/most operators whose slot 2 is a sampled value.
+fn has_value_slot(op: LfOp) -> bool {
+    use LfOp::*;
+    matches!(
+        op,
+        FilterEq
+            | FilterNotEq
+            | FilterGreater
+            | FilterLess
+            | FilterGreaterEq
+            | FilterLessEq
+            | AllEq
+            | AllNotEq
+            | AllGreater
+            | AllLess
+            | AllGreaterEq
+            | AllLessEq
+            | MostEq
+            | MostNotEq
+            | MostGreater
+            | MostLess
+            | MostGreaterEq
+            | MostLessEq
+    )
+}
+
+fn check(e: &LfExpr, path: &str, at_root: bool, issues: &mut Vec<TemplateIssue>) {
+    let LfExpr::Apply(op, args) = e else {
+        if at_root {
+            issues.push(TemplateIssue::new(
+                "non-boolean-root",
+                path.to_string(),
+                "template root is a leaf, not a truth-producing operator application",
+            ));
+        }
+        return;
+    };
+
+    if args.len() != op.arity() {
+        issues.push(TemplateIssue::new(
+            "arity-mismatch",
+            format!("{path}.{op}"),
+            format!("{op} takes {} arguments, template supplies {}", op.arity(), args.len()),
+        ));
+    }
+    if at_root && !is_bool_producer(*op) {
+        issues.push(TemplateIssue::new(
+            "non-boolean-root",
+            format!("{path}.{op}"),
+            format!(
+                "root operator {op} does not produce a truth value; the claim can never be labeled"
+            ),
+        ));
+    }
+
+    let root_comparator = at_root
+        && matches!(op, LfOp::Eq | LfOp::NotEq | LfOp::RoundEq | LfOp::Greater | LfOp::Less);
+    if root_comparator {
+        let hole_args = args.iter().filter(|a| matches!(a, LfExpr::ValueHole(_))).count();
+        if hole_args > 1 {
+            issues.push(TemplateIssue::new(
+                "root-double-value-hole",
+                format!("{path}.{op}"),
+                "both comparator arguments are value holes; truth targeting needs one \
+                 hole-free side to execute",
+            ));
+        }
+    }
+
+    for (slot, a) in args.iter().enumerate() {
+        let child_path = format!("{path}.{op}[{slot}]");
+        if let LfExpr::ValueHole(i) = a {
+            // Mirrors fill_inner_values exactly: root-comparator slots are
+            // deferred to truth targeting, filter/all/most value slots and
+            // nth_* ordinal slots are sampled, everything else is malformed.
+            let filter_val_slot = has_value_slot(*op)
+                && slot == 2
+                && matches!(args.get(1), Some(LfExpr::Column(_) | LfExpr::ColumnHole(_)));
+            let ordinal_slot =
+                matches!(op, LfOp::NthArgmax | LfOp::NthArgmin | LfOp::NthMax | LfOp::NthMin)
+                    && slot == 2;
+            if !(root_comparator || filter_val_slot || ordinal_slot) {
+                issues.push(TemplateIssue::new(
+                    "value-hole-misplaced",
+                    format!("val{i}@{child_path}"),
+                    format!(
+                        "value hole val{i} sits in a position the sampler cannot fill; \
+                         instantiation always fails with MalformedTemplate"
+                    ),
+                ));
+            }
+        } else {
+            check(a, &child_path, false, issues);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> LfTemplate {
+        LfTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}"))
+    }
+
+    #[test]
+    fn well_typed_template_is_clean_with_exact_requirement() {
+        let a = analyze(&parse("eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; val2 }"));
+        assert!(a.is_clean(), "{:?}", a.issues);
+        assert_eq!(
+            a.requirement,
+            SchemaRequirement { min_rows: 1, min_cols: 2, ..SchemaRequirement::NONE }
+        );
+    }
+
+    #[test]
+    fn numeric_holes_require_number_columns() {
+        let a = analyze(&parse("eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }"));
+        assert!(a.is_clean());
+        assert_eq!(a.requirement.min_number_cols, 1);
+        assert_eq!(a.requirement.min_cols, 2);
+        assert_eq!(a.requirement.min_rows, 1);
+    }
+
+    #[test]
+    fn non_boolean_root_is_flagged() {
+        let a = analyze(&parse("count { all_rows }"));
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, "non-boolean-root");
+    }
+
+    #[test]
+    fn leaf_root_is_flagged() {
+        let a = analyze(&LfTemplate::from_expr(LfExpr::Const("sig".into())));
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, "non-boolean-root");
+    }
+
+    #[test]
+    fn misplaced_value_hole_is_flagged() {
+        // A value hole under a nested (non-root) comparator cannot be
+        // filled by either the inner sampler or truth targeting.
+        let a = analyze(&parse("and { eq { count { all_rows } ; val1 } ; only { all_rows } }"));
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, "value-hole-misplaced");
+        assert!(a.issues[0].locus.starts_with("val1@"), "{}", a.issues[0].locus);
+    }
+
+    #[test]
+    fn double_root_value_hole_is_flagged() {
+        let a = analyze(&parse("eq { val1 ; val2 }"));
+        assert_eq!(a.issues[0].code, "root-double-value-hole");
+    }
+
+    #[test]
+    fn arity_mismatch_is_flagged_for_programmatic_templates() {
+        let a = analyze(&LfTemplate::from_expr(LfExpr::Apply(
+            LfOp::Eq,
+            vec![
+                LfExpr::Apply(LfOp::Count, vec![LfExpr::AllRows]),
+                LfExpr::Const("1".into()),
+                LfExpr::Const("2".into()),
+            ],
+        )));
+        assert!(a.issues.iter().any(|i| i.code == "arity-mismatch"), "{:?}", a.issues);
+    }
+
+    #[test]
+    fn schema_infeasible_requirement_is_reported_not_flagged() {
+        // Two numeric holes: fine as a template, narrows which tables fit.
+        let a = analyze(&parse("greater { max { all_rows ; c1 } ; min { all_rows ; c2 } }"));
+        assert!(a.is_clean(), "{:?}", a.issues);
+        assert_eq!(a.requirement.min_number_cols, 2);
+    }
+}

@@ -217,7 +217,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn realize(p: &str, seed: u64) -> String {
-        let program = parse(p).unwrap();
+        let program = parse(p).unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(seed);
         realize_arith(&program, &mut rng, 1).remove(0)
     }
@@ -303,7 +303,8 @@ mod tests {
 
     #[test]
     fn candidates_vary() {
-        let p = parse("subtract( the 2019 of Revenue , the 2018 of Revenue )").unwrap();
+        let p = parse("subtract( the 2019 of Revenue , the 2018 of Revenue )")
+            .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(10);
         let cands = realize_arith(&p, &mut rng, 8);
         assert!(cands.len() > 1, "{cands:?}");

@@ -143,7 +143,7 @@ mod tests {
         let g = NlGenerator::new().with_noise(NoiseConfig::off());
         let stmt =
             sqlexec::parse("select [department] from w order by [total deputies] desc limit 1")
-                .unwrap();
+                .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(1);
         let out = g.sql_question(&stmt, &mut rng);
         assert!(out.text.to_lowercase().contains("department"), "{}", out.text);
@@ -154,7 +154,7 @@ mod tests {
     fn logic_generation_end_to_end() {
         let g = NlGenerator::new().with_noise(NoiseConfig::off());
         let e = logicforms::parse("eq { count { filter_eq { all_rows ; material ; PLA } } ; 3 }")
-            .unwrap();
+            .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(2);
         let out = g.logic_claim(&e, &mut rng);
         assert!(out.text.contains('3'), "{}", out.text);
@@ -167,7 +167,7 @@ mod tests {
         let p = arithexpr::parse(
             "subtract( the 2019 of Equity , the 2018 of Equity ), divide( #0 , the 2018 of Equity )",
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(3);
         let out = g.arith_question(&p, &mut rng);
         // Any of the percentage-change phrasings (lexicon::PCT_CHANGE or the
@@ -181,7 +181,8 @@ mod tests {
         // With a heavily biased LM, the winner should track the bias.
         let mut biased = NlGenerator::untrained().with_noise(NoiseConfig::off());
         biased.fit(&["what is the name with the most amount of points?"]);
-        let stmt = sqlexec::parse("select [name] from w order by [points] desc limit 1").unwrap();
+        let stmt = sqlexec::parse("select [name] from w order by [points] desc limit 1")
+            .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(4);
         let out = biased.sql_question(&stmt, &mut rng);
         assert!(out.text.to_lowercase().contains("points"), "{}", out.text);
@@ -200,7 +201,7 @@ mod tests {
         let g = NlGenerator::new().with_noise(NoiseConfig { sentence_rate: 1.0 });
         let stmt =
             sqlexec::parse("select [department] from w order by [total deputies] desc limit 1")
-                .unwrap();
+                .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(5);
         let mut saw_noise = false;
         for _ in 0..20 {

@@ -40,7 +40,9 @@ fn view_clause(e: &LfExpr, rng: &mut impl Rng) -> String {
                         FilterLess => format!("whose {col} is {} {val}", LESS_THAN.pick(rng)),
                         FilterGreaterEq => format!("whose {col} is at least {val}"),
                         FilterLessEq => format!("whose {col} is at most {val}"),
-                        _ => unreachable!(),
+                        // The outer arm admits only the six filter ops
+                        // above; any future op falls back to the eq frame.
+                        _ => format!("whose {col} is {val}"),
                     };
                     if inner.is_empty() {
                         this
@@ -227,7 +229,9 @@ fn realize_once(expr: &LfExpr, rng: &mut impl Rng) -> String {
                     AllLess | MostLess => format!("a {col} {} {val}", LESS_THAN.pick(rng)),
                     AllGreaterEq | MostGreaterEq => format!("a {col} of at least {val}"),
                     AllLessEq | MostLessEq => format!("a {col} of at most {val}"),
-                    _ => unreachable!(),
+                    // The outer arm admits only the quantifier ops above;
+                    // any future op falls back to the eq frame.
+                    _ => format!("a {col} of {val}"),
                 };
                 if inner.is_empty() {
                     format!("{quant} rows have {pred}")
@@ -278,7 +282,9 @@ fn realize_comparison(op: LfOp, lhs: &LfExpr, rhs: &LfExpr, rng: &mut impl Rng) 
                     Argmin => LEAST.pick(rng).to_string(),
                     NthArgmax => format!("{} highest", ordinal_word(parse_ordinal(&inner_args[2]))),
                     NthArgmin => format!("{} lowest", ordinal_word(parse_ordinal(&inner_args[2]))),
-                    _ => unreachable!(),
+                    // Guarded by the matches! above; fall back to the
+                    // superlative frame for any future row op.
+                    _ => MOST.pick(rng).to_string(),
                 };
                 let body = match rng.gen_range(0..2) {
                     0 => format!(
@@ -322,7 +328,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn realize(form: &str, seed: u64) -> String {
-        let e = parse(form).unwrap();
+        let e = parse(form).unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(seed);
         realize_logic(&e, &mut rng, 1).remove(0)
     }
@@ -428,7 +434,8 @@ mod tests {
 
     #[test]
     fn candidates_vary() {
-        let e = parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }").unwrap();
+        let e = parse("eq { hop { argmax { all_rows ; speed } ; model } ; P300 }")
+            .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(12);
         let cands = realize_logic(&e, &mut rng, 8);
         assert!(cands.len() > 1, "{cands:?}");

@@ -211,7 +211,8 @@ mod tests {
             "points team which highest has the?".to_string(),
             "which team has the highest points?".to_string(),
         ];
-        assert_eq!(lm.best(&candidates).unwrap(), &candidates[1]);
+        let best = lm.best(&candidates).unwrap_or_else(|| panic!("no best candidate"));
+        assert_eq!(best, &candidates[1]);
     }
 
     #[test]

@@ -119,7 +119,9 @@ fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
                     AggFunc::Avg => AVERAGE.pick(rng),
                     AggFunc::Min => LEAST.pick(rng),
                     AggFunc::Max => MOST.pick(rng),
-                    AggFunc::Count => unreachable!(),
+                    // Count is consumed by the two arms above; keep a
+                    // neutral noun for any future aggregate.
+                    AggFunc::Count => TOTAL.pick(rng),
                 };
                 let target = expr_phrase(e);
                 match &where_suffix {
@@ -184,7 +186,7 @@ mod tests {
     use sqlexec::parse;
 
     fn realize(q: &str, seed: u64) -> String {
-        let stmt = parse(q).unwrap();
+        let stmt = parse(q).unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(seed);
         realize_sql(&stmt, &mut rng, 1).remove(0)
     }
@@ -255,7 +257,8 @@ mod tests {
 
     #[test]
     fn candidates_vary() {
-        let stmt = parse("select [name] from w order by [score] desc limit 1").unwrap();
+        let stmt = parse("select [name] from w order by [score] desc limit 1")
+            .unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(8);
         let cands = realize_sql(&stmt, &mut rng, 8);
         assert!(cands.len() > 1, "expected lexical variety, got {cands:?}");

@@ -183,8 +183,10 @@ impl SqlTemplate {
 /// For every `valN` placeholder, the index of the column placeholder it is
 /// compared against. Returns `None`-free map only for well-formed templates;
 /// unpaired value holes are simply missing from the result (instantiation
-/// will then fail, which discards the malformed template).
-fn value_hole_columns(stmt: &SelectStmt) -> Vec<(usize, usize)> {
+/// will then fail, which discards the malformed template). Shared with the
+/// static analyzer (`crate::analysis`) so "paired" means the same thing at
+/// typecheck time and at instantiation time.
+pub(crate) fn value_hole_columns(stmt: &SelectStmt) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     fn scan_cond(c: &Cond, pairs: &mut Vec<(usize, usize)>) {
         match c {

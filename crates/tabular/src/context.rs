@@ -55,6 +55,19 @@ pub struct ExecContext {
     /// Distinct text cells in row-major scan order (the perturbation pool
     /// for refuted-claim synthesis).
     text_pool: Vec<String>,
+    /// Census of inferred column types, indexed by [`ColumnType`] in
+    /// declaration order (Number, Date, Bool, Text) — the table-side input
+    /// to `SchemaRequirement::satisfied_by`.
+    type_counts: [usize; 4],
+}
+
+fn type_index(ty: ColumnType) -> usize {
+    match ty {
+        ColumnType::Number => 0,
+        ColumnType::Date => 1,
+        ColumnType::Bool => 2,
+        ColumnType::Text => 3,
+    }
 }
 
 impl ExecContext {
@@ -83,6 +96,10 @@ impl ExecContext {
         }
 
         let numeric_cols = table.schema().columns_of_type(ColumnType::Number);
+        let mut type_counts = [0usize; 4];
+        for col in table.schema().columns() {
+            type_counts[type_index(col.ty)] += 1;
+        }
         let row_name_col =
             table.schema().columns().iter().position(|c| c.ty == ColumnType::Text).unwrap_or(0);
 
@@ -125,6 +142,7 @@ impl ExecContext {
             name_lower,
             addressable,
             text_pool,
+            type_counts,
         }
     }
 
@@ -182,6 +200,11 @@ impl ExecContext {
     pub fn text_pool(&self) -> &[String] {
         &self.text_pool
     }
+
+    /// How many columns schema inference assigned the given type.
+    pub fn column_type_count(&self, ty: ColumnType) -> usize {
+        self.type_counts[type_index(ty)]
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +221,7 @@ mod tests {
                 vec!["Cleo", "n/a", "Oslo", "2001-08-23"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
     }
 
     #[test]
@@ -258,8 +281,24 @@ mod tests {
     }
 
     #[test]
+    fn column_type_census_matches_schema() {
+        let t = table();
+        let ctx = ExecContext::new(&t);
+        for ty in [ColumnType::Number, ColumnType::Date, ColumnType::Bool, ColumnType::Text] {
+            assert_eq!(
+                ctx.column_type_count(ty),
+                t.schema().columns_of_type(ty).len(),
+                "census for {ty}"
+            );
+        }
+        assert_eq!(ctx.column_type_count(ColumnType::Number), 1);
+        assert_eq!(ctx.column_type_count(ColumnType::Text), 2);
+    }
+
+    #[test]
     fn empty_table_context() {
-        let t = Table::from_strings("e", &[vec!["a", "b"]]).unwrap();
+        let t = Table::from_strings("e", &[vec!["a", "b"]])
+            .unwrap_or_else(|e| panic!("test table: {e}"));
         let ctx = ExecContext::new(&t);
         assert_eq!(ctx.n_rows(), 0);
         assert!(ctx.addressable_cells().is_empty());

@@ -141,30 +141,35 @@ mod tests {
     use super::*;
     use crate::schema::ColumnType;
 
+    fn csv(text: &str) -> Table {
+        table_from_csv("t", text).unwrap_or_else(|e| panic!("csv: {e:?}"))
+    }
+
     #[test]
     fn simple_roundtrip() {
         let csv = "name,score\nalpha,3\nbeta,5\n";
-        let t = table_from_csv("t", csv).unwrap();
+        let t = self::csv(csv);
         assert_eq!(t.n_rows(), 2);
-        assert_eq!(t.schema().column(1).unwrap().ty, ColumnType::Number);
+        let col = t.schema().column(1).unwrap_or_else(|| panic!("column 1"));
+        assert_eq!(col.ty, ColumnType::Number);
         let back = table_to_csv(&t);
-        let t2 = table_from_csv("t", &back).unwrap();
+        let t2 = self::csv(&back);
         assert_eq!(t.rows(), t2.rows());
     }
 
     #[test]
     fn quoted_fields_with_commas_and_quotes() {
         let csv = "name,desc\n\"Smith, John\",\"said \"\"hi\"\"\"\n";
-        let t = table_from_csv("t", csv).unwrap();
-        assert_eq!(t.cell(0, 0).unwrap().to_string(), "Smith, John");
-        assert_eq!(t.cell(0, 1).unwrap().to_string(), "said \"hi\"");
+        let t = self::csv(csv);
+        assert_eq!(t.cell(0, 0).unwrap_or_else(|| panic!("cell 0,0")).to_string(), "Smith, John");
+        assert_eq!(t.cell(0, 1).unwrap_or_else(|| panic!("cell 0,1")).to_string(), "said \"hi\"");
     }
 
     #[test]
     fn quoted_newline_preserved() {
         let csv = "a,b\n\"line1\nline2\",x\n";
-        let t = table_from_csv("t", csv).unwrap();
-        assert_eq!(t.cell(0, 0).unwrap().to_string(), "line1\nline2");
+        let t = self::csv(csv);
+        assert_eq!(t.cell(0, 0).unwrap_or_else(|| panic!("cell 0,0")).to_string(), "line1\nline2");
     }
 
     #[test]
@@ -176,7 +181,7 @@ mod tests {
     #[test]
     fn blank_lines_skipped() {
         let csv = "a\n1\n\n2\n";
-        let t = table_from_csv("t", csv).unwrap();
+        let t = self::csv(csv);
         assert_eq!(t.n_rows(), 2);
     }
 
@@ -187,16 +192,16 @@ mod tests {
 
     #[test]
     fn crlf_tolerated() {
-        let t = table_from_csv("t", "a,b\r\n1,2\r\n").unwrap();
+        let t = csv("a,b\r\n1,2\r\n");
         assert_eq!(t.n_rows(), 1);
         assert_eq!(t.n_cols(), 2);
     }
 
     #[test]
     fn json_roundtrip_via_serde() {
-        let t = table_from_csv("t", "a,b\n1,x\n").unwrap();
-        let json = serde_json::to_string(&t).unwrap();
-        let t2: Table = serde_json::from_str(&json).unwrap();
+        let t = csv("a,b\n1,x\n");
+        let json = serde_json::to_string(&t).unwrap_or_else(|e| panic!("serialize: {e}"));
+        let t2: Table = serde_json::from_str(&json).unwrap_or_else(|e| panic!("deserialize: {e}"));
         assert_eq!(t, t2);
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod context;
 pub mod io;
+pub mod requirement;
 pub mod schema;
 pub mod table;
 pub mod text;
@@ -31,6 +32,7 @@ pub mod value;
 
 pub use context::ExecContext;
 pub use io::{table_from_csv, table_to_csv, CsvError};
+pub use requirement::{SchemaRequirement, TemplateAnalysis, TemplateIssue};
 pub use schema::{infer_column_type, Column, ColumnType, Schema};
 pub use table::{Table, TableBuilder, TableError};
 pub use value::{format_number, nearly_equal, Date, Value};

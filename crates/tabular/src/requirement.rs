@@ -1,0 +1,200 @@
+//! Schema-feasibility requirements computed by the template analyzers.
+//!
+//! A [`SchemaRequirement`] is the table-independent summary of what a
+//! program template needs from a table before instantiation can possibly
+//! succeed: how many columns of each inferred [`ColumnType`], how many
+//! distinct columns overall, whether at least one row / addressable numeric
+//! cell must exist. The per-DSL `analysis` modules (sqlexec / logicforms /
+//! arithexpr) compute one per template; the pipeline compares it against a
+//! table's [`ExecContext`] census to *prefilter* (template, table) pairs
+//! that would only fail at runtime.
+//!
+//! Requirements form a join semilattice under pointwise `max` / `or`
+//! ([`SchemaRequirement::join`]): `a.join(b)` is the weakest requirement at
+//! least as strong as both, so the requirement of a compound program is the
+//! join of its parts' requirements. [`SchemaRequirement::NONE`] is the
+//! bottom element (satisfied by every table, including the empty one).
+//!
+//! **Soundness contract.** `!req.satisfied_by(ctx)` may only hold when
+//! instantiating the template on the table behind `ctx` fails for *every*
+//! RNG stream — the analyzers must under-approximate, never guess. The
+//! workspace property tests (`tests/property_tests.rs`) pin this against
+//! the real `try_instantiate_in` paths under many seeds.
+
+use crate::context::ExecContext;
+use crate::schema::ColumnType;
+
+/// What a template provably needs from a table (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchemaRequirement {
+    /// Minimum row count (1 when the template must sample any cell value).
+    pub min_rows: usize,
+    /// Minimum total column count (distinct column holes of any type).
+    pub min_cols: usize,
+    /// Minimum columns inferred as [`ColumnType::Number`].
+    pub min_number_cols: usize,
+    /// Minimum columns inferred as [`ColumnType::Date`].
+    pub min_date_cols: usize,
+    /// Minimum columns inferred as [`ColumnType::Text`].
+    pub min_text_cols: usize,
+    /// Minimum cells addressable as `the <col> of <row>` (arithmetic
+    /// templates; see `ExecContext::addressable_cells`).
+    pub min_addressable_cells: usize,
+    /// Whether at least one `Number` column must exist (arithmetic
+    /// column-aggregation holes bind only to schema-`Number` columns).
+    pub needs_number_column: bool,
+}
+
+impl SchemaRequirement {
+    /// The bottom of the lattice: satisfied by every table.
+    pub const NONE: SchemaRequirement = SchemaRequirement {
+        min_rows: 0,
+        min_cols: 0,
+        min_number_cols: 0,
+        min_date_cols: 0,
+        min_text_cols: 0,
+        min_addressable_cells: 0,
+        needs_number_column: false,
+    };
+
+    /// Pointwise join (max / or): the weakest requirement implying both.
+    pub fn join(self, other: SchemaRequirement) -> SchemaRequirement {
+        SchemaRequirement {
+            min_rows: self.min_rows.max(other.min_rows),
+            min_cols: self.min_cols.max(other.min_cols),
+            min_number_cols: self.min_number_cols.max(other.min_number_cols),
+            min_date_cols: self.min_date_cols.max(other.min_date_cols),
+            min_text_cols: self.min_text_cols.max(other.min_text_cols),
+            min_addressable_cells: self.min_addressable_cells.max(other.min_addressable_cells),
+            needs_number_column: self.needs_number_column || other.needs_number_column,
+        }
+    }
+
+    /// `true` for the bottom element (no table can fail it).
+    pub fn is_trivial(&self) -> bool {
+        *self == SchemaRequirement::NONE
+    }
+
+    /// Whether the table behind `ctx` meets every bound. `false` means the
+    /// analyzers proved instantiation cannot succeed on this table.
+    pub fn satisfied_by(&self, ctx: &ExecContext) -> bool {
+        ctx.n_rows() >= self.min_rows
+            && ctx.n_cols() >= self.min_cols
+            && ctx.column_type_count(ColumnType::Number) >= self.min_number_cols
+            && ctx.column_type_count(ColumnType::Date) >= self.min_date_cols
+            && ctx.column_type_count(ColumnType::Text) >= self.min_text_cols
+            && ctx.addressable_cells().len() >= self.min_addressable_cells
+            && (!self.needs_number_column || ctx.column_type_count(ColumnType::Number) > 0)
+    }
+}
+
+/// One static defect found in a template, independent of any table.
+///
+/// `code` is a stable kebab-case identifier (ratcheted by
+/// `xtask audit-templates`); `locus` names the offending construct inside
+/// the template (a hole like `val1`, an operator path like `and.arg0`);
+/// `message` explains the defect and its deterministic runtime consequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateIssue {
+    pub code: &'static str,
+    pub locus: String,
+    pub message: String,
+}
+
+impl TemplateIssue {
+    pub fn new(
+        code: &'static str,
+        locus: impl Into<String>,
+        message: impl Into<String>,
+    ) -> TemplateIssue {
+        TemplateIssue { code, locus: locus.into(), message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TemplateIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} ({})", self.locus, self.message, self.code)
+    }
+}
+
+/// The result of statically analyzing one template: every defect found plus
+/// the weakest [`SchemaRequirement`] a table must meet for instantiation to
+/// have any chance of succeeding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateAnalysis {
+    pub issues: Vec<TemplateIssue>,
+    pub requirement: SchemaRequirement,
+}
+
+impl TemplateAnalysis {
+    /// A defect-free analysis with the given requirement.
+    pub fn clean(requirement: SchemaRequirement) -> TemplateAnalysis {
+        TemplateAnalysis { issues: Vec::new(), requirement }
+    }
+
+    /// Whether the template typechecked without any defect.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn ctx(rows: &[Vec<&str>]) -> ExecContext {
+        let table = Table::from_strings("t", rows).unwrap_or_else(|e| panic!("test table: {e}"));
+        ExecContext::new(&table)
+    }
+
+    #[test]
+    fn bottom_is_satisfied_by_the_empty_table() {
+        let empty = ctx(&[vec!["a", "b"]]);
+        assert!(SchemaRequirement::NONE.satisfied_by(&empty));
+        assert!(SchemaRequirement::NONE.is_trivial());
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a = SchemaRequirement { min_rows: 1, min_number_cols: 2, ..SchemaRequirement::NONE };
+        let b = SchemaRequirement {
+            min_cols: 3,
+            min_number_cols: 1,
+            needs_number_column: true,
+            ..SchemaRequirement::NONE
+        };
+        let j = a.join(b);
+        assert_eq!(j.min_rows, 1);
+        assert_eq!(j.min_cols, 3);
+        assert_eq!(j.min_number_cols, 2);
+        assert!(j.needs_number_column);
+        // Commutative, idempotent, NONE is the identity.
+        assert_eq!(a.join(b), b.join(a));
+        assert_eq!(j.join(j), j);
+        assert_eq!(a.join(SchemaRequirement::NONE), a);
+    }
+
+    #[test]
+    fn satisfied_by_checks_the_type_census() {
+        let c = ctx(&[vec!["name", "pts", "when"], vec!["Ada", "3", "1990-05-01"]]);
+        let needs_number = SchemaRequirement { min_number_cols: 1, ..SchemaRequirement::NONE };
+        let needs_two_numbers = SchemaRequirement { min_number_cols: 2, ..SchemaRequirement::NONE };
+        let needs_date = SchemaRequirement { min_date_cols: 1, ..SchemaRequirement::NONE };
+        assert!(needs_number.satisfied_by(&c));
+        assert!(!needs_two_numbers.satisfied_by(&c));
+        assert!(needs_date.satisfied_by(&c));
+    }
+
+    #[test]
+    fn satisfied_by_checks_rows_and_addressable_cells() {
+        let empty = ctx(&[vec!["name", "pts"]]);
+        let row_req = SchemaRequirement { min_rows: 1, ..SchemaRequirement::NONE };
+        assert!(!row_req.satisfied_by(&empty));
+        let cells_req = SchemaRequirement { min_addressable_cells: 2, ..SchemaRequirement::NONE };
+        let one_cell = ctx(&[vec!["name", "pts"], vec!["Ada", "3"]]);
+        assert!(!cells_req.satisfied_by(&one_cell));
+        let two_cells = ctx(&[vec!["name", "pts", "wins"], vec!["Ada", "3", "4"]]);
+        assert!(cells_req.satisfied_by(&two_cells));
+    }
+}

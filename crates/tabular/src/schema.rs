@@ -173,8 +173,8 @@ mod tests {
     #[test]
     fn infer_dates() {
         let vals = vec![
-            Value::Date(Date::new(2001, 1, 1).unwrap()),
-            Value::Date(Date::new(2002, 2, 2).unwrap()),
+            Value::Date(Date::new(2001, 1, 1).unwrap_or_else(|| panic!("date"))),
+            Value::Date(Date::new(2002, 2, 2).unwrap_or_else(|| panic!("date"))),
             Value::Null,
         ];
         assert_eq!(infer_column_type(&vals), ColumnType::Date);

@@ -387,15 +387,19 @@ mod tests {
                 vec!["Treasury", "30", "1789-09-02"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e:?}"))
+    }
+
+    fn column_type(t: &Table, c: usize) -> ColumnType {
+        t.schema().column(c).unwrap_or_else(|| panic!("column {c}")).ty
     }
 
     #[test]
     fn from_strings_infers_types() {
         let t = sample();
-        assert_eq!(t.schema().column(0).unwrap().ty, ColumnType::Text);
-        assert_eq!(t.schema().column(1).unwrap().ty, ColumnType::Number);
-        assert_eq!(t.schema().column(2).unwrap().ty, ColumnType::Date);
+        assert_eq!(column_type(&t, 0), ColumnType::Text);
+        assert_eq!(column_type(&t, 1), ColumnType::Number);
+        assert_eq!(column_type(&t, 2), ColumnType::Date);
     }
 
     #[test]
@@ -430,7 +434,7 @@ mod tests {
     #[test]
     fn sort_with_nulls_last() {
         let t = Table::from_strings("t", &[vec!["x"], vec!["5"], vec![""], vec!["1"], vec!["3"]])
-            .unwrap();
+            .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let asc = t.sort_by_column(0, false);
         let vals: Vec<String> = asc.rows().iter().map(|r| r[0].to_string()).collect();
         assert_eq!(vals, vec!["1", "3", "5", ""]);
@@ -447,7 +451,8 @@ mod tests {
         assert_eq!(p.column_name(0), Some("total deputies"));
         let s = t.select_rows(&[2, 0]);
         assert_eq!(s.n_rows(), 2);
-        assert_eq!(s.cell(0, 0).unwrap().to_string(), "Treasury");
+        let c = s.cell(0, 0).unwrap_or_else(|| panic!("cell 0,0"));
+        assert_eq!(c.to_string(), "Treasury");
     }
 
     #[test]
@@ -463,7 +468,7 @@ mod tests {
             "t",
             &[vec!["c"], vec!["Apple"], vec!["apple"], vec!["Pear"], vec![""]],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         assert_eq!(t.distinct(0).len(), 2);
     }
 
@@ -471,7 +476,7 @@ mod tests {
     fn concat_requires_matching_schema() {
         let a = sample();
         let b = sample();
-        let joined = a.concat_rows(&b).unwrap();
+        let joined = a.concat_rows(&b).unwrap_or_else(|e| panic!("concat: {e:?}"));
         assert_eq!(joined.n_rows(), 6);
         let mismatched = a.project(&[0, 1]);
         assert!(a.concat_rows(&mismatched).is_err());
@@ -489,7 +494,8 @@ mod tests {
 
     #[test]
     fn linearize_skips_nulls() {
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", ""], vec!["", "2"]]).unwrap();
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", ""], vec!["", "2"]])
+            .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let lin = t.linearize();
         assert!(lin.contains("a: x;"));
         assert!(!lin.contains("b: ;"), "{lin}");
@@ -512,19 +518,20 @@ mod tests {
             .row_str(&["x", "1"])
             .row_str(&["y", "2"])
             .build()
-            .unwrap();
+            .unwrap_or_else(|e| panic!("build: {e:?}"));
         assert_eq!(t.n_rows(), 2);
         assert_eq!(t.cell(1, 1), Some(&Value::Number(2.0)));
     }
 
     #[test]
     fn reinfer_types_after_edit() {
-        let mut t = Table::from_strings("t", &[vec!["v"], vec!["hello"]]).unwrap();
-        assert_eq!(t.schema().column(0).unwrap().ty, ColumnType::Text);
-        t.remove_row(0).unwrap();
-        t.push_row(vec![Value::Number(1.0)]).unwrap();
-        t.push_row(vec![Value::Number(2.0)]).unwrap();
+        let mut t = Table::from_strings("t", &[vec!["v"], vec!["hello"]])
+            .unwrap_or_else(|e| panic!("test table: {e:?}"));
+        assert_eq!(column_type(&t, 0), ColumnType::Text);
+        t.remove_row(0).unwrap_or_else(|e| panic!("remove_row: {e:?}"));
+        t.push_row(vec![Value::Number(1.0)]).unwrap_or_else(|e| panic!("push_row: {e:?}"));
+        t.push_row(vec![Value::Number(2.0)]).unwrap_or_else(|e| panic!("push_row: {e:?}"));
         t.reinfer_types();
-        assert_eq!(t.schema().column(0).unwrap().ty, ColumnType::Number);
+        assert_eq!(column_type(&t, 0), ColumnType::Number);
     }
 }

@@ -396,8 +396,8 @@ mod tests {
 
     #[test]
     fn date_ordinal_is_monotone() {
-        let a = Date::new(1999, 12, 31).unwrap();
-        let b = Date::new(2000, 1, 1).unwrap();
+        let a = Date::new(1999, 12, 31).unwrap_or_else(|| panic!("date"));
+        let b = Date::new(2000, 1, 1).unwrap_or_else(|| panic!("date"));
         assert!(a.ordinal() < b.ordinal());
         assert!(a < b);
     }
@@ -409,7 +409,7 @@ mod tests {
             Value::Number(1.0),
             Value::Null,
             Value::Bool(true),
-            Value::Date(Date::new(2000, 1, 1).unwrap()),
+            Value::Date(Date::new(2000, 1, 1).unwrap_or_else(|| panic!("date"))),
         ];
         vals.sort();
         assert!(vals[0].is_null());

@@ -37,12 +37,10 @@ pub fn describe_row(table: &Table, row: usize, rng: &mut impl Rng) -> Option<Str
     if facts.is_empty() {
         return None;
     }
-    let joined = match facts.len() {
-        1 => facts.remove(0),
-        _ => {
-            let last = facts.pop().unwrap();
-            format!("{} and {}", facts.join(", "), last)
-        }
+    let joined = match (facts.pop(), facts.is_empty()) {
+        (None, _) => return None,
+        (Some(only), true) => only,
+        (Some(last), false) => format!("{} and {}", facts.join(", "), last),
     };
     let frame = match rng.gen_range(0..2) {
         0 => format!("{entity} has {joined}."),
@@ -111,13 +109,13 @@ mod tests {
                 vec!["Treasury", "30", "3000"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e:?}"))
     }
 
     #[test]
     fn describe_row_mentions_all_values() {
         let mut rng = StdRng::seed_from_u64(1);
-        let s = describe_row(&table(), 1, &mut rng).unwrap();
+        let s = describe_row(&table(), 1, &mut rng).unwrap_or_else(|| panic!("describe_row"));
         assert!(s.contains("Defense"), "{s}");
         assert!(s.contains("42"), "{s}");
         assert!(s.contains("9000"), "{s}");
@@ -127,7 +125,7 @@ mod tests {
     #[test]
     fn split_removes_row_and_keeps_rest() {
         let mut rng = StdRng::seed_from_u64(2);
-        let r = table_to_text(&table(), 1, &mut rng).unwrap();
+        let r = table_to_text(&table(), 1, &mut rng).unwrap_or_else(|| panic!("table_to_text"));
         assert_eq!(r.sub_table.n_rows(), 2);
         assert_eq!(r.entity, "Defense");
         assert!(!r.sub_table.rows().iter().any(|row| row[0].to_string() == "Defense"));
@@ -143,15 +141,16 @@ mod tests {
 
     #[test]
     fn single_row_table_not_splittable() {
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"]]).unwrap();
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"]])
+            .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let mut rng = StdRng::seed_from_u64(3);
         assert!(table_to_text(&t, 0, &mut rng).is_none());
     }
 
     #[test]
     fn row_with_null_entity_not_describable() {
-        let t =
-            Table::from_strings("t", &[vec!["name", "v"], vec!["", "1"], vec!["x", "2"]]).unwrap();
+        let t = Table::from_strings("t", &[vec!["name", "v"], vec!["", "1"], vec!["x", "2"]])
+            .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let mut rng = StdRng::seed_from_u64(4);
         assert!(describe_row(&t, 0, &mut rng).is_none());
         assert!(describe_row(&t, 1, &mut rng).is_some());
@@ -163,7 +162,7 @@ mod tests {
             "t",
             &[vec!["score", "player"], vec!["10", "alice"], vec!["20", "bob"]],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         assert_eq!(entity_column(&t), 1);
     }
 
@@ -173,9 +172,9 @@ mod tests {
             "t",
             &[vec!["name", "a", "b"], vec!["x", "", "7"], vec!["y", "1", "2"]],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let mut rng = StdRng::seed_from_u64(5);
-        let s = describe_row(&t, 0, &mut rng).unwrap();
+        let s = describe_row(&t, 0, &mut rng).unwrap_or_else(|| panic!("describe_row"));
         assert!(s.contains('7'), "{s}");
         assert!(is_faithful(&t, 0, &s));
     }

@@ -209,13 +209,13 @@ mod tests {
                 vec!["Defense", "42", "9000"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e:?}"))
     }
 
     #[test]
     fn extract_describe_row_style() {
         let r = extract_record("Energy has a total deputies of 12 and a budget of 700.", &table())
-            .unwrap();
+            .unwrap_or_else(|| panic!("extract_record"));
         assert_eq!(r.entity, "Energy");
         assert_eq!(r.fields.len(), 2);
         assert_eq!(r.fields[0], (1, Value::Number(12.0)));
@@ -228,7 +228,7 @@ mod tests {
             "Energy has total deputies equal to 12 and budget equal to 700.",
             &table(),
         )
-        .unwrap();
+        .unwrap_or_else(|| panic!("extract_record"));
         assert_eq!(r.entity, "Energy");
         assert_eq!(r.fields.len(), 2);
     }
@@ -239,7 +239,7 @@ mod tests {
             "In Departments, Energy has a total deputies of 12 and a budget of 700.",
             &table(),
         )
-        .unwrap();
+        .unwrap_or_else(|| panic!("extract_record"));
         assert_eq!(r.entity, "Energy");
     }
 
@@ -251,10 +251,10 @@ mod tests {
     #[test]
     fn expansion_appends_row() {
         let p = "The department was reorganized in 1977. Energy has a total deputies of 12 and a budget of 700. Funding grew later.";
-        let r = text_to_table(&table(), p).unwrap();
+        let r = text_to_table(&table(), p).unwrap_or_else(|| panic!("text_to_table"));
         assert_eq!(r.expanded.n_rows(), 3);
         assert_eq!(r.sentence_index, 1);
-        let last = r.expanded.row(2).unwrap();
+        let last = r.expanded.row(2).unwrap_or_else(|| panic!("row 2"));
         assert_eq!(last[0].to_string(), "Energy");
         assert_eq!(last[1], Value::Number(12.0));
     }
@@ -278,8 +278,9 @@ mod tests {
     #[test]
     fn expanded_types_reinferred() {
         let p = "Energy has a total deputies of 12 and a budget of 700.";
-        let r = text_to_table(&table(), p).unwrap();
-        assert_eq!(r.expanded.schema().column(1).unwrap().ty, tabular::ColumnType::Number);
+        let r = text_to_table(&table(), p).unwrap_or_else(|| panic!("text_to_table"));
+        let col = r.expanded.schema().column(1).unwrap_or_else(|| panic!("column 1"));
+        assert_eq!(col.ty, tabular::ColumnType::Number);
     }
 
     #[test]
@@ -295,13 +296,15 @@ mod tests {
                 vec!["Energy", "12", "700"],
             ],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let mut rng = StdRng::seed_from_u64(7);
         // Split Energy out, then recover it from the sentence.
-        let split = crate::table_to_text::table_to_text(&full, 2, &mut rng).unwrap();
-        let restored = text_to_table(&split.sub_table, &split.sentence).unwrap();
+        let split = crate::table_to_text::table_to_text(&full, 2, &mut rng)
+            .unwrap_or_else(|| panic!("table_to_text"));
+        let restored = text_to_table(&split.sub_table, &split.sentence)
+            .unwrap_or_else(|| panic!("text_to_table"));
         assert_eq!(restored.expanded.n_rows(), 3);
-        let recovered = restored.expanded.row(2).unwrap();
+        let recovered = restored.expanded.row(2).unwrap_or_else(|| panic!("row 2"));
         assert_eq!(recovered[0].to_string(), "Energy");
         assert_eq!(recovered[1], Value::Number(12.0));
         assert_eq!(recovered[2], Value::Number(700.0));

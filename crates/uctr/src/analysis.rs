@@ -1,0 +1,252 @@
+//! Unified template static analysis: the cross-DSL layer over the
+//! per-crate `analysis` modules (see `DESIGN.md` §6).
+//!
+//! Each executor crate ships an `analysis::analyze` function that
+//! typechecks a parsed template *without a table* and computes the
+//! [`SchemaRequirement`] a table must meet for instantiation to have any
+//! chance of succeeding. This module stitches those per-DSL results into
+//! one kind-tagged view:
+//!
+//! * [`AnalyzedTemplate`] — kind + dedup signature + requirement + issues,
+//!   obtained from any [`ProgramTemplate`] via [`AnalyzedTemplate::of`] or
+//!   from surface text via [`analyze_text`];
+//! * [`TemplateDiagnostics`] — the structured error type
+//!   [`crate::TemplateBank::try_add`] and
+//!   [`crate::TemplateBank::builtin_checked`] reject ill-typed templates
+//!   with, and the report currency of `xtask audit-templates`.
+//!
+//! Soundness contract (pinned by the prefilter property test in
+//! `tests/property_tests.rs`): a template with a non-empty issue list fails
+//! `try_instantiate` on *every* table under *every* RNG stream, and a table
+//! failing `requirement.satisfied_by` fails instantiation of that template
+//! under every RNG stream. The analyzers may under-approximate (miss a
+//! defect, report a too-weak requirement) but never over-approximate.
+
+use crate::program::{AnyTemplate, ProgramTemplate};
+use crate::telemetry::KindSlot;
+use arithexpr::AeTemplate;
+use logicforms::LfTemplate;
+use sqlexec::SqlTemplate;
+use std::fmt;
+use tabular::{SchemaRequirement, TemplateAnalysis, TemplateIssue};
+
+/// Diagnostic code used for templates whose surface text does not parse
+/// (only reachable through [`analyze_text`] / the checked bank builders —
+/// a parsed template can no longer have this issue).
+pub const PARSE_ERROR: &str = "parse-error";
+
+/// The static-analysis view of one template: which DSL it belongs to, its
+/// dedup signature, the weakest schema requirement a table must meet, and
+/// every type defect found.
+#[derive(Debug, Clone)]
+pub struct AnalyzedTemplate {
+    pub kind: KindSlot,
+    /// The template's dedup signature (or its raw source text when the
+    /// template never parsed).
+    pub signature: String,
+    pub requirement: SchemaRequirement,
+    pub issues: Vec<TemplateIssue>,
+}
+
+impl AnalyzedTemplate {
+    /// Analyzes any program template through the trait layer.
+    pub fn of(template: &dyn ProgramTemplate) -> AnalyzedTemplate {
+        let TemplateAnalysis { issues, requirement } = template.analyze();
+        AnalyzedTemplate {
+            kind: template.kind(),
+            signature: template.signature(),
+            requirement,
+            issues,
+        }
+    }
+
+    /// No defects: the template may still fail on a given table at
+    /// runtime, but not deterministically on every table.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Converts the issue list into kind/signature-tagged diagnostics
+    /// (empty when clean).
+    pub fn into_diagnostics(self) -> TemplateDiagnostics {
+        let AnalyzedTemplate { kind, signature, issues, .. } = self;
+        TemplateDiagnostics {
+            diagnostics: issues
+                .into_iter()
+                .map(|issue| TemplateDiagnostic {
+                    kind,
+                    template: signature.clone(),
+                    code: issue.code,
+                    locus: issue.locus,
+                    message: issue.message,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One template defect, tagged with the template it was found in. Renders
+/// as `<kind>:<template>:<locus>: <message> (<code>)`; `xtask
+/// audit-templates` prepends the source (builtin / mined file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateDiagnostic {
+    pub kind: KindSlot,
+    /// The offending template's signature (raw source text for parse
+    /// failures).
+    pub template: String,
+    /// Stable kebab-case defect identifier (the ratchet key of
+    /// `ci/template_health.json`).
+    pub code: &'static str,
+    /// The offending construct inside the template.
+    pub locus: String,
+    pub message: String,
+}
+
+impl fmt::Display for TemplateDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} ({})",
+            self.kind.name(),
+            self.template,
+            self.locus,
+            self.message,
+            self.code
+        )
+    }
+}
+
+/// A non-empty batch of [`TemplateDiagnostic`]s — the error type of the
+/// checked [`crate::TemplateBank`] constructors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TemplateDiagnostics {
+    pub diagnostics: Vec<TemplateDiagnostic>,
+}
+
+impl TemplateDiagnostics {
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TemplateDiagnostic> {
+        self.diagnostics.iter()
+    }
+}
+
+impl fmt::Display for TemplateDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TemplateDiagnostics {}
+
+/// Parses one template of `kind` from its surface text. A parse failure
+/// becomes a [`PARSE_ERROR`] diagnostic rather than a panic, so callers
+/// can fold parser and type errors into one report.
+pub fn parse_any(kind: KindSlot, text: &str) -> Result<AnyTemplate, TemplateDiagnostic> {
+    let parse_failure = |message: String| TemplateDiagnostic {
+        kind,
+        template: text.to_string(),
+        code: PARSE_ERROR,
+        locus: "parse".to_string(),
+        message,
+    };
+    match kind {
+        KindSlot::Sql => {
+            SqlTemplate::parse(text).map(AnyTemplate::Sql).map_err(|e| parse_failure(e.to_string()))
+        }
+        KindSlot::Logic => LfTemplate::parse(text)
+            .map(AnyTemplate::Logic)
+            .map_err(|e| parse_failure(e.to_string())),
+        KindSlot::Arith => AeTemplate::parse(text)
+            .map(AnyTemplate::Arith)
+            .map_err(|e| parse_failure(e.to_string())),
+        KindSlot::None => {
+            Err(parse_failure("the `none` slot holds no program templates".to_string()))
+        }
+    }
+}
+
+/// Parses and analyzes one template source line. Parse failures surface as
+/// a single [`PARSE_ERROR`] issue with the raw text as the signature, so
+/// audits can report malformed and ill-typed templates uniformly.
+pub fn analyze_text(kind: KindSlot, text: &str) -> AnalyzedTemplate {
+    match parse_any(kind, text) {
+        Ok(t) => AnalyzedTemplate::of(t.as_program()),
+        Err(d) => AnalyzedTemplate {
+            kind,
+            signature: d.template,
+            requirement: SchemaRequirement::NONE,
+            issues: vec![TemplateIssue::new(d.code, d.locus, d.message)],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzed_template_carries_kind_signature_and_requirement() {
+        let a = analyze_text(KindSlot::Sql, "select c1 from w where c2 = val1");
+        assert!(a.is_clean(), "{:?}", a.issues);
+        assert_eq!(a.kind, KindSlot::Sql);
+        assert_eq!(a.requirement.min_cols, 2);
+        assert_eq!(a.requirement.min_rows, 1, "paired value hole needs a row to sample from");
+    }
+
+    #[test]
+    fn trait_analyze_matches_per_crate_analyzers() {
+        let sql = SqlTemplate::parse("select c1 from w order by c2_number desc limit 1")
+            .unwrap_or_else(|e| panic!("sql: {e}"));
+        assert_eq!(ProgramTemplate::analyze(&sql), sqlexec::analysis::analyze(&sql));
+        let lf = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }")
+            .unwrap_or_else(|e| panic!("lf: {e}"));
+        assert_eq!(ProgramTemplate::analyze(&lf), logicforms::analysis::analyze(&lf));
+        let ae = AeTemplate::parse("table_sum( c1 )").unwrap_or_else(|e| panic!("ae: {e}"));
+        assert_eq!(ProgramTemplate::analyze(&ae), arithexpr::analysis::analyze(&ae));
+    }
+
+    #[test]
+    fn parse_failures_become_diagnostics() {
+        let a = analyze_text(KindSlot::Logic, "eq { count {");
+        assert_eq!(a.issues.len(), 1);
+        assert_eq!(a.issues[0].code, PARSE_ERROR);
+        assert_eq!(a.signature, "eq { count {", "raw text stands in for the signature");
+        assert!(a.requirement.is_trivial());
+
+        let none = parse_any(KindSlot::None, "anything");
+        assert_eq!(none.err().map(|d| d.code), Some(PARSE_ERROR));
+    }
+
+    #[test]
+    fn diagnostics_render_kind_template_locus() {
+        let a = analyze_text(KindSlot::Logic, "count { all_rows }");
+        assert!(!a.is_clean());
+        let diags = a.into_diagnostics();
+        assert_eq!(diags.len(), 1);
+        let rendered = diags.to_string();
+        assert!(rendered.starts_with("logic:"), "{rendered}");
+        assert!(rendered.contains("non-boolean-root"), "{rendered}");
+    }
+
+    #[test]
+    fn clean_analysis_yields_empty_diagnostics() {
+        let a = analyze_text(KindSlot::Arith, "subtract( val1 , val2 )");
+        assert!(a.is_clean());
+        let diags = a.clone().into_diagnostics();
+        assert!(diags.is_empty());
+        assert_eq!(diags, TemplateDiagnostics::default());
+    }
+}

@@ -76,7 +76,9 @@ impl ProgramDistribution {
             }
             roll -= w;
         }
-        *candidates.last().unwrap()
+        // Unreachable for the non-empty candidate lists the callers
+        // pass; a neutral root op keeps this total.
+        candidates.last().copied().unwrap_or(LfOp::Eq)
     }
 
     /// Typical filter depth (samples from the observed distribution).
@@ -219,7 +221,9 @@ impl AutoGenerator {
                 let b = self.gen_scalar(rng, depth + 1);
                 LfExpr::Apply(op, vec![a, b])
             }
-            _ => unreachable!(),
+            // `ops` above admits only the scalar operators already matched;
+            // fall back to a count so the synthesis stays well-typed.
+            _ => LfExpr::Apply(Count, vec![self.gen_view(rng, 0)]),
         }
     }
 
@@ -313,7 +317,7 @@ mod tests {
                 vec!["Silvers", "Porto", "70", "19"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("probe table: {e:?}"))
     }
 
     #[test]
@@ -334,7 +338,8 @@ mod tests {
             let tpl = gen.propose(&mut rng);
             assert!(tpl.expr().has_holes(), "template without holes: {}", tpl.signature());
             // Round-trips through the parser.
-            let reparsed = logicforms::parse(&tpl.signature()).unwrap();
+            let reparsed = logicforms::parse(&tpl.signature())
+                .unwrap_or_else(|e| panic!("reparse {}: {e}", tpl.signature()));
             assert_eq!(&reparsed, tpl.expr());
         }
     }
@@ -354,7 +359,9 @@ mod tests {
         for t in &new_templates {
             let claim = t.instantiate(&probe(), &mut rng, true);
             if let Some(c) = claim {
-                assert!(logicforms::evaluate_truth(&c.expr, &probe()).unwrap());
+                let truth = logicforms::evaluate_truth(&c.expr, &probe())
+                    .unwrap_or_else(|e| panic!("evaluate: {e:?}"));
+                assert!(truth);
             }
         }
     }

@@ -22,6 +22,7 @@
 //! assert!(!samples.is_empty());
 //! ```
 
+pub mod analysis;
 pub mod autogen;
 pub mod mqaqg;
 pub mod pipeline;
@@ -30,6 +31,9 @@ pub mod sample;
 pub mod telemetry;
 pub mod templates;
 
+pub use analysis::{
+    analyze_text, AnalyzedTemplate, TemplateDiagnostic, TemplateDiagnostics, PARSE_ERROR,
+};
 pub use autogen::{extend_bank_auto, AutoGenerator, ProgramDistribution};
 pub use mqaqg::{generate_mqaqg, MqaQgConfig};
 pub use pipeline::{TableWithContext, TaskKind, UctrConfig, UctrPipeline};
@@ -39,3 +43,6 @@ pub use telemetry::{
     DiscardReport, KindReport, KindSlot, PipelineReport, SourceReport, TelemetryBank, TimingReport,
 };
 pub use templates::{TemplateBank, BUILTIN_ARITH, BUILTIN_LOGIC, BUILTIN_SQL};
+// Re-exported so analysis consumers (e.g. the xtask auditor) need only a
+// `uctr` dependency.
+pub use tabular::{SchemaRequirement, TemplateAnalysis, TemplateIssue};

@@ -205,7 +205,7 @@ mod tests {
             "Teams",
             &[vec!["team", "points", "wins"], vec!["Reds", "77", "21"], vec!["Blues", "64", "18"]],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         vec![TableWithContext {
             table: t,
             paragraph: Some("The Reds were founded in 1910 in Oslo.".to_string()),
@@ -218,7 +218,7 @@ mod tests {
         let samples = generate_mqaqg(&inputs(), &MqaQgConfig::qa());
         assert!(!samples.is_empty());
         for s in &samples {
-            let ans = s.label.as_answer().unwrap();
+            let ans = s.label.as_answer().unwrap_or_else(|| panic!("qa label"));
             assert!(!ans.is_empty());
             match s.evidence {
                 // Table samples: the answer is a cell of the table.

@@ -504,7 +504,9 @@ impl UctrPipeline {
             TaskKind::QuestionAnswering => {
                 // Enabled kinds on the stack — the draw order (sql, arith,
                 // logic) and the single `choose` call are part of the
-                // fixed-seed determinism contract.
+                // fixed-seed determinism contract. The schema prefilter
+                // below must sit between the bank draw and the
+                // instantiation draws and never consume entropy itself.
                 let mut kinds = [KindSlot::Sql; 3];
                 let mut n = 0;
                 for (flag, slot) in [
@@ -521,10 +523,25 @@ impl UctrPipeline {
             }
         };
         tel.stage(kind, Stage::Attempted);
-        let Some(tpl) = self.bank.choose(kind, rng) else {
+        let Some((tpl, requirement)) = self.bank.choose_with_requirement(kind, rng) else {
             tel.discard(kind, Discard::NoTemplate);
             return None;
         };
+        // Schema prefilter: skip (template, table) pairs whose statically
+        // computed requirement the table provably cannot satisfy.
+        // Soundness (pinned by the property tests): the requirement only
+        // rejects tables on which `try_instantiate` fails under *every*
+        // RNG stream, so no reachable sample is ever lost. Draw-order
+        // contract: the skip happens after the single `choose` draw and
+        // consumes no draws itself — note this is NOT stream-equivalent to
+        // letting instantiation fail (a failing sampler consumes draws),
+        // so the byte-identical golden outputs rely on the golden tables
+        // satisfying every builtin requirement (asserted in
+        // tests/golden_pipeline.rs).
+        if !requirement.satisfied_by(ctx) {
+            tel.prefilter(kind);
+            return None;
+        }
         let mut inst = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, ctx, rng))
         {
             Ok(inst) => inst,
@@ -610,7 +627,7 @@ mod tests {
                 vec!["Golds", "Quito", "59", "15"],
             ],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e}"));
         let t2 = Table::from_strings(
             "Budgets",
             &[
@@ -620,7 +637,7 @@ mod tests {
                 vec!["Equity", "3200", "4000"],
             ],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e}"));
         vec![
             TableWithContext {
                 table: t1,
@@ -646,8 +663,9 @@ mod tests {
         assert!(samples.len() > 10, "only {} samples", samples.len());
         for s in &samples {
             assert!(!s.text.is_empty());
-            assert!(s.label.as_answer().is_some());
-            assert!(!s.label.as_answer().unwrap().is_empty());
+            let answer =
+                s.label.as_answer().unwrap_or_else(|| panic!("QA sample without answer label"));
+            assert!(!answer.is_empty());
         }
     }
 
@@ -684,6 +702,43 @@ mod tests {
         let samples = pipeline.generate(&inputs());
         // text_only still enabled -> TextOnly remains, but no TableText.
         assert!(samples.iter().all(|s| s.evidence != EvidenceType::TableText));
+    }
+
+    #[test]
+    fn schema_prefilter_skips_infeasible_pairs() {
+        // A text-only table: every arithmetic template needs numeric cells
+        // (or a number column), so each arith attempt is provably
+        // infeasible and must be prefiltered rather than burned on the
+        // instantiation sampler.
+        let t = Table::from_strings(
+            "t",
+            &[
+                vec!["name", "city"],
+                vec!["Reds", "Oslo"],
+                vec!["Blues", "Lima"],
+                vec!["Greens", "Kyiv"],
+            ],
+        )
+        .unwrap_or_else(|e| panic!("test table: {e}"));
+        let cfg = UctrConfig {
+            noise: NoiseConfig::off(),
+            text_only: false,
+            table_split: false,
+            table_expand: false,
+            ..UctrConfig::qa()
+        };
+        let (_, report) = UctrPipeline::new(cfg).generate_with_report(&[TableWithContext::bare(t)]);
+        let arith = report
+            .kinds
+            .iter()
+            .find(|k| k.kind == "arith")
+            .unwrap_or_else(|| panic!("report always carries an arith row"));
+        assert_eq!(
+            arith.prefiltered, arith.attempted,
+            "every arith attempt on a numberless table is prefiltered"
+        );
+        assert_eq!(arith.instantiated, 0);
+        assert!(report.prefiltered() > 0, "expected prefilter hits:\n{}", report.summary());
     }
 
     #[test]

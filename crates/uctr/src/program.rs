@@ -31,7 +31,7 @@ use nlgen::{Generated, NlGenerator, ProgramRef};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sqlexec::{SelectStmt, SqlTemplate};
-use tabular::{ExecContext, Table};
+use tabular::{ExecContext, Table, TemplateAnalysis};
 
 /// Everything the pipeline carries away from one successful program run.
 #[derive(Debug, Clone)]
@@ -58,6 +58,15 @@ pub trait ProgramTemplate: Send + Sync {
     /// The dedup signature (unprefixed — the bank prefixes by kind so that
     /// signatures never collide across kinds).
     fn signature(&self) -> String;
+
+    /// Statically typechecks the template without a table and computes the
+    /// weakest [`tabular::SchemaRequirement`] a table must satisfy for
+    /// [`ProgramTemplate::try_instantiate`] to have any chance of
+    /// succeeding. Soundness contract: a reported issue means
+    /// instantiation fails on every table under every RNG stream; an
+    /// unsatisfied requirement means it fails on that table under every
+    /// RNG stream (see `crate::analysis`).
+    fn analyze(&self) -> TemplateAnalysis;
 
     /// Samples the template's holes from `table`, returning a runnable
     /// program. All table scans go through the shared `ctx` caches. The
@@ -110,6 +119,10 @@ impl ProgramTemplate for SqlTemplate {
 
     fn signature(&self) -> String {
         SqlTemplate::signature(self)
+    }
+
+    fn analyze(&self) -> TemplateAnalysis {
+        sqlexec::analysis::analyze(self)
     }
 
     fn try_instantiate(
@@ -185,6 +198,10 @@ impl ProgramTemplate for LfTemplate {
         LfTemplate::signature(self)
     }
 
+    fn analyze(&self) -> TemplateAnalysis {
+        logicforms::analysis::analyze(self)
+    }
+
     fn try_instantiate(
         &self,
         table: &Table,
@@ -236,6 +253,10 @@ impl ProgramTemplate for AeTemplate {
 
     fn signature(&self) -> String {
         AeTemplate::signature(self)
+    }
+
+    fn analyze(&self) -> TemplateAnalysis {
+        arithexpr::analysis::analyze(self)
     }
 
     fn try_instantiate(
@@ -315,20 +336,30 @@ mod tests {
                 vec!["Greens", "Kyiv", "81", "24"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
+    }
+
+    fn instantiate(
+        tpl: &dyn ProgramTemplate,
+        t: &Table,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+    ) -> Box<dyn InstantiatedProgram> {
+        tpl.try_instantiate(t, ctx, rng).unwrap_or_else(|e| panic!("instantiate: {e:?}"))
     }
 
     #[test]
     fn sql_template_runs_end_to_end_through_the_trait() {
         let t = table();
         let ctx = ExecContext::new(&t);
-        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1").unwrap();
+        let tpl = SqlTemplate::parse("select c1 from w where c2 = val1")
+            .unwrap_or_else(|e| panic!("parse: {e}"));
         let dyn_tpl: &dyn ProgramTemplate = &tpl;
         assert_eq!(dyn_tpl.kind(), KindSlot::Sql);
         let mut rng = StdRng::seed_from_u64(7);
-        let mut inst = dyn_tpl.try_instantiate(&t, &ctx, &mut rng).unwrap();
+        let mut inst = instantiate(dyn_tpl, &t, &ctx, &mut rng);
         assert!(!inst.pre_executed());
-        inst.execute(&t, &ctx).unwrap();
+        inst.execute(&t, &ctx).unwrap_or_else(|e| panic!("execute: {e:?}"));
         let gen = inst.verbalize(&NlGenerator::new(), &mut rng);
         assert!(!gen.text.is_empty());
         let out = inst.output();
@@ -340,12 +371,13 @@ mod tests {
     fn logic_template_reports_verdict_labels() {
         let t = table();
         let ctx = ExecContext::new(&t);
-        let tpl = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }").unwrap();
+        let tpl = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }")
+            .unwrap_or_else(|e| panic!("parse: {e}"));
         let dyn_tpl: &dyn ProgramTemplate = &tpl;
         assert_eq!(dyn_tpl.kind(), KindSlot::Logic);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut inst = dyn_tpl.try_instantiate(&t, &ctx, &mut rng).unwrap();
-        inst.execute(&t, &ctx).unwrap();
+        let mut inst = instantiate(dyn_tpl, &t, &ctx, &mut rng);
+        inst.execute(&t, &ctx).unwrap_or_else(|e| panic!("execute: {e:?}"));
         let out = inst.output();
         assert!(matches!(out.program, ProgramKind::Logic(_)));
         assert!(out.label.as_verdict().is_some());
@@ -357,11 +389,11 @@ mod tests {
     fn arith_template_is_pre_executed() {
         let t = table();
         let ctx = ExecContext::new(&t);
-        let tpl = AeTemplate::parse("table_sum( c1 )").unwrap();
+        let tpl = AeTemplate::parse("table_sum( c1 )").unwrap_or_else(|e| panic!("parse: {e}"));
         let dyn_tpl: &dyn ProgramTemplate = &tpl;
         assert_eq!(dyn_tpl.kind(), KindSlot::Arith);
         let mut rng = StdRng::seed_from_u64(5);
-        let mut inst = dyn_tpl.try_instantiate(&t, &ctx, &mut rng).unwrap();
+        let mut inst = instantiate(dyn_tpl, &t, &ctx, &mut rng);
         assert!(inst.pre_executed());
         let out = inst.output();
         assert!(matches!(out.program, ProgramKind::Arith(_)));
@@ -372,9 +404,10 @@ mod tests {
     fn instantiation_failures_map_to_unified_discards() {
         // A table with no numeric columns cannot satisfy an arithmetic
         // template.
-        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]]).unwrap();
+        let t = Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"]])
+            .unwrap_or_else(|e| panic!("test table: {e}"));
         let ctx = ExecContext::new(&t);
-        let tpl = AeTemplate::parse("table_sum( c1 )").unwrap();
+        let tpl = AeTemplate::parse("table_sum( c1 )").unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(1);
         let err = match ProgramTemplate::try_instantiate(&tpl, &t, &ctx, &mut rng) {
             Err(e) => e,
@@ -385,11 +418,16 @@ mod tests {
 
     #[test]
     fn any_template_exposes_its_kind() {
-        let sql = AnyTemplate::Sql(SqlTemplate::parse("select c1 from w").unwrap());
-        let logic = AnyTemplate::Logic(
-            LfTemplate::parse("only { filter_eq { all_rows ; c1 ; val1 } }").unwrap(),
+        let sql = AnyTemplate::Sql(
+            SqlTemplate::parse("select c1 from w").unwrap_or_else(|e| panic!("sql: {e}")),
         );
-        let arith = AnyTemplate::Arith(AeTemplate::parse("table_max( c1 )").unwrap());
+        let logic = AnyTemplate::Logic(
+            LfTemplate::parse("only { filter_eq { all_rows ; c1 ; val1 } }")
+                .unwrap_or_else(|e| panic!("lf: {e}")),
+        );
+        let arith = AnyTemplate::Arith(
+            AeTemplate::parse("table_max( c1 )").unwrap_or_else(|e| panic!("ae: {e}")),
+        );
         assert_eq!(sql.kind(), KindSlot::Sql);
         assert_eq!(logic.kind(), KindSlot::Logic);
         assert_eq!(arith.kind(), KindSlot::Arith);

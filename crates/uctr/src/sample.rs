@@ -261,7 +261,8 @@ mod tests {
     use super::*;
 
     fn t() -> Table {
-        Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"]]).unwrap()
+        Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"]])
+            .unwrap_or_else(|e| panic!("test table: {e:?}"))
     }
 
     #[test]
@@ -293,8 +294,9 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let s = Sample::qa(t(), "q?", "a");
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Sample = serde_json::from_str(&json).unwrap();
+        let json = serde_json::to_string(&s).unwrap_or_else(|e| panic!("serialize: {e}"));
+        let back: Sample =
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("deserialize: {e}"));
         assert_eq!(back.text, "q?");
         assert_eq!(back.label, Label::Answer("a".into()));
     }
@@ -304,8 +306,8 @@ mod tests {
         let mut d = Dataset::new("toy");
         d.train.push(Sample::qa(t(), "q1?", "1"));
         d.dev.push(Sample::verification(t(), "c1.", Verdict::Refuted));
-        let json = d.to_json().unwrap();
-        let back = Dataset::from_json(&json).unwrap();
+        let json = d.to_json().unwrap_or_else(|e| panic!("to_json: {e}"));
+        let back = Dataset::from_json(&json).unwrap_or_else(|e| panic!("from_json: {e}"));
         assert_eq!(back.name, "toy");
         assert_eq!(back.train.len(), 1);
         assert_eq!(back.dev[0].label.as_verdict(), Some(Verdict::Refuted));
@@ -316,8 +318,8 @@ mod tests {
         let mut d = Dataset::new("disk");
         d.test.push(Sample::qa(t(), "q?", "a"));
         let path = std::env::temp_dir().join("uctr_dataset_roundtrip_test.json");
-        d.save(&path).unwrap();
-        let back = Dataset::load(&path).unwrap();
+        d.save(&path).unwrap_or_else(|e| panic!("save: {e}"));
+        let back = Dataset::load(&path).unwrap_or_else(|e| panic!("load: {e}"));
         assert_eq!(back.test.len(), 1);
         let _ = std::fs::remove_file(&path);
     }

@@ -269,6 +269,12 @@ impl AtomicHistogram {
 #[derive(Debug, Default)]
 pub struct TelemetryBank {
     stages: [[AtomicU64; N_STAGES]; N_KINDS],
+    /// Attempts skipped by the schema prefilter before instantiation: the
+    /// chosen template's static [`tabular::SchemaRequirement`] proved the
+    /// table infeasible. A funnel stage of its own, deliberately distinct
+    /// from the runtime [`Discard`] reasons — prefiltered pairs never
+    /// reached the instantiation sampler.
+    prefiltered: [AtomicU64; N_KINDS],
     discards: [[AtomicU64; N_REASONS]; N_KINDS],
     source_attempted: [AtomicU64; N_SOURCES],
     source_accepted: [AtomicU64; N_SOURCES],
@@ -291,6 +297,12 @@ impl TelemetryBank {
     #[inline]
     pub fn discard(&self, kind: KindSlot, reason: Discard) {
         self.discards[kind as usize][reason as usize].fetch_add(1, Relaxed);
+    }
+
+    /// Records one attempt skipped by the schema prefilter.
+    #[inline]
+    pub fn prefilter(&self, kind: KindSlot) {
+        self.prefiltered[kind as usize].fetch_add(1, Relaxed);
     }
 
     #[inline]
@@ -337,6 +349,9 @@ impl TelemetryBank {
                 cell.fetch_add(other.stages[k][s].load(Relaxed), Relaxed);
             }
         }
+        for (k, cell) in self.prefiltered.iter().enumerate() {
+            cell.fetch_add(other.prefiltered[k].load(Relaxed), Relaxed);
+        }
         for (k, grid) in self.discards.iter().enumerate() {
             for (r, cell) in grid.iter().enumerate() {
                 cell.fetch_add(other.discards[k][r].load(Relaxed), Relaxed);
@@ -365,6 +380,7 @@ impl TelemetryBank {
                 KindReport {
                     kind: k.name().to_string(),
                     attempted: stage(Stage::Attempted),
+                    prefiltered: self.prefiltered[k as usize].load(Relaxed),
                     instantiated: stage(Stage::Instantiated),
                     executed: stage(Stage::Executed),
                     accepted: stage(Stage::Accepted),
@@ -405,6 +421,9 @@ impl TelemetryBank {
 pub struct KindReport {
     pub kind: String,
     pub attempted: u64,
+    /// Attempts the schema prefilter skipped before instantiation (a
+    /// funnel stage distinct from the runtime `discards`).
+    pub prefiltered: u64,
     pub instantiated: u64,
     pub executed: u64,
     pub accepted: u64,
@@ -470,6 +489,22 @@ impl PipelineReport {
         self.kinds.iter().map(|k| k.accepted).sum()
     }
 
+    /// Total attempts the schema prefilter skipped, summed over kinds.
+    pub fn prefiltered(&self) -> u64 {
+        self.kinds.iter().map(|k| k.prefiltered).sum()
+    }
+
+    /// Prefiltered / attempted program attempts (0 when nothing was
+    /// attempted) — the hit rate the bench binaries report.
+    pub fn prefilter_rate(&self) -> f64 {
+        let attempted: u64 = self.kinds.iter().map(|k| k.attempted).sum();
+        if attempted == 0 {
+            0.0
+        } else {
+            self.prefiltered() as f64 / attempted as f64
+        }
+    }
+
     /// Accepted / attempted — the rate the CI floor gates on.
     pub fn acceptance_rate(&self) -> f64 {
         let attempted = self.attempted();
@@ -514,7 +549,9 @@ impl PipelineReport {
     }
 
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("PipelineReport serialization is infallible")
+        // Serialization of the plain-data report cannot fail; an empty
+        // string is a safe (and greppable) degenerate output.
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
     pub fn from_json(text: &str) -> Result<PipelineReport, serde::Error> {
@@ -538,8 +575,8 @@ impl PipelineReport {
             let discarded: u64 = k.discards.iter().map(|d| d.count).sum();
             let _ = writeln!(
                 s,
-                "  {:<6} attempted {:>6}  instantiated {:>6}  executed {:>6}  accepted {:>6}  discarded {:>6}",
-                k.kind, k.attempted, k.instantiated, k.executed, k.accepted, discarded
+                "  {:<6} attempted {:>6}  prefiltered {:>6}  instantiated {:>6}  executed {:>6}  accepted {:>6}  discarded {:>6}",
+                k.kind, k.attempted, k.prefiltered, k.instantiated, k.executed, k.accepted, discarded
             );
         }
         for src in self.sources.iter().filter(|src| src.attempted > 0) {
@@ -590,10 +627,42 @@ mod tests {
         b.time(Timer::Execute, Duration::from_micros(3));
         a.merge(&b);
         let report = a.report(2);
-        let logic = report.kinds.iter().find(|k| k.kind == "logic").unwrap();
+        let logic = report
+            .kinds
+            .iter()
+            .find(|k| k.kind == "logic")
+            .unwrap_or_else(|| panic!("report always carries a logic row"));
         assert_eq!(logic.attempted, 2);
         assert_eq!(logic.discards[0].reason, "truth_unreachable");
         assert_eq!(report.timings[Timer::Execute as usize].count, 1);
+    }
+
+    #[test]
+    fn prefilter_counts_round_trip_and_merge() {
+        let a = TelemetryBank::new();
+        let b = TelemetryBank::new();
+        a.stage(KindSlot::Sql, Stage::Attempted);
+        a.prefilter(KindSlot::Sql);
+        b.stage(KindSlot::Sql, Stage::Attempted);
+        b.prefilter(KindSlot::Sql);
+        b.stage(KindSlot::Arith, Stage::Attempted);
+        b.stage(KindSlot::Arith, Stage::Instantiated);
+        a.merge(&b);
+        let report = a.report(2);
+        assert_eq!(report.prefiltered(), 2);
+        let sql = report
+            .kinds
+            .iter()
+            .find(|k| k.kind == "sql")
+            .unwrap_or_else(|| panic!("report always carries a sql row"));
+        assert_eq!(sql.prefiltered, 2);
+        assert_eq!(sql.attempted, 2);
+        assert!(sql.discards.is_empty(), "prefilter is not a discard reason");
+        assert!((report.prefilter_rate() - 2.0 / 3.0).abs() < 1e-12, "2 prefiltered / 3 attempted");
+        // Prefilter counts are deterministic state: they participate in
+        // deterministic_eq via the kind rows.
+        let fresh = TelemetryBank::new().report(1);
+        assert!(!report.deterministic_eq(&fresh));
     }
 
     #[test]
@@ -620,7 +689,8 @@ mod tests {
         bank.time(Timer::NlGen, Duration::from_micros(42));
         let report = bank.report(8);
         let json = report.to_json();
-        let back = PipelineReport::from_json(&json).unwrap();
+        let back = PipelineReport::from_json(&json)
+            .unwrap_or_else(|e| panic!("report json round-trip: {e:?}"));
         assert_eq!(report, back);
         assert!(report.deterministic_eq(&back));
     }

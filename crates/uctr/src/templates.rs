@@ -13,6 +13,7 @@
 //! families those corpora contain, stratified over the reasoning types the
 //! paper enumerates (§II-C).
 
+use crate::analysis::{parse_any, AnalyzedTemplate, TemplateDiagnostics};
 use crate::program::{AnyTemplate, ProgramTemplate};
 use crate::telemetry::KindSlot;
 use arithexpr::AeTemplate;
@@ -21,6 +22,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rustc_hash::FxHashSet;
 use sqlexec::SqlTemplate;
+use tabular::SchemaRequirement;
 
 /// Number of storable template kinds (`sql` / `logic` / `arith` — the
 /// `none` slot holds no templates).
@@ -35,6 +37,10 @@ const N_TEMPLATE_KINDS: usize = 3;
 #[derive(Debug, Clone, Default)]
 pub struct TemplateBank {
     templates: Vec<AnyTemplate>,
+    /// `requirements[i]` is the statically computed [`SchemaRequirement`]
+    /// of `templates[i]` (see `crate::analysis`); the pipeline prefilter
+    /// reads it through [`TemplateBank::choose_with_requirement`].
+    requirements: Vec<SchemaRequirement>,
     /// Indices into `templates`, stratified by `KindSlot as usize`.
     by_kind: [Vec<usize>; N_TEMPLATE_KINDS],
     signatures: FxHashSet<String>,
@@ -47,40 +53,80 @@ impl TemplateBank {
     }
 
     /// The built-in bank (SQUALL / Logic2Text / FinQA-style families).
+    ///
+    /// Infallible wrapper over [`TemplateBank::builtin_checked`]: the
+    /// builtin templates are diagnostic-clean by construction, pinned by a
+    /// unit test here and by the `xtask audit-templates` CI gate, so the
+    /// error arm is unreachable in a green build.
     pub fn builtin() -> TemplateBank {
+        TemplateBank::builtin_checked().unwrap_or_default()
+    }
+
+    /// Parses, typechecks and collects the builtin templates, reporting
+    /// parse failures and type defects as structured
+    /// [`TemplateDiagnostics`] instead of panicking.
+    pub fn builtin_checked() -> Result<TemplateBank, TemplateDiagnostics> {
         let mut bank = TemplateBank::new();
-        for t in BUILTIN_SQL {
-            bank.add_sql(
-                SqlTemplate::parse(t).unwrap_or_else(|e| panic!("builtin SQL `{t}`: {e}")),
-            );
+        let mut diagnostics = Vec::new();
+        for (kind, sources) in [
+            (KindSlot::Sql, BUILTIN_SQL),
+            (KindSlot::Logic, BUILTIN_LOGIC),
+            (KindSlot::Arith, BUILTIN_ARITH),
+        ] {
+            for t in sources {
+                if let Err(d) = bank.try_add_source(kind, t) {
+                    diagnostics.extend(d.diagnostics);
+                }
+            }
         }
-        for t in BUILTIN_LOGIC {
-            bank.add_logic(
-                LfTemplate::parse(t).unwrap_or_else(|e| panic!("builtin LF `{t}`: {e}")),
-            );
+        if diagnostics.is_empty() {
+            Ok(bank)
+        } else {
+            Err(TemplateDiagnostics { diagnostics })
         }
-        for t in BUILTIN_ARITH {
-            bank.add_arith(
-                AeTemplate::parse(t).unwrap_or_else(|e| panic!("builtin AE `{t}`: {e}")),
-            );
-        }
-        bank
     }
 
     /// Adds a template of any kind; returns false if a template of the
     /// same kind with the same signature is already present (the paper's
-    /// filtration step). Signatures are prefixed per kind, so identical
-    /// surface text in different DSLs never collides.
+    /// filtration step), or if the template is ill-typed (see
+    /// [`TemplateBank::try_add`] for the diagnostics). Signatures are
+    /// prefixed per kind, so identical surface text in different DSLs
+    /// never collides.
     pub fn add(&mut self, t: AnyTemplate) -> bool {
-        let program = t.as_program();
-        let kind = program.kind();
-        let sig = format!("{}:{}", kind_prefix(kind), program.signature());
+        self.try_add(t).unwrap_or(false)
+    }
+
+    /// Adds a template of any kind after statically typechecking it.
+    /// `Err` carries the analyzer's diagnostics for an ill-typed template
+    /// (one `try_instantiate` would deterministically reject on every
+    /// table); `Ok(false)` means a well-typed duplicate was filtered.
+    pub fn try_add(&mut self, t: AnyTemplate) -> Result<bool, TemplateDiagnostics> {
+        let analyzed = AnalyzedTemplate::of(t.as_program());
+        if !analyzed.is_clean() {
+            return Err(analyzed.into_diagnostics());
+        }
+        let sig = format!("{}:{}", kind_prefix(analyzed.kind), analyzed.signature);
         if self.signatures.insert(sig) {
-            self.by_kind[kind as usize].push(self.templates.len());
+            self.by_kind[analyzed.kind as usize].push(self.templates.len());
             self.templates.push(t);
-            true
+            self.requirements.push(analyzed.requirement);
+            Ok(true)
         } else {
-            false
+            Ok(false)
+        }
+    }
+
+    /// Parses a template of `kind` from surface text and
+    /// [`TemplateBank::try_add`]s it; parse failures surface as a
+    /// `parse-error` diagnostic.
+    pub fn try_add_source(
+        &mut self,
+        kind: KindSlot,
+        text: &str,
+    ) -> Result<bool, TemplateDiagnostics> {
+        match parse_any(kind, text) {
+            Ok(t) => self.try_add(t),
+            Err(d) => Err(TemplateDiagnostics { diagnostics: vec![d] }),
         }
     }
 
@@ -120,8 +166,21 @@ impl TemplateBank {
     /// templates of the kind exist — the same stream a `slice::choose`
     /// over a dedicated per-kind vector would consume.
     pub fn choose(&self, kind: KindSlot, rng: &mut impl Rng) -> Option<&dyn ProgramTemplate> {
+        self.choose_with_requirement(kind, rng).map(|(t, _)| t)
+    }
+
+    /// Like [`TemplateBank::choose`], but also returns the chosen
+    /// template's precomputed [`SchemaRequirement`] so the pipeline can
+    /// prefilter infeasible (template, table) pairs without re-analyzing.
+    /// Identical RNG stream to `choose`: exactly one `gen_range` draw when
+    /// the stratum is non-empty, none otherwise.
+    pub fn choose_with_requirement(
+        &self,
+        kind: KindSlot,
+        rng: &mut impl Rng,
+    ) -> Option<(&dyn ProgramTemplate, &SchemaRequirement)> {
         let stratum = self.by_kind.get(kind as usize)?;
-        stratum.choose(rng).map(|&i| self.templates[i].as_program())
+        stratum.choose(rng).map(|&i| (self.templates[i].as_program(), &self.requirements[i]))
     }
 
     /// All templates of one kind, in insertion order.
@@ -162,6 +221,12 @@ impl TemplateBank {
     /// All templates across kinds, in insertion order.
     pub fn templates(&self) -> &[AnyTemplate] {
         &self.templates
+    }
+
+    /// The per-template schema requirements, parallel to
+    /// [`TemplateBank::templates`].
+    pub fn requirements(&self) -> &[SchemaRequirement] {
+        &self.requirements
     }
 
     pub fn len(&self) -> usize {
@@ -282,6 +347,14 @@ mod tests {
     use rand::SeedableRng;
     use tabular::Table;
 
+    fn sql(text: &str) -> SqlTemplate {
+        SqlTemplate::parse(text).unwrap_or_else(|e| panic!("sql template {text:?}: {e}"))
+    }
+
+    fn logic(text: &str) -> LfTemplate {
+        LfTemplate::parse(text).unwrap_or_else(|e| panic!("lf template {text:?}: {e}"))
+    }
+
     #[test]
     fn builtin_bank_parses_and_is_deduped() {
         let bank = TemplateBank::builtin();
@@ -289,12 +362,27 @@ mod tests {
         assert_eq!(bank.logic().len(), BUILTIN_LOGIC.len());
         assert_eq!(bank.arith().len(), BUILTIN_ARITH.len());
         assert_eq!(bank.len(), BUILTIN_SQL.len() + BUILTIN_LOGIC.len() + BUILTIN_ARITH.len());
+        assert_eq!(bank.requirements().len(), bank.len());
+    }
+
+    #[test]
+    fn builtin_bank_is_diagnostic_clean() {
+        // The contract behind the infallible `builtin()` wrapper (and the
+        // `xtask audit-templates` CI gate): every builtin template parses
+        // and typechecks.
+        match TemplateBank::builtin_checked() {
+            Ok(bank) => assert_eq!(
+                bank.len(),
+                BUILTIN_SQL.len() + BUILTIN_LOGIC.len() + BUILTIN_ARITH.len()
+            ),
+            Err(diags) => panic!("builtin bank has diagnostics:\n{diags}"),
+        }
     }
 
     #[test]
     fn dedup_rejects_duplicates() {
         let mut bank = TemplateBank::new();
-        let t = SqlTemplate::parse("select c1 from w where c2 = val1").unwrap();
+        let t = sql("select c1 from w where c2 = val1");
         assert!(bank.add_sql(t.clone()));
         assert!(!bank.add_sql(t));
         assert_eq!(bank.sql().len(), 1);
@@ -302,22 +390,51 @@ mod tests {
 
     #[test]
     fn dedup_does_not_collide_across_kinds() {
-        // Two templates of different kinds whose raw signatures are the
-        // same string: the kind prefix must keep them apart, while each
-        // kind still dedups against itself.
-        let sql = SqlTemplate::parse("select c1 from w").unwrap();
-        let raw = sql.signature();
-        let logic = logicforms::LfTemplate::from_expr(logicforms::LfExpr::Const(raw.clone()));
-        assert_eq!(logic.signature(), raw, "test premise: identical raw signatures");
-
+        // Signatures are namespaced per kind before entering the shared
+        // dedup set, so templates of different kinds never collide there:
+        // each kind dedups only against itself.
         let mut bank = TemplateBank::new();
-        assert!(bank.add_sql(sql.clone()), "first SQL admitted");
-        assert!(bank.add_logic(logic.clone()), "same-signature logic template admitted");
-        assert!(!bank.add_sql(sql), "second SQL deduped within its kind");
-        assert!(!bank.add_logic(logic), "second logic deduped within its kind");
+        let s = sql("select c1 from w");
+        let l = logic("only { filter_eq { all_rows ; c1 ; val1 } }");
+        assert!(bank.add_sql(s.clone()), "first SQL admitted");
+        assert!(bank.add_logic(l.clone()), "first logic admitted");
+        assert!(!bank.add_sql(s), "second SQL deduped within its kind");
+        assert!(!bank.add_logic(l), "second logic deduped within its kind");
         assert_eq!(bank.sql().len(), 1);
         assert_eq!(bank.logic().len(), 1);
         assert_eq!(bank.len(), 2);
+    }
+
+    #[test]
+    fn ill_typed_templates_are_rejected_with_diagnostics() {
+        let mut bank = TemplateBank::new();
+        // `count` does not produce a truth value, so the claim can never
+        // be labeled: the analyzer rejects it before it enters the bank.
+        let t = logic("count { all_rows }");
+        let err = match bank.try_add(AnyTemplate::Logic(t.clone())) {
+            Err(e) => e,
+            Ok(admitted) => panic!("ill-typed template admitted: {admitted}"),
+        };
+        assert_eq!(err.len(), 1);
+        assert_eq!(err.diagnostics[0].code, "non-boolean-root");
+        assert_eq!(err.diagnostics[0].kind, KindSlot::Logic);
+        assert!(bank.is_empty(), "rejected template must not enter the bank");
+        // The infallible wrapper folds the rejection into `false`.
+        assert!(!bank.add_logic(t));
+        assert!(bank.is_empty());
+    }
+
+    #[test]
+    fn try_add_source_reports_parse_failures() {
+        let mut bank = TemplateBank::new();
+        let err = match bank.try_add_source(KindSlot::Sql, "select count ( from w") {
+            Err(e) => e,
+            Ok(admitted) => panic!("malformed source admitted: {admitted}"),
+        };
+        assert_eq!(err.diagnostics[0].code, crate::analysis::PARSE_ERROR);
+        assert!(bank.is_empty());
+        assert_eq!(bank.try_add_source(KindSlot::Arith, "table_sum( c1 )"), Ok(true));
+        assert_eq!(bank.try_add_source(KindSlot::Arith, "table_sum( c1 )"), Ok(false));
     }
 
     #[test]
@@ -325,7 +442,9 @@ mod tests {
         let bank = TemplateBank::builtin();
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..32 {
-            let t = bank.choose(crate::telemetry::KindSlot::Arith, &mut rng).unwrap();
+            let t = bank
+                .choose(crate::telemetry::KindSlot::Arith, &mut rng)
+                .unwrap_or_else(|| panic!("builtin bank has arith templates"));
             assert_eq!(t.kind(), crate::telemetry::KindSlot::Arith);
         }
         assert!(bank.choose(crate::telemetry::KindSlot::None, &mut rng).is_none());
@@ -334,13 +453,35 @@ mod tests {
     }
 
     #[test]
+    fn choose_with_requirement_draws_the_same_stream_as_choose() {
+        let bank = TemplateBank::builtin();
+        let mut a = StdRng::seed_from_u64(17);
+        let mut b = StdRng::seed_from_u64(17);
+        for kind in [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith] {
+            for _ in 0..16 {
+                let plain = bank.choose(kind, &mut a).map(|t| t.signature());
+                let with_req = bank.choose_with_requirement(kind, &mut b);
+                assert_eq!(plain, with_req.map(|(t, _)| t.signature()));
+                let (_, req) = with_req.unwrap_or_else(|| panic!("builtin bank is non-empty"));
+                // Every builtin template binds at least one hole, so its
+                // requirement is never the trivial bottom element.
+                assert!(!req.is_trivial());
+            }
+        }
+        // Identical residual streams: the next draws agree.
+        assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+    }
+
+    #[test]
     fn mining_abstracts_and_dedups() {
         let table =
             Table::from_strings("t", &[vec!["name", "pts"], vec!["a", "1"], vec!["b", "2"]])
-                .unwrap();
+                .unwrap_or_else(|e| panic!("test table: {e}"));
         let mut bank = TemplateBank::new();
-        let q1 = sqlexec::parse("select [name] from w where [pts] > 1").unwrap();
-        let q2 = sqlexec::parse("select [name] from w where [pts] > 2").unwrap();
+        let q1 = sqlexec::parse("select [name] from w where [pts] > 1")
+            .unwrap_or_else(|e| panic!("query: {e}"));
+        let q2 = sqlexec::parse("select [name] from w where [pts] > 2")
+            .unwrap_or_else(|e| panic!("query: {e}"));
         assert!(bank.mine_sql(&q1, &table));
         assert!(!bank.mine_sql(&q2, &table), "same logic structure must dedup");
         assert_eq!(bank.sql().len(), 1);
@@ -357,7 +498,7 @@ mod tests {
                 vec!["Greens", "Kyiv", "81", "24"],
             ],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let bank = TemplateBank::builtin();
         let mut rng = StdRng::seed_from_u64(1);
         let mut ok = 0;
@@ -385,7 +526,7 @@ mod tests {
                 vec!["Golds", "Quito", "59", "15"],
             ],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let bank = TemplateBank::builtin();
         let mut rng = StdRng::seed_from_u64(2);
         let mut ok = 0;
@@ -414,7 +555,7 @@ mod tests {
                 vec!["Equity", "3200", "4000"],
             ],
         )
-        .unwrap();
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
         let bank = TemplateBank::builtin();
         let mut rng = StdRng::seed_from_u64(3);
         let mut ok = 0;

@@ -1,0 +1,347 @@
+//! Static template health audit (`cargo run -p xtask -- audit-templates`).
+//!
+//! Runs the uctr template typechecker ([`uctr::analyze_text`]) over the
+//! builtin template bank plus any `--mined` corpus files, without touching
+//! a table: every template is parsed, typechecked, and reduced to its
+//! [`uctr::SchemaRequirement`]. Diagnostic counts per `(kind, code)` are
+//! ratcheted in `ci/template_health.json` with the same two-sided compare
+//! as the lint ratchet (`crate::ratchet`): a new diagnostic is a
+//! regression, a fixed one must be locked in with `--write`.
+//!
+//! Mined corpus files are plain text, one template per line in the form
+//! `kind: template-source` (kind ∈ `sql` | `logic` | `arith`); blank lines
+//! and `#` comments are ignored.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+use uctr::{analyze_text, AnalyzedTemplate, KindSlot, SchemaRequirement};
+
+use crate::ratchet::Counts;
+use crate::report::RatchetStatus;
+
+/// One analyzed template with its provenance.
+pub struct AuditedTemplate {
+    /// `builtin`, or the mined corpus path it was read from.
+    pub source: String,
+    pub analysis: AnalyzedTemplate,
+}
+
+/// The full audit result: every template plus the ratchet key space
+/// (kind name → diagnostic code → count).
+pub struct AuditOutcome {
+    pub templates: Vec<AuditedTemplate>,
+    pub counts: Counts,
+}
+
+impl AuditOutcome {
+    pub fn total(&self) -> usize {
+        self.templates.len()
+    }
+
+    pub fn clean_total(&self) -> usize {
+        self.templates.iter().filter(|t| t.analysis.is_clean()).count()
+    }
+
+    pub fn diagnostics_total(&self) -> i64 {
+        self.counts.values().flat_map(|per_code| per_code.values()).sum()
+    }
+}
+
+/// The builtin bank as `(kind, source)` pairs — the same sources
+/// `TemplateBank::builtin_checked` admits.
+pub fn builtin_templates() -> Vec<(KindSlot, String)> {
+    let mut out = Vec::new();
+    for (kind, sources) in [
+        (KindSlot::Sql, uctr::BUILTIN_SQL),
+        (KindSlot::Logic, uctr::BUILTIN_LOGIC),
+        (KindSlot::Arith, uctr::BUILTIN_ARITH),
+    ] {
+        out.extend(sources.iter().map(|s| (kind, (*s).to_string())));
+    }
+    out
+}
+
+/// Parses a mined corpus file (`kind: template` per line).
+pub fn parse_mined(text: &str) -> Result<Vec<(KindSlot, String)>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kind, template) = line
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: expected `kind: template`", idx + 1))?;
+        let kind = match kind.trim() {
+            "sql" => KindSlot::Sql,
+            "logic" => KindSlot::Logic,
+            "arith" => KindSlot::Arith,
+            other => {
+                return Err(format!(
+                    "line {}: unknown kind `{other}` (expected sql, logic, or arith)",
+                    idx + 1
+                ))
+            }
+        };
+        out.push((kind, template.trim().to_string()));
+    }
+    Ok(out)
+}
+
+/// Analyzes every template in every `(source-label, templates)` group.
+pub fn audit(groups: &[(String, Vec<(KindSlot, String)>)]) -> AuditOutcome {
+    let mut templates = Vec::new();
+    let mut counts: Counts = BTreeMap::new();
+    for (source, entries) in groups {
+        for (kind, text) in entries {
+            let analysis = analyze_text(*kind, text);
+            let per_code = counts.entry(kind.name().to_string()).or_default();
+            for issue in &analysis.issues {
+                *per_code.entry(issue.code.to_string()).or_insert(0) += 1;
+            }
+            templates.push(AuditedTemplate { source: source.clone(), analysis });
+        }
+    }
+    AuditOutcome { templates, counts }
+}
+
+/// Per-kind rollup used by both report emitters.
+struct KindStats {
+    kind: &'static str,
+    total: usize,
+    clean: usize,
+    diagnostics: i64,
+    need_numbers: usize,
+}
+
+fn kind_stats(outcome: &AuditOutcome) -> Vec<KindStats> {
+    [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith]
+        .into_iter()
+        .map(|kind| {
+            let of_kind: Vec<_> =
+                outcome.templates.iter().filter(|t| t.analysis.kind == kind).collect();
+            KindStats {
+                kind: kind.name(),
+                total: of_kind.len(),
+                clean: of_kind.iter().filter(|t| t.analysis.is_clean()).count(),
+                diagnostics: outcome
+                    .counts
+                    .get(kind.name())
+                    .map(|per_code| per_code.values().sum())
+                    .unwrap_or(0),
+                need_numbers: of_kind
+                    .iter()
+                    .filter(|t| needs_numbers(&t.analysis.requirement))
+                    .count(),
+            }
+        })
+        .filter(|s| s.total > 0)
+        .collect()
+}
+
+fn needs_numbers(req: &SchemaRequirement) -> bool {
+    req.needs_number_column || req.min_number_cols > 0
+}
+
+/// Builds the machine-readable JSON report (stable key order).
+pub fn json_report(outcome: &AuditOutcome, ratchet: Option<&RatchetStatus>) -> String {
+    let counts = Value::Obj(
+        outcome
+            .counts
+            .iter()
+            .map(|(kind, per_code)| {
+                (
+                    kind.clone(),
+                    Value::Obj(
+                        per_code.iter().map(|(code, &n)| (code.clone(), Value::Int(n))).collect(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let templates = Value::Arr(
+        outcome
+            .templates
+            .iter()
+            .map(|t| {
+                let req = &t.analysis.requirement;
+                let issues = Value::Arr(
+                    t.analysis
+                        .issues
+                        .iter()
+                        .map(|i| {
+                            Value::Obj(vec![
+                                ("code".to_string(), Value::Str(i.code.to_string())),
+                                ("locus".to_string(), Value::Str(i.locus.clone())),
+                                ("message".to_string(), Value::Str(i.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                );
+                Value::Obj(vec![
+                    ("source".to_string(), Value::Str(t.source.clone())),
+                    ("kind".to_string(), Value::Str(t.analysis.kind.name().to_string())),
+                    ("template".to_string(), Value::Str(t.analysis.signature.clone())),
+                    ("clean".to_string(), Value::Bool(t.analysis.is_clean())),
+                    (
+                        "requirement".to_string(),
+                        Value::Obj(vec![
+                            ("min_rows".to_string(), Value::Int(req.min_rows as i64)),
+                            ("min_cols".to_string(), Value::Int(req.min_cols as i64)),
+                            ("min_number_cols".to_string(), Value::Int(req.min_number_cols as i64)),
+                            ("min_date_cols".to_string(), Value::Int(req.min_date_cols as i64)),
+                            ("min_text_cols".to_string(), Value::Int(req.min_text_cols as i64)),
+                            (
+                                "min_addressable_cells".to_string(),
+                                Value::Int(req.min_addressable_cells as i64),
+                            ),
+                            (
+                                "needs_number_column".to_string(),
+                                Value::Bool(req.needs_number_column),
+                            ),
+                        ]),
+                    ),
+                    ("issues".to_string(), issues),
+                ])
+            })
+            .collect(),
+    );
+    let mut root = vec![
+        ("tool".to_string(), Value::Str("xtask audit-templates".to_string())),
+        ("schema_version".to_string(), Value::Int(1)),
+        ("templates_total".to_string(), Value::Int(outcome.total() as i64)),
+        ("templates_clean".to_string(), Value::Int(outcome.clean_total() as i64)),
+        ("diagnostics_total".to_string(), Value::Int(outcome.diagnostics_total())),
+        ("counts".to_string(), counts),
+        ("templates".to_string(), templates),
+    ];
+    if let Some(status) = ratchet {
+        root.push((
+            "ratchet".to_string(),
+            Value::Obj(vec![
+                ("path".to_string(), Value::Str(status.path.clone())),
+                (
+                    "status".to_string(),
+                    Value::Str(
+                        if !status.regressions.is_empty() {
+                            "regressions"
+                        } else if !status.stale.is_empty() {
+                            "stale"
+                        } else {
+                            "ok"
+                        }
+                        .to_string(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    let mut text =
+        serde_json::to_string_pretty(&Value::Obj(root)).expect("report JSON always renders");
+    text.push('\n');
+    text
+}
+
+/// Renders the per-kind health table for `$GITHUB_STEP_SUMMARY`.
+pub fn markdown_summary(outcome: &AuditOutcome, ratchet: Option<&RatchetStatus>) -> String {
+    let mut md =
+        String::from("## xtask audit-templates — template typecheck & schema feasibility\n\n");
+    md.push_str("| kind | templates | clean | diagnostics | need numeric column |\n");
+    md.push_str("|---|---:|---:|---:|---:|\n");
+    for s in kind_stats(outcome) {
+        md.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            s.kind, s.total, s.clean, s.diagnostics, s.need_numbers
+        ));
+    }
+    md.push_str(&format!(
+        "\n{} template(s) analyzed, {} clean, {} diagnostic(s).\n",
+        outcome.total(),
+        outcome.clean_total(),
+        outcome.diagnostics_total()
+    ));
+    if outcome.diagnostics_total() > 0 {
+        md.push_str("\n| kind | code | count |\n|---|---|---:|\n");
+        for (kind, per_code) in &outcome.counts {
+            for (code, n) in per_code {
+                if *n != 0 {
+                    md.push_str(&format!("| `{kind}` | `{code}` | {n} |\n"));
+                }
+            }
+        }
+    }
+    if let Some(status) = ratchet {
+        if status.regressions.is_empty() && status.stale.is_empty() {
+            md.push_str(&format!(
+                "\nHealth file `{}`: **ok** — counts match exactly.\n",
+                status.path
+            ));
+        } else {
+            md.push_str(&format!("\nHealth file `{}`: **FAILED**\n\n", status.path));
+            for d in &status.regressions {
+                md.push_str(&format!(
+                    "- regression: `{}`/`{}` rose {} → {}\n",
+                    d.krate, d.rule, d.recorded, d.current
+                ));
+            }
+            for d in &status.stale {
+                md.push_str(&format!(
+                    "- stale: `{}`/`{}` fell {} → {} (re-run with --write)\n",
+                    d.krate, d.rule, d.recorded, d.current
+                ));
+            }
+        }
+    }
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_bank_audits_clean() {
+        let outcome = audit(&[("builtin".to_string(), builtin_templates())]);
+        assert_eq!(outcome.clean_total(), outcome.total());
+        assert_eq!(outcome.diagnostics_total(), 0);
+        assert!(outcome.total() > 40, "builtin bank shrank to {}", outcome.total());
+    }
+
+    #[test]
+    fn mined_lines_parse_and_reject() {
+        let good = "# comment\n\nsql: select count ( * ) from w\nlogic: eq { count { all_rows } ; val1 }\narith: add( val1 , val2 )\n";
+        let parsed = parse_mined(good).unwrap_or_else(|e| panic!("parse_mined: {e}"));
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].0, KindSlot::Sql);
+        assert_eq!(parsed[2].1, "add( val1 , val2 )");
+        assert!(parse_mined("prose without a kind prefix\n").is_err());
+        assert!(parse_mined("prolog: fact(x)\n").is_err());
+    }
+
+    #[test]
+    fn ill_typed_mined_templates_are_counted_by_code() {
+        let mined = vec![
+            (KindSlot::Logic, "count { all_rows }".to_string()), // non-boolean root
+            (KindSlot::Arith, "add( val1".to_string()),          // parse error
+        ];
+        let outcome = audit(&[("mined.txt".to_string(), mined)]);
+        assert_eq!(outcome.total(), 2);
+        assert_eq!(outcome.clean_total(), 0);
+        let logic = outcome.counts.get("logic").and_then(|c| c.get("non-boolean-root"));
+        assert_eq!(logic.copied(), Some(1), "{:?}", outcome.counts);
+        let arith = outcome.counts.get("arith").and_then(|c| c.get(uctr::PARSE_ERROR));
+        assert_eq!(arith.copied(), Some(1), "{:?}", outcome.counts);
+    }
+
+    #[test]
+    fn reports_render_without_ratchet() {
+        let outcome = audit(&[("builtin".to_string(), builtin_templates())]);
+        let json = json_report(&outcome, None);
+        assert!(json.contains("\"templates_total\""));
+        assert!(json.contains("\"needs_number_column\""));
+        let md = markdown_summary(&outcome, None);
+        assert!(md.contains("| `sql` |"), "{md}");
+        assert!(md.contains("clean"), "{md}");
+    }
+}

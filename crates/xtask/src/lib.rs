@@ -14,8 +14,14 @@
 //! Suppressions live in `ci/lint_allowlist.toml` (justification required);
 //! per-crate per-rule counts are ratcheted in `ci/lint_ratchet.json` and
 //! compared two-sided in CI. See `DESIGN.md` §5.
+//!
+//! `cargo run -p xtask -- audit-templates` statically typechecks the
+//! builtin program-template bank (plus optional `--mined` corpora) with
+//! the uctr analysis layer and ratchets per-kind diagnostic counts in
+//! `ci/template_health.json`. See `DESIGN.md` §6 and [`audit`].
 
 pub mod allowlist;
+pub mod audit;
 pub mod lint;
 pub mod ratchet;
 pub mod report;

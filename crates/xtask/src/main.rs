@@ -1,4 +1,4 @@
-//! CLI for the workspace auditor. See `xtask lint --help`.
+//! CLI for the workspace auditors. See `xtask --help`.
 
 // This is the workspace's CLI tool: printing reports is its interface.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -14,8 +14,9 @@ xtask — workspace-native static analysis for UCTR
 
 USAGE:
     cargo run -p xtask -- lint [OPTIONS]
+    cargo run -p xtask -- audit-templates [OPTIONS]
 
-OPTIONS:
+LINT OPTIONS:
     --root <DIR>            workspace root (default: auto-detected)
     --allowlist <FILE>      suppression list (default: ci/lint_allowlist.toml)
     --check-ratchet <FILE>  fail unless counts match the recorded ratchet
@@ -23,7 +24,17 @@ OPTIONS:
     --json <FILE>           write the machine-readable report
     --md <FILE>             write a markdown summary table (for CI job summaries)
     --quiet                 suppress per-violation lines
-    -h, --help              show this help
+
+AUDIT-TEMPLATES OPTIONS:
+    --root <DIR>            workspace root (default: auto-detected)
+    --mined <FILE>          also audit a mined corpus (`kind: template` lines;
+                            repeatable)
+    --health <FILE>         health ratchet file (default: ci/template_health.json)
+    --check                 fail unless diagnostic counts match the health file
+    --write                 rewrite the health file from current counts
+    --json <FILE>           write the machine-readable report
+    --md <FILE>             write a markdown summary table (for CI job summaries)
+    --quiet                 suppress per-diagnostic lines
 
 EXIT CODES:
     0  clean (or counts match the ratchet exactly)
@@ -31,7 +42,49 @@ EXIT CODES:
     2  usage or I/O error
 ";
 
-struct Opts {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run: fn(&[String]) -> Result<bool, String> = match args.first().map(String::as_str) {
+        Some("lint") => run_lint_cli,
+        Some("audit-templates") => run_audit_cli,
+        Some("-h" | "--help") | None => {
+            print!("{USAGE}");
+            return ExitCode::from(u8::from(args.is_empty()) * 2);
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args[1..]) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Workspace root: two levels up from this crate's manifest.
+fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap_or_else(|_| {
+        // Fall back to the cwd `cargo run` was invoked from.
+        PathBuf::from(".")
+    })
+}
+
+fn resolve(root: &Path, path: &Path) -> PathBuf {
+    if path.is_absolute() || path.exists() {
+        path.to_path_buf()
+    } else {
+        root.join(path)
+    }
+}
+
+// ---------------------------------------------------------------- lint ----
+
+struct LintOpts {
     root: PathBuf,
     allowlist: PathBuf,
     check_ratchet: Option<PathBuf>,
@@ -41,43 +94,13 @@ struct Opts {
     quiet: bool,
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => {}
-        Some("-h" | "--help") | None => {
-            print!("{USAGE}");
-            return ExitCode::from(u8::from(args.is_empty()) * 2);
-        }
-        Some(other) => {
-            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    }
-    let opts = match parse_opts(&args[1..]) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
-    match run(&opts) {
-        Ok(clean) => {
-            if clean {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
-        }
-    }
+fn run_lint_cli(args: &[String]) -> Result<bool, String> {
+    let opts = parse_lint_opts(args).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    run_lint(&opts)
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts {
+fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts {
         root: default_root(),
         allowlist: PathBuf::new(),
         check_ratchet: None,
@@ -108,15 +131,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(opts)
 }
 
-/// Workspace root: two levels up from this crate's manifest.
-fn default_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap_or_else(|_| {
-        // Fall back to the cwd `cargo run` was invoked from.
-        PathBuf::from(".")
-    })
-}
-
-fn run(opts: &Opts) -> Result<bool, String> {
+fn run_lint(opts: &LintOpts) -> Result<bool, String> {
     let outcome = xtask::run_with_allowlist(&opts.root, &opts.allowlist)?;
 
     if !opts.quiet {
@@ -212,18 +227,158 @@ fn run(opts: &Opts) -> Result<bool, String> {
     Ok(clean)
 }
 
-fn resolve(root: &Path, path: &Path) -> PathBuf {
-    if path.is_absolute() || path.exists() {
-        path.to_path_buf()
-    } else {
-        root.join(path)
-    }
-}
-
 fn default_ratchet_comment() -> String {
     "Per-crate per-rule violation counts measured by `cargo run -p xtask -- lint`. \
      CI compares two-sided: counts above these values are regressions; counts below \
      mean sites were fixed and this file must be regenerated with --write-ratchet so \
      the improvement sticks. Missing entries are zero."
+        .to_string()
+}
+
+// ----------------------------------------------------- audit-templates ----
+
+struct AuditOpts {
+    root: PathBuf,
+    mined: Vec<PathBuf>,
+    health: PathBuf,
+    check: bool,
+    write: bool,
+    json: Option<PathBuf>,
+    md: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn run_audit_cli(args: &[String]) -> Result<bool, String> {
+    let opts = parse_audit_opts(args).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    run_audit(&opts)
+}
+
+fn parse_audit_opts(args: &[String]) -> Result<AuditOpts, String> {
+    let mut opts = AuditOpts {
+        root: default_root(),
+        mined: Vec::new(),
+        health: PathBuf::from("ci/template_health.json"),
+        check: false,
+        write: false,
+        json: None,
+        md: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_arg = |name: &str| {
+            it.next().map(PathBuf::from).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = path_arg("--root")?,
+            "--mined" => opts.mined.push(path_arg("--mined")?),
+            "--health" => opts.health = path_arg("--health")?,
+            "--check" => opts.check = true,
+            "--write" => opts.write = true,
+            "--json" => opts.json = Some(path_arg("--json")?),
+            "--md" => opts.md = Some(path_arg("--md")?),
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
+    use xtask::audit;
+
+    let mut groups = vec![("builtin".to_string(), audit::builtin_templates())];
+    for path in &opts.mined {
+        let path = resolve(&opts.root, path);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let entries = audit::parse_mined(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        groups.push((xtask::workspace::rel_display(&opts.root, &path), entries));
+    }
+    let outcome = audit::audit(&groups);
+
+    if !opts.quiet {
+        for t in &outcome.templates {
+            for issue in &t.analysis.issues {
+                println!(
+                    "{}: {}:{}:{}: {} ({})",
+                    t.source,
+                    t.analysis.kind.name(),
+                    t.analysis.signature,
+                    issue.locus,
+                    issue.message,
+                    issue.code,
+                );
+            }
+        }
+    }
+
+    let health_path = resolve(&opts.root, &opts.health);
+    let mut status: Option<RatchetStatus> = None;
+    let mut clean = true;
+    if opts.check {
+        let recorded = ratchet::load(&health_path)?;
+        let (regressions, stale) = ratchet::compare(&outcome.counts, &recorded);
+        for d in &regressions {
+            eprintln!(
+                "template health REGRESSION: {}/{} rose {} -> {} — fix the template(s) or \
+                 regenerate with `cargo run -p xtask -- audit-templates --write`",
+                d.krate, d.rule, d.recorded, d.current
+            );
+        }
+        for d in &stale {
+            eprintln!(
+                "template health stale: {}/{} fell {} -> {} — lock in the improvement with \
+                 `cargo run -p xtask -- audit-templates --write`",
+                d.krate, d.rule, d.recorded, d.current
+            );
+        }
+        clean = regressions.is_empty() && stale.is_empty();
+        status = Some(RatchetStatus {
+            path: xtask::workspace::rel_display(&opts.root, &health_path),
+            regressions,
+            stale,
+        });
+    }
+
+    if opts.write {
+        let comment = match ratchet::load(&health_path) {
+            Ok(existing) => existing.comment,
+            Err(_) => default_health_comment(),
+        };
+        let new = ratchet::Ratchet { comment, counts: outcome.counts.clone() };
+        std::fs::write(&health_path, ratchet::render(&new))
+            .map_err(|e| format!("cannot write {}: {e}", health_path.display()))?;
+        println!("wrote template health {}", health_path.display());
+    }
+
+    if let Some(path) = &opts.json {
+        std::fs::write(path, audit::json_report(&outcome, status.as_ref()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.md {
+        std::fs::write(path, audit::markdown_summary(&outcome, status.as_ref()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    println!(
+        "xtask audit-templates: {} template(s), {} clean, {} diagnostic(s){}",
+        outcome.total(),
+        outcome.clean_total(),
+        outcome.diagnostics_total(),
+        match (opts.check, clean) {
+            (true, true) => " — health ok",
+            (true, false) => " — HEALTH CHECK FAILED",
+            (false, _) => "",
+        }
+    );
+    Ok(clean)
+}
+
+fn default_health_comment() -> String {
+    "Per-kind per-diagnostic-code counts over the builtin template bank, measured by \
+     `cargo run -p xtask -- audit-templates`. CI compares two-sided: counts above these \
+     values mean an ill-typed template slipped in; counts below mean templates were \
+     fixed and this file must be regenerated with --write. Missing entries are zero."
         .to_string()
 }

@@ -47,3 +47,23 @@ fn deny_rules_hold_at_zero_outside_the_allowlist() {
         }
     }
 }
+
+#[test]
+fn builtin_templates_match_committed_health_file() {
+    // Same comparison as the CI `audit-templates --check` step: the builtin
+    // bank's static diagnostics must agree with ci/template_health.json.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome =
+        xtask::audit::audit(&[("builtin".to_string(), xtask::audit::builtin_templates())]);
+    let health = xtask::ratchet::load(&root.join("ci/template_health.json")).unwrap();
+    let (regressions, stale) = xtask::ratchet::compare(&outcome.counts, &health);
+    assert!(
+        regressions.is_empty(),
+        "builtin templates picked up new diagnostics vs ci/template_health.json: {regressions:?}"
+    );
+    assert!(
+        stale.is_empty(),
+        "ci/template_health.json is stale — regenerate with \
+         `cargo run -p xtask -- audit-templates --write`: {stale:?}"
+    );
+}

@@ -77,19 +77,24 @@ fn degenerate_inputs_are_visible_in_the_report() {
 #[test]
 fn unsuitable_tables_surface_as_discards_in_the_report() {
     // An all-text table: numeric SQL/arith templates bind nothing, so the
-    // funnel must record discards rather than quietly shrinking.
+    // funnel must record the failed attempts — as schema-prefilter skips
+    // (templates whose requirement the table provably cannot meet) or as
+    // runtime discards — rather than quietly shrinking.
     let text_table =
         Table::from_strings("t", &[vec!["a", "b"], vec!["x", "y"], vec!["z", "w"], vec!["q", "r"]])
             .unwrap();
     let (samples, report) = UctrPipeline::new(UctrConfig::qa())
         .generate_with_report(&[TableWithContext::bare(text_table)]);
-    let discards = report.discards_by_reason();
-    let total_discards: u64 = discards.values().sum();
+    let total_discards: u64 = report.discards_by_reason().values().sum();
     assert!(
-        total_discards > 0,
-        "an all-text table under a numeric-heavy config must discard attempts: {}",
+        report.prefiltered() + total_discards > 0,
+        "an all-text table under a numeric-heavy config must skip attempts: {}",
         report.summary()
     );
+    // The statically infeasible pairs (every arith template needs numeric
+    // cells) are caught by the prefilter, before the instantiation sampler.
+    let arith = report.kinds.iter().find(|k| k.kind == "arith").unwrap();
+    assert_eq!(arith.prefiltered, arith.attempted, "{}", report.summary());
     // Whatever was accepted is still exactly what the report claims.
     assert_eq!(report.accepted(), samples.len() as u64);
 }

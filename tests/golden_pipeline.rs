@@ -132,6 +132,27 @@ fn alternate_seed_run_is_byte_identical_to_prerefactor() {
     );
 }
 
+#[test]
+fn golden_tables_are_never_prefiltered() {
+    // Draw-order contract behind the byte-identity above: a prefilter skip
+    // consumes zero RNG draws, whereas letting the instantiation sampler
+    // fail consumes several — the two are NOT stream-equivalent. The
+    // golden runs stay byte-identical with the prefilter enabled only
+    // because these tables satisfy every builtin template requirement, so
+    // the prefilter never fires on them. If a new builtin template or a
+    // stronger requirement rule makes this fail, the digests must be
+    // re-captured (they will have legitimately changed).
+    for config in [UctrConfig::qa(), UctrConfig::verification()] {
+        let (_, report) = UctrPipeline::new(config).generate_with_report(&inputs());
+        assert_eq!(
+            report.prefiltered(),
+            0,
+            "a golden table stopped satisfying a builtin requirement:\n{}",
+            report.summary()
+        );
+    }
+}
+
 /// Prints current digests; run with `--nocapture` to regenerate the
 /// constants above after an *intentional* behavior change.
 #[test]
@@ -150,6 +171,11 @@ fn print_current_digests() {
     }
 }
 
-const EXPECT_QA: (u64, u64, u64) = (0x6d5a4d9013979880, 0xc867d1d0db860539, 56);
-const EXPECT_VERIF: (u64, u64, u64) = (0x648fbc6273502dd5, 0x5a5822e8d1ada934, 56);
-const EXPECT_ALT: (u64, u64, u64) = (0xb23eed0c8013e5d9, 0xa9c4d95137de1d2b, 58);
+// The sample digests (first components) are unchanged since the
+// pre-refactor capture: the schema prefilter added alongside the counters'
+// `prefiltered` field must not alter a single generated byte. The counter
+// digests (second components) were re-captured when `KindReport` gained
+// that field.
+const EXPECT_QA: (u64, u64, u64) = (0x6d5a4d9013979880, 0xbe26621e2e7ec12d, 56);
+const EXPECT_VERIF: (u64, u64, u64) = (0x648fbc6273502dd5, 0x434d9110cb2cb1b0, 56);
+const EXPECT_ALT: (u64, u64, u64) = (0xb23eed0c8013e5d9, 0x4b9b471f893117b, 58);

@@ -311,3 +311,65 @@ fn value_parse_display_stable() {
         assert!(v.loosely_equals(&reparsed), "{v:?} vs {reparsed:?}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Schema-prefilter soundness.
+// ---------------------------------------------------------------------------
+
+/// The pipeline's schema prefilter may skip a `(template, table)` pair only
+/// when `try_instantiate` would fail for EVERY rng stream (DESIGN.md §6's
+/// soundness contract). Pin it: for each builtin template whose
+/// [`uctr::SchemaRequirement`] a table provably fails, instantiation must
+/// fail under 32 distinct seeds.
+#[test]
+fn schema_prefilter_skips_only_deterministic_failures() {
+    use tabular::ExecContext;
+    use uctr::TemplateBank;
+
+    // A zoo stressing every axis of the requirement lattice: no data rows,
+    // no numeric columns, too few columns, dates only, and a single row.
+    let mut tables: Vec<Table> = [
+        vec![vec!["a", "b"]],
+        vec![vec!["a", "b"], vec!["x", "y"], vec!["z", "w"], vec!["q", "r"]],
+        vec![vec!["v"], vec!["1"], vec!["2"], vec!["3"]],
+        vec![vec!["n"], vec!["x"], vec!["y"]],
+        vec![vec!["d"], vec!["2001-01-01"], vec!["2002-02-02"]],
+        vec![vec!["a", "b"], vec!["x", "3"]],
+    ]
+    .into_iter()
+    .map(|grid| Table::from_strings("zoo", &grid).unwrap())
+    .collect();
+    // Randomized numeric tables exercise the satisfied (pass-through) side.
+    for case in 0..16 {
+        tables.push(random_table(case + 1));
+    }
+
+    let bank = TemplateBank::builtin();
+    let mut skipped_pairs = 0usize;
+    let mut passed_pairs = 0usize;
+    for table in &tables {
+        let ctx = ExecContext::new(table);
+        for (any, req) in bank.templates().iter().zip(bank.requirements()) {
+            let tpl = any.as_program();
+            // The stored requirement is exactly what the analyzer computes.
+            assert_eq!(*req, tpl.analyze().requirement, "stale bank requirement");
+            if req.satisfied_by(&ctx) {
+                passed_pairs += 1;
+                continue; // the prefilter would let this pair through
+            }
+            skipped_pairs += 1;
+            for seed in 0..32u64 {
+                let mut rng = StdRng::seed_from_u64(seed * 9973 + 17);
+                assert!(
+                    tpl.try_instantiate(table, &ctx, &mut rng).is_err(),
+                    "prefilter would skip `{}` on a {}x{} table, but seed {seed} instantiated it",
+                    tpl.signature(),
+                    table.n_rows(),
+                    table.n_cols(),
+                );
+            }
+        }
+    }
+    assert!(skipped_pairs > 0, "the table zoo never triggered the prefilter");
+    assert!(passed_pairs > 0, "every pair was prefiltered; the pass-through side is untested");
+}
