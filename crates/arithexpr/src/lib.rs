@@ -33,4 +33,6 @@ pub use exec::{
     execute, execute_in, resolve_cell, row_name_column, run_arith, AeAnswer, AeError, AeOutcome,
 };
 pub use parser::{parse, AeParseError};
-pub use template::{abstract_program, AeInstantiateError, AeTemplate, InstantiatedArith};
+pub use template::{
+    abstract_program, AeInstantiateError, AeScratch, AeTemplate, InstantiatedArith,
+};

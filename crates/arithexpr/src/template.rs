@@ -54,6 +54,23 @@ pub struct InstantiatedArith {
     pub outcome: AeOutcome,
 }
 
+/// Reusable sampling buffers for [`AeTemplate::try_instantiate_in_with`].
+///
+/// Instantiation retries up to 8 times per call and each attempt needs the
+/// hole list, the shuffled addressable-cell pool, the same-row/same-column
+/// filtered views and the hole→cell binding map. Holding them here lets the
+/// hot generation loop reuse the allocations across attempts, templates and
+/// samples. A default-constructed scratch is always valid; the buffers are
+/// cleared on entry, never read.
+#[derive(Debug, Clone, Default)]
+pub struct AeScratch {
+    holes: Vec<usize>,
+    cells: Vec<(usize, usize)>,
+    same_row: Vec<(usize, usize)>,
+    same_col: Vec<(usize, usize)>,
+    binding: FxHashMap<usize, AeArg>,
+}
+
 impl AeTemplate {
     /// Parses template text such as `subtract( val1 , val2 ), divide( #0 , val2 )`.
     pub fn parse(text: &str) -> Result<AeTemplate, AeParseError> {
@@ -76,6 +93,14 @@ impl AeTemplate {
     /// Distinct cell-hole indexes in first-appearance order.
     pub fn cell_holes(&self) -> Vec<usize> {
         let mut out = Vec::new();
+        self.cell_holes_into(&mut out);
+        out
+    }
+
+    /// Allocation-reusing core of [`AeTemplate::cell_holes`]: clears `out`
+    /// and refills it in the same order.
+    fn cell_holes_into(&self, out: &mut Vec<usize>) {
+        out.clear();
         for s in &self.program.steps {
             for a in &s.args {
                 if let AeArg::CellHole(i) = a {
@@ -85,7 +110,6 @@ impl AeTemplate {
                 }
             }
         }
-        out
     }
 
     /// Instantiates on `table`: distinct holes get distinct numeric cells,
@@ -103,7 +127,7 @@ impl AeTemplate {
         table: &Table,
         rng: &mut impl Rng,
     ) -> Result<InstantiatedArith, AeInstantiateError> {
-        self.try_instantiate_impl(table, None, rng)
+        self.try_instantiate_impl(table, None, rng, &mut AeScratch::default())
     }
 
     /// [`AeTemplate::try_instantiate`] using a prebuilt [`ExecContext`]: the
@@ -116,7 +140,19 @@ impl AeTemplate {
         ctx: &ExecContext,
         rng: &mut impl Rng,
     ) -> Result<InstantiatedArith, AeInstantiateError> {
-        self.try_instantiate_impl(table, Some(ctx), rng)
+        self.try_instantiate_impl(table, Some(ctx), rng, &mut AeScratch::default())
+    }
+
+    /// [`AeTemplate::try_instantiate_in`] reusing caller-owned sampling
+    /// buffers. Draw-for-draw identical to the other entry points.
+    pub fn try_instantiate_in_with(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut impl Rng,
+        scratch: &mut AeScratch,
+    ) -> Result<InstantiatedArith, AeInstantiateError> {
+        self.try_instantiate_impl(table, Some(ctx), rng, scratch)
     }
 
     fn try_instantiate_impl(
@@ -124,10 +160,11 @@ impl AeTemplate {
         table: &Table,
         ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
+        scratch: &mut AeScratch,
     ) -> Result<InstantiatedArith, AeInstantiateError> {
         let mut last = AeInstantiateError::NotEnoughNumericCells;
         for _ in 0..8 {
-            match self.attempt_instantiate(table, ctx, rng) {
+            match self.attempt_instantiate(table, ctx, rng, scratch) {
                 Ok(done) => return Ok(done),
                 Err(e) => last = e,
             }
@@ -140,16 +177,18 @@ impl AeTemplate {
         table: &Table,
         ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
+        scratch: &mut AeScratch,
     ) -> Result<InstantiatedArith, AeInstantiateError> {
+        let AeScratch { holes, cells, same_row, same_col, binding } = scratch;
         let name_col = match ctx {
             Some(ctx) => ctx.row_name_column(),
             None => row_name_column(table),
         };
         // Numeric cells addressable as (col of row): need a non-null row name.
-        let mut cells: Vec<(usize, usize)> = match ctx {
-            Some(ctx) => ctx.addressable_cells().to_vec(),
+        cells.clear();
+        match ctx {
+            Some(ctx) => cells.extend_from_slice(ctx.addressable_cells()),
             None => {
-                let mut cells = Vec::new();
                 for ri in 0..table.n_rows() {
                     let has_name = table.cell(ri, name_col).is_some_and(|v| !v.is_null());
                     if !has_name {
@@ -164,10 +203,9 @@ impl AeTemplate {
                         }
                     }
                 }
-                cells
             }
         };
-        let holes = self.cell_holes();
+        self.cell_holes_into(holes);
         if cells.len() < holes.len() {
             return Err(AeInstantiateError::NotEnoughNumericCells);
         }
@@ -177,30 +215,31 @@ impl AeTemplate {
         // prefer such structured tuples when the table allows it.
         if holes.len() > 1 {
             let (r0, c0) = cells[0];
-            let same_row: Vec<(usize, usize)> =
-                cells.iter().copied().filter(|&(r, _)| r == r0).collect();
-            let same_col: Vec<(usize, usize)> =
-                cells.iter().copied().filter(|&(_, c)| c == c0).collect();
-            let preferred = if rng.gen_bool(0.5) { &same_row } else { &same_col };
-            let fallback = if preferred.len() >= holes.len() {
+            same_row.clear();
+            same_row.extend(cells.iter().copied().filter(|&(r, _)| r == r0));
+            same_col.clear();
+            same_col.extend(cells.iter().copied().filter(|&(_, c)| c == c0));
+            let preferred: &[(usize, usize)] = if rng.gen_bool(0.5) { same_row } else { same_col };
+            let fallback: &[(usize, usize)] = if preferred.len() >= holes.len() {
                 preferred
             } else if same_row.len() >= holes.len() {
-                &same_row
+                same_row
             } else {
-                &same_col
+                same_col
             };
             if fallback.len() >= holes.len() {
-                cells = fallback.clone();
+                cells.clear();
+                cells.extend_from_slice(fallback);
             }
         }
-        let mut cell_binding: FxHashMap<usize, AeArg> = FxHashMap::default();
+        binding.clear();
         for (k, hole) in holes.iter().enumerate() {
             let (ri, ci) = cells[k];
             let col =
                 table.column_name(ci).ok_or(AeInstantiateError::MalformedTemplate)?.to_string();
             let row =
                 table.cell(ri, name_col).ok_or(AeInstantiateError::MalformedTemplate)?.to_string();
-            cell_binding.insert(*hole, AeArg::Cell { col, row });
+            binding.insert(*hole, AeArg::Cell { col, row });
         }
         let owned_numeric_cols;
         let numeric_cols: &[usize] = match ctx {
@@ -219,10 +258,9 @@ impl AeTemplate {
                     .args
                     .iter()
                     .map(|a| match a {
-                        AeArg::CellHole(i) => cell_binding
-                            .get(i)
-                            .cloned()
-                            .ok_or(AeInstantiateError::MalformedTemplate),
+                        AeArg::CellHole(i) => {
+                            binding.get(i).cloned().ok_or(AeInstantiateError::MalformedTemplate)
+                        }
                         AeArg::ColumnHole(_) => {
                             let ci = numeric_cols
                                 .choose(rng)

@@ -1,0 +1,154 @@
+//! Pipeline throughput trajectory runner.
+//!
+//! Generates synthetic samples over the ragged table zoo ([`bench::zoo`])
+//! with the QA and the verification pipelines, measures accepted
+//! samples/sec at one thread and at the saturated thread count, and emits
+//! `BENCH_pipeline.json` — the committed-baseline format behind the CI
+//! throughput ratchet.
+//!
+//! Flags:
+//!   --json PATH          write the measurements as JSON (default
+//!                        BENCH_pipeline.json)
+//!   --check-floor PATH   one-sided throughput ratchet: fail when a rate
+//!                        regresses > `bench_max_throughput_regression`
+//!                        below the recorded baselines in the floor file
+//!   --repeats N          best-of-N timing repeats (default 5)
+//!   --scale N            zoo scale multiplier (default 4 = 72 inputs)
+//!   --threads N          override the saturated thread count
+
+// Reporting binary: stdout lines are the product, and unwrap aborts the run
+// on malformed input.
+#![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
+
+use bench::{bench_throughput_line, flag_value, zoo::ragged_zoo, AcceptanceFloor};
+use serde_json::Value;
+use std::time::Instant;
+use uctr::{TableWithContext, UctrConfig, UctrPipeline};
+
+/// One timed configuration: accepted samples/sec at a fixed thread count,
+/// best of `repeats` runs (the max rate — wall-clock noise only ever slows
+/// a run down, so the fastest repeat is the least-noisy estimate).
+struct Measurement {
+    threads: usize,
+    accepted: u64,
+    best_secs: f64,
+    samples_per_sec: f64,
+}
+
+fn measure(
+    pipelines: &[UctrPipeline],
+    inputs: &[TableWithContext],
+    threads: usize,
+    repeats: usize,
+) -> Measurement {
+    let mut accepted = 0u64;
+    let mut best_secs = f64::INFINITY;
+    for rep in 0..repeats.max(1) {
+        let started = Instant::now();
+        let mut total = 0u64;
+        for pipeline in pipelines {
+            let (samples, report) = pipeline.generate_parallel_with_report(inputs, threads);
+            total += samples.len() as u64;
+            assert_eq!(samples.len() as u64, report.accepted(), "accepted counter mismatch");
+        }
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        if rep == 0 {
+            accepted = total;
+        } else {
+            assert_eq!(total, accepted, "repeat produced a different sample count");
+        }
+        best_secs = best_secs.min(secs);
+    }
+    Measurement { threads, accepted, best_secs, samples_per_sec: accepted as f64 / best_secs }
+}
+
+fn measurement_json(m: &Measurement) -> Value {
+    Value::Obj(vec![
+        ("threads".into(), Value::Int(m.threads as i64)),
+        ("accepted_samples".into(), Value::Int(m.accepted as i64)),
+        ("best_secs".into(), Value::Float(m.best_secs)),
+        ("samples_per_sec".into(), Value::Float(m.samples_per_sec)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parse_usize = |name: &str, default: usize| -> usize {
+        flag_value(&args, name).map(|v| v.parse().expect("numeric flag")).unwrap_or(default)
+    };
+    let repeats = parse_usize("--repeats", 5);
+    let scale = parse_usize("--scale", 4);
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // "Saturated" = every visible core; on a single-core host still use two
+    // workers so the parallel scheduler (claiming, merging, reordering) is
+    // the code under measurement, not the sequential fallback.
+    let saturated = parse_usize("--threads", cpus.max(2));
+
+    let inputs = ragged_zoo(scale);
+    // QA (sql+arith) and verification (logic) passes over the same zoo, so
+    // the measurement covers all three executors and all four sources.
+    let pipelines =
+        [UctrPipeline::new(UctrConfig::qa()), UctrPipeline::new(UctrConfig::verification())];
+
+    // Untimed warmup pass (page in tables, templates, allocator arenas).
+    let _ = measure(&pipelines, &inputs, 1, 1);
+
+    let single = measure(&pipelines, &inputs, 1, repeats);
+    let sat = measure(&pipelines, &inputs, saturated, repeats);
+
+    println!(
+        "bench zoo: {} inputs (scale {scale}), {} accepted samples/pass, {cpus} cpu(s) visible",
+        inputs.len(),
+        single.accepted,
+    );
+
+    let floor = flag_value(&args, "--check-floor").map(|path| match AcceptanceFloor::load(&path) {
+        Ok(f) => (path, f),
+        Err(e) => {
+            eprintln!("cannot load acceptance floor: {e}");
+            std::process::exit(2);
+        }
+    });
+    let f = floor.as_ref().map(|(_, f)| f);
+    println!(
+        "{}",
+        bench_throughput_line(
+            "single-thread",
+            single.samples_per_sec,
+            f.and_then(|f| f.bench_single_thread_samples_per_sec),
+        )
+    );
+    println!(
+        "{}",
+        bench_throughput_line(
+            "saturated",
+            sat.samples_per_sec,
+            f.and_then(|f| f.bench_saturated_samples_per_sec),
+        )
+    );
+
+    let json = Value::Obj(vec![
+        ("zoo_inputs".into(), Value::Int(inputs.len() as i64)),
+        ("zoo_scale".into(), Value::Int(scale as i64)),
+        ("repeats".into(), Value::Int(repeats as i64)),
+        ("cpus_visible".into(), Value::Int(cpus as i64)),
+        ("single_thread".into(), measurement_json(&single)),
+        ("saturated".into(), measurement_json(&sat)),
+    ]);
+    let path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_pipeline.json".into());
+    if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path}");
+
+    if let Some((path, floor)) = floor {
+        match floor.check_bench_throughput(single.samples_per_sec, sat.samples_per_sec) {
+            Ok(()) => println!("bench throughput gate passed (floor: {path})"),
+            Err(msg) => {
+                eprintln!("bench throughput gate FAILED: {msg} (floor: {path})");
+                std::process::exit(1);
+            }
+        }
+    }
+}

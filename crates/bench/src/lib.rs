@@ -10,6 +10,8 @@
 // output.
 #![allow(clippy::print_stdout)]
 
+pub mod zoo;
+
 use models::{
     em_f1, feverous_score, label_accuracy, micro_f1, EvidenceView, QaModel, TrainConfig,
     VerdictSpace, VerifierModel,
@@ -225,6 +227,20 @@ pub struct AcceptanceFloor {
     /// CI prints the delta against it in the job summary but never fails
     /// on it (wall-clock on shared runners is too noisy for a gate).
     pub baseline_pipeline_samples_per_sec: Option<f64>,
+    /// Recorded `bench_pipeline` single-thread throughput (samples/sec on
+    /// the ragged table zoo) at the last calibration. Unlike the smoke-run
+    /// baseline above, this one *gates*: `bench_pipeline --check-floor`
+    /// fails when the measured rate regresses more than
+    /// `bench_max_throughput_regression` below it (one-sided — being
+    /// faster never fails; recalibrate to ratchet the floor up).
+    pub bench_single_thread_samples_per_sec: Option<f64>,
+    /// Recorded `bench_pipeline` saturated-thread throughput. Same
+    /// one-sided gate as the single-thread baseline.
+    pub bench_saturated_samples_per_sec: Option<f64>,
+    /// Allowed fractional throughput regression before the bench gate
+    /// fails (defaults to 0.15 when absent — best-of-N repeats absorb most
+    /// runner noise, the 15% margin absorbs the rest).
+    pub bench_max_throughput_regression: Option<f64>,
 }
 
 impl AcceptanceFloor {
@@ -241,6 +257,15 @@ impl AcceptanceFloor {
             min_acceptance_rate: rate,
             min_accepted: accepted as u64,
             baseline_pipeline_samples_per_sec: baseline,
+            bench_single_thread_samples_per_sec: v
+                .get("bench_single_thread_samples_per_sec")
+                .and_then(Value::as_f64),
+            bench_saturated_samples_per_sec: v
+                .get("bench_saturated_samples_per_sec")
+                .and_then(Value::as_f64),
+            bench_max_throughput_regression: v
+                .get("bench_max_throughput_regression")
+                .and_then(Value::as_f64),
         })
     }
 
@@ -267,6 +292,42 @@ impl AcceptanceFloor {
         }
         Ok(())
     }
+
+    /// One-sided throughput ratchet for `bench_pipeline`: each measured
+    /// rate may fall at most `bench_max_throughput_regression` (default
+    /// 15%) below its recorded baseline. Running faster than the baseline
+    /// always passes; missing baselines skip the check (so the gate can be
+    /// introduced before the first calibration lands).
+    pub fn check_bench_throughput(&self, single: f64, saturated: f64) -> Result<(), String> {
+        let max_regression = self.bench_max_throughput_regression.unwrap_or(0.15);
+        for (label, measured, baseline) in [
+            ("single-thread", single, self.bench_single_thread_samples_per_sec),
+            ("saturated", saturated, self.bench_saturated_samples_per_sec),
+        ] {
+            let Some(baseline) = baseline.filter(|b| *b > 0.0) else { continue };
+            let floor = baseline * (1.0 - max_regression);
+            if measured < floor {
+                return Err(format!(
+                    "{label} throughput {measured:.0}/sec regressed more than \
+                     {:.0}% below baseline {baseline:.0}/sec (floor {floor:.0}/sec)",
+                    max_regression * 100.0
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats one `bench_pipeline` throughput line (printed to stdout and
+/// grepped into the CI job summary): measured samples/sec plus the delta
+/// against the recorded baseline when one is present.
+pub fn bench_throughput_line(label: &str, rate: f64, baseline: Option<f64>) -> String {
+    let mut line = format!("bench throughput [{label}]: {rate:.0} samples/sec");
+    if let Some(base) = baseline.filter(|b| *b > 0.0) {
+        let delta = (rate - base) / base * 100.0;
+        line.push_str(&format!(" ({delta:+.1}% vs recorded baseline {base:.0}/sec)"));
+    }
+    line
 }
 
 /// Formats the pipeline-throughput line the CI smoke run prints and appends
@@ -447,18 +508,66 @@ mod tests {
         assert!(AcceptanceFloor::parse(r#"{"min_accepted": 10}"#).is_err());
     }
 
-    #[test]
-    fn throughput_line_reports_delta_against_baseline() {
-        let floor = AcceptanceFloor {
+    fn floor_with_baseline(baseline: Option<f64>) -> AcceptanceFloor {
+        AcceptanceFloor {
             min_acceptance_rate: 0.5,
             min_accepted: 10,
-            baseline_pipeline_samples_per_sec: Some(100.0),
-        };
+            baseline_pipeline_samples_per_sec: baseline,
+            bench_single_thread_samples_per_sec: None,
+            bench_saturated_samples_per_sec: None,
+            bench_max_throughput_regression: None,
+        }
+    }
+
+    #[test]
+    fn throughput_line_reports_delta_against_baseline() {
+        let floor = floor_with_baseline(Some(100.0));
         let line = throughput_line(220, std::time::Duration::from_secs(2), Some(&floor));
         assert!(line.contains("110 samples/sec"), "{line}");
         assert!(line.contains("+10.0%"), "{line}");
         let bare = throughput_line(220, std::time::Duration::from_secs(2), None);
         assert!(!bare.contains('%'), "{bare}");
+    }
+
+    #[test]
+    fn bench_throughput_ratchet_is_one_sided() {
+        let mut floor = floor_with_baseline(None);
+        floor.bench_single_thread_samples_per_sec = Some(1000.0);
+        floor.bench_saturated_samples_per_sec = Some(4000.0);
+        // Within the 15% default margin (and faster) passes.
+        assert!(floor.check_bench_throughput(900.0, 4000.0).is_ok());
+        assert!(floor.check_bench_throughput(5000.0, 9000.0).is_ok());
+        // More than 15% below either baseline fails.
+        let err = floor.check_bench_throughput(1000.0, 3000.0).unwrap_err();
+        assert!(err.contains("saturated"), "{err}");
+        assert!(floor.check_bench_throughput(500.0, 4000.0).is_err());
+        // A tighter committed margin tightens the gate.
+        floor.bench_max_throughput_regression = Some(0.05);
+        assert!(floor.check_bench_throughput(900.0, 4000.0).is_err());
+        // No baselines -> nothing to gate.
+        assert!(floor_with_baseline(None).check_bench_throughput(1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn bench_floor_fields_parse() {
+        let f = AcceptanceFloor::parse(
+            r#"{"min_acceptance_rate": 0.5, "min_accepted": 10,
+                "bench_single_thread_samples_per_sec": 1200.0,
+                "bench_saturated_samples_per_sec": 4400.0,
+                "bench_max_throughput_regression": 0.15}"#,
+        )
+        .expect("floor with bench baselines parses");
+        assert_eq!(f.bench_single_thread_samples_per_sec, Some(1200.0));
+        assert_eq!(f.bench_saturated_samples_per_sec, Some(4400.0));
+        assert_eq!(f.bench_max_throughput_regression, Some(0.15));
+    }
+
+    #[test]
+    fn bench_throughput_line_formats_delta() {
+        let line = bench_throughput_line("saturated", 130.0, Some(100.0));
+        assert!(line.starts_with("bench throughput [saturated]: 130 samples/sec"), "{line}");
+        assert!(line.contains("+30.0%"), "{line}");
+        assert!(!bench_throughput_line("single-thread", 130.0, None).contains('%'));
     }
 
     #[test]
@@ -478,6 +587,7 @@ mod tests {
                 discards: Vec::new(),
             }],
             sources: Vec::new(),
+            workers: Vec::new(),
             timings: Vec::new(),
         };
         let runs = vec![("a".to_string(), report(1, 4)), ("b".to_string(), report(2, 8))];

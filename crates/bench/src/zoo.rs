@@ -1,0 +1,152 @@
+//! A deterministic, deliberately *ragged* table zoo.
+//!
+//! The zoo is the fixed workload behind `bench_pipeline` (the throughput
+//! trajectory in `BENCH_pipeline.json`) and the thread-sweep determinism
+//! tests: families are clustered in input order — degenerate tables first,
+//! then tiny, then big, then split-heavy, then expansion-heavy — so a
+//! static contiguous sharding of the inputs is maximally imbalanced and a
+//! load-balancing scheduler has something to win. Content is derived from a
+//! fixed seed; two calls with the same `scale` produce identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tabular::Table;
+use uctr::TableWithContext;
+
+const NAMES: &[&str] = &[
+    "Alder", "Birch", "Cedar", "Dahlia", "Elm", "Fern", "Ginkgo", "Hazel", "Iris", "Juniper",
+    "Laurel", "Maple", "Nettle", "Oak", "Poplar", "Quince", "Rowan", "Sage", "Tulip", "Umber",
+    "Violet", "Willow", "Yarrow", "Zinnia",
+];
+const GROUPS: &[&str] =
+    &["north", "south", "east", "west", "central", "coastal", "alpine", "plains"];
+
+fn grid_table(title: &str, grid: &[Vec<String>]) -> Table {
+    let borrowed: Vec<Vec<&str>> =
+        grid.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+    Table::from_strings(title, &borrowed).unwrap_or_else(|e| panic!("zoo table {title}: {e}"))
+}
+
+/// `rows`-row table: entity text column, a low-cardinality group column, and
+/// three numeric columns (one with sprinkled nulls). The group and score
+/// columns repeat values, so `distinct`-style dedup has real work to do.
+fn stats_table(rng: &mut StdRng, title: &str, rows: usize) -> Table {
+    let mut grid: Vec<Vec<String>> =
+        vec![vec!["name".into(), "region".into(), "score".into(), "games".into(), "margin".into()]];
+    for r in 0..rows {
+        let name = format!("{} {}", NAMES[rng.gen_range(0..NAMES.len())], r);
+        let region = GROUPS[rng.gen_range(0..GROUPS.len())].to_string();
+        let score = rng.gen_range(10..95).to_string();
+        let games = if rng.gen_range(0..12) == 0 {
+            String::new() // null cell
+        } else {
+            rng.gen_range(1..40).to_string()
+        };
+        let margin = rng.gen_range(-20..60).to_string();
+        grid.push(vec![name, region, score, games, margin]);
+    }
+    grid_table(title, &grid)
+}
+
+/// Small 3-column table (entity + two numerics) whose paragraph describes an
+/// entity *not* in the table — the Text-To-Table integration succeeds, so
+/// every attempt on it exercises the table-expansion path.
+fn expandable_table(rng: &mut StdRng, title: &str, rows: usize) -> TableWithContext {
+    let mut grid: Vec<Vec<String>> = vec![vec!["name".into(), "points".into(), "wins".into()]];
+    for r in 0..rows {
+        grid.push(vec![
+            format!("{} {}", NAMES[rng.gen_range(0..NAMES.len())], r),
+            rng.gen_range(20..90).to_string(),
+            rng.gen_range(0..30).to_string(),
+        ]);
+    }
+    let table = grid_table(title, &grid);
+    let paragraph = format!(
+        "The season ran long. Newcomer {} has a points of {} and a wins of {}. Attendance rose.",
+        rng.gen_range(100..999),
+        rng.gen_range(20..90),
+        rng.gen_range(0..30),
+    );
+    TableWithContext { table, paragraph: Some(paragraph), topic: "zoo-expand".into() }
+}
+
+/// Builds the ragged zoo. `scale` multiplies every family's population;
+/// `scale = 1` yields 18 inputs (the test workload), the bench runner uses
+/// a larger scale. Families appear clustered in this order:
+///
+/// 1. degenerate (no rows / no columns) — free inputs,
+/// 2. tiny 3–5-row tables,
+/// 3. big 160–224-row tables — the expensive shard,
+/// 4. split-heavy 24–40-row tables (no paragraph),
+/// 5. expansion-heavy tables with an integrable paragraph.
+pub fn ragged_zoo(scale: usize) -> Vec<TableWithContext> {
+    let scale = scale.max(1);
+    let mut rng = StdRng::seed_from_u64(0x2003);
+    let mut out: Vec<TableWithContext> = Vec::new();
+
+    for k in 0..2 * scale {
+        // Header-only and fully empty tables: the pipeline must skip these
+        // as degenerate without burning attempts.
+        let t = if k % 2 == 0 {
+            grid_table(&format!("empty {k}"), &[vec!["a".into(), "b".into()]])
+        } else {
+            grid_table(&format!("void {k}"), &[])
+        };
+        out.push(TableWithContext::bare(t));
+    }
+    for k in 0..6 * scale {
+        let rows = 3 + (k % 3);
+        out.push(TableWithContext::bare(stats_table(&mut rng, &format!("tiny {k}"), rows)));
+    }
+    for k in 0..2 * scale {
+        let rows = 160 + 64 * (k % 2);
+        out.push(TableWithContext::bare(stats_table(&mut rng, &format!("big {k}"), rows)));
+    }
+    for k in 0..4 * scale {
+        let rows = 24 + 4 * (k % 5);
+        out.push(TableWithContext::bare(stats_table(&mut rng, &format!("split {k}"), rows)));
+    }
+    for k in 0..4 * scale {
+        let rows = 8 + (k % 5);
+        out.push(expandable_table(&mut rng, &format!("expand {k}"), rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_is_deterministic_and_family_clustered() {
+        let a = ragged_zoo(1);
+        let b = ragged_zoo(1);
+        assert_eq!(a.len(), 18);
+        assert_eq!(b.len(), a.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.table, y.table);
+            assert_eq!(x.paragraph, y.paragraph);
+        }
+        // Degenerate inputs lead, expansion paragraphs trail.
+        assert_eq!(a[0].table.n_rows(), 0);
+        assert!(a[a.len() - 1].paragraph.is_some());
+        assert!(a.iter().any(|t| t.table.n_rows() >= 160), "zoo lost its big shard");
+    }
+
+    #[test]
+    fn zoo_scales_every_family() {
+        assert_eq!(ragged_zoo(3).len(), 3 * 18);
+    }
+
+    #[test]
+    fn expandable_paragraphs_integrate() {
+        for input in ragged_zoo(1).iter().filter(|t| t.paragraph.is_some()) {
+            let p = input.paragraph.as_deref().unwrap_or_default();
+            assert!(
+                textops::text_to_table(&input.table, p).is_some(),
+                "paragraph failed to integrate for {}",
+                input.table.title
+            );
+        }
+    }
+}

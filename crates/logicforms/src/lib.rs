@@ -31,4 +31,4 @@ pub use exec::{
     evaluate, evaluate_in, evaluate_truth, evaluate_truth_in, LfError, LfOutcome, LfValue,
 };
 pub use parser::{parse, LfParseError};
-pub use template::{abstract_form, InstantiatedClaim, LfInstantiateError, LfTemplate};
+pub use template::{abstract_form, InstantiatedClaim, LfInstantiateError, LfScratch, LfTemplate};

@@ -64,6 +64,23 @@ pub struct LfTemplate {
     expr: LfExpr,
 }
 
+/// Reusable sampling buffers for [`LfTemplate::try_instantiate_in_with`].
+///
+/// Truth-targeted instantiation retries up to 16 times per call, and each
+/// attempt needs hole lists, a shuffled column pool, per-column "already
+/// drawn" sets and candidate-index buffers. Holding them here lets the hot
+/// generation loop reuse the allocations across attempts, templates and
+/// samples. A default-constructed scratch is always valid; the buffers are
+/// cleared on entry, never read.
+#[derive(Debug, Clone, Default)]
+pub struct LfScratch {
+    holes: Vec<(usize, bool)>,
+    available: Vec<usize>,
+    cols: FxHashMap<usize, usize>,
+    used: FxHashMap<usize, Vec<Value>>,
+    candidates: Vec<usize>,
+}
+
 /// Result of instantiating a template: the concrete program and the truth
 /// value it executes to (= the claim's gold label).
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +117,14 @@ impl LfTemplate {
     /// the operators they appear under.
     pub fn column_holes(&self) -> Vec<(usize, bool)> {
         let mut holes: Vec<(usize, bool)> = Vec::new();
+        self.column_holes_into(&mut holes);
+        holes
+    }
+
+    /// Allocation-reusing core of [`LfTemplate::column_holes`]: clears
+    /// `holes` and refills it in the same order.
+    fn column_holes_into(&self, holes: &mut Vec<(usize, bool)>) {
+        holes.clear();
         fn scan(e: &LfExpr, holes: &mut Vec<(usize, bool)>) {
             if let LfExpr::Apply(op, args) = e {
                 for (slot, a) in args.iter().enumerate() {
@@ -116,8 +141,7 @@ impl LfTemplate {
                 }
             }
         }
-        scan(&self.expr, &mut holes);
-        holes
+        scan(&self.expr, holes);
     }
 
     /// Instantiates the template on `table`, aiming for the given truth
@@ -141,7 +165,7 @@ impl LfTemplate {
         rng: &mut impl Rng,
         desired: bool,
     ) -> Result<InstantiatedClaim, LfInstantiateError> {
-        self.try_instantiate_impl(table, None, rng, desired)
+        self.try_instantiate_impl(table, None, rng, desired, &mut LfScratch::default())
     }
 
     /// [`LfTemplate::try_instantiate`] using a prebuilt [`ExecContext`] for
@@ -154,7 +178,20 @@ impl LfTemplate {
         rng: &mut impl Rng,
         desired: bool,
     ) -> Result<InstantiatedClaim, LfInstantiateError> {
-        self.try_instantiate_impl(table, Some(ctx), rng, desired)
+        self.try_instantiate_impl(table, Some(ctx), rng, desired, &mut LfScratch::default())
+    }
+
+    /// [`LfTemplate::try_instantiate_in`] reusing caller-owned sampling
+    /// buffers. Draw-for-draw identical to the other entry points.
+    pub fn try_instantiate_in_with(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut impl Rng,
+        desired: bool,
+        scratch: &mut LfScratch,
+    ) -> Result<InstantiatedClaim, LfInstantiateError> {
+        self.try_instantiate_impl(table, Some(ctx), rng, desired, scratch)
     }
 
     fn try_instantiate_impl(
@@ -163,13 +200,14 @@ impl LfTemplate {
         ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
         desired: bool,
+        scratch: &mut LfScratch,
     ) -> Result<InstantiatedClaim, LfInstantiateError> {
         if table.n_rows() == 0 {
             return Err(LfInstantiateError::EmptyTable);
         }
         let mut last = LfInstantiateError::TruthUnreachable;
         for _attempt in 0..16 {
-            match self.attempt_instantiate(table, ctx, rng, desired) {
+            match self.attempt_instantiate(table, ctx, rng, desired, scratch) {
                 Ok(claim) => return Ok(claim),
                 Err(e) => last = e,
             }
@@ -183,14 +221,17 @@ impl LfTemplate {
         ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
         desired: bool,
+        scratch: &mut LfScratch,
     ) -> Result<InstantiatedClaim, LfInstantiateError> {
+        let LfScratch { holes, available, cols, used, candidates } = scratch;
         // 1. Assign columns to holes, numeric-constrained holes first.
-        let mut holes = self.column_holes();
+        self.column_holes_into(holes);
         holes.sort_by_key(|(_, numeric)| !numeric);
-        let mut available: Vec<usize> = (0..table.n_cols()).collect();
+        available.clear();
+        available.extend(0..table.n_cols());
         available.shuffle(rng);
-        let mut cols: FxHashMap<usize, usize> = FxHashMap::default();
-        for (hole, numeric) in &holes {
+        cols.clear();
+        for (hole, numeric) in holes.iter() {
             let pos = available
                 .iter()
                 .position(|&ci| {
@@ -204,11 +245,11 @@ impl LfTemplate {
                 .ok_or(LfInstantiateError::NoCompatibleColumn)?;
             cols.insert(*hole, available.remove(pos));
         }
-        let with_cols = substitute_columns(&self.expr, table, &cols)
+        let with_cols = substitute_columns(&self.expr, table, cols)
             .ok_or(LfInstantiateError::MalformedTemplate)?;
 
         // 2. Fill non-root value holes by sampling from their bound column.
-        let mut partially = fill_inner_values(&with_cols, table, ctx, rng)?;
+        let mut partially = fill_inner_values(&with_cols, table, ctx, rng, used, candidates)?;
 
         // 3. Root hole: execute the sibling and set the value by `desired`.
         if let LfExpr::Apply(op, args) = &partially {
@@ -258,7 +299,7 @@ impl LfTemplate {
                     let literal = if wants_match {
                         result.clone()
                     } else {
-                        perturb(&result, table, ctx, rng)
+                        perturb(&result, table, ctx, rng, candidates)
                             .ok_or(LfInstantiateError::NoValueCandidates)?
                     };
                     let mut new_args = args.clone();
@@ -308,11 +349,13 @@ fn fill_inner_values(
     table: &Table,
     ctx: Option<&ExecContext>,
     rng: &mut impl Rng,
+    used: &mut FxHashMap<usize, Vec<Value>>,
+    candidates: &mut Vec<usize>,
 ) -> Result<LfExpr, LfInstantiateError> {
     // Values already drawn per column: distinct holes over the same column
     // must bind distinct values, or comparative templates degenerate into
     // "X is greater than X".
-    let mut used: FxHashMap<usize, Vec<Value>> = FxHashMap::default();
+    used.values_mut().for_each(Vec::clear);
     fn walk(
         e: &LfExpr,
         table: &Table,
@@ -320,6 +363,7 @@ fn fill_inner_values(
         rng: &mut impl Rng,
         at_root: bool,
         used: &mut FxHashMap<usize, Vec<Value>>,
+        candidates: &mut Vec<usize>,
     ) -> Result<LfExpr, LfInstantiateError> {
         match e {
             LfExpr::Apply(op, args) => {
@@ -381,15 +425,24 @@ fn fill_inner_values(
                                 let taken = used.entry(ci).or_default();
                                 let mut v = match ctx {
                                     Some(ctx) => {
-                                        let candidates: Vec<&Value> = ctx
-                                            .non_null_values(ci)
-                                            .iter()
-                                            .filter(|v| !taken.iter().any(|t| t.loosely_equals(v)))
-                                            .collect();
-                                        (*candidates
+                                        // Index buffer over the context's
+                                        // non-null pool: same filtered length
+                                        // as the old `Vec<&Value>`, so the
+                                        // `choose` draw is identical.
+                                        let pool = ctx.non_null_values(ci);
+                                        candidates.clear();
+                                        candidates.extend(
+                                            pool.iter()
+                                                .enumerate()
+                                                .filter(|(_, v)| {
+                                                    !taken.iter().any(|t| t.loosely_equals(v))
+                                                })
+                                                .map(|(i, _)| i),
+                                        );
+                                        let idx = *candidates
                                             .choose(rng)
-                                            .ok_or(LfInstantiateError::NoValueCandidates)?)
-                                        .clone()
+                                            .ok_or(LfInstantiateError::NoValueCandidates)?;
+                                        pool[idx].clone()
                                     }
                                     None => {
                                         let candidates: Vec<Value> = table
@@ -424,7 +477,7 @@ fn fill_inner_values(
                                 return Err(LfInstantiateError::MalformedTemplate);
                             }
                         }
-                        other => walk(other, table, ctx, rng, false, used)?,
+                        other => walk(other, table, ctx, rng, false, used, candidates)?,
                     };
                     new_args.push(filled);
                 }
@@ -433,7 +486,7 @@ fn fill_inner_values(
             other => Ok(other.clone()),
         }
     }
-    walk(e, table, ctx, rng, true, &mut used)
+    walk(e, table, ctx, rng, true, used, candidates)
 }
 
 /// Rounds a threshold the way a human annotator would: to two leading
@@ -454,6 +507,7 @@ fn perturb(
     table: &Table,
     ctx: Option<&ExecContext>,
     rng: &mut impl Rng,
+    candidates: &mut Vec<usize>,
 ) -> Option<Value> {
     match v {
         Value::Number(n) => {
@@ -465,9 +519,17 @@ fn perturb(
             // row-major scan order, so filtering it by the excluded value
             // yields exactly the pool the scan below would build.
             Some(ctx) => {
-                let pool: Vec<&String> =
-                    ctx.text_pool().iter().filter(|t| !t.eq_ignore_ascii_case(s)).collect();
-                pool.choose(rng).map(|t| Value::Text((*t).clone()))
+                // Index buffer: same filtered length as the old
+                // `Vec<&String>`, so the `choose` draw is identical.
+                let pool = ctx.text_pool();
+                candidates.clear();
+                candidates.extend(
+                    pool.iter()
+                        .enumerate()
+                        .filter(|(_, t)| !t.eq_ignore_ascii_case(s))
+                        .map(|(i, _)| i),
+                );
+                candidates.choose(rng).map(|&i| Value::Text(pool[i].clone()))
             }
             None => {
                 let mut pool: Vec<String> = Vec::new();

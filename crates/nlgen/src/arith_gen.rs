@@ -14,11 +14,24 @@ use rand::Rng;
 /// Produces `k` candidate questions for an instantiated program.
 pub fn realize_arith(program: &AeProgram, rng: &mut impl Rng, k: usize) -> Vec<String> {
     let mut out = Vec::with_capacity(k);
+    realize_arith_into(program, rng, k, &mut out);
+    out
+}
+
+/// [`realize_arith`] writing into a caller-owned buffer (cleared first), so the
+/// generation hot path reuses one candidate vector across samples. Draw-
+/// for-draw and candidate-for-candidate identical to the allocating form.
+pub fn realize_arith_into(
+    program: &AeProgram,
+    rng: &mut impl Rng,
+    k: usize,
+    out: &mut Vec<String>,
+) {
+    out.clear();
     for _ in 0..k.max(1) {
         out.push(realize_once(program, rng));
     }
     out.dedup();
-    out
 }
 
 /// Renders a cell argument as a noun phrase ("the revenue of 2019").

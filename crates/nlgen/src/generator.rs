@@ -6,11 +6,11 @@
 //! out. `fit` plays the role of fine-tuning — it trains the reranker LM on
 //! a seed corpus of gold-style sentences.
 
-use crate::arith_gen::realize_arith;
-use crate::logic_gen::realize_logic;
-use crate::ngram::{seed_corpus, NgramLm};
+use crate::arith_gen::{realize_arith, realize_arith_into};
+use crate::logic_gen::{realize_logic, realize_logic_into};
+use crate::ngram::{seed_corpus, NgramLm, ScoreScratch};
 use crate::noise::{apply_noise, NoiseConfig};
-use crate::sql_gen::realize_sql;
+use crate::sql_gen::{realize_sql, realize_sql_into};
 use arithexpr::AeProgram;
 use logicforms::LfExpr;
 use rand::Rng;
@@ -27,6 +27,23 @@ pub struct Generated {
     pub text: String,
     /// All candidates that were proposed (including the winner, pre-noise).
     pub candidates: Vec<String>,
+}
+
+/// Reusable buffers for [`NlGenerator::verbalize_with`]: the candidate
+/// vector the realizers fill and the LM's scoring scratch. One per worker;
+/// reused across every sample the worker generates.
+#[derive(Debug, Clone, Default)]
+pub struct NlScratch {
+    candidates: Vec<String>,
+    score: ScoreScratch,
+}
+
+impl NlScratch {
+    /// Candidates proposed by the most recent verbalization (including the
+    /// winner, pre-noise) — readable until the next `verbalize_with` call.
+    pub fn candidates(&self) -> &[String] {
+        &self.candidates
+    }
 }
 
 /// Program-to-text generator over all three program types.
@@ -80,13 +97,25 @@ impl NlGenerator {
     }
 
     fn select(&self, candidates: Vec<String>, rng: &mut impl Rng) -> Generated {
-        let best = self
-            .lm
-            .best(&candidates)
-            .cloned()
-            .unwrap_or_else(|| candidates.first().cloned().unwrap_or_default());
-        let text = apply_noise(&best, self.noise, rng);
+        let text = self.pick_and_noise(&candidates, &mut ScoreScratch::default(), rng);
         Generated { text, candidates }
+    }
+
+    /// Shared selection core: LM reranking (each candidate scored once,
+    /// ties keeping the later candidate) followed by the noise channel.
+    fn pick_and_noise(
+        &self,
+        candidates: &[String],
+        score: &mut ScoreScratch,
+        rng: &mut impl Rng,
+    ) -> String {
+        let chosen = match self.lm.best_index_with(candidates, score) {
+            Some(i) => candidates[i].as_str(),
+            // The realizers always propose at least one candidate; an empty
+            // slice only reaches here through direct API misuse.
+            None => "",
+        };
+        apply_noise(chosen, self.noise, rng)
     }
 
     /// Generates a question from an instantiated SQL query.
@@ -117,6 +146,27 @@ impl NlGenerator {
             ProgramRef::Logic(expr) => self.logic_claim(expr, rng),
             ProgramRef::Arith(prog) => self.arith_question(prog, rng),
         }
+    }
+
+    /// [`NlGenerator::verbalize`] through caller-owned buffers, returning
+    /// only the selected sentence — the form the generation hot path uses:
+    /// the candidate vector and the scoring buffers live in `scratch` and
+    /// are reused across samples. Draw-for-draw and selection-identical to
+    /// [`NlGenerator::verbalize`]; the proposed candidates stay readable
+    /// via [`NlScratch::candidates`] until the next call.
+    pub fn verbalize_with(
+        &self,
+        program: ProgramRef<'_>,
+        rng: &mut impl Rng,
+        scratch: &mut NlScratch,
+    ) -> String {
+        let buf = &mut scratch.candidates;
+        match program {
+            ProgramRef::Sql(stmt) => realize_sql_into(stmt, rng, CANDIDATES, buf),
+            ProgramRef::Logic(expr) => realize_logic_into(expr, rng, CANDIDATES, buf),
+            ProgramRef::Arith(prog) => realize_arith_into(prog, rng, CANDIDATES, buf),
+        }
+        self.pick_and_noise(&scratch.candidates, &mut scratch.score, rng)
     }
 }
 

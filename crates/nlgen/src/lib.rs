@@ -28,9 +28,9 @@ pub mod ngram;
 pub mod noise;
 pub mod sql_gen;
 
-pub use arith_gen::realize_arith;
-pub use generator::{Generated, NlGenerator, ProgramRef};
-pub use logic_gen::realize_logic;
-pub use ngram::{seed_corpus, NgramLm};
+pub use arith_gen::{realize_arith, realize_arith_into};
+pub use generator::{Generated, NlGenerator, NlScratch, ProgramRef};
+pub use logic_gen::{realize_logic, realize_logic_into};
+pub use ngram::{seed_corpus, NgramLm, ScoreScratch};
 pub use noise::{apply_noise, NoiseConfig};
-pub use sql_gen::realize_sql;
+pub use sql_gen::{realize_sql, realize_sql_into};

@@ -14,11 +14,19 @@ use rand::Rng;
 /// Produces `k` candidate claims for an instantiated logical form.
 pub fn realize_logic(expr: &LfExpr, rng: &mut impl Rng, k: usize) -> Vec<String> {
     let mut out = Vec::with_capacity(k);
+    realize_logic_into(expr, rng, k, &mut out);
+    out
+}
+
+/// [`realize_logic`] writing into a caller-owned buffer (cleared first), so the
+/// generation hot path reuses one candidate vector across samples. Draw-
+/// for-draw and candidate-for-candidate identical to the allocating form.
+pub fn realize_logic_into(expr: &LfExpr, rng: &mut impl Rng, k: usize, out: &mut Vec<String>) {
+    out.clear();
     for _ in 0..k.max(1) {
         out.push(realize_once(expr, rng));
     }
     out.dedup();
-    out
 }
 
 /// Describes a view as a relative clause (empty for `all_rows`).

@@ -6,24 +6,46 @@
 //! role of the paper's fine-tuning sets) reranks them. Stupid-backoff-style
 //! interpolation over orders 1..=N keeps unseen n-grams from zeroing a
 //! candidate.
+//!
+//! Scoring is the pipeline's verbalization hot path (every candidate of
+//! every sample is scored), so the model interns tokens to `u32` ids at
+//! training time and keys its count tables by id slices: a `score` call
+//! performs no per-token `String` allocation and no key `join`s — tokens
+//! stream through one reusable buffer and n-gram lookups borrow subslices
+//! of one id vector.
 
 use rustc_hash::FxHashMap;
-use tabular::text::tokenize;
+use tabular::text::for_each_token;
 
-/// Sentence-boundary markers.
+/// Sentence-boundary markers (interned like ordinary tokens).
 const BOS: &str = "<s>";
 const EOS: &str = "</s>";
 
+/// Id for tokens never seen at training time. Never interned, so lookups
+/// containing it miss every count table — exactly how an unseen token
+/// string behaved when the tables were string-keyed.
+const UNSEEN: u32 = u32::MAX;
+
 /// An interpolated n-gram language model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NgramLm {
     order: usize,
-    /// counts[k] maps a k+1-gram (joined with '\x1f') to its count.
-    counts: Vec<FxHashMap<String, u32>>,
+    /// Token interner: populated by `observe`, read-only during `score`.
+    ids: FxHashMap<String, u32>,
+    /// counts[k] maps a (k+1)-gram of token ids to its count.
+    counts: Vec<FxHashMap<Box<[u32]>, u32>>,
     /// context counts for each order (k-gram prefix counts).
-    context: Vec<FxHashMap<String, u32>>,
+    context: Vec<FxHashMap<Box<[u32]>, u32>>,
     vocab: usize,
     total_unigrams: u64,
+}
+
+/// Reusable buffers for [`NgramLm::score_with`]: the token-id sequence of
+/// the sentence being scored and the tokenizer's string scratch.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    ids: Vec<u32>,
+    buf: String,
 }
 
 impl NgramLm {
@@ -32,6 +54,7 @@ impl NgramLm {
         let order = order.max(1);
         NgramLm {
             order,
+            ids: FxHashMap::default(),
             counts: vec![FxHashMap::default(); order],
             context: vec![FxHashMap::default(); order],
             vocab: 0,
@@ -48,24 +71,42 @@ impl NgramLm {
         self.vocab
     }
 
+    fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(token.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, token: &str) -> u32 {
+        self.ids.get(token).copied().unwrap_or(UNSEEN)
+    }
+
     /// Adds one sentence to the model.
     pub fn observe(&mut self, sentence: &str) {
-        let mut toks: Vec<String> = Vec::with_capacity(16);
+        let mut toks: Vec<u32> = Vec::with_capacity(16);
+        let bos = self.intern(BOS);
         for _ in 0..self.order.saturating_sub(1) {
-            toks.push(BOS.to_string());
+            toks.push(bos);
         }
-        toks.extend(tokenize(sentence));
-        toks.push(EOS.to_string());
+        let mut buf = String::new();
+        let mut raw: Vec<String> = Vec::with_capacity(16);
+        for_each_token(sentence, &mut buf, |t| raw.push(t.to_string()));
+        for t in &raw {
+            let id = self.intern(t);
+            toks.push(id);
+        }
+        toks.push(self.intern(EOS));
         for n in 1..=self.order {
             if toks.len() < n {
                 continue;
             }
             for w in toks.windows(n) {
-                let key = w.join("\x1f");
-                *self.counts[n - 1].entry(key).or_insert(0) += 1;
+                *self.counts[n - 1].entry(Box::from(w)).or_insert(0) += 1;
                 if n > 1 {
-                    let ctx = w[..n - 1].join("\x1f");
-                    *self.context[n - 1].entry(ctx).or_insert(0) += 1;
+                    *self.context[n - 1].entry(Box::from(&w[..n - 1])).or_insert(0) += 1;
                 }
             }
         }
@@ -84,12 +125,22 @@ impl NgramLm {
     /// fluent under the model). Length-normalized so candidates of
     /// different lengths are comparable.
     pub fn score(&self, sentence: &str) -> f64 {
-        let mut toks: Vec<String> = Vec::with_capacity(16);
+        self.score_with(sentence, &mut ScoreScratch::default())
+    }
+
+    /// [`NgramLm::score`] with caller-owned buffers — the zero-allocation
+    /// form the generation hot path uses.
+    pub fn score_with(&self, sentence: &str, scratch: &mut ScoreScratch) -> f64 {
+        let toks = &mut scratch.ids;
+        toks.clear();
+        let bos = self.lookup(BOS);
         for _ in 0..self.order.saturating_sub(1) {
-            toks.push(BOS.to_string());
+            toks.push(bos);
         }
-        toks.extend(tokenize(sentence));
-        toks.push(EOS.to_string());
+        for_each_token(sentence, &mut scratch.buf, |t| {
+            toks.push(self.ids.get(t).copied().unwrap_or(UNSEEN));
+        });
+        toks.push(self.lookup(EOS));
         let start = self.order.saturating_sub(1);
         if toks.len() <= start {
             return f64::NEG_INFINITY;
@@ -97,7 +148,7 @@ impl NgramLm {
         let mut total = 0.0;
         let mut n_scored = 0usize;
         for i in start..toks.len() {
-            let p = self.token_prob(&toks, i);
+            let p = self.token_prob(toks, i);
             total += p.log2();
             n_scored += 1;
         }
@@ -106,14 +157,14 @@ impl NgramLm {
 
     /// Probability of token i given its history: stupid backoff with a 0.4
     /// discount per backoff level, ending at an add-one unigram estimate.
-    fn token_prob(&self, toks: &[String], i: usize) -> f64 {
+    fn token_prob(&self, toks: &[u32], i: usize) -> f64 {
         let mut discount = 1.0;
         let max_n = self.order.min(i + 1);
         for n in (2..=max_n).rev() {
-            let gram = toks[i + 1 - n..=i].join("\x1f");
-            let ctx = toks[i + 1 - n..i].join("\x1f");
+            let gram = &toks[i + 1 - n..=i];
+            let ctx = &toks[i + 1 - n..i];
             if let (Some(&c), Some(&cc)) =
-                (self.counts[n - 1].get(&gram), self.context[n - 1].get(&ctx))
+                (self.counts[n - 1].get(gram), self.context[n - 1].get(ctx))
             {
                 if cc > 0 && c > 0 {
                     return discount * f64::from(c) / f64::from(cc);
@@ -121,15 +172,38 @@ impl NgramLm {
             }
             discount *= 0.4;
         }
-        let c = self.counts[0].get(&toks[i]).copied().unwrap_or(0);
+        let c = self.counts[0].get(&toks[i..=i]).copied().unwrap_or(0);
         discount * (f64::from(c) + 1.0) / (self.total_unigrams as f64 + self.vocab as f64 + 1.0)
     }
 
-    /// Selects the best candidate under the model (ties keep order).
+    /// Selects the best candidate under the model. Each candidate is scored
+    /// exactly once; ties keep the *later* candidate, matching
+    /// `Iterator::max_by` over the score-per-comparison form this replaced.
     pub fn best<'a>(&self, candidates: &'a [String]) -> Option<&'a String> {
-        candidates.iter().max_by(|a, b| {
-            self.score(a).partial_cmp(&self.score(b)).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.best_index_with(candidates, &mut ScoreScratch::default()).map(|i| &candidates[i])
+    }
+
+    /// Index form of [`NgramLm::best`] with caller-owned score buffers —
+    /// the zero-allocation selection the generation hot path uses.
+    pub fn best_index_with(
+        &self,
+        candidates: &[String],
+        scratch: &mut ScoreScratch,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in candidates.iter().enumerate() {
+            let s = self.score_with(cand, scratch);
+            best = match best {
+                Some((bi, bs))
+                    if s.partial_cmp(&bs).unwrap_or(std::cmp::Ordering::Equal)
+                        == std::cmp::Ordering::Less =>
+                {
+                    Some((bi, bs))
+                }
+                _ => Some((i, s)),
+            };
+        }
+        best.map(|(i, _)| i)
     }
 }
 
@@ -213,6 +287,38 @@ mod tests {
         ];
         let best = lm.best(&candidates).unwrap_or_else(|| panic!("no best candidate"));
         assert_eq!(best, &candidates[1]);
+    }
+
+    #[test]
+    fn best_matches_max_by_tie_semantics() {
+        // Identical candidates score identically; `max_by` keeps the last
+        // of equally-maximal elements, and `best` must do the same.
+        let lm = trained();
+        let candidates = vec![
+            "what is the total?".to_string(),
+            "completely different phrasing here".to_string(),
+            "what is the total?".to_string(),
+        ];
+        let best = lm.best(&candidates).unwrap_or_else(|| panic!("no best candidate"));
+        assert!(std::ptr::eq(best, &candidates[2]), "tie must keep the later candidate");
+        let reference = candidates
+            .iter()
+            .max_by(|a, b| {
+                lm.score(a).partial_cmp(&lm.score(b)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or_else(|| panic!("reference max_by"));
+        assert!(std::ptr::eq(best, reference));
+    }
+
+    #[test]
+    fn score_with_reused_scratch_is_identical() {
+        let lm = trained();
+        let mut scratch = ScoreScratch::default();
+        for s in ["what is the total?", "the reds scored the most points.", "zyzzyva"] {
+            let fresh = lm.score(s);
+            let reused = lm.score_with(s, &mut scratch);
+            assert_eq!(fresh.to_bits(), reused.to_bits(), "score divergence on {s:?}");
+        }
     }
 
     #[test]

@@ -60,11 +60,19 @@ fn cond_phrase(c: &Cond, rng: &mut impl Rng) -> String {
 /// Produces `k` candidate questions for an instantiated query.
 pub fn realize_sql(stmt: &SelectStmt, rng: &mut impl Rng, k: usize) -> Vec<String> {
     let mut out = Vec::with_capacity(k);
+    realize_sql_into(stmt, rng, k, &mut out);
+    out
+}
+
+/// [`realize_sql`] writing into a caller-owned buffer (cleared first), so the
+/// generation hot path reuses one candidate vector across samples. Draw-
+/// for-draw and candidate-for-candidate identical to the allocating form.
+pub fn realize_sql_into(stmt: &SelectStmt, rng: &mut impl Rng, k: usize, out: &mut Vec<String>) {
+    out.clear();
     for _ in 0..k.max(1) {
         out.push(realize_once(stmt, rng));
     }
     out.dedup();
-    out
 }
 
 fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {

@@ -32,4 +32,4 @@ pub use ast::{
 };
 pub use exec::{denotation_string, execute, run_sql, ExecError, QueryResult};
 pub use parser::{parse, ParseError};
-pub use template::{abstract_query, SqlInstantiateError, SqlTemplate};
+pub use template::{abstract_query, SqlInstantiateError, SqlScratch, SqlTemplate};

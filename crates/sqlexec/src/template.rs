@@ -53,6 +53,19 @@ pub struct SqlTemplate {
     stmt: SelectStmt,
 }
 
+/// Reusable buffers for [`SqlTemplate::try_instantiate_in_with`]: the hole
+/// list, the shuffled column pool, and the hole→column / hole→value
+/// assignments. One per worker; reused across every instantiation attempt
+/// so the per-attempt path allocates nothing but the instantiated
+/// statement itself.
+#[derive(Debug, Clone, Default)]
+pub struct SqlScratch {
+    holes: Vec<(usize, Option<PlaceholderType>)>,
+    available: Vec<usize>,
+    assignment: FxHashMap<usize, usize>,
+    values: FxHashMap<usize, Value>,
+}
+
 impl SqlTemplate {
     /// Parses template text such as
     /// `select c1 from w order by c2_number desc limit 1`.
@@ -80,7 +93,15 @@ impl SqlTemplate {
     /// Distinct column placeholders with their type constraints, in
     /// first-appearance order.
     pub fn column_holes(&self) -> Vec<(usize, Option<PlaceholderType>)> {
-        let mut seen: Vec<(usize, Option<PlaceholderType>)> = Vec::new();
+        let mut seen = Vec::new();
+        self.column_holes_into(&mut seen);
+        seen
+    }
+
+    /// [`SqlTemplate::column_holes`] into a caller-owned buffer (cleared
+    /// first).
+    fn column_holes_into(&self, seen: &mut Vec<(usize, Option<PlaceholderType>)>) {
+        seen.clear();
         self.stmt.visit_columns(&mut |c| {
             if let ColumnRef::Placeholder { index, ty } = c {
                 if !seen.iter().any(|(i, _)| i == index) {
@@ -88,7 +109,6 @@ impl SqlTemplate {
                 }
             }
         });
-        seen
     }
 
     /// Instantiates the template on `table` using the random sampling
@@ -106,7 +126,7 @@ impl SqlTemplate {
         table: &Table,
         rng: &mut impl Rng,
     ) -> Result<SelectStmt, SqlInstantiateError> {
-        self.try_instantiate_impl(table, None, rng)
+        self.try_instantiate_impl(table, None, rng, &mut SqlScratch::default())
     }
 
     /// [`SqlTemplate::try_instantiate`] using a prebuilt [`ExecContext`] for
@@ -119,7 +139,20 @@ impl SqlTemplate {
         ctx: &ExecContext,
         rng: &mut impl Rng,
     ) -> Result<SelectStmt, SqlInstantiateError> {
-        self.try_instantiate_impl(table, Some(ctx), rng)
+        self.try_instantiate_impl(table, Some(ctx), rng, &mut SqlScratch::default())
+    }
+
+    /// [`SqlTemplate::try_instantiate_in`] with caller-owned sampling
+    /// buffers — the zero-transient-allocation form the generation hot path
+    /// uses. Draw-for-draw identical to the other entry points.
+    pub fn try_instantiate_in_with(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut impl Rng,
+        scratch: &mut SqlScratch,
+    ) -> Result<SelectStmt, SqlInstantiateError> {
+        self.try_instantiate_impl(table, Some(ctx), rng, scratch)
     }
 
     fn try_instantiate_impl(
@@ -127,15 +160,18 @@ impl SqlTemplate {
         table: &Table,
         ctx: Option<&ExecContext>,
         rng: &mut impl Rng,
+        scratch: &mut SqlScratch,
     ) -> Result<SelectStmt, SqlInstantiateError> {
-        let mut holes = self.column_holes();
+        let SqlScratch { holes, available, assignment, values } = scratch;
+        self.column_holes_into(holes);
         // Assign typed holes first so an untyped hole cannot steal the only
         // column satisfying a type constraint.
         holes.sort_by_key(|(_, ty)| ty.is_none());
-        let mut available: Vec<usize> = (0..table.n_cols()).collect();
+        available.clear();
+        available.extend(0..table.n_cols());
         available.shuffle(rng);
-        let mut assignment: FxHashMap<usize, usize> = FxHashMap::default();
-        for (hole_idx, ty) in &holes {
+        assignment.clear();
+        for (hole_idx, ty) in holes.iter() {
             let pos = available
                 .iter()
                 .position(|&ci| {
@@ -156,7 +192,7 @@ impl SqlTemplate {
         // Pair each value placeholder with the column placeholder it is
         // compared against, then sample a value from that column.
         let pairs = value_hole_columns(&self.stmt);
-        let mut value_assignment: FxHashMap<usize, Value> = FxHashMap::default();
+        values.clear();
         for (val_idx, col_hole) in pairs {
             let ci = *assignment.get(&col_hole).ok_or(SqlInstantiateError::MalformedTemplate)?;
             let v = match ctx {
@@ -171,9 +207,9 @@ impl SqlTemplate {
                     candidates.choose(rng).ok_or(SqlInstantiateError::NoValueCandidates)?.clone()
                 }
             };
-            value_assignment.insert(val_idx, v);
+            values.insert(val_idx, v);
         }
-        let stmt = substitute(&self.stmt, table, &assignment, &value_assignment)
+        let stmt = substitute(&self.stmt, table, assignment, values)
             .ok_or(SqlInstantiateError::MalformedTemplate)?;
         debug_assert!(!stmt.has_placeholders());
         Ok(stmt)

@@ -24,8 +24,12 @@ use crate::value::Value;
 ///
 /// Build once per [`Table`] with [`ExecContext::new`]; the context borrows
 /// nothing and must only be used with the table it was built from (the
-/// executors debug-assert the dimensions match).
-#[derive(Debug, Clone)]
+/// executors debug-assert the dimensions match). Single-row edits of an
+/// already-indexed table ([`ExecContext::with_row_appended`] /
+/// [`ExecContext::with_row_removed`]) update the caches incrementally
+/// instead of re-scanning — `PartialEq` exists so tests can pin the deltas
+/// against a fresh scan.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecContext {
     n_rows: usize,
     n_cols: usize,
@@ -68,6 +72,14 @@ fn type_index(ty: ColumnType) -> usize {
         ColumnType::Bool => 2,
         ColumnType::Text => 3,
     }
+}
+
+/// Whether two tables infer the same column types — the precondition for
+/// the single-row delta constructors, since every schema-derived cache
+/// (`numeric_cols`, `row_name_col`, `type_counts`) follows the types.
+fn schema_types_match(a: &Table, b: &Table) -> bool {
+    let (ca, cb) = (a.schema().columns(), b.schema().columns());
+    ca.len() == cb.len() && ca.iter().zip(cb).all(|(x, y)| x.ty == y.ty)
 }
 
 impl ExecContext {
@@ -143,6 +155,136 @@ impl ExecContext {
             addressable,
             text_pool,
             type_counts,
+        }
+    }
+
+    /// Context for `expanded` = the table this context was built from
+    /// (`original`) plus one appended row, updating every cache in place of
+    /// a full rescan. The appended row sits at the end of each row-ordered
+    /// cache, so the delta is pure appends. Falls back to a full
+    /// [`ExecContext::new`] scan when the append changed any inferred
+    /// column type (table expansion re-infers types), since every
+    /// schema-derived cache would shift.
+    pub fn with_row_appended(&self, original: &Table, expanded: &Table) -> ExecContext {
+        debug_assert_eq!(self.n_rows, original.n_rows(), "context/table mismatch");
+        if expanded.n_rows() != self.n_rows + 1
+            || expanded.n_cols() != self.n_cols
+            || !schema_types_match(original, expanded)
+        {
+            return ExecContext::new(expanded);
+        }
+        let mut ctx = self.clone();
+        let ri = self.n_rows;
+        ctx.n_rows += 1;
+        ctx.grid.resize(ctx.n_rows * ctx.n_cols, None);
+        for ci in 0..ctx.n_cols {
+            let Some(v) = expanded.cell(ri, ci) else { continue };
+            if !v.is_null() {
+                ctx.non_null[ci].push(v.clone());
+            }
+            if let Some(n) = v.as_number() {
+                ctx.grid[ri * ctx.n_cols + ci] = Some(n);
+                ctx.numeric[ci].push((ri, n));
+            }
+        }
+        let name_cell = expanded.cell(ri, self.row_name_col);
+        ctx.name_lower.push(name_cell.map(|v| v.to_string().to_ascii_lowercase()));
+        if name_cell.is_some_and(|v| !v.is_null()) {
+            for ci in 0..ctx.n_cols {
+                if ci != self.row_name_col && ctx.grid[ri * ctx.n_cols + ci].is_some() {
+                    ctx.addressable.push((ri, ci));
+                }
+            }
+        }
+        for v in expanded.row(ri).unwrap_or(&[]) {
+            if let Value::Text(t) = v {
+                if !ctx.text_pool.contains(t) {
+                    ctx.text_pool.push(t.clone());
+                }
+            }
+        }
+        ctx
+    }
+
+    /// Context for `sub` = the table this context was built from
+    /// (`original`) minus its row `removed`, splicing the removed row out
+    /// of every cache instead of re-scanning (in particular, no cell is
+    /// re-parsed through `Value::as_number`). Falls back to a full
+    /// [`ExecContext::new`] scan when dropping the row changed any
+    /// inferred column type.
+    pub fn with_row_removed(&self, original: &Table, sub: &Table, removed: usize) -> ExecContext {
+        debug_assert_eq!(self.n_rows, original.n_rows(), "context/table mismatch");
+        if removed >= self.n_rows
+            || sub.n_rows() + 1 != self.n_rows
+            || sub.n_cols() != self.n_cols
+            || !schema_types_match(original, sub)
+        {
+            return ExecContext::new(sub);
+        }
+        let shift = |ri: usize| if ri > removed { ri - 1 } else { ri };
+        let mut non_null = Vec::with_capacity(self.n_cols);
+        let mut numeric = Vec::with_capacity(self.n_cols);
+        for ci in 0..self.n_cols {
+            let mut vals = self.non_null[ci].clone();
+            if original.cell(removed, ci).is_some_and(|v| !v.is_null()) {
+                // The removed value's position in the row-ordered non-null
+                // list = the count of non-null cells above it.
+                let pos = original.rows()[..removed]
+                    .iter()
+                    .filter(|r| r.get(ci).is_some_and(|v| !v.is_null()))
+                    .count();
+                vals.remove(pos);
+            }
+            non_null.push(vals);
+            numeric.push(
+                self.numeric[ci]
+                    .iter()
+                    .filter(|&&(ri, _)| ri != removed)
+                    .map(|&(ri, n)| (shift(ri), n))
+                    .collect(),
+            );
+        }
+        let mut grid = self.grid.clone();
+        grid.drain(removed * self.n_cols..(removed + 1) * self.n_cols);
+        let mut name_lower = self.name_lower.clone();
+        name_lower.remove(removed);
+        let addressable = self
+            .addressable
+            .iter()
+            .filter(|&&(ri, _)| ri != removed)
+            .map(|&(ri, ci)| (shift(ri), ci))
+            .collect();
+        // Dropping a row can only change the distinct-text pool (values or
+        // first-occurrence order) if the row itself held text.
+        let row_had_text =
+            original.row(removed).is_some_and(|r| r.iter().any(|v| matches!(v, Value::Text(_))));
+        let text_pool = if row_had_text {
+            let mut pool: Vec<String> = Vec::new();
+            for row in sub.rows() {
+                for v in row {
+                    if let Value::Text(t) = v {
+                        if !pool.contains(t) {
+                            pool.push(t.clone());
+                        }
+                    }
+                }
+            }
+            pool
+        } else {
+            self.text_pool.clone()
+        };
+        ExecContext {
+            n_rows: self.n_rows - 1,
+            n_cols: self.n_cols,
+            non_null,
+            numeric,
+            grid,
+            numeric_cols: self.numeric_cols.clone(),
+            row_name_col: self.row_name_col,
+            name_lower,
+            addressable,
+            text_pool,
+            type_counts: self.type_counts,
         }
     }
 
@@ -304,5 +446,97 @@ mod tests {
         assert!(ctx.addressable_cells().is_empty());
         assert!(ctx.text_pool().is_empty());
         assert!(ctx.non_null_values(0).is_empty());
+    }
+
+    fn strings_table(rows: &[Vec<&str>]) -> Table {
+        Table::from_strings("t", rows).unwrap_or_else(|e| panic!("test table: {e}"))
+    }
+
+    #[test]
+    fn row_appended_delta_matches_fresh_scan() {
+        let header = vec!["name", "score", "city", "when"];
+        let base = [
+            vec!["Ada", "91", "Oslo", "1990-05-01"],
+            vec!["-", "84", "Lima", "n/a"],
+            vec!["Cleo", "n/a", "Oslo", "2001-08-23"],
+        ];
+        // New text, repeated text, a null name cell, and an all-null row
+        // each stress a different cache's append arm.
+        let extra_rows = [
+            vec!["Bo", "77", "Kyiv", "1999-01-02"],
+            vec!["Ada", "70", "Oslo", "2000-01-01"],
+            vec!["-", "55", "Lima", "n/a"],
+            vec!["-", "n/a", "-", "n/a"],
+        ];
+        for extra in &extra_rows {
+            let mut rows = vec![header.clone()];
+            rows.extend(base.iter().cloned());
+            let original = strings_table(&rows);
+            rows.push(extra.clone());
+            let expanded = strings_table(&rows);
+            assert_eq!(
+                original.schema().columns().len(),
+                expanded.schema().columns().len(),
+                "append case should keep the column count: {extra:?}"
+            );
+            let ctx = ExecContext::new(&original);
+            assert_eq!(
+                ctx.with_row_appended(&original, &expanded),
+                ExecContext::new(&expanded),
+                "appended {extra:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_appended_falls_back_when_types_flip() {
+        let original = strings_table(&[vec!["name", "score"], vec!["Ada", "91"]]);
+        // The appended row drops the score column below the numeric
+        // majority threshold, turning it into Text.
+        let expanded =
+            strings_table(&[vec!["name", "score"], vec!["Ada", "91"], vec!["Bo", "withdrew"]]);
+        assert_ne!(
+            original.schema().column(1).map(|c| c.ty),
+            expanded.schema().column(1).map(|c| c.ty),
+            "test premise: the append must flip the column type"
+        );
+        let ctx = ExecContext::new(&original);
+        assert_eq!(ctx.with_row_appended(&original, &expanded), ExecContext::new(&expanded));
+    }
+
+    #[test]
+    fn row_removed_delta_matches_fresh_scan() {
+        let original = strings_table(&[
+            vec!["name", "score", "city", "when"],
+            vec!["Ada", "91", "Oslo", "1990-05-01"],
+            vec!["-", "84", "Lima", "n/a"],
+            vec!["Cleo", "n/a", "Oslo", "2001-08-23"],
+            vec!["Ada", "70", "Oslo", "2000-01-01"],
+        ]);
+        let ctx = ExecContext::new(&original);
+        for removed in 0..original.n_rows() {
+            let keep: Vec<usize> = (0..original.n_rows()).filter(|&r| r != removed).collect();
+            let sub = original.select_rows(&keep);
+            assert_eq!(
+                ctx.with_row_removed(&original, &sub, removed),
+                ExecContext::new(&sub),
+                "removed row {removed}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_removed_falls_back_when_types_flip() {
+        let original =
+            strings_table(&[vec!["name", "score"], vec!["Ada", "91"], vec!["Bo", "withdrew"]]);
+        // Dropping the text score and re-inferring makes the column Number.
+        let sub = strings_table(&[vec!["name", "score"], vec!["Ada", "91"]]);
+        assert_ne!(
+            original.schema().column(1).map(|c| c.ty),
+            sub.schema().column(1).map(|c| c.ty),
+            "test premise: the removal must flip the column type"
+        );
+        let ctx = ExecContext::new(&original);
+        assert_eq!(ctx.with_row_removed(&original, &sub, 1), ExecContext::new(&sub));
     }
 }

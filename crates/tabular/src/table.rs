@@ -257,15 +257,53 @@ impl Table {
         self.rows.iter().filter_map(|r| r.get(col).and_then(Value::as_number)).collect()
     }
 
-    /// Distinct values of a column, in first-occurrence order.
+    /// Distinct values of a column, in first-occurrence order. Two values
+    /// are duplicates when [`Value::loosely_equals`] says so.
+    ///
+    /// The membership test is sub-quadratic while keeping the pairwise
+    /// `loosely_equals` semantics exactly: `Text` only ever equals `Text`
+    /// (case-insensitively), so a lowercased hash set decides that arm
+    /// outright; every other non-null variant has a numeric reading
+    /// (`Value::as_number`), so candidate duplicates are confined to an
+    /// epsilon window in a sorted key list — each candidate is then
+    /// confirmed with `loosely_equals` itself, which keeps near-miss
+    /// subtleties (e.g. distinct `Date`s with nearly-equal ordinals) exact.
     pub fn distinct(&self, col: usize) -> Vec<Value> {
         let mut seen: Vec<Value> = Vec::new();
+        let mut texts: rustc_hash::FxHashSet<String> = rustc_hash::FxHashSet::default();
+        // (numeric key, index into `seen`), sorted by key.
+        let mut nums: Vec<(f64, usize)> = Vec::new();
         for row in &self.rows {
             let v = &row[col];
             if v.is_null() {
                 continue;
             }
-            if !seen.iter().any(|s| s.loosely_equals(v)) {
+            let dup = match v.as_number() {
+                None => match v {
+                    Value::Text(t) => texts.contains(&t.to_ascii_lowercase()),
+                    // Unreachable for current variants (only Null/Text lack
+                    // a numeric reading), kept exact for future ones.
+                    _ => seen.iter().any(|s| s.loosely_equals(v)),
+                },
+                Some(n) => {
+                    // nearly_equal(a, b) bounds |a-b| by 1e-6 * max of the
+                    // magnitudes, so any match lies within this slightly
+                    // widened window around n.
+                    let w = 2e-6 * n.abs().max(1.0) + f64::EPSILON;
+                    let lo = nums.partition_point(|&(k, _)| k < n - w);
+                    nums[lo..]
+                        .iter()
+                        .take_while(|&&(k, _)| k <= n + w)
+                        .any(|&(_, i)| seen[i].loosely_equals(v))
+                }
+            };
+            if !dup {
+                if let Some(n) = v.as_number() {
+                    let at = nums.partition_point(|&(k, _)| k < n);
+                    nums.insert(at, (n, seen.len()));
+                } else if let Value::Text(t) = v {
+                    texts.insert(t.to_ascii_lowercase());
+                }
                 seen.push(v.clone());
             }
         }
@@ -307,6 +345,7 @@ impl Table {
     /// `title | col: v ; col: v [ROW] ...` — the serialization the reasoning
     /// models consume (paper cites linearization methods \[24\], \[18\]).
     pub fn linearize(&self) -> String {
+        use std::fmt::Write;
         let mut out = String::with_capacity(64 * (self.rows.len() + 1));
         out.push_str(&self.title);
         for row in &self.rows {
@@ -318,7 +357,10 @@ impl Table {
                 out.push(' ');
                 out.push_str(self.column_name(i).unwrap_or(""));
                 out.push_str(": ");
-                out.push_str(&v.to_string());
+                // Render the cell straight into the buffer — `Display` is
+                // the same rendering `to_string` produced, minus the
+                // intermediate allocation per cell.
+                let _ = write!(out, "{v}");
                 out.push(';');
             }
         }
@@ -470,6 +512,48 @@ mod tests {
         )
         .unwrap_or_else(|e| panic!("test table: {e:?}"));
         assert_eq!(t.distinct(0).len(), 2);
+    }
+
+    #[test]
+    fn distinct_matches_pairwise_scan() {
+        // Adversarial mix for the windowed accelerator: epsilon-close
+        // numbers, case variants, bools, adjacent dates (near-equal
+        // ordinals but distinct dates), and nulls.
+        let cells = [
+            "5",
+            "5.0000001",
+            "5.1",
+            "yes",
+            "true",
+            "Apple",
+            "APPLE",
+            "apple pie",
+            "2020-03-01",
+            "2020-03-02",
+            "2020-03-01",
+            "",
+            "0",
+            "no",
+            "-5",
+            "5",
+            "1000000",
+            "1000000.5",
+            "1000001",
+            "0.0000001",
+            "0",
+        ];
+        let mut grid = vec![vec!["c"]];
+        grid.extend(cells.iter().map(|c| vec![*c]));
+        let t = Table::from_strings("t", &grid).unwrap_or_else(|e| panic!("test table: {e:?}"));
+        // Reference: the original quadratic first-occurrence scan.
+        let mut naive: Vec<Value> = Vec::new();
+        for row in t.rows() {
+            let v = &row[0];
+            if !v.is_null() && !naive.iter().any(|s| s.loosely_equals(v)) {
+                naive.push(v.clone());
+            }
+        }
+        assert_eq!(t.distinct(0), naive);
     }
 
     #[test]

@@ -11,38 +11,56 @@ use rustc_hash::FxHashMap;
 /// numbers), and splits on whitespace.
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut tokens = Vec::new();
-    let mut cur = String::new();
+    let mut buf = String::new();
+    for_each_token(text, &mut buf, |t| tokens.push(t.to_string()));
+    tokens
+}
+
+/// Streaming core of [`tokenize`]: calls `f` once per token, borrowing the
+/// reusable `buf` instead of allocating a `String` per token. The token
+/// sequence is exactly `tokenize(text)` — hot paths (n-gram scoring) use
+/// this to stay allocation-free, everything else goes through `tokenize`.
+pub fn for_each_token(text: &str, buf: &mut String, mut f: impl FnMut(&str)) {
+    buf.clear();
+    // Count of raw (pre-strip) token boundaries, mirroring `tokens.len()`
+    // in the collecting form: the leading-minus rule keys off it.
+    let mut raw_tokens = 0usize;
     for ch in text.chars() {
         let c = ch.to_ascii_lowercase();
         if c.is_alphanumeric() {
-            cur.push(c);
+            buf.push(c);
         } else if (c == '.' || c == '-')
-            && !cur.is_empty()
-            && cur.chars().all(|x| x.is_ascii_digit() || x == '.' || x == '-')
+            && !buf.is_empty()
+            && buf.chars().all(|x| x.is_ascii_digit() || x == '.' || x == '-')
         {
             // keep decimal points / minus inside numeric tokens: "3.5", "-2"
-            cur.push(c);
+            buf.push(c);
         } else {
-            if !cur.is_empty() {
-                tokens.push(std::mem::take(&mut cur));
+            if !buf.is_empty() {
+                raw_tokens += 1;
+                emit(buf, &mut f);
             }
-            if c == '-' && tokens.is_empty() {
+            if c == '-' && raw_tokens == 0 {
                 // leading minus of a number
-                cur.push('-');
+                buf.push('-');
             }
         }
     }
-    if !cur.is_empty() && cur != "-" {
-        tokens.push(cur);
+    if !buf.is_empty() && buf != "-" {
+        emit(buf, &mut f);
     }
-    // strip trailing periods that came from sentence ends ("42." -> "42")
-    for t in &mut tokens {
-        while t.ends_with('.') || t.ends_with('-') {
-            t.pop();
-        }
+}
+
+/// Strips trailing periods/dashes that came from sentence ends
+/// ("42." -> "42"), emits the token if anything is left, and resets `buf`.
+fn emit(buf: &mut String, f: &mut impl FnMut(&str)) {
+    while buf.ends_with('.') || buf.ends_with('-') {
+        buf.pop();
     }
-    tokens.retain(|t| !t.is_empty());
-    tokens
+    if !buf.is_empty() {
+        f(buf);
+    }
+    buf.clear();
 }
 
 /// Normalizes an answer string for exact-match comparison: tokenizes,
@@ -204,5 +222,26 @@ mod tests {
         let s = split_sentences("The reading is 3.17 today. Done.");
         assert_eq!(s.len(), 2);
         assert!(s[0].contains("3.17"));
+    }
+
+    #[test]
+    fn for_each_token_matches_tokenize() {
+        // Edge cases of the token grammar: decimals, leading/trailing
+        // minus, dash-only tokens, punctuation runs, empty input.
+        for text in [
+            "What is the score of Team-A?",
+            "-2.5 vs 3.5. done.",
+            "--5 - 7-",
+            " - ",
+            "",
+            "a.b.c 42. 3.17%",
+            "Ångström café 1,234",
+        ] {
+            let collected = tokenize(text);
+            let mut streamed = Vec::new();
+            let mut buf = String::new();
+            for_each_token(text, &mut buf, |t| streamed.push(t.to_string()));
+            assert_eq!(streamed, collected, "divergence on {text:?}");
+        }
     }
 }

@@ -37,7 +37,7 @@ pub use analysis::{
 pub use autogen::{extend_bank_auto, AutoGenerator, ProgramDistribution};
 pub use mqaqg::{generate_mqaqg, MqaQgConfig};
 pub use pipeline::{TableWithContext, TaskKind, UctrConfig, UctrPipeline};
-pub use program::{AnyTemplate, InstantiatedProgram, ProgramOutput, ProgramTemplate};
+pub use program::{AnyTemplate, GenScratch, InstantiatedProgram, ProgramOutput, ProgramTemplate};
 pub use sample::{AnswerKind, Dataset, EvidenceType, Label, ProgramKind, Sample, Verdict};
 pub use telemetry::{
     DiscardReport, KindReport, KindSlot, PipelineReport, SourceReport, TelemetryBank, TimingReport,

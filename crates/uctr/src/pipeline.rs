@@ -18,14 +18,17 @@
 //! Every config flag corresponds to a row of the paper's ablation grid
 //! (Table VIII).
 
-use crate::program::ProgramOutput;
+use crate::program::{GenScratch, ProgramOutput};
 use crate::sample::{AnswerKind, EvidenceType, Label, ProgramKind, Sample, Verdict};
-use crate::telemetry::{Discard, KindSlot, PipelineReport, Source, Stage, TelemetryBank, Timer};
+use crate::telemetry::{
+    Discard, KindSlot, PipelineReport, Source, Stage, TelemetryBank, Timer, WorkerReport,
+};
 use crate::templates::TemplateBank;
 use nlgen::{NlGenerator, NoiseConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tabular::{ExecContext, Table};
 use textops::{table_to_text, text_to_table};
 
@@ -165,17 +168,18 @@ impl UctrPipeline {
     ) -> (Vec<Sample>, PipelineReport) {
         let tel = TelemetryBank::new();
         let mut out: Vec<Sample> = Vec::new();
+        let mut scratch = GenScratch::default();
         for (index, input) in inputs.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(input_seed(self.config.seed, index as u64));
-            self.generate_for(input, &mut rng, &mut out, &tel);
+            self.generate_for(input, &mut rng, &mut out, &tel, &mut scratch);
         }
         self.finalize(&mut out, &tel);
         let report = tel.report(1);
         (out, report)
     }
 
-    /// Parallel variant of [`UctrPipeline::generate`]: inputs are sharded
-    /// over `threads` scoped workers and the shards are concatenated in
+    /// Parallel variant of [`UctrPipeline::generate`]: workers pull inputs
+    /// off a shared work queue and the claimed ranges are concatenated in
     /// input order. Every input owns an RNG stream derived from
     /// `(config.seed, input index)`, so the output — and the telemetry
     /// counters — are identical for a fixed seed *regardless of thread
@@ -186,9 +190,23 @@ impl UctrPipeline {
     }
 
     /// Like [`UctrPipeline::generate_parallel`], but also returns the run's
-    /// [`PipelineReport`]. Each worker fills a private [`TelemetryBank`]
-    /// (no shared cache lines on the hot path); banks are merged after the
-    /// workers are joined.
+    /// [`PipelineReport`].
+    ///
+    /// Scheduling is a chunked-claim work queue rather than static
+    /// sharding: each worker repeatedly `fetch_add`s a shared atomic
+    /// cursor to claim the next contiguous range of inputs, so a worker
+    /// that lands on a heavy table (a ragged zoo's 200-row outlier) never
+    /// strands the untouched remainder of a pre-assigned shard — the other
+    /// workers keep draining the queue. Determinism survives because
+    /// content and order are decoupled from scheduling: sample bytes
+    /// depend only on the per-input seed (global index), and each claim
+    /// remembers its start index so ranges re-sort into input order after
+    /// the join.
+    ///
+    /// Each worker fills a private [`TelemetryBank`] (no shared cache
+    /// lines on the hot path); banks are merged after the workers are
+    /// joined, and per-worker claim counts land in the report's
+    /// non-deterministic `workers` section.
     pub fn generate_parallel_with_report(
         &self,
         inputs: &[TableWithContext],
@@ -198,42 +216,67 @@ impl UctrPipeline {
         if threads == 1 {
             return self.generate_with_report(inputs);
         }
-        let chunk = inputs.len().div_ceil(threads);
+        // ~8 claims per worker: granular enough to rebalance ragged
+        // workloads, coarse enough that the cursor is touched per range,
+        // not per input.
+        let claim = (inputs.len() / (threads * 8)).max(1);
+        let cursor = AtomicUsize::new(0);
         let tel = TelemetryBank::new();
-        let mut shard_outputs: Vec<(usize, Vec<Sample>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = inputs
-                .chunks(chunk)
-                .enumerate()
-                .map(|(shard_idx, shard)| {
-                    let base = shard_idx * chunk;
+        let mut workers: Vec<WorkerReport> = Vec::with_capacity(threads);
+        let mut ranges: Vec<(usize, Vec<Sample>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let cursor = &cursor;
                     scope.spawn(move || {
                         let worker_tel = TelemetryBank::new();
-                        let mut out = Vec::new();
-                        for (offset, input) in shard.iter().enumerate() {
-                            let mut rng = StdRng::seed_from_u64(input_seed(
-                                self.config.seed,
-                                (base + offset) as u64,
-                            ));
-                            self.generate_for(input, &mut rng, &mut out, &worker_tel);
+                        let mut scratch = GenScratch::default();
+                        let mut claimed: Vec<(usize, Vec<Sample>)> = Vec::new();
+                        let mut stats =
+                            WorkerReport { worker: worker as u64, claims: 0, inputs: 0 };
+                        loop {
+                            let start = cursor.fetch_add(claim, Ordering::Relaxed);
+                            if start >= inputs.len() {
+                                break;
+                            }
+                            let end = (start + claim).min(inputs.len());
+                            stats.claims += 1;
+                            stats.inputs += (end - start) as u64;
+                            let mut out = Vec::new();
+                            for (offset, input) in inputs[start..end].iter().enumerate() {
+                                let mut rng = StdRng::seed_from_u64(input_seed(
+                                    self.config.seed,
+                                    (start + offset) as u64,
+                                ));
+                                self.generate_for(
+                                    input,
+                                    &mut rng,
+                                    &mut out,
+                                    &worker_tel,
+                                    &mut scratch,
+                                );
+                            }
+                            claimed.push((start, out));
                         }
-                        (shard_idx, out, worker_tel)
+                        (claimed, worker_tel, stats)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    let (shard_idx, out, worker_tel) =
-                        h.join().expect("generation worker panicked");
-                    tel.merge(&worker_tel);
-                    (shard_idx, out)
-                })
-                .collect()
+            let mut ranges = Vec::new();
+            for h in handles {
+                let (claimed, worker_tel, stats) = h.join().expect("generation worker panicked");
+                tel.merge(&worker_tel);
+                workers.push(stats);
+                ranges.extend(claimed);
+            }
+            ranges
         });
-        shard_outputs.sort_by_key(|(i, _)| *i);
-        let mut out: Vec<Sample> = shard_outputs.into_iter().flat_map(|(_, v)| v).collect();
+        // Claimed ranges are disjoint and cover 0..len, so sorting by start
+        // and flattening restores exact input order.
+        ranges.sort_by_key(|(start, _)| *start);
+        let mut out: Vec<Sample> = ranges.into_iter().flat_map(|(_, v)| v).collect();
         self.finalize(&mut out, &tel);
-        let report = tel.report(threads);
+        let mut report = tel.report(threads);
+        report.workers = workers;
         (out, report)
     }
 
@@ -255,6 +298,7 @@ impl UctrPipeline {
         rng: &mut StdRng,
         out: &mut Vec<Sample>,
         tel: &TelemetryBank,
+        scratch: &mut GenScratch,
     ) {
         let table = &input.table;
         let degenerate = table.n_rows() == 0 || table.n_cols() == 0;
@@ -275,7 +319,7 @@ impl UctrPipeline {
         if self.config.table_only {
             for _ in 0..n {
                 tel.source_attempt(Source::TableOnly);
-                if let Some(s) = self.table_only_sample(table, &ctx, rng, tel) {
+                if let Some(s) = self.table_only_sample(table, &ctx, rng, tel, scratch) {
                     push(Source::TableOnly, s, out);
                 }
             }
@@ -283,7 +327,7 @@ impl UctrPipeline {
         if self.config.text_only {
             for _ in 0..n.div_ceil(2) {
                 tel.source_attempt(Source::TextOnly);
-                if let Some(s) = self.text_only_sample(table, rng, tel) {
+                if let Some(s) = self.text_only_sample(table, &ctx, rng, tel, scratch) {
                     push(Source::TextOnly, s, out);
                 }
             }
@@ -291,7 +335,7 @@ impl UctrPipeline {
         if self.config.table_split {
             for _ in 0..n {
                 tel.source_attempt(Source::TableSplit);
-                if let Some(s) = self.split_sample(table, &ctx, rng, tel) {
+                if let Some(s) = self.split_sample(table, &ctx, rng, tel, scratch) {
                     push(Source::TableSplit, s, out);
                 }
             }
@@ -300,15 +344,19 @@ impl UctrPipeline {
             if let Some(paragraph) = &input.paragraph {
                 // The paragraph integration is deterministic (no RNG), so
                 // hoist it — and the expanded table's execution context —
-                // out of the attempt loop.
+                // out of the attempt loop. The expanded table is the input
+                // table plus one integrated row, so the context is a
+                // single-row delta of `ctx`, not a fresh scan.
                 let expanded = text_to_table(table, paragraph);
-                let expanded_ctx = expanded.as_ref().map(|e| ExecContext::new(&e.expanded));
+                let expanded_ctx =
+                    expanded.as_ref().map(|e| ctx.with_row_appended(table, &e.expanded));
                 for _ in 0..n {
                     tel.source_attempt(Source::TableExpand);
                     let (Some(expanded), Some(ectx)) = (&expanded, &expanded_ctx) else {
                         continue;
                     };
-                    if let Some(s) = self.expand_sample(table, paragraph, expanded, ectx, rng, tel)
+                    if let Some(s) =
+                        self.expand_sample(table, paragraph, expanded, ectx, rng, tel, scratch)
                     {
                         push(Source::TableExpand, s, out);
                     }
@@ -324,8 +372,10 @@ impl UctrPipeline {
         ctx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
+        scratch: &mut GenScratch,
     ) -> Option<Sample> {
-        let (text, label, program, answer_kind, _hl) = self.run_program(table, ctx, rng, tel)?;
+        let (text, label, program, answer_kind, _hl) =
+            self.run_program(table, ctx, rng, tel, scratch)?;
         Some(Sample {
             table: table.clone(),
             context: Vec::new(),
@@ -346,20 +396,20 @@ impl UctrPipeline {
         ctx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
+        scratch: &mut GenScratch,
     ) -> Option<Sample> {
         if table.n_rows() < 3 {
             return None;
         }
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(table, ctx, rng, tel)?;
+            self.run_program(table, ctx, rng, tel, scratch)?;
         let kind = KindSlot::of(&program);
         // Pick a highlighted row to move into text.
-        let rows: Vec<usize> = {
-            let mut rs: Vec<usize> = highlighted.iter().map(|&(r, _)| r).collect();
-            rs.sort_unstable();
-            rs.dedup();
-            rs
-        };
+        let rows = &mut scratch.rows;
+        rows.clear();
+        rows.extend(highlighted.iter().map(|&(r, _)| r));
+        rows.sort_unstable();
+        rows.dedup();
         let Some(&row) = rows.choose(rng) else {
             tel.discard(kind, Discard::PostFilter);
             return None;
@@ -384,6 +434,7 @@ impl UctrPipeline {
     /// generate on the expanded table, evidence = original table + text.
     /// The caller performs (and caches) the paragraph integration, since it
     /// is deterministic per input.
+    #[allow(clippy::too_many_arguments)]
     fn expand_sample(
         &self,
         table: &Table,
@@ -392,9 +443,10 @@ impl UctrPipeline {
         ectx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
+        scratch: &mut GenScratch,
     ) -> Option<Sample> {
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(&expanded.expanded, ectx, rng, tel)?;
+            self.run_program(&expanded.expanded, ectx, rng, tel, scratch)?;
         // Only keep samples whose reasoning actually touches the new row —
         // otherwise the paragraph is decoration, not evidence.
         let new_row = expanded.expanded.n_rows() - 1;
@@ -419,26 +471,37 @@ impl UctrPipeline {
     fn text_only_sample(
         &self,
         table: &Table,
+        ctx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
+        scratch: &mut GenScratch,
     ) -> Option<Sample> {
         tel.stage(KindSlot::None, Stage::Attempted);
-        let sample = self.text_only_inner(table, rng);
+        let sample = self.text_only_inner(table, ctx, rng, scratch);
         if sample.is_none() {
             tel.discard(KindSlot::None, Discard::PostFilter);
         }
         sample
     }
 
-    fn text_only_inner(&self, table: &Table, rng: &mut StdRng) -> Option<Sample> {
+    fn text_only_inner(
+        &self,
+        table: &Table,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+        scratch: &mut GenScratch,
+    ) -> Option<Sample> {
+        let GenScratch { cols, buf, .. } = scratch;
         let row = rng.gen_range(0..table.n_rows());
         let sentence = textops::describe_row(table, row, rng)?;
         let ecol = textops::entity_column(table);
         let entity = table.cell(row, ecol).filter(|v| !v.is_null())?.to_string();
         // Pick a non-entity, non-null cell to ask about.
-        let cols: Vec<usize> = (0..table.n_cols())
-            .filter(|&c| c != ecol && table.cell(row, c).is_some_and(|v| !v.is_null()))
-            .collect();
+        cols.clear();
+        cols.extend(
+            (0..table.n_cols())
+                .filter(|&c| c != ecol && table.cell(row, c).is_some_and(|v| !v.is_null())),
+        );
         let &col = cols.choose(rng)?;
         let col_name = table.column_name(col)?.to_string();
         let value = table.cell(row, col)?.to_string();
@@ -459,15 +522,23 @@ impl UctrPipeline {
                 let (claim_value, verdict) = if supported {
                     (value, Verdict::Supported)
                 } else {
-                    // A different value from the same column, else perturbed.
-                    let alternatives: Vec<String> = table
-                        .column_values(col)
-                        .iter()
-                        .filter(|v| !v.is_null() && v.to_string() != value)
-                        .map(|v| v.to_string())
-                        .collect();
-                    match alternatives.choose(rng) {
-                        Some(alt) => (alt.clone(), Verdict::Refuted),
+                    // A different value from the same column. The context's
+                    // non-null pool is the column scan minus nulls in row
+                    // order, so the filtered index buffer has the same
+                    // length as the old rendered `Vec<String>` — `choose`
+                    // consumes the identical draw.
+                    use std::fmt::Write as _;
+                    let pool = ctx.non_null_values(col);
+                    cols.clear();
+                    for (i, v) in pool.iter().enumerate() {
+                        buf.clear();
+                        let _ = write!(buf, "{v}");
+                        if *buf != value {
+                            cols.push(i);
+                        }
+                    }
+                    match cols.choose(rng) {
+                        Some(&i) => (pool[i].to_string(), Verdict::Refuted),
                         None => return None,
                     }
                 };
@@ -498,6 +569,7 @@ impl UctrPipeline {
         ctx: &ExecContext,
         rng: &mut StdRng,
         tel: &TelemetryBank,
+        scratch: &mut GenScratch,
     ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
         let kind = match self.config.task {
             TaskKind::FactVerification => KindSlot::Logic,
@@ -542,14 +614,14 @@ impl UctrPipeline {
             tel.prefilter(kind);
             return None;
         }
-        let mut inst = match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, ctx, rng))
-        {
-            Ok(inst) => inst,
-            Err(reason) => {
-                tel.discard(kind, reason);
-                return None;
-            }
-        };
+        let mut inst =
+            match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, ctx, rng, scratch)) {
+                Ok(inst) => inst,
+                Err(reason) => {
+                    tel.discard(kind, reason);
+                    return None;
+                }
+            };
         tel.stage(kind, Stage::Instantiated);
         if inst.pre_executed() {
             tel.stage(kind, Stage::Executed);
@@ -562,9 +634,9 @@ impl UctrPipeline {
                 }
             }
         }
-        let generated = tel.timed(Timer::NlGen, || inst.verbalize(&self.generator, rng));
+        let text = tel.timed(Timer::NlGen, || inst.verbalize(&self.generator, rng, scratch));
         let ProgramOutput { label, program, answer_kind, highlighted } = inst.output();
-        Some((generated.text, label, program, answer_kind, highlighted))
+        Some((text, label, program, answer_kind, highlighted))
     }
 
     /// Replaces the evidence of a random fraction of claims with evidence
@@ -766,22 +838,59 @@ mod tests {
         assert!(unknowns > 0, "no Unknown labels among {}", samples.len());
     }
 
+    /// A ragged workload for the scheduler: degenerate tables that cost
+    /// nothing, tall split-heavy tables, and paragraph-bearing
+    /// expand-heavy tables, interleaved so contiguous chunks have very
+    /// different costs.
+    fn ragged_zoo() -> Vec<TableWithContext> {
+        let empty = Table::from_strings("empty", &[vec!["a", "b"]])
+            .unwrap_or_else(|e| panic!("test table: {e}"));
+        let mut zoo = Vec::new();
+        for i in 0..4 {
+            zoo.push(TableWithContext::bare(empty.clone()));
+            let mut rows = vec![vec!["team".to_string(), "points".to_string()]];
+            for r in 0..(6 + 3 * i) {
+                rows.push(vec![format!("Team{i}{r}"), format!("{}", 40 + 7 * r + i)]);
+            }
+            let grid: Vec<Vec<&str>> =
+                rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
+            let tall = Table::from_strings(format!("tall{i}"), &grid)
+                .unwrap_or_else(|e| panic!("test table: {e}"));
+            zoo.push(TableWithContext::bare(tall));
+            zoo.extend(inputs().into_iter().map(|mut input| {
+                input.topic = format!("zoo{i}");
+                input
+            }));
+        }
+        zoo
+    }
+
     #[test]
     fn parallel_generation_is_deterministic_and_complete() {
         let cfg = UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() };
         let pipeline = UctrPipeline::new(cfg);
-        let data = inputs();
-        let a = pipeline.generate_parallel(&data, 2);
-        let b = pipeline.generate_parallel(&data, 2);
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.text, y.text);
+        let data = ragged_zoo();
+        let (baseline, base_report) = pipeline.generate_with_report(&data);
+        assert!(!baseline.is_empty());
+        // Any thread count must reproduce the sequential output byte for
+        // byte, including every deterministic telemetry counter.
+        for threads in 1..=8 {
+            let (samples, report) = pipeline.generate_parallel_with_report(&data, threads);
+            assert_eq!(samples.len(), baseline.len(), "sample count at {threads} threads");
+            for (x, y) in samples.iter().zip(&baseline) {
+                assert_eq!(x.text, y.text, "text at {threads} threads");
+                assert_eq!(x.label, y.label, "label at {threads} threads");
+                assert_eq!(x.evidence, y.evidence, "evidence at {threads} threads");
+                assert_eq!(x.topic, y.topic, "topic at {threads} threads");
+                assert_eq!(x.context, y.context, "context at {threads} threads");
+            }
+            assert!(
+                report.deterministic_eq(&base_report),
+                "telemetry diverged at {threads} threads:\n{}\nvs sequential:\n{}",
+                report.summary(),
+                base_report.summary()
+            );
         }
-        assert!(!a.is_empty());
-        // One thread falls back to the sequential path.
-        let seq = pipeline.generate_parallel(&data, 1);
-        let plain = pipeline.generate(&data);
-        assert_eq!(seq.len(), plain.len());
     }
 
     #[test]

@@ -25,13 +25,38 @@
 
 use crate::sample::{AnswerKind, Label, ProgramKind, Verdict};
 use crate::telemetry::{Discard, KindSlot};
-use arithexpr::{AeOutcome, AeProgram, AeTemplate};
-use logicforms::{LfExpr, LfTemplate};
-use nlgen::{Generated, NlGenerator, ProgramRef};
+use arithexpr::{AeOutcome, AeProgram, AeScratch, AeTemplate};
+use logicforms::{LfExpr, LfScratch, LfTemplate};
+use nlgen::{NlGenerator, NlScratch, ProgramRef};
 use rand::rngs::StdRng;
 use rand::Rng;
-use sqlexec::{SelectStmt, SqlTemplate};
+use sqlexec::{SelectStmt, SqlScratch, SqlTemplate};
 use tabular::{ExecContext, Table, TemplateAnalysis};
+
+/// Reusable per-worker buffers for the sample hot path.
+///
+/// One `GenScratch` lives per generation worker (and one per sequential
+/// run): instantiation retries, candidate filtering, NL realization and the
+/// pipeline's own sample builders all write into these buffers instead of
+/// allocating per sample. A default-constructed scratch is always valid —
+/// every buffer is cleared before use, never read.
+#[derive(Debug, Clone, Default)]
+pub struct GenScratch {
+    /// SQL template sampling buffers.
+    pub sql: SqlScratch,
+    /// Logical-form template sampling buffers.
+    pub lf: LfScratch,
+    /// Arithmetic template sampling buffers.
+    pub ae: AeScratch,
+    /// NL candidate + n-gram scoring buffers.
+    pub nl: NlScratch,
+    /// Row-index buffer (table splitting / highlighted-row scans).
+    pub rows: Vec<usize>,
+    /// Column/candidate index buffer (text-only alternative sampling).
+    pub cols: Vec<usize>,
+    /// String buffer for cell rendering and comparisons.
+    pub buf: String,
+}
 
 /// Everything the pipeline carries away from one successful program run.
 #[derive(Debug, Clone)]
@@ -69,15 +94,16 @@ pub trait ProgramTemplate: Send + Sync {
     fn analyze(&self) -> TemplateAnalysis;
 
     /// Samples the template's holes from `table`, returning a runnable
-    /// program. All table scans go through the shared `ctx` caches. The
-    /// RNG draw sequence is part of the pipeline's determinism contract:
-    /// implementations must consume draws exactly as the pre-trait
-    /// per-kind drivers did.
+    /// program. All table scans go through the shared `ctx` caches and all
+    /// per-attempt buffers come from `scratch`. The RNG draw sequence is
+    /// part of the pipeline's determinism contract: implementations must
+    /// consume draws exactly as the pre-trait per-kind drivers did.
     fn try_instantiate(
         &self,
         table: &Table,
         ctx: &ExecContext,
         rng: &mut StdRng,
+        scratch: &mut GenScratch,
     ) -> Result<Box<dyn InstantiatedProgram>, Discard>;
 }
 
@@ -96,8 +122,14 @@ pub trait InstantiatedProgram {
     /// discards, not successes).
     fn execute(&mut self, table: &Table, ctx: &ExecContext) -> Result<(), Discard>;
 
-    /// Verbalizes the program into a question / claim.
-    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated;
+    /// Verbalizes the program into a question / claim. Candidate realization
+    /// and n-gram scoring run inside `scratch`'s NL buffers.
+    fn verbalize(
+        &self,
+        generator: &NlGenerator,
+        rng: &mut StdRng,
+        scratch: &mut GenScratch,
+    ) -> String;
 
     /// Surrenders the run's output. Called once, after a successful
     /// execute; the implementation may leave itself empty behind.
@@ -130,8 +162,11 @@ impl ProgramTemplate for SqlTemplate {
         table: &Table,
         ctx: &ExecContext,
         rng: &mut StdRng,
+        scratch: &mut GenScratch,
     ) -> Result<Box<dyn InstantiatedProgram>, Discard> {
-        let stmt = self.try_instantiate_in(table, ctx, rng).map_err(Discard::from)?;
+        let stmt = self
+            .try_instantiate_in_with(table, ctx, rng, &mut scratch.sql)
+            .map_err(Discard::from)?;
         Ok(Box::new(SqlProgram { stmt, answer: String::new(), highlighted: Vec::new() }))
     }
 }
@@ -152,8 +187,13 @@ impl InstantiatedProgram for SqlProgram {
         Ok(())
     }
 
-    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated {
-        generator.verbalize(ProgramRef::Sql(&self.stmt), rng)
+    fn verbalize(
+        &self,
+        generator: &NlGenerator,
+        rng: &mut StdRng,
+        scratch: &mut GenScratch,
+    ) -> String {
+        generator.verbalize_with(ProgramRef::Sql(&self.stmt), rng, &mut scratch.nl)
     }
 
     fn output(&mut self) -> ProgramOutput {
@@ -207,12 +247,15 @@ impl ProgramTemplate for LfTemplate {
         table: &Table,
         ctx: &ExecContext,
         rng: &mut StdRng,
+        scratch: &mut GenScratch,
     ) -> Result<Box<dyn InstantiatedProgram>, Discard> {
         // Truth-targeted sampling: flip the target first, then sample. The
         // draw order (gen_bool before the template's own draws) is part of
         // the determinism contract.
         let desired = rng.gen_bool(0.5);
-        let claim = self.try_instantiate_in(table, ctx, rng, desired).map_err(Discard::from)?;
+        let claim = self
+            .try_instantiate_in_with(table, ctx, rng, desired, &mut scratch.lf)
+            .map_err(Discard::from)?;
         Ok(Box::new(LogicProgram { expr: claim.expr, truth: claim.truth, highlighted: Vec::new() }))
     }
 }
@@ -224,8 +267,13 @@ impl InstantiatedProgram for LogicProgram {
         Ok(())
     }
 
-    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated {
-        generator.verbalize(ProgramRef::Logic(&self.expr), rng)
+    fn verbalize(
+        &self,
+        generator: &NlGenerator,
+        rng: &mut StdRng,
+        scratch: &mut GenScratch,
+    ) -> String {
+        generator.verbalize_with(ProgramRef::Logic(&self.expr), rng, &mut scratch.nl)
     }
 
     fn output(&mut self) -> ProgramOutput {
@@ -264,8 +312,11 @@ impl ProgramTemplate for AeTemplate {
         table: &Table,
         ctx: &ExecContext,
         rng: &mut StdRng,
+        scratch: &mut GenScratch,
     ) -> Result<Box<dyn InstantiatedProgram>, Discard> {
-        let inst = self.try_instantiate_in(table, ctx, rng).map_err(Discard::from)?;
+        let inst = self
+            .try_instantiate_in_with(table, ctx, rng, &mut scratch.ae)
+            .map_err(Discard::from)?;
         Ok(Box::new(ArithProgram { program: inst.program, outcome: inst.outcome }))
     }
 }
@@ -281,8 +332,13 @@ impl InstantiatedProgram for ArithProgram {
         Ok(())
     }
 
-    fn verbalize(&self, generator: &NlGenerator, rng: &mut StdRng) -> Generated {
-        generator.verbalize(ProgramRef::Arith(&self.program), rng)
+    fn verbalize(
+        &self,
+        generator: &NlGenerator,
+        rng: &mut StdRng,
+        scratch: &mut GenScratch,
+    ) -> String {
+        generator.verbalize_with(ProgramRef::Arith(&self.program), rng, &mut scratch.nl)
     }
 
     fn output(&mut self) -> ProgramOutput {
@@ -345,7 +401,8 @@ mod tests {
         ctx: &ExecContext,
         rng: &mut StdRng,
     ) -> Box<dyn InstantiatedProgram> {
-        tpl.try_instantiate(t, ctx, rng).unwrap_or_else(|e| panic!("instantiate: {e:?}"))
+        tpl.try_instantiate(t, ctx, rng, &mut GenScratch::default())
+            .unwrap_or_else(|e| panic!("instantiate: {e:?}"))
     }
 
     #[test]
@@ -360,8 +417,8 @@ mod tests {
         let mut inst = instantiate(dyn_tpl, &t, &ctx, &mut rng);
         assert!(!inst.pre_executed());
         inst.execute(&t, &ctx).unwrap_or_else(|e| panic!("execute: {e:?}"));
-        let gen = inst.verbalize(&NlGenerator::new(), &mut rng);
-        assert!(!gen.text.is_empty());
+        let text = inst.verbalize(&NlGenerator::new(), &mut rng, &mut GenScratch::default());
+        assert!(!text.is_empty());
         let out = inst.output();
         assert!(matches!(out.program, ProgramKind::Sql(_)));
         assert!(out.label.as_answer().is_some());
@@ -409,7 +466,13 @@ mod tests {
         let ctx = ExecContext::new(&t);
         let tpl = AeTemplate::parse("table_sum( c1 )").unwrap_or_else(|e| panic!("parse: {e}"));
         let mut rng = StdRng::seed_from_u64(1);
-        let err = match ProgramTemplate::try_instantiate(&tpl, &t, &ctx, &mut rng) {
+        let err = match ProgramTemplate::try_instantiate(
+            &tpl,
+            &t,
+            &ctx,
+            &mut rng,
+            &mut GenScratch::default(),
+        ) {
             Err(e) => e,
             Ok(_) => panic!("instantiation should fail on a numberless table"),
         };

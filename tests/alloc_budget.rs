@@ -1,0 +1,126 @@
+//! Allocation-budget regression test for the generation hot path.
+//!
+//! A counting global allocator measures how many heap allocations one
+//! sequential pipeline run performs per generated sample. The budget below
+//! is a ratchet: it was recorded at ~10% above the measured cost of the
+//! scratch-buffer hot path, so a change that re-introduces per-sample
+//! clones (e.g. rebuilding candidate vectors or `ExecContext` caches
+//! inside the attempt loop) fails here before it shows up as a bench
+//! regression. If you *lowered* the allocation cost, re-record the budget
+//! by running this test with `ALLOC_BUDGET_PRINT=1` and pinning ~10% above
+//! the printed figure.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use nlgen::NoiseConfig;
+use tabular::Table;
+use uctr::{TableWithContext, UctrConfig, UctrPipeline};
+
+/// Maximum allocations per generated sample (see module docs to re-record).
+const MAX_ALLOCS_PER_SAMPLE: u64 = 143; // measured 130/sample, +10%
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn inputs() -> Vec<TableWithContext> {
+    let teams = Table::from_strings(
+        "Teams",
+        &[
+            vec!["team", "city", "points", "wins"],
+            vec!["Reds", "Oslo", "77", "21"],
+            vec!["Blues", "Lima", "64", "18"],
+            vec!["Greens", "Kyiv", "81", "24"],
+            vec!["Golds", "Quito", "59", "15"],
+        ],
+    )
+    .unwrap_or_else(|e| panic!("test table: {e}"));
+    let budgets = Table::from_strings(
+        "Budgets",
+        &[
+            vec!["department", "2019", "2018"],
+            vec!["Revenue", "8800", "8000"],
+            vec!["Costs", "6100", "5900"],
+            vec!["Equity", "3200", "4000"],
+        ],
+    )
+    .unwrap_or_else(|e| panic!("test table: {e}"));
+    vec![
+        TableWithContext {
+            table: teams,
+            paragraph: Some(
+                "The league expanded recently. Silvers has a city of Rome, a points of 70 \
+                 and a wins of 19. Attendance rose."
+                    .to_string(),
+            ),
+            topic: "sports".into(),
+        },
+        TableWithContext {
+            table: budgets,
+            paragraph: Some("Margins has a 2019 of 2700 and a 2018 of 2100.".to_string()),
+            topic: "finance".into(),
+        },
+    ]
+}
+
+#[test]
+fn allocations_per_sample_stay_within_budget() {
+    let cfg = UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() };
+    let pipeline = UctrPipeline::new(cfg);
+    let data = inputs();
+
+    // Warm-up run outside the counted window: template banks, lazily built
+    // vocabularies, and other one-time setup must not bill the hot path.
+    let warm = pipeline.generate(&data);
+    assert!(!warm.is_empty(), "warm-up produced no samples");
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let samples = pipeline.generate(&data);
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    let n = samples.len() as u64;
+    assert!(n > 0, "counted run produced no samples");
+    let per_sample = allocs.div_ceil(n);
+    if std::env::var_os("ALLOC_BUDGET_PRINT").is_some() {
+        eprintln!("alloc budget: {allocs} allocations / {n} samples = {per_sample} per sample");
+    }
+    assert!(
+        per_sample <= MAX_ALLOCS_PER_SAMPLE,
+        "allocation budget exceeded: {per_sample} allocations per sample \
+         (budget {MAX_ALLOCS_PER_SAMPLE}); see module docs for how to re-record"
+    );
+}

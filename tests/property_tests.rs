@@ -361,7 +361,8 @@ fn schema_prefilter_skips_only_deterministic_failures() {
             for seed in 0..32u64 {
                 let mut rng = StdRng::seed_from_u64(seed * 9973 + 17);
                 assert!(
-                    tpl.try_instantiate(table, &ctx, &mut rng).is_err(),
+                    tpl.try_instantiate(table, &ctx, &mut rng, &mut uctr::GenScratch::default())
+                        .is_err(),
                     "prefilter would skip `{}` on a {}x{} table, but seed {seed} instantiated it",
                     tpl.signature(),
                     table.n_rows(),
