@@ -71,6 +71,36 @@ fn measurement_json(m: &Measurement) -> Value {
     ])
 }
 
+/// Physical cores the kernel reports online, regardless of any cgroup CPU
+/// quota. `available_parallelism` honours the quota (correct for sizing the
+/// worker pool), but under a container limit the two diverge — recording
+/// both makes a trajectory point from a limited runner interpretable.
+/// Falls back to `visible` when the sysfs mask is absent or malformed.
+fn cpus_online(visible: usize) -> usize {
+    let Ok(mask) = std::fs::read_to_string("/sys/devices/system/cpu/online") else {
+        return visible;
+    };
+    let mut count = 0usize;
+    for range in mask.trim().split(',') {
+        let n = match range.split_once('-') {
+            Some((lo, hi)) => match (lo.parse::<usize>(), hi.parse::<usize>()) {
+                (Ok(lo), Ok(hi)) if hi >= lo => hi - lo + 1,
+                _ => return visible,
+            },
+            None => match range.parse::<usize>() {
+                Ok(_) => 1,
+                Err(_) => return visible,
+            },
+        };
+        count += n;
+    }
+    if count == 0 {
+        visible
+    } else {
+        count
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parse_usize = |name: &str, default: usize| -> usize {
@@ -89,15 +119,27 @@ fn main() {
     // the measurement covers all three executors and all four sources.
     let pipelines =
         [UctrPipeline::new(UctrConfig::qa()), UctrPipeline::new(UctrConfig::verification())];
+    // The same passes over the mined bank (builtins + miner output): ~20×
+    // more templates through the same schema-indexed lookup, so this is the
+    // scale story for the inverted index.
+    let mined_bank = uctr::mined_bank(uctr::mining::SYNTHETIC_SEED);
+    let mined_templates = mined_bank.len();
+    let mined_pipelines = [
+        UctrPipeline::new(UctrConfig::qa()).with_bank(mined_bank.clone()),
+        UctrPipeline::new(UctrConfig::verification()).with_bank(mined_bank),
+    ];
 
     // Untimed warmup pass (page in tables, templates, allocator arenas).
     let _ = measure(&pipelines, &inputs, 1, 1);
 
     let single = measure(&pipelines, &inputs, 1, repeats);
     let sat = measure(&pipelines, &inputs, saturated, repeats);
+    let mined = measure(&mined_pipelines, &inputs, 1, repeats);
 
+    let online = cpus_online(cpus);
     println!(
-        "bench zoo: {} inputs (scale {scale}), {} accepted samples/pass, {cpus} cpu(s) visible",
+        "bench zoo: {} inputs (scale {scale}), {} accepted samples/pass, \
+         {cpus} cpu(s) visible, {online} online",
         inputs.len(),
         single.accepted,
     );
@@ -126,14 +168,34 @@ fn main() {
             f.and_then(|f| f.bench_saturated_samples_per_sec),
         )
     );
+    // The mined bank has no committed absolute baseline of its own; it is
+    // gated relative to the builtin single-thread rate measured in the same
+    // process, which cancels out runner speed.
+    println!(
+        "{}",
+        bench_throughput_line(
+            &format!("mined-bank ({mined_templates} templates)"),
+            mined.samples_per_sec,
+            Some(single.samples_per_sec),
+        )
+    );
 
+    let mined_json = vec![
+        ("templates".into(), Value::Int(mined_templates as i64)),
+        ("threads".into(), Value::Int(mined.threads as i64)),
+        ("accepted_samples".into(), Value::Int(mined.accepted as i64)),
+        ("best_secs".into(), Value::Float(mined.best_secs)),
+        ("samples_per_sec".into(), Value::Float(mined.samples_per_sec)),
+    ];
     let json = Value::Obj(vec![
         ("zoo_inputs".into(), Value::Int(inputs.len() as i64)),
         ("zoo_scale".into(), Value::Int(scale as i64)),
         ("repeats".into(), Value::Int(repeats as i64)),
         ("cpus_visible".into(), Value::Int(cpus as i64)),
+        ("cpus_online".into(), Value::Int(online as i64)),
         ("single_thread".into(), measurement_json(&single)),
         ("saturated".into(), measurement_json(&sat)),
+        ("mined_bank".into(), Value::Obj(mined_json)),
     ]);
     let path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_pipeline.json".into());
     if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()) {
@@ -150,5 +212,26 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // Relative gate: the mined bank (same pipelines, ~20× the templates)
+        // may cost at most the committed regression fraction vs the builtin
+        // single-thread rate measured moments ago on the same machine. An
+        // absolute floor would re-measure the runner; this ratio measures
+        // the index.
+        let max_regression = floor.bench_max_throughput_regression.unwrap_or(0.15);
+        let mined_floor = single.samples_per_sec * (1.0 - max_regression);
+        if mined.samples_per_sec < mined_floor {
+            eprintln!(
+                "bench throughput gate FAILED: mined-bank rate {:.0}/s fell more than \
+                 {:.0}% below the builtin single-thread rate {:.0}/s (floor: {path})",
+                mined.samples_per_sec,
+                max_regression * 100.0,
+                single.samples_per_sec,
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench throughput gate passed for the mined bank ({:.0}/s vs builtin {:.0}/s)",
+            mined.samples_per_sec, single.samples_per_sec,
+        );
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod analysis;
 pub mod autogen;
+pub mod mining;
 pub mod mqaqg;
 pub mod pipeline;
 pub mod program;
@@ -35,6 +36,7 @@ pub use analysis::{
     analyze_text, AnalyzedTemplate, TemplateDiagnostic, TemplateDiagnostics, PARSE_ERROR,
 };
 pub use autogen::{extend_bank_auto, AutoGenerator, ProgramDistribution};
+pub use mining::{mined_bank, MineOutcome, Miner, MinerStats};
 pub use mqaqg::{generate_mqaqg, MqaQgConfig};
 pub use pipeline::{TableWithContext, TaskKind, UctrConfig, UctrPipeline};
 pub use program::{AnyTemplate, GenScratch, InstantiatedProgram, ProgramOutput, ProgramTemplate};
@@ -42,7 +44,7 @@ pub use sample::{AnswerKind, Dataset, EvidenceType, Label, ProgramKind, Sample, 
 pub use telemetry::{
     DiscardReport, KindReport, KindSlot, PipelineReport, SourceReport, TelemetryBank, TimingReport,
 };
-pub use templates::{TemplateBank, BUILTIN_ARITH, BUILTIN_LOGIC, BUILTIN_SQL};
+pub use templates::{FeasibleSet, TemplateBank, BUILTIN_ARITH, BUILTIN_LOGIC, BUILTIN_SQL};
 // Re-exported so analysis consumers (e.g. the xtask auditor) need only a
 // `uctr` dependency.
 pub use tabular::{SchemaRequirement, TemplateAnalysis, TemplateIssue};

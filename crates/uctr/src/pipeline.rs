@@ -23,7 +23,7 @@ use crate::sample::{AnswerKind, EvidenceType, Label, ProgramKind, Sample, Verdic
 use crate::telemetry::{
     Discard, KindSlot, PipelineReport, Source, Stage, TelemetryBank, Timer, WorkerReport,
 };
-use crate::templates::TemplateBank;
+use crate::templates::{FeasibleSet, TemplateBank};
 use nlgen::{NlGenerator, NoiseConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -307,8 +307,12 @@ impl UctrPipeline {
             return;
         }
         // One execution context per input table, shared by all
-        // `samples_per_table` program runs against it.
+        // `samples_per_table` program runs against it — and one feasible
+        // template set derived from it: the schema index is consulted once
+        // per context, so each of the attempts below is a straight uniform
+        // draw over the feasible stratum (no per-pair requirement check).
         let ctx = ExecContext::new(table);
+        let feasible = self.bank.feasible_set(&ctx);
         let n = self.config.samples_per_table;
         let push = |source: Source, s: Sample, out: &mut Vec<Sample>| {
             tel.source_accept(source);
@@ -319,7 +323,7 @@ impl UctrPipeline {
         if self.config.table_only {
             for _ in 0..n {
                 tel.source_attempt(Source::TableOnly);
-                if let Some(s) = self.table_only_sample(table, &ctx, rng, tel, scratch) {
+                if let Some(s) = self.table_only_sample(table, &ctx, &feasible, rng, tel, scratch) {
                     push(Source::TableOnly, s, out);
                 }
             }
@@ -335,7 +339,7 @@ impl UctrPipeline {
         if self.config.table_split {
             for _ in 0..n {
                 tel.source_attempt(Source::TableSplit);
-                if let Some(s) = self.split_sample(table, &ctx, rng, tel, scratch) {
+                if let Some(s) = self.split_sample(table, &ctx, &feasible, rng, tel, scratch) {
                     push(Source::TableSplit, s, out);
                 }
             }
@@ -343,20 +347,24 @@ impl UctrPipeline {
         if self.config.table_expand {
             if let Some(paragraph) = &input.paragraph {
                 // The paragraph integration is deterministic (no RNG), so
-                // hoist it — and the expanded table's execution context —
-                // out of the attempt loop. The expanded table is the input
-                // table plus one integrated row, so the context is a
-                // single-row delta of `ctx`, not a fresh scan.
+                // hoist it — and the expanded table's execution context and
+                // feasible template set — out of the attempt loop. The
+                // expanded table is the input table plus one integrated
+                // row, so the context is a single-row delta of `ctx`, not a
+                // fresh scan.
                 let expanded = text_to_table(table, paragraph);
                 let expanded_ctx =
                     expanded.as_ref().map(|e| ctx.with_row_appended(table, &e.expanded));
+                let expanded_feasible = expanded_ctx.as_ref().map(|e| self.bank.feasible_set(e));
                 for _ in 0..n {
                     tel.source_attempt(Source::TableExpand);
-                    let (Some(expanded), Some(ectx)) = (&expanded, &expanded_ctx) else {
+                    let (Some(expanded), Some(ectx), Some(efs)) =
+                        (&expanded, &expanded_ctx, &expanded_feasible)
+                    else {
                         continue;
                     };
                     if let Some(s) =
-                        self.expand_sample(table, paragraph, expanded, ectx, rng, tel, scratch)
+                        self.expand_sample(table, paragraph, expanded, ectx, efs, rng, tel, scratch)
                     {
                         push(Source::TableExpand, s, out);
                     }
@@ -370,12 +378,13 @@ impl UctrPipeline {
         &self,
         table: &Table,
         ctx: &ExecContext,
+        feasible: &FeasibleSet<'_>,
         rng: &mut StdRng,
         tel: &TelemetryBank,
         scratch: &mut GenScratch,
     ) -> Option<Sample> {
         let (text, label, program, answer_kind, _hl) =
-            self.run_program(table, ctx, rng, tel, scratch)?;
+            self.run_program(table, ctx, feasible, rng, tel, scratch)?;
         Some(Sample {
             table: table.clone(),
             context: Vec::new(),
@@ -394,6 +403,7 @@ impl UctrPipeline {
         &self,
         table: &Table,
         ctx: &ExecContext,
+        feasible: &FeasibleSet<'_>,
         rng: &mut StdRng,
         tel: &TelemetryBank,
         scratch: &mut GenScratch,
@@ -402,7 +412,7 @@ impl UctrPipeline {
             return None;
         }
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(table, ctx, rng, tel, scratch)?;
+            self.run_program(table, ctx, feasible, rng, tel, scratch)?;
         let kind = KindSlot::of(&program);
         // Pick a highlighted row to move into text.
         let rows = &mut scratch.rows;
@@ -441,12 +451,13 @@ impl UctrPipeline {
         paragraph: &str,
         expanded: &textops::ExpandResult,
         ectx: &ExecContext,
+        efs: &FeasibleSet<'_>,
         rng: &mut StdRng,
         tel: &TelemetryBank,
         scratch: &mut GenScratch,
     ) -> Option<Sample> {
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(&expanded.expanded, ectx, rng, tel, scratch)?;
+            self.run_program(&expanded.expanded, ectx, efs, rng, tel, scratch)?;
         // Only keep samples whose reasoning actually touches the new row —
         // otherwise the paragraph is decoration, not evidence.
         let new_row = expanded.expanded.n_rows() - 1;
@@ -562,11 +573,12 @@ impl UctrPipeline {
     /// behind [`crate::program::ProgramTemplate`]; this is the only place
     /// the telemetry funnel is driven. Returns (text, label, program,
     /// answer kind, highlighted cells).
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn run_program(
         &self,
         table: &Table,
         ctx: &ExecContext,
+        feasible: &FeasibleSet<'_>,
         rng: &mut StdRng,
         tel: &TelemetryBank,
         scratch: &mut GenScratch,
@@ -576,9 +588,9 @@ impl UctrPipeline {
             TaskKind::QuestionAnswering => {
                 // Enabled kinds on the stack — the draw order (sql, arith,
                 // logic) and the single `choose` call are part of the
-                // fixed-seed determinism contract. The schema prefilter
-                // below must sit between the bank draw and the
-                // instantiation draws and never consume entropy itself.
+                // fixed-seed determinism contract. The feasible-set draw
+                // below must consume exactly one draw when feasible
+                // templates exist and none otherwise.
                 let mut kinds = [KindSlot::Sql; 3];
                 let mut n = 0;
                 for (flag, slot) in [
@@ -595,25 +607,31 @@ impl UctrPipeline {
             }
         };
         tel.stage(kind, Stage::Attempted);
-        let Some((tpl, requirement)) = self.bank.choose_with_requirement(kind, rng) else {
-            tel.discard(kind, Discard::NoTemplate);
+        // Schema-indexed template selection: the caller computed the
+        // context's feasible set once (one `satisfied_by` per distinct
+        // requirement lattice point), so selection is a single uniform
+        // draw over the feasible stratum — the per-pair requirement check
+        // that used to sit here is gone. Soundness (pinned by the property
+        // tests): a requirement only rejects tables on which
+        // `try_instantiate` fails under *every* RNG stream, so no
+        // reachable sample is ever lost. Draw-order contract: on a table
+        // satisfying every lattice point the feasible stratum IS the full
+        // stratum in insertion order, so the draw is stream-identical to
+        // the pre-index bank draw — the byte-identical golden outputs rely
+        // on the golden tables satisfying every builtin requirement
+        // (asserted in tests/golden_pipeline.rs).
+        let Some(tpl) = feasible.choose(kind, rng) else {
+            if self.bank.stratum_len(kind) == 0 {
+                tel.discard(kind, Discard::NoTemplate);
+            } else {
+                // A non-empty stratum with an empty feasible set: every
+                // template of this kind is statically infeasible on this
+                // table. The funnel keeps counting these as prefiltered
+                // skips (zero draws consumed).
+                tel.prefilter(kind);
+            }
             return None;
         };
-        // Schema prefilter: skip (template, table) pairs whose statically
-        // computed requirement the table provably cannot satisfy.
-        // Soundness (pinned by the property tests): the requirement only
-        // rejects tables on which `try_instantiate` fails under *every*
-        // RNG stream, so no reachable sample is ever lost. Draw-order
-        // contract: the skip happens after the single `choose` draw and
-        // consumes no draws itself — note this is NOT stream-equivalent to
-        // letting instantiation fail (a failing sampler consumes draws),
-        // so the byte-identical golden outputs rely on the golden tables
-        // satisfying every builtin requirement (asserted in
-        // tests/golden_pipeline.rs).
-        if !requirement.satisfied_by(ctx) {
-            tel.prefilter(kind);
-            return None;
-        }
         let mut inst =
             match tel.timed(Timer::Instantiate, || tpl.try_instantiate(table, ctx, rng, scratch)) {
                 Ok(inst) => inst,

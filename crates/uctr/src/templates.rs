@@ -22,7 +22,8 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rustc_hash::FxHashSet;
 use sqlexec::SqlTemplate;
-use tabular::SchemaRequirement;
+use std::borrow::Cow;
+use tabular::{ExecContext, SchemaRequirement};
 
 /// Number of storable template kinds (`sql` / `logic` / `arith` — the
 /// `none` slot holds no templates).
@@ -39,10 +40,18 @@ pub struct TemplateBank {
     templates: Vec<AnyTemplate>,
     /// `requirements[i]` is the statically computed [`SchemaRequirement`]
     /// of `templates[i]` (see `crate::analysis`); the pipeline prefilter
-    /// reads it through [`TemplateBank::choose_with_requirement`].
+    /// reads it through [`TemplateBank::feasible_set`].
     requirements: Vec<SchemaRequirement>,
     /// Indices into `templates`, stratified by `KindSlot as usize`.
     by_kind: [Vec<usize>; N_TEMPLATE_KINDS],
+    /// The inverted schema index: the *distinct* requirement lattice points
+    /// occurring in the bank, in first-seen order. Requirements bucket on
+    /// the same point exactly when all their fields (min rows / cols /
+    /// per-type cols / addressable cells / needs-number) coincide, so a
+    /// context is checked once per point, not once per template.
+    points: Vec<SchemaRequirement>,
+    /// `point_of[i]` is the index into `points` of `requirements[i]`.
+    point_of: Vec<usize>,
     signatures: FxHashSet<String>,
 }
 
@@ -109,6 +118,19 @@ impl TemplateBank {
         if self.signatures.insert(sig) {
             self.by_kind[analyzed.kind as usize].push(self.templates.len());
             self.templates.push(t);
+            // Bucket the requirement on its lattice point. The number of
+            // distinct points is tiny compared to the number of templates
+            // (requirements only record small row/column minima), so a
+            // linear probe beats hashing here and keeps the first-seen
+            // order deterministic.
+            let point = match self.points.iter().position(|p| *p == analyzed.requirement) {
+                Some(p) => p,
+                None => {
+                    self.points.push(analyzed.requirement);
+                    self.points.len() - 1
+                }
+            };
+            self.point_of.push(point);
             self.requirements.push(analyzed.requirement);
             Ok(true)
         } else {
@@ -183,6 +205,54 @@ impl TemplateBank {
         stratum.choose(rng).map(|&i| (self.templates[i].as_program(), &self.requirements[i]))
     }
 
+    /// The feasible template set of `ctx`: for each kind, the
+    /// insertion-ordered template indices whose [`SchemaRequirement`] the
+    /// context satisfies. This is the inverted-index replacement for the
+    /// per-pair `satisfied_by` check: `satisfied_by` runs once per
+    /// *distinct lattice point* per context (not once per template, and
+    /// not once per attempt), and every subsequent
+    /// [`FeasibleSet::choose`] is a single uniform draw.
+    ///
+    /// When the context satisfies every lattice point, the set borrows the
+    /// bank's strata without allocating — and sampling from it is
+    /// stream-identical to [`TemplateBank::choose`] (the fixed-seed golden
+    /// digests rely on this; see `tests/golden_pipeline.rs`).
+    pub fn feasible_set(&self, ctx: &ExecContext) -> FeasibleSet<'_> {
+        let mut infeasible: Vec<usize> = Vec::new(); // no alloc until first push
+        for (p, req) in self.points.iter().enumerate() {
+            if !req.satisfied_by(ctx) {
+                infeasible.push(p);
+            }
+        }
+        let by_kind = std::array::from_fn(|k| {
+            let stratum = self.by_kind[k].as_slice();
+            if infeasible.is_empty()
+                || !stratum.iter().any(|&i| infeasible.contains(&self.point_of[i]))
+            {
+                Cow::Borrowed(stratum)
+            } else {
+                Cow::Owned(
+                    stratum
+                        .iter()
+                        .copied()
+                        .filter(|&i| !infeasible.contains(&self.point_of[i]))
+                        .collect(),
+                )
+            }
+        });
+        FeasibleSet { bank: self, by_kind }
+    }
+
+    /// Number of templates of `kind` (zero for [`KindSlot::None`]).
+    pub fn stratum_len(&self, kind: KindSlot) -> usize {
+        self.by_kind.get(kind as usize).map_or(0, Vec::len)
+    }
+
+    /// The distinct requirement lattice points, in first-seen order.
+    pub fn lattice_points(&self) -> &[SchemaRequirement] {
+        &self.points
+    }
+
     /// All templates of one kind, in insertion order.
     fn of_kind(&self, kind: KindSlot) -> impl Iterator<Item = &AnyTemplate> {
         self.by_kind[kind as usize].iter().map(|&i| &self.templates[i])
@@ -235,6 +305,53 @@ impl TemplateBank {
 
     pub fn is_empty(&self) -> bool {
         self.templates.is_empty()
+    }
+}
+
+/// One context's feasible view of a [`TemplateBank`], produced by
+/// [`TemplateBank::feasible_set`].
+///
+/// Per kind it holds the insertion-ordered indices of the templates whose
+/// requirement the context satisfies — borrowed straight from the bank's
+/// stratum when the whole stratum is feasible (the common case; zero
+/// allocations), an owned filtered list otherwise.
+#[derive(Debug, Clone)]
+pub struct FeasibleSet<'a> {
+    bank: &'a TemplateBank,
+    by_kind: [Cow<'a, [usize]>; N_TEMPLATE_KINDS],
+}
+
+impl<'a> FeasibleSet<'a> {
+    /// Samples a feasible template of `kind` uniformly. `None` when no
+    /// template of the kind is feasible (or `kind` is [`KindSlot::None`]).
+    /// Consumes exactly one `gen_range` draw when the feasible stratum is
+    /// non-empty, none otherwise — when the whole stratum is feasible this
+    /// is the same RNG stream as [`TemplateBank::choose`].
+    pub fn choose(&self, kind: KindSlot, rng: &mut impl Rng) -> Option<&'a dyn ProgramTemplate> {
+        let feasible = self.by_kind.get(kind as usize)?;
+        feasible.choose(rng).map(|&i| self.bank.templates[i].as_program())
+    }
+
+    /// The feasible template indices of `kind`, in bank insertion order
+    /// (empty for [`KindSlot::None`]).
+    pub fn indices(&self, kind: KindSlot) -> &[usize] {
+        self.by_kind.get(kind as usize).map_or(&[][..], |c| c.as_ref())
+    }
+
+    /// Number of feasible templates of `kind`.
+    pub fn len(&self, kind: KindSlot) -> usize {
+        self.indices(kind).len()
+    }
+
+    /// True when no template of `kind` is feasible.
+    pub fn is_empty(&self, kind: KindSlot) -> bool {
+        self.indices(kind).is_empty()
+    }
+
+    /// True when the view borrows the bank's full stratum for `kind`
+    /// (i.e. the context satisfies every lattice point backing it).
+    pub fn is_full_stratum(&self, kind: KindSlot) -> bool {
+        self.by_kind.get(kind as usize).is_some_and(|c| matches!(c, Cow::Borrowed(_)))
     }
 }
 
@@ -470,6 +587,103 @@ mod tests {
         }
         // Identical residual streams: the next draws agree.
         assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+    }
+
+    #[test]
+    fn lattice_points_are_distinct_and_cover_every_requirement() {
+        let bank = TemplateBank::builtin();
+        let points = bank.lattice_points();
+        assert!(!points.is_empty());
+        assert!(
+            points.len() < bank.len(),
+            "bucketing must collapse: {} points for {} templates",
+            points.len(),
+            bank.len()
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert!(
+                points[..i].iter().all(|q| q != p),
+                "lattice point {i} duplicates an earlier point"
+            );
+        }
+        for req in bank.requirements() {
+            assert_eq!(
+                points.iter().filter(|p| *p == req).count(),
+                1,
+                "every stored requirement maps to exactly one lattice point"
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_set_borrows_full_strata_and_draws_the_choose_stream() {
+        let table = Table::from_strings(
+            "t",
+            &[
+                vec!["name", "city", "points", "wins"],
+                vec!["Reds", "Oslo", "77", "21"],
+                vec!["Blues", "Lima", "64", "18"],
+                vec!["Greens", "Kyiv", "81", "24"],
+                vec!["Golds", "Quito", "59", "15"],
+            ],
+        )
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
+        let bank = TemplateBank::builtin();
+        let ctx = tabular::ExecContext::new(&table);
+        let feasible = bank.feasible_set(&ctx);
+        let mut a = StdRng::seed_from_u64(23);
+        let mut b = StdRng::seed_from_u64(23);
+        for kind in [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith] {
+            assert!(feasible.is_full_stratum(kind), "rich table satisfies every lattice point");
+            assert_eq!(feasible.len(kind), bank.stratum_len(kind));
+            for _ in 0..16 {
+                let via_bank = bank.choose(kind, &mut a).map(|t| t.signature());
+                let via_set = feasible.choose(kind, &mut b).map(|t| t.signature());
+                assert_eq!(via_bank, via_set, "full-stratum feasible draw must match bank draw");
+            }
+        }
+        assert!(feasible.choose(KindSlot::None, &mut b).is_none());
+        // Identical residual streams: the index is byte-identity-safe.
+        assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+    }
+
+    #[test]
+    fn feasible_set_filters_like_the_bruteforce_scan() {
+        // A numberless two-column table: arith is entirely infeasible,
+        // sql/logic keep only the templates whose requirement holds.
+        let table = Table::from_strings(
+            "t",
+            &[vec!["name", "city"], vec!["Reds", "Oslo"], vec!["Blues", "Lima"]],
+        )
+        .unwrap_or_else(|e| panic!("test table: {e:?}"));
+        let bank = TemplateBank::builtin();
+        let ctx = tabular::ExecContext::new(&table);
+        let feasible = bank.feasible_set(&ctx);
+        assert!(feasible.is_empty(KindSlot::Arith), "no arith template fits a numberless table");
+        for kind in [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith] {
+            let brute: Vec<usize> = (0..bank.len())
+                .filter(|&i| bank.templates()[i].as_program().kind() == kind)
+                .filter(|&i| bank.requirements()[i].satisfied_by(&ctx))
+                .collect();
+            assert_eq!(feasible.indices(kind), brute.as_slice(), "kind {kind:?}");
+        }
+        assert!(feasible.len(KindSlot::Sql) < bank.stratum_len(KindSlot::Sql));
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(feasible.choose(KindSlot::Arith, &mut rng).is_none());
+        for _ in 0..16 {
+            let t = feasible
+                .choose(KindSlot::Sql, &mut rng)
+                .unwrap_or_else(|| panic!("some sql templates stay feasible"));
+            let i = bank
+                .templates()
+                .iter()
+                .position(|b| {
+                    b.as_program().kind() == KindSlot::Sql
+                        && b.as_program().signature() == t.signature()
+                })
+                .unwrap_or_else(|| panic!("chosen template is in the bank"));
+            assert!(bank.requirements()[i].satisfied_by(&ctx));
+        }
     }
 
     #[test]

@@ -48,6 +48,29 @@ impl AuditOutcome {
     }
 }
 
+/// The group label under which the builtin bank is audited; everything
+/// else is a mined corpus.
+pub const BUILTIN_SOURCE: &str = "builtin";
+
+/// Per-kind counts of *clean* mined (non-builtin) templates, keyed for the
+/// grow-only `floors` section of `ci/template_health.json` (group `mined`,
+/// key = kind name). Ill-typed mined templates are excluded — they are
+/// already ratcheted downward through the diagnostic counts.
+pub fn mined_counts(outcome: &AuditOutcome) -> Counts {
+    let mut counts = Counts::new();
+    for t in &outcome.templates {
+        if t.source == BUILTIN_SOURCE || !t.analysis.is_clean() {
+            continue;
+        }
+        *counts
+            .entry("mined".to_string())
+            .or_default()
+            .entry(t.analysis.kind.name().to_string())
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
 /// The builtin bank as `(kind, source)` pairs — the same sources
 /// `TemplateBank::builtin_checked` admits.
 pub fn builtin_templates() -> Vec<(KindSlot, String)> {
@@ -332,6 +355,24 @@ mod tests {
         assert_eq!(logic.copied(), Some(1), "{:?}", outcome.counts);
         let arith = outcome.counts.get("arith").and_then(|c| c.get(uctr::PARSE_ERROR));
         assert_eq!(arith.copied(), Some(1), "{:?}", outcome.counts);
+    }
+
+    #[test]
+    fn mined_counts_exclude_builtins_and_ill_typed_templates() {
+        let mined = vec![
+            (KindSlot::Sql, "select c1 from w".to_string()),
+            (KindSlot::Arith, "table_sum( c1 )".to_string()),
+            (KindSlot::Logic, "count { all_rows }".to_string()), // ill-typed
+        ];
+        let outcome = audit(&[
+            (BUILTIN_SOURCE.to_string(), builtin_templates()),
+            ("mined.txt".to_string(), mined),
+        ]);
+        let counts = mined_counts(&outcome);
+        let mined = counts.get("mined").cloned().unwrap_or_default();
+        assert_eq!(mined.get("sql").copied(), Some(1));
+        assert_eq!(mined.get("arith").copied(), Some(1));
+        assert_eq!(mined.get("logic").copied(), None, "ill-typed templates are not counted");
     }
 
     #[test]

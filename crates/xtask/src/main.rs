@@ -15,6 +15,7 @@ xtask — workspace-native static analysis for UCTR
 USAGE:
     cargo run -p xtask -- lint [OPTIONS]
     cargo run -p xtask -- audit-templates [OPTIONS]
+    cargo run -p xtask -- mine [OPTIONS]
 
 LINT OPTIONS:
     --root <DIR>            workspace root (default: auto-detected)
@@ -28,13 +29,23 @@ LINT OPTIONS:
 AUDIT-TEMPLATES OPTIONS:
     --root <DIR>            workspace root (default: auto-detected)
     --mined <FILE>          also audit a mined corpus (`kind: template` lines;
-                            repeatable)
+                            repeatable). With --check, the per-kind clean
+                            mined counts are compared against the grow-only
+                            `floors` section of the health file; with
+                            --write, the floors are rewritten from them.
     --health <FILE>         health ratchet file (default: ci/template_health.json)
     --check                 fail unless diagnostic counts match the health file
     --write                 rewrite the health file from current counts
     --json <FILE>           write the machine-readable report
     --md <FILE>             write a markdown summary table (for CI job summaries)
     --quiet                 suppress per-diagnostic lines
+
+MINE OPTIONS:
+    --root <DIR>            workspace root (default: auto-detected)
+    --out <FILE>            mined corpus output (default: ci/mined_templates.txt)
+    --seed <N>              synthetic-corpus seed (default: 2023)
+    --check                 do not write; fail if the regenerated corpus
+                            differs from the committed file (determinism gate)
 
 EXIT CODES:
     0  clean (or counts match the ratchet exactly)
@@ -47,6 +58,7 @@ fn main() -> ExitCode {
     let run: fn(&[String]) -> Result<bool, String> = match args.first().map(String::as_str) {
         Some("lint") => run_lint_cli,
         Some("audit-templates") => run_audit_cli,
+        Some("mine") => run_mine_cli,
         Some("-h" | "--help") | None => {
             print!("{USAGE}");
             return ExitCode::from(u8::from(args.is_empty()) * 2);
@@ -195,11 +207,11 @@ fn run_lint(opts: &LintOpts) -> Result<bool, String> {
 
     if let Some(path) = &opts.write_ratchet {
         let path = resolve(&opts.root, path);
-        let comment = match ratchet::load(&path) {
-            Ok(existing) => existing.comment,
-            Err(_) => default_ratchet_comment(),
+        let (comment, floors) = match ratchet::load(&path) {
+            Ok(existing) => (existing.comment, existing.floors),
+            Err(_) => (default_ratchet_comment(), ratchet::Counts::new()),
         };
-        let new = ratchet::Ratchet { comment, counts: outcome.counts.clone() };
+        let new = ratchet::Ratchet { comment, counts: outcome.counts.clone(), floors };
         std::fs::write(&path, ratchet::render(&new))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("wrote ratchet {}", path.display());
@@ -318,7 +330,7 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
     let mut clean = true;
     if opts.check {
         let recorded = ratchet::load(&health_path)?;
-        let (regressions, stale) = ratchet::compare(&outcome.counts, &recorded);
+        let (mut regressions, mut stale) = ratchet::compare(&outcome.counts, &recorded);
         for d in &regressions {
             eprintln!(
                 "template health REGRESSION: {}/{} rose {} -> {} — fix the template(s) or \
@@ -333,6 +345,27 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
                 d.krate, d.rule, d.recorded, d.current
             );
         }
+        if !opts.mined.is_empty() {
+            let mined = audit::mined_counts(&outcome);
+            let (floor_regressions, floor_stale) = ratchet::compare_floors(&mined, &recorded);
+            for d in &floor_regressions {
+                eprintln!(
+                    "mined-template floor REGRESSION: {}/{} fell {} -> {} — the mined corpus \
+                     may only grow; restore the lost templates or justify the drop by \
+                     regenerating with `cargo run -p xtask -- audit-templates --mined ... --write`",
+                    d.krate, d.rule, d.recorded, d.current
+                );
+            }
+            for d in &floor_stale {
+                eprintln!(
+                    "mined-template floor stale: {}/{} rose {} -> {} — lock in the gain with \
+                     `cargo run -p xtask -- audit-templates --mined ... --write`",
+                    d.krate, d.rule, d.recorded, d.current
+                );
+            }
+            regressions.extend(floor_regressions);
+            stale.extend(floor_stale);
+        }
         clean = regressions.is_empty() && stale.is_empty();
         status = Some(RatchetStatus {
             path: xtask::workspace::rel_display(&opts.root, &health_path),
@@ -342,11 +375,13 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
     }
 
     if opts.write {
-        let comment = match ratchet::load(&health_path) {
-            Ok(existing) => existing.comment,
-            Err(_) => default_health_comment(),
+        let (comment, existing_floors) = match ratchet::load(&health_path) {
+            Ok(existing) => (existing.comment, existing.floors),
+            Err(_) => (default_health_comment(), ratchet::Counts::new()),
         };
-        let new = ratchet::Ratchet { comment, counts: outcome.counts.clone() };
+        let floors =
+            if opts.mined.is_empty() { existing_floors } else { audit::mined_counts(&outcome) };
+        let new = ratchet::Ratchet { comment, counts: outcome.counts.clone(), floors };
         std::fs::write(&health_path, ratchet::render(&new))
             .map_err(|e| format!("cannot write {}: {e}", health_path.display()))?;
         println!("wrote template health {}", health_path.display());
@@ -373,6 +408,107 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
         }
     );
     Ok(clean)
+}
+
+// ------------------------------------------------------------------ mine ----
+
+struct MineOpts {
+    root: PathBuf,
+    out: PathBuf,
+    seed: u64,
+    check: bool,
+}
+
+fn run_mine_cli(args: &[String]) -> Result<bool, String> {
+    let opts = parse_mine_opts(args).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    run_mine(&opts)
+}
+
+fn parse_mine_opts(args: &[String]) -> Result<MineOpts, String> {
+    let mut opts = MineOpts {
+        root: default_root(),
+        out: PathBuf::from("ci/mined_templates.txt"),
+        seed: uctr::mining::SYNTHETIC_SEED,
+        check: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_arg =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value_arg("--root")?),
+            "--out" => opts.out = PathBuf::from(value_arg("--out")?),
+            "--seed" => {
+                opts.seed = value_arg("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed must be an integer: {e}"))?;
+            }
+            "--check" => opts.check = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Mines the full deterministic corpus: every gold split of the four tiny
+/// benchmark generators, then the synthetic seed corpus. Fixed seeds end to
+/// end, so two runs of `mine` produce byte-identical output — which is
+/// exactly what `--check` gates in CI.
+fn mine_corpus(seed: u64) -> uctr::mining::Miner {
+    use corpora::{feverous_like, semtab_like, tatqa_like, wikisql_like, CorpusConfig};
+
+    let mut miner = uctr::mining::Miner::new();
+    let cfg = CorpusConfig::tiny();
+    for bench in [wikisql_like(cfg), feverous_like(cfg), tatqa_like(cfg), semtab_like(cfg)] {
+        miner.mine_samples(&bench.gold.train);
+        miner.mine_samples(&bench.gold.dev);
+        miner.mine_samples(&bench.gold.test);
+    }
+    miner.mine_synthetic_corpus(seed);
+    miner
+}
+
+fn run_mine(opts: &MineOpts) -> Result<bool, String> {
+    use uctr::telemetry::KindSlot;
+
+    let miner = mine_corpus(opts.seed);
+    let stats = miner.stats();
+    for kind in [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith] {
+        let k = stats.kind(kind);
+        println!(
+            "xtask mine: {:<5} {} mined, {} duplicate(s), {} rejected, {} over budget, \
+             {} parse failure(s)",
+            kind.name(),
+            k.mined,
+            k.duplicates,
+            k.rejected,
+            k.over_budget,
+            k.parse_failures,
+        );
+    }
+    println!("xtask mine: {} template(s) total (seed {})", stats.mined_total(), opts.seed);
+
+    let lines = miner.corpus_lines();
+    let out = resolve(&opts.root, &opts.out);
+    if opts.check {
+        let committed = std::fs::read_to_string(&out)
+            .map_err(|e| format!("cannot read {}: {e}", out.display()))?;
+        if committed == lines {
+            println!("xtask mine: {} is up to date — determinism ok", out.display());
+            Ok(true)
+        } else {
+            eprintln!(
+                "xtask mine: {} DIFFERS from the regenerated corpus — rerun \
+                 `cargo run -p xtask -- mine` and commit the result",
+                out.display()
+            );
+            Ok(false)
+        }
+    } else {
+        std::fs::write(&out, &lines).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("wrote mined corpus {}", out.display());
+        Ok(true)
+    }
 }
 
 fn default_health_comment() -> String {

@@ -13,6 +13,12 @@
 //! Missing `(crate, rule)` pairs are implicitly zero in both directions, so
 //! D-rule entries never need seeding: the first hit in a clean crate is a
 //! regression from 0.
+//!
+//! A ratchet file may additionally carry a `floors` section with the same
+//! `(group, key)` shape but the *opposite* direction ([`compare_floors`]):
+//! counts may only grow. `ci/template_health.json` uses it to pin the
+//! per-kind mined-template counts — the mined corpus may gain templates but
+//! never silently lose them.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -21,10 +27,13 @@ use serde::Value;
 
 pub type Counts = BTreeMap<String, BTreeMap<String, i64>>;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Ratchet {
     pub comment: String,
     pub counts: Counts,
+    /// Grow-only counts (see [`compare_floors`]); empty in ratchet files
+    /// that predate the section, and omitted from [`render`] when empty.
+    pub floors: Counts,
 }
 
 /// One `(crate, rule)` mismatch between the measurement and the file.
@@ -42,39 +51,60 @@ pub fn load(path: &Path) -> Result<Ratchet, String> {
     let value: Value = serde_json::parse_value(&text)
         .map_err(|e| format!("ratchet {} is not valid JSON: {e}", path.display()))?;
     let obj = value.as_obj().ok_or("ratchet root must be a JSON object")?;
-    let mut ratchet = Ratchet { comment: String::new(), counts: BTreeMap::new() };
+    let mut ratchet = Ratchet::default();
     for (key, val) in obj {
         match key.as_str() {
             "comment" => {
                 ratchet.comment = val.as_str().unwrap_or_default().to_string();
             }
-            "counts" => {
-                let crates = val.as_obj().ok_or("ratchet `counts` must be an object")?;
-                for (krate, rules) in crates {
-                    let rules = rules
-                        .as_obj()
-                        .ok_or_else(|| format!("ratchet counts for `{krate}` must be an object"))?;
-                    let mut per_rule = BTreeMap::new();
-                    for (rule, n) in rules {
-                        let n = n.as_f64().ok_or_else(|| {
-                            format!("ratchet count {krate}/{rule} must be a number")
-                        })? as i64;
-                        per_rule.insert(rule.clone(), n);
-                    }
-                    ratchet.counts.insert(krate.clone(), per_rule);
-                }
-            }
+            "counts" => ratchet.counts = parse_counts(val, "counts")?,
+            "floors" => ratchet.floors = parse_counts(val, "floors")?,
             other => return Err(format!("ratchet has unknown top-level key `{other}`")),
         }
     }
     Ok(ratchet)
 }
 
+fn parse_counts(val: &Value, section: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    let crates = val.as_obj().ok_or_else(|| format!("ratchet `{section}` must be an object"))?;
+    for (krate, rules) in crates {
+        let rules = rules
+            .as_obj()
+            .ok_or_else(|| format!("ratchet {section} for `{krate}` must be an object"))?;
+        let mut per_rule = BTreeMap::new();
+        for (rule, n) in rules {
+            let n = n
+                .as_f64()
+                .ok_or_else(|| format!("ratchet {section} {krate}/{rule} must be a number"))?
+                as i64;
+            per_rule.insert(rule.clone(), n);
+        }
+        counts.insert(krate.clone(), per_rule);
+    }
+    Ok(counts)
+}
+
 /// Renders the ratchet deterministically (sorted keys, trailing newline).
+/// The `floors` section is emitted only when it carries a non-zero entry,
+/// so pre-existing two-sided ratchet files render byte-identically.
 pub fn render(ratchet: &Ratchet) -> String {
-    let counts = Value::Obj(
-        ratchet
-            .counts
+    let mut root = vec![
+        ("comment".to_string(), Value::Str(ratchet.comment.clone())),
+        ("counts".to_string(), render_counts(&ratchet.counts)),
+    ];
+    if ratchet.floors.values().any(|rules| rules.values().any(|&n| n != 0)) {
+        root.push(("floors".to_string(), render_counts(&ratchet.floors)));
+    }
+    let mut text =
+        serde_json::to_string_pretty(&Value::Obj(root)).expect("ratchet JSON always renders");
+    text.push('\n');
+    text
+}
+
+fn render_counts(counts: &Counts) -> Value {
+    Value::Obj(
+        counts
             .iter()
             .filter(|(_, rules)| rules.values().any(|&n| n != 0))
             .map(|(krate, rules)| {
@@ -86,14 +116,7 @@ pub fn render(ratchet: &Ratchet) -> String {
                 (krate.clone(), Value::Obj(per_rule))
             })
             .collect(),
-    );
-    let root = Value::Obj(vec![
-        ("comment".to_string(), Value::Str(ratchet.comment.clone())),
-        ("counts".to_string(), counts),
-    ]);
-    let mut text = serde_json::to_string_pretty(&root).expect("ratchet JSON always renders");
-    text.push('\n');
-    text
+    )
 }
 
 /// Compares a measurement against the recorded ratchet.
@@ -124,6 +147,38 @@ pub fn compare(current: &Counts, ratchet: &Ratchet) -> (Vec<Diff>, Vec<Diff>) {
     (regressions, stale)
 }
 
+/// Compares a measurement against the recorded grow-only floors: the
+/// inverse direction of [`compare`]. Returns `(regressions, stale)` —
+/// a count **below** its floor is a regression (something was lost); a
+/// count **above** it is stale (the floor should be raised with `--write`
+/// so the gain can never regress silently). Missing pairs are implicitly
+/// zero on both sides.
+pub fn compare_floors(current: &Counts, ratchet: &Ratchet) -> (Vec<Diff>, Vec<Diff>) {
+    let mut regressions = Vec::new();
+    let mut stale = Vec::new();
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for (krate, rules) in current.iter().chain(ratchet.floors.iter()) {
+        for rule in rules.keys() {
+            let key = (krate.clone(), rule.clone());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    keys.sort();
+    for (krate, rule) in keys {
+        let cur = current.get(&krate).and_then(|r| r.get(&rule)).copied().unwrap_or(0);
+        let rec = ratchet.floors.get(&krate).and_then(|r| r.get(&rule)).copied().unwrap_or(0);
+        let diff = Diff { krate, rule, recorded: rec, current: cur };
+        if cur < rec {
+            regressions.push(diff);
+        } else if cur > rec {
+            stale.push(diff);
+        }
+    }
+    (regressions, stale)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,10 +193,8 @@ mod tests {
 
     #[test]
     fn compare_is_two_sided_with_implicit_zeros() {
-        let ratchet = Ratchet {
-            comment: String::new(),
-            counts: counts(&[("a", "P002", 3), ("b", "P001", 1)]),
-        };
+        let ratchet =
+            Ratchet { counts: counts(&[("a", "P002", 3), ("b", "P001", 1)]), ..Ratchet::default() };
         // a/P002 regressed, b/P001 improved (stale), c/D001 regressed from
         // an implicit zero.
         let current = counts(&[("a", "P002", 4), ("b", "P001", 0), ("c", "D001", 1)]);
@@ -157,7 +210,7 @@ mod tests {
 
     #[test]
     fn compare_clean_when_counts_match() {
-        let ratchet = Ratchet { comment: String::new(), counts: counts(&[("a", "P002", 2)]) };
+        let ratchet = Ratchet { counts: counts(&[("a", "P002", 2)]), ..Ratchet::default() };
         let (regressions, stale) =
             compare(&counts(&[("a", "P002", 2), ("b", "P001", 0)]), &ratchet);
         assert!(regressions.is_empty() && stale.is_empty());
@@ -168,6 +221,7 @@ mod tests {
         let ratchet = Ratchet {
             comment: "test".to_string(),
             counts: counts(&[("a", "P002", 2), ("a", "P001", 0), ("z", "D001", 0)]),
+            floors: Counts::new(),
         };
         let rendered = render(&ratchet);
         assert!(rendered.ends_with('\n'));
@@ -178,6 +232,54 @@ mod tests {
         let loaded = loaded?;
         assert_eq!(loaded.comment, "test");
         assert_eq!(loaded.counts, counts(&[("a", "P002", 2)]), "zero entries are filtered");
+        Ok(())
+    }
+
+    #[test]
+    fn compare_floors_is_grow_only() {
+        let ratchet = Ratchet {
+            floors: counts(&[("mined", "sql", 700), ("mined", "logic", 300)]),
+            ..Ratchet::default()
+        };
+        // sql shrank (regression), logic grew (stale: raise the floor),
+        // arith appeared above an implicit zero floor (stale).
+        let current =
+            counts(&[("mined", "sql", 650), ("mined", "logic", 320), ("mined", "arith", 10)]);
+        let (regressions, stale) = compare_floors(&current, &ratchet);
+        let reg: Vec<_> = regressions
+            .iter()
+            .map(|d| (d.krate.as_str(), d.rule.as_str(), d.recorded, d.current))
+            .collect();
+        assert_eq!(reg, vec![("mined", "sql", 700, 650)]);
+        let st: Vec<_> = stale.iter().map(|d| (d.rule.as_str(), d.recorded, d.current)).collect();
+        assert_eq!(st, vec![("arith", 0, 10), ("logic", 300, 320)]);
+        let (regressions, stale) =
+            compare_floors(&counts(&[("mined", "sql", 700), ("mined", "logic", 300)]), &ratchet);
+        assert!(regressions.is_empty() && stale.is_empty());
+    }
+
+    #[test]
+    fn floors_roundtrip_and_are_omitted_when_empty() -> Result<(), String> {
+        let without = Ratchet {
+            comment: "test".to_string(),
+            counts: counts(&[("a", "P002", 2)]),
+            floors: Counts::new(),
+        };
+        assert!(
+            !render(&without).contains("floors"),
+            "empty floors must not change pre-existing ratchet files"
+        );
+        let with = Ratchet { floors: counts(&[("mined", "sql", 700)]), ..without.clone() };
+        let rendered = render(&with);
+        assert!(rendered.contains("floors"));
+        let path =
+            std::env::temp_dir().join(format!("xtask_ratchet_floors_{}.json", std::process::id()));
+        std::fs::write(&path, &rendered).map_err(|e| e.to_string())?;
+        let loaded = load(&path);
+        let _ = std::fs::remove_file(&path);
+        let loaded = loaded?;
+        assert_eq!(loaded.floors, counts(&[("mined", "sql", 700)]));
+        assert_eq!(loaded.counts, counts(&[("a", "P002", 2)]));
         Ok(())
     }
 

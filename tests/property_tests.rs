@@ -374,3 +374,89 @@ fn schema_prefilter_skips_only_deterministic_failures() {
     assert!(skipped_pairs > 0, "the table zoo never triggered the prefilter");
     assert!(passed_pairs > 0, "every pair was prefiltered; the pass-through side is untested");
 }
+
+#[test]
+fn feasible_set_matches_brute_force_requirement_scan() {
+    use tabular::ExecContext;
+    use uctr::telemetry::KindSlot;
+    use uctr::TemplateBank;
+
+    // The same lattice-stressing zoo as the prefilter property above.
+    let mut tables: Vec<Table> = [
+        vec![vec!["a", "b"]],
+        vec![vec!["a", "b"], vec!["x", "y"], vec!["z", "w"], vec!["q", "r"]],
+        vec![vec!["v"], vec!["1"], vec!["2"], vec!["3"]],
+        vec![vec!["n"], vec!["x"], vec!["y"]],
+        vec![vec!["d"], vec!["2001-01-01"], vec!["2002-02-02"]],
+        vec![vec!["a", "b"], vec!["x", "3"]],
+    ]
+    .into_iter()
+    .map(|grid| Table::from_strings("zoo", &grid).unwrap())
+    .collect();
+    for case in 0..16 {
+        tables.push(random_table(case + 1));
+    }
+
+    let banks = [
+        ("builtin", TemplateBank::builtin()),
+        ("mined", uctr::mined_bank(uctr::mining::SYNTHETIC_SEED)),
+    ];
+    let kinds = [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith];
+    for (name, bank) in &banks {
+        for table in &tables {
+            let ctx = ExecContext::new(table);
+            let feasible = bank.feasible_set(&ctx);
+            for kind in kinds {
+                // Ground truth: scan every template of the kind and check
+                // its requirement directly — the O(templates) path the
+                // inverted index replaces.
+                let brute: Vec<usize> = bank
+                    .templates()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, t)| {
+                        t.as_program().kind() == kind && bank.requirements()[*i].satisfied_by(&ctx)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(
+                    feasible.indices(kind),
+                    &brute[..],
+                    "feasible set of `{name}` diverges from the brute-force scan \
+                     (kind {kind:?}, {}x{} table)",
+                    table.n_rows(),
+                    table.n_cols(),
+                );
+                // When everything is feasible the set must borrow the whole
+                // stratum, and sampling from it must be stream-identical to
+                // the bank's own draw (the golden digests rely on this).
+                if brute.len() == bank.stratum_len(kind) {
+                    assert!(feasible.is_full_stratum(kind), "full stratum not borrowed");
+                    for seed in 0..8u64 {
+                        let mut a = StdRng::seed_from_u64(seed * 31 + 7);
+                        let mut b = StdRng::seed_from_u64(seed * 31 + 7);
+                        let via_set = feasible.choose(kind, &mut a).map(|t| t.signature());
+                        let via_bank = bank.choose(kind, &mut b).map(|t| t.signature());
+                        assert_eq!(via_set, via_bank, "draw stream diverged on `{name}`");
+                    }
+                } else {
+                    // A strict subset: every draw must come from it.
+                    for seed in 0..8u64 {
+                        let mut rng = StdRng::seed_from_u64(seed * 31 + 7);
+                        if let Some(t) = feasible.choose(kind, &mut rng) {
+                            let sig = t.signature();
+                            assert!(
+                                brute
+                                    .iter()
+                                    .any(|&i| bank.templates()[i].as_program().signature() == sig),
+                                "chose an infeasible template on `{name}`"
+                            );
+                        } else {
+                            assert!(brute.is_empty(), "empty draw from a non-empty feasible set");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
