@@ -7,10 +7,10 @@
 
 use crate::ast::{AeArg, AeOp, AeProgram};
 use std::fmt;
-use tabular::{format_number, ColumnType, ExecContext, Table, Value};
+use tabular::{format_number, kernels, ColumnType, ExecContext, KernelScratch, Table, Value};
 
 /// The answer of an arithmetic program.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AeAnswer {
     Number(f64),
     /// Result of a `greater` comparison.
@@ -106,10 +106,10 @@ fn resolve_cell_impl(
         // context's lowercase cache instead of a `to_string` per row.
         Some(ctx) => {
             let name_col = ctx.row_name_column();
-            let row_lower = row.to_ascii_lowercase();
             (0..table.n_rows()).find(|&ri| {
                 table.cell(ri, name_col).is_some_and(|v| {
-                    v.loosely_equals(&target) || ctx.name_lower(ri) == Some(row_lower.as_str())
+                    v.loosely_equals(&target)
+                        || ctx.name_lower(ri).is_some_and(|n| n.eq_ignore_ascii_case(row))
                 })
             })
         }
@@ -128,7 +128,7 @@ fn resolve_cell_impl(
 
 /// Executes a fully instantiated program against a table.
 pub fn execute(program: &AeProgram, table: &Table) -> Result<AeOutcome, AeError> {
-    execute_impl(program, table, None)
+    execute_impl(program, table, None, &mut KernelScratch::default(), &mut Vec::new())
 }
 
 /// [`execute`] using a prebuilt [`ExecContext`]: table aggregations read the
@@ -139,31 +139,65 @@ pub fn execute_in(
     table: &Table,
     ctx: &ExecContext,
 ) -> Result<AeOutcome, AeError> {
-    execute_impl(program, table, Some(ctx))
+    execute_impl(program, table, Some(ctx), &mut KernelScratch::default(), &mut Vec::new())
 }
 
-fn execute_impl(
+/// [`execute_in`] reusing caller-owned kernel buffers so failed attempts in
+/// the instantiation loop stop allocating. Result-identical to [`execute`].
+pub fn execute_in_with(
+    program: &AeProgram,
+    table: &Table,
+    ctx: &ExecContext,
+    kern: &mut KernelScratch,
+) -> Result<AeOutcome, AeError> {
+    execute_impl(program, table, Some(ctx), kern, &mut Vec::new())
+}
+
+pub(crate) fn execute_impl(
     program: &AeProgram,
     table: &Table,
     ctx: Option<&ExecContext>,
+    kern: &mut KernelScratch,
+    results: &mut Vec<AeAnswer>,
 ) -> Result<AeOutcome, AeError> {
     if program.has_holes() {
         return Err(AeError::Uninstantiated);
     }
-    let mut results: Vec<AeAnswer> = Vec::with_capacity(program.steps.len());
-    let mut highlighted: Vec<(usize, usize)> = Vec::new();
+    results.clear();
+    // Accumulate highlights in the pooled buffer; only a successful run
+    // clones them out into the returned outcome.
+    let mut highlighted = std::mem::take(&mut kern.hl);
+    highlighted.clear();
+    let res = execute_steps(program, table, ctx, kern, results, &mut highlighted);
+    let out = res.map(|answer| {
+        highlighted.sort_unstable();
+        highlighted.dedup();
+        AeOutcome { answer, highlighted: highlighted.clone() }
+    });
+    kern.hl = highlighted;
+    out
+}
 
+fn execute_steps(
+    program: &AeProgram,
+    table: &Table,
+    ctx: Option<&ExecContext>,
+    kern: &mut KernelScratch,
+    results: &mut Vec<AeAnswer>,
+    highlighted: &mut Vec<(usize, usize)>,
+) -> Result<AeAnswer, AeError> {
     for step in &program.steps {
         let answer = if step.op.is_table_op() {
             let col_name = match &step.args[0] {
-                AeArg::Column(c) => c.clone(),
-                AeArg::Cell { col, .. } => col.clone(),
+                AeArg::Column(c) => c.as_str(),
+                AeArg::Cell { col, .. } => col.as_str(),
                 _ => return Err(AeError::Uninstantiated),
             };
             let ci = table
-                .column_index(&col_name)
-                .ok_or_else(|| AeError::UnknownColumn(col_name.clone()))?;
-            let mut nums = Vec::new();
+                .column_index(col_name)
+                .ok_or_else(|| AeError::UnknownColumn(col_name.to_string()))?;
+            let mut nums = std::mem::take(&mut kern.nums);
+            nums.clear();
             match ctx {
                 Some(ctx) => {
                     for &(ri, n) in ctx.numeric_pairs(ci) {
@@ -181,19 +215,21 @@ fn execute_impl(
                 }
             }
             if nums.is_empty() {
-                return Err(AeError::EmptyColumn(col_name));
+                kern.nums = nums;
+                return Err(AeError::EmptyColumn(col_name.to_string()));
             }
             let v = match step.op {
-                AeOp::TableMax => nums.iter().cloned().fold(f64::MIN, f64::max),
-                AeOp::TableMin => nums.iter().cloned().fold(f64::MAX, f64::min),
-                AeOp::TableSum => nums.iter().sum(),
-                AeOp::TableAverage => nums.iter().sum::<f64>() / nums.len() as f64,
-                _ => return Err(AeError::Internal("scalar op in table-op dispatch")),
+                AeOp::TableMax => Ok(kernels::fold_max(&nums)),
+                AeOp::TableMin => Ok(kernels::fold_min(&nums)),
+                AeOp::TableSum => Ok(kernels::sum(&nums)),
+                AeOp::TableAverage => Ok(kernels::sum(&nums) / nums.len() as f64),
+                _ => Err(AeError::Internal("scalar op in table-op dispatch")),
             };
-            AeAnswer::Number(v)
+            kern.nums = nums;
+            AeAnswer::Number(v?)
         } else {
-            let a = resolve_numeric(&step.args[0], table, ctx, &results, &mut highlighted)?;
-            let b = resolve_numeric(&step.args[1], table, ctx, &results, &mut highlighted)?;
+            let a = resolve_numeric(&step.args[0], table, ctx, results, highlighted)?;
+            let b = resolve_numeric(&step.args[1], table, ctx, results, highlighted)?;
             match step.op {
                 AeOp::Add => AeAnswer::Number(a + b),
                 AeOp::Subtract => AeAnswer::Number(a - b),
@@ -217,10 +253,7 @@ fn execute_impl(
         };
         results.push(answer);
     }
-    highlighted.sort_unstable();
-    highlighted.dedup();
-    let answer = results.pop().ok_or(AeError::Internal("program with no steps"))?;
-    Ok(AeOutcome { answer, highlighted })
+    results.pop().ok_or(AeError::Internal("program with no steps"))
 }
 
 fn resolve_numeric(
@@ -269,7 +302,7 @@ mod tests {
                 vec!["Operating costs", "6100", "5900"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
     }
 
     #[test]

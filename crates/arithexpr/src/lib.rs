@@ -30,7 +30,8 @@ pub mod template;
 
 pub use ast::{AeArg, AeOp, AeProgram, AeStep};
 pub use exec::{
-    execute, execute_in, resolve_cell, row_name_column, run_arith, AeAnswer, AeError, AeOutcome,
+    execute, execute_in, execute_in_with, resolve_cell, row_name_column, run_arith, AeAnswer,
+    AeError, AeOutcome,
 };
 pub use parser::{parse, AeParseError};
 pub use template::{

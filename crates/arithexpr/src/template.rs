@@ -7,7 +7,7 @@
 //! internal relationships.
 
 use crate::ast::{AeArg, AeProgram, AeStep};
-use crate::exec::{execute, execute_in, row_name_column, AeOutcome};
+use crate::exec::{row_name_column, AeOutcome};
 use crate::parser::{parse, AeParseError};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -68,7 +68,10 @@ pub struct AeScratch {
     cells: Vec<(usize, usize)>,
     same_row: Vec<(usize, usize)>,
     same_col: Vec<(usize, usize)>,
-    binding: FxHashMap<usize, AeArg>,
+    results: Vec<crate::exec::AeAnswer>,
+    /// Kernel buffers shared with the executor (numeric gathers, highlight
+    /// accumulation) so per-attempt execution stops allocating.
+    pub kern: tabular::KernelScratch,
 }
 
 impl AeTemplate {
@@ -179,7 +182,7 @@ impl AeTemplate {
         rng: &mut impl Rng,
         scratch: &mut AeScratch,
     ) -> Result<InstantiatedArith, AeInstantiateError> {
-        let AeScratch { holes, cells, same_row, same_col, binding } = scratch;
+        let AeScratch { holes, cells, same_row, same_col, results, kern } = scratch;
         let name_col = match ctx {
             Some(ctx) => ctx.row_name_column(),
             None => row_name_column(table),
@@ -232,15 +235,10 @@ impl AeTemplate {
                 cells.extend_from_slice(fallback);
             }
         }
-        binding.clear();
-        for (k, hole) in holes.iter().enumerate() {
-            let (ri, ci) = cells[k];
-            let col =
-                table.column_name(ci).ok_or(AeInstantiateError::MalformedTemplate)?.to_string();
-            let row =
-                table.cell(ri, name_col).ok_or(AeInstantiateError::MalformedTemplate)?.to_string();
-            binding.insert(*hole, AeArg::Cell { col, row });
-        }
+        // Hole `holes[k]` is bound to `cells[k]`; the owned `Cell` strings
+        // are rendered once per use site below (they end up owned by the
+        // instantiated program either way — binding them here as strings
+        // would only add a map of clones that is dropped on return).
         let owned_numeric_cols;
         let numeric_cols: &[usize] = match ctx {
             Some(ctx) => ctx.numeric_columns(),
@@ -259,7 +257,20 @@ impl AeTemplate {
                     .iter()
                     .map(|a| match a {
                         AeArg::CellHole(i) => {
-                            binding.get(i).cloned().ok_or(AeInstantiateError::MalformedTemplate)
+                            let k = holes
+                                .iter()
+                                .position(|h| h == i)
+                                .ok_or(AeInstantiateError::MalformedTemplate)?;
+                            let (ri, ci) = cells[k];
+                            let col = table
+                                .column_name(ci)
+                                .ok_or(AeInstantiateError::MalformedTemplate)?
+                                .to_string();
+                            let row = table
+                                .cell(ri, name_col)
+                                .ok_or(AeInstantiateError::MalformedTemplate)?
+                                .to_string();
+                            Ok(AeArg::Cell { col, row })
                         }
                         AeArg::ColumnHole(_) => {
                             let ci = numeric_cols
@@ -277,11 +288,8 @@ impl AeTemplate {
             })
             .collect::<Result<Vec<_>, AeInstantiateError>>()?;
         let program = AeProgram { steps };
-        let outcome = match ctx {
-            Some(ctx) => execute_in(&program, table, ctx),
-            None => execute(&program, table),
-        }
-        .map_err(|_| AeInstantiateError::ExecutionFailed)?;
+        let outcome = crate::exec::execute_impl(&program, table, ctx, kern, results)
+            .map_err(|_| AeInstantiateError::ExecutionFailed)?;
         Ok(InstantiatedArith { program, outcome })
     }
 }
@@ -346,7 +354,7 @@ mod tests {
                 vec!["Costs", "6100", "5900"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn inputs() -> Vec<TableWithContext> {
     )
     .unwrap();
     vec![TableWithContext {
-        table: t1,
+        table: t1.into(),
         paragraph: Some("Silvers has a city of Rome, a points of 70 and a wins of 19.".to_string()),
         topic: "sports".into(),
     }]

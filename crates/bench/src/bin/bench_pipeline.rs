@@ -14,16 +14,52 @@
 //!                        below the recorded baselines in the floor file
 //!   --repeats N          best-of-N timing repeats (default 5)
 //!   --scale N            zoo scale multiplier (default 4 = 72 inputs)
+//!   --stress-scale N     stress-tier zoo scale (default 1 = two 10k+-row
+//!                        wide tables; stress repeats are capped at 2)
 //!   --threads N          override the saturated thread count
 
 // Reporting binary: stdout lines are the product, and unwrap aborts the run
 // on malformed input.
 #![allow(clippy::unwrap_used, clippy::print_stdout, clippy::print_stderr)]
 
-use bench::{bench_throughput_line, flag_value, zoo::ragged_zoo, AcceptanceFloor};
+use bench::{bench_throughput_line, flag_value, zoo, AcceptanceFloor};
 use serde_json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use uctr::{TableWithContext, UctrConfig, UctrPipeline};
+
+/// Heap-allocation counter behind the `allocs/sample` summary line: the same
+/// ratchet dimension `tests/alloc_budget.rs` gates, surfaced in the bench job
+/// so a throughput point carries its allocation cost alongside it. Relaxed
+/// counting costs one uncontended atomic per allocation — noise next to the
+/// allocation itself.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter has no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// One timed configuration: accepted samples/sec at a fixed thread count,
 /// best of `repeats` runs (the max rate — wall-clock noise only ever slows
@@ -108,13 +144,14 @@ fn main() {
     };
     let repeats = parse_usize("--repeats", 5);
     let scale = parse_usize("--scale", 4);
+    let stress_scale = parse_usize("--stress-scale", 1);
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     // "Saturated" = every visible core; on a single-core host still use two
     // workers so the parallel scheduler (claiming, merging, reordering) is
     // the code under measurement, not the sequential fallback.
     let saturated = parse_usize("--threads", cpus.max(2));
 
-    let inputs = ragged_zoo(scale);
+    let inputs = zoo::ragged_zoo(scale);
     // QA (sql+arith) and verification (logic) passes over the same zoo, so
     // the measurement covers all three executors and all four sources.
     let pipelines =
@@ -132,9 +169,24 @@ fn main() {
     // Untimed warmup pass (page in tables, templates, allocator arenas).
     let _ = measure(&pipelines, &inputs, 1, 1);
 
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
     let single = measure(&pipelines, &inputs, 1, repeats);
+    let alloc_delta = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    // Allocations per accepted sample, averaged over every single-thread
+    // repeat (each repeat accepts `single.accepted`). Warmup is excluded, so
+    // one-time lazy setup does not pollute the per-sample figure.
+    let samples_timed = (single.accepted * repeats.max(1) as u64).max(1);
+    let allocs_per_sample = alloc_delta as f64 / samples_timed as f64;
+
     let sat = measure(&pipelines, &inputs, saturated, repeats);
     let mined = measure(&mined_pipelines, &inputs, 1, repeats);
+
+    // Large-table stress tier: a handful of 10k+-row wide tables where
+    // per-sample table clones and whole-column scans dominate. Repeats are
+    // capped at 2 — each pass is orders of magnitude slower per input than
+    // the ragged zoo, and the floor is one-sided with a wide margin anyway.
+    let stress_inputs = zoo::stress_zoo(stress_scale);
+    let stress = measure(&pipelines, &stress_inputs, 1, repeats.clamp(1, 2));
 
     let online = cpus_online(cpus);
     println!(
@@ -143,6 +195,7 @@ fn main() {
         inputs.len(),
         single.accepted,
     );
+    println!("bench allocs/sample [single-thread]: {allocs_per_sample:.1}");
 
     let floor = flag_value(&args, "--check-floor").map(|path| match AcceptanceFloor::load(&path) {
         Ok(f) => (path, f),
@@ -167,6 +220,16 @@ fn main() {
             sat.samples_per_sec,
             f.and_then(|f| f.bench_saturated_samples_per_sec),
         )
+    );
+    println!(
+        "{} ({} inputs, {} accepted)",
+        bench_throughput_line(
+            "stress",
+            stress.samples_per_sec,
+            f.and_then(|f| f.bench_stress_samples_per_sec),
+        ),
+        stress_inputs.len(),
+        stress.accepted,
     );
     // The mined bank has no committed absolute baseline of its own; it is
     // gated relative to the builtin single-thread rate measured in the same
@@ -193,8 +256,15 @@ fn main() {
         ("repeats".into(), Value::Int(repeats as i64)),
         ("cpus_visible".into(), Value::Int(cpus as i64)),
         ("cpus_online".into(), Value::Int(online as i64)),
+        ("allocs_per_sample".into(), Value::Float(allocs_per_sample)),
         ("single_thread".into(), measurement_json(&single)),
         ("saturated".into(), measurement_json(&sat)),
+        ("stress".into(), {
+            let Value::Obj(mut fields) = measurement_json(&stress) else { unreachable!() };
+            fields.insert(0, ("zoo_scale".into(), Value::Int(stress_scale as i64)));
+            fields.insert(1, ("zoo_inputs".into(), Value::Int(stress_inputs.len() as i64)));
+            Value::Obj(fields)
+        }),
         ("mined_bank".into(), Value::Obj(mined_json)),
     ]);
     let path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_pipeline.json".into());
@@ -205,7 +275,11 @@ fn main() {
     println!("wrote {path}");
 
     if let Some((path, floor)) = floor {
-        match floor.check_bench_throughput(single.samples_per_sec, sat.samples_per_sec) {
+        match floor.check_bench_throughput(
+            single.samples_per_sec,
+            sat.samples_per_sec,
+            Some(stress.samples_per_sec),
+        ) {
             Ok(()) => println!("bench throughput gate passed (floor: {path})"),
             Err(msg) => {
                 eprintln!("bench throughput gate FAILED: {msg} (floor: {path})");

@@ -1,7 +1,7 @@
 //! Shared harness code for the experiment binaries.
 //!
 //! One binary per paper table/figure regenerates the corresponding artifact
-//! (see DESIGN.md §8). This library holds the evaluation plumbing they
+//! (see DESIGN.md §9). This library holds the evaluation plumbing they
 //! share: model training wrappers per setting (supervised / unsupervised /
 //! few-shot / augmentation), per-evidence-type breakdowns, and the table
 //! printer that renders paper-vs-measured rows.
@@ -48,6 +48,7 @@ pub fn restrict(sample: &Sample, view: EvidenceView) -> Sample {
         EvidenceView::SentenceOnly => {
             let mut s = sample.clone();
             s.table = Table::from_strings(&sample.table.title, &[vec![]])
+                .map(tabular::SharedTable::new)
                 .unwrap_or_else(|_| sample.table.clone());
             s
         }
@@ -237,6 +238,12 @@ pub struct AcceptanceFloor {
     /// Recorded `bench_pipeline` saturated-thread throughput. Same
     /// one-sided gate as the single-thread baseline.
     pub bench_saturated_samples_per_sec: Option<f64>,
+    /// Recorded `bench_pipeline` large-table stress-tier throughput
+    /// (single-thread over `bench::zoo::stress_zoo`). Same one-sided gate:
+    /// large-table regressions (per-sample table clones, context rebuild
+    /// inside attempt loops) show up here long before the small-table zoo
+    /// notices them.
+    pub bench_stress_samples_per_sec: Option<f64>,
     /// Allowed fractional throughput regression before the bench gate
     /// fails (defaults to 0.15 when absent — best-of-N repeats absorb most
     /// runner noise, the 15% margin absorbs the rest).
@@ -262,6 +269,9 @@ impl AcceptanceFloor {
                 .and_then(Value::as_f64),
             bench_saturated_samples_per_sec: v
                 .get("bench_saturated_samples_per_sec")
+                .and_then(Value::as_f64),
+            bench_stress_samples_per_sec: v
+                .get("bench_stress_samples_per_sec")
                 .and_then(Value::as_f64),
             bench_max_throughput_regression: v
                 .get("bench_max_throughput_regression")
@@ -298,12 +308,19 @@ impl AcceptanceFloor {
     /// 15%) below its recorded baseline. Running faster than the baseline
     /// always passes; missing baselines skip the check (so the gate can be
     /// introduced before the first calibration lands).
-    pub fn check_bench_throughput(&self, single: f64, saturated: f64) -> Result<(), String> {
+    pub fn check_bench_throughput(
+        &self,
+        single: f64,
+        saturated: f64,
+        stress: Option<f64>,
+    ) -> Result<(), String> {
         let max_regression = self.bench_max_throughput_regression.unwrap_or(0.15);
         for (label, measured, baseline) in [
-            ("single-thread", single, self.bench_single_thread_samples_per_sec),
-            ("saturated", saturated, self.bench_saturated_samples_per_sec),
+            ("single-thread", Some(single), self.bench_single_thread_samples_per_sec),
+            ("saturated", Some(saturated), self.bench_saturated_samples_per_sec),
+            ("stress", stress, self.bench_stress_samples_per_sec),
         ] {
+            let Some(measured) = measured else { continue };
             let Some(baseline) = baseline.filter(|b| *b > 0.0) else { continue };
             let floor = baseline * (1.0 - max_regression);
             if measured < floor {
@@ -515,6 +532,7 @@ mod tests {
             baseline_pipeline_samples_per_sec: baseline,
             bench_single_thread_samples_per_sec: None,
             bench_saturated_samples_per_sec: None,
+            bench_stress_samples_per_sec: None,
             bench_max_throughput_regression: None,
         }
     }
@@ -535,17 +553,25 @@ mod tests {
         floor.bench_single_thread_samples_per_sec = Some(1000.0);
         floor.bench_saturated_samples_per_sec = Some(4000.0);
         // Within the 15% default margin (and faster) passes.
-        assert!(floor.check_bench_throughput(900.0, 4000.0).is_ok());
-        assert!(floor.check_bench_throughput(5000.0, 9000.0).is_ok());
+        assert!(floor.check_bench_throughput(900.0, 4000.0, None).is_ok());
+        assert!(floor.check_bench_throughput(5000.0, 9000.0, None).is_ok());
         // More than 15% below either baseline fails.
-        let err = floor.check_bench_throughput(1000.0, 3000.0).unwrap_err();
+        let err = floor.check_bench_throughput(1000.0, 3000.0, None).unwrap_err();
         assert!(err.contains("saturated"), "{err}");
-        assert!(floor.check_bench_throughput(500.0, 4000.0).is_err());
+        assert!(floor.check_bench_throughput(500.0, 4000.0, None).is_err());
+        // The stress tier gates only when both a baseline and a measurement
+        // exist; a committed baseline with no measurement is skipped.
+        floor.bench_stress_samples_per_sec = Some(200.0);
+        assert!(floor.check_bench_throughput(1000.0, 4000.0, None).is_ok());
+        assert!(floor.check_bench_throughput(1000.0, 4000.0, Some(190.0)).is_ok());
+        let err = floor.check_bench_throughput(1000.0, 4000.0, Some(100.0)).unwrap_err();
+        assert!(err.contains("stress"), "{err}");
+        floor.bench_stress_samples_per_sec = None;
         // A tighter committed margin tightens the gate.
         floor.bench_max_throughput_regression = Some(0.05);
-        assert!(floor.check_bench_throughput(900.0, 4000.0).is_err());
+        assert!(floor.check_bench_throughput(900.0, 4000.0, None).is_err());
         // No baselines -> nothing to gate.
-        assert!(floor_with_baseline(None).check_bench_throughput(1.0, 1.0).is_ok());
+        assert!(floor_with_baseline(None).check_bench_throughput(1.0, 1.0, None).is_ok());
     }
 
     #[test]
@@ -554,11 +580,13 @@ mod tests {
             r#"{"min_acceptance_rate": 0.5, "min_accepted": 10,
                 "bench_single_thread_samples_per_sec": 1200.0,
                 "bench_saturated_samples_per_sec": 4400.0,
+                "bench_stress_samples_per_sec": 250.0,
                 "bench_max_throughput_regression": 0.15}"#,
         )
         .expect("floor with bench baselines parses");
         assert_eq!(f.bench_single_thread_samples_per_sec, Some(1200.0));
         assert_eq!(f.bench_saturated_samples_per_sec, Some(4400.0));
+        assert_eq!(f.bench_stress_samples_per_sec, Some(250.0));
         assert_eq!(f.bench_max_throughput_regression, Some(0.15));
     }
 

@@ -67,7 +67,7 @@ fn expandable_table(rng: &mut StdRng, title: &str, rows: usize) -> TableWithCont
         rng.gen_range(20..90),
         rng.gen_range(0..30),
     );
-    TableWithContext { table, paragraph: Some(paragraph), topic: "zoo-expand".into() }
+    TableWithContext { table: table.into(), paragraph: Some(paragraph), topic: "zoo-expand".into() }
 }
 
 /// Builds the ragged zoo. `scale` multiplies every family's population;
@@ -113,6 +113,54 @@ pub fn ragged_zoo(scale: usize) -> Vec<TableWithContext> {
     out
 }
 
+/// `rows`-row, `numeric_cols + 2`-column table for the stress tier: entity
+/// text column, a low-cardinality group column, then a wide band of numeric
+/// metric columns with sprinkled nulls. Wide schemas push the columnar
+/// kernels (per-column numeric gathers, schema scans) much harder than the
+/// 5-column ragged-zoo shape.
+fn wide_table(rng: &mut StdRng, title: &str, rows: usize, numeric_cols: usize) -> Table {
+    let mut header: Vec<String> = vec!["name".into(), "region".into()];
+    header.extend((0..numeric_cols).map(|c| format!("metric {c}")));
+    let mut grid: Vec<Vec<String>> = vec![header];
+    for r in 0..rows {
+        let mut row: Vec<String> = Vec::with_capacity(numeric_cols + 2);
+        row.push(format!("{} {}", NAMES[rng.gen_range(0..NAMES.len())], r));
+        row.push(GROUPS[rng.gen_range(0..GROUPS.len())].to_string());
+        for _ in 0..numeric_cols {
+            if rng.gen_range(0..16) == 0 {
+                row.push(String::new()); // null cell
+            } else {
+                row.push(rng.gen_range(-500..9500).to_string());
+            }
+        }
+        grid.push(row);
+    }
+    grid_table(title, &grid)
+}
+
+/// The large-table stress tier: `2 * scale` tables of 10k+ rows with wide
+/// (14–18 column) schemas. Deterministic like [`ragged_zoo`], but sized so
+/// per-sample costs that are invisible on small tables — context scans,
+/// split-evidence sub-table clones, column gathers — dominate the profile.
+/// `bench_pipeline` times it separately and gates it with its own
+/// one-sided floor (`bench_stress_samples_per_sec`).
+pub fn stress_zoo(scale: usize) -> Vec<TableWithContext> {
+    let scale = scale.max(1);
+    let mut rng = StdRng::seed_from_u64(0x57E5);
+    let mut out: Vec<TableWithContext> = Vec::new();
+    for k in 0..2 * scale {
+        let rows = 10_000 + 2_000 * (k % 2);
+        let numeric_cols = 12 + 4 * (k % 2);
+        out.push(TableWithContext::bare(wide_table(
+            &mut rng,
+            &format!("stress {k}"),
+            rows,
+            numeric_cols,
+        )));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +184,20 @@ mod tests {
     #[test]
     fn zoo_scales_every_family() {
         assert_eq!(ragged_zoo(3).len(), 3 * 18);
+    }
+
+    #[test]
+    fn stress_zoo_is_large_wide_and_deterministic() {
+        let a = stress_zoo(1);
+        let b = stress_zoo(1);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.table, y.table);
+        }
+        for input in &a {
+            assert!(input.table.n_rows() >= 10_000, "stress table lost its row count");
+            assert!(input.table.n_cols() >= 14, "stress table lost its width");
+        }
     }
 
     #[test]

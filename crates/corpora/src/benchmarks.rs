@@ -85,7 +85,7 @@ pub fn wikisql_like(cfg: CorpusConfig) -> Benchmark {
             // Only train-split tables are visible to the unsupervised
             // pipeline (no test-table leakage).
             unlabeled.push(TableWithContext {
-                table: table.clone(),
+                table: table.clone().into(),
                 paragraph: None,
                 topic: topic.to_string(),
             });
@@ -116,7 +116,7 @@ pub fn feverous_like(cfg: CorpusConfig) -> Benchmark {
         let split = split_of(i);
         if split == 0 {
             unlabeled.push(TableWithContext {
-                table: table.clone(),
+                table: table.clone().into(),
                 paragraph: Some(paragraph.clone()),
                 topic: topic.to_string(),
             });
@@ -158,7 +158,7 @@ pub fn tatqa_like(cfg: CorpusConfig) -> Benchmark {
         let split = split_of(i);
         if split == 0 {
             unlabeled.push(TableWithContext {
-                table: table.clone(),
+                table: table.clone().into(),
                 paragraph: Some(paragraph.clone()),
                 topic: "finance".to_string(),
             });
@@ -203,7 +203,7 @@ pub fn semtab_like(cfg: CorpusConfig) -> Benchmark {
         let split = split_of(i);
         if split == 0 {
             unlabeled.push(TableWithContext {
-                table: table.clone(),
+                table: table.clone().into(),
                 paragraph: None,
                 topic: "science".to_string(),
             });

@@ -7,9 +7,8 @@
 //! Table-To-Text operator consumes.
 
 use crate::ast::{LfExpr, LfOp};
-use rustc_hash::FxHashSet;
 use std::fmt;
-use tabular::{nearly_equal, ExecContext, Table, Value};
+use tabular::{kernels, nearly_equal, ExecContext, KernelScratch, Table, Value};
 
 /// Runtime value of a logical-form node.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,51 +91,94 @@ pub struct LfOutcome {
 
 /// Evaluates a fully instantiated logical form on a table.
 pub fn evaluate(expr: &LfExpr, table: &Table) -> Result<LfOutcome, LfError> {
-    evaluate_impl(expr, table, None)
+    evaluate_impl(expr, table, None, &mut KernelScratch::default())
 }
 
 /// [`evaluate`] using a prebuilt [`ExecContext`] so numeric aggregations
 /// read cached cell parses instead of re-running [`Value::as_number`] per
 /// cell. Result-identical to [`evaluate`].
 pub fn evaluate_in(expr: &LfExpr, table: &Table, ctx: &ExecContext) -> Result<LfOutcome, LfError> {
-    evaluate_impl(expr, table, Some(ctx))
+    evaluate_impl(expr, table, Some(ctx), &mut KernelScratch::default())
+}
+
+/// [`evaluate_in`] reusing caller-owned kernel buffers (views, numeric
+/// gathers, highlight accumulation), so the hot generation loop evaluates
+/// without per-expression allocations. Result-identical to [`evaluate`].
+pub fn evaluate_with(
+    expr: &LfExpr,
+    table: &Table,
+    ctx: &ExecContext,
+    kern: &mut KernelScratch,
+) -> Result<LfOutcome, LfError> {
+    evaluate_impl(expr, table, Some(ctx), kern)
 }
 
 pub(crate) fn evaluate_impl(
     expr: &LfExpr,
     table: &Table,
     ctx: Option<&ExecContext>,
+    kern: &mut KernelScratch,
 ) -> Result<LfOutcome, LfError> {
     if expr.has_holes() {
         return Err(LfError::Uninstantiated);
     }
-    let mut hl = FxHashSet::default();
-    let value = eval(expr, table, ctx, &mut hl)?;
-    let mut highlighted: Vec<(usize, usize)> = hl.into_iter().collect();
-    highlighted.sort_unstable();
+    let mut hl = std::mem::take(&mut kern.hl);
+    hl.clear();
+    let value = match eval(expr, table, ctx, kern, &mut hl) {
+        Ok(v) => v,
+        Err(e) => {
+            kern.hl = hl;
+            return Err(e);
+        }
+    };
+    // Same sorted distinct set a hash-set collect + sort produced.
+    hl.sort_unstable();
+    hl.dedup();
+    let highlighted = hl.clone();
+    kern.hl = hl;
     Ok(LfOutcome { value, highlighted })
 }
 
 /// Evaluates a boolean-rooted program to its truth value.
 pub fn evaluate_truth(expr: &LfExpr, table: &Table) -> Result<bool, LfError> {
-    truth_of(evaluate(expr, table)?)
+    evaluate_truth_impl(expr, table, None, &mut KernelScratch::default())
 }
 
 /// [`evaluate_truth`] over a prebuilt [`ExecContext`].
 pub fn evaluate_truth_in(expr: &LfExpr, table: &Table, ctx: &ExecContext) -> Result<bool, LfError> {
-    truth_of(evaluate_in(expr, table, ctx)?)
+    evaluate_truth_impl(expr, table, Some(ctx), &mut KernelScratch::default())
+}
+
+/// [`evaluate_truth_in`] reusing caller-owned kernel buffers. The truth
+/// path never materializes the highlight set, so the 16-retry
+/// truth-targeting loop of template instantiation runs allocation-free.
+pub fn evaluate_truth_with(
+    expr: &LfExpr,
+    table: &Table,
+    ctx: &ExecContext,
+    kern: &mut KernelScratch,
+) -> Result<bool, LfError> {
+    evaluate_truth_impl(expr, table, Some(ctx), kern)
 }
 
 pub(crate) fn evaluate_truth_impl(
     expr: &LfExpr,
     table: &Table,
     ctx: Option<&ExecContext>,
+    kern: &mut KernelScratch,
 ) -> Result<bool, LfError> {
-    truth_of(evaluate_impl(expr, table, ctx)?)
+    if expr.has_holes() {
+        return Err(LfError::Uninstantiated);
+    }
+    let mut hl = std::mem::take(&mut kern.hl);
+    hl.clear();
+    let res = eval(expr, table, ctx, kern, &mut hl);
+    kern.hl = hl;
+    truth_of(res?)
 }
 
-fn truth_of(out: LfOutcome) -> Result<bool, LfError> {
-    out.value
+fn truth_of(value: LfValue) -> Result<bool, LfError> {
+    value
         .as_bool()
         .ok_or(LfError::TypeMismatch { op: LfOp::Eq, expected: "a boolean-rooted program" })
 }
@@ -150,84 +192,152 @@ fn column_index(table: &Table, e: &LfExpr) -> Result<usize, LfError> {
     }
 }
 
+/// The cached numeric reading of a cell: `ctx.number_at` mirrors
+/// `Value::as_number` cell-for-cell, so either source is exact.
+#[inline]
+fn cell_number(ctx: Option<&ExecContext>, cell: &Value, ri: usize, col: usize) -> Option<f64> {
+    match ctx {
+        Some(ctx) => ctx.number_at(ri, col),
+        None => cell.as_number(),
+    }
+}
+
 fn eval(
     e: &LfExpr,
     table: &Table,
     ctx: Option<&ExecContext>,
-    hl: &mut FxHashSet<(usize, usize)>,
+    kern: &mut KernelScratch,
+    hl: &mut Vec<(usize, usize)>,
 ) -> Result<LfValue, LfError> {
     use LfOp::*;
     match e {
-        LfExpr::AllRows => Ok(LfValue::View((0..table.n_rows()).collect())),
+        LfExpr::AllRows => {
+            let mut rows = kern.take_rows();
+            rows.extend(0..table.n_rows());
+            Ok(LfValue::View(rows))
+        }
         LfExpr::Column(name) => Ok(LfValue::Scalar(Value::text(name.clone()))),
         LfExpr::Const(text) => Ok(LfValue::Scalar(Value::parse(text))),
         LfExpr::ColumnHole(_) | LfExpr::ValueHole(_) => Err(LfError::Uninstantiated),
         LfExpr::Apply(op, args) => match op {
             FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
             | FilterLessEq => {
-                let view = eval_view(&args[0], table, ctx, hl)?;
+                let mut view = eval_view(&args[0], table, ctx, kern, hl)?;
                 let col = column_index(table, &args[1])?;
-                let rhs = eval_scalar(&args[2], table, ctx, hl)?;
-                let mut keep = Vec::new();
-                for ri in view {
-                    let cell = table.cell(ri, col).cloned().unwrap_or(Value::Null);
+                let rhs = eval_scalar(&args[2], table, ctx, kern, hl)?;
+                // The comparison value is fixed across the whole view; parse
+                // its numeric reading once instead of per row.
+                let rhs_num = rhs.as_number();
+                // In-place retain visits rows in view order, so highlight
+                // pushes and the surviving row order match the historical
+                // keep-vector loop exactly.
+                view.retain(|&ri| {
+                    let Some(cell) = table.cell(ri, col) else { return false };
                     if cell.is_null() {
-                        continue;
+                        return false;
                     }
-                    hl.insert((ri, col));
-                    let matched = match op {
+                    hl.push((ri, col));
+                    match op {
                         FilterEq => cell.loosely_equals(&rhs),
                         FilterNotEq => !cell.loosely_equals(&rhs),
-                        FilterGreater => num_cmp(&cell, &rhs, |a, b| a > b),
-                        FilterLess => num_cmp(&cell, &rhs, |a, b| a < b),
-                        FilterGreaterEq => num_cmp(&cell, &rhs, |a, b| a >= b),
-                        FilterLessEq => num_cmp(&cell, &rhs, |a, b| a <= b),
-                        _ => return Err(LfError::Internal { op: *op }),
-                    };
-                    if matched {
-                        keep.push(ri);
+                        FilterGreater => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a > b)
+                        }
+                        FilterLess => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a < b)
+                        }
+                        FilterGreaterEq => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a >= b)
+                        }
+                        FilterLessEq => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a <= b)
+                        }
+                        _ => false,
                     }
-                }
-                Ok(LfValue::View(keep))
+                });
+                Ok(LfValue::View(view))
             }
             FilterAll => {
-                let view = eval_view(&args[0], table, ctx, hl)?;
+                let mut view = eval_view(&args[0], table, ctx, kern, hl)?;
                 let col = column_index(table, &args[1])?;
-                let keep: Vec<usize> = view
-                    .into_iter()
-                    .filter(|&ri| {
-                        let non_null = table.cell(ri, col).is_some_and(|v| !v.is_null());
-                        if non_null {
-                            hl.insert((ri, col));
-                        }
-                        non_null
-                    })
-                    .collect();
-                Ok(LfValue::View(keep))
+                view.retain(|&ri| {
+                    let non_null = table.cell(ri, col).is_some_and(|v| !v.is_null());
+                    if non_null {
+                        hl.push((ri, col));
+                    }
+                    non_null
+                });
+                Ok(LfValue::View(view))
             }
             Argmax | Argmin | NthArgmax | NthArgmin => {
-                let view = eval_view(&args[0], table, ctx, hl)?;
+                let view = eval_view(&args[0], table, ctx, kern, hl)?;
                 let col = column_index(table, &args[1])?;
-                let mut keyed: Vec<(Value, usize)> = view
-                    .into_iter()
-                    .filter_map(|ri| {
-                        let v = table.cell(ri, col)?.clone();
-                        if v.is_null() {
-                            None
-                        } else {
-                            hl.insert((ri, col));
-                            Some((v, ri))
+                let descending = matches!(op, Argmax | NthArgmax);
+                if let Some(ctx) = ctx.filter(|c| c.all_number(col)) {
+                    // Kernel path: every non-null cell is a number, so the
+                    // `Value`-keyed stable sort is the numeric stable sort
+                    // and null-skipping equals number-skipping.
+                    let mut keys = std::mem::take(&mut kern.keys);
+                    keys.clear();
+                    for &ri in &view {
+                        if let Some(n) = ctx.number_at(ri, col) {
+                            hl.push((ri, col));
+                            keys.push((n, ri));
                         }
-                    })
-                    .collect();
+                    }
+                    kern.put_rows(view);
+                    if keys.is_empty() {
+                        kern.keys = keys;
+                        return Err(LfError::Empty { op: *op });
+                    }
+                    let row = match op {
+                        Argmax => kernels::argmax_pairs(keys.iter().map(|&(n, ri)| (ri, n))),
+                        Argmin => kernels::argmin_pairs(keys.iter().map(|&(n, ri)| (ri, n))),
+                        _ => {
+                            let n = match eval_ordinal(&args[2], table, Some(ctx), kern, hl) {
+                                Ok(n) => n,
+                                Err(e) => {
+                                    kern.keys = keys;
+                                    return Err(e);
+                                }
+                            };
+                            let mut sorted = std::mem::take(&mut kern.nums);
+                            // Reuse the f64 buffer as sort input? No — keys
+                            // carry (value, row); sort keys directly.
+                            sorted.clear();
+                            kern.nums = sorted;
+                            kernels::nth_arg_pairs(
+                                keys.iter().map(|&(n, ri)| (ri, n)),
+                                n,
+                                descending,
+                                &mut kern.keys,
+                            )
+                        }
+                    };
+                    if matches!(op, Argmax | Argmin) {
+                        kern.keys = keys;
+                    }
+                    return row.map(LfValue::Row).ok_or(LfError::Empty { op: *op });
+                }
+                // Per-cell fallback: mixed or non-numeric column. Sort keys
+                // borrow the cells instead of cloning them.
+                let mut keyed: Vec<(&Value, usize)> = Vec::with_capacity(view.len());
+                for &ri in &view {
+                    if let Some(v) = table.cell(ri, col) {
+                        if !v.is_null() {
+                            hl.push((ri, col));
+                            keyed.push((v, ri));
+                        }
+                    }
+                }
+                kern.put_rows(view);
                 if keyed.is_empty() {
                     return Err(LfError::Empty { op: *op });
                 }
-                let descending = matches!(op, Argmax | NthArgmax);
-                keyed.sort_by(|a, b| if descending { b.0.cmp(&a.0) } else { a.0.cmp(&b.0) });
+                keyed.sort_by(|a, b| if descending { b.0.cmp(a.0) } else { a.0.cmp(b.0) });
                 let n = match op {
                     Argmax | Argmin => 1usize,
-                    _ => eval_ordinal(&args[2], table, ctx, hl)?,
+                    _ => eval_ordinal(&args[2], table, ctx, kern, hl)?,
                 };
                 keyed
                     .get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
@@ -235,71 +345,81 @@ fn eval(
                     .ok_or(LfError::Empty { op: *op })
             }
             Count => {
-                let view = eval_view(&args[0], table, ctx, hl)?;
-                Ok(LfValue::Scalar(Value::Number(view.len() as f64)))
+                let view = eval_view(&args[0], table, ctx, kern, hl)?;
+                let len = view.len();
+                kern.put_rows(view);
+                Ok(LfValue::Scalar(Value::Number(len as f64)))
             }
             Only => {
-                let view = eval_view(&args[0], table, ctx, hl)?;
-                Ok(LfValue::Bool(view.len() == 1))
+                let view = eval_view(&args[0], table, ctx, kern, hl)?;
+                let len = view.len();
+                kern.put_rows(view);
+                Ok(LfValue::Bool(len == 1))
             }
             Max | Min | Sum | Avg | NthMax | NthMin => {
-                let view = eval_view(&args[0], table, ctx, hl)?;
+                let view = eval_view(&args[0], table, ctx, kern, hl)?;
                 let col = column_index(table, &args[1])?;
-                let mut nums: Vec<f64> = Vec::with_capacity(view.len());
-                for ri in view {
+                let mut nums = std::mem::take(&mut kern.nums);
+                nums.clear();
+                for &ri in &view {
                     let n = match ctx {
                         Some(ctx) => ctx.number_at(ri, col),
                         None => table.cell(ri, col).and_then(Value::as_number),
                     };
                     if let Some(n) = n {
-                        hl.insert((ri, col));
+                        hl.push((ri, col));
                         nums.push(n);
                     }
                 }
+                kern.put_rows(view);
                 if nums.is_empty() {
+                    kern.nums = nums;
                     return Err(LfError::Empty { op: *op });
                 }
                 let v = match op {
-                    Max => nums.iter().cloned().fold(f64::MIN, f64::max),
-                    Min => nums.iter().cloned().fold(f64::MAX, f64::min),
-                    Sum => nums.iter().sum(),
-                    Avg => nums.iter().sum::<f64>() / nums.len() as f64,
-                    NthMax | NthMin => {
-                        let n = eval_ordinal(&args[2], table, ctx, hl)?;
-                        nums.sort_by(f64::total_cmp);
+                    Max => Ok(kernels::fold_max(&nums)),
+                    Min => Ok(kernels::fold_min(&nums)),
+                    Sum => Ok(kernels::sum(&nums)),
+                    Avg => Ok(kernels::sum(&nums) / nums.len() as f64),
+                    NthMax | NthMin => eval_ordinal(&args[2], table, ctx, kern, hl).and_then(|n| {
+                        kernels::sort_total(&mut nums);
                         if matches!(op, NthMax) {
                             nums.reverse();
                         }
-                        *nums
-                            .get(n.checked_sub(1).ok_or(LfError::Empty { op: *op })?)
-                            .ok_or(LfError::Empty { op: *op })?
-                    }
-                    _ => return Err(LfError::Internal { op: *op }),
+                        n.checked_sub(1)
+                            .and_then(|i| nums.get(i).copied())
+                            .ok_or(LfError::Empty { op: *op })
+                    }),
+                    _ => Err(LfError::Internal { op: *op }),
                 };
-                Ok(LfValue::Scalar(Value::number(v)))
+                kern.nums = nums;
+                Ok(LfValue::Scalar(Value::number(v?)))
             }
             Hop => {
-                let row = match eval(&args[0], table, ctx, hl)? {
+                let row = match eval(&args[0], table, ctx, kern, hl)? {
                     LfValue::Row(r) => r,
-                    LfValue::View(v) if !v.is_empty() => v[0],
-                    LfValue::View(_) => return Err(LfError::Empty { op: *op }),
+                    LfValue::View(v) => {
+                        let first = v.first().copied();
+                        kern.put_rows(v);
+                        first.ok_or(LfError::Empty { op: *op })?
+                    }
                     _ => return Err(LfError::TypeMismatch { op: *op, expected: "a row" }),
                 };
                 let col = column_index(table, &args[1])?;
-                hl.insert((row, col));
+                hl.push((row, col));
                 Ok(LfValue::Scalar(table.cell(row, col).cloned().unwrap_or(Value::Null)))
             }
             Diff => {
-                let a = eval_scalar(&args[0], table, ctx, hl)?;
-                let b = eval_scalar(&args[1], table, ctx, hl)?;
+                let a = eval_scalar(&args[0], table, ctx, kern, hl)?;
+                let b = eval_scalar(&args[1], table, ctx, kern, hl)?;
                 match (a.as_number(), b.as_number()) {
                     (Some(x), Some(y)) => Ok(LfValue::Scalar(Value::number(x - y))),
                     _ => Err(LfError::NonNumeric { op: *op }),
                 }
             }
             Eq | NotEq | RoundEq | Greater | Less => {
-                let a = eval_scalar(&args[0], table, ctx, hl)?;
-                let b = eval_scalar(&args[1], table, ctx, hl)?;
+                let a = eval_scalar(&args[0], table, ctx, kern, hl)?;
+                let b = eval_scalar(&args[1], table, ctx, kern, hl)?;
                 let res = match op {
                     Eq => a.loosely_equals(&b),
                     NotEq => !a.loosely_equals(&b),
@@ -310,47 +430,58 @@ fn eval(
                         }
                         _ => a.loosely_equals(&b),
                     },
-                    Greater => num_cmp(&a, &b, |x, y| x > y),
-                    Less => num_cmp(&a, &b, |x, y| x < y),
+                    Greater => num_cmp(a.as_number(), b.as_number(), |x, y| x > y),
+                    Less => num_cmp(a.as_number(), b.as_number(), |x, y| x < y),
                     _ => return Err(LfError::Internal { op: *op }),
                 };
                 Ok(LfValue::Bool(res))
             }
             And => {
-                let a = eval(&args[0], table, ctx, hl)?
+                let a = eval(&args[0], table, ctx, kern, hl)?
                     .as_bool()
                     .ok_or(LfError::TypeMismatch { op: *op, expected: "booleans" })?;
-                let b = eval(&args[1], table, ctx, hl)?
+                let b = eval(&args[1], table, ctx, kern, hl)?
                     .as_bool()
                     .ok_or(LfError::TypeMismatch { op: *op, expected: "booleans" })?;
                 Ok(LfValue::Bool(a && b))
             }
             AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
             | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
-                let view = eval_view(&args[0], table, ctx, hl)?;
+                let view = eval_view(&args[0], table, ctx, kern, hl)?;
                 let col = column_index(table, &args[1])?;
-                let rhs = eval_scalar(&args[2], table, ctx, hl)?;
+                let rhs = eval_scalar(&args[2], table, ctx, kern, hl)?;
                 if view.is_empty() {
+                    kern.put_rows(view);
                     return Err(LfError::Empty { op: *op });
                 }
+                let rhs_num = rhs.as_number();
                 let mut matches = 0usize;
                 let total = view.len();
-                for ri in view {
-                    let cell = table.cell(ri, col).cloned().unwrap_or(Value::Null);
-                    hl.insert((ri, col));
+                for &ri in &view {
+                    let cell = table.cell(ri, col).unwrap_or(&Value::Null);
+                    hl.push((ri, col));
                     let m = match op {
                         AllEq | MostEq => cell.loosely_equals(&rhs),
                         AllNotEq | MostNotEq => !cell.is_null() && !cell.loosely_equals(&rhs),
-                        AllGreater | MostGreater => num_cmp(&cell, &rhs, |a, b| a > b),
-                        AllLess | MostLess => num_cmp(&cell, &rhs, |a, b| a < b),
-                        AllGreaterEq | MostGreaterEq => num_cmp(&cell, &rhs, |a, b| a >= b),
-                        AllLessEq | MostLessEq => num_cmp(&cell, &rhs, |a, b| a <= b),
+                        AllGreater | MostGreater => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a > b)
+                        }
+                        AllLess | MostLess => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a < b)
+                        }
+                        AllGreaterEq | MostGreaterEq => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a >= b)
+                        }
+                        AllLessEq | MostLessEq => {
+                            num_cmp(cell_number(ctx, cell, ri, col), rhs_num, |a, b| a <= b)
+                        }
                         _ => return Err(LfError::Internal { op: *op }),
                     };
                     if m {
                         matches += 1;
                     }
                 }
+                kern.put_rows(view);
                 let is_all = matches!(
                     op,
                     AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq
@@ -365,11 +496,16 @@ fn eval_view(
     e: &LfExpr,
     table: &Table,
     ctx: Option<&ExecContext>,
-    hl: &mut FxHashSet<(usize, usize)>,
+    kern: &mut KernelScratch,
+    hl: &mut Vec<(usize, usize)>,
 ) -> Result<Vec<usize>, LfError> {
-    match eval(e, table, ctx, hl)? {
+    match eval(e, table, ctx, kern, hl)? {
         LfValue::View(v) => Ok(v),
-        LfValue::Row(r) => Ok(vec![r]),
+        LfValue::Row(r) => {
+            let mut rows = kern.take_rows();
+            rows.push(r);
+            Ok(rows)
+        }
         _ => Err(LfError::TypeMismatch { op: LfOp::Count, expected: "a view" }),
     }
 }
@@ -378,9 +514,10 @@ fn eval_scalar(
     e: &LfExpr,
     table: &Table,
     ctx: Option<&ExecContext>,
-    hl: &mut FxHashSet<(usize, usize)>,
+    kern: &mut KernelScratch,
+    hl: &mut Vec<(usize, usize)>,
 ) -> Result<Value, LfError> {
-    match eval(e, table, ctx, hl)? {
+    match eval(e, table, ctx, kern, hl)? {
         LfValue::Scalar(v) => Ok(v),
         LfValue::Bool(b) => Ok(Value::Bool(b)),
         _ => Err(LfError::TypeMismatch { op: LfOp::Eq, expected: "a scalar" }),
@@ -391,17 +528,21 @@ fn eval_ordinal(
     e: &LfExpr,
     table: &Table,
     ctx: Option<&ExecContext>,
-    hl: &mut FxHashSet<(usize, usize)>,
+    kern: &mut KernelScratch,
+    hl: &mut Vec<(usize, usize)>,
 ) -> Result<usize, LfError> {
-    let v = eval_scalar(e, table, ctx, hl)?;
+    let v = eval_scalar(e, table, ctx, kern, hl)?;
     v.as_number()
         .filter(|n| *n >= 1.0 && n.fract() == 0.0)
         .map(|n| n as usize)
         .ok_or(LfError::TypeMismatch { op: LfOp::NthMax, expected: "a positive integer ordinal" })
 }
 
-fn num_cmp(a: &Value, b: &Value, f: impl Fn(f64, f64) -> bool) -> bool {
-    match (a.as_number(), b.as_number()) {
+/// The executors' near-equality comparison rule over pre-extracted numeric
+/// readings: near-equal pairs collapse to "equal" before the strict
+/// comparison runs, and non-numeric operands never match.
+fn num_cmp(a: Option<f64>, b: Option<f64>, f: impl Fn(f64, f64) -> bool) -> bool {
+    match (a, b) {
         (Some(x), Some(y)) => {
             if nearly_equal(x, y) {
                 // treat near-equal as equal for strict comparisons
@@ -430,11 +571,12 @@ mod tests {
                 vec!["P400", "PETG", "95", "349"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
     }
 
     fn truth(form: &str) -> bool {
-        evaluate_truth(&parse(form).unwrap(), &table()).unwrap()
+        let expr = parse(form).unwrap_or_else(|e| panic!("test form: {e}"));
+        evaluate_truth(&expr, &table()).unwrap_or_else(|e| panic!("test eval: {e}"))
     }
 
     #[test]

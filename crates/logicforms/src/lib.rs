@@ -28,7 +28,8 @@ pub mod template;
 
 pub use ast::{LfExpr, LfOp, LogicType};
 pub use exec::{
-    evaluate, evaluate_in, evaluate_truth, evaluate_truth_in, LfError, LfOutcome, LfValue,
+    evaluate, evaluate_in, evaluate_truth, evaluate_truth_in, evaluate_truth_with, evaluate_with,
+    LfError, LfOutcome, LfValue,
 };
 pub use parser::{parse, LfParseError};
 pub use template::{abstract_form, InstantiatedClaim, LfInstantiateError, LfScratch, LfTemplate};

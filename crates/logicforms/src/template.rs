@@ -79,6 +79,10 @@ pub struct LfScratch {
     cols: FxHashMap<usize, usize>,
     used: FxHashMap<usize, Vec<Value>>,
     candidates: Vec<usize>,
+    /// Kernel buffers shared with the evaluator (views, numeric gathers,
+    /// highlight accumulation) so truth-targeted execution inside the
+    /// 16-attempt loop stops allocating per call.
+    pub kern: tabular::KernelScratch,
 }
 
 /// Result of instantiating a template: the concrete program and the truth
@@ -223,7 +227,7 @@ impl LfTemplate {
         desired: bool,
         scratch: &mut LfScratch,
     ) -> Result<InstantiatedClaim, LfInstantiateError> {
-        let LfScratch { holes, available, cols, used, candidates } = scratch;
+        let LfScratch { holes, available, cols, used, candidates, kern } = scratch;
         // 1. Assign columns to holes, numeric-constrained holes first.
         self.column_holes_into(holes);
         holes.sort_by_key(|(_, numeric)| !numeric);
@@ -260,7 +264,7 @@ impl LfTemplate {
                     if sibling.has_holes() {
                         return Err(LfInstantiateError::MalformedTemplate);
                     }
-                    let out = evaluate_impl(sibling, table, ctx)
+                    let out = evaluate_impl(sibling, table, ctx, kern)
                         .map_err(|_| LfInstantiateError::ExecutionFailed)?;
                     let LfValue::Scalar(result) = out.value else {
                         return Err(LfInstantiateError::DegenerateResult);
@@ -292,7 +296,7 @@ impl LfTemplate {
                             let mut new_args = args.clone();
                             new_args[side] = LfExpr::Const(format_number(v));
                             partially = LfExpr::Apply(*op, new_args);
-                            return finish(partially, table, ctx, desired);
+                            return finish(partially, table, ctx, kern, desired);
                         }
                         _ => return Err(LfInstantiateError::MalformedTemplate),
                     };
@@ -308,7 +312,7 @@ impl LfTemplate {
                 }
             }
         }
-        finish(partially, table, ctx, desired)
+        finish(partially, table, ctx, kern, desired)
     }
 }
 
@@ -316,12 +320,13 @@ fn finish(
     expr: LfExpr,
     table: &Table,
     ctx: Option<&ExecContext>,
+    kern: &mut tabular::KernelScratch,
     desired: bool,
 ) -> Result<InstantiatedClaim, LfInstantiateError> {
     if expr.has_holes() {
         return Err(LfInstantiateError::MalformedTemplate);
     }
-    match evaluate_truth_impl(&expr, table, ctx) {
+    match evaluate_truth_impl(&expr, table, ctx, kern) {
         Ok(truth) if truth == desired => Ok(InstantiatedClaim { expr, truth }),
         // Let the caller retry with fresh sampling.
         Ok(_) => Err(LfInstantiateError::TruthUnreachable),
@@ -652,7 +657,7 @@ mod tests {
                 vec!["Golds", "Quito", "59", "15"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
     }
 
     #[test]

@@ -21,7 +21,7 @@ use uctr::Sample;
 /// generation) needs the textual record re-integrated — a split sample's
 /// sub-table alone would contradict its gold label.
 pub fn evidence_table(sample: &Sample) -> Table {
-    let mut table = sample.table.clone();
+    let mut table = sample.table.as_table().clone();
     if table.n_cols() == 0 {
         return table;
     }
@@ -215,7 +215,7 @@ pub fn verifier_features(sample: &Sample) -> FeatureVec {
     // Signals are computed over the evidence table (sample table + records
     // restored from the context), so joint table-text claims check out.
     let evidence = evidence_table(sample);
-    let sample = &Sample { table: evidence, ..sample.clone() };
+    let sample = &Sample { table: evidence.into(), ..sample.clone() };
     let stats = TableStats::compute(&sample.table);
     let claim_lower = sample.text.to_lowercase();
     let claim_tokens = tokenize(&sample.text);

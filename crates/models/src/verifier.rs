@@ -114,6 +114,7 @@ impl VerifierModel {
             EvidenceView::SentenceOnly => {
                 let mut s = sample.clone();
                 s.table = Table::from_strings(&sample.table.title, &[vec![]])
+                    .map(tabular::SharedTable::new)
                     .unwrap_or_else(|_| sample.table.clone());
                 s
             }

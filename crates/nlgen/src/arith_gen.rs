@@ -6,10 +6,16 @@
 //! and so on — the same mapping the paper highlights in Table IX row 3,
 //! where the generator correctly renders subtract-then-divide as
 //! "by what percentage did ... change".
+//!
+//! Candidates stream into pooled buffers (see [`StrPool`]); RNG draw order
+//! matches the historical compositional form draw for draw.
 
 use crate::lexicon::*;
+use crate::pool::StrPool;
+use crate::sql_gen::{dedup_pooled, fill_slots};
 use arithexpr::{AeArg, AeOp, AeProgram};
 use rand::Rng;
+use std::fmt::Write as _;
 
 /// Produces `k` candidate questions for an instantiated program.
 pub fn realize_arith(program: &AeProgram, rng: &mut impl Rng, k: usize) -> Vec<String> {
@@ -18,8 +24,7 @@ pub fn realize_arith(program: &AeProgram, rng: &mut impl Rng, k: usize) -> Vec<S
     out
 }
 
-/// [`realize_arith`] writing into a caller-owned buffer (cleared first), so the
-/// generation hot path reuses one candidate vector across samples. Draw-
+/// [`realize_arith`] writing into a caller-owned buffer (cleared first). Draw-
 /// for-draw and candidate-for-candidate identical to the allocating form.
 pub fn realize_arith_into(
     program: &AeProgram,
@@ -27,43 +32,78 @@ pub fn realize_arith_into(
     k: usize,
     out: &mut Vec<String>,
 ) {
-    out.clear();
-    for _ in 0..k.max(1) {
-        out.push(realize_once(program, rng));
-    }
-    out.dedup();
+    realize_arith_pooled(program, rng, k, out, &mut StrPool::default());
 }
 
-/// Renders a cell argument as a noun phrase ("the revenue of 2019").
-fn arg_phrase(a: &AeArg) -> String {
+/// [`realize_arith_into`] with a caller-owned scratch pool — the form the
+/// generation hot path uses.
+pub fn realize_arith_pooled(
+    program: &AeProgram,
+    rng: &mut impl Rng,
+    k: usize,
+    out: &mut Vec<String>,
+    pool: &mut StrPool,
+) {
+    fill_slots(out, pool, k.max(1));
+    for slot in out.iter_mut() {
+        let mut dst = std::mem::take(slot);
+        let mut raw = pool.take();
+        raw_question_into(program, rng, &mut raw);
+        finish_sentence(&raw, '?', &mut dst);
+        pool.put(raw);
+        *slot = dst;
+    }
+    dedup_pooled(out, pool);
+}
+
+/// Appends a cell argument as a noun phrase ("the revenue of 2019").
+fn arg_into(a: &AeArg, out: &mut String) {
     match a {
-        AeArg::Const(n) => tabular::format_number(*n),
-        AeArg::StepRef(i) => format!("the result of step {i}"),
-        AeArg::Cell { col, row } => format!("the {col} of {row}"),
-        AeArg::Column(c) => format!("the {c} column"),
-        AeArg::CellHole(i) => format!("value {i}"),
-        AeArg::ColumnHole(i) => format!("column {i}"),
+        AeArg::Const(n) => {
+            let _ = write!(out, "{}", tabular::format_number(*n));
+        }
+        AeArg::StepRef(i) => {
+            let _ = write!(out, "the result of step {i}");
+        }
+        AeArg::Cell { col, row } => {
+            out.push_str("the ");
+            out.push_str(col);
+            out.push_str(" of ");
+            out.push_str(row);
+        }
+        AeArg::Column(c) => {
+            out.push_str("the ");
+            out.push_str(c);
+            out.push_str(" column");
+        }
+        AeArg::CellHole(i) => {
+            let _ = write!(out, "value {i}");
+        }
+        AeArg::ColumnHole(i) => {
+            let _ = write!(out, "column {i}");
+        }
     }
 }
 
 /// For percentage-change phrasing we want "from {row_b} to {row_a}" when the
 /// two cells share a column (two periods of the same line item) or share a
-/// row (two items in the same period).
-fn change_endpoints<'a>(a: &'a AeArg, b: &'a AeArg) -> Option<(String, &'a str, &'a str)> {
+/// row (two items in the same period). Returns the change subject (rendered
+/// as "the {subject}") and the from/to endpoints.
+fn change_endpoints<'a>(a: &'a AeArg, b: &'a AeArg) -> Option<(&'a str, &'a str, &'a str)> {
     if let (AeArg::Cell { col: ca, row: ra }, AeArg::Cell { col: cb, row: rb }) = (a, b) {
         if ra.eq_ignore_ascii_case(rb) {
             // same line item, different period columns
-            return Some((format!("the {ra}"), cb, ca));
+            return Some((ra, cb, ca));
         }
         if ca.eq_ignore_ascii_case(cb) {
             // same column, different line items/rows
-            return Some((format!("the {ca}"), rb, ra));
+            return Some((ca, rb, ra));
         }
     }
     None
 }
 
-fn realize_once(program: &AeProgram, rng: &mut impl Rng) -> String {
+fn raw_question_into(program: &AeProgram, rng: &mut impl Rng, out: &mut String) {
     let steps = &program.steps;
 
     // Idiom: percentage change = subtract(a, b), divide(#0, b).
@@ -74,25 +114,38 @@ fn realize_once(program: &AeProgram, rng: &mut impl Rng) -> String {
         && steps[1].args[1] == steps[0].args[1]
     {
         let (a, b) = (&steps[0].args[0], &steps[0].args[1]);
-        let text = if let Some((subject, from, to)) = change_endpoints(a, b) {
+        if let Some((subject, from, to)) = change_endpoints(a, b) {
             match rng.gen_range(0..2) {
-                0 => format!(
-                    "{} the {} in {subject} from {from} to {to}",
-                    WHAT_IS.pick(rng),
-                    PCT_CHANGE.pick(rng)
-                ),
-                _ => format!("by what percentage did {subject} change between {from} and {to}"),
+                0 => {
+                    out.push_str(WHAT_IS.pick(rng));
+                    out.push_str(" the ");
+                    out.push_str(PCT_CHANGE.pick(rng));
+                    out.push_str(" in the ");
+                    out.push_str(subject);
+                    out.push_str(" from ");
+                    out.push_str(from);
+                    out.push_str(" to ");
+                    out.push_str(to);
+                }
+                _ => {
+                    out.push_str("by what percentage did the ");
+                    out.push_str(subject);
+                    out.push_str(" change between ");
+                    out.push_str(from);
+                    out.push_str(" and ");
+                    out.push_str(to);
+                }
             }
         } else {
-            format!(
-                "{} the {} from {} to {}",
-                WHAT_IS.pick(rng),
-                PCT_CHANGE.pick(rng),
-                arg_phrase(b),
-                arg_phrase(a)
-            )
-        };
-        return sentence_case(&tidy(&text), '?');
+            out.push_str(WHAT_IS.pick(rng));
+            out.push_str(" the ");
+            out.push_str(PCT_CHANGE.pick(rng));
+            out.push_str(" from ");
+            arg_into(b, out);
+            out.push_str(" to ");
+            arg_into(a, out);
+        }
+        return;
     }
 
     // Idiom: average of two values = add(a, b), divide(#0, 2).
@@ -102,123 +155,177 @@ fn realize_once(program: &AeProgram, rng: &mut impl Rng) -> String {
         && steps[1].args[0] == AeArg::StepRef(0)
         && steps[1].args[1] == AeArg::Const(2.0)
     {
-        let text = format!(
-            "{} the {} of {} and {}",
-            WHAT_IS.pick(rng),
-            AVERAGE.pick(rng),
-            arg_phrase(&steps[0].args[0]),
-            arg_phrase(&steps[0].args[1])
-        );
-        return sentence_case(&tidy(&text), '?');
+        out.push_str(WHAT_IS.pick(rng));
+        out.push_str(" the ");
+        out.push_str(AVERAGE.pick(rng));
+        out.push_str(" of ");
+        arg_into(&steps[0].args[0], out);
+        out.push_str(" and ");
+        arg_into(&steps[0].args[1], out);
+        return;
     }
 
     // Single-step idioms.
     if steps.len() == 1 {
         let step = &steps[0];
-        let text = match step.op {
+        match step.op {
             AeOp::Subtract => {
                 let (a, b) = (&step.args[0], &step.args[1]);
                 if let Some((subject, from, to)) = change_endpoints(a, b) {
-                    format!(
-                        "{} the {} in {subject} from {from} to {to}",
-                        WHAT_IS.pick(rng),
-                        DIFFERENCE.pick(rng)
-                    )
+                    out.push_str(WHAT_IS.pick(rng));
+                    out.push_str(" the ");
+                    out.push_str(DIFFERENCE.pick(rng));
+                    out.push_str(" in the ");
+                    out.push_str(subject);
+                    out.push_str(" from ");
+                    out.push_str(from);
+                    out.push_str(" to ");
+                    out.push_str(to);
                 } else {
-                    format!(
-                        "{} the {} between {} and {}",
-                        WHAT_IS.pick(rng),
-                        DIFFERENCE.pick(rng),
-                        arg_phrase(a),
-                        arg_phrase(b)
-                    )
+                    out.push_str(WHAT_IS.pick(rng));
+                    out.push_str(" the ");
+                    out.push_str(DIFFERENCE.pick(rng));
+                    out.push_str(" between ");
+                    arg_into(a, out);
+                    out.push_str(" and ");
+                    arg_into(b, out);
                 }
             }
-            AeOp::Add => format!(
-                "{} the {} of {} and {}",
-                WHAT_IS.pick(rng),
-                TOTAL.pick(rng),
-                arg_phrase(&step.args[0]),
-                arg_phrase(&step.args[1])
-            ),
-            AeOp::Multiply => format!(
-                "{} the product of {} and {}",
-                WHAT_IS.pick(rng),
-                arg_phrase(&step.args[0]),
-                arg_phrase(&step.args[1])
-            ),
-            AeOp::Divide => format!(
-                "{} the ratio of {} to {}",
-                WHAT_IS.pick(rng),
-                arg_phrase(&step.args[0]),
-                arg_phrase(&step.args[1])
-            ),
-            AeOp::Greater => format!(
-                "was {} {} {}",
-                arg_phrase(&step.args[0]),
-                MORE_THAN.pick(rng),
-                arg_phrase(&step.args[1])
-            ),
-            AeOp::Exp => format!(
-                "{} {} raised to the power of {}",
-                WHAT_IS.pick(rng),
-                arg_phrase(&step.args[0]),
-                arg_phrase(&step.args[1])
-            ),
-            AeOp::TableMax => format!(
-                "{} the {} value in {}",
-                WHAT_IS.pick(rng),
-                MOST.pick(rng),
-                arg_phrase(&step.args[0])
-            ),
-            AeOp::TableMin => format!(
-                "{} the {} value in {}",
-                WHAT_IS.pick(rng),
-                LEAST.pick(rng),
-                arg_phrase(&step.args[0])
-            ),
-            AeOp::TableSum => format!(
-                "{} the {} of all values in {}",
-                WHAT_IS.pick(rng),
-                TOTAL.pick(rng),
-                arg_phrase(&step.args[0])
-            ),
-            AeOp::TableAverage => format!(
-                "{} the {} of the values in {}",
-                WHAT_IS.pick(rng),
-                AVERAGE.pick(rng),
-                arg_phrase(&step.args[0])
-            ),
-        };
-        return sentence_case(&tidy(&text), '?');
+            AeOp::Add => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push_str(" the ");
+                out.push_str(TOTAL.pick(rng));
+                out.push_str(" of ");
+                arg_into(&step.args[0], out);
+                out.push_str(" and ");
+                arg_into(&step.args[1], out);
+            }
+            AeOp::Multiply => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push_str(" the product of ");
+                arg_into(&step.args[0], out);
+                out.push_str(" and ");
+                arg_into(&step.args[1], out);
+            }
+            AeOp::Divide => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push_str(" the ratio of ");
+                arg_into(&step.args[0], out);
+                out.push_str(" to ");
+                arg_into(&step.args[1], out);
+            }
+            AeOp::Greater => {
+                out.push_str("was ");
+                arg_into(&step.args[0], out);
+                out.push(' ');
+                out.push_str(MORE_THAN.pick(rng));
+                out.push(' ');
+                arg_into(&step.args[1], out);
+            }
+            AeOp::Exp => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push(' ');
+                arg_into(&step.args[0], out);
+                out.push_str(" raised to the power of ");
+                arg_into(&step.args[1], out);
+            }
+            AeOp::TableMax => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push_str(" the ");
+                out.push_str(MOST.pick(rng));
+                out.push_str(" value in ");
+                arg_into(&step.args[0], out);
+            }
+            AeOp::TableMin => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push_str(" the ");
+                out.push_str(LEAST.pick(rng));
+                out.push_str(" value in ");
+                arg_into(&step.args[0], out);
+            }
+            AeOp::TableSum => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push_str(" the ");
+                out.push_str(TOTAL.pick(rng));
+                out.push_str(" of all values in ");
+                arg_into(&step.args[0], out);
+            }
+            AeOp::TableAverage => {
+                out.push_str(WHAT_IS.pick(rng));
+                out.push_str(" the ");
+                out.push_str(AVERAGE.pick(rng));
+                out.push_str(" of the values in ");
+                arg_into(&step.args[0], out);
+            }
+        }
+        return;
     }
 
     // Generic multi-step fallback: describe the final step with its inputs
     // expanded recursively.
-    let text = format!("{} {}", WHAT_IS.pick(rng), describe_step(program, steps.len() - 1));
-    sentence_case(&tidy(&text), '?')
+    out.push_str(WHAT_IS.pick(rng));
+    out.push(' ');
+    describe_step_into(program, steps.len() - 1, out);
 }
 
-/// Recursively describes a step by inlining `#N` references.
-fn describe_step(program: &AeProgram, idx: usize) -> String {
+/// Recursively appends a step description, inlining `#N` references.
+fn describe_step_into(program: &AeProgram, idx: usize, out: &mut String) {
     let step = &program.steps[idx];
-    let arg = |a: &AeArg| -> String {
+    fn arg(program: &AeProgram, a: &AeArg, out: &mut String) {
         match a {
-            AeArg::StepRef(i) => describe_step(program, *i),
-            other => arg_phrase(other),
+            AeArg::StepRef(i) => describe_step_into(program, *i, out),
+            other => arg_into(other, out),
         }
-    };
+    }
     match step.op {
-        AeOp::Add => format!("the sum of {} and {}", arg(&step.args[0]), arg(&step.args[1])),
-        AeOp::Subtract => format!("{} minus {}", arg(&step.args[0]), arg(&step.args[1])),
-        AeOp::Multiply => format!("{} times {}", arg(&step.args[0]), arg(&step.args[1])),
-        AeOp::Divide => format!("{} divided by {}", arg(&step.args[0]), arg(&step.args[1])),
-        AeOp::Greater => format!("whether {} exceeds {}", arg(&step.args[0]), arg(&step.args[1])),
-        AeOp::Exp => format!("{} to the power of {}", arg(&step.args[0]), arg(&step.args[1])),
-        AeOp::TableMax => format!("the maximum of {}", arg(&step.args[0])),
-        AeOp::TableMin => format!("the minimum of {}", arg(&step.args[0])),
-        AeOp::TableSum => format!("the total of {}", arg(&step.args[0])),
-        AeOp::TableAverage => format!("the average of {}", arg(&step.args[0])),
+        AeOp::Add => {
+            out.push_str("the sum of ");
+            arg(program, &step.args[0], out);
+            out.push_str(" and ");
+            arg(program, &step.args[1], out);
+        }
+        AeOp::Subtract => {
+            arg(program, &step.args[0], out);
+            out.push_str(" minus ");
+            arg(program, &step.args[1], out);
+        }
+        AeOp::Multiply => {
+            arg(program, &step.args[0], out);
+            out.push_str(" times ");
+            arg(program, &step.args[1], out);
+        }
+        AeOp::Divide => {
+            arg(program, &step.args[0], out);
+            out.push_str(" divided by ");
+            arg(program, &step.args[1], out);
+        }
+        AeOp::Greater => {
+            out.push_str("whether ");
+            arg(program, &step.args[0], out);
+            out.push_str(" exceeds ");
+            arg(program, &step.args[1], out);
+        }
+        AeOp::Exp => {
+            arg(program, &step.args[0], out);
+            out.push_str(" to the power of ");
+            arg(program, &step.args[1], out);
+        }
+        AeOp::TableMax => {
+            out.push_str("the maximum of ");
+            arg(program, &step.args[0], out);
+        }
+        AeOp::TableMin => {
+            out.push_str("the minimum of ");
+            arg(program, &step.args[0], out);
+        }
+        AeOp::TableSum => {
+            out.push_str("the total of ");
+            arg(program, &step.args[0], out);
+        }
+        AeOp::TableAverage => {
+            out.push_str("the average of ");
+            arg(program, &step.args[0], out);
+        }
     }
 }
 
@@ -321,5 +428,31 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let cands = realize_arith(&p, &mut rng, 8);
         assert!(cands.len() > 1, "{cands:?}");
+    }
+
+    #[test]
+    fn pooled_form_matches_fresh_buffers() {
+        let programs = [
+            "subtract( the 2019 of Revenue , the 2018 of Revenue ), divide( #0 , the 2018 of Revenue )",
+            "subtract( the 2019 of Revenue , the 2018 of Costs ), divide( #0 , the 2018 of Costs )",
+            "add( the 2019 of Revenue , the 2018 of Revenue ), divide( #0 , 2 )",
+            "subtract( the 2019 of Revenue , the 2018 of Revenue )",
+            "divide( the 2019 of Revenue , the 2019 of Costs )",
+            "greater( the 2019 of Revenue , the 2018 of Revenue )",
+            "table_sum( 2019 )",
+            "table_sum( 2019 ) , subtract( #0 , the 2018 of Revenue ) , divide( #1 , 100 )",
+        ];
+        let mut out = Vec::new();
+        let mut pool = StrPool::default();
+        for (i, p) in programs.iter().enumerate() {
+            let program = parse(p).unwrap_or_else(|e| panic!("parse: {e}"));
+            let fresh = {
+                let mut rng = StdRng::seed_from_u64(70 + i as u64);
+                realize_arith(&program, &mut rng, 6)
+            };
+            let mut rng = StdRng::seed_from_u64(70 + i as u64);
+            realize_arith_pooled(&program, &mut rng, 6, &mut out, &mut pool);
+            assert_eq!(out, fresh, "pooled candidates diverge for {p}");
+        }
     }
 }

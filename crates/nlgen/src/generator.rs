@@ -6,11 +6,12 @@
 //! out. `fit` plays the role of fine-tuning — it trains the reranker LM on
 //! a seed corpus of gold-style sentences.
 
-use crate::arith_gen::{realize_arith, realize_arith_into};
-use crate::logic_gen::{realize_logic, realize_logic_into};
+use crate::arith_gen::{realize_arith, realize_arith_pooled};
+use crate::logic_gen::{realize_logic, realize_logic_pooled};
 use crate::ngram::{seed_corpus, NgramLm, ScoreScratch};
 use crate::noise::{apply_noise, NoiseConfig};
-use crate::sql_gen::{realize_sql, realize_sql_into};
+use crate::pool::StrPool;
+use crate::sql_gen::{realize_sql, realize_sql_pooled};
 use arithexpr::AeProgram;
 use logicforms::LfExpr;
 use rand::Rng;
@@ -36,6 +37,7 @@ pub struct Generated {
 pub struct NlScratch {
     candidates: Vec<String>,
     score: ScoreScratch,
+    pool: StrPool,
 }
 
 impl NlScratch {
@@ -161,10 +163,11 @@ impl NlGenerator {
         scratch: &mut NlScratch,
     ) -> String {
         let buf = &mut scratch.candidates;
+        let pool = &mut scratch.pool;
         match program {
-            ProgramRef::Sql(stmt) => realize_sql_into(stmt, rng, CANDIDATES, buf),
-            ProgramRef::Logic(expr) => realize_logic_into(expr, rng, CANDIDATES, buf),
-            ProgramRef::Arith(prog) => realize_arith_into(prog, rng, CANDIDATES, buf),
+            ProgramRef::Sql(stmt) => realize_sql_pooled(stmt, rng, CANDIDATES, buf, pool),
+            ProgramRef::Logic(expr) => realize_logic_pooled(expr, rng, CANDIDATES, buf, pool),
+            ProgramRef::Arith(prog) => realize_arith_pooled(prog, rng, CANDIDATES, buf, pool),
         }
         self.pick_and_noise(&scratch.candidates, &mut scratch.score, rng)
     }

@@ -67,8 +67,16 @@ pub const ORDINALS: [&str; 10] = [
 
 /// Renders an ordinal (1 -> "first", 12 -> "12th").
 pub fn ordinal_word(n: usize) -> String {
+    let mut out = String::new();
+    ordinal_into(n, &mut out);
+    out
+}
+
+/// [`ordinal_word`] appending to a caller-owned buffer.
+pub fn ordinal_into(n: usize, out: &mut String) {
+    use std::fmt::Write as _;
     if n < ORDINALS.len() {
-        ORDINALS[n].to_string()
+        out.push_str(ORDINALS[n]);
     } else {
         let suffix = match (n % 10, n % 100) {
             (1, 11) | (2, 12) | (3, 13) => "th",
@@ -77,7 +85,7 @@ pub fn ordinal_word(n: usize) -> String {
             (3, _) => "rd",
             _ => "th",
         };
-        format!("{n}{suffix}")
+        let _ = write!(out, "{n}{suffix}");
     }
 }
 
@@ -91,17 +99,27 @@ pub fn article(word: &str) -> &'static str {
 
 /// Naive pluralization for count phrasings ("row" -> "rows").
 pub fn pluralize(word: &str) -> String {
+    let mut out = String::with_capacity(word.len() + 3);
+    pluralize_into(word, &mut out);
+    out
+}
+
+/// [`pluralize`] appending to a caller-owned buffer.
+pub fn pluralize_into(word: &str, out: &mut String) {
     if word.ends_with('s') || word.ends_with("sh") || word.ends_with("ch") || word.ends_with('x') {
-        format!("{word}es")
+        out.push_str(word);
+        out.push_str("es");
     } else if word.ends_with('y')
         && !word.ends_with("ay")
         && !word.ends_with("ey")
         && !word.ends_with("oy")
         && !word.ends_with("uy")
     {
-        format!("{}ies", &word[..word.len() - 1])
+        out.push_str(&word[..word.len() - 1]);
+        out.push_str("ies");
     } else {
-        format!("{word}s")
+        out.push_str(word);
+        out.push('s');
     }
 }
 
@@ -118,6 +136,39 @@ pub fn sentence_case(text: &str, terminal: char) -> String {
         out.push(terminal);
     }
     out
+}
+
+/// One-pass `sentence_case(&tidy(text), terminal)` into a caller-owned
+/// buffer: collapses doubled spaces, trims, capitalizes the first
+/// character, and ensures terminal punctuation. `dst` is cleared first.
+pub fn finish_sentence(src: &str, terminal: char, dst: &mut String) {
+    dst.clear();
+    dst.reserve(src.len() + 1);
+    let mut started = false;
+    let mut pending_space = false;
+    for c in src.chars() {
+        if c == ' ' {
+            // Leading spaces are trimmed; interior runs collapse to one,
+            // emitted lazily so trailing spaces are trimmed too.
+            if started {
+                pending_space = true;
+            }
+            continue;
+        }
+        if pending_space {
+            dst.push(' ');
+            pending_space = false;
+        }
+        if started {
+            dst.push(c);
+        } else {
+            dst.extend(c.to_uppercase());
+            started = true;
+        }
+    }
+    if !dst.ends_with(['.', '?', '!']) {
+        dst.push(terminal);
+    }
 }
 
 /// Collapses doubled spaces left by empty slots.

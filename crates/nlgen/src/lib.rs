@@ -26,11 +26,13 @@ pub mod lexicon;
 pub mod logic_gen;
 pub mod ngram;
 pub mod noise;
+pub mod pool;
 pub mod sql_gen;
 
-pub use arith_gen::{realize_arith, realize_arith_into};
+pub use arith_gen::{realize_arith, realize_arith_into, realize_arith_pooled};
 pub use generator::{Generated, NlGenerator, NlScratch, ProgramRef};
-pub use logic_gen::{realize_logic, realize_logic_into};
+pub use logic_gen::{realize_logic, realize_logic_into, realize_logic_pooled};
 pub use ngram::{seed_corpus, NgramLm, ScoreScratch};
 pub use noise::{apply_noise, NoiseConfig};
-pub use sql_gen::{realize_sql, realize_sql_into};
+pub use pool::StrPool;
+pub use sql_gen::{realize_sql, realize_sql_into, realize_sql_pooled};

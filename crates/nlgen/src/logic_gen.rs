@@ -6,10 +6,18 @@
 //! operator picks a claim frame per logic type (count / superlative /
 //! ordinal / aggregation / majority / unique / comparative), matching the
 //! Logic2Text phrasing the paper's fine-tuned GPT-2 produces (Table IX).
+//!
+//! Phrases stream into pooled buffers (see [`StrPool`]) instead of being
+//! composed from intermediate `String`s; RNG draw order is part of the
+//! determinism contract and matches the historical compositional form draw
+//! for draw.
 
 use crate::lexicon::*;
+use crate::pool::StrPool;
+use crate::sql_gen::{dedup_pooled, fill_slots};
 use logicforms::{LfExpr, LfOp};
 use rand::Rng;
+use std::fmt::Write as _;
 
 /// Produces `k` candidate claims for an instantiated logical form.
 pub fn realize_logic(expr: &LfExpr, rng: &mut impl Rng, k: usize) -> Vec<String> {
@@ -18,170 +26,230 @@ pub fn realize_logic(expr: &LfExpr, rng: &mut impl Rng, k: usize) -> Vec<String>
     out
 }
 
-/// [`realize_logic`] writing into a caller-owned buffer (cleared first), so the
-/// generation hot path reuses one candidate vector across samples. Draw-
+/// [`realize_logic`] writing into a caller-owned buffer (cleared first). Draw-
 /// for-draw and candidate-for-candidate identical to the allocating form.
 pub fn realize_logic_into(expr: &LfExpr, rng: &mut impl Rng, k: usize, out: &mut Vec<String>) {
-    out.clear();
-    for _ in 0..k.max(1) {
-        out.push(realize_once(expr, rng));
-    }
-    out.dedup();
+    realize_logic_pooled(expr, rng, k, out, &mut StrPool::default());
 }
 
-/// Describes a view as a relative clause (empty for `all_rows`).
-fn view_clause(e: &LfExpr, rng: &mut impl Rng) -> String {
+/// [`realize_logic_into`] with a caller-owned scratch pool — the form the
+/// generation hot path uses.
+pub fn realize_logic_pooled(
+    expr: &LfExpr,
+    rng: &mut impl Rng,
+    k: usize,
+    out: &mut Vec<String>,
+    pool: &mut StrPool,
+) {
+    fill_slots(out, pool, k.max(1));
+    for slot in out.iter_mut() {
+        let mut dst = std::mem::take(slot);
+        realize_once_into(expr, rng, &mut dst, pool);
+        *slot = dst;
+    }
+    dedup_pooled(out, pool);
+}
+
+/// Appends a view as a relative clause (nothing for `all_rows`).
+fn view_clause_into(e: &LfExpr, rng: &mut impl Rng, out: &mut String) {
     match e {
-        LfExpr::AllRows => String::new(),
+        LfExpr::AllRows => {}
         LfExpr::Apply(op, args) => {
             use LfOp::*;
             match op {
                 FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq
                 | FilterLessEq => {
-                    let inner = view_clause(&args[0], rng);
-                    let col = leaf_text(&args[1]);
-                    let val = leaf_text(&args[2]);
-                    let this = match op {
-                        FilterEq => format!("whose {col} is {val}"),
-                        FilterNotEq => format!("whose {col} is not {val}"),
-                        FilterGreater => format!("whose {col} is {} {val}", MORE_THAN.pick(rng)),
-                        FilterLess => format!("whose {col} is {} {val}", LESS_THAN.pick(rng)),
-                        FilterGreaterEq => format!("whose {col} is at least {val}"),
-                        FilterLessEq => format!("whose {col} is at most {val}"),
+                    let start = out.len();
+                    view_clause_into(&args[0], rng, out);
+                    if out.len() > start {
+                        out.push_str(" and ");
+                    }
+                    out.push_str("whose ");
+                    leaf_into(&args[1], out);
+                    match op {
+                        FilterEq => out.push_str(" is "),
+                        FilterNotEq => out.push_str(" is not "),
+                        FilterGreater => {
+                            out.push_str(" is ");
+                            out.push_str(MORE_THAN.pick(rng));
+                            out.push(' ');
+                        }
+                        FilterLess => {
+                            out.push_str(" is ");
+                            out.push_str(LESS_THAN.pick(rng));
+                            out.push(' ');
+                        }
+                        FilterGreaterEq => out.push_str(" is at least "),
+                        FilterLessEq => out.push_str(" is at most "),
                         // The outer arm admits only the six filter ops
                         // above; any future op falls back to the eq frame.
-                        _ => format!("whose {col} is {val}"),
-                    };
-                    if inner.is_empty() {
-                        this
-                    } else {
-                        format!("{inner} and {this}")
+                        _ => out.push_str(" is "),
                     }
+                    leaf_into(&args[2], out);
                 }
                 FilterAll => {
-                    let inner = view_clause(&args[0], rng);
-                    let col = leaf_text(&args[1]);
-                    let this = format!("with a listed {col}");
-                    if inner.is_empty() {
-                        this
-                    } else {
-                        format!("{inner} {this}")
+                    let start = out.len();
+                    view_clause_into(&args[0], rng, out);
+                    if out.len() > start {
+                        out.push(' ');
                     }
+                    out.push_str("with a listed ");
+                    leaf_into(&args[1], out);
                 }
-                _ => String::new(),
+                _ => {}
             }
         }
-        _ => String::new(),
+        _ => {}
     }
 }
 
-fn leaf_text(e: &LfExpr) -> String {
+fn leaf_into(e: &LfExpr, out: &mut String) {
     match e {
-        LfExpr::Column(c) => c.clone(),
-        LfExpr::Const(v) => v.clone(),
-        LfExpr::AllRows => "all rows".to_string(),
-        LfExpr::ColumnHole(i) => format!("column {i}"),
-        LfExpr::ValueHole(i) => format!("value {i}"),
-        LfExpr::Apply(..) => describe_scalar(e),
+        LfExpr::Column(c) => out.push_str(c),
+        LfExpr::Const(v) => out.push_str(v),
+        LfExpr::AllRows => out.push_str("all rows"),
+        LfExpr::ColumnHole(i) => {
+            let _ = write!(out, "column {i}");
+        }
+        LfExpr::ValueHole(i) => {
+            let _ = write!(out, "value {i}");
+        }
+        LfExpr::Apply(..) => describe_scalar_into(e, out),
     }
 }
 
-/// Describes a scalar-producing subtree as a noun phrase.
-fn describe_scalar(e: &LfExpr) -> String {
+/// Appends a scalar-producing subtree as a noun phrase. Draws nothing from
+/// the RNG (view descriptions go through the throwaway-RNG noun-phrase
+/// form), so streaming order is free.
+fn describe_scalar_into(e: &LfExpr, out: &mut String) {
     match e {
         LfExpr::Apply(op, args) => {
             use LfOp::*;
             match op {
                 Hop => {
-                    let row = describe_row(&args[0]);
-                    let col = leaf_text(&args[1]);
-                    format!("the {col} of {row}")
+                    out.push_str("the ");
+                    leaf_into(&args[1], out);
+                    out.push_str(" of ");
+                    describe_row_into(&args[0], out);
                 }
-                Count => format!("the number of rows {}", describe_view_np(&args[0])),
+                Count => {
+                    out.push_str("the number of rows ");
+                    view_np_into(&args[0], out);
+                }
                 Max => {
-                    format!("the highest {} {}", leaf_text(&args[1]), describe_view_np(&args[0]))
+                    out.push_str("the highest ");
+                    leaf_into(&args[1], out);
+                    out.push(' ');
+                    view_np_into(&args[0], out);
                 }
-                Min => format!("the lowest {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
-                Sum => format!("the total {} {}", leaf_text(&args[1]), describe_view_np(&args[0])),
+                Min => {
+                    out.push_str("the lowest ");
+                    leaf_into(&args[1], out);
+                    out.push(' ');
+                    view_np_into(&args[0], out);
+                }
+                Sum => {
+                    out.push_str("the total ");
+                    leaf_into(&args[1], out);
+                    out.push(' ');
+                    view_np_into(&args[0], out);
+                }
                 Avg => {
-                    format!("the average {} {}", leaf_text(&args[1]), describe_view_np(&args[0]))
+                    out.push_str("the average ");
+                    leaf_into(&args[1], out);
+                    out.push(' ');
+                    view_np_into(&args[0], out);
                 }
-                NthMax => format!(
-                    "the {} highest {}",
-                    ordinal_word(parse_ordinal(&args[2])),
-                    leaf_text(&args[1])
-                ),
-                NthMin => format!(
-                    "the {} lowest {}",
-                    ordinal_word(parse_ordinal(&args[2])),
-                    leaf_text(&args[1])
-                ),
-                Diff => format!(
-                    "the difference between {} and {}",
-                    describe_scalar(&args[0]),
-                    describe_scalar(&args[1])
-                ),
-                _ => e.to_string(),
+                NthMax => {
+                    out.push_str("the ");
+                    ordinal_into(parse_ordinal(&args[2]), out);
+                    out.push_str(" highest ");
+                    leaf_into(&args[1], out);
+                }
+                NthMin => {
+                    out.push_str("the ");
+                    ordinal_into(parse_ordinal(&args[2]), out);
+                    out.push_str(" lowest ");
+                    leaf_into(&args[1], out);
+                }
+                Diff => {
+                    out.push_str("the difference between ");
+                    describe_scalar_into(&args[0], out);
+                    out.push_str(" and ");
+                    describe_scalar_into(&args[1], out);
+                }
+                _ => {
+                    let _ = write!(out, "{e}");
+                }
             }
         }
-        other => leaf_text(other),
+        other => leaf_into(other, out),
     }
 }
 
-/// Describes a row-producing subtree.
-fn describe_row(e: &LfExpr) -> String {
+/// Appends a row-producing subtree description.
+fn describe_row_into(e: &LfExpr, out: &mut String) {
     match e {
         LfExpr::Apply(op, args) => {
             use LfOp::*;
             match op {
-                Argmax => format!(
-                    "the row with the highest {} {}",
-                    leaf_text(&args[1]),
-                    describe_view_np(&args[0])
-                ),
-                Argmin => format!(
-                    "the row with the lowest {} {}",
-                    leaf_text(&args[1]),
-                    describe_view_np(&args[0])
-                ),
-                NthArgmax => format!(
-                    "the row with the {} highest {}",
-                    ordinal_word(parse_ordinal(&args[2])),
-                    leaf_text(&args[1])
-                ),
-                NthArgmin => format!(
-                    "the row with the {} lowest {}",
-                    ordinal_word(parse_ordinal(&args[2])),
-                    leaf_text(&args[1])
-                ),
+                Argmax => {
+                    out.push_str("the row with the highest ");
+                    leaf_into(&args[1], out);
+                    out.push(' ');
+                    view_np_into(&args[0], out);
+                }
+                Argmin => {
+                    out.push_str("the row with the lowest ");
+                    leaf_into(&args[1], out);
+                    out.push(' ');
+                    view_np_into(&args[0], out);
+                }
+                NthArgmax => {
+                    out.push_str("the row with the ");
+                    ordinal_into(parse_ordinal(&args[2]), out);
+                    out.push_str(" highest ");
+                    leaf_into(&args[1], out);
+                }
+                NthArgmin => {
+                    out.push_str("the row with the ");
+                    ordinal_into(parse_ordinal(&args[2]), out);
+                    out.push_str(" lowest ");
+                    leaf_into(&args[1], out);
+                }
                 FilterEq => {
                     // hop over a filter: identify the row by its filter
                     // value; text filters read naturally as the entity name
                     // ("P300"), numeric ones keep the column for clarity
                     // ("the row whose wins is 24").
-                    let val = leaf_text(&args[2]);
-                    if val.parse::<f64>().is_ok() {
-                        format!("the row whose {} is {val}", leaf_text(&args[1]))
-                    } else {
-                        val
+                    let start = out.len();
+                    leaf_into(&args[2], out);
+                    if out[start..].parse::<f64>().is_ok() {
+                        out.truncate(start);
+                        out.push_str("the row whose ");
+                        leaf_into(&args[1], out);
+                        out.push_str(" is ");
+                        leaf_into(&args[2], out);
                     }
                 }
-                _ => "the selected row".to_string(),
+                _ => out.push_str("the selected row"),
             }
         }
-        _ => "the selected row".to_string(),
+        _ => out.push_str("the selected row"),
     }
 }
 
 /// View description as a trailing prepositional phrase ("among the rows
-/// whose X is V"), empty for all_rows.
-fn describe_view_np(e: &LfExpr) -> String {
+/// whose X is V"), nothing for all_rows. Uses a throwaway RNG so real draw
+/// sequences are unaffected by view depth.
+fn view_np_into(e: &LfExpr, out: &mut String) {
     let mut throwaway = rand::rngs::mock::StepRng::new(7, 11);
-    let clause = view_clause(e, &mut throwaway);
-    if clause.is_empty() {
-        String::new()
-    } else {
-        format!("among the rows {clause}")
+    let start = out.len();
+    out.push_str("among the rows ");
+    let clause_start = out.len();
+    view_clause_into(e, &mut throwaway, out);
+    if out.len() == clause_start {
+        out.truncate(start);
     }
 }
 
@@ -192,30 +260,52 @@ fn parse_ordinal(e: &LfExpr) -> usize {
     }
 }
 
-fn realize_once(expr: &LfExpr, rng: &mut impl Rng) -> String {
+fn realize_once_into(expr: &LfExpr, rng: &mut impl Rng, dst: &mut String, pool: &mut StrPool) {
+    let mut raw = pool.take();
+    claim_into(expr, rng, &mut raw, pool);
+    finish_sentence(&raw, '.', dst);
+    pool.put(raw);
+}
+
+/// Appends the raw (pre-tidy) claim text for the root operator.
+fn claim_into(expr: &LfExpr, rng: &mut impl Rng, out: &mut String, pool: &mut StrPool) {
     use LfOp::*;
-    let text = match expr {
+    match expr {
         LfExpr::Apply(op, args) => match op {
-            Eq | RoundEq | NotEq => realize_comparison(*op, &args[0], &args[1], rng),
+            Eq | RoundEq | NotEq => comparison_into(*op, &args[0], &args[1], rng, out, pool),
             Greater | Less => {
-                let a = describe_scalar(&args[0]);
-                let b = describe_scalar(&args[1]);
+                // Draw order: comparative word first, copula second —
+                // matching the historical form, where the comparative was
+                // chosen before the format's copula draw.
                 let cmp =
                     if matches!(op, Greater) { MORE_THAN.pick(rng) } else { LESS_THAN.pick(rng) };
-                format!("{a} {} {cmp} {b}", IS_ARE.pick(rng))
+                describe_scalar_into(&args[0], out);
+                out.push(' ');
+                out.push_str(IS_ARE.pick(rng));
+                out.push(' ');
+                out.push_str(cmp);
+                out.push(' ');
+                describe_scalar_into(&args[1], out);
             }
             And => {
-                let a = realize_once(&args[0], rng);
-                let b = realize_once(&args[1], rng);
-                format!(
-                    "{} and {}",
-                    a.trim_end_matches(['.', '?']),
-                    lowercase_first(b.trim_end_matches(['.', '?']))
-                )
+                let mut a = pool.take();
+                let mut b = pool.take();
+                realize_once_into(&args[0], rng, &mut a, pool);
+                realize_once_into(&args[1], rng, &mut b, pool);
+                out.push_str(a.trim_end_matches(['.', '?']));
+                out.push_str(" and ");
+                let btrim = b.trim_end_matches(['.', '?']);
+                let mut chars = btrim.chars();
+                if let Some(first) = chars.next() {
+                    out.extend(first.to_lowercase());
+                    out.push_str(chars.as_str());
+                }
+                pool.put(b);
+                pool.put(a);
             }
             Only => {
-                let clause = view_clause(&args[0], rng);
-                format!("there is only one row {clause}")
+                out.push_str("there is only one row ");
+                view_clause_into(&args[0], rng, out);
             }
             AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq
             | MostNotEq | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
@@ -227,105 +317,155 @@ fn realize_once(expr: &LfExpr, rng: &mut impl Rng) -> String {
                 } else {
                     MAJORITY.pick(rng)
                 };
-                let inner = view_clause(&args[0], rng);
-                let col = leaf_text(&args[1]);
-                let val = leaf_text(&args[2]);
-                let pred = match op {
-                    AllEq | MostEq => format!("a {col} of {val}"),
-                    AllNotEq | MostNotEq => format!("a {col} other than {val}"),
-                    AllGreater | MostGreater => format!("a {col} {} {val}", MORE_THAN.pick(rng)),
-                    AllLess | MostLess => format!("a {col} {} {val}", LESS_THAN.pick(rng)),
-                    AllGreaterEq | MostGreaterEq => format!("a {col} of at least {val}"),
-                    AllLessEq | MostLessEq => format!("a {col} of at most {val}"),
+                out.push_str(quant);
+                out.push_str(" rows");
+                let inner_start = out.len();
+                out.push(' ');
+                let clause_start = out.len();
+                view_clause_into(&args[0], rng, out);
+                if out.len() == clause_start {
+                    out.truncate(inner_start);
+                }
+                out.push_str(" have a ");
+                leaf_into(&args[1], out);
+                match op {
+                    AllEq | MostEq => out.push_str(" of "),
+                    AllNotEq | MostNotEq => out.push_str(" other than "),
+                    AllGreater | MostGreater => {
+                        out.push(' ');
+                        out.push_str(MORE_THAN.pick(rng));
+                        out.push(' ');
+                    }
+                    AllLess | MostLess => {
+                        out.push(' ');
+                        out.push_str(LESS_THAN.pick(rng));
+                        out.push(' ');
+                    }
+                    AllGreaterEq | MostGreaterEq => out.push_str(" of at least "),
+                    AllLessEq | MostLessEq => out.push_str(" of at most "),
                     // The outer arm admits only the quantifier ops above;
                     // any future op falls back to the eq frame.
-                    _ => format!("a {col} of {val}"),
-                };
-                if inner.is_empty() {
-                    format!("{quant} rows have {pred}")
-                } else {
-                    format!("{quant} rows {inner} have {pred}")
+                    _ => out.push_str(" of "),
                 }
+                leaf_into(&args[2], out);
             }
-            _ => describe_scalar(expr),
+            _ => describe_scalar_into(expr, out),
         },
-        other => leaf_text(other),
-    };
-    sentence_case(&tidy(&text), '.')
+        other => leaf_into(other, out),
+    }
 }
 
-fn realize_comparison(op: LfOp, lhs: &LfExpr, rhs: &LfExpr, rng: &mut impl Rng) -> String {
+fn comparison_into(
+    op: LfOp,
+    lhs: &LfExpr,
+    rhs: &LfExpr,
+    rng: &mut impl Rng,
+    out: &mut String,
+    pool: &mut StrPool,
+) {
     use LfOp::*;
     // Count claims: "there are N rows ..."
     if let LfExpr::Apply(Count, count_args) = lhs {
-        let n = leaf_text(rhs);
-        let clause = view_clause(&count_args[0], rng);
+        let mut clause = pool.take();
+        view_clause_into(&count_args[0], rng, &mut clause);
         let frame = rng.gen_range(0..2);
-        let body = if clause.is_empty() {
+        if op == NotEq {
+            out.push_str("it is not the case that ");
+        }
+        if clause.is_empty() {
             match frame {
-                0 => format!("there are {n} rows in the table"),
-                _ => format!("the table has {n} rows"),
+                0 => {
+                    out.push_str("there are ");
+                    leaf_into(rhs, out);
+                    out.push_str(" rows in the table");
+                }
+                _ => {
+                    out.push_str("the table has ");
+                    leaf_into(rhs, out);
+                    out.push_str(" rows");
+                }
             }
         } else {
             match frame {
-                0 => format!("there are {n} rows {clause}"),
-                _ => format!("{n} of the rows are {clause}"),
+                0 => {
+                    out.push_str("there are ");
+                    leaf_into(rhs, out);
+                    out.push_str(" rows ");
+                    out.push_str(&clause);
+                }
+                _ => {
+                    leaf_into(rhs, out);
+                    out.push_str(" of the rows are ");
+                    out.push_str(&clause);
+                }
             }
-        };
-        return match op {
-            NotEq => format!("it is not the case that {body}"),
-            _ => body,
-        };
+        }
+        pool.put(clause);
+        return;
     }
     // Superlative / ordinal hop claims: "{v} has the highest {col}".
     if let LfExpr::Apply(Hop, hop_args) = lhs {
         if let LfExpr::Apply(inner_op, inner_args) = &hop_args[0] {
             if matches!(inner_op, Argmax | Argmin | NthArgmax | NthArgmin) {
-                let target_col = leaf_text(&hop_args[1]);
-                let sort_col = leaf_text(&inner_args[1]);
-                let v = leaf_text(rhs);
-                let among = describe_view_np(&inner_args[0]);
-                let adj: String = match inner_op {
-                    Argmax => MOST.pick(rng).to_string(),
-                    Argmin => LEAST.pick(rng).to_string(),
-                    NthArgmax => format!("{} highest", ordinal_word(parse_ordinal(&inner_args[2]))),
-                    NthArgmin => format!("{} lowest", ordinal_word(parse_ordinal(&inner_args[2]))),
+                let mut adj = pool.take();
+                match inner_op {
+                    Argmax => adj.push_str(MOST.pick(rng)),
+                    Argmin => adj.push_str(LEAST.pick(rng)),
+                    NthArgmax => {
+                        ordinal_into(parse_ordinal(&inner_args[2]), &mut adj);
+                        adj.push_str(" highest");
+                    }
+                    NthArgmin => {
+                        ordinal_into(parse_ordinal(&inner_args[2]), &mut adj);
+                        adj.push_str(" lowest");
+                    }
                     // Guarded by the matches! above; fall back to the
                     // superlative frame for any future row op.
-                    _ => MOST.pick(rng).to_string(),
-                };
-                let body = match rng.gen_range(0..2) {
-                    0 => format!(
-                        "the {target_col} with the {adj} {sort_col} {among} {} {v}",
-                        IS_ARE.pick(rng)
-                    ),
-                    _ => format!("{v} has the {adj} {sort_col} {among}"),
-                };
-                return negate_if(op == NotEq, body);
+                    _ => adj.push_str(MOST.pick(rng)),
+                }
+                let frame = rng.gen_range(0..2);
+                if op == NotEq {
+                    out.push_str("it is not the case that ");
+                }
+                match frame {
+                    0 => {
+                        out.push_str("the ");
+                        leaf_into(&hop_args[1], out);
+                        out.push_str(" with the ");
+                        out.push_str(&adj);
+                        out.push(' ');
+                        leaf_into(&inner_args[1], out);
+                        out.push(' ');
+                        view_np_into(&inner_args[0], out);
+                        out.push(' ');
+                        out.push_str(IS_ARE.pick(rng));
+                        out.push(' ');
+                        leaf_into(rhs, out);
+                    }
+                    _ => {
+                        leaf_into(rhs, out);
+                        out.push_str(" has the ");
+                        out.push_str(&adj);
+                        out.push(' ');
+                        leaf_into(&inner_args[1], out);
+                        out.push(' ');
+                        view_np_into(&inner_args[0], out);
+                    }
+                }
+                pool.put(adj);
+                return;
             }
         }
     }
     // Generic scalar comparison.
-    let a = describe_scalar(lhs);
-    let b = describe_scalar(rhs);
-    let body = format!("{a} {} {b}", IS_ARE.pick(rng));
-    negate_if(op == NotEq, body)
-}
-
-fn negate_if(neg: bool, body: String) -> String {
-    if neg {
-        format!("it is not the case that {body}")
-    } else {
-        body
+    if op == NotEq {
+        out.push_str("it is not the case that ");
     }
-}
-
-fn lowercase_first(s: &str) -> String {
-    let mut chars = s.chars();
-    match chars.next() {
-        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
-        None => String::new(),
-    }
+    describe_scalar_into(lhs, out);
+    out.push(' ');
+    out.push_str(IS_ARE.pick(rng));
+    out.push(' ');
+    describe_scalar_into(rhs, out);
 }
 
 #[cfg(test)]
@@ -447,5 +587,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let cands = realize_logic(&e, &mut rng, 8);
         assert!(cands.len() > 1, "{cands:?}");
+    }
+
+    #[test]
+    fn pooled_form_matches_fresh_buffers() {
+        let forms = [
+            "eq { count { filter_eq { all_rows ; material ; PLA } } ; 2 }",
+            "eq { hop { argmax { all_rows ; speed } ; model } ; P300 }",
+            "eq { hop { nth_argmax { all_rows ; price ; 2 } ; model } ; P400 }",
+            "round_eq { avg { all_rows ; price } ; 311.5 }",
+            "most_greater { all_rows ; speed ; 70 }",
+            "only { filter_eq { all_rows ; material ; ABS } }",
+            "not_eq { count { all_rows } ; 5 }",
+            "and { eq { count { all_rows } ; 4 } ; greater { max { all_rows ; speed } ; 90 } }",
+            "greater { hop { filter_eq { all_rows ; model ; P200 } ; price } ; hop { filter_eq { all_rows ; model ; P100 } ; price } }",
+            "all_less { filter_greater { all_rows ; price ; 10 } ; speed ; 99 }",
+        ];
+        let mut out = Vec::new();
+        let mut pool = StrPool::default();
+        for (i, form) in forms.iter().enumerate() {
+            let e = parse(form).unwrap_or_else(|e| panic!("parse: {e}"));
+            let fresh = {
+                let mut rng = StdRng::seed_from_u64(90 + i as u64);
+                realize_logic(&e, &mut rng, 6)
+            };
+            let mut rng = StdRng::seed_from_u64(90 + i as u64);
+            realize_logic_pooled(&e, &mut rng, 6, &mut out, &mut pool);
+            assert_eq!(out, fresh, "pooled candidates diverge for {form}");
+        }
     }
 }

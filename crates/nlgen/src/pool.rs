@@ -1,0 +1,46 @@
+//! A tiny free-list of `String` buffers for the surface realizers.
+//!
+//! Realization is compositional: clauses, noun phrases, and candidate
+//! sentences are built from sub-phrases, and a few of those sub-phrases
+//! must be materialized before use (emptiness checks, pluralization,
+//! `parse` probes). The pool lets those temporaries keep their capacity
+//! across candidates and across samples instead of being reallocated for
+//! every one — the same arena discipline the executor scratches use.
+
+/// Reusable `String` buffers. `take` hands out a cleared buffer (reusing a
+/// previously returned one when available); `put` returns it to the pool.
+#[derive(Debug, Clone, Default)]
+pub struct StrPool {
+    free: Vec<String>,
+}
+
+impl StrPool {
+    /// A cleared buffer, reusing pooled capacity when available.
+    pub fn take(&mut self) -> String {
+        let mut s = self.free.pop().unwrap_or_default();
+        s.clear();
+        s
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn put(&mut self, s: String) {
+        self.free.push(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_capacity() {
+        let mut p = StrPool::default();
+        let mut a = p.take();
+        a.push_str("some text to grow the buffer");
+        let cap = a.capacity();
+        p.put(a);
+        let b = p.take();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+    }
+}

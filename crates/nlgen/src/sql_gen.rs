@@ -5,25 +5,40 @@
 //! candidate phrasings with randomized lexical choices; the caller reranks
 //! them with the n-gram LM. This mirrors how the paper's fine-tuned BART
 //! maps SQUALL-style queries to questions (Table IX row 1).
+//!
+//! Candidates stream into pooled buffers (see [`StrPool`]): phrases are
+//! appended in place rather than composed from intermediate `String`s, and
+//! the few sub-phrases that must be materialized (pluralization targets,
+//! the shared WHERE clause) come from the pool. RNG draw order is part of
+//! the determinism contract and matches the historical compositional form
+//! draw for draw.
 
 use crate::lexicon::*;
+use crate::pool::StrPool;
 use rand::Rng;
 use sqlexec::{AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, OrderDir, SelectItem, SelectStmt};
+use std::fmt::Write as _;
 
-/// Renders a column reference (placeholders should not reach realization).
-fn col_name(c: &ColumnRef) -> String {
+/// Appends a column reference (placeholders should not reach realization).
+fn col_into(c: &ColumnRef, out: &mut String) {
     match c {
-        ColumnRef::Named(n) => n.clone(),
-        ColumnRef::Placeholder { index, .. } => format!("column {index}"),
+        ColumnRef::Named(n) => out.push_str(n),
+        ColumnRef::Placeholder { index, .. } => {
+            let _ = write!(out, "column {index}");
+        }
     }
 }
 
-/// Renders a scalar expression as a noun phrase.
-fn expr_phrase(e: &Expr) -> String {
+/// Appends a scalar expression as a noun phrase.
+fn expr_into(e: &Expr, out: &mut String) {
     match e {
-        Expr::Column(c) => col_name(c),
-        Expr::Literal(v) => v.to_string(),
-        Expr::ValuePlaceholder(i) => format!("value {i}"),
+        Expr::Column(c) => col_into(c, out),
+        Expr::Literal(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::ValuePlaceholder(i) => {
+            let _ = write!(out, "value {i}");
+        }
         Expr::Binary { op, lhs, rhs } => {
             let word = match op {
                 ArithOp::Add => "plus",
@@ -31,29 +46,50 @@ fn expr_phrase(e: &Expr) -> String {
                 ArithOp::Mul => "times",
                 ArithOp::Div => "divided by",
             };
-            format!("{} {} {}", expr_phrase(lhs), word, expr_phrase(rhs))
+            expr_into(lhs, out);
+            out.push(' ');
+            out.push_str(word);
+            out.push(' ');
+            expr_into(rhs, out);
         }
     }
 }
 
-/// Renders a condition tree as an English clause ("the city is Oslo and the
+/// Appends a condition tree as an English clause ("the city is Oslo and the
 /// score is more than 10").
-fn cond_phrase(c: &Cond, rng: &mut impl Rng) -> String {
+fn cond_into(c: &Cond, rng: &mut impl Rng, out: &mut String) {
     match c {
         Cond::Compare { op, lhs, rhs } => {
-            let l = expr_phrase(lhs);
-            let r = expr_phrase(rhs);
+            out.push_str("the ");
+            expr_into(lhs, out);
             match op {
-                CmpOp::Eq => format!("the {l} is {r}"),
-                CmpOp::NotEq => format!("the {l} is not {r}"),
-                CmpOp::Gt => format!("the {l} is {} {r}", MORE_THAN.pick(rng)),
-                CmpOp::Lt => format!("the {l} is {} {r}", LESS_THAN.pick(rng)),
-                CmpOp::GtEq => format!("the {l} is at least {r}"),
-                CmpOp::LtEq => format!("the {l} is at most {r}"),
+                CmpOp::Eq => out.push_str(" is "),
+                CmpOp::NotEq => out.push_str(" is not "),
+                CmpOp::Gt => {
+                    out.push_str(" is ");
+                    out.push_str(MORE_THAN.pick(rng));
+                    out.push(' ');
+                }
+                CmpOp::Lt => {
+                    out.push_str(" is ");
+                    out.push_str(LESS_THAN.pick(rng));
+                    out.push(' ');
+                }
+                CmpOp::GtEq => out.push_str(" is at least "),
+                CmpOp::LtEq => out.push_str(" is at most "),
             }
+            expr_into(rhs, out);
         }
-        Cond::And(a, b) => format!("{} and {}", cond_phrase(a, rng), cond_phrase(b, rng)),
-        Cond::Or(a, b) => format!("{} or {}", cond_phrase(a, rng), cond_phrase(b, rng)),
+        Cond::And(a, b) => {
+            cond_into(a, rng, out);
+            out.push_str(" and ");
+            cond_into(b, rng, out);
+        }
+        Cond::Or(a, b) => {
+            cond_into(a, rng, out);
+            out.push_str(" or ");
+            cond_into(b, rng, out);
+        }
     }
 }
 
@@ -64,20 +100,82 @@ pub fn realize_sql(stmt: &SelectStmt, rng: &mut impl Rng, k: usize) -> Vec<Strin
     out
 }
 
-/// [`realize_sql`] writing into a caller-owned buffer (cleared first), so the
-/// generation hot path reuses one candidate vector across samples. Draw-
+/// [`realize_sql`] writing into a caller-owned buffer (cleared first). Draw-
 /// for-draw and candidate-for-candidate identical to the allocating form.
 pub fn realize_sql_into(stmt: &SelectStmt, rng: &mut impl Rng, k: usize, out: &mut Vec<String>) {
-    out.clear();
-    for _ in 0..k.max(1) {
-        out.push(realize_once(stmt, rng));
-    }
-    out.dedup();
+    realize_sql_pooled(stmt, rng, k, out, &mut StrPool::default());
 }
 
-fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
-    let where_suffix = stmt.where_clause.as_ref().map(|w| cond_phrase(w, rng));
+/// [`realize_sql_into`] with a caller-owned scratch pool — the form the
+/// generation hot path uses: candidate slots and phrase temporaries all
+/// keep their capacity across samples.
+pub fn realize_sql_pooled(
+    stmt: &SelectStmt,
+    rng: &mut impl Rng,
+    k: usize,
+    out: &mut Vec<String>,
+    pool: &mut StrPool,
+) {
+    fill_slots(out, pool, k.max(1));
+    for slot in out.iter_mut() {
+        let mut dst = std::mem::take(slot);
+        realize_once_into(stmt, rng, &mut dst, pool);
+        *slot = dst;
+    }
+    dedup_pooled(out, pool);
+}
 
+/// Resizes `out` to exactly `k` slots, pooling removed buffers.
+pub(crate) fn fill_slots(out: &mut Vec<String>, pool: &mut StrPool, k: usize) {
+    while out.len() > k {
+        if let Some(s) = out.pop() {
+            pool.put(s);
+        }
+    }
+    while out.len() < k {
+        out.push(pool.take());
+    }
+}
+
+/// `Vec::dedup` (drop all but the first of consecutive equal candidates)
+/// that returns dropped buffers to the pool instead of freeing them.
+pub(crate) fn dedup_pooled(out: &mut Vec<String>, pool: &mut StrPool) {
+    let mut kept = 1;
+    for i in 1..out.len() {
+        if out[i] == out[kept - 1] {
+            continue;
+        }
+        out.swap(kept, i);
+        kept += 1;
+    }
+    while out.len() > kept.min(out.len()) {
+        if let Some(s) = out.pop() {
+            pool.put(s);
+        }
+    }
+}
+
+fn realize_once_into(stmt: &SelectStmt, rng: &mut impl Rng, dst: &mut String, pool: &mut StrPool) {
+    let mut wher = pool.take();
+    let has_where = stmt.where_clause.is_some();
+    if let Some(w) = &stmt.where_clause {
+        cond_into(w, rng, &mut wher);
+    }
+    let mut raw = pool.take();
+    build_raw(stmt, rng, has_where, &wher, &mut raw, pool);
+    finish_sentence(&raw, '?', dst);
+    pool.put(raw);
+    pool.put(wher);
+}
+
+fn build_raw(
+    stmt: &SelectStmt,
+    rng: &mut impl Rng,
+    has_where: bool,
+    wher: &str,
+    raw: &mut String,
+    pool: &mut StrPool,
+) {
     // Superlative: `select X from w order by Y desc limit 1`.
     if let (Some((Expr::Column(order_col), dir)), Some(1)) = (&stmt.order_by, stmt.limit) {
         if let Some(SelectItem::Expr(Expr::Column(sel))) = stmt.items.first() {
@@ -85,40 +183,71 @@ fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
                 OrderDir::Desc => MOST.pick(rng),
                 OrderDir::Asc => LEAST.pick(rng),
             };
-            let sel = col_name(sel);
-            let order = col_name(order_col);
-            let base = match rng.gen_range(0..3) {
-                0 => format!("{} {sel} has the {adj} {order}", WHICH.pick(rng)),
-                1 => format!("{} the {sel} with the {adj} {order}", WHAT_IS.pick(rng)),
-                _ => format!("{} the {sel} with the {adj} amount of {order}", WHAT_IS.pick(rng)),
-            };
-            let full = match &where_suffix {
-                Some(w) => format!("{base} when {w}"),
-                None => base,
-            };
-            return sentence_case(&tidy(&full), '?');
+            match rng.gen_range(0..3) {
+                0 => {
+                    raw.push_str(WHICH.pick(rng));
+                    raw.push(' ');
+                    col_into(sel, raw);
+                    raw.push_str(" has the ");
+                    raw.push_str(adj);
+                    raw.push(' ');
+                    col_into(order_col, raw);
+                }
+                1 => {
+                    raw.push_str(WHAT_IS.pick(rng));
+                    raw.push_str(" the ");
+                    col_into(sel, raw);
+                    raw.push_str(" with the ");
+                    raw.push_str(adj);
+                    raw.push(' ');
+                    col_into(order_col, raw);
+                }
+                _ => {
+                    raw.push_str(WHAT_IS.pick(rng));
+                    raw.push_str(" the ");
+                    col_into(sel, raw);
+                    raw.push_str(" with the ");
+                    raw.push_str(adj);
+                    raw.push_str(" amount of ");
+                    col_into(order_col, raw);
+                }
+            }
+            if has_where {
+                raw.push_str(" when ");
+                raw.push_str(wher);
+            }
+            return;
         }
     }
 
     // Aggregates.
     if let Some(SelectItem::Aggregate { func, arg, .. }) = stmt.items.first() {
-        let text = match (func, arg) {
+        match (func, arg) {
             (AggFunc::Count, None) => {
                 let noun = Slot::new(&["rows", "entries", "records", "times"]).pick(rng);
-                match &where_suffix {
-                    Some(w) => format!("{} {noun} are there where {w}", HOW_MANY.pick(rng)),
-                    None => format!("{} {noun} are in the table", HOW_MANY.pick(rng)),
+                raw.push_str(HOW_MANY.pick(rng));
+                raw.push(' ');
+                raw.push_str(noun);
+                if has_where {
+                    raw.push_str(" are there where ");
+                    raw.push_str(wher);
+                } else {
+                    raw.push_str(" are in the table");
                 }
             }
             (AggFunc::Count, Some(e)) => {
-                let target = expr_phrase(e);
-                match &where_suffix {
-                    Some(w) => {
-                        format!("{} {} values are there where {w}", HOW_MANY.pick(rng), target)
-                    }
-                    None => {
-                        format!("{} {} values are listed", HOW_MANY.pick(rng), pluralize(&target))
-                    }
+                raw.push_str(HOW_MANY.pick(rng));
+                raw.push(' ');
+                if has_where {
+                    expr_into(e, raw);
+                    raw.push_str(" values are there where ");
+                    raw.push_str(wher);
+                } else {
+                    let mut target = pool.take();
+                    expr_into(e, &mut target);
+                    pluralize_into(&target, raw);
+                    pool.put(target);
+                    raw.push_str(" values are listed");
                 }
             }
             (agg, Some(e)) => {
@@ -131,59 +260,87 @@ fn realize_once(stmt: &SelectStmt, rng: &mut impl Rng) -> String {
                     // neutral noun for any future aggregate.
                     AggFunc::Count => TOTAL.pick(rng),
                 };
-                let target = expr_phrase(e);
-                match &where_suffix {
-                    Some(w) => format!("{} the {noun} {target} when {w}", WHAT_IS.pick(rng)),
-                    None => format!("{} the {noun} {target}", WHAT_IS.pick(rng)),
+                raw.push_str(WHAT_IS.pick(rng));
+                raw.push_str(" the ");
+                raw.push_str(noun);
+                raw.push(' ');
+                expr_into(e, raw);
+                if has_where {
+                    raw.push_str(" when ");
+                    raw.push_str(wher);
                 }
             }
-            (_, None) => format!("{} the result", WHAT_IS.pick(rng)),
-        };
-        return sentence_case(&tidy(&text), '?');
+            (_, None) => {
+                raw.push_str(WHAT_IS.pick(rng));
+                raw.push_str(" the result");
+            }
+        }
+        return;
     }
 
     // Difference between two columns.
     if let Some(SelectItem::Expr(Expr::Binary { op: ArithOp::Sub, lhs, rhs })) = stmt.items.first()
     {
-        let text = match &where_suffix {
-            Some(w) => format!(
-                "{} the {} between {} and {} when {w}",
-                WHAT_IS.pick(rng),
-                DIFFERENCE.pick(rng),
-                expr_phrase(lhs),
-                expr_phrase(rhs)
-            ),
-            None => format!(
-                "{} the {} between {} and {}",
-                WHAT_IS.pick(rng),
-                DIFFERENCE.pick(rng),
-                expr_phrase(lhs),
-                expr_phrase(rhs)
-            ),
-        };
-        return sentence_case(&tidy(&text), '?');
+        raw.push_str(WHAT_IS.pick(rng));
+        raw.push_str(" the ");
+        raw.push_str(DIFFERENCE.pick(rng));
+        raw.push_str(" between ");
+        expr_into(lhs, raw);
+        raw.push_str(" and ");
+        expr_into(rhs, raw);
+        if has_where {
+            raw.push_str(" when ");
+            raw.push_str(wher);
+        }
+        return;
     }
 
     // Plain lookup: `select X from w where ...`.
     if let Some(SelectItem::Expr(e)) = stmt.items.first() {
-        let target = expr_phrase(e);
-        let text = match &where_suffix {
-            Some(w) => match rng.gen_range(0..3) {
-                0 => format!("{} the {target} when {w}", WHAT_IS.pick(rng)),
-                1 => format!("{} {target} is listed where {w}", WHICH.pick(rng)),
-                _ => format!("{} the {target} for the row where {w}", WHAT_IS.pick(rng)),
-            },
-            None => format!("{} all the {} in the table", WHAT_IS.pick(rng), pluralize(&target)),
-        };
-        return sentence_case(&tidy(&text), '?');
+        if has_where {
+            match rng.gen_range(0..3) {
+                0 => {
+                    raw.push_str(WHAT_IS.pick(rng));
+                    raw.push_str(" the ");
+                    expr_into(e, raw);
+                    raw.push_str(" when ");
+                    raw.push_str(wher);
+                }
+                1 => {
+                    raw.push_str(WHICH.pick(rng));
+                    raw.push(' ');
+                    expr_into(e, raw);
+                    raw.push_str(" is listed where ");
+                    raw.push_str(wher);
+                }
+                _ => {
+                    raw.push_str(WHAT_IS.pick(rng));
+                    raw.push_str(" the ");
+                    expr_into(e, raw);
+                    raw.push_str(" for the row where ");
+                    raw.push_str(wher);
+                }
+            }
+        } else {
+            raw.push_str(WHAT_IS.pick(rng));
+            raw.push_str(" all the ");
+            let mut target = pool.take();
+            expr_into(e, &mut target);
+            pluralize_into(&target, raw);
+            pool.put(target);
+            raw.push_str(" in the table");
+        }
+        return;
     }
 
     // `select *` fallback.
-    let text = match &where_suffix {
-        Some(w) => format!("{} the full record where {w}", WHAT_IS.pick(rng)),
-        None => format!("{} in the table", WHAT_IS.pick(rng)),
-    };
-    sentence_case(&tidy(&text), '?')
+    raw.push_str(WHAT_IS.pick(rng));
+    if has_where {
+        raw.push_str(" the full record where ");
+        raw.push_str(wher);
+    } else {
+        raw.push_str(" in the table");
+    }
 }
 
 #[cfg(test)]
@@ -270,5 +427,49 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let cands = realize_sql(&stmt, &mut rng, 8);
         assert!(cands.len() > 1, "expected lexical variety, got {cands:?}");
+    }
+
+    #[test]
+    fn pooled_form_matches_fresh_buffers() {
+        // Same seed through the pooled and Vec-allocating forms must give
+        // identical candidate lists, including with a dirty reused pool.
+        let stmts = [
+            "select [department] from w order by [total deputies] desc limit 1",
+            "select count(*) from w where [points] > 50",
+            "select sum([budget]) from w where [city] = 'Oslo'",
+            "select [budget] - [spend] from w",
+            "select [name] from w where [points] > 10 and [wins] < 5",
+            "select [name] from w",
+        ];
+        let mut out = Vec::new();
+        let mut pool = StrPool::default();
+        for (i, q) in stmts.iter().enumerate() {
+            let stmt = parse(q).unwrap_or_else(|e| panic!("parse: {e}"));
+            let fresh = {
+                let mut rng = StdRng::seed_from_u64(40 + i as u64);
+                realize_sql(&stmt, &mut rng, 6)
+            };
+            let mut rng = StdRng::seed_from_u64(40 + i as u64);
+            realize_sql_pooled(&stmt, &mut rng, 6, &mut out, &mut pool);
+            assert_eq!(out, fresh, "pooled candidates diverge for {q}");
+        }
+    }
+
+    #[test]
+    fn dedup_pooled_matches_vec_dedup() {
+        let cases: &[&[&str]] = &[
+            &["a", "a", "b"],
+            &["a", "b", "a"],
+            &["a", "a", "a"],
+            &["a"],
+            &["a", "b", "b", "c", "c", "c", "a"],
+        ];
+        for case in cases {
+            let mut reference: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            reference.dedup();
+            let mut pooled: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            dedup_pooled(&mut pooled, &mut StrPool::default());
+            assert_eq!(pooled, reference, "case {case:?}");
+        }
     }
 }

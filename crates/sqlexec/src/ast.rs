@@ -138,7 +138,11 @@ impl fmt::Display for Expr {
         match self {
             Expr::Column(c) => write!(f, "{c}"),
             Expr::Literal(v) => match v {
+                Value::Number(n) if n.fract() == 0.0 && n.abs() < 1e15 => {
+                    write!(f, "{}", *n as i64)
+                }
                 Value::Number(n) => write!(f, "{}", tabular::format_number(*n)),
+                Value::Text(s) if !s.contains('\'') => write!(f, "'{s}'"),
                 Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
                 Value::Date(d) => write!(f, "'{d}'"),
                 Value::Bool(b) => write!(f, "{b}"),
@@ -276,8 +280,13 @@ impl fmt::Display for SelectStmt {
         if self.distinct {
             write!(f, "distinct ")?;
         }
-        let items: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
-        write!(f, "{} from w", items.join(" , "))?;
+        for (k, item) in self.items.iter().enumerate() {
+            if k > 0 {
+                write!(f, " , ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " from w")?;
         if let Some(w) = &self.where_clause {
             write!(f, " where {w}")?;
         }

@@ -12,8 +12,9 @@
 
 use crate::ast::*;
 use rustc_hash::FxHashSet;
+use std::borrow::Cow;
 use std::fmt;
-use tabular::{format_number, Table, Value};
+use tabular::{format_number, ExecContext, KernelScratch, Table, Value};
 
 /// Execution error.
 #[derive(Debug, Clone, PartialEq)]
@@ -231,6 +232,469 @@ pub fn execute(stmt: &SelectStmt, table: &Table) -> Result<QueryResult, ExecErro
     hl.sort_unstable();
     result.highlighted = hl;
     Ok(result)
+}
+
+/// [`execute`] against a prebuilt [`ExecContext`]. Result-identical to
+/// [`execute`]; see [`execute_in_with`].
+pub fn execute_in(
+    stmt: &SelectStmt,
+    table: &Table,
+    ctx: &ExecContext,
+) -> Result<QueryResult, ExecError> {
+    execute_in_with(stmt, table, ctx, &mut KernelScratch::default())
+}
+
+/// Compiled execution path: resolves every column reference once, evaluates
+/// rows against the compiled tree with borrowed cells (no per-row
+/// `column_index` lookups or cell clones) and accumulates highlights in a
+/// pooled buffer instead of a hash set. Result-identical to [`execute`] —
+/// the per-cell interpreter above stays as the parity reference.
+pub fn execute_in_with(
+    stmt: &SelectStmt,
+    table: &Table,
+    _ctx: &ExecContext,
+    kern: &mut KernelScratch,
+) -> Result<QueryResult, ExecError> {
+    if stmt.has_placeholders() {
+        return Err(ExecError::Uninstantiated);
+    }
+    // Validate all column references up front (a zero-row table must still
+    // reject unknown columns), exactly like the interpreter.
+    {
+        let mut bad: Option<String> = None;
+        stmt.visit_columns(&mut |c| {
+            if let ColumnRef::Named(name) = c {
+                if bad.is_none() && table.column_index(name).is_none() {
+                    bad = Some(name.clone());
+                }
+            }
+        });
+        if let Some(name) = bad {
+            return Err(ExecError::UnknownColumn(name));
+        }
+    }
+    let plan = compile(stmt, table)?;
+    let mut hl = std::mem::take(&mut kern.hl);
+    hl.clear();
+    let res = run_compiled(stmt, &plan, table, kern, &mut hl);
+    let out = res.map(|mut result| {
+        // One sort + dedup yields the same sorted set the interpreter
+        // collects through its hash set.
+        hl.sort_unstable();
+        hl.dedup();
+        result.highlighted = hl.clone();
+        result
+    });
+    kern.hl = hl;
+    out
+}
+
+/// A column-resolved expression: the per-row loop touches indices only.
+enum CExpr {
+    Col(usize),
+    Lit(Value),
+    Binary { op: ArithOp, lhs: Box<CExpr>, rhs: Box<CExpr> },
+}
+
+enum CCond {
+    Compare { op: CmpOp, lhs: CExpr, rhs: CExpr },
+    And(Box<CCond>, Box<CCond>),
+    Or(Box<CCond>, Box<CCond>),
+}
+
+enum CItem {
+    Star,
+    Expr(CExpr),
+    Agg { func: AggFunc, arg: Option<CExpr>, distinct: bool },
+}
+
+struct Plan {
+    items: Vec<CItem>,
+    where_clause: Option<CCond>,
+    order_by: Option<(CExpr, OrderDir)>,
+    group_by: Option<usize>,
+}
+
+fn compile(stmt: &SelectStmt, table: &Table) -> Result<Plan, ExecError> {
+    let items = stmt
+        .items
+        .iter()
+        .map(|item| {
+            Ok(match item {
+                SelectItem::Star => CItem::Star,
+                SelectItem::Expr(e) => CItem::Expr(compile_expr(e, table)?),
+                SelectItem::Aggregate { func, arg, distinct } => CItem::Agg {
+                    func: *func,
+                    arg: arg.as_ref().map(|a| compile_expr(a, table)).transpose()?,
+                    distinct: *distinct,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, ExecError>>()?;
+    Ok(Plan {
+        items,
+        where_clause: stmt.where_clause.as_ref().map(|c| compile_cond(c, table)).transpose()?,
+        order_by: stmt
+            .order_by
+            .as_ref()
+            .map(|(e, dir)| Ok::<_, ExecError>((compile_expr(e, table)?, *dir)))
+            .transpose()?,
+        group_by: stmt.group_by.as_ref().map(|c| resolve(c, table)).transpose()?,
+    })
+}
+
+fn compile_expr(e: &Expr, table: &Table) -> Result<CExpr, ExecError> {
+    Ok(match e {
+        Expr::Column(c) => CExpr::Col(resolve(c, table)?),
+        Expr::Literal(v) => CExpr::Lit(v.clone()),
+        Expr::ValuePlaceholder(_) => return Err(ExecError::Uninstantiated),
+        Expr::Binary { op, lhs, rhs } => CExpr::Binary {
+            op: *op,
+            lhs: Box::new(compile_expr(lhs, table)?),
+            rhs: Box::new(compile_expr(rhs, table)?),
+        },
+    })
+}
+
+fn compile_cond(c: &Cond, table: &Table) -> Result<CCond, ExecError> {
+    Ok(match c {
+        Cond::Compare { op, lhs, rhs } => CCond::Compare {
+            op: *op,
+            lhs: compile_expr(lhs, table)?,
+            rhs: compile_expr(rhs, table)?,
+        },
+        Cond::And(x, y) => {
+            CCond::And(Box::new(compile_cond(x, table)?), Box::new(compile_cond(y, table)?))
+        }
+        Cond::Or(x, y) => {
+            CCond::Or(Box::new(compile_cond(x, table)?), Box::new(compile_cond(y, table)?))
+        }
+    })
+}
+
+/// The first `limit` entries of `kept` (the interpreter's `take(n)`), as a
+/// slice instead of a fresh vector.
+fn limited(kept: &[usize], limit: Option<usize>) -> &[usize] {
+    match limit {
+        Some(n) => &kept[..n.min(kept.len())],
+        None => kept,
+    }
+}
+
+fn run_compiled(
+    stmt: &SelectStmt,
+    plan: &Plan,
+    table: &Table,
+    kern: &mut KernelScratch,
+    hl: &mut Vec<(usize, usize)>,
+) -> Result<QueryResult, ExecError> {
+    // 1. WHERE filter.
+    let mut kept = kern.take_rows();
+    for ri in 0..table.n_rows() {
+        let keep = match &plan.where_clause {
+            Some(cond) => eval_cond_c(cond, table, ri, hl)?,
+            None => true,
+        };
+        if keep {
+            kept.push(ri);
+        }
+    }
+
+    // 2. ORDER BY (on source rows, before projection). Borrowed sort keys:
+    // same stable sort and `Value` comparator as the interpreter, no cell
+    // clones.
+    if let Some((expr, dir)) = &plan.order_by {
+        let mut keyed: Vec<(Cow<'_, Value>, usize)> = Vec::with_capacity(kept.len());
+        for &ri in &kept {
+            let v = match eval_expr_c(expr, table, ri, hl) {
+                Ok(v) => v,
+                Err(e) => {
+                    kern.put_rows(kept);
+                    return Err(e);
+                }
+            };
+            keyed.push((v, ri));
+        }
+        keyed.sort_by(|a, b| {
+            let ord = a.0.as_ref().cmp(b.0.as_ref());
+            if *dir == OrderDir::Desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        for (slot, (_, ri)) in kept.iter_mut().zip(keyed.iter()) {
+            *slot = *ri;
+        }
+    }
+
+    let has_aggregate = plan.items.iter().any(|i| matches!(i, CItem::Agg { .. }));
+
+    let res = if let Some(gci) = plan.group_by {
+        exec_grouped_c(stmt, plan, table, &kept, gci, hl)
+    } else if has_aggregate {
+        // Whole-filtered-set aggregation: one output row. LIMIT applies to
+        // the input rows first.
+        let input = limited(&kept, stmt.limit);
+        (|| {
+            let mut row = Vec::with_capacity(plan.items.len());
+            let mut columns = Vec::with_capacity(plan.items.len());
+            for (item, src) in plan.items.iter().zip(&stmt.items) {
+                match item {
+                    CItem::Agg { func, arg, distinct } => {
+                        row.push(eval_aggregate_c(
+                            *func,
+                            arg.as_ref(),
+                            *distinct,
+                            table,
+                            input,
+                            hl,
+                        )?);
+                        columns.push(src.to_string());
+                    }
+                    CItem::Expr(e) => {
+                        // Mixed select: evaluate on the first row if any.
+                        let v = input
+                            .first()
+                            .map(|&ri| eval_expr_c(e, table, ri, hl))
+                            .transpose()?
+                            .map(Cow::into_owned)
+                            .unwrap_or(Value::Null);
+                        row.push(v);
+                        columns.push(src.to_string());
+                    }
+                    CItem::Star => {
+                        return Err(ExecError::UnknownColumn("* mixed with aggregate".into()))
+                    }
+                }
+            }
+            Ok(QueryResult { columns, rows: vec![row], highlighted: vec![] })
+        })()
+    } else {
+        // Plain projection.
+        let rows_in = limited(&kept, stmt.limit);
+        (|| {
+            let mut columns: Vec<String> = Vec::new();
+            for (item, src) in plan.items.iter().zip(&stmt.items) {
+                match item {
+                    CItem::Star => {
+                        for c in table.schema().columns() {
+                            columns.push(c.name.clone());
+                        }
+                    }
+                    CItem::Expr(_) => columns.push(src.to_string()),
+                    CItem::Agg { .. } => {
+                        return Err(ExecError::Internal("aggregate item in plain projection"))
+                    }
+                }
+            }
+            let mut rows: Vec<Vec<Value>> = Vec::with_capacity(rows_in.len());
+            for &ri in rows_in {
+                let mut out = Vec::with_capacity(columns.len());
+                for item in &plan.items {
+                    match item {
+                        CItem::Star => {
+                            for ci in 0..table.n_cols() {
+                                hl.push((ri, ci));
+                                out.push(table.cell(ri, ci).cloned().unwrap_or(Value::Null));
+                            }
+                        }
+                        CItem::Expr(e) => out.push(eval_expr_c(e, table, ri, hl)?.into_owned()),
+                        CItem::Agg { .. } => {
+                            return Err(ExecError::Internal("aggregate item in plain projection"))
+                        }
+                    }
+                }
+                rows.push(out);
+            }
+            if stmt.distinct {
+                // In-place first-occurrence dedup: `rows[..uniq]` holds
+                // exactly the rows the interpreter's `seen` list holds.
+                let mut uniq = 0;
+                for i in 0..rows.len() {
+                    if rows[..uniq].contains(&rows[i]) {
+                        continue;
+                    }
+                    rows.swap(uniq, i);
+                    uniq += 1;
+                }
+                rows.truncate(uniq);
+            }
+            Ok(QueryResult { columns, rows, highlighted: vec![] })
+        })()
+    };
+    kern.put_rows(kept);
+    res
+}
+
+fn exec_grouped_c(
+    stmt: &SelectStmt,
+    plan: &Plan,
+    table: &Table,
+    kept: &[usize],
+    gci: usize,
+    hl: &mut Vec<(usize, usize)>,
+) -> Result<QueryResult, ExecError> {
+    // Group in first-occurrence order.
+    let mut groups: Vec<(&Value, Vec<usize>)> = Vec::new();
+    for &ri in kept {
+        let key = table.cell(ri, gci).unwrap_or(&Value::Null);
+        hl.push((ri, gci));
+        match groups.iter_mut().find(|(k, _)| k.loosely_equals(key)) {
+            Some((_, members)) => members.push(ri),
+            None => groups.push((key, vec![ri])),
+        }
+    }
+    let mut columns = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        columns.push(item.to_string());
+    }
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key, members) in &groups {
+        let mut out = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
+            match item {
+                CItem::Expr(CExpr::Col(ci)) if *ci == gci => {
+                    out.push((*key).clone());
+                }
+                CItem::Expr(e) => {
+                    let v = members
+                        .first()
+                        .map(|&ri| eval_expr_c(e, table, ri, hl))
+                        .transpose()?
+                        .map(Cow::into_owned)
+                        .unwrap_or(Value::Null);
+                    out.push(v);
+                }
+                CItem::Agg { func, arg, distinct } => {
+                    out.push(eval_aggregate_c(*func, arg.as_ref(), *distinct, table, members, hl)?);
+                }
+                CItem::Star => return Err(ExecError::UnknownColumn("* in group by".into())),
+            }
+        }
+        rows.push(out);
+    }
+    if let Some(n) = stmt.limit {
+        rows.truncate(n);
+    }
+    Ok(QueryResult { columns, rows, highlighted: vec![] })
+}
+
+fn eval_expr_c<'t>(
+    e: &'t CExpr,
+    table: &'t Table,
+    row: usize,
+    hl: &mut Vec<(usize, usize)>,
+) -> Result<Cow<'t, Value>, ExecError> {
+    match e {
+        CExpr::Col(ci) => {
+            hl.push((row, *ci));
+            Ok(match table.cell(row, *ci) {
+                Some(v) => Cow::Borrowed(v),
+                None => Cow::Owned(Value::Null),
+            })
+        }
+        CExpr::Lit(v) => Ok(Cow::Borrowed(v)),
+        CExpr::Binary { op, lhs, rhs } => {
+            let a = eval_expr_c(lhs, table, row, hl)?;
+            let b = eval_expr_c(rhs, table, row, hl)?;
+            let (Some(x), Some(y)) = (a.as_number(), b.as_number()) else {
+                return Ok(Cow::Owned(Value::Null));
+            };
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Err(ExecError::DivisionByZero);
+                    }
+                    x / y
+                }
+            };
+            Ok(Cow::Owned(Value::number(r)))
+        }
+    }
+}
+
+fn eval_cond_c(
+    c: &CCond,
+    table: &Table,
+    row: usize,
+    hl: &mut Vec<(usize, usize)>,
+) -> Result<bool, ExecError> {
+    match c {
+        CCond::Compare { op, lhs, rhs } => {
+            let a = eval_expr_c(lhs, table, row, hl)?;
+            let b = eval_expr_c(rhs, table, row, hl)?;
+            if a.is_null() || b.is_null() {
+                return Ok(false); // SQL three-valued logic: NULL compares false
+            }
+            Ok(match op {
+                CmpOp::Eq => a.loosely_equals(&b),
+                CmpOp::NotEq => !a.loosely_equals(&b),
+                CmpOp::Lt => compare_lt(&a, &b),
+                CmpOp::Gt => compare_lt(&b, &a),
+                CmpOp::LtEq => !compare_lt(&b, &a),
+                CmpOp::GtEq => !compare_lt(&a, &b),
+            })
+        }
+        CCond::And(x, y) => Ok(eval_cond_c(x, table, row, hl)? && eval_cond_c(y, table, row, hl)?),
+        CCond::Or(x, y) => Ok(eval_cond_c(x, table, row, hl)? || eval_cond_c(y, table, row, hl)?),
+    }
+}
+
+fn eval_aggregate_c(
+    func: AggFunc,
+    arg: Option<&CExpr>,
+    distinct: bool,
+    table: &Table,
+    rows: &[usize],
+    hl: &mut Vec<(usize, usize)>,
+) -> Result<Value, ExecError> {
+    // COUNT(*) counts rows.
+    let Some(arg) = arg else {
+        return Ok(Value::Number(rows.len() as f64));
+    };
+    let mut values: Vec<Cow<'_, Value>> = Vec::with_capacity(rows.len());
+    for &ri in rows {
+        let v = eval_expr_c(arg, table, ri, hl)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut uniq: Vec<Cow<'_, Value>> = Vec::new();
+        for v in values {
+            if !uniq.iter().any(|u| u.as_ref().loosely_equals(v.as_ref())) {
+                uniq.push(v);
+            }
+        }
+        values = uniq;
+    }
+    match func {
+        AggFunc::Count => Ok(Value::Number(values.len() as f64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            // Sequential accumulation in values order — the same fold as
+            // collecting the numbers and `iter().sum()`.
+            let mut n = 0usize;
+            let mut s = 0.0f64;
+            for v in &values {
+                if let Some(x) = v.as_number() {
+                    s += x;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                return Ok(Value::Null);
+            }
+            Ok(Value::number(if func == AggFunc::Sum { s } else { s / n as f64 }))
+        }
+        // `Iterator::min` keeps the first of equal elements and
+        // `Iterator::max` the last, over refs exactly as over owned values.
+        AggFunc::Min => Ok(values.iter().map(|c| c.as_ref()).min().cloned().unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(values.iter().map(|c| c.as_ref()).max().cloned().unwrap_or(Value::Null)),
+    }
 }
 
 fn exec_grouped(
@@ -452,7 +916,7 @@ mod tests {
                 vec!["Energy", "12", "700", "1977-08-04"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
     }
 
     #[test]

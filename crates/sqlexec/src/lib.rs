@@ -30,6 +30,8 @@ pub use ast::{
     AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, OrderDir, PlaceholderType, SelectItem,
     SelectStmt,
 };
-pub use exec::{denotation_string, execute, run_sql, ExecError, QueryResult};
+pub use exec::{
+    denotation_string, execute, execute_in, execute_in_with, run_sql, ExecError, QueryResult,
+};
 pub use parser::{parse, ParseError};
 pub use template::{abstract_query, SqlInstantiateError, SqlScratch, SqlTemplate};

@@ -64,6 +64,9 @@ pub struct SqlScratch {
     available: Vec<usize>,
     assignment: FxHashMap<usize, usize>,
     values: FxHashMap<usize, Value>,
+    /// Kernel buffers shared with the compiled executor (row views,
+    /// highlight accumulation) so per-sample execution stops allocating.
+    pub kern: tabular::KernelScratch,
 }
 
 impl SqlTemplate {
@@ -162,7 +165,7 @@ impl SqlTemplate {
         rng: &mut impl Rng,
         scratch: &mut SqlScratch,
     ) -> Result<SelectStmt, SqlInstantiateError> {
-        let SqlScratch { holes, available, assignment, values } = scratch;
+        let SqlScratch { holes, available, assignment, values, kern: _ } = scratch;
         self.column_holes_into(holes);
         // Assign typed holes first so an untyped hole cannot steal the only
         // column satisfying a type constraint.
@@ -460,7 +463,7 @@ mod tests {
                 vec!["gamma", "kyiv", "17", "1999-12-31"],
             ],
         )
-        .unwrap()
+        .unwrap_or_else(|e| panic!("test table: {e}"))
     }
 
     #[test]

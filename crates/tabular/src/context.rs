@@ -59,10 +59,21 @@ pub struct ExecContext {
     /// Distinct text cells in row-major scan order (the perturbation pool
     /// for refuted-claim synthesis).
     text_pool: Vec<String>,
+    /// ASCII-lowercased counterpart of `text_pool`, index-aligned — lets
+    /// case-insensitive pool filters fold the needle once and byte-compare.
+    text_pool_folded: Vec<String>,
     /// Census of inferred column types, indexed by [`ColumnType`] in
     /// declaration order (Number, Date, Bool, Text) — the table-side input
     /// to `SchemaRequirement::satisfied_by`.
     type_counts: [usize; 4],
+    /// Per column: how many cells are `Value::Number`. A column is
+    /// kernel-eligible for `Value`-ordered batched ops exactly when every
+    /// non-null cell is a number (see [`ExecContext::all_number`]).
+    number_cells: Vec<usize>,
+    /// Per column: `(row, ASCII-lowercased text)` for every `Value::Text`
+    /// cell, in row order — the pre-case-folded pool behind the batched
+    /// text-equality filter kernels.
+    folded: Vec<Vec<(usize, String)>>,
 }
 
 fn type_index(ty: ColumnType) -> usize {
@@ -89,14 +100,23 @@ impl ExecContext {
         let n_cols = table.n_cols();
         let mut non_null = Vec::with_capacity(n_cols);
         let mut numeric = Vec::with_capacity(n_cols);
+        let mut number_cells = Vec::with_capacity(n_cols);
+        let mut folded = Vec::with_capacity(n_cols);
         let mut grid = vec![None; n_rows * n_cols];
         for ci in 0..n_cols {
             let mut vals = Vec::new();
             let mut nums = Vec::new();
+            let mut numbers = 0usize;
+            let mut lowers: Vec<(usize, String)> = Vec::new();
             for ri in 0..n_rows {
                 let Some(v) = table.cell(ri, ci) else { continue };
                 if !v.is_null() {
                     vals.push(v.clone());
+                }
+                match v {
+                    Value::Number(_) => numbers += 1,
+                    Value::Text(t) => lowers.push((ri, t.to_ascii_lowercase())),
+                    _ => {}
                 }
                 if let Some(n) = v.as_number() {
                     grid[ri * n_cols + ci] = Some(n);
@@ -105,6 +125,8 @@ impl ExecContext {
             }
             non_null.push(vals);
             numeric.push(nums);
+            number_cells.push(numbers);
+            folded.push(lowers);
         }
 
         let numeric_cols = table.schema().columns_of_type(ColumnType::Number);
@@ -142,6 +164,7 @@ impl ExecContext {
                 }
             }
         }
+        let text_pool_folded = text_pool.iter().map(|t| t.to_ascii_lowercase()).collect();
 
         ExecContext {
             n_rows,
@@ -154,7 +177,10 @@ impl ExecContext {
             name_lower,
             addressable,
             text_pool,
+            text_pool_folded,
             type_counts,
+            number_cells,
+            folded,
         }
     }
 
@@ -182,6 +208,11 @@ impl ExecContext {
             if !v.is_null() {
                 ctx.non_null[ci].push(v.clone());
             }
+            match v {
+                Value::Number(_) => ctx.number_cells[ci] += 1,
+                Value::Text(t) => ctx.folded[ci].push((ri, t.to_ascii_lowercase())),
+                _ => {}
+            }
             if let Some(n) = v.as_number() {
                 ctx.grid[ri * ctx.n_cols + ci] = Some(n);
                 ctx.numeric[ci].push((ri, n));
@@ -200,6 +231,7 @@ impl ExecContext {
             if let Value::Text(t) = v {
                 if !ctx.text_pool.contains(t) {
                     ctx.text_pool.push(t.clone());
+                    ctx.text_pool_folded.push(t.to_ascii_lowercase());
                 }
             }
         }
@@ -224,6 +256,8 @@ impl ExecContext {
         let shift = |ri: usize| if ri > removed { ri - 1 } else { ri };
         let mut non_null = Vec::with_capacity(self.n_cols);
         let mut numeric = Vec::with_capacity(self.n_cols);
+        let mut number_cells = Vec::with_capacity(self.n_cols);
+        let mut folded = Vec::with_capacity(self.n_cols);
         for ci in 0..self.n_cols {
             let mut vals = self.non_null[ci].clone();
             if original.cell(removed, ci).is_some_and(|v| !v.is_null()) {
@@ -243,6 +277,16 @@ impl ExecContext {
                     .map(|&(ri, n)| (shift(ri), n))
                     .collect(),
             );
+            let removed_number =
+                original.cell(removed, ci).is_some_and(|v| matches!(v, Value::Number(_)));
+            number_cells.push(self.number_cells[ci] - usize::from(removed_number));
+            folded.push(
+                self.folded[ci]
+                    .iter()
+                    .filter(|&&(ri, _)| ri != removed)
+                    .map(|(ri, t)| (shift(*ri), t.clone()))
+                    .collect(),
+            );
         }
         let mut grid = self.grid.clone();
         grid.drain(removed * self.n_cols..(removed + 1) * self.n_cols);
@@ -258,7 +302,7 @@ impl ExecContext {
         // first-occurrence order) if the row itself held text.
         let row_had_text =
             original.row(removed).is_some_and(|r| r.iter().any(|v| matches!(v, Value::Text(_))));
-        let text_pool = if row_had_text {
+        let (text_pool, text_pool_folded) = if row_had_text {
             let mut pool: Vec<String> = Vec::new();
             for row in sub.rows() {
                 for v in row {
@@ -269,9 +313,10 @@ impl ExecContext {
                     }
                 }
             }
-            pool
+            let pool_folded = pool.iter().map(|t| t.to_ascii_lowercase()).collect();
+            (pool, pool_folded)
         } else {
-            self.text_pool.clone()
+            (self.text_pool.clone(), self.text_pool_folded.clone())
         };
         ExecContext {
             n_rows: self.n_rows - 1,
@@ -284,7 +329,10 @@ impl ExecContext {
             name_lower,
             addressable,
             text_pool,
+            text_pool_folded,
             type_counts: self.type_counts,
+            number_cells,
+            folded,
         }
     }
 
@@ -341,6 +389,29 @@ impl ExecContext {
     /// Distinct text cells in row-major order.
     pub fn text_pool(&self) -> &[String] {
         &self.text_pool
+    }
+
+    /// ASCII-lowercased counterpart of [`ExecContext::text_pool`],
+    /// index-aligned.
+    pub fn text_pool_folded(&self) -> &[String] {
+        &self.text_pool_folded
+    }
+
+    /// Whether every non-null cell of the column is a `Value::Number` (and
+    /// there is at least one) — the eligibility gate for batched kernels
+    /// whose per-cell counterpart orders or equates whole `Value`s.
+    pub fn all_number(&self, col: usize) -> bool {
+        match (self.number_cells.get(col), self.non_null.get(col)) {
+            (Some(&numbers), Some(vals)) => numbers > 0 && numbers == vals.len(),
+            _ => false,
+        }
+    }
+
+    /// `(row, ASCII-lowercased text)` for every text cell of the column, in
+    /// row order — the pre-folded pool behind batched text-equality
+    /// filters.
+    pub fn folded_text(&self, col: usize) -> &[(usize, String)] {
+        self.folded.get(col).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// How many columns schema inference assigned the given type.

@@ -24,15 +24,19 @@
 
 pub mod context;
 pub mod io;
+pub mod kernels;
 pub mod requirement;
 pub mod schema;
+pub mod shared;
 pub mod table;
 pub mod text;
 pub mod value;
 
 pub use context::ExecContext;
 pub use io::{table_from_csv, table_to_csv, CsvError};
+pub use kernels::KernelScratch;
 pub use requirement::{SchemaRequirement, TemplateAnalysis, TemplateIssue};
 pub use schema::{infer_column_type, Column, ColumnType, Schema};
+pub use shared::SharedTable;
 pub use table::{Table, TableBuilder, TableError};
 pub use value::{format_number, nearly_equal, Date, Value};

@@ -1,0 +1,145 @@
+//! Cheaply clonable shared table handle.
+//!
+//! Accepted samples carry their table evidence around the pipeline, the
+//! operators and the models. Storing a [`Table`] by value made every
+//! accepted sample deep-copy its table (hundreds of `String` allocations on
+//! wide zoo tables); [`SharedTable`] wraps the table in an [`Arc`] so a
+//! sample costs one reference-count bump instead. The wrapper is
+//! transparent on purpose: `Deref<Target = Table>`, `Debug`/`PartialEq`/
+//! serde all delegate to the inner table, so fixed-seed golden digests
+//! (FNV over `Debug`) and JSON round-trips are byte-identical to the
+//! by-value representation.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A reference-counted, immutable table handle. Clones are O(1).
+#[derive(Clone)]
+pub struct SharedTable(Arc<Table>);
+
+impl SharedTable {
+    /// Wraps a table. The table becomes immutable behind the handle; build
+    /// a new `Table` (and wrap it) to "modify" one.
+    pub fn new(table: Table) -> SharedTable {
+        SharedTable(Arc::new(table))
+    }
+
+    /// The wrapped table.
+    pub fn as_table(&self) -> &Table {
+        &self.0
+    }
+
+    /// Extracts the inner table, cloning only when the handle is shared.
+    pub fn into_table(self) -> Table {
+        Arc::try_unwrap(self.0).unwrap_or_else(|arc| (*arc).clone())
+    }
+}
+
+impl Deref for SharedTable {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        &self.0
+    }
+}
+
+impl AsRef<Table> for SharedTable {
+    fn as_ref(&self) -> &Table {
+        &self.0
+    }
+}
+
+impl From<Table> for SharedTable {
+    fn from(table: Table) -> SharedTable {
+        SharedTable::new(table)
+    }
+}
+
+impl From<SharedTable> for Table {
+    fn from(shared: SharedTable) -> Table {
+        shared.into_table()
+    }
+}
+
+// Debug must render exactly like `Table` — the golden pipeline digests hash
+// the `Debug` of whole samples.
+impl fmt::Debug for SharedTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl fmt::Display for SharedTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&*self.0, f)
+    }
+}
+
+impl PartialEq for SharedTable {
+    fn eq(&self, other: &SharedTable) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl PartialEq<Table> for SharedTable {
+    fn eq(&self, other: &Table) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl Serialize for SharedTable {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for SharedTable {
+    fn from_value(v: &serde::Value) -> Result<SharedTable, serde::Error> {
+        Table::from_value(v).map(SharedTable::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"], vec!["y", "2"]])
+            .unwrap_or_else(|e| panic!("test table: {e}"))
+    }
+
+    #[test]
+    fn debug_matches_inner_table() {
+        let t = table();
+        let shared = SharedTable::new(t.clone());
+        assert_eq!(format!("{shared:?}"), format!("{t:?}"));
+    }
+
+    #[test]
+    fn serde_round_trip_matches_table_json() -> Result<(), serde_json::Error> {
+        let t = table();
+        let shared = SharedTable::new(t.clone());
+        assert_eq!(serde_json::to_string(&shared)?, serde_json::to_string(&t)?);
+        let back: SharedTable = serde_json::from_str(&serde_json::to_string(&t)?)?;
+        assert_eq!(back, t);
+        Ok(())
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let shared = SharedTable::new(table());
+        let copy = shared.clone();
+        assert!(Arc::ptr_eq(&shared.0, &copy.0));
+        assert_eq!(shared, copy);
+    }
+
+    #[test]
+    fn into_table_unwraps_without_clone_when_unique() {
+        let t = table();
+        let shared = SharedTable::new(t.clone());
+        assert_eq!(shared.into_table(), t);
+    }
+}

@@ -40,21 +40,22 @@ impl Date {
     pub fn parse(s: &str) -> Option<Date> {
         let s = s.trim();
         for sep in ['-', '/'] {
-            let parts: Vec<&str> = s.split(sep).collect();
-            if parts.len() == 3 {
-                let y = parts[0].parse::<i32>().ok()?;
-                let m = parts[1].parse::<u8>().ok()?;
-                let d = parts[2].parse::<u8>().ok()?;
+            let mut parts = s.split(sep);
+            let (a, b, c) = (parts.next(), parts.next(), parts.next());
+            if let (Some(a), Some(b), Some(c), None) = (a, b, c, parts.next()) {
+                let y = a.parse::<i32>().ok()?;
+                let m = b.parse::<u8>().ok()?;
+                let d = c.parse::<u8>().ok()?;
                 return Date::new(y, m, d);
             }
         }
-        // "January 5, 1999"
-        let cleaned = s.replace(',', " ");
-        let toks: Vec<&str> = cleaned.split_whitespace().collect();
-        if toks.len() == 3 {
-            let m = month_from_name(toks[0])?;
-            let d = toks[1].parse::<u8>().ok()?;
-            let y = toks[2].parse::<i32>().ok()?;
+        // "January 5, 1999": tokens separated by commas and/or whitespace.
+        let mut toks = s.split(|c: char| c == ',' || c.is_whitespace()).filter(|t| !t.is_empty());
+        let (a, b, c) = (toks.next(), toks.next(), toks.next());
+        if let (Some(a), Some(b), Some(c), None) = (a, b, c, toks.next()) {
+            let m = month_from_name(a)?;
+            let d = b.parse::<u8>().ok()?;
+            let y = c.parse::<i32>().ok()?;
             return Date::new(y, m, d);
         }
         None
@@ -170,10 +171,12 @@ impl Value {
         if let Some(d) = Date::parse(s) {
             return Value::Date(d);
         }
-        match s.to_ascii_lowercase().as_str() {
-            "true" | "yes" => Value::Bool(true),
-            "false" | "no" => Value::Bool(false),
-            _ => Value::Text(s.to_string()),
+        if s.eq_ignore_ascii_case("true") || s.eq_ignore_ascii_case("yes") {
+            Value::Bool(true)
+        } else if s.eq_ignore_ascii_case("false") || s.eq_ignore_ascii_case("no") {
+            Value::Bool(false)
+        } else {
+            Value::Text(s.to_string())
         }
     }
 
@@ -242,6 +245,16 @@ pub fn nearly_equal(a: f64, b: f64) -> bool {
 }
 
 fn parse_numeric(s: &str) -> Option<f64> {
+    // Fast path: no financial punctuation to strip, parse the slice as-is
+    // (same result as the scrubbing path below, which would copy the
+    // string unchanged).
+    if !s.contains([',', '$', '%', '(']) {
+        let t = s.trim();
+        if t.is_empty() {
+            return None;
+        }
+        return t.parse::<f64>().ok().filter(|x| x.is_finite());
+    }
     let mut cleaned = s.replace([',', '$', '%'], "");
     let mut negative = false;
     // Financial negatives: "(1,234)".
@@ -309,6 +322,10 @@ impl fmt::Display for Value {
         match self {
             Value::Null => write!(f, ""),
             Value::Bool(b) => write!(f, "{b}"),
+            // Inline the integer fast path of `format_number` so Display
+            // (the verbalization hot path) allocates nothing for the
+            // common whole-number case.
+            Value::Number(n) if n.fract() == 0.0 && n.abs() < 1e15 => write!(f, "{}", *n as i64),
             Value::Number(n) => write!(f, "{}", format_number(*n)),
             Value::Date(d) => write!(f, "{d}"),
             Value::Text(s) => write!(f, "{s}"),

@@ -8,6 +8,7 @@
 //! of the row is recoverable from the sentence.
 
 use rand::Rng;
+use std::fmt::Write as _;
 use tabular::{ColumnType, Table, Value};
 
 /// Index of the column that names the row's entity: the first text column,
@@ -16,47 +17,101 @@ pub fn entity_column(table: &Table) -> usize {
     table.schema().columns().iter().position(|c| c.ty == ColumnType::Text).unwrap_or(0)
 }
 
+/// Reusable buffers for the streaming Table-To-Text entry points
+/// ([`describe_row_with`], [`is_faithful_with`], [`table_to_text_with`]).
+/// One per worker, reused across samples.
+#[derive(Debug, Clone, Default)]
+pub struct TextScratch {
+    facts: String,
+    lower: String,
+    cell: String,
+    cell_lower: String,
+    keep: Vec<usize>,
+}
+
 /// Verbalizes a row into a sentence ("Defense has a total deputies of 42
 /// and a budget of 9000.").
 pub fn describe_row(table: &Table, row: usize, rng: &mut impl Rng) -> Option<String> {
-    let cells = table.row(row)?;
+    let mut out = String::new();
+    describe_row_with(table, row, rng, &mut TextScratch::default(), &mut out).then_some(out)
+}
+
+/// [`describe_row`] through caller-owned buffers: the sentence is written
+/// into `out` (cleared first) and `true` is returned, or `false` when the
+/// row cannot be verbalized. Draw-for-draw identical to [`describe_row`].
+pub fn describe_row_with(
+    table: &Table,
+    row: usize,
+    rng: &mut impl Rng,
+    scratch: &mut TextScratch,
+    out: &mut String,
+) -> bool {
+    let Some(cells) = table.row(row) else { return false };
     let ecol = entity_column(table);
-    let entity = cells.get(ecol).filter(|v| !v.is_null())?.to_string();
-    let mut facts: Vec<String> = Vec::new();
+    let Some(entity) = cells.get(ecol).filter(|v| !v.is_null()) else { return false };
+    // Stream the facts ", "-separated, remembering the final separator so
+    // it can be widened to " and " afterwards — same surface text as the
+    // old join-then-format construction.
+    let facts = &mut scratch.facts;
+    facts.clear();
+    let mut n_facts = 0usize;
+    let mut last_sep = 0usize;
     for (ci, v) in cells.iter().enumerate() {
         if ci == ecol || v.is_null() {
             continue;
         }
-        let col = table.column_name(ci)?;
-        facts.push(match rng.gen_range(0..3) {
-            0 => format!("a {col} of {v}"),
-            1 => format!("a recorded {col} of {v}"),
-            _ => format!("{col} equal to {v}"),
-        });
+        let Some(col) = table.column_name(ci) else { return false };
+        if n_facts > 0 {
+            last_sep = facts.len();
+            facts.push_str(", ");
+        }
+        let _ = match rng.gen_range(0..3) {
+            0 => write!(facts, "a {col} of {v}"),
+            1 => write!(facts, "a recorded {col} of {v}"),
+            _ => write!(facts, "{col} equal to {v}"),
+        };
+        n_facts += 1;
     }
-    if facts.is_empty() {
-        return None;
+    if n_facts == 0 {
+        return false;
     }
-    let joined = match (facts.pop(), facts.is_empty()) {
-        (None, _) => return None,
-        (Some(only), true) => only,
-        (Some(last), false) => format!("{} and {}", facts.join(", "), last),
+    if n_facts > 1 {
+        facts.replace_range(last_sep..last_sep + 2, " and ");
+    }
+    out.clear();
+    let _ = match rng.gen_range(0..2) {
+        0 => write!(out, "{entity} has {facts}."),
+        _ => write!(out, "In {}, {entity} has {facts}.", table.title),
     };
-    let frame = match rng.gen_range(0..2) {
-        0 => format!("{entity} has {joined}."),
-        _ => format!("In {}, {entity} has {joined}.", table.title),
-    };
-    Some(frame)
+    true
 }
 
 /// The faithfulness filter: true when every non-null cell value of `row`
 /// appears in `sentence` (so no table information was lost by generation).
 pub fn is_faithful(table: &Table, row: usize, sentence: &str) -> bool {
+    is_faithful_with(table, row, sentence, &mut TextScratch::default())
+}
+
+/// [`is_faithful`] through caller-owned buffers (no per-call allocation).
+pub fn is_faithful_with(
+    table: &Table,
+    row: usize,
+    sentence: &str,
+    scratch: &mut TextScratch,
+) -> bool {
     let Some(cells) = table.row(row) else { return false };
-    let lower = sentence.to_lowercase();
+    let TextScratch { lower, cell, cell_lower, .. } = scratch;
+    lower.clear();
+    lower.extend(sentence.chars().flat_map(char::to_lowercase));
     cells.iter().all(|v| match v {
         Value::Null => true,
-        other => lower.contains(&other.to_string().to_lowercase()),
+        other => {
+            cell.clear();
+            let _ = write!(cell, "{other}");
+            cell_lower.clear();
+            cell_lower.extend(cell.chars().flat_map(char::to_lowercase));
+            lower.contains(cell_lower.as_str())
+        }
     })
 }
 
@@ -79,17 +134,34 @@ pub fn table_to_text(
     highlight_row: usize,
     rng: &mut impl Rng,
 ) -> Option<SplitResult> {
+    table_to_text_with(table, highlight_row, rng, &mut TextScratch::default())
+}
+
+/// [`table_to_text`] through caller-owned buffers. The returned
+/// [`SplitResult`] still owns its strings (they outlive the scratch), but
+/// all intermediate fact/lowercase/index buffers come from `scratch`.
+pub fn table_to_text_with(
+    table: &Table,
+    highlight_row: usize,
+    rng: &mut impl Rng,
+    scratch: &mut TextScratch,
+) -> Option<SplitResult> {
     if table.n_rows() < 2 {
         return None; // splitting a 1-row table leaves no table evidence
     }
-    let sentence = describe_row(table, highlight_row, rng)?;
-    if !is_faithful(table, highlight_row, &sentence) {
+    let mut sentence = String::new();
+    if !describe_row_with(table, highlight_row, rng, scratch, &mut sentence) {
+        return None;
+    }
+    if !is_faithful_with(table, highlight_row, &sentence, scratch) {
         return None;
     }
     let ecol = entity_column(table);
     let entity = table.cell(highlight_row, ecol)?.to_string();
-    let keep: Vec<usize> = (0..table.n_rows()).filter(|&r| r != highlight_row).collect();
-    let sub_table = table.select_rows(&keep);
+    let keep = &mut scratch.keep;
+    keep.clear();
+    keep.extend((0..table.n_rows()).filter(|&r| r != highlight_row));
+    let sub_table = table.select_rows(keep);
     Some(SplitResult { sub_table, sentence, entity })
 }
 

@@ -96,7 +96,7 @@ fn one_sample(
                 None => (EvidenceType::TableOnly, Vec::new()),
             };
             Some(Sample {
-                table: table.clone(),
+                table: table.clone().into(),
                 context,
                 text,
                 label: Label::Answer(value),
@@ -130,7 +130,7 @@ fn one_sample(
                 None => (EvidenceType::TableOnly, Vec::new()),
             };
             Some(Sample {
-                table: table.clone(),
+                table: table.clone().into(),
                 context,
                 text,
                 label: Label::Verdict(verdict),
@@ -159,7 +159,7 @@ fn text_sample(table: &Table, config: &MqaQgConfig, rng: &mut StdRng) -> Option<
     let empty = Table::from_strings(&table.title, &[vec![]]).ok()?;
     match config.task {
         TaskKind::QuestionAnswering => Some(Sample {
-            table: empty,
+            table: empty.clone().into(),
             context: vec![sentence],
             text: format!("What is the {col_name} of {entity}?"),
             label: Label::Answer(value),
@@ -182,7 +182,7 @@ fn text_sample(table: &Table, config: &MqaQgConfig, rng: &mut StdRng) -> Option<
                 (alternatives.choose(rng)?.clone(), Verdict::Refuted)
             };
             Some(Sample {
-                table: empty,
+                table: empty.clone().into(),
                 context: vec![sentence],
                 text: format!("{entity} has a {col_name} of {claim_value}."),
                 label: Label::Verdict(verdict),
@@ -207,7 +207,7 @@ mod tests {
         )
         .unwrap_or_else(|e| panic!("test table: {e:?}"));
         vec![TableWithContext {
-            table: t,
+            table: t.into(),
             paragraph: Some("The Reds were founded in 1910 in Oslo.".to_string()),
             topic: "sports".into(),
         }]

@@ -29,8 +29,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tabular::{ExecContext, Table};
-use textops::{table_to_text, text_to_table};
+use tabular::{ExecContext, SharedTable, Table};
+use textops::{table_to_text_with, text_to_table};
 
 /// Which task the generated data trains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,14 +112,16 @@ impl UctrConfig {
 /// tag (used for the Figure 1 topic-shift experiment).
 #[derive(Debug, Clone)]
 pub struct TableWithContext {
-    pub table: Table,
+    /// The input table, behind a shared handle so every accepted sample
+    /// over it clones a reference count instead of the grid.
+    pub table: SharedTable,
     pub paragraph: Option<String>,
     pub topic: String,
 }
 
 impl TableWithContext {
-    pub fn bare(table: Table) -> TableWithContext {
-        TableWithContext { table, paragraph: None, topic: String::new() }
+    pub fn bare(table: impl Into<SharedTable>) -> TableWithContext {
+        TableWithContext { table: table.into(), paragraph: None, topic: String::new() }
     }
 }
 
@@ -329,9 +331,15 @@ impl UctrPipeline {
             }
         }
         if self.config.text_only {
+            // The (empty) evidence table of a text-only sample depends only
+            // on the input's title: build it once per input and share the
+            // handle across every accepted sample.
+            let empty = Table::from_strings(&table.title, &[vec![]]).ok().map(SharedTable::new);
             for _ in 0..n.div_ceil(2) {
                 tel.source_attempt(Source::TextOnly);
-                if let Some(s) = self.text_only_sample(table, &ctx, rng, tel, scratch) {
+                if let Some(s) =
+                    self.text_only_sample(table, &ctx, empty.as_ref(), rng, tel, scratch)
+                {
                     push(Source::TextOnly, s, out);
                 }
             }
@@ -356,6 +364,10 @@ impl UctrPipeline {
                 let expanded_ctx =
                     expanded.as_ref().map(|e| ctx.with_row_appended(table, &e.expanded));
                 let expanded_feasible = expanded_ctx.as_ref().map(|e| self.bank.feasible_set(e));
+                // The evidence context (the paragraph split into sentences)
+                // is likewise deterministic per input: split once, clone per
+                // accepted sample.
+                let context = tabular::text::split_sentences(paragraph);
                 for _ in 0..n {
                     tel.source_attempt(Source::TableExpand);
                     let (Some(expanded), Some(ectx), Some(efs)) =
@@ -364,7 +376,7 @@ impl UctrPipeline {
                         continue;
                     };
                     if let Some(s) =
-                        self.expand_sample(table, paragraph, expanded, ectx, efs, rng, tel, scratch)
+                        self.expand_sample(table, &context, expanded, ectx, efs, rng, tel, scratch)
                     {
                         push(Source::TableExpand, s, out);
                     }
@@ -376,7 +388,7 @@ impl UctrPipeline {
     /// A program executed directly on the table (homogeneous setting).
     fn table_only_sample(
         &self,
-        table: &Table,
+        table: &SharedTable,
         ctx: &ExecContext,
         feasible: &FeasibleSet<'_>,
         rng: &mut StdRng,
@@ -401,7 +413,7 @@ impl UctrPipeline {
     /// row verbalized into a sentence, evidence = sub-table + sentence.
     fn split_sample(
         &self,
-        table: &Table,
+        table: &SharedTable,
         ctx: &ExecContext,
         feasible: &FeasibleSet<'_>,
         rng: &mut StdRng,
@@ -424,12 +436,12 @@ impl UctrPipeline {
             tel.discard(kind, Discard::PostFilter);
             return None;
         };
-        let Some(split) = table_to_text(table, row, rng) else {
+        let Some(split) = table_to_text_with(table, row, rng, &mut scratch.text) else {
             tel.discard(kind, Discard::PostFilter);
             return None;
         };
         Some(Sample {
-            table: split.sub_table,
+            table: split.sub_table.into(),
             context: vec![split.sentence],
             text,
             label,
@@ -442,13 +454,14 @@ impl UctrPipeline {
 
     /// Table expansion (§III-B): integrate a record from the paragraph,
     /// generate on the expanded table, evidence = original table + text.
-    /// The caller performs (and caches) the paragraph integration, since it
-    /// is deterministic per input.
+    /// The caller performs (and caches) the paragraph integration and the
+    /// sentence-split evidence context, since both are deterministic per
+    /// input.
     #[allow(clippy::too_many_arguments)]
     fn expand_sample(
         &self,
-        table: &Table,
-        paragraph: &str,
+        table: &SharedTable,
+        context: &[String],
         expanded: &textops::ExpandResult,
         ectx: &ExecContext,
         efs: &FeasibleSet<'_>,
@@ -467,7 +480,7 @@ impl UctrPipeline {
         }
         Some(Sample {
             table: table.clone(),
-            context: tabular::text::split_sentences(paragraph),
+            context: context.to_vec(),
             text,
             label,
             evidence: EvidenceType::TableText,
@@ -479,16 +492,18 @@ impl UctrPipeline {
 
     /// Text-only sample: a verbalized row with a lookup question (QA) or a
     /// claim about it (verification).
+    #[allow(clippy::too_many_arguments)]
     fn text_only_sample(
         &self,
         table: &Table,
         ctx: &ExecContext,
+        empty: Option<&SharedTable>,
         rng: &mut StdRng,
         tel: &TelemetryBank,
         scratch: &mut GenScratch,
     ) -> Option<Sample> {
         tel.stage(KindSlot::None, Stage::Attempted);
-        let sample = self.text_only_inner(table, ctx, rng, scratch);
+        let sample = self.text_only_inner(table, ctx, empty, rng, scratch);
         if sample.is_none() {
             tel.discard(KindSlot::None, Discard::PostFilter);
         }
@@ -499,12 +514,16 @@ impl UctrPipeline {
         &self,
         table: &Table,
         ctx: &ExecContext,
+        empty: Option<&SharedTable>,
         rng: &mut StdRng,
         scratch: &mut GenScratch,
     ) -> Option<Sample> {
-        let GenScratch { cols, buf, .. } = scratch;
+        let GenScratch { cols, buf, text, .. } = scratch;
         let row = rng.gen_range(0..table.n_rows());
-        let sentence = textops::describe_row(table, row, rng)?;
+        let mut sentence = String::new();
+        if !textops::describe_row_with(table, row, rng, text, &mut sentence) {
+            return None;
+        }
         let ecol = textops::entity_column(table);
         let entity = table.cell(row, ecol).filter(|v| !v.is_null())?.to_string();
         // Pick a non-entity, non-null cell to ask about.
@@ -516,10 +535,10 @@ impl UctrPipeline {
         let &col = cols.choose(rng)?;
         let col_name = table.column_name(col)?.to_string();
         let value = table.cell(row, col)?.to_string();
-        let empty_table = Table::from_strings(&table.title, &[vec![]]).ok()?;
+        let empty_table = empty?;
         match self.config.task {
             TaskKind::QuestionAnswering => Some(Sample {
-                table: empty_table,
+                table: empty_table.clone(),
                 context: vec![sentence],
                 text: format!("What is the {col_name} of {entity}?"),
                 label: Label::Answer(value),
@@ -554,7 +573,7 @@ impl UctrPipeline {
                     }
                 };
                 Some(Sample {
-                    table: empty_table,
+                    table: empty_table.clone(),
                     context: vec![sentence],
                     text: format!("The {col_name} of {entity} is {claim_value}."),
                     label: Label::Verdict(verdict),
@@ -644,7 +663,7 @@ impl UctrPipeline {
         if inst.pre_executed() {
             tel.stage(kind, Stage::Executed);
         } else {
-            match tel.timed(Timer::Execute, || inst.execute(table, ctx)) {
+            match tel.timed(Timer::Execute, || inst.execute(table, ctx, scratch)) {
                 Ok(()) => tel.stage(kind, Stage::Executed),
                 Err(reason) => {
                     tel.discard(kind, reason);
@@ -730,7 +749,7 @@ mod tests {
         .unwrap_or_else(|e| panic!("test table: {e}"));
         vec![
             TableWithContext {
-                table: t1,
+                table: t1.into(),
                 paragraph: Some(
                     "The league expanded recently. Silvers has a city of Rome, a points of 70 and a wins of 19. Attendance rose."
                         .to_string(),
@@ -738,7 +757,7 @@ mod tests {
                 topic: "sports".into(),
             },
             TableWithContext {
-                table: t2,
+                table: t2.into(),
                 paragraph: Some("Margins has a 2019 of 2700 and a 2018 of 2100.".to_string()),
                 topic: "finance".into(),
             },

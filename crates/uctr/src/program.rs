@@ -56,6 +56,17 @@ pub struct GenScratch {
     pub cols: Vec<usize>,
     /// String buffer for cell rendering and comparisons.
     pub buf: String,
+    /// Table-To-Text buffers (row verbalization + faithfulness check).
+    pub text: textops::TextScratch,
+}
+
+/// `Display`-renders into a string sized for typical serialized programs,
+/// avoiding the growth reallocations of `to_string()` on hot paths.
+fn render(d: &impl std::fmt::Display, cap: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(cap);
+    let _ = write!(s, "{d}");
+    s
 }
 
 /// Everything the pipeline carries away from one successful program run.
@@ -119,8 +130,13 @@ pub trait InstantiatedProgram {
 
     /// Executes against the table, storing the result internally. Includes
     /// the paper's §IV-C result filters (empty results / empty answers are
-    /// discards, not successes).
-    fn execute(&mut self, table: &Table, ctx: &ExecContext) -> Result<(), Discard>;
+    /// discards, not successes). Kernel buffers come from `scratch`.
+    fn execute(
+        &mut self,
+        table: &Table,
+        ctx: &ExecContext,
+        scratch: &mut GenScratch,
+    ) -> Result<(), Discard>;
 
     /// Verbalizes the program into a question / claim. Candidate realization
     /// and n-gram scoring run inside `scratch`'s NL buffers.
@@ -172,8 +188,14 @@ impl ProgramTemplate for SqlTemplate {
 }
 
 impl InstantiatedProgram for SqlProgram {
-    fn execute(&mut self, table: &Table, _ctx: &ExecContext) -> Result<(), Discard> {
-        let result = sqlexec::execute(&self.stmt, table).map_err(Discard::from)?;
+    fn execute(
+        &mut self,
+        table: &Table,
+        ctx: &ExecContext,
+        scratch: &mut GenScratch,
+    ) -> Result<(), Discard> {
+        let result = sqlexec::execute_in_with(&self.stmt, table, ctx, &mut scratch.sql.kern)
+            .map_err(Discard::from)?;
         if result.is_empty() {
             // paper §IV-C: discard empty-result programs
             return Err(Discard::EmptyResult);
@@ -214,7 +236,7 @@ impl InstantiatedProgram for SqlProgram {
         };
         ProgramOutput {
             label: Label::Answer(std::mem::take(&mut self.answer)),
-            program: ProgramKind::Sql(self.stmt.to_string()),
+            program: ProgramKind::Sql(render(&self.stmt, 96)),
             answer_kind,
             highlighted: std::mem::take(&mut self.highlighted),
         }
@@ -261,8 +283,14 @@ impl ProgramTemplate for LfTemplate {
 }
 
 impl InstantiatedProgram for LogicProgram {
-    fn execute(&mut self, table: &Table, ctx: &ExecContext) -> Result<(), Discard> {
-        let outcome = logicforms::evaluate_in(&self.expr, table, ctx).map_err(Discard::from)?;
+    fn execute(
+        &mut self,
+        table: &Table,
+        ctx: &ExecContext,
+        scratch: &mut GenScratch,
+    ) -> Result<(), Discard> {
+        let outcome = logicforms::evaluate_with(&self.expr, table, ctx, &mut scratch.lf.kern)
+            .map_err(Discard::from)?;
         self.highlighted = outcome.highlighted;
         Ok(())
     }
@@ -280,7 +308,7 @@ impl InstantiatedProgram for LogicProgram {
         let verdict = if self.truth { Verdict::Supported } else { Verdict::Refuted };
         ProgramOutput {
             label: Label::Verdict(verdict),
-            program: ProgramKind::Logic(self.expr.to_string()),
+            program: ProgramKind::Logic(render(&self.expr, 96)),
             answer_kind: AnswerKind::NotApplicable,
             highlighted: std::mem::take(&mut self.highlighted),
         }
@@ -328,7 +356,12 @@ impl InstantiatedProgram for ArithProgram {
         true
     }
 
-    fn execute(&mut self, _table: &Table, _ctx: &ExecContext) -> Result<(), Discard> {
+    fn execute(
+        &mut self,
+        _table: &Table,
+        _ctx: &ExecContext,
+        _scratch: &mut GenScratch,
+    ) -> Result<(), Discard> {
         Ok(())
     }
 
@@ -343,8 +376,8 @@ impl InstantiatedProgram for ArithProgram {
 
     fn output(&mut self) -> ProgramOutput {
         ProgramOutput {
-            label: Label::Answer(self.outcome.answer.to_string()),
-            program: ProgramKind::Arith(self.program.to_string()),
+            label: Label::Answer(render(&self.outcome.answer, 16)),
+            program: ProgramKind::Arith(render(&self.program, 96)),
             answer_kind: AnswerKind::Arithmetic,
             highlighted: std::mem::take(&mut self.outcome.highlighted),
         }
@@ -416,7 +449,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut inst = instantiate(dyn_tpl, &t, &ctx, &mut rng);
         assert!(!inst.pre_executed());
-        inst.execute(&t, &ctx).unwrap_or_else(|e| panic!("execute: {e:?}"));
+        inst.execute(&t, &ctx, &mut GenScratch::default())
+            .unwrap_or_else(|e| panic!("execute: {e:?}"));
         let text = inst.verbalize(&NlGenerator::new(), &mut rng, &mut GenScratch::default());
         assert!(!text.is_empty());
         let out = inst.output();
@@ -434,7 +468,8 @@ mod tests {
         assert_eq!(dyn_tpl.kind(), KindSlot::Logic);
         let mut rng = StdRng::seed_from_u64(3);
         let mut inst = instantiate(dyn_tpl, &t, &ctx, &mut rng);
-        inst.execute(&t, &ctx).unwrap_or_else(|e| panic!("execute: {e:?}"));
+        inst.execute(&t, &ctx, &mut GenScratch::default())
+            .unwrap_or_else(|e| panic!("execute: {e:?}"));
         let out = inst.output();
         assert!(matches!(out.program, ProgramKind::Logic(_)));
         assert!(out.label.as_verdict().is_some());

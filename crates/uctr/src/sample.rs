@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use tabular::Table;
+use tabular::SharedTable;
 
 /// Fact-verification verdicts (paper §II-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -122,8 +122,10 @@ pub enum AnswerKind {
 /// One reasoning instance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sample {
-    /// Table evidence (possibly a sub-table after splitting).
-    pub table: Table,
+    /// Table evidence (possibly a sub-table after splitting). Shared:
+    /// cloning a sample (or fanning one table out over many samples) bumps
+    /// a reference count instead of deep-copying the grid.
+    pub table: SharedTable,
     /// Context sentences (surrounding text and/or generated sentences).
     pub context: Vec<String>,
     /// The question or claim.
@@ -142,9 +144,13 @@ pub struct Sample {
 
 impl Sample {
     /// A QA sample over a table only.
-    pub fn qa(table: Table, text: impl Into<String>, answer: impl Into<String>) -> Sample {
+    pub fn qa(
+        table: impl Into<SharedTable>,
+        text: impl Into<String>,
+        answer: impl Into<String>,
+    ) -> Sample {
         Sample {
-            table,
+            table: table.into(),
             context: Vec::new(),
             text: text.into(),
             label: Label::Answer(answer.into()),
@@ -156,9 +162,13 @@ impl Sample {
     }
 
     /// A verification sample over a table only.
-    pub fn verification(table: Table, claim: impl Into<String>, verdict: Verdict) -> Sample {
+    pub fn verification(
+        table: impl Into<SharedTable>,
+        claim: impl Into<String>,
+        verdict: Verdict,
+    ) -> Sample {
         Sample {
-            table,
+            table: table.into(),
             context: Vec::new(),
             text: claim.into(),
             label: Label::Verdict(verdict),
@@ -259,6 +269,7 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tabular::Table;
 
     fn t() -> Table {
         Table::from_strings("t", &[vec!["a", "b"], vec!["x", "1"]])

@@ -32,7 +32,7 @@ fn main() {
     // Classic record from the paragraph via Text-To-Table.
     let pipeline = UctrPipeline::new(UctrConfig::verification());
     let inputs = vec![TableWithContext {
-        table: table.clone(),
+        table: table.clone().into(),
         paragraph: Some(paragraph.to_string()),
         topic: "sports".into(),
     }];

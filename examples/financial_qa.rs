@@ -40,14 +40,18 @@ fn main() {
     let pipeline = UctrPipeline::new(UctrConfig::qa());
     let mut rng = StdRng::seed_from_u64(5);
     let mut inputs = vec![TableWithContext {
-        table: table.clone(),
+        table: table.clone().into(),
         paragraph: Some(paragraph.to_string()),
         topic: "finance".into(),
     }];
     for _ in 0..40 {
         let t = corpora::finance_table(&mut rng);
         let p = corpora::surrounding_text(&t, &mut rng);
-        inputs.push(TableWithContext { table: t, paragraph: Some(p), topic: "finance".into() });
+        inputs.push(TableWithContext {
+            table: t.into(),
+            paragraph: Some(p),
+            topic: "finance".into(),
+        });
     }
     let synthetic = pipeline.generate(&inputs);
     println!("Synthesized {} QA samples. A few of them:\n", synthetic.len());

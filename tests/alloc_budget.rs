@@ -1,52 +1,76 @@
 //! Allocation-budget regression test for the generation hot path.
 //!
 //! A counting global allocator measures how many heap allocations one
-//! sequential pipeline run performs per generated sample. The budget below
-//! is a ratchet: it was recorded at ~10% above the measured cost of the
+//! sequential pipeline run performs per generated sample, plus the peak
+//! live-heap growth over the counted window. The count budget below is a
+//! ratchet: it was recorded at ~10% above the measured cost of the
 //! scratch-buffer hot path, so a change that re-introduces per-sample
 //! clones (e.g. rebuilding candidate vectors or `ExecContext` caches
 //! inside the attempt loop) fails here before it shows up as a bench
-//! regression. If you *lowered* the allocation cost, re-record the budget
-//! by running this test with `ALLOC_BUDGET_PRINT=1` and pinning ~10% above
-//! the printed figure.
+//! regression. Peak bytes are reported alongside the count in the failure
+//! message (and under `ALLOC_BUDGET_PRINT=1 ... -- --nocapture`) but are
+//! not gated: peak live heap scales with the retained sample vector, so an
+//! absolute byte ratchet would fire on workload-size tweaks rather than
+//! hot-path regressions. If you *lowered* the allocation cost, re-record
+//! the budget by running this test with `ALLOC_BUDGET_PRINT=1` and pinning
+//! ~10% above the printed figure.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 use nlgen::NoiseConfig;
 use tabular::Table;
 use uctr::{TableWithContext, UctrConfig, UctrPipeline};
 
 /// Maximum allocations per generated sample (see module docs to re-record).
-const MAX_ALLOCS_PER_SAMPLE: u64 = 143; // measured 130/sample, +10%
+const MAX_ALLOCS_PER_SAMPLE: u64 = 48; // measured 44/sample, +10%
 
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Live-heap delta since counting started. Signed: frees of memory that
+/// predates the counted window legitimately drive it negative.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`LIVE_BYTES`] over the counted window.
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
+
+fn track_alloc(bytes: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    track_grow(bytes as i64);
+}
+
+fn track_grow(delta: i64) {
+    let live = LIVE_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            track_alloc(layout.size());
         }
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if COUNTING.load(Ordering::Relaxed) {
+            LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        }
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            track_grow(new_size as i64 - layout.size() as i64);
         }
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            track_alloc(layout.size());
         }
         System.alloc_zeroed(layout)
     }
@@ -79,7 +103,7 @@ fn inputs() -> Vec<TableWithContext> {
     .unwrap_or_else(|e| panic!("test table: {e}"));
     vec![
         TableWithContext {
-            table: teams,
+            table: teams.into(),
             paragraph: Some(
                 "The league expanded recently. Silvers has a city of Rome, a points of 70 \
                  and a wins of 19. Attendance rose."
@@ -88,7 +112,7 @@ fn inputs() -> Vec<TableWithContext> {
             topic: "sports".into(),
         },
         TableWithContext {
-            table: budgets,
+            table: budgets.into(),
             paragraph: Some("Margins has a 2019 of 2700 and a 2018 of 2100.".to_string()),
             topic: "finance".into(),
         },
@@ -107,20 +131,28 @@ fn allocations_per_sample_stay_within_budget() {
     assert!(!warm.is_empty(), "warm-up produced no samples");
 
     ALLOCS.store(0, Ordering::SeqCst);
+    LIVE_BYTES.store(0, Ordering::SeqCst);
+    PEAK_BYTES.store(0, Ordering::SeqCst);
     COUNTING.store(true, Ordering::SeqCst);
     let samples = pipeline.generate(&data);
     COUNTING.store(false, Ordering::SeqCst);
     let allocs = ALLOCS.load(Ordering::SeqCst);
+    let peak = PEAK_BYTES.load(Ordering::SeqCst).max(0) as u64;
 
     let n = samples.len() as u64;
     assert!(n > 0, "counted run produced no samples");
     let per_sample = allocs.div_ceil(n);
+    let peak_per_sample = peak.div_ceil(n);
     if std::env::var_os("ALLOC_BUDGET_PRINT").is_some() {
-        eprintln!("alloc budget: {allocs} allocations / {n} samples = {per_sample} per sample");
+        eprintln!(
+            "alloc budget: {allocs} allocations / {n} samples = {per_sample} per sample, \
+             peak live heap {peak} bytes ({peak_per_sample} bytes/sample)"
+        );
     }
     assert!(
         per_sample <= MAX_ALLOCS_PER_SAMPLE,
         "allocation budget exceeded: {per_sample} allocations per sample \
-         (budget {MAX_ALLOCS_PER_SAMPLE}); see module docs for how to re-record"
+         (budget {MAX_ALLOCS_PER_SAMPLE}), peak live heap {peak} bytes \
+         ({peak_per_sample} bytes/sample); see module docs for how to re-record"
     );
 }

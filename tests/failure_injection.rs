@@ -44,7 +44,7 @@ fn pipeline_skips_degenerate_inputs() {
         TableWithContext::bare(empty_table()),
         TableWithContext::bare(header_only()),
         TableWithContext {
-            table: header_only(),
+            table: header_only().into(),
             paragraph: Some(String::new()),
             topic: String::new(),
         },

@@ -59,7 +59,7 @@ fn inputs() -> Vec<TableWithContext> {
     .unwrap();
     vec![
         TableWithContext {
-            table: teams,
+            table: teams.into(),
             paragraph: Some(
                 "The Sharks were founded on 1990-05-01 and have 12 wins this season. \
                  The Bears lead the league with 15 wins and only 1 loss."
@@ -68,7 +68,7 @@ fn inputs() -> Vec<TableWithContext> {
             topic: "sports".into(),
         },
         TableWithContext {
-            table: budgets,
+            table: budgets.into(),
             paragraph: Some(
                 "Research has a budget of 1200 with 30 staff. \
                  Operations is the largest department with a budget of 2100."
@@ -76,7 +76,7 @@ fn inputs() -> Vec<TableWithContext> {
             ),
             topic: "finance".into(),
         },
-        TableWithContext { table: albums, paragraph: None, topic: "music".into() },
+        TableWithContext { table: albums.into(), paragraph: None, topic: "music".into() },
     ]
 }
 

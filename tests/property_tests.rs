@@ -317,7 +317,7 @@ fn value_parse_display_stable() {
 // ---------------------------------------------------------------------------
 
 /// The pipeline's schema prefilter may skip a `(template, table)` pair only
-/// when `try_instantiate` would fail for EVERY rng stream (DESIGN.md §6's
+/// when `try_instantiate` would fail for EVERY rng stream (DESIGN.md §7's
 /// soundness contract). Pin it: for each builtin template whose
 /// [`uctr::SchemaRequirement`] a table provably fails, instantiation must
 /// fail under 32 distinct seeds.
