@@ -1,0 +1,385 @@
+//! Abstract interpretation of arithmetic templates over the interval
+//! domain.
+//!
+//! [`interpret`] evaluates a template's step list once over
+//! `tabular::absdom`, joining across *all* hole assignments: a cell hole
+//! denotes "any finite cell number" ([`Interval::FINITE`]), a column
+//! aggregation "any aggregate of finite cells", so each step's abstract
+//! value encloses every value the concrete executor (`crate::exec`) can
+//! produce for it on any table. On top of the plain transfer functions the
+//! pass applies one *relational* refinement the interval product domain
+//! cannot see: syntactically identical arguments denote the **same**
+//! concrete value (`AeArg` equality — a repeated `valN` binds to one cell,
+//! a repeated `#N` to one step result), so `subtract(e, e)` is exactly `0`,
+//! `divide(e, e)` is exactly `1` (finite-bounded `e`; a zero value errors
+//! rather than escaping the point), and `greater(e, e)` is always *no*.
+//!
+//! From the final step the pass derives the degeneracy convictions:
+//!
+//! * **A001** — the program's answer is a compile-time constant (point
+//!   interval or constant yes/no), or the program errors on every table
+//!   (empty interval): every generated sample would teach the model a
+//!   tautology.
+//! * **A002** — a dead comparison: a non-final `greater` step whose
+//!   outcome the intervals already decide.
+//!
+//! It also estimates funnel survival (the static discard-cost model): a
+//! per-construct product reflecting which executor error paths
+//! (`DivisionByZero`, non-finite `exp`, `EmptyColumn`) each operator risks,
+//! calibrated against `PipelineReport` counters in the workspace
+//! calibration test.
+
+use crate::ast::{AeArg, AeOp, AeProgram};
+use crate::template::AeTemplate;
+use tabular::absdom::{AbsSummary, Card, Interval, Kleene};
+use tabular::TemplateIssue;
+
+/// The abstract layer [`crate::analysis::analyze`] merges into its
+/// `TemplateAnalysis`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsResult {
+    pub summary: AbsSummary,
+    pub degeneracies: Vec<TemplateIssue>,
+    pub survival: f64,
+}
+
+/// Per-step abstract value: a numeric interval for math/table steps, a
+/// Kleene truth for `greater` steps (numeric component empty — the
+/// executor rejects bool-as-number refs).
+#[derive(Debug, Clone, Copy)]
+struct StepAbs {
+    num: Interval,
+    truth: Kleene,
+}
+
+/// The abstract numeric value of one argument. `None` when the argument is
+/// malformed for this position (callers bail out to the sound default).
+fn arg_interval(arg: &AeArg, steps: &[StepAbs], si: usize) -> Option<Interval> {
+    match arg {
+        AeArg::Const(x) => Some(Interval::point(*x)),
+        // Cell values pass Value::parse's is_finite filter.
+        AeArg::Cell { .. } | AeArg::CellHole(_) => Some(Interval::FINITE),
+        AeArg::StepRef(r) if *r < si => {
+            let s = &steps[*r];
+            // A truth-valued step used as a number is a typechecker issue;
+            // its numeric component is already EMPTY.
+            Some(s.num)
+        }
+        _ => None,
+    }
+}
+
+/// Whether two arguments provably denote the same concrete value on every
+/// instantiation: syntactic identity is enough because a repeated cell
+/// hole index binds to one sampled cell, a repeated `#N` to one step
+/// result, and constants/addressed cells are fixed.
+fn same_value(a: &AeArg, b: &AeArg) -> bool {
+    a == b
+        && matches!(
+            a,
+            AeArg::Const(_) | AeArg::Cell { .. } | AeArg::CellHole(_) | AeArg::StepRef(_)
+        )
+}
+
+fn scalar_step(op: AeOp, a: Interval, b: Interval, identical: bool) -> StepAbs {
+    let never = StepAbs { num: Interval::EMPTY, truth: Kleene::Never };
+    if a.is_empty() || b.is_empty() {
+        return never;
+    }
+    // Identical-argument refinements. They need finite bounds (a step
+    // result can be ±inf, where inf - inf and inf / inf are NaN); the
+    // comparison refinement is exempt because `x > x` is false even for
+    // NaN operands under IEEE ordering.
+    let finite = a.lo.is_finite() && a.hi.is_finite();
+    let num = match op {
+        AeOp::Add => a.add(b),
+        AeOp::Subtract if identical && finite => Interval::point(0.0),
+        AeOp::Subtract => a.sub(b),
+        AeOp::Multiply => a.mul(b),
+        // x / x is exactly 1.0 for finite nonzero x; x == 0 errors, which
+        // produces no value and so stays inside the point abstraction.
+        AeOp::Divide if identical && finite => Interval::point(1.0),
+        AeOp::Divide => a.div(b),
+        AeOp::Exp => a.exp(b),
+        AeOp::Greater => Interval::EMPTY,
+        _ => Interval::TOP,
+    };
+    let truth = if op == AeOp::Greater {
+        // Plain IEEE `a > b`. The always-yes bound needs both sides
+        // NaN-free, which the interval shape encodes: a TOP operand has
+        // lo = -inf / hi = +inf and can never witness `lo > hi`.
+        if identical || a.hi <= b.lo {
+            Kleene::False
+        } else if a.lo > b.hi {
+            Kleene::True
+        } else {
+            Kleene::Unknown
+        }
+    } else {
+        Kleene::Never
+    };
+    StepAbs { num, truth }
+}
+
+fn table_step(op: AeOp, arg: &AeArg) -> StepAbs {
+    let ok = matches!(
+        arg,
+        AeArg::Column(_) | AeArg::ColumnHole(_) | AeArg::Cell { .. } | AeArg::CellHole(_)
+    );
+    if !ok {
+        // invalid-table-op-arg: Uninstantiated on every table.
+        return StepAbs { num: Interval::EMPTY, truth: Kleene::Never };
+    }
+    let num = match op {
+        // Max/min of a non-empty set of finite cells stays finite; sums
+        // (and hence averages) of many finite values can overflow.
+        AeOp::TableMax | AeOp::TableMin => Interval::FINITE,
+        _ => Interval::TOP,
+    };
+    StepAbs { num, truth: Kleene::Never }
+}
+
+/// Funnel-survival factor of one step: which executor error paths it
+/// risks. Constants are fitted against `PipelineReport` acceptance
+/// counters (see the workspace calibration test); the model only has to
+/// *rank* templates and land within a loose band of the measured per-kind
+/// rate.
+fn step_survival(op: AeOp) -> f64 {
+    match op {
+        // b == 0.0 aborts the instantiation attempt.
+        AeOp::Divide => 0.93,
+        // powf overflows to non-finite easily with cell-sized operands.
+        AeOp::Exp => 0.80,
+        // EmptyColumn on all-null / non-numeric columns.
+        op if op.is_table_op() => 0.95,
+        _ => 1.0,
+    }
+}
+
+/// Abstractly interprets a (well-formed) template. See the module docs.
+pub fn interpret(template: &AeTemplate) -> AbsResult {
+    let program = template.program();
+    let mut steps: Vec<StepAbs> = Vec::with_capacity(program.steps.len());
+    let mut degeneracies = Vec::new();
+    let mut survival = survival_base(program);
+
+    for (si, step) in program.steps.iter().enumerate() {
+        let abs = if step.op.is_table_op() {
+            match step.args.first() {
+                Some(arg) if step.args.len() == 1 => table_step(step.op, arg),
+                _ => StepAbs { num: Interval::EMPTY, truth: Kleene::Never },
+            }
+        } else {
+            match step.args.as_slice() {
+                [a, b] => {
+                    let (ia, ib) = match (arg_interval(a, &steps, si), arg_interval(b, &steps, si))
+                    {
+                        (Some(ia), Some(ib)) => (ia, ib),
+                        // Malformed argument (column-as-scalar, dangling
+                        // ref): the typechecker owns the report; the value
+                        // is unreachable.
+                        _ => (Interval::EMPTY, Interval::EMPTY),
+                    };
+                    scalar_step(step.op, ia, ib, same_value(a, b))
+                }
+                _ => StepAbs { num: Interval::EMPTY, truth: Kleene::Never },
+            }
+        };
+        survival *= step_survival(step.op);
+        if step.op == AeOp::Greater && abs.truth.is_constant() && si + 1 < program.steps.len() {
+            degeneracies.push(TemplateIssue::new(
+                "A002",
+                format!("{}@step{si}", step.op),
+                format!(
+                    "comparison is decided statically (always {}); the branch is dead",
+                    if abs.truth == Kleene::True { "yes" } else { "no" }
+                ),
+            ));
+        }
+        steps.push(abs);
+    }
+
+    let last =
+        steps.last().copied().unwrap_or(StepAbs { num: Interval::EMPTY, truth: Kleene::Never });
+    let is_bool = program.steps.last().map(|s| s.op == AeOp::Greater).unwrap_or(false);
+    let final_locus = format!("final@step{}", steps.len().saturating_sub(1));
+    if is_bool {
+        if last.truth.is_constant() {
+            degeneracies.push(TemplateIssue::new(
+                "A001",
+                final_locus.clone(),
+                format!("program's yes/no answer is constant (always {})", last.truth),
+            ));
+        } else if last.truth == Kleene::Never {
+            degeneracies.push(TemplateIssue::new(
+                "A001",
+                final_locus.clone(),
+                "program errors on every table; it can never yield an answer".to_string(),
+            ));
+            survival = 0.0;
+        }
+    } else if !program.steps.is_empty() {
+        if last.num.is_point() {
+            degeneracies.push(TemplateIssue::new(
+                "A001",
+                final_locus.clone(),
+                format!("program's numeric answer is the constant {}", last.num.lo),
+            ));
+        } else if last.num.is_empty() {
+            degeneracies.push(TemplateIssue::new(
+                "A001",
+                final_locus.clone(),
+                "program errors on every table; it can never yield an answer".to_string(),
+            ));
+            survival = 0.0;
+        }
+    }
+
+    let summary = AbsSummary {
+        value: last.num,
+        truth: last.truth,
+        // Arithmetic programs never emit row sets.
+        rows: Card::NEVER,
+    };
+    AbsResult { summary, degeneracies, survival: survival.clamp(0.0, 1.0) }
+}
+
+/// Kind-level base survival: instantiation retries sampling 8 times but
+/// must still find enough addressable numeric cells, and cell-heavy
+/// templates fail on small tables more often.
+fn survival_base(program: &AeProgram) -> f64 {
+    let holes = program
+        .steps
+        .iter()
+        .flat_map(|s| s.args.iter())
+        .filter_map(|a| match a {
+            AeArg::CellHole(i) => Some(*i),
+            _ => None,
+        })
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    0.9 * 0.97f64.powi(holes as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> AeTemplate {
+        AeTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}"))
+    }
+
+    fn run(text: &str) -> AbsResult {
+        interpret(&parse(text))
+    }
+
+    #[test]
+    fn healthy_templates_have_no_convictions() {
+        for t in [
+            "subtract( val1 , val2 ), divide( #0 , val2 )",
+            "table_sum( c1 ) , divide( #0 , 3 )",
+            "greater( val1 , val2 )",
+            "add( val1 , val2 )",
+        ] {
+            let r = run(t);
+            assert!(r.degeneracies.is_empty(), "{t}: {:?}", r.degeneracies);
+            assert!(r.survival > 0.0 && r.survival <= 1.0, "{t}: {}", r.survival);
+        }
+    }
+
+    #[test]
+    fn identical_args_fold_to_constants() {
+        let sub = run("subtract( val1 , val1 )");
+        assert_eq!(sub.summary.value, Interval::point(0.0));
+        assert_eq!(sub.degeneracies.len(), 1);
+        assert_eq!(sub.degeneracies[0].code, "A001");
+
+        let div = run("divide( val1 , val1 )");
+        assert_eq!(div.summary.value, Interval::point(1.0));
+        assert_eq!(div.degeneracies[0].code, "A001");
+
+        let gt = run("greater( val1 , val1 )");
+        assert_eq!(gt.summary.truth, Kleene::False);
+        assert_eq!(gt.degeneracies[0].code, "A001");
+    }
+
+    #[test]
+    fn distinct_holes_are_not_identical() {
+        // val1 and val2 are different cells; nothing constant here.
+        assert!(run("subtract( val1 , val2 )").degeneracies.is_empty());
+    }
+
+    #[test]
+    fn step_ref_identity_needs_finite_bounds() {
+        // #0 can overflow to inf (inf - inf = NaN), so the subtraction
+        // must stay TOP rather than fold to zero.
+        let r = run("multiply( val1 , val2 ) , subtract( #0 , #0 )");
+        assert!(r.summary.value.is_top(), "{}", r.summary.value);
+        assert!(r.degeneracies.is_empty());
+    }
+
+    #[test]
+    fn constant_folding_convicts_const_programs() {
+        let r = run("add( 2 , 3 ) , multiply( #0 , 10 )");
+        assert_eq!(r.summary.value, Interval::point(50.0));
+        assert_eq!(r.degeneracies[0].code, "A001");
+    }
+
+    #[test]
+    fn multiply_by_zero_constant_folds_through_cells() {
+        let r = run("multiply( val1 , 0 )");
+        assert!(r.summary.value.is_point(), "{}", r.summary.value);
+        assert_eq!(r.degeneracies[0].code, "A001");
+    }
+
+    #[test]
+    fn division_by_zero_constant_is_always_error() {
+        let r = run("divide( val1 , 0 )");
+        assert!(r.summary.value.is_empty());
+        assert_eq!(r.degeneracies[0].code, "A001");
+        assert_eq!(r.survival, 0.0);
+    }
+
+    #[test]
+    fn interval_decided_comparison_is_constant() {
+        // count-free arith has no Card bridge, but constants vs cell
+        // bounds still decide: nothing finite exceeds f64::MAX.
+        let r = run("greater( val1 , val2 )");
+        assert_eq!(r.summary.truth, Kleene::Unknown);
+        let decided = run("exp( val1 , 0 ) , greater( #0 , 2 )");
+        assert_eq!(decided.summary.truth, Kleene::False);
+        assert_eq!(decided.degeneracies[0].code, "A001");
+    }
+
+    #[test]
+    fn dead_intermediate_comparison_is_a002() {
+        // A greater step that is not final and is statically decided. Its
+        // result cannot legally be consumed, so the program is also
+        // flagged by the typechecker — absint still reports the dead
+        // branch specifically.
+        use crate::ast::{AeProgram, AeStep};
+        let t = AeTemplate::from_program(AeProgram {
+            steps: vec![
+                AeStep { op: AeOp::Greater, args: vec![AeArg::CellHole(0), AeArg::CellHole(0)] },
+                AeStep { op: AeOp::Add, args: vec![AeArg::CellHole(0), AeArg::Const(1.0)] },
+            ],
+        });
+        let r = interpret(&t);
+        assert!(r.degeneracies.iter().any(|d| d.code == "A002"), "{:?}", r.degeneracies);
+    }
+
+    #[test]
+    fn exp_shapes() {
+        assert_eq!(run("exp( val1 , 0 )").summary.value, Interval::point(1.0));
+        assert_eq!(run("exp( 1 , val1 )").summary.value, Interval::point(1.0));
+        assert!(run("exp( val1 , 2 )").summary.value.is_top());
+    }
+
+    #[test]
+    fn survival_orders_risky_constructs() {
+        let plain = run("add( val1 , val2 )").survival;
+        let divy = run("divide( val1 , val2 )").survival;
+        let expy = run("exp( val1 , val2 )").survival;
+        assert!(plain > divy && divy > expy, "{plain} {divy} {expy}");
+    }
+}

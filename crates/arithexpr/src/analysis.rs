@@ -123,7 +123,26 @@ pub fn analyze(template: &AeTemplate) -> TemplateAnalysis {
         needs_number_column: has_column_hole,
         ..SchemaRequirement::NONE
     };
-    TemplateAnalysis { issues, requirement }
+    if issues.is_empty() {
+        let abs = crate::absint::interpret(template);
+        TemplateAnalysis {
+            issues,
+            requirement,
+            degeneracies: abs.degeneracies,
+            summary: abs.summary,
+            survival: abs.survival,
+        }
+    } else {
+        // Malformed templates never reach a bank; the abstract layer stays
+        // at its sound default and the cost model writes them off.
+        TemplateAnalysis {
+            issues,
+            requirement,
+            degeneracies: Vec::new(),
+            summary: tabular::AbsSummary::TOP,
+            survival: 0.0,
+        }
+    }
 }
 
 #[cfg(test)]

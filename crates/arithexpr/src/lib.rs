@@ -22,6 +22,7 @@
 //! assert_eq!(out.answer.to_string(), "-0.2");
 //! ```
 
+pub mod absint;
 pub mod analysis;
 pub mod ast;
 pub mod exec;

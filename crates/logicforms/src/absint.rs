@@ -1,0 +1,649 @@
+//! Abstract interpretation of logical-form templates over the
+//! `tabular::absdom` lattices.
+//!
+//! [`interpret`] evaluates a template bottom-up, joining across all hole
+//! assignments and tables: a column hole denotes "any (numeric) column", a
+//! value hole "any sampled cell value", `all_rows` "any row set". Each
+//! node's abstract value over-approximates every runtime [`LfValue`] the
+//! evaluator (`crate::exec`) can produce for it — views map to the
+//! cardinality lattice [`Card`], scalars to an interval of possible
+//! `Value::as_number` readings plus a may-be-non-numeric flag, booleans to
+//! [`Kleene`]. Nodes that provably *always* error (a constant ordinal that
+//! is not a positive integer) propagate bottom: evaluation is strict, so
+//! one always-erroring operand kills the whole claim for both truth
+//! targets.
+//!
+//! Two refinements sharpen the product domain:
+//!
+//! * **Shared-subtree identity** — two syntactically identical,
+//!   value-hole-free subtrees evaluate to the same runtime value (column
+//!   holes are fine: a repeated `cN` binds to one column; value holes are
+//!   NOT: `fill_inner_values` samples each occurrence independently with
+//!   per-column used-value exclusion, so repeated `valN` get *distinct*
+//!   values). Hence `eq {{ X ; X }}` is always true, `greater {{ X ; X }}`
+//!   always false (`loosely_equals` is reflexive for every `Value`
+//!   variant, and `num_cmp` collapses the equal pair before comparing).
+//! * **Near-equality collapse** — `num_cmp` turns nearly-equal operands
+//!   into an exact tie before strict comparison, so `greater`/`less` can
+//!   be convicted *false* (disjoint-or-tied intervals stay false under the
+//!   collapse) but never *true*: an interval gap can always hide a
+//!   nearly-equal pair.
+//!
+//! Convictions: **A001** at a root whose Kleene truth is constant (or
+//! bottom: the claim errors everywhere), **A002** for an `and` branch with
+//! statically constant truth or a repeated identical conjunct, **A003**
+//! for a filter that re-applies its direct inner filter verbatim (the
+//! second application keeps every surviving row). The pass also returns
+//! requirement tightenings — a constant ordinal `n` in `nth_max`/`nth_min`
+//! needs one column with ≥ n numeric cells; in `nth_argmax`/`nth_argmin`
+//! it needs ≥ n rows — and the per-construct funnel-survival estimate.
+
+use crate::ast::{LfExpr, LfOp};
+use crate::template::LfTemplate;
+use tabular::absdom::{AbsSummary, Card, Interval, Kleene};
+use tabular::{nearly_equal, TemplateIssue, Value};
+
+/// The abstract layer [`crate::analysis::analyze`] merges into its
+/// `TemplateAnalysis`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsResult {
+    pub summary: AbsSummary,
+    pub degeneracies: Vec<TemplateIssue>,
+    pub survival: f64,
+    /// Some single column must hold at least this many numeric cells.
+    pub min_col_numeric_values: usize,
+    /// The table must hold at least this many rows.
+    pub min_rows: usize,
+}
+
+/// Abstract scalar: the interval of possible `Value::as_number` readings
+/// plus whether a reading-less value (text, null) is possible. The pair
+/// `(EMPTY, false)` is bottom: no scalar is ever produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AbsScalar {
+    num: Interval,
+    non_num: bool,
+}
+
+impl AbsScalar {
+    /// Any cell value: numeric readings are finite (`Value::parse` keeps
+    /// only finite numbers; dates read as day ordinals; bools as 0/1).
+    const CELL: AbsScalar = AbsScalar { num: Interval::FINITE, non_num: true };
+
+    fn never(self) -> bool {
+        self.num.is_empty() && !self.non_num
+    }
+
+    /// The exact abstraction of a constant leaf.
+    fn of_const(text: &str) -> AbsScalar {
+        match Value::parse(text).as_number() {
+            Some(n) => AbsScalar { num: Interval::point(n), non_num: false },
+            None => AbsScalar { num: Interval::EMPTY, non_num: true },
+        }
+    }
+}
+
+/// Abstract runtime value of a node (mirrors `LfValue`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AbsVal {
+    View(Card),
+    Row,
+    Scalar(AbsScalar),
+    Bool(Kleene),
+}
+
+/// `true` when the subtree contains no value hole, so two syntactically
+/// equal copies denote the same runtime value (see module docs).
+fn value_hole_free(e: &LfExpr) -> bool {
+    match e {
+        LfExpr::ValueHole(_) => false,
+        LfExpr::Apply(_, args) => args.iter().all(value_hole_free),
+        _ => true,
+    }
+}
+
+fn same_subtree(a: &LfExpr, b: &LfExpr) -> bool {
+    a == b && value_hole_free(a)
+}
+
+/// Can `loosely_equals` hold for some pair drawn from the two scalars? The
+/// closest numeric pair sits at the facing interval bounds, and
+/// `nearly_equal`'s relative tolerance grows strictly slower than the gap,
+/// so testing the boundary pair is exhaustive.
+fn maybe_loose_equal(a: AbsScalar, b: AbsScalar) -> bool {
+    if a.non_num || b.non_num {
+        // Text-vs-text (case-insensitive), null-vs-null, etc. can match.
+        return true;
+    }
+    let (x, y) = (a.num, b.num);
+    if x.is_empty() || y.is_empty() {
+        return false;
+    }
+    if x.hi < y.lo {
+        nearly_equal(x.hi, y.lo)
+    } else if y.hi < x.lo {
+        nearly_equal(y.hi, x.lo)
+    } else {
+        true
+    }
+}
+
+/// Same question under `round_eq`'s 1% relative tolerance.
+fn maybe_round_equal(a: AbsScalar, b: AbsScalar) -> bool {
+    if a.non_num || b.non_num {
+        return true;
+    }
+    let (x, y) = (a.num, b.num);
+    if x.is_empty() || y.is_empty() {
+        return false;
+    }
+    let close = |p: f64, q: f64| (p - q).abs() <= 0.01 * p.abs().max(q.abs()).max(1.0);
+    if x.hi < y.lo {
+        close(x.hi, y.lo)
+    } else if y.hi < x.lo {
+        close(y.hi, x.lo)
+    } else {
+        true
+    }
+}
+
+/// The Kleene verdict of a root comparator. `identical` marks provably
+/// same-valued argument subtrees.
+fn cmp_kleene(op: LfOp, a: AbsScalar, b: AbsScalar, identical: bool) -> Kleene {
+    if a.never() || b.never() {
+        return Kleene::Never;
+    }
+    match op {
+        LfOp::Eq => {
+            if identical {
+                Kleene::True
+            } else if !maybe_loose_equal(a, b) {
+                Kleene::False
+            } else {
+                Kleene::Unknown
+            }
+        }
+        LfOp::NotEq => {
+            if identical {
+                Kleene::False
+            } else if !maybe_loose_equal(a, b) {
+                Kleene::True
+            } else {
+                Kleene::Unknown
+            }
+        }
+        LfOp::RoundEq => {
+            if identical {
+                Kleene::True
+            } else if !maybe_round_equal(a, b) {
+                Kleene::False
+            } else {
+                Kleene::Unknown
+            }
+        }
+        // `num_cmp` yields false on any non-numeric operand and collapses
+        // near-equal pairs, so only the always-false direction is sound.
+        LfOp::Greater => {
+            if identical || a.num.is_empty() || b.num.is_empty() || a.num.hi <= b.num.lo {
+                Kleene::False
+            } else {
+                Kleene::Unknown
+            }
+        }
+        LfOp::Less => {
+            if identical || a.num.is_empty() || b.num.is_empty() || a.num.lo >= b.num.hi {
+                Kleene::False
+            } else {
+                Kleene::Unknown
+            }
+        }
+        _ => Kleene::Unknown,
+    }
+}
+
+/// Per-walk state: convictions, requirement tightenings and the survival
+/// product.
+struct Walk {
+    degeneracies: Vec<TemplateIssue>,
+    min_col_numeric_values: usize,
+    min_rows: usize,
+    survival: f64,
+}
+
+/// The abstract ordinal of an `nth_*` slot-2 argument: the interval of
+/// positive-integer readings, or `None` when the slot provably always
+/// fails `eval_ordinal`'s (≥ 1, integral) filter.
+fn ordinal(e: &LfExpr, w: &mut Walk) -> Option<Interval> {
+    let sc = match e {
+        LfExpr::ValueHole(_) => AbsScalar::CELL,
+        LfExpr::Const(text) => AbsScalar::of_const(text),
+        other => match eval_abs(other, w) {
+            Some(AbsVal::Scalar(s)) => s,
+            Some(AbsVal::Bool(_)) => AbsScalar { num: Interval::new(0.0, 1.0), non_num: false },
+            _ => return None,
+        },
+    };
+    if sc.num.is_empty() {
+        return None;
+    }
+    let clamped = Interval { lo: sc.num.lo.max(1.0), hi: sc.num.hi.min(f64::MAX) };
+    if clamped.is_empty() {
+        // Every numeric reading is < 1 (and non-numeric readings fail the
+        // filter outright): always a TypeMismatch error.
+        return None;
+    }
+    Some(clamped)
+}
+
+fn scalar_of(v: Option<AbsVal>) -> Option<AbsScalar> {
+    match v {
+        Some(AbsVal::Scalar(s)) => Some(s),
+        // eval_scalar coerces booleans to Value::Bool (numeric 0/1).
+        Some(AbsVal::Bool(Kleene::Never)) | None => None,
+        Some(AbsVal::Bool(_)) => Some(AbsScalar { num: Interval::new(0.0, 1.0), non_num: false }),
+        // Row/View in scalar position: TypeMismatch on every table.
+        _ => None,
+    }
+}
+
+fn view_of(v: Option<AbsVal>) -> Option<Card> {
+    match v {
+        Some(AbsVal::View(c)) => Some(c),
+        Some(AbsVal::Row) => Some(Card { can_empty: false, can_one: true, can_many: false }),
+        _ => None,
+    }
+}
+
+/// One comparison column/value slot pair of the filter/all/most families:
+/// the abstract right-hand scalar.
+fn rhs_scalar(e: &LfExpr, w: &mut Walk) -> Option<AbsScalar> {
+    match e {
+        LfExpr::ValueHole(_) => Some(AbsScalar::CELL),
+        LfExpr::Const(text) => Some(AbsScalar::of_const(text)),
+        other => scalar_of(eval_abs(other, w)),
+    }
+}
+
+/// Whether re-applying `outer` directly on top of `inner` keeps every row
+/// the inner filter admitted (the A003 vacuous-predicate shape).
+fn vacuous_refilter(op: LfOp, args: &[LfExpr]) -> bool {
+    let LfExpr::Apply(inner_op, inner_args) = &args[0] else { return false };
+    if *inner_op != op {
+        return false;
+    }
+    match op {
+        LfOp::FilterAll => inner_args.len() == 2 && args.len() == 2 && inner_args[1] == args[1],
+        LfOp::FilterEq
+        | LfOp::FilterNotEq
+        | LfOp::FilterGreater
+        | LfOp::FilterLess
+        | LfOp::FilterGreaterEq
+        | LfOp::FilterLessEq => {
+            inner_args.len() == 3
+                && args.len() == 3
+                && inner_args[1] == args[1]
+                && same_subtree(&inner_args[2], &args[2])
+        }
+        _ => false,
+    }
+}
+
+/// The core abstract evaluator. `None` is bottom: the node provably errors
+/// on every table and hole assignment.
+fn eval_abs(e: &LfExpr, w: &mut Walk) -> Option<AbsVal> {
+    use LfOp::*;
+    let LfExpr::Apply(op, args) = e else {
+        return Some(match e {
+            LfExpr::AllRows => AbsVal::View(Card::ANY),
+            // A column name used as a scalar is its text; a value hole any
+            // sampled cell.
+            LfExpr::Column(_) | LfExpr::ValueHole(_) => AbsVal::Scalar(AbsScalar::CELL),
+            LfExpr::ColumnHole(_) => AbsVal::Scalar(AbsScalar::CELL),
+            LfExpr::Const(text) => AbsVal::Scalar(AbsScalar::of_const(text)),
+            LfExpr::Apply(..) => AbsVal::Scalar(AbsScalar::CELL),
+        });
+    };
+    if args.len() != op.arity() {
+        // Malformed; the typechecker owns the report. Stay sound.
+        return Some(AbsVal::Scalar(AbsScalar::CELL));
+    }
+    match op {
+        FilterEq | FilterNotEq | FilterGreater | FilterLess | FilterGreaterEq | FilterLessEq
+        | FilterAll => {
+            if vacuous_refilter(*op, args) {
+                w.degeneracies.push(TemplateIssue::new(
+                    "A003",
+                    format!("{op}"),
+                    format!(
+                        "filter re-applies its direct inner `{op}` with the same column and \
+                         value; the outer predicate keeps every surviving row"
+                    ),
+                ));
+            }
+            w.survival *= 0.96;
+            let view = view_of(eval_abs(&args[0], w))?;
+            if *op != FilterAll {
+                rhs_scalar(&args[2], w)?;
+            }
+            Some(AbsVal::View(view.filter()))
+        }
+        Argmax | Argmin => {
+            w.survival *= 0.97;
+            view_of(eval_abs(&args[0], w))?;
+            Some(AbsVal::Row)
+        }
+        NthArgmax | NthArgmin => {
+            w.survival *= 0.90;
+            view_of(eval_abs(&args[0], w))?;
+            let n = ordinal(&args[2], w)?;
+            if n.is_point() {
+                // n non-null cells in the keyed column need n rows.
+                w.min_rows = w.min_rows.max(n.lo as usize);
+            }
+            Some(AbsVal::Row)
+        }
+        Count => {
+            let view = view_of(eval_abs(&args[0], w))?;
+            Some(AbsVal::Scalar(AbsScalar { num: view.count_interval(), non_num: false }))
+        }
+        Only => {
+            let view = view_of(eval_abs(&args[0], w))?;
+            w.survival *= 0.95;
+            let truth = match (view.can_one, view.can_empty || view.can_many) {
+                (true, true) => Kleene::Unknown,
+                (true, false) => Kleene::True,
+                (false, _) => Kleene::False,
+            };
+            Some(AbsVal::Bool(truth))
+        }
+        Max | Min => {
+            w.survival *= 0.97;
+            view_of(eval_abs(&args[0], w))?;
+            // Max/min of a non-empty finite gather stays finite.
+            Some(AbsVal::Scalar(AbsScalar { num: Interval::FINITE, non_num: false }))
+        }
+        Sum | Avg => {
+            w.survival *= 0.97;
+            view_of(eval_abs(&args[0], w))?;
+            // Summing many finite cells can overflow; Value::number turns
+            // the non-finite result into Null (a reading-less value).
+            Some(AbsVal::Scalar(AbsScalar { num: Interval::FINITE, non_num: true }))
+        }
+        NthMax | NthMin => {
+            w.survival *= 0.90;
+            view_of(eval_abs(&args[0], w))?;
+            let n = ordinal(&args[2], w)?;
+            if n.is_point() {
+                // The gather needs n numeric cells from one column.
+                w.min_col_numeric_values = w.min_col_numeric_values.max(n.lo as usize);
+            }
+            Some(AbsVal::Scalar(AbsScalar { num: Interval::FINITE, non_num: false }))
+        }
+        Hop => {
+            w.survival *= 0.98;
+            match eval_abs(&args[0], w)? {
+                AbsVal::Row | AbsVal::View(_) => {}
+                _ => return None,
+            }
+            Some(AbsVal::Scalar(AbsScalar::CELL))
+        }
+        Diff => {
+            w.survival *= 0.95;
+            let a = scalar_of(eval_abs(&args[0], w))?;
+            let b = scalar_of(eval_abs(&args[1], w))?;
+            let raw = a.num.sub(b.num);
+            if raw.is_empty() {
+                // Neither side ever has a numeric reading: NonNumeric on
+                // every table.
+                return None;
+            }
+            // Value::number maps a non-finite difference to Null.
+            let num = Interval { lo: raw.lo.max(f64::MIN), hi: raw.hi.min(f64::MAX) };
+            let overflowed = raw.lo < f64::MIN || raw.hi > f64::MAX;
+            Some(AbsVal::Scalar(AbsScalar { num, non_num: overflowed }))
+        }
+        Eq | NotEq | RoundEq | Greater | Less => {
+            w.survival *= 0.93;
+            let a = rhs_scalar(&args[0], w)?;
+            let b = rhs_scalar(&args[1], w)?;
+            let truth = cmp_kleene(*op, a, b, same_subtree(&args[0], &args[1]));
+            if truth == Kleene::Never {
+                return None;
+            }
+            Some(AbsVal::Bool(truth))
+        }
+        And => {
+            w.survival *= 0.90;
+            let a = match eval_abs(&args[0], w)? {
+                AbsVal::Bool(k) => k,
+                _ => return None,
+            };
+            let b = match eval_abs(&args[1], w)? {
+                AbsVal::Bool(k) => k,
+                _ => return None,
+            };
+            if same_subtree(&args[0], &args[1]) {
+                w.degeneracies.push(TemplateIssue::new(
+                    "A002",
+                    "and",
+                    "both conjuncts are the same value-hole-free subtree; one branch is \
+                     redundant",
+                ));
+            }
+            for (slot, k) in [(0usize, a), (1usize, b)] {
+                if k.is_constant() {
+                    w.degeneracies.push(TemplateIssue::new(
+                        "A002",
+                        format!("and[{slot}]"),
+                        format!("conjunct is statically always {k}; the branch is dead"),
+                    ));
+                }
+            }
+            let truth = a.and(b);
+            if truth == Kleene::Never {
+                return None;
+            }
+            Some(AbsVal::Bool(truth))
+        }
+        AllEq | AllNotEq | AllGreater | AllLess | AllGreaterEq | AllLessEq | MostEq | MostNotEq
+        | MostGreater | MostLess | MostGreaterEq | MostLessEq => {
+            w.survival *= 0.90;
+            let view = view_of(eval_abs(&args[0], w))?;
+            let rhs = rhs_scalar(&args[2], w)?;
+            if rhs.never() || view == Card::EMPTY_ONLY {
+                // Empty view is an Empty error; a valueless rhs errors too.
+                return None;
+            }
+            let ordered = matches!(
+                op,
+                AllGreater
+                    | AllLess
+                    | AllGreaterEq
+                    | AllLessEq
+                    | MostGreater
+                    | MostLess
+                    | MostGreaterEq
+                    | MostLessEq
+            );
+            // num_cmp is false whenever the rhs has no numeric reading, so
+            // an always-non-numeric rhs makes every row a non-match.
+            let truth = if ordered && rhs.num.is_empty() { Kleene::False } else { Kleene::Unknown };
+            Some(AbsVal::Bool(truth))
+        }
+    }
+}
+
+/// Abstractly interprets a (well-formed) template. See the module docs.
+pub fn interpret(template: &LfTemplate) -> AbsResult {
+    let mut w =
+        Walk { degeneracies: Vec::new(), min_col_numeric_values: 0, min_rows: 0, survival: 0.85 };
+    let root = eval_abs(template.expr(), &mut w);
+    let truth = match root {
+        Some(AbsVal::Bool(k)) => k,
+        // Non-boolean or always-erroring root: never labels a claim.
+        _ => Kleene::Never,
+    };
+    if truth.is_constant() {
+        w.degeneracies.push(TemplateIssue::new(
+            "A001",
+            "root",
+            format!("claim is statically always {truth}; every generated label is a tautology"),
+        ));
+    } else if truth == Kleene::Never {
+        w.degeneracies.push(TemplateIssue::new(
+            "A001",
+            "root",
+            "claim errors on every table; it can never be labeled".to_string(),
+        ));
+        w.survival = 0.0;
+    }
+    let summary = AbsSummary {
+        // A claim's only output is its truth value.
+        value: Interval::EMPTY,
+        truth,
+        rows: Card::NEVER,
+    };
+    AbsResult {
+        summary,
+        degeneracies: w.degeneracies,
+        survival: w.survival.clamp(0.0, 1.0),
+        min_col_numeric_values: w.min_col_numeric_values,
+        min_rows: w.min_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> LfTemplate {
+        LfTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}"))
+    }
+
+    fn run(text: &str) -> AbsResult {
+        interpret(&parse(text))
+    }
+
+    #[test]
+    fn healthy_templates_have_no_convictions() {
+        for t in [
+            "eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }",
+            "eq { hop { argmax { all_rows ; c1 } ; c2 } ; val1 }",
+            "most_greater { all_rows ; c1 ; val1 }",
+            "only { filter_eq { all_rows ; c1 ; val1 } }",
+            "and { greater { max { all_rows ; c1 } ; val1 } ; only { filter_eq { all_rows ; c2 ; val2 } } }",
+            "round_eq { avg { all_rows ; c1 } ; val1 }",
+        ] {
+            let r = run(t);
+            assert!(r.degeneracies.is_empty(), "{t}: {:?}", r.degeneracies);
+            assert_eq!(r.summary.truth, Kleene::Unknown, "{t}");
+            assert!(r.survival > 0.0 && r.survival < 1.0, "{t}: {}", r.survival);
+        }
+    }
+
+    #[test]
+    fn identical_value_hole_free_comparator_args_are_constant() {
+        let t = run("eq { count { filter_all { all_rows ; c1 } } ; count { filter_all { all_rows ; c1 } } }");
+        assert_eq!(t.summary.truth, Kleene::True);
+        assert_eq!(t.degeneracies[0].code, "A001");
+
+        let f = run("greater { max { all_rows ; c1 } ; max { all_rows ; c1 } }");
+        assert_eq!(f.summary.truth, Kleene::False);
+        assert_eq!(f.degeneracies[0].code, "A001");
+    }
+
+    #[test]
+    fn repeated_value_holes_are_not_identical() {
+        // Each val1 occurrence samples independently (with exclusion), so
+        // nothing is constant here.
+        let r = run("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }");
+        assert!(r.degeneracies.is_empty());
+        let r2 = run("all_eq { filter_eq { all_rows ; c1 ; val1 } ; c1 ; val1 }");
+        assert!(r2.degeneracies.is_empty(), "{:?}", r2.degeneracies);
+    }
+
+    #[test]
+    fn count_interval_decides_ordered_comparators() {
+        // count ∈ [0, ∞): never less than 0.
+        let r = run("less { count { filter_all { all_rows ; c1 } } ; 0 }");
+        assert_eq!(r.summary.truth, Kleene::False);
+        assert_eq!(r.degeneracies[0].code, "A001");
+        // But count vs a sampled value is genuinely open.
+        let open = run("greater { count { filter_all { all_rows ; c1 } } ; val1 }");
+        assert_eq!(open.summary.truth, Kleene::Unknown);
+    }
+
+    #[test]
+    fn text_constant_against_numeric_comparator_is_always_false() {
+        // num_cmp needs numeric readings on both sides.
+        let r = run("greater { max { all_rows ; c1 } ; apples }");
+        assert_eq!(r.summary.truth, Kleene::False);
+        assert_eq!(r.degeneracies[0].code, "A001");
+        let m = run("most_greater { all_rows ; c1 ; apples }");
+        assert_eq!(m.summary.truth, Kleene::False);
+    }
+
+    #[test]
+    fn invalid_constant_ordinal_is_always_error() {
+        let r = run("eq { nth_max { all_rows ; c1 ; 0 } ; val1 }");
+        assert_eq!(r.summary.truth, Kleene::Never);
+        assert_eq!(r.degeneracies[0].code, "A001");
+        assert_eq!(r.survival, 0.0);
+    }
+
+    #[test]
+    fn constant_ordinals_tighten_requirements() {
+        let r = run("eq { nth_max { all_rows ; c1 ; 3 } ; val1 }");
+        assert_eq!(r.min_col_numeric_values, 3);
+        assert_eq!(r.min_rows, 0);
+        let a = run("eq { hop { nth_argmax { all_rows ; c1 ; 2 } ; c2 } ; val1 }");
+        assert_eq!(a.min_rows, 2);
+        assert_eq!(a.min_col_numeric_values, 0);
+        // Hole ordinals tighten nothing.
+        let h = run("eq { nth_max { all_rows ; c1 ; val1 } ; val2 }");
+        assert_eq!(h.min_col_numeric_values, 0);
+    }
+
+    #[test]
+    fn redundant_and_branch_is_a002() {
+        let r = run(
+            "and { only { filter_all { all_rows ; c1 } } ; only { filter_all { all_rows ; c1 } } }",
+        );
+        assert!(r.degeneracies.iter().any(|d| d.code == "A002"), "{:?}", r.degeneracies);
+        // Root truth itself is still unknown.
+        assert_eq!(r.summary.truth, Kleene::Unknown);
+    }
+
+    #[test]
+    fn constant_conjunct_is_a002_and_propagates() {
+        let r = run(
+            "and { greater { max { all_rows ; c1 } ; max { all_rows ; c1 } } ; only { filter_all { all_rows ; c2 } } }",
+        );
+        // The left conjunct is always false, so the claim is too.
+        assert!(r.degeneracies.iter().any(|d| d.code == "A002"));
+        assert!(r.degeneracies.iter().any(|d| d.code == "A001"));
+        assert_eq!(r.summary.truth, Kleene::False);
+    }
+
+    #[test]
+    fn vacuous_refilter_is_a003() {
+        let r = run("only { filter_eq { filter_eq { all_rows ; c1 ; apples } ; c1 ; apples } }");
+        assert!(r.degeneracies.iter().any(|d| d.code == "A003"), "{:?}", r.degeneracies);
+        // Value-hole refilters sample two distinct values: not vacuous.
+        let ok = run("only { filter_eq { filter_eq { all_rows ; c1 ; val1 } ; c1 ; val1 } }");
+        assert!(ok.degeneracies.is_empty(), "{:?}", ok.degeneracies);
+        // filter_all twice over the same column is idempotent.
+        let fa = run("only { filter_all { filter_all { all_rows ; c1 } ; c1 } }");
+        assert!(fa.degeneracies.iter().any(|d| d.code == "A003"));
+    }
+
+    #[test]
+    fn survival_orders_construct_risk() {
+        let cheap = run("only { filter_eq { all_rows ; c1 ; val1 } }").survival;
+        let pricey = run(
+            "and { eq { nth_max { all_rows ; c1 ; 2 } ; val1 } ; only { filter_eq { all_rows ; c2 ; val2 } } }",
+        )
+        .survival;
+        assert!(cheap > pricey, "{cheap} vs {pricey}");
+    }
+}

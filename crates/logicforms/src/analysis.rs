@@ -46,7 +46,34 @@ pub fn analyze(template: &LfTemplate) -> TemplateAnalysis {
         min_number_cols: holes.iter().filter(|&&(_, numeric)| numeric).count(),
         ..SchemaRequirement::NONE
     };
-    TemplateAnalysis { issues, requirement }
+    if issues.is_empty() {
+        let abs = crate::absint::interpret(template);
+        // Constant nth ordinals tighten what the table must provide: n
+        // numeric cells in one column (nth_max/nth_min) or n rows
+        // (nth_argmax/nth_argmin); see crate::absint.
+        let tightened = requirement.join(SchemaRequirement {
+            min_rows: abs.min_rows,
+            min_col_numeric_values: abs.min_col_numeric_values,
+            ..SchemaRequirement::NONE
+        });
+        TemplateAnalysis {
+            issues,
+            requirement: tightened,
+            degeneracies: abs.degeneracies,
+            summary: abs.summary,
+            survival: abs.survival,
+        }
+    } else {
+        // Malformed templates never reach a bank; the abstract layer stays
+        // at its sound default and the cost model writes them off.
+        TemplateAnalysis {
+            issues,
+            requirement,
+            degeneracies: Vec::new(),
+            summary: tabular::AbsSummary::TOP,
+            survival: 0.0,
+        }
+    }
 }
 
 /// Whether `op` can produce the truth value of a claim.

@@ -20,6 +20,7 @@
 //! assert!(evaluate_truth(&claim, &t).unwrap());
 //! ```
 
+pub mod absint;
 pub mod analysis;
 pub mod ast;
 pub mod exec;

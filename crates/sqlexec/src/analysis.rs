@@ -93,7 +93,26 @@ pub fn analyze(template: &SqlTemplate) -> TemplateAnalysis {
         requirement.min_rows = 1;
     }
 
-    TemplateAnalysis { issues, requirement }
+    if issues.is_empty() {
+        let abs = crate::absint::interpret(template);
+        TemplateAnalysis {
+            issues,
+            requirement,
+            degeneracies: abs.degeneracies,
+            summary: abs.summary,
+            survival: abs.survival,
+        }
+    } else {
+        // Malformed templates never reach a bank; the abstract layer stays
+        // at its sound default and the cost model writes them off.
+        TemplateAnalysis {
+            issues,
+            requirement,
+            degeneracies: Vec::new(),
+            summary: tabular::AbsSummary::TOP,
+            survival: 0.0,
+        }
+    }
 }
 
 /// Every distinct `valN` index anywhere in the statement (select items,

@@ -19,6 +19,7 @@
 //! assert_eq!(r.answer_text(), "Defense");
 //! ```
 
+pub mod absint;
 pub mod analysis;
 pub mod ast;
 pub mod exec;

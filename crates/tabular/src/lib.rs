@@ -22,6 +22,7 @@
 //! assert_eq!(t.cell(1, 0), Some(&Value::text("Defense")));
 //! ```
 
+pub mod absdom;
 pub mod context;
 pub mod io;
 pub mod kernels;
@@ -32,6 +33,7 @@ pub mod table;
 pub mod text;
 pub mod value;
 
+pub use absdom::{AbsSummary, Card, Interval, Kleene, Sign};
 pub use context::ExecContext;
 pub use io::{table_from_csv, table_to_csv, CsvError};
 pub use kernels::KernelScratch;

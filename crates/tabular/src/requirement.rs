@@ -43,6 +43,12 @@ pub struct SchemaRequirement {
     /// Whether at least one `Number` column must exist (arithmetic
     /// column-aggregation holes bind only to schema-`Number` columns).
     pub needs_number_column: bool,
+    /// Minimum count of numeric cells that some *single* column must hold
+    /// (abstract-interpretation tightening: a constant-ordinal `nth_max
+    /// {{ n ; c ; ... }}` errors with `Empty` on every column with fewer
+    /// than `n` numeric cells, so instantiation deterministically fails
+    /// unless one column clears the bar).
+    pub min_col_numeric_values: usize,
 }
 
 impl SchemaRequirement {
@@ -55,6 +61,7 @@ impl SchemaRequirement {
         min_text_cols: 0,
         min_addressable_cells: 0,
         needs_number_column: false,
+        min_col_numeric_values: 0,
     };
 
     /// Pointwise join (max / or): the weakest requirement implying both.
@@ -67,6 +74,7 @@ impl SchemaRequirement {
             min_text_cols: self.min_text_cols.max(other.min_text_cols),
             min_addressable_cells: self.min_addressable_cells.max(other.min_addressable_cells),
             needs_number_column: self.needs_number_column || other.needs_number_column,
+            min_col_numeric_values: self.min_col_numeric_values.max(other.min_col_numeric_values),
         }
     }
 
@@ -85,6 +93,9 @@ impl SchemaRequirement {
             && ctx.column_type_count(ColumnType::Text) >= self.min_text_cols
             && ctx.addressable_cells().len() >= self.min_addressable_cells
             && (!self.needs_number_column || ctx.column_type_count(ColumnType::Number) > 0)
+            && (self.min_col_numeric_values == 0
+                || (0..ctx.n_cols())
+                    .any(|c| ctx.numeric_pairs(c).len() >= self.min_col_numeric_values))
     }
 }
 
@@ -117,24 +128,54 @@ impl std::fmt::Display for TemplateIssue {
     }
 }
 
-/// The result of statically analyzing one template: every defect found plus
-/// the weakest [`SchemaRequirement`] a table must meet for instantiation to
-/// have any chance of succeeding.
+/// The result of statically analyzing one template: every well-formedness
+/// defect found, the weakest [`SchemaRequirement`] a table must meet for
+/// instantiation to have any chance of succeeding, plus the
+/// abstract-interpretation layer — degeneracy diagnostics (the A-rule
+/// family), the joined [`AbsSummary`], and the static discard-cost model's
+/// survival estimate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TemplateAnalysis {
+    /// Well-formedness defects (typechecker rules). A template with issues
+    /// is rejected outright and never enters a bank.
     pub issues: Vec<TemplateIssue>,
     pub requirement: SchemaRequirement,
+    /// Degeneracy convictions from the abstract interpreter (codes `A001`
+    /// always-true/false or constant output, `A002` dead branch, `A003`
+    /// vacuous predicate). Kept separate from `issues`: a degenerate
+    /// template still executes, it just produces worthless samples.
+    pub degeneracies: Vec<TemplateIssue>,
+    /// The template's abstract result, joined over all hole assignments.
+    pub summary: crate::absdom::AbsSummary,
+    /// Static estimate in `[0, 1]` of the probability one instantiation
+    /// attempt survives the generation funnel (the discard-cost model,
+    /// calibrated against `PipelineReport` counters).
+    pub survival: f64,
 }
 
 impl TemplateAnalysis {
-    /// A defect-free analysis with the given requirement.
+    /// A defect-free analysis with the given requirement and the sound
+    /// default abstract layer (top summary, no convictions, survival 1).
     pub fn clean(requirement: SchemaRequirement) -> TemplateAnalysis {
-        TemplateAnalysis { issues: Vec::new(), requirement }
+        TemplateAnalysis {
+            issues: Vec::new(),
+            requirement,
+            degeneracies: Vec::new(),
+            summary: crate::absdom::AbsSummary::TOP,
+            survival: 1.0,
+        }
     }
 
-    /// Whether the template typechecked without any defect.
+    /// Whether the template typechecked without any defect. Degeneracies do
+    /// not count: they are quality findings, not malformedness.
     pub fn is_clean(&self) -> bool {
         self.issues.is_empty()
+    }
+
+    /// Whether the abstract interpreter convicted the template of producing
+    /// degenerate (constant / tautological / vacuous) output.
+    pub fn is_degenerate(&self) -> bool {
+        !self.degeneracies.is_empty()
     }
 }
 
@@ -184,6 +225,28 @@ mod tests {
         assert!(needs_number.satisfied_by(&c));
         assert!(!needs_two_numbers.satisfied_by(&c));
         assert!(needs_date.satisfied_by(&c));
+    }
+
+    #[test]
+    fn satisfied_by_checks_per_column_numeric_values() {
+        // `pts` has 2 numeric cells, `misc` only 1; 3 numeric cells exist
+        // overall but no single column holds 3.
+        let c = ctx(&[vec!["name", "pts", "misc"], vec!["Ada", "3", "x"], vec!["Bel", "5", "9"]]);
+        let two = SchemaRequirement { min_col_numeric_values: 2, ..SchemaRequirement::NONE };
+        let three = SchemaRequirement { min_col_numeric_values: 3, ..SchemaRequirement::NONE };
+        assert!(two.satisfied_by(&c));
+        assert!(!three.satisfied_by(&c));
+        assert_eq!(two.join(three).min_col_numeric_values, 3);
+        assert!(!two.is_trivial());
+    }
+
+    #[test]
+    fn analysis_degeneracy_layer_defaults() {
+        let a = TemplateAnalysis::clean(SchemaRequirement::NONE);
+        assert!(a.is_clean());
+        assert!(!a.is_degenerate());
+        assert_eq!(a.summary, crate::absdom::AbsSummary::TOP);
+        assert_eq!(a.survival, 1.0);
     }
 
     #[test]

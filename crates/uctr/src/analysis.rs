@@ -28,7 +28,7 @@ use arithexpr::AeTemplate;
 use logicforms::LfTemplate;
 use sqlexec::SqlTemplate;
 use std::fmt;
-use tabular::{SchemaRequirement, TemplateAnalysis, TemplateIssue};
+use tabular::{AbsSummary, SchemaRequirement, TemplateAnalysis, TemplateIssue};
 
 /// Diagnostic code used for templates whose surface text does not parse
 /// (only reachable through [`analyze_text`] / the checked bank builders —
@@ -46,17 +46,31 @@ pub struct AnalyzedTemplate {
     pub signature: String,
     pub requirement: SchemaRequirement,
     pub issues: Vec<TemplateIssue>,
+    /// Abstract-interpretation degeneracy convictions (`A001` constant
+    /// output, `A002` dead branch, `A003` vacuous predicate). Kept apart
+    /// from `issues`: a degenerate template still executes, it just cannot
+    /// produce useful training signal.
+    pub degeneracies: Vec<TemplateIssue>,
+    /// The joined abstract summary over all hole assignments and tables.
+    pub summary: AbsSummary,
+    /// Static estimate of the probability one instantiation attempt
+    /// survives the generation funnel (see `DESIGN.md`).
+    pub survival: f64,
 }
 
 impl AnalyzedTemplate {
     /// Analyzes any program template through the trait layer.
     pub fn of(template: &dyn ProgramTemplate) -> AnalyzedTemplate {
-        let TemplateAnalysis { issues, requirement } = template.analyze();
+        let TemplateAnalysis { issues, requirement, degeneracies, summary, survival } =
+            template.analyze();
         AnalyzedTemplate {
             kind: template.kind(),
             signature: template.signature(),
             requirement,
             issues,
+            degeneracies,
+            summary,
+            survival,
         }
     }
 
@@ -64,6 +78,29 @@ impl AnalyzedTemplate {
     /// runtime, but not deterministically on every table.
     pub fn is_clean(&self) -> bool {
         self.issues.is_empty()
+    }
+
+    /// At least one abstract-interpretation conviction (A-rule).
+    pub fn is_degenerate(&self) -> bool {
+        !self.degeneracies.is_empty()
+    }
+
+    /// Degeneracy convictions as kind/signature-tagged diagnostics,
+    /// mirroring [`Self::into_diagnostics`] for the audit pipeline.
+    pub fn degeneracy_diagnostics(&self) -> TemplateDiagnostics {
+        TemplateDiagnostics {
+            diagnostics: self
+                .degeneracies
+                .iter()
+                .map(|issue| TemplateDiagnostic {
+                    kind: self.kind,
+                    template: self.signature.clone(),
+                    code: issue.code,
+                    locus: issue.locus.clone(),
+                    message: issue.message.clone(),
+                })
+                .collect(),
+        }
     }
 
     /// Converts the issue list into kind/signature-tagged diagnostics
@@ -189,6 +226,9 @@ pub fn analyze_text(kind: KindSlot, text: &str) -> AnalyzedTemplate {
             signature: d.template,
             requirement: SchemaRequirement::NONE,
             issues: vec![TemplateIssue::new(d.code, d.locus, d.message)],
+            degeneracies: Vec::new(),
+            summary: AbsSummary::TOP,
+            survival: 0.0,
         },
     }
 }

@@ -50,6 +50,10 @@ pub enum MineOutcome {
     Duplicate,
     /// The abstraction is ill-typed; the analyzer's diagnostics rejected it.
     Rejected,
+    /// Well-typed but convicted by the abstract interpreter (A-rules):
+    /// constant output, always-true/false claim, or a provably empty
+    /// result set — it can never produce useful training signal.
+    Degenerate,
     /// Parsed fine but exceeds the miner's per-kind [`CostBudget`].
     OverBudget,
     /// The concrete program text does not parse in its DSL.
@@ -64,6 +68,7 @@ pub struct KindStats {
     pub mined: usize,
     pub duplicates: usize,
     pub rejected: usize,
+    pub degenerate: usize,
     pub over_budget: usize,
     pub parse_failures: usize,
 }
@@ -96,6 +101,7 @@ impl MinerStats {
             MineOutcome::Mined => k.mined += 1,
             MineOutcome::Duplicate => k.duplicates += 1,
             MineOutcome::Rejected => k.rejected += 1,
+            MineOutcome::Degenerate => k.degenerate += 1,
             MineOutcome::OverBudget => k.over_budget += 1,
             MineOutcome::ParseFailed => k.parse_failures += 1,
             MineOutcome::NotAProgram => self.skipped += 1,
@@ -236,6 +242,17 @@ impl Miner {
                 return MineOutcome::NotAProgram;
             }
         };
+        // Abstract-interpretation gate: a well-typed template the A-rules
+        // convict (constant output, decided claim, provably empty result)
+        // would only ever mint useless samples. The check is pure — it
+        // consumes no RNG — so mining stays deterministic per seed.
+        {
+            let analysis = abstracted.as_program().analyze();
+            if analysis.issues.is_empty() && !analysis.degeneracies.is_empty() {
+                self.stats.bump(kind, MineOutcome::Degenerate);
+                return MineOutcome::Degenerate;
+            }
+        }
         let outcome = match self.bank.try_add(abstracted) {
             Ok(true) => MineOutcome::Mined,
             Ok(false) => MineOutcome::Duplicate,
@@ -336,12 +353,13 @@ impl Miner {
             let k = self.stats.kind(kind);
             let _ = writeln!(
                 out,
-                "# {}: {} mined, {} duplicates filtered, {} rejected, {} over budget, \
-                 {} parse failures",
+                "# {}: {} mined, {} duplicates filtered, {} rejected, {} degenerate, \
+                 {} over budget, {} parse failures",
                 kind.name(),
                 k.mined,
                 k.duplicates,
                 k.rejected,
+                k.degenerate,
                 k.over_budget,
                 k.parse_failures
             );

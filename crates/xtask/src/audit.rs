@@ -11,6 +11,18 @@
 //! Mined corpus files are plain text, one template per line in the form
 //! `kind: template-source` (kind ∈ `sql` | `logic` | `arith`); blank lines
 //! and `#` comments are ignored.
+//!
+//! Beyond the typecheck, the audit surfaces the abstract interpreter's
+//! degeneracy convictions (the **A-rule family**, counted into the same
+//! two-sided ratchet key space as the type diagnostics):
+//!
+//! * **A001** — constant output: the program's answer or label is fixed
+//!   before any table is read (always-true/always-false claim, echo
+//!   select, provably empty result set);
+//! * **A002** — dead branch: one side of a conjunction/disjunction or an
+//!   intermediate comparison is statically decided;
+//! * **A003** — vacuous predicate: an atom that reads no data (self
+//!   comparison, literal-vs-literal).
 
 use std::collections::BTreeMap;
 
@@ -43,6 +55,10 @@ impl AuditOutcome {
         self.templates.iter().filter(|t| t.analysis.is_clean()).count()
     }
 
+    pub fn degenerate_total(&self) -> usize {
+        self.templates.iter().filter(|t| t.analysis.is_degenerate()).count()
+    }
+
     pub fn diagnostics_total(&self) -> i64 {
         self.counts.values().flat_map(|per_code| per_code.values()).sum()
     }
@@ -52,14 +68,15 @@ impl AuditOutcome {
 /// else is a mined corpus.
 pub const BUILTIN_SOURCE: &str = "builtin";
 
-/// Per-kind counts of *clean* mined (non-builtin) templates, keyed for the
-/// grow-only `floors` section of `ci/template_health.json` (group `mined`,
-/// key = kind name). Ill-typed mined templates are excluded — they are
-/// already ratcheted downward through the diagnostic counts.
+/// Per-kind counts of *clean, non-degenerate* mined (non-builtin)
+/// templates, keyed for the grow-only `floors` section of
+/// `ci/template_health.json` (group `mined`, key = kind name). Ill-typed
+/// and A-rule-convicted mined templates are excluded — they are already
+/// ratcheted downward through the diagnostic counts.
 pub fn mined_counts(outcome: &AuditOutcome) -> Counts {
     let mut counts = Counts::new();
     for t in &outcome.templates {
-        if t.source == BUILTIN_SOURCE || !t.analysis.is_clean() {
+        if t.source == BUILTIN_SOURCE || !t.analysis.is_clean() || t.analysis.is_degenerate() {
             continue;
         }
         *counts
@@ -120,7 +137,7 @@ pub fn audit(groups: &[(String, Vec<(KindSlot, String)>)]) -> AuditOutcome {
         for (kind, text) in entries {
             let analysis = analyze_text(*kind, text);
             let per_code = counts.entry(kind.name().to_string()).or_default();
-            for issue in &analysis.issues {
+            for issue in analysis.issues.iter().chain(&analysis.degeneracies) {
                 *per_code.entry(issue.code.to_string()).or_insert(0) += 1;
             }
             templates.push(AuditedTemplate { source: source.clone(), analysis });
@@ -134,6 +151,7 @@ struct KindStats {
     kind: &'static str,
     total: usize,
     clean: usize,
+    degenerate: usize,
     diagnostics: i64,
     need_numbers: usize,
 }
@@ -148,6 +166,7 @@ fn kind_stats(outcome: &AuditOutcome) -> Vec<KindStats> {
                 kind: kind.name(),
                 total: of_kind.len(),
                 clean: of_kind.iter().filter(|t| t.analysis.is_clean()).count(),
+                degenerate: of_kind.iter().filter(|t| t.analysis.is_degenerate()).count(),
                 diagnostics: outcome
                     .counts
                     .get(kind.name())
@@ -162,6 +181,9 @@ fn kind_stats(outcome: &AuditOutcome) -> Vec<KindStats> {
         .filter(|s| s.total > 0)
         .collect()
 }
+
+/// The abstract-interpretation rule family, in report order.
+pub const A_RULES: [&str; 3] = ["A001", "A002", "A003"];
 
 fn needs_numbers(req: &SchemaRequirement) -> bool {
     req.needs_number_column || req.min_number_cols > 0
@@ -189,24 +211,27 @@ pub fn json_report(outcome: &AuditOutcome, ratchet: Option<&RatchetStatus>) -> S
             .iter()
             .map(|t| {
                 let req = &t.analysis.requirement;
-                let issues = Value::Arr(
-                    t.analysis
-                        .issues
-                        .iter()
-                        .map(|i| {
-                            Value::Obj(vec![
-                                ("code".to_string(), Value::Str(i.code.to_string())),
-                                ("locus".to_string(), Value::Str(i.locus.clone())),
-                                ("message".to_string(), Value::Str(i.message.clone())),
-                            ])
-                        })
-                        .collect(),
-                );
+                let issue_objs = |issues: &[uctr::TemplateIssue]| {
+                    Value::Arr(
+                        issues
+                            .iter()
+                            .map(|i| {
+                                Value::Obj(vec![
+                                    ("code".to_string(), Value::Str(i.code.to_string())),
+                                    ("locus".to_string(), Value::Str(i.locus.clone())),
+                                    ("message".to_string(), Value::Str(i.message.clone())),
+                                ])
+                            })
+                            .collect(),
+                    )
+                };
                 Value::Obj(vec![
                     ("source".to_string(), Value::Str(t.source.clone())),
                     ("kind".to_string(), Value::Str(t.analysis.kind.name().to_string())),
                     ("template".to_string(), Value::Str(t.analysis.signature.clone())),
                     ("clean".to_string(), Value::Bool(t.analysis.is_clean())),
+                    ("degenerate".to_string(), Value::Bool(t.analysis.is_degenerate())),
+                    ("survival".to_string(), Value::Str(format!("{:.4}", t.analysis.survival))),
                     (
                         "requirement".to_string(),
                         Value::Obj(vec![
@@ -220,12 +245,17 @@ pub fn json_report(outcome: &AuditOutcome, ratchet: Option<&RatchetStatus>) -> S
                                 Value::Int(req.min_addressable_cells as i64),
                             ),
                             (
+                                "min_col_numeric_values".to_string(),
+                                Value::Int(req.min_col_numeric_values as i64),
+                            ),
+                            (
                                 "needs_number_column".to_string(),
                                 Value::Bool(req.needs_number_column),
                             ),
                         ]),
                     ),
-                    ("issues".to_string(), issues),
+                    ("issues".to_string(), issue_objs(&t.analysis.issues)),
+                    ("degeneracies".to_string(), issue_objs(&t.analysis.degeneracies)),
                 ])
             })
             .collect(),
@@ -270,20 +300,35 @@ pub fn json_report(outcome: &AuditOutcome, ratchet: Option<&RatchetStatus>) -> S
 pub fn markdown_summary(outcome: &AuditOutcome, ratchet: Option<&RatchetStatus>) -> String {
     let mut md =
         String::from("## xtask audit-templates — template typecheck & schema feasibility\n\n");
-    md.push_str("| kind | templates | clean | diagnostics | need numeric column |\n");
-    md.push_str("|---|---:|---:|---:|---:|\n");
+    md.push_str("| kind | templates | clean | degenerate | diagnostics | need numeric column |\n");
+    md.push_str("|---|---:|---:|---:|---:|---:|\n");
     for s in kind_stats(outcome) {
         md.push_str(&format!(
-            "| `{}` | {} | {} | {} | {} |\n",
-            s.kind, s.total, s.clean, s.diagnostics, s.need_numbers
+            "| `{}` | {} | {} | {} | {} | {} |\n",
+            s.kind, s.total, s.clean, s.degenerate, s.diagnostics, s.need_numbers
         ));
     }
     md.push_str(&format!(
-        "\n{} template(s) analyzed, {} clean, {} diagnostic(s).\n",
+        "\n{} template(s) analyzed, {} clean, {} degenerate, {} diagnostic(s).\n",
         outcome.total(),
         outcome.clean_total(),
+        outcome.degenerate_total(),
         outcome.diagnostics_total()
     ));
+    // The A-rule family always renders, zeros included: a reviewer should
+    // see "A002: 0" rather than wonder whether the rule ran.
+    md.push_str("\n### Abstract-interpretation rules\n\n");
+    md.push_str("| rule | meaning | count |\n|---|---|---:|\n");
+    let a_rule_total = |code: &str| -> i64 {
+        outcome.counts.values().filter_map(|per_code| per_code.get(code)).sum()
+    };
+    for (code, meaning) in A_RULES.iter().zip([
+        "constant output / decided claim / empty result",
+        "dead branch",
+        "vacuous predicate",
+    ]) {
+        md.push_str(&format!("| `{code}` | {meaning} | {} |\n", a_rule_total(code)));
+    }
     if outcome.diagnostics_total() > 0 {
         md.push_str("\n| kind | code | count |\n|---|---|---:|\n");
         for (kind, per_code) in &outcome.counts {
@@ -381,8 +426,54 @@ mod tests {
         let json = json_report(&outcome, None);
         assert!(json.contains("\"templates_total\""));
         assert!(json.contains("\"needs_number_column\""));
+        assert!(json.contains("\"min_col_numeric_values\""));
+        assert!(json.contains("\"survival\""));
         let md = markdown_summary(&outcome, None);
         assert!(md.contains("| `sql` |"), "{md}");
         assert!(md.contains("clean"), "{md}");
+        // The A-rule table renders with explicit zero rows.
+        for code in A_RULES {
+            assert!(md.contains(&format!("| `{code}` |")), "{md}");
+        }
+    }
+
+    #[test]
+    fn builtin_bank_has_no_degeneracies() {
+        let outcome = audit(&[("builtin".to_string(), builtin_templates())]);
+        for t in &outcome.templates {
+            assert!(
+                !t.analysis.is_degenerate(),
+                "builtin template convicted: {} {:?}",
+                t.analysis.signature,
+                t.analysis.degeneracies
+            );
+        }
+        assert_eq!(outcome.degenerate_total(), 0);
+    }
+
+    #[test]
+    fn degenerate_mined_templates_are_counted_under_a_rules() {
+        let mined = vec![
+            (KindSlot::Sql, "select c1 from w where c1 = val1".to_string()), // echo: A001
+            (
+                KindSlot::Logic,
+                "greater { max { all_rows ; c1 } ; max { all_rows ; c1 } }".to_string(),
+            ), // self-comparison: always false
+            (KindSlot::Arith, "subtract( the c1 of r1 , the c1 of r1 )".to_string()), // const 0
+        ];
+        let outcome = audit(&[("mined.txt".to_string(), mined)]);
+        assert_eq!(outcome.degenerate_total(), 3, "{:?}", outcome.counts);
+        // Degeneracies never contaminate the typecheck clean count.
+        assert_eq!(outcome.clean_total(), 3);
+        for kind in ["sql", "logic", "arith"] {
+            let a001 = outcome.counts.get(kind).and_then(|c| c.get("A001"));
+            assert!(a001.is_some(), "{kind} missing A001: {:?}", outcome.counts);
+        }
+        // Convicted templates are excluded from the grow-only mined floors.
+        assert!(!mined_counts(&outcome).contains_key("mined"), "{:?}", mined_counts(&outcome));
+        let json = json_report(&outcome, None);
+        assert!(json.contains("\"degenerate\": true"), "{json}");
+        let md = markdown_summary(&outcome, None);
+        assert!(md.contains("| `A001` |"), "{md}");
     }
 }

@@ -36,8 +36,13 @@ AUDIT-TEMPLATES OPTIONS:
     --health <FILE>         health ratchet file (default: ci/template_health.json)
     --check                 fail unless diagnostic counts match the health file
     --write                 rewrite the health file from current counts
-    --json <FILE>           write the machine-readable report
-    --md <FILE>             write a markdown summary table (for CI job summaries)
+    --json <FILE>           write the machine-readable report (per template:
+                            issues, A-rule degeneracies, survival estimate,
+                            tightened schema requirement)
+    --md <FILE>             write a markdown summary table (for CI job
+                            summaries), incl. the A-rule count table
+                            (A001 degeneracy, A002 dead branch, A003
+                            vacuous predicate)
     --quiet                 suppress per-diagnostic lines
 
 MINE OPTIONS:
@@ -311,7 +316,7 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
 
     if !opts.quiet {
         for t in &outcome.templates {
-            for issue in &t.analysis.issues {
+            for issue in t.analysis.issues.iter().chain(&t.analysis.degeneracies) {
                 println!(
                     "{}: {}:{}:{}: {} ({})",
                     t.source,
@@ -397,9 +402,10 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
     }
 
     println!(
-        "xtask audit-templates: {} template(s), {} clean, {} diagnostic(s){}",
+        "xtask audit-templates: {} template(s), {} clean, {} degenerate, {} diagnostic(s){}",
         outcome.total(),
         outcome.clean_total(),
+        outcome.degenerate_total(),
         outcome.diagnostics_total(),
         match (opts.check, clean) {
             (true, true) => " — health ok",
@@ -476,12 +482,13 @@ fn run_mine(opts: &MineOpts) -> Result<bool, String> {
     for kind in [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith] {
         let k = stats.kind(kind);
         println!(
-            "xtask mine: {:<5} {} mined, {} duplicate(s), {} rejected, {} over budget, \
-             {} parse failure(s)",
+            "xtask mine: {:<5} {} mined, {} duplicate(s), {} rejected, {} degenerate, \
+             {} over budget, {} parse failure(s)",
             kind.name(),
             k.mined,
             k.duplicates,
             k.rejected,
+            k.degenerate,
             k.over_budget,
             k.parse_failures,
         );

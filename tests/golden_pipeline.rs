@@ -153,6 +153,38 @@ fn golden_tables_are_never_prefiltered() {
     }
 }
 
+#[test]
+fn tightened_requirements_never_drop_a_golden_sample() {
+    // The abstract interpreter tightens SchemaRequirements (e.g.
+    // `min_col_numeric_values` from constant nth ordinals). The byte
+    // identity above survives that only because the tightening never fires
+    // on a builtin template — the builtin nth ordinals are value holes, so
+    // the joined requirement is exactly the pre-absint one and the
+    // prefilter's draw-order contract is untouched. Pin that: should a
+    // builtin template ever gain a tightened requirement, this fails
+    // before the digests silently shift.
+    for any in uctr::TemplateBank::builtin().templates() {
+        let a = any.as_program().analyze();
+        assert_eq!(
+            a.requirement.min_col_numeric_values,
+            0,
+            "builtin `{}` gained a tightened numeric-values requirement; golden digests \
+             must be re-captured deliberately",
+            any.as_program().signature()
+        );
+        // And the tightened requirement still admits every golden table.
+        for input in inputs() {
+            let ctx = tabular::ExecContext::new(&input.table);
+            assert!(
+                a.requirement.satisfied_by(&ctx),
+                "builtin `{}` is no longer feasible on golden table `{}`",
+                any.as_program().signature(),
+                input.table.title
+            );
+        }
+    }
+}
+
 /// Prints current digests; run with `--nocapture` to regenerate the
 /// constants above after an *intentional* behavior change.
 #[test]
