@@ -1,0 +1,147 @@
+//! Canonical forms for arithmetic templates (cross-template dedup).
+//!
+//! Two templates are *equivalent* when every seed instantiates them to the
+//! same answer on the same table — the witnessable notion `uctr::analysis`
+//! verifies differentially. The canonical form is a rewrite that provably
+//! preserves the per-seed draw stream, so equal canonical forms imply
+//! equivalence:
+//!
+//! * `add` / `multiply` operands are sorted under a hole-index-blind
+//!   structural order. This is unconditionally safe: cell holes bind
+//!   positionally (`CellHole(i)` takes the cell at the index of `i` in the
+//!   appearance-ordered hole list), so any operand permutation instantiates
+//!   to the *identical* concrete program, and IEEE `+`/`*` are commutative
+//!   for the executed value.
+//! * Holes are alpha-renamed into first-use order afterwards, making the
+//!   form invariant under hole renaming.
+//!
+//! `subtract` / `divide` / `greater` / `exp` operands are order-sensitive
+//! and never reordered. Step references (`#k`) are stable because sorting
+//! happens within a step's argument list only — step order is untouched.
+
+use crate::ast::{AeArg, AeOp, AeProgram};
+use crate::template::AeTemplate;
+
+/// The canonical signature of a template: the rendered canonical program.
+/// Equal canonical forms ⇒ draw-stream-identical instantiation.
+pub fn canonical_form(t: &AeTemplate) -> String {
+    canonical_program(t.program()).to_string()
+}
+
+/// The canonicalized program: commutative operands sorted, holes
+/// alpha-renamed in first-use order.
+pub fn canonical_program(p: &AeProgram) -> AeProgram {
+    let mut p = p.clone();
+    for step in &mut p.steps {
+        if matches!(step.op, AeOp::Add | AeOp::Multiply) {
+            // Stable sort on the hole-index-blind render: ties between two
+            // holes keep their original order and the renumbering below
+            // makes the result alpha-invariant.
+            step.args.sort_by_key(anon_arg);
+        }
+    }
+    renumber(&mut p);
+    p
+}
+
+/// Render with hole indices blinded, so the sort order cannot depend on
+/// the (arbitrary) numbering a template happens to use.
+fn anon_arg(a: &AeArg) -> String {
+    match a {
+        AeArg::CellHole(_) => "val".to_string(),
+        AeArg::ColumnHole(_) => "c".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Alpha-rename cell holes and column holes (separately) into first-use
+/// order, preserving repeated-hole identity.
+fn renumber(p: &mut AeProgram) {
+    let mut cells: Vec<usize> = Vec::new();
+    let mut cols: Vec<usize> = Vec::new();
+    for step in &mut p.steps {
+        for a in &mut step.args {
+            match a {
+                AeArg::CellHole(i) => *i = first_use(&mut cells, *i),
+                AeArg::ColumnHole(i) => *i = first_use(&mut cols, *i),
+                _ => {}
+            }
+        }
+    }
+}
+
+fn first_use(seen: &mut Vec<usize>, i: usize) -> usize {
+    match seen.iter().position(|&x| x == i) {
+        Some(p) => p + 1,
+        None => {
+            seen.push(i);
+            seen.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(text: &str) -> String {
+        canonical_form(
+            &AeTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}")),
+        )
+    }
+
+    #[test]
+    fn add_and_multiply_operands_commute() {
+        assert_eq!(canon("add( val1 , val2 )"), canon("add( val2 , val1 )"));
+        assert_eq!(canon("multiply( val1 , 100 )"), canon("multiply( 100 , val1 )"));
+        assert_eq!(
+            canon("add( val1 , val2 ) , multiply( #0 , 100 )"),
+            canon("add( val2 , val1 ) , multiply( 100 , #0 )")
+        );
+    }
+
+    #[test]
+    fn ordered_operands_do_not_commute() {
+        // Note `subtract( val1 , val2 )` vs `subtract( val2 , val1 )` IS a
+        // merge — fresh holes bind positionally, so those are alpha-equal.
+        // Order only matters when the operands are structurally distinct.
+        assert_ne!(canon("subtract( val1 , 100 )"), canon("subtract( 100 , val1 )"));
+        assert_ne!(canon("divide( val1 , 2 )"), canon("divide( 2 , val1 )"));
+        assert_ne!(canon("exp( val1 , 2 )"), canon("exp( 2 , val1 )"));
+        assert_ne!(
+            canon("subtract( val1 , val2 ) , divide( #0 , val2 )"),
+            canon("subtract( val1 , val2 ) , divide( val2 , #0 )")
+        );
+        // But the same pair under a commutative op does merge.
+        assert_eq!(canon("add( val1 , 100 )"), canon("add( 100 , val1 )"));
+    }
+
+    #[test]
+    fn alpha_renaming_is_quotiented_out() {
+        assert_eq!(canon("subtract( val3 , val7 )"), canon("subtract( val1 , val2 )"));
+        assert_eq!(canon("table_sum( c4 )"), canon("table_sum( c1 )"));
+        // Repeated holes keep their identity through renumbering.
+        assert_eq!(
+            canon("subtract( val2 , val5 ) , divide( #0 , val5 )"),
+            canon("subtract( val1 , val2 ) , divide( #0 , val2 )")
+        );
+        assert_ne!(
+            canon("subtract( val1 , val2 ) , divide( #0 , val2 )"),
+            canon("subtract( val1 , val2 ) , divide( #0 , val1 )")
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        for text in [
+            "add( val2 , val1 ) , divide( #0 , 2 )",
+            "table_sum( c1 ) , divide( val1 , #0 )",
+            "multiply( 100 , val3 )",
+        ] {
+            let t = AeTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}"));
+            let once = canonical_program(t.program());
+            let twice = canonical_program(&once);
+            assert_eq!(once, twice, "canonicalizing {text:?} twice must be a fixed point");
+        }
+    }
+}

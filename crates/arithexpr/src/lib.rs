@@ -25,11 +25,13 @@
 pub mod absint;
 pub mod analysis;
 pub mod ast;
+pub mod canon;
 pub mod exec;
 pub mod parser;
 pub mod template;
 
 pub use ast::{AeArg, AeOp, AeProgram, AeStep};
+pub use canon::{canonical_form, canonical_program};
 pub use exec::{
     execute, execute_in, execute_in_with, resolve_cell, row_name_column, run_arith, AeAnswer,
     AeError, AeOutcome,

@@ -159,7 +159,10 @@ fn main() {
     // The same passes over the mined bank (builtins + miner output): ~20×
     // more templates through the same schema-indexed lookup, so this is the
     // scale story for the inverted index.
-    let mined_bank = uctr::mined_bank(uctr::mining::SYNTHETIC_SEED);
+    let mut miner = uctr::mining::Miner::with_bank(uctr::TemplateBank::builtin());
+    miner.mine_synthetic_corpus(uctr::mining::SYNTHETIC_SEED);
+    let mined_pruned = miner.stats().equivalent_total();
+    let mined_bank = miner.into_bank();
     let mined_templates = mined_bank.len();
     let mined_pipelines = [
         UctrPipeline::new(UctrConfig::qa()).with_bank(mined_bank.clone()),
@@ -237,7 +240,7 @@ fn main() {
     println!(
         "{}",
         bench_throughput_line(
-            &format!("mined-bank ({mined_templates} templates)"),
+            &format!("mined-bank ({mined_templates} templates, {mined_pruned} equivalents pruned)"),
             mined.samples_per_sec,
             Some(single.samples_per_sec),
         )
@@ -245,6 +248,7 @@ fn main() {
 
     let mined_json = vec![
         ("templates".into(), Value::Int(mined_templates as i64)),
+        ("pruned_equivalents".into(), Value::Int(mined_pruned as i64)),
         ("threads".into(), Value::Int(mined.threads as i64)),
         ("accepted_samples".into(), Value::Int(mined.accepted as i64)),
         ("best_secs".into(), Value::Float(mined.best_secs)),

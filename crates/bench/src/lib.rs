@@ -1,7 +1,7 @@
 //! Shared harness code for the experiment binaries.
 //!
 //! One binary per paper table/figure regenerates the corresponding artifact
-//! (see DESIGN.md §9). This library holds the evaluation plumbing they
+//! (see DESIGN.md §11). This library holds the evaluation plumbing they
 //! share: model training wrappers per setting (supervised / unsupervised /
 //! few-shot / augmentation), per-evidence-type breakdowns, and the table
 //! printer that renders paper-vs-measured rows.

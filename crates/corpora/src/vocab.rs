@@ -148,9 +148,15 @@ fn distinct<'a>(pool: &[&'a str], n: usize, rng: &mut impl Rng) -> Vec<&'a str> 
     v
 }
 
+/// Uniform choice from one of the const word pools above — all non-empty,
+/// so the fallback never surfaces.
+fn pick<'a>(pool: &'a [&'a str], rng: &mut impl Rng) -> &'a str {
+    pool.choose(rng).copied().unwrap_or("")
+}
+
 /// A random person name.
 pub fn person_name(rng: &mut impl Rng) -> String {
-    format!("{} {}", FIRST_NAMES.choose(rng).unwrap(), LAST_NAMES.choose(rng).unwrap())
+    format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng))
 }
 
 fn num(rng: &mut impl Rng, lo: i64, hi: i64) -> String {
@@ -167,7 +173,7 @@ pub fn wiki_table(topic: &str, rng: &mut impl Rng) -> Table {
                 .iter()
                 .map(|a| {
                     vec![
-                        format!("{a} {}", FILM_WORDS_B.choose(rng).unwrap()),
+                        format!("{a} {}", pick(FILM_WORDS_B, rng)),
                         person_name(rng),
                         num(rng, 1970, 2022),
                         num(rng, 5, 900),
@@ -241,8 +247,8 @@ pub fn wiki_table(topic: &str, rng: &mut impl Rng) -> Table {
                 .iter()
                 .map(|a| {
                     vec![
-                        format!("{a} {}", TEAM_NOUN.choose(rng).unwrap()),
-                        CITIES.choose(rng).unwrap().to_string(),
+                        format!("{a} {}", pick(TEAM_NOUN, rng)),
+                        pick(CITIES, rng).to_string(),
                         num(rng, 20, 99),
                         num(rng, 2, 30),
                         num(rng, 0, 20),
@@ -320,9 +326,13 @@ pub fn science_table(rng: &mut impl Rng) -> Table {
 fn build(title: &str, header: &[&str], rows: Vec<Vec<String>>) -> Table {
     let mut grid: Vec<Vec<&str>> = vec![header.to_vec()];
     for r in &rows {
-        grid.push(r.iter().map(String::as_str).collect());
+        if r.len() == header.len() {
+            grid.push(r.iter().map(String::as_str).collect());
+        }
     }
-    Table::from_strings(title, &grid).expect("generated grid is rectangular")
+    // Row arity — the only failure `from_strings` has — is enforced above,
+    // so the empty-table fallback never surfaces.
+    Table::from_strings(title, &grid).unwrap_or_default()
 }
 
 /// Generates a paragraph of surrounding text for a table: one or two
@@ -381,7 +391,7 @@ pub fn extra_record_sentence(table: &Table, rng: &mut impl Rng) -> Option<String
     let joined = match facts.len() {
         1 => facts.remove(0),
         _ => {
-            let last = facts.pop().unwrap();
+            let last = facts.pop().unwrap_or_default();
             format!("{} and {}", facts.join(", "), last)
         }
     };
@@ -397,7 +407,7 @@ fn filler_sentence(rng: &mut impl Rng) -> String {
         "Further details appear in the accompanying notes.",
         "Seasonal effects were not adjusted for in this summary.",
     ];
-    FILLER.choose(rng).unwrap().to_string()
+    pick(FILLER, rng).to_string()
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! [`interpret`] evaluates a template bottom-up, joining across all hole
 //! assignments and tables: a column hole denotes "any (numeric) column", a
 //! value hole "any sampled cell value", `all_rows` "any row set". Each
-//! node's abstract value over-approximates every runtime [`LfValue`] the
+//! node's abstract value over-approximates every runtime [`LfValue`](crate::LfValue) the
 //! evaluator (`crate::exec`) can produce for it — views map to the
 //! cardinality lattice [`Card`], scalars to an interval of possible
 //! `Value::as_number` readings plus a may-be-non-numeric flag, booleans to

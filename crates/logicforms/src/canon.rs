@@ -1,0 +1,234 @@
+//! Canonical forms for logical-form templates (cross-template dedup).
+//!
+//! Two templates are *equivalent* when every seed instantiates them to the
+//! same claim truth and highlight set — the witnessable notion
+//! `uctr::analysis` verifies differentially. The canonical form applies
+//! only rewrites that provably preserve the per-seed draw stream:
+//!
+//! * `less { a ; b }` mirrors to `greater { b ; a }` — the executor's
+//!   `num_cmp` is an exact mirror (near-equal collapses to `f(0,0)` on
+//!   both, `None` propagation is symmetric) and the truth-targeting
+//!   perturbation table mirrors the same way (`(Less, side)` ≡
+//!   `(Greater, 1 - side)`).
+//! * The symmetric comparators `eq` / `not_eq` / `round_eq` (loose
+//!   equality is symmetric; `round_eq`'s tolerance scale is the max of
+//!   both magnitudes) and the conjunction `and` sort their two children
+//!   under a hole-index-blind structural order.
+//!
+//! Both rewrites swap children, which reorders the column-hole scan and
+//! the inner value draws — so they fire only under a *swap-safety* rule:
+//! at most one child contains column holes and at most one child contains
+//! draw sites (inner value holes; a bare root-comparator `valN` is
+//! excluded because instantiation locates it by `position(..)` on either
+//! side and defers it past all sampling). Unsafe pairs simply stay
+//! unsorted: the equivalence classes get finer, never wrong.
+//!
+//! Holes are alpha-renamed into first-use order afterwards. The DSL has
+//! no negation operator, so the double-negation identity is vacuous here;
+//! `not_eq { x ; x }` templates are constant-truth and already rejected by
+//! the degeneracy rules before dedup is consulted.
+
+use crate::ast::{LfExpr, LfOp};
+use crate::template::LfTemplate;
+
+/// The canonical signature of a template: the rendered canonical form.
+/// Equal canonical forms ⇒ draw-stream-identical instantiation.
+pub fn canonical_form(t: &LfTemplate) -> String {
+    canonical_expr(t.expr()).to_string()
+}
+
+/// The canonicalized expression: safe mirrors/sorts applied bottom-up,
+/// then holes alpha-renamed in first-use order.
+pub fn canonical_expr(e: &LfExpr) -> LfExpr {
+    let mut c = rewrite(e, true);
+    let mut cols: Vec<usize> = Vec::new();
+    let mut vals: Vec<usize> = Vec::new();
+    renumber(&mut c, &mut cols, &mut vals);
+    c
+}
+
+fn rewrite(e: &LfExpr, at_root: bool) -> LfExpr {
+    match e {
+        LfExpr::Apply(op, args) => {
+            let mut op = *op;
+            let mut new_args: Vec<LfExpr> = args.iter().map(|a| rewrite(a, false)).collect();
+            if new_args.len() == 2 {
+                let root_cmp = at_root
+                    && matches!(
+                        op,
+                        LfOp::Eq | LfOp::NotEq | LfOp::RoundEq | LfOp::Greater | LfOp::Less
+                    );
+                if op == LfOp::Less && swap_safe(&new_args, root_cmp) {
+                    op = LfOp::Greater;
+                    new_args.swap(0, 1);
+                }
+                if matches!(op, LfOp::Eq | LfOp::NotEq | LfOp::RoundEq | LfOp::And)
+                    && swap_safe(&new_args, root_cmp)
+                    && anon_render(&new_args[1]) < anon_render(&new_args[0])
+                {
+                    new_args.swap(0, 1);
+                }
+            }
+            LfExpr::Apply(op, new_args)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Swapping two children is draw-stream safe iff at most one contains
+/// column holes (the first-use scan order stays fixed) and at most one
+/// contains draw sites (value-hole sampling order stays fixed). A bare
+/// root-comparator `valN` child is side-agnostic and counts as neither.
+fn swap_safe(args: &[LfExpr], root_cmp: bool) -> bool {
+    let cols = args.iter().filter(|a| has_column_holes(a)).count();
+    let draws = args
+        .iter()
+        .filter(|a| {
+            if root_cmp && matches!(a, LfExpr::ValueHole(_)) {
+                false
+            } else {
+                has_value_holes(a)
+            }
+        })
+        .count();
+    cols <= 1 && draws <= 1
+}
+
+fn has_column_holes(e: &LfExpr) -> bool {
+    match e {
+        LfExpr::ColumnHole(_) => true,
+        LfExpr::Apply(_, args) => args.iter().any(has_column_holes),
+        _ => false,
+    }
+}
+
+fn has_value_holes(e: &LfExpr) -> bool {
+    match e {
+        LfExpr::ValueHole(_) => true,
+        LfExpr::Apply(_, args) => args.iter().any(has_value_holes),
+        _ => false,
+    }
+}
+
+/// Render with hole indices blinded, so the sort order cannot depend on
+/// the (arbitrary) numbering a template happens to use.
+fn anon_render(e: &LfExpr) -> String {
+    match e {
+        LfExpr::Apply(op, args) => {
+            let inner: Vec<String> = args.iter().map(anon_render).collect();
+            format!("{} {{ {} }}", op, inner.join(" ; "))
+        }
+        LfExpr::ColumnHole(_) => "c".to_string(),
+        LfExpr::ValueHole(_) => "val".to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn renumber(e: &mut LfExpr, cols: &mut Vec<usize>, vals: &mut Vec<usize>) {
+    match e {
+        LfExpr::ColumnHole(i) => *i = first_use(cols, *i),
+        LfExpr::ValueHole(i) => *i = first_use(vals, *i),
+        LfExpr::Apply(_, args) => {
+            for a in args {
+                renumber(a, cols, vals);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn first_use(seen: &mut Vec<usize>, i: usize) -> usize {
+    match seen.iter().position(|&x| x == i) {
+        Some(p) => p + 1,
+        None => {
+            seen.push(i);
+            seen.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(text: &str) -> String {
+        canonical_form(
+            &LfTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}")),
+        )
+    }
+
+    #[test]
+    fn symmetric_comparator_sides_commute() {
+        assert_eq!(
+            canon("eq { avg { all_rows ; c1 } ; val1 }"),
+            canon("eq { val1 ; avg { all_rows ; c1 } }")
+        );
+        assert_eq!(
+            canon("round_eq { sum { all_rows ; c1 } ; val1 }"),
+            canon("round_eq { val1 ; sum { all_rows ; c1 } }")
+        );
+        assert_eq!(
+            canon("not_eq { count { all_rows } ; val1 }"),
+            canon("not_eq { val1 ; count { all_rows } }")
+        );
+    }
+
+    #[test]
+    fn less_mirrors_to_greater() {
+        assert_eq!(
+            canon("less { max { all_rows ; c1 } ; val1 }"),
+            canon("greater { val1 ; max { all_rows ; c1 } }")
+        );
+        assert_eq!(
+            canon("less { val1 ; max { all_rows ; c1 } }"),
+            canon("greater { max { all_rows ; c1 } ; val1 }")
+        );
+        // The two greater orientations stay distinct: greater is not
+        // symmetric and only the less-mirror maps between orderings.
+        assert_ne!(
+            canon("greater { max { all_rows ; c1 } ; val1 }"),
+            canon("greater { val1 ; max { all_rows ; c1 } }")
+        );
+    }
+
+    #[test]
+    fn unsafe_swaps_are_left_alone() {
+        // Both children carry column holes: swapping would reorder the
+        // hole scan and change per-seed column assignment.
+        let two_cols = "less { max { all_rows ; c1 } ; avg { all_rows ; c2 } }";
+        let t = LfTemplate::parse(two_cols).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(canonical_form(&t), two_cols, "unsafe mirror must not fire");
+        // Both children carry inner value draws: same reasoning.
+        let two_draws = "eq { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }";
+        let t = LfTemplate::parse(two_draws).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(canonical_form(&t), two_draws, "unsafe sort must not fire");
+    }
+
+    #[test]
+    fn alpha_renaming_is_quotiented_out() {
+        assert_eq!(
+            canon("eq { count { filter_eq { all_rows ; c3 ; val9 } } ; val2 }"),
+            canon("eq { count { filter_eq { all_rows ; c1 ; val1 } } ; val2 }")
+        );
+        // Repeated column holes keep their identity.
+        assert_ne!(
+            canon("greater { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; hop { filter_eq { all_rows ; c1 ; val2 } ; c2 } }"),
+            canon("greater { hop { filter_eq { all_rows ; c1 ; val1 } ; c2 } ; hop { filter_eq { all_rows ; c3 ; val2 } ; c2 } }")
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        for text in [
+            "less { val1 ; max { all_rows ; c1 } }",
+            "eq { val1 ; avg { all_rows ; c1 } }",
+            "and { only { filter_eq { all_rows ; c1 ; val1 } } ; most_eq { all_rows ; c2 ; val2 } }",
+            "most_greater { all_rows ; c1 ; val1 }",
+        ] {
+            let t = LfTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}"));
+            let once = canonical_expr(t.expr());
+            let twice = canonical_expr(&once);
+            assert_eq!(once, twice, "canonicalizing {text:?} twice must be a fixed point");
+        }
+    }
+}

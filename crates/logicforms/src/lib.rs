@@ -23,11 +23,13 @@
 pub mod absint;
 pub mod analysis;
 pub mod ast;
+pub mod canon;
 pub mod exec;
 pub mod parser;
 pub mod template;
 
 pub use ast::{LfExpr, LfOp, LogicType};
+pub use canon::{canonical_expr, canonical_form};
 pub use exec::{
     evaluate, evaluate_in, evaluate_truth, evaluate_truth_in, evaluate_truth_with, evaluate_with,
     LfError, LfOutcome, LfValue,

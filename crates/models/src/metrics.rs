@@ -121,6 +121,11 @@ mod tests {
         assert!(exact_match("5.0", "5"));
         assert!(exact_match("-0.2", "-0.2000004"));
         assert!(!exact_match("Commerce", "Defense"));
+        // Zero-sign and trailing-dot forms collapse (tabular::text pins the
+        // token-level cases; this pins metric-level agreement).
+        assert!(exact_match("-0", "0"));
+        assert!(exact_match("-0.00001", "0"));
+        assert!(exact_match("It was 42.", "it was 42"));
     }
 
     #[test]

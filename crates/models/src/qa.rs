@@ -467,11 +467,11 @@ pub fn generate_candidates(sample: &Sample) -> Vec<Candidate> {
                 let best_max = rows
                     .iter()
                     .filter_map(|&r| table.cell(r, sc).and_then(Value::as_number).map(|n| (n, r)))
-                    .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    .max_by(|a, b| a.0.total_cmp(&b.0));
                 let best_min = rows
                     .iter()
                     .filter_map(|&r| table.cell(r, sc).and_then(Value::as_number).map(|n| (n, r)))
-                    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    .min_by(|a, b| a.0.total_cmp(&b.0));
                 for (kind, best) in
                     [("lookup_filter_max", best_max), ("lookup_filter_min", best_min)]
                 {

@@ -1,0 +1,324 @@
+//! Canonical forms for SQL templates (cross-template dedup).
+//!
+//! Two templates are *equivalent* when every seed instantiates them to the
+//! same query result and highlight set — the witnessable notion
+//! `uctr::analysis` verifies differentially. The canonical form applies
+//! only rewrites that provably preserve the per-seed draw stream:
+//!
+//! * Comparison orientation: `literal op column` flips to
+//!   `column mirror(op) literal` (`5 < c1` ⇒ `c1 > 5`). Safe because
+//!   value-placeholder pairing scans both operand orders symmetrically and
+//!   the moved side carries no holes of its own.
+//! * `a != a` (structurally identical operands) folds to the constant
+//!   marker `0 != 0` — per the executor's null rules a self-`!=` is false
+//!   on every row, nulls included.
+//! * AND / OR conjunct chains are flattened, re-associated left, and —
+//!   when at most one conjunct contains holes (so neither the column-hole
+//!   scan order nor the value-draw order can change) — sorted under a
+//!   hole-index-blind structural order. Unsafe chains keep their conjunct
+//!   order: classes get finer, never wrong.
+//!
+//! Placeholders are alpha-renamed into first-use order afterwards (in the
+//! same `items → where → group by → order by` order the hole scan uses).
+//! The DSL has no `NOT`, so the double-negation identity is vacuous here.
+
+use crate::ast::{CmpOp, ColumnRef, Cond, Expr, SelectItem, SelectStmt};
+use crate::template::SqlTemplate;
+use tabular::Value;
+
+/// The canonical signature of a template: the rendered canonical
+/// statement. Equal canonical forms ⇒ draw-stream-identical instantiation.
+pub fn canonical_form(t: &SqlTemplate) -> String {
+    canonical_stmt(t.stmt()).to_string()
+}
+
+/// The canonicalized statement: comparison orientation fixed, safe
+/// conjunct sorts applied, placeholders alpha-renamed in first-use order.
+pub fn canonical_stmt(stmt: &SelectStmt) -> SelectStmt {
+    let mut s = stmt.clone();
+    if let Some(w) = s.where_clause.take() {
+        s.where_clause = Some(canon_cond(w));
+    }
+    renumber(&mut s);
+    s
+}
+
+fn canon_cond(c: Cond) -> Cond {
+    match c {
+        Cond::Compare { op, lhs, rhs } => {
+            if op == CmpOp::NotEq && lhs == rhs {
+                // Self-`!=` is false on every row (nulls included): fold to
+                // the canonical always-false marker.
+                return Cond::Compare {
+                    op: CmpOp::NotEq,
+                    lhs: Expr::Literal(Value::Number(0.0)),
+                    rhs: Expr::Literal(Value::Number(0.0)),
+                };
+            }
+            let flip = matches!(lhs, Expr::Literal(_) | Expr::ValuePlaceholder(_))
+                && matches!(rhs, Expr::Column(_));
+            if flip {
+                Cond::Compare { op: mirror(op), lhs: rhs, rhs: lhs }
+            } else {
+                Cond::Compare { op, lhs, rhs }
+            }
+        }
+        Cond::And(a, b) => rebuild_chain(false, *a, *b),
+        Cond::Or(a, b) => rebuild_chain(true, *a, *b),
+    }
+}
+
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::LtEq => CmpOp::GtEq,
+        CmpOp::GtEq => CmpOp::LtEq,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::NotEq => CmpOp::NotEq,
+    }
+}
+
+/// Flattens a maximal same-connective chain, canonicalizes every conjunct,
+/// sorts them when swap-safe, and rebuilds the chain left-associated.
+fn rebuild_chain(is_or: bool, a: Cond, b: Cond) -> Cond {
+    let mut leaves = Vec::new();
+    collect_chain(is_or, a, &mut leaves);
+    collect_chain(is_or, b, &mut leaves);
+    let mut leaves: Vec<Cond> = leaves.into_iter().map(canon_cond).collect();
+    // Swapping two hole-bearing conjuncts would reorder the column-hole
+    // scan and the value draws; a single hole-bearing conjunct can move
+    // freely among hole-free ones.
+    if leaves.iter().filter(|l| cond_has_holes(l)).count() <= 1 {
+        leaves.sort_by_key(anon_cond);
+    }
+    let mut it = leaves.into_iter();
+    let first = match it.next() {
+        Some(first) => first,
+        // collect_chain received two subtrees, so the chain has >= 2
+        // leaves; degrade to the always-false marker rather than panic.
+        None => {
+            return Cond::Compare {
+                op: CmpOp::NotEq,
+                lhs: Expr::Literal(Value::Number(0.0)),
+                rhs: Expr::Literal(Value::Number(0.0)),
+            }
+        }
+    };
+    it.fold(first, |acc, leaf| {
+        if is_or {
+            Cond::Or(Box::new(acc), Box::new(leaf))
+        } else {
+            Cond::And(Box::new(acc), Box::new(leaf))
+        }
+    })
+}
+
+fn collect_chain(is_or: bool, c: Cond, out: &mut Vec<Cond>) {
+    match c {
+        Cond::And(a, b) if !is_or => {
+            collect_chain(is_or, *a, out);
+            collect_chain(is_or, *b, out);
+        }
+        Cond::Or(a, b) if is_or => {
+            collect_chain(is_or, *a, out);
+            collect_chain(is_or, *b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn expr_has_holes(e: &Expr) -> bool {
+    match e {
+        Expr::Column(ColumnRef::Placeholder { .. }) | Expr::ValuePlaceholder(_) => true,
+        Expr::Binary { lhs, rhs, .. } => expr_has_holes(lhs) || expr_has_holes(rhs),
+        _ => false,
+    }
+}
+
+fn cond_has_holes(c: &Cond) -> bool {
+    match c {
+        Cond::Compare { lhs, rhs, .. } => expr_has_holes(lhs) || expr_has_holes(rhs),
+        Cond::And(a, b) | Cond::Or(a, b) => cond_has_holes(a) || cond_has_holes(b),
+    }
+}
+
+/// Render a condition with placeholder indices blinded, so the sort order
+/// cannot depend on the (arbitrary) numbering a template happens to use.
+fn anon_cond(c: &Cond) -> String {
+    fn anon_expr(e: &Expr) -> String {
+        match e {
+            Expr::Column(ColumnRef::Placeholder { ty, .. }) => match ty {
+                Some(t) => format!("c_{t}"),
+                None => "c".to_string(),
+            },
+            Expr::ValuePlaceholder(_) => "val".to_string(),
+            Expr::Binary { op, lhs, rhs } => {
+                format!("( {} {} {} )", anon_expr(lhs), op, anon_expr(rhs))
+            }
+            other => other.to_string(),
+        }
+    }
+    match c {
+        Cond::Compare { op, lhs, rhs } => format!("{} {} {}", anon_expr(lhs), op, anon_expr(rhs)),
+        Cond::And(a, b) => format!("{} and {}", anon_cond(a), anon_cond(b)),
+        Cond::Or(a, b) => format!("( {} or {} )", anon_cond(a), anon_cond(b)),
+    }
+}
+
+/// Alpha-rename column and value placeholders (separately) into first-use
+/// order, in the same clause order the hole scan visits.
+fn renumber(stmt: &mut SelectStmt) {
+    let mut cols: Vec<usize> = Vec::new();
+    let mut vals: Vec<usize> = Vec::new();
+    let mut map_col = |c: &mut ColumnRef| {
+        if let ColumnRef::Placeholder { index, .. } = c {
+            *index = first_use(&mut cols, *index);
+        }
+    };
+    fn walk_expr(e: &mut Expr, map_col: &mut impl FnMut(&mut ColumnRef), vals: &mut Vec<usize>) {
+        match e {
+            Expr::Column(c) => map_col(c),
+            Expr::ValuePlaceholder(i) => *i = first_use(vals, *i),
+            Expr::Binary { lhs, rhs, .. } => {
+                walk_expr(lhs, map_col, vals);
+                walk_expr(rhs, map_col, vals);
+            }
+            Expr::Literal(_) => {}
+        }
+    }
+    fn walk_cond(c: &mut Cond, map_col: &mut impl FnMut(&mut ColumnRef), vals: &mut Vec<usize>) {
+        match c {
+            Cond::Compare { lhs, rhs, .. } => {
+                walk_expr(lhs, map_col, vals);
+                walk_expr(rhs, map_col, vals);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                walk_cond(a, map_col, vals);
+                walk_cond(b, map_col, vals);
+            }
+        }
+    }
+    for item in &mut stmt.items {
+        match item {
+            SelectItem::Expr(e) | SelectItem::Aggregate { arg: Some(e), .. } => {
+                walk_expr(e, &mut map_col, &mut vals)
+            }
+            _ => {}
+        }
+    }
+    if let Some(w) = &mut stmt.where_clause {
+        walk_cond(w, &mut map_col, &mut vals);
+    }
+    if let Some(g) = &mut stmt.group_by {
+        map_col(g);
+    }
+    if let Some((e, _)) = &mut stmt.order_by {
+        walk_expr(e, &mut map_col, &mut vals);
+    }
+}
+
+fn first_use(seen: &mut Vec<usize>, i: usize) -> usize {
+    match seen.iter().position(|&x| x == i) {
+        Some(p) => p + 1,
+        None => {
+            seen.push(i);
+            seen.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(text: &str) -> String {
+        canonical_form(
+            &SqlTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}")),
+        )
+    }
+
+    #[test]
+    fn comparison_orientation_is_fixed() {
+        assert_eq!(
+            canon("select c1 from w where 5 < c2_number"),
+            canon("select c1 from w where c2_number > 5")
+        );
+        assert_eq!(
+            canon("select c1 from w where val1 = c2"),
+            canon("select c1 from w where c2 = val1")
+        );
+        // Column-vs-column comparisons are left alone (both sides hole-y).
+        assert_ne!(
+            canon("select * from w where c1_number < c2_number"),
+            canon("select * from w where c2_number > c1_number")
+        );
+    }
+
+    #[test]
+    fn self_not_eq_folds_to_the_false_marker() {
+        assert_eq!(
+            canon("select count ( * ) from w where c1 != c1"),
+            canon("select count ( * ) from w where 0 != 0")
+        );
+        // A genuine two-column != is not a self-comparison.
+        assert_ne!(
+            canon("select count ( * ) from w where c1 != c2"),
+            canon("select count ( * ) from w where 0 != 0")
+        );
+    }
+
+    #[test]
+    fn safe_conjunct_chains_sort() {
+        // One hole-free conjunct can move across the chain.
+        assert_eq!(
+            canon("select c1 from w where 1 = 1 and c2 = val1"),
+            canon("select c1 from w where c2 = val1 and 1 = 1")
+        );
+        // Two hole-bearing conjuncts must keep their order: swapping would
+        // reorder the hole scan and the value draws. (Note the conjuncts
+        // must be structurally distinct — same-shape conjuncts in either
+        // order are already alpha-equal under renumbering, a true merge.)
+        assert_ne!(
+            canon("select c1 from w where c2 = val1 and c3_number > val2"),
+            canon("select c1 from w where c2_number > val1 and c3 = val2")
+        );
+    }
+
+    #[test]
+    fn chains_reassociate_to_one_shape() {
+        let left = "select c1 from w where ( 1 = 1 or 2 = 2 ) or 3 = 3";
+        let right = "select c1 from w where 1 = 1 or ( 2 = 2 or 3 = 3 )";
+        assert_eq!(canon(left), canon(right));
+    }
+
+    #[test]
+    fn alpha_renaming_is_quotiented_out() {
+        assert_eq!(
+            canon("select c4 from w where c7 = val3"),
+            canon("select c1 from w where c2 = val1")
+        );
+        // Repeated placeholders keep their identity; type suffixes are
+        // part of the hole's meaning and survive renaming.
+        assert_ne!(
+            canon("select c1 from w where c1 = val1"),
+            canon("select c1 from w where c2 = val1")
+        );
+        assert_ne!(canon("select c1_number from w"), canon("select c1 from w"));
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        for text in [
+            "select c1 from w where 5 < c2_number",
+            "select c2 from w where c3 = val1 order by c1_number desc limit 1",
+            "select count ( * ) from w where c1 != c1",
+            "select c1 from w where 1 = 1 and c2 = val1",
+        ] {
+            let t = SqlTemplate::parse(text).unwrap_or_else(|e| panic!("template {text:?}: {e}"));
+            let once = canonical_stmt(t.stmt());
+            let twice = canonical_stmt(&once);
+            assert_eq!(once, twice, "canonicalizing {text:?} twice must be a fixed point");
+        }
+    }
+}

@@ -22,6 +22,7 @@
 pub mod absint;
 pub mod analysis;
 pub mod ast;
+pub mod canon;
 pub mod exec;
 pub mod parser;
 pub mod template;
@@ -31,6 +32,7 @@ pub use ast::{
     AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, OrderDir, PlaceholderType, SelectItem,
     SelectStmt,
 };
+pub use canon::{canonical_form, canonical_stmt};
 pub use exec::{
     denotation_string, execute, execute_in, execute_in_with, run_sql, ExecError, QueryResult,
 };

@@ -44,6 +44,13 @@ pub struct Table {
     rows: Vec<Vec<Value>>,
 }
 
+impl Default for Table {
+    /// The empty table: no columns, no rows, an empty title.
+    fn default() -> Table {
+        Table { title: String::new(), schema: Schema::default(), rows: vec![] }
+    }
+}
+
 impl Table {
     /// Creates a table from a schema and rows, checking arity.
     pub fn new(

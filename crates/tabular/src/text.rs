@@ -75,10 +75,18 @@ pub fn normalize_answer(text: &str) -> String {
     kept.join(" ")
 }
 
-/// Canonicalizes a numeric token: "5.0" → "5", "05" → "5".
+/// Canonicalizes a numeric token: "5.0" → "5", "05" → "5", "5." → "5",
+/// "-0" → "0".
 fn canonical_number(tok: &str) -> Option<String> {
     let n: f64 = tok.parse().ok()?;
-    Some(crate::value::format_number(n))
+    let s = crate::value::format_number(n);
+    // format_number rounds to four decimals and trims zeros, so a tiny
+    // negative ("-0.00001") or a literal "-0" comes back as "-0"; negative
+    // zero and zero must compare equal under exact match.
+    if s == "-0" {
+        return Some("0".to_string());
+    }
+    Some(s)
 }
 
 /// Token frequency map.
@@ -183,6 +191,25 @@ mod tests {
     fn normalize_answer_numbers_and_articles() {
         assert_eq!(normalize_answer("The answer is 5.0"), "answer is 5");
         assert_eq!(normalize_answer("An Apple"), "apple");
+    }
+
+    #[test]
+    fn canonical_number_normalizes_zero_and_dot_forms() {
+        assert_eq!(canonical_number("5.0").as_deref(), Some("5"));
+        assert_eq!(canonical_number("05").as_deref(), Some("5"));
+        assert_eq!(canonical_number("5.").as_deref(), Some("5"));
+        assert_eq!(canonical_number("-0").as_deref(), Some("0"));
+        assert_eq!(canonical_number("-0.0").as_deref(), Some("0"));
+        // Rounds to four decimals, so a tiny negative must not leave "-0".
+        assert_eq!(canonical_number("-0.00001").as_deref(), Some("0"));
+        assert_eq!(canonical_number("-2.5").as_deref(), Some("-2.5"));
+        assert_eq!(canonical_number("not-a-number"), None);
+    }
+
+    #[test]
+    fn normalize_answer_zero_signs_agree() {
+        assert_eq!(normalize_answer("-0"), normalize_answer("0"));
+        assert_eq!(normalize_answer("The total is -0.00001"), "total is 0");
     }
 
     #[test]

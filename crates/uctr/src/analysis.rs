@@ -1,5 +1,5 @@
 //! Unified template static analysis: the cross-DSL layer over the
-//! per-crate `analysis` modules (see `DESIGN.md` §6).
+//! per-crate `analysis` modules (see `DESIGN.md` §7).
 //!
 //! Each executor crate ships an `analysis::analyze` function that
 //! typechecks a parsed template *without a table* and computes the
@@ -22,13 +22,18 @@
 //! under every RNG stream. The analyzers may under-approximate (miss a
 //! defect, report a too-weak requirement) but never over-approximate.
 
-use crate::program::{AnyTemplate, ProgramTemplate};
+use crate::mining::MergeRecord;
+use crate::program::{AnyTemplate, GenScratch, ProgramTemplate};
+use crate::sample::{AnswerKind, Label};
 use crate::telemetry::KindSlot;
+use crate::templates::TemplateBank;
 use arithexpr::AeTemplate;
 use logicforms::LfTemplate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sqlexec::SqlTemplate;
 use std::fmt;
-use tabular::{AbsSummary, SchemaRequirement, TemplateAnalysis, TemplateIssue};
+use tabular::{AbsSummary, ExecContext, SchemaRequirement, Table, TemplateAnalysis, TemplateIssue};
 
 /// Diagnostic code used for templates whose surface text does not parse
 /// (only reachable through [`analyze_text`] / the checked bank builders —
@@ -233,6 +238,252 @@ pub fn analyze_text(kind: KindSlot, text: &str) -> AnalyzedTemplate {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-template equivalence: differential witnesses, classes, subsumption.
+// ---------------------------------------------------------------------------
+
+/// Default number of per-table seeds the differential witness runs
+/// (`xtask audit-equivalence` uses this value).
+pub const WITNESS_SEEDS: u32 = 32;
+
+/// The deterministic table zoo the differential witness executes over: the
+/// two mining probe tables plus schema corner cases (single row, duplicate
+/// values, all-numeric, numberless) so a merge must agree on degenerate
+/// shapes too, not just the shape it was mined from.
+pub fn witness_tables() -> Vec<Table> {
+    // Every literal below is well-formed; a malformed one is silently
+    // dropped here and caught by `the_witness_zoo_is_complete`.
+    let t = |name: &str, rows: &[Vec<&str>]| Table::from_strings(name, rows).ok();
+    [
+        Some(crate::mining::sql_probe_table()),
+        Some(crate::mining::fin_probe_table()),
+        t("single", &[vec!["name", "score", "day"], vec!["Solo", "42", "2010-01-02"]]),
+        t(
+            "dupes",
+            &[
+                vec!["tag", "n", "m"],
+                vec!["a", "5", "1"],
+                vec!["a", "5", "2"],
+                vec!["b", "7", "2"],
+                vec!["b", "5", "3"],
+            ],
+        ),
+        t(
+            "numeric",
+            &[
+                vec!["x", "y", "z"],
+                vec!["1", "10", "100"],
+                vec!["2", "20", "200"],
+                vec!["3", "30", "300"],
+                vec!["4", "40", "400"],
+                vec!["5", "50", "500"],
+            ],
+        ),
+        t("textonly", &[vec!["name", "city"], vec!["Reds", "Oslo"], vec!["Blues", "Lima"]]),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// The observable outcome of one template run: exactly what a synthesized
+/// sample's gold fields carry. The serialized program and the NL surface
+/// are deliberately excluded — a merge changes the program's spelling, not
+/// its behavior.
+type RunOutput = (Label, AnswerKind, Vec<(usize, usize)>);
+
+/// Runs one template once under a fixed seed, through the full
+/// instantiate → execute → output path the pipeline drives.
+fn run_once(
+    t: &AnyTemplate,
+    table: &Table,
+    ctx: &ExecContext,
+    seed: u64,
+    scratch: &mut GenScratch,
+) -> Option<RunOutput> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = t.as_program().try_instantiate(table, ctx, &mut rng, scratch).ok()?;
+    if !inst.pre_executed() {
+        inst.execute(table, ctx, scratch).ok()?;
+    }
+    let out = inst.output();
+    let mut highlighted = out.highlighted;
+    highlighted.sort_unstable();
+    highlighted.dedup();
+    Some((out.label, out.answer_kind, highlighted))
+}
+
+/// The result of differentially executing a pruned template against its
+/// surviving class representative over [`witness_tables`] × `seeds`.
+#[derive(Debug, Clone)]
+pub struct MergeWitness {
+    /// (table, seed) cells where both runs produced a sample.
+    pub productive: usize,
+    /// (table, seed) cells where both runs failed (also agreement: the
+    /// funnel discards the attempt either way).
+    pub both_failed: usize,
+    /// First observed disagreement, if any.
+    pub mismatch: Option<String>,
+}
+
+impl MergeWitness {
+    /// A merge is verified when nothing disagreed *and* at least one cell
+    /// actually produced output — all-failure runs witness nothing.
+    pub fn verified(&self) -> bool {
+        self.mismatch.is_none() && self.productive > 0
+    }
+}
+
+/// Differentially executes `pruned` against `representative`: for every
+/// witness table and every seed, both templates run under the *same* RNG
+/// stream and must produce the same label, answer kind and highlighted
+/// cell set — or both fail. This is the ground-truth check behind the
+/// canonicalizer's draw-stream-preservation argument; `xtask
+/// audit-equivalence` gates on every miner merge passing it.
+pub fn verify_merge(
+    pruned: &AnyTemplate,
+    representative: &AnyTemplate,
+    seeds: u32,
+) -> MergeWitness {
+    let mut witness = MergeWitness { productive: 0, both_failed: 0, mismatch: None };
+    let mut scratch = GenScratch::default();
+    for (ti, table) in witness_tables().iter().enumerate() {
+        let ctx = ExecContext::new(table);
+        for s in 0..seeds {
+            let seed = ((ti as u64) << 32) | u64::from(s);
+            let a = run_once(pruned, table, &ctx, seed, &mut scratch);
+            let b = run_once(representative, table, &ctx, seed, &mut scratch);
+            match (a, b) {
+                (None, None) => witness.both_failed += 1,
+                (Some(x), Some(y)) if x == y => witness.productive += 1,
+                (a, b) => {
+                    if witness.mismatch.is_none() {
+                        witness.mismatch = Some(format!(
+                            "table {ti} seed {seed}: pruned {:?} vs representative {:?}",
+                            a.map(|o| o.0),
+                            b.map(|o| o.0),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    witness
+}
+
+/// Does `a` subsume `b`? Holds when `b` is redundant *as coverage*: every
+/// table feasible for `b` is feasible for `a` (`b`'s requirement is the
+/// stronger lattice point) and `a`'s abstract output summary encloses
+/// `b`'s. A preorder — reflexive and transitive, not antisymmetric: two
+/// distinct templates can subsume each other (equal requirement and
+/// summary) without being equivalent.
+pub fn subsumes(a: &AnalyzedTemplate, b: &AnalyzedTemplate) -> bool {
+    b.requirement.implies(&a.requirement) && a.summary.contains(&b.summary)
+}
+
+/// One canonical-form equivalence class over a bank plus the miner's
+/// pruned candidates.
+#[derive(Debug, Clone)]
+pub struct EquivalenceClass {
+    /// Bank index of the surviving representative.
+    pub representative: usize,
+    /// The kind-prefixed canonical key shared by every member.
+    pub canonical: String,
+    /// Signatures of the pruned members (empty for singleton classes).
+    pub pruned: Vec<String>,
+}
+
+/// The cross-template semantic report `xtask audit-equivalence` renders
+/// and ratchets: canonical equivalence classes over a bank and its merge
+/// records, differential verification of every merge, and the subsumption
+/// preorder over class representatives.
+#[derive(Debug, Clone)]
+pub struct EquivalenceReport {
+    /// One class per admitted template, in bank insertion order.
+    pub classes: Vec<EquivalenceClass>,
+    /// Templates pruned per kind (`KindSlot as usize` for sql/logic/arith).
+    pub pruned_per_kind: [usize; 3],
+    /// Merges that passed the differential witness.
+    pub verified_merges: usize,
+    /// Merges that did not — must be zero (the audit's hard gate). Each
+    /// failure is described in `failures`.
+    pub unverified_merges: usize,
+    pub failures: Vec<String>,
+    /// Ordered representative pairs (a, b), a ≠ b, where `a` subsumes `b`.
+    pub subsumption_edges: usize,
+}
+
+impl EquivalenceReport {
+    /// Builds the report for `bank` and the merges its miner performed,
+    /// running the differential witness `seeds` times per table per merge.
+    pub fn over(bank: &TemplateBank, merges: &[MergeRecord], seeds: u32) -> EquivalenceReport {
+        let mut classes: Vec<EquivalenceClass> = bank
+            .canonical_keys()
+            .iter()
+            .enumerate()
+            .map(|(i, key)| EquivalenceClass {
+                representative: i,
+                canonical: key.clone(),
+                pruned: Vec::new(),
+            })
+            .collect();
+        let mut pruned_per_kind = [0usize; 3];
+        let mut verified = 0usize;
+        let mut failures = Vec::new();
+        for m in merges {
+            if let Some(k) = pruned_per_kind.get_mut(m.kind as usize) {
+                *k += 1;
+            }
+            classes[m.representative].pruned.push(m.pruned.as_program().signature());
+            let witness = verify_merge(&m.pruned, &bank.templates()[m.representative], seeds);
+            if witness.verified() {
+                verified += 1;
+            } else {
+                failures.push(format!(
+                    "{}: {} => {}: {}",
+                    m.kind.name(),
+                    m.pruned.as_program().signature(),
+                    bank.templates()[m.representative].as_program().signature(),
+                    witness.mismatch.unwrap_or_else(|| "no productive witness cell".to_string()),
+                ));
+            }
+        }
+        let analyses: Vec<AnalyzedTemplate> =
+            bank.templates().iter().map(|t| AnalyzedTemplate::of(t.as_program())).collect();
+        let mut subsumption_edges = 0usize;
+        for (i, a) in analyses.iter().enumerate() {
+            for (j, b) in analyses.iter().enumerate() {
+                if i != j && subsumes(a, b) {
+                    subsumption_edges += 1;
+                }
+            }
+        }
+        EquivalenceReport {
+            classes,
+            pruned_per_kind,
+            verified_merges: verified,
+            unverified_merges: failures.len(),
+            failures,
+            subsumption_edges,
+        }
+    }
+
+    /// Total classes (one per admitted template).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Classes that absorbed at least one pruned template.
+    pub fn merged_classes(&self) -> usize {
+        self.classes.iter().filter(|c| !c.pruned.is_empty()).count()
+    }
+
+    /// Total templates pruned across kinds.
+    pub fn pruned_total(&self) -> usize {
+        self.pruned_per_kind.iter().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,11 +502,113 @@ mod tests {
         let sql = SqlTemplate::parse("select c1 from w order by c2_number desc limit 1")
             .unwrap_or_else(|e| panic!("sql: {e}"));
         assert_eq!(ProgramTemplate::analyze(&sql), sqlexec::analysis::analyze(&sql));
+        assert_eq!(ProgramTemplate::canonicalize(&sql), sqlexec::canon::canonical_form(&sql));
         let lf = LfTemplate::parse("eq { max { all_rows ; c1 } ; val1 }")
             .unwrap_or_else(|e| panic!("lf: {e}"));
         assert_eq!(ProgramTemplate::analyze(&lf), logicforms::analysis::analyze(&lf));
+        assert_eq!(ProgramTemplate::canonicalize(&lf), logicforms::canon::canonical_form(&lf));
         let ae = AeTemplate::parse("table_sum( c1 )").unwrap_or_else(|e| panic!("ae: {e}"));
         assert_eq!(ProgramTemplate::analyze(&ae), arithexpr::analysis::analyze(&ae));
+        assert_eq!(ProgramTemplate::canonicalize(&ae), arithexpr::canon::canonical_form(&ae));
+    }
+
+    fn arith(text: &str) -> AnyTemplate {
+        AnyTemplate::Arith(AeTemplate::parse(text).unwrap_or_else(|e| panic!("{text:?}: {e}")))
+    }
+
+    #[test]
+    fn the_witness_zoo_is_complete() {
+        // `witness_tables` drops malformed literals instead of panicking;
+        // this pin guarantees none actually are.
+        let names: Vec<String> = witness_tables().iter().map(|t| t.title.clone()).collect();
+        assert_eq!(names, ["clubs", "financials", "single", "dupes", "numeric", "textonly"]);
+    }
+
+    #[test]
+    fn verify_merge_confirms_true_merges() {
+        // Commutative-operand sort: alpha-equal up to argument order.
+        let w = verify_merge(&arith("add( val1 , 100 )"), &arith("add( 100 , val1 )"), 8);
+        assert!(w.verified(), "{:?}", w.mismatch);
+        assert!(w.productive > 0);
+        // Symmetric root comparator swap.
+        let a = AnyTemplate::Logic(
+            LfTemplate::parse("eq { count { all_rows } ; val1 }").unwrap_or_else(|e| panic!("{e}")),
+        );
+        let b = AnyTemplate::Logic(
+            LfTemplate::parse("eq { val1 ; count { all_rows } }").unwrap_or_else(|e| panic!("{e}")),
+        );
+        let w = verify_merge(&a, &b, 8);
+        assert!(w.verified(), "{:?}", w.mismatch);
+        // SQL comparison orientation flip.
+        let a = AnyTemplate::Sql(
+            SqlTemplate::parse("select c1 from w where val1 = c2")
+                .unwrap_or_else(|e| panic!("{e}")),
+        );
+        let b = AnyTemplate::Sql(
+            SqlTemplate::parse("select c1 from w where c2 = val1")
+                .unwrap_or_else(|e| panic!("{e}")),
+        );
+        let w = verify_merge(&a, &b, 8);
+        assert!(w.verified(), "{:?}", w.mismatch);
+    }
+
+    #[test]
+    fn verify_merge_refutes_inequivalent_templates() {
+        // Order matters under subtraction: the differential harness is a
+        // real check, not a rubber stamp.
+        let w = verify_merge(&arith("subtract( val1 , 100 )"), &arith("subtract( 100 , val1 )"), 8);
+        assert!(!w.verified());
+        assert!(w.mismatch.is_some());
+    }
+
+    #[test]
+    fn subsumption_is_a_preorder_on_analyses() {
+        let narrow = analyze_text(KindSlot::Sql, "select c1 from w where c2 = val1");
+        let wide = analyze_text(KindSlot::Sql, "select c1 from w");
+        for a in [&narrow, &wide] {
+            assert!(subsumes(a, a), "subsumption is reflexive");
+        }
+        // The filtered lookup needs a strictly stronger schema, so the
+        // unfiltered one can never subsume on coverage grounds alone
+        // unless the requirement direction holds.
+        assert!(narrow.requirement.implies(&wide.requirement));
+        assert!(!wide.requirement.implies(&narrow.requirement));
+        assert!(!subsumes(&narrow, &wide), "weaker-requirement template is not covered");
+    }
+
+    #[test]
+    fn equivalence_report_classifies_verifies_and_gates() {
+        use crate::mining::{MineOutcome, Miner};
+        let fin = crate::mining::fin_probe_table();
+        let clubs = crate::mining::sql_probe_table();
+        let mut miner = Miner::new();
+        assert_eq!(
+            miner.mine_program(KindSlot::Arith, "add( the 2019 of Revenue , 100 )", &fin),
+            MineOutcome::Mined
+        );
+        assert_eq!(
+            miner.mine_program(KindSlot::Arith, "add( 100 , the 2019 of Revenue )", &fin),
+            MineOutcome::EquivalentTo(0),
+            "operand-swapped commutative program merges into the first admission"
+        );
+        assert_eq!(
+            miner.mine_program(KindSlot::Logic, "eq { count { all_rows } ; 4 }", &clubs),
+            MineOutcome::Mined
+        );
+        assert_eq!(
+            miner.mine_program(KindSlot::Logic, "eq { 4 ; count { all_rows } }", &clubs),
+            MineOutcome::EquivalentTo(1)
+        );
+        assert_eq!(miner.stats().kind(KindSlot::Arith).equivalent, 1);
+        assert_eq!(miner.stats().kind(KindSlot::Logic).equivalent, 1);
+        assert_eq!(miner.merges().len(), 2);
+        let report = EquivalenceReport::over(miner.bank(), miner.merges(), 8);
+        assert_eq!(report.class_count(), 2, "one class per admitted template");
+        assert_eq!(report.pruned_total(), 2);
+        assert_eq!(report.merged_classes(), 2);
+        assert_eq!(report.verified_merges, 2);
+        assert_eq!(report.unverified_merges, 0, "failures: {:?}", report.failures);
+        assert!(report.classes.iter().all(|c| c.canonical.contains(':')));
     }
 
     #[test]

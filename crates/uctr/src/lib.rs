@@ -36,7 +36,7 @@ pub use analysis::{
     analyze_text, AnalyzedTemplate, TemplateDiagnostic, TemplateDiagnostics, PARSE_ERROR,
 };
 pub use autogen::{extend_bank_auto, AutoGenerator, ProgramDistribution};
-pub use mining::{mined_bank, MineOutcome, Miner, MinerStats};
+pub use mining::{mined_bank, MergeRecord, MineOutcome, Miner, MinerStats};
 pub use mqaqg::{generate_mqaqg, MqaQgConfig};
 pub use pipeline::{TableWithContext, TaskKind, UctrConfig, UctrPipeline};
 pub use program::{AnyTemplate, GenScratch, InstantiatedProgram, ProgramOutput, ProgramTemplate};
@@ -44,7 +44,9 @@ pub use sample::{AnswerKind, Dataset, EvidenceType, Label, ProgramKind, Sample, 
 pub use telemetry::{
     DiscardReport, KindReport, KindSlot, PipelineReport, SourceReport, TelemetryBank, TimingReport,
 };
-pub use templates::{FeasibleSet, TemplateBank, BUILTIN_ARITH, BUILTIN_LOGIC, BUILTIN_SQL};
+pub use templates::{
+    AddOutcome, FeasibleSet, TemplateBank, BUILTIN_ARITH, BUILTIN_LOGIC, BUILTIN_SQL,
+};
 // Re-exported so analysis consumers (e.g. the xtask auditor) need only a
 // `uctr` dependency.
 pub use tabular::{SchemaRequirement, TemplateAnalysis, TemplateIssue};

@@ -48,6 +48,12 @@ pub enum MineOutcome {
     Mined,
     /// Well-typed but its signature is already in the bank (filtration).
     Duplicate,
+    /// Novel by signature but canonically equivalent to the admitted
+    /// template at the carried bank index (see the per-crate `canon`
+    /// modules): same instantiation behavior under every RNG stream.
+    /// Pruned, and recorded as a [`MergeRecord`] so the differential
+    /// harness (`crate::analysis::verify_merge`) can witness the merge.
+    EquivalentTo(usize),
     /// The abstraction is ill-typed; the analyzer's diagnostics rejected it.
     Rejected,
     /// Well-typed but convicted by the abstract interpreter (A-rules):
@@ -67,6 +73,9 @@ pub enum MineOutcome {
 pub struct KindStats {
     pub mined: usize,
     pub duplicates: usize,
+    /// Canonically equivalent to an earlier admission; pruned with a
+    /// recorded merge.
+    pub equivalent: usize,
     pub rejected: usize,
     pub degenerate: usize,
     pub over_budget: usize,
@@ -92,6 +101,12 @@ impl MinerStats {
         self.per_kind.iter().map(|k| k.mined).sum()
     }
 
+    /// Canonical equivalents pruned across all kinds — the gap between the
+    /// signatures the miner saw as novel and the templates it admitted.
+    pub fn equivalent_total(&self) -> usize {
+        self.per_kind.iter().map(|k| k.equivalent).sum()
+    }
+
     fn bump(&mut self, kind: KindSlot, outcome: MineOutcome) {
         let Some(k) = self.per_kind.get_mut(kind as usize) else {
             self.skipped += 1;
@@ -100,6 +115,7 @@ impl MinerStats {
         match outcome {
             MineOutcome::Mined => k.mined += 1,
             MineOutcome::Duplicate => k.duplicates += 1,
+            MineOutcome::EquivalentTo(_) => k.equivalent += 1,
             MineOutcome::Rejected => k.rejected += 1,
             MineOutcome::Degenerate => k.degenerate += 1,
             MineOutcome::OverBudget => k.over_budget += 1,
@@ -164,6 +180,20 @@ fn logic_ops(expr: &logicforms::LfExpr) -> usize {
     }
 }
 
+/// One canonical-equivalence pruning the miner performed: the turned-away
+/// template and the index (into the miner's bank) of the surviving class
+/// representative. Every record must pass the differential witness
+/// (`crate::analysis::verify_merge`) — `xtask audit-equivalence` gates on
+/// zero unverified merges.
+#[derive(Debug, Clone)]
+pub struct MergeRecord {
+    pub kind: KindSlot,
+    /// The pruned template (novel signature, equivalent canonical form).
+    pub pruned: AnyTemplate,
+    /// Bank index of the admitted representative it merged into.
+    pub representative: usize,
+}
+
 /// Drives concrete programs through parse → abstract → typecheck → dedup
 /// into a [`TemplateBank`].
 #[derive(Debug, Default)]
@@ -171,6 +201,7 @@ pub struct Miner {
     bank: TemplateBank,
     stats: MinerStats,
     budget: CostBudget,
+    merges: Vec<MergeRecord>,
 }
 
 impl Miner {
@@ -253,9 +284,13 @@ impl Miner {
                 return MineOutcome::Degenerate;
             }
         }
-        let outcome = match self.bank.try_add(abstracted) {
-            Ok(true) => MineOutcome::Mined,
-            Ok(false) => MineOutcome::Duplicate,
+        let outcome = match self.bank.try_add_classified(abstracted.clone()) {
+            Ok(crate::templates::AddOutcome::Added(_)) => MineOutcome::Mined,
+            Ok(crate::templates::AddOutcome::DuplicateSignature) => MineOutcome::Duplicate,
+            Ok(crate::templates::AddOutcome::EquivalentTo(rep)) => {
+                self.merges.push(MergeRecord { kind, pruned: abstracted, representative: rep });
+                MineOutcome::EquivalentTo(rep)
+            }
             Err(_) => MineOutcome::Rejected,
         };
         self.stats.bump(kind, outcome);
@@ -341,6 +376,12 @@ impl Miner {
         self.stats
     }
 
+    /// The canonical-equivalence prunings performed so far, in the order
+    /// they happened. Deterministic per seed (the gate is pure).
+    pub fn merges(&self) -> &[MergeRecord] {
+        &self.merges
+    }
+
     /// Renders the mined corpus in the `kind: template` line format the
     /// `xtask audit-templates --mined` gate parses, with a `#` header
     /// carrying the per-kind funnel counts. Deterministic: templates appear
@@ -353,11 +394,12 @@ impl Miner {
             let k = self.stats.kind(kind);
             let _ = writeln!(
                 out,
-                "# {}: {} mined, {} duplicates filtered, {} rejected, {} degenerate, \
-                 {} over budget, {} parse failures",
+                "# {}: {} mined, {} duplicates filtered, {} equivalent pruned, {} rejected, \
+                 {} degenerate, {} over budget, {} parse failures",
                 kind.name(),
                 k.mined,
                 k.duplicates,
+                k.equivalent,
                 k.rejected,
                 k.degenerate,
                 k.over_budget,
@@ -720,13 +762,32 @@ mod tests {
             "synthetic corpus must mine >= 1000 templates, got {mined} ({stats:?})"
         );
         for kind in [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith] {
+            // The canonical-equivalence gate prunes the order-swapped
+            // enumerations of the seed corpus (logic most of all: its seed
+            // deliberately emits both comparator argument orders), so the
+            // per-kind floor sits below the pre-pruning 100.
+            assert!(stats.kind(kind).mined >= 60, "kind {kind:?} too thin: {:?}", stats.kind(kind));
+        }
+        // The logic and arithmetic seeds deliberately enumerate both
+        // argument orders, so canonical pruning must fire there. The SQL
+        // seeds keep columns on the left and enumerate one conjunct order,
+        // so synthetic SQL has nothing to merge.
+        for kind in [KindSlot::Logic, KindSlot::Arith] {
             assert!(
-                stats.kind(kind).mined >= 100,
-                "kind {kind:?} too thin: {:?}",
+                stats.kind(kind).equivalent > 0,
+                "kind {kind:?} should prune some canonical equivalents: {:?}",
                 stats.kind(kind)
             );
         }
         assert_eq!(miner.bank().len(), mined);
+        assert_eq!(
+            miner.merges().len(),
+            [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith]
+                .iter()
+                .map(|&k| stats.kind(k).equivalent)
+                .sum::<usize>(),
+            "every pruning leaves a merge record for the witness harness"
+        );
         // Clean by construction: everything admitted passed the analyzer.
         for t in miner.bank().templates() {
             let analysis = t.as_program().analyze();

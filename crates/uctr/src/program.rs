@@ -104,6 +104,16 @@ pub trait ProgramTemplate: Send + Sync {
     /// RNG stream (see `crate::analysis`).
     fn analyze(&self) -> TemplateAnalysis;
 
+    /// The canonical form (unprefixed, like [`ProgramTemplate::signature`]):
+    /// holes alpha-renamed into first-use order, commutative operands
+    /// sorted, executor-faithful identities applied. Soundness contract:
+    /// two same-kind templates with equal canonical forms produce
+    /// *identical* outputs under identical RNG streams on every table —
+    /// the per-crate `canon` modules only apply rewrites that provably
+    /// preserve the instantiation draw stream, and `crate::analysis`'s
+    /// differential harness re-verifies every merge the miner performs.
+    fn canonicalize(&self) -> String;
+
     /// Samples the template's holes from `table`, returning a runnable
     /// program. All table scans go through the shared `ctx` caches and all
     /// per-attempt buffers come from `scratch`. The RNG draw sequence is
@@ -171,6 +181,10 @@ impl ProgramTemplate for SqlTemplate {
 
     fn analyze(&self) -> TemplateAnalysis {
         sqlexec::analysis::analyze(self)
+    }
+
+    fn canonicalize(&self) -> String {
+        sqlexec::canon::canonical_form(self)
     }
 
     fn try_instantiate(
@@ -264,6 +278,10 @@ impl ProgramTemplate for LfTemplate {
         logicforms::analysis::analyze(self)
     }
 
+    fn canonicalize(&self) -> String {
+        logicforms::canon::canonical_form(self)
+    }
+
     fn try_instantiate(
         &self,
         table: &Table,
@@ -333,6 +351,10 @@ impl ProgramTemplate for AeTemplate {
 
     fn analyze(&self) -> TemplateAnalysis {
         arithexpr::analysis::analyze(self)
+    }
+
+    fn canonicalize(&self) -> String {
+        arithexpr::canon::canonical_form(self)
     }
 
     fn try_instantiate(

@@ -20,7 +20,7 @@ use arithexpr::AeTemplate;
 use logicforms::LfTemplate;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 use sqlexec::SqlTemplate;
 use std::borrow::Cow;
 use tabular::{ExecContext, SchemaRequirement};
@@ -42,7 +42,14 @@ pub struct TemplateBank {
     /// of `templates[i]` (see `crate::analysis`); the pipeline prefilter
     /// reads it through [`TemplateBank::feasible_set`].
     requirements: Vec<SchemaRequirement>,
-    /// Indices into `templates`, stratified by `KindSlot as usize`.
+    /// Sampling slots into `templates`, stratified by `KindSlot as usize`.
+    /// One slot per *admission attempt* that survived signature filtration:
+    /// an admitted template gets a slot at its own index, and a canonical
+    /// equivalent leaves a slot pointing at its class representative. Since
+    /// an equivalent instantiates identically to its representative under
+    /// every RNG stream, the slot keeps the bank's draw distribution — and
+    /// its mean per-attempt cost — exactly what it would be without
+    /// canonical pruning, while `templates` stores each class once.
     by_kind: [Vec<usize>; N_TEMPLATE_KINDS],
     /// The inverted schema index: the *distinct* requirement lattice points
     /// occurring in the bank, in first-seen order. Requirements bucket on
@@ -53,6 +60,32 @@ pub struct TemplateBank {
     /// `point_of[i]` is the index into `points` of `requirements[i]`.
     point_of: Vec<usize>,
     signatures: FxHashSet<String>,
+    /// `canon_keys[i]` is the kind-prefixed canonical form of
+    /// `templates[i]` — its equivalence-class id (see the per-crate `canon`
+    /// modules). Within one bank every class has exactly one member: the
+    /// class *representative*, the first-added template of its class.
+    canon_keys: Vec<String>,
+    /// Canonical key → representative index into `templates`.
+    canon: FxHashMap<String, usize>,
+}
+
+/// How [`TemplateBank::try_add_classified`] disposed of a well-typed
+/// template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddOutcome {
+    /// Novel signature *and* novel canonical form; admitted at this index.
+    Added(usize),
+    /// A template of the same kind with the same exact signature is
+    /// already present (the paper's filtration step).
+    DuplicateSignature,
+    /// Novel signature, but canonically equivalent to `templates[i]` —
+    /// same instantiation behavior under every RNG stream, so storing it
+    /// would be pure duplication. The representative inherits the sampling
+    /// slot the equivalent would have occupied (keeping the draw
+    /// distribution identical to the unpruned bank), and the caller gets
+    /// the representative's index (the miner records it as a merge to
+    /// verify differentially).
+    EquivalentTo(usize),
 }
 
 impl TemplateBank {
@@ -108,34 +141,63 @@ impl TemplateBank {
     /// Adds a template of any kind after statically typechecking it.
     /// `Err` carries the analyzer's diagnostics for an ill-typed template
     /// (one `try_instantiate` would deterministically reject on every
-    /// table); `Ok(false)` means a well-typed duplicate was filtered.
+    /// table); `Ok(false)` means a well-typed duplicate — exact signature
+    /// *or* canonical equivalent — was filtered (see
+    /// [`TemplateBank::try_add_classified`] to tell the two apart).
     pub fn try_add(&mut self, t: AnyTemplate) -> Result<bool, TemplateDiagnostics> {
+        self.try_add_classified(t).map(|o| matches!(o, AddOutcome::Added(_)))
+    }
+
+    /// [`TemplateBank::try_add`] with the duplicate arm split: exact
+    /// signature collisions and canonical-form equivalences report
+    /// different [`AddOutcome`]s, and equivalences name the surviving
+    /// representative. Survivor state (insertion order, lattice points) is
+    /// written exactly as before; an equivalence additionally appends a
+    /// sampling slot for the representative (see [`AddOutcome`]), so the
+    /// pruned bank's draw distribution matches the unpruned bank's.
+    pub fn try_add_classified(
+        &mut self,
+        t: AnyTemplate,
+    ) -> Result<AddOutcome, TemplateDiagnostics> {
         let analyzed = AnalyzedTemplate::of(t.as_program());
         if !analyzed.is_clean() {
             return Err(analyzed.into_diagnostics());
         }
         let sig = format!("{}:{}", kind_prefix(analyzed.kind), analyzed.signature);
-        if self.signatures.insert(sig) {
-            self.by_kind[analyzed.kind as usize].push(self.templates.len());
-            self.templates.push(t);
-            // Bucket the requirement on its lattice point. The number of
-            // distinct points is tiny compared to the number of templates
-            // (requirements only record small row/column minima), so a
-            // linear probe beats hashing here and keeps the first-seen
-            // order deterministic.
-            let point = match self.points.iter().position(|p| *p == analyzed.requirement) {
-                Some(p) => p,
-                None => {
-                    self.points.push(analyzed.requirement);
-                    self.points.len() - 1
-                }
-            };
-            self.point_of.push(point);
-            self.requirements.push(analyzed.requirement);
-            Ok(true)
-        } else {
-            Ok(false)
+        if self.signatures.contains(&sig) {
+            return Ok(AddOutcome::DuplicateSignature);
         }
+        let key = format!("{}:{}", kind_prefix(analyzed.kind), t.as_program().canonicalize());
+        if let Some(&rep) = self.canon.get(&key) {
+            // The representative inherits the slot this template would have
+            // taken: the stratum keeps one entry per surviving admission
+            // attempt, so sampling draws the same stream — and the same
+            // per-attempt cost distribution — as the unpruned bank, while
+            // the template itself is stored only once.
+            self.by_kind[analyzed.kind as usize].push(rep);
+            return Ok(AddOutcome::EquivalentTo(rep));
+        }
+        self.signatures.insert(sig);
+        let index = self.templates.len();
+        self.canon.insert(key.clone(), index);
+        self.canon_keys.push(key);
+        self.by_kind[analyzed.kind as usize].push(index);
+        self.templates.push(t);
+        // Bucket the requirement on its lattice point. The number of
+        // distinct points is tiny compared to the number of templates
+        // (requirements only record small row/column minima), so a
+        // linear probe beats hashing here and keeps the first-seen
+        // order deterministic.
+        let point = match self.points.iter().position(|p| *p == analyzed.requirement) {
+            Some(p) => p,
+            None => {
+                self.points.push(analyzed.requirement);
+                self.points.len() - 1
+            }
+        };
+        self.point_of.push(point);
+        self.requirements.push(analyzed.requirement);
+        Ok(AddOutcome::Added(index))
     }
 
     /// Parses a template of `kind` from surface text and
@@ -182,8 +244,10 @@ impl TemplateBank {
         self.add_arith(arithexpr::abstract_program(program))
     }
 
-    /// Samples a template of `kind` uniformly, as a trait object. `None`
-    /// when the bank holds no template of that kind (or `kind` is
+    /// Samples a template of `kind` uniformly over the sampling slots, as
+    /// a trait object — a representative carrying equivalence weight is
+    /// drawn once per slot, so the distribution matches the unpruned bank.
+    /// `None` when the bank holds no template of that kind (or `kind` is
     /// [`KindSlot::None`]). Consumes exactly one `gen_range` draw when
     /// templates of the kind exist — the same stream a `slice::choose`
     /// over a dedicated per-kind vector would consume.
@@ -206,8 +270,9 @@ impl TemplateBank {
     }
 
     /// The feasible template set of `ctx`: for each kind, the
-    /// insertion-ordered template indices whose [`SchemaRequirement`] the
-    /// context satisfies. This is the inverted-index replacement for the
+    /// slot-ordered sampling slots whose [`SchemaRequirement`] the
+    /// context satisfies (a feasible representative keeps every one of its
+    /// equivalence-weight slots). This is the inverted-index replacement for the
     /// per-pair `satisfied_by` check: `satisfied_by` runs once per
     /// *distinct lattice point* per context (not once per template, and
     /// not once per attempt), and every subsequent
@@ -243,9 +308,19 @@ impl TemplateBank {
         FeasibleSet { bank: self, by_kind }
     }
 
-    /// Number of templates of `kind` (zero for [`KindSlot::None`]).
+    /// Number of sampling slots of `kind` (zero for [`KindSlot::None`]).
+    /// At least the number of distinct templates of the kind; larger when
+    /// canonical equivalents left weight slots on their representatives.
     pub fn stratum_len(&self, kind: KindSlot) -> usize {
         self.by_kind.get(kind as usize).map_or(0, Vec::len)
+    }
+
+    /// The sampling slots of `kind`: indices into [`TemplateBank::templates`],
+    /// one per surviving admission attempt, in admission order. An index
+    /// repeats once per canonical equivalent merged into it (empty for
+    /// [`KindSlot::None`]).
+    pub fn stratum(&self, kind: KindSlot) -> &[usize] {
+        self.by_kind.get(kind as usize).map_or(&[][..], Vec::as_slice)
     }
 
     /// The distinct requirement lattice points, in first-seen order.
@@ -253,9 +328,11 @@ impl TemplateBank {
         &self.points
     }
 
-    /// All templates of one kind, in insertion order.
+    /// All distinct templates of one kind, in insertion order. Iterates
+    /// the deduplicated store, not the sampling slots, so a representative
+    /// carrying equivalence weight still appears exactly once.
     fn of_kind(&self, kind: KindSlot) -> impl Iterator<Item = &AnyTemplate> {
-        self.by_kind[kind as usize].iter().map(|&i| &self.templates[i])
+        self.templates.iter().filter(move |t| t.as_program().kind() == kind)
     }
 
     /// The SQL templates, in insertion order.
@@ -299,6 +376,23 @@ impl TemplateBank {
         &self.requirements
     }
 
+    /// The kind-prefixed canonical keys (equivalence-class ids), parallel
+    /// to [`TemplateBank::templates`]. Pairwise distinct by construction:
+    /// [`TemplateBank::try_add_classified`] turns later members of a class
+    /// away, so the stored template *is* its class representative.
+    pub fn canonical_keys(&self) -> &[String] {
+        &self.canon_keys
+    }
+
+    /// The index of the admitted template canonically equivalent to `t`
+    /// (its class representative), if any. Pure — consults no RNG — so
+    /// mining gated on it stays deterministic per seed.
+    pub fn equivalent_of(&self, t: &AnyTemplate) -> Option<usize> {
+        let p = t.as_program();
+        let key = format!("{}:{}", kind_prefix(p.kind()), p.canonicalize());
+        self.canon.get(&key).copied()
+    }
+
     pub fn len(&self) -> usize {
         self.templates.len()
     }
@@ -311,10 +405,11 @@ impl TemplateBank {
 /// One context's feasible view of a [`TemplateBank`], produced by
 /// [`TemplateBank::feasible_set`].
 ///
-/// Per kind it holds the insertion-ordered indices of the templates whose
-/// requirement the context satisfies — borrowed straight from the bank's
-/// stratum when the whole stratum is feasible (the common case; zero
-/// allocations), an owned filtered list otherwise.
+/// Per kind it holds the slot-ordered sampling slots of the templates
+/// whose requirement the context satisfies (a representative carrying
+/// equivalence weight keeps one slot per merged equivalent) — borrowed
+/// straight from the bank's stratum when the whole stratum is feasible
+/// (the common case; zero allocations), an owned filtered list otherwise.
 #[derive(Debug, Clone)]
 pub struct FeasibleSet<'a> {
     bank: &'a TemplateBank,
@@ -332,13 +427,14 @@ impl<'a> FeasibleSet<'a> {
         feasible.choose(rng).map(|&i| self.bank.templates[i].as_program())
     }
 
-    /// The feasible template indices of `kind`, in bank insertion order
-    /// (empty for [`KindSlot::None`]).
+    /// The feasible sampling slots of `kind`, in bank slot order — may
+    /// repeat a representative's index once per merged equivalent (empty
+    /// for [`KindSlot::None`]).
     pub fn indices(&self, kind: KindSlot) -> &[usize] {
         self.by_kind.get(kind as usize).map_or(&[][..], |c| c.as_ref())
     }
 
-    /// Number of feasible templates of `kind`.
+    /// Number of feasible sampling slots of `kind`.
     pub fn len(&self, kind: KindSlot) -> usize {
         self.indices(kind).len()
     }
@@ -506,6 +602,89 @@ mod tests {
     }
 
     #[test]
+    fn builtin_canonical_forms_are_pairwise_distinct() {
+        // The golden-pipeline digests pin sampling over the full builtin
+        // strata, so canonical dedup must never turn a builtin away: every
+        // builtin must be its own equivalence class.
+        let bank = TemplateBank::builtin();
+        assert_eq!(bank.len(), BUILTIN_SQL.len() + BUILTIN_LOGIC.len() + BUILTIN_ARITH.len());
+        let keys = bank.canonical_keys();
+        assert_eq!(keys.len(), bank.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert!(
+                keys[..i].iter().all(|other| other != k),
+                "builtin template {i} ({}) shares canonical key {k}",
+                bank.templates()[i].as_program().signature()
+            );
+        }
+    }
+
+    #[test]
+    fn canonically_equivalent_templates_are_turned_away() {
+        let mut bank = TemplateBank::new();
+        let first = sql("select c1 from w where c2 = val1");
+        let flipped = sql("select c1 from w where val1 = c2");
+        assert_eq!(
+            bank.try_add_classified(AnyTemplate::Sql(first.clone())),
+            Ok(AddOutcome::Added(0))
+        );
+        assert_eq!(
+            bank.try_add_classified(AnyTemplate::Sql(first)),
+            Ok(AddOutcome::DuplicateSignature),
+            "exact re-add reports a signature duplicate, not an equivalence"
+        );
+        assert_eq!(
+            bank.try_add_classified(AnyTemplate::Sql(flipped.clone())),
+            Ok(AddOutcome::EquivalentTo(0)),
+            "orientation-flipped comparison merges into its representative"
+        );
+        assert_eq!(bank.len(), 1, "equivalents never enter the bank");
+        assert_eq!(bank.equivalent_of(&AnyTemplate::Sql(flipped)), Some(0));
+        // The infallible wrapper folds both duplicate flavors into false.
+        assert!(!bank.add_sql(sql("select c1 from w where val3 = c7")));
+        assert_eq!(bank.canonical_keys().len(), 1);
+        // Both equivalents left weight slots on the representative; the
+        // exact signature duplicate left none.
+        assert_eq!(bank.stratum_len(crate::telemetry::KindSlot::Sql), 3);
+        assert_eq!(bank.stratum(crate::telemetry::KindSlot::Sql), [0, 0, 0]);
+    }
+
+    #[test]
+    fn equivalence_weight_slots_preserve_the_unpruned_draw_stream() {
+        // A pruned equivalent instantiates identically to its
+        // representative under every RNG stream (`analysis::verify_merge`
+        // witnesses that), so the unpruned bank's draw stream maps
+        // slot-for-slot onto the pruned bank's — provided the
+        // representative inherits the equivalent's slot. Pin that mapping:
+        // sampling the pruned bank must be stream-identical to a
+        // `slice::choose` over the counterfactual unpruned stratum.
+        let mut bank = TemplateBank::new();
+        let rep = "select c1 from w where c2 = val1";
+        let other = "select c3 from w";
+        assert_eq!(bank.try_add_classified(AnyTemplate::Sql(sql(rep))), Ok(AddOutcome::Added(0)));
+        assert_eq!(bank.try_add_classified(AnyTemplate::Sql(sql(other))), Ok(AddOutcome::Added(1)));
+        assert_eq!(
+            bank.try_add_classified(AnyTemplate::Sql(sql("select c1 from w where val1 = c2"))),
+            Ok(AddOutcome::EquivalentTo(0))
+        );
+        assert_eq!(bank.len(), 2, "the equivalent is stored only as weight");
+        assert_eq!(bank.stratum(crate::telemetry::KindSlot::Sql), [0, 1, 0]);
+        // The flipped template draws the same stream as `rep`, so the
+        // unpruned stratum is [rep, other, rep] up to signature.
+        let unpruned = [rep, other, rep];
+        for seed in 0..32u64 {
+            let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+            let drawn = bank
+                .choose(crate::telemetry::KindSlot::Sql, &mut a)
+                .map(|t| t.signature())
+                .unwrap_or_default();
+            let expect = unpruned.choose(&mut b).copied().unwrap_or_default();
+            assert_eq!(drawn, expect, "draw stream diverged at seed {seed}");
+        }
+    }
+
+    #[test]
     fn dedup_does_not_collide_across_kinds() {
         // Signatures are namespaced per kind before entering the shared
         // dedup set, so templates of different kinds never collide there:
@@ -520,6 +699,31 @@ mod tests {
         assert_eq!(bank.sql().len(), 1);
         assert_eq!(bank.logic().len(), 1);
         assert_eq!(bank.len(), 2);
+    }
+
+    #[test]
+    fn cross_kind_signature_collisions_cannot_reach_the_shared_sets() {
+        // No two kinds can render the same unprefixed signature today: SQL
+        // statements start with `select`, logic applications brace their
+        // arguments (`op { a ; b }`), arithmetic steps parenthesize them
+        // (`op( a , b )`). So a literal collision cannot be constructed —
+        // but the dedup *and* canonical keys still namespace by kind, so a
+        // future surface-syntax overlap could never merge across DSLs.
+        let prefixes = [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith].map(kind_prefix);
+        for (i, p) in prefixes.iter().enumerate() {
+            assert!(prefixes[i + 1..].iter().all(|q| q != p), "kind prefixes must be distinct");
+        }
+        // The closest pair the DSLs allow: the same operator word with the
+        // same operand count. Both survive, under namespaced keys.
+        let mut bank = TemplateBank::new();
+        let ae = AeTemplate::parse("greater( val1 , val2 )")
+            .unwrap_or_else(|e| panic!("ae template: {e}"));
+        let lf = logic("greater { max { all_rows ; c1 } ; val1 }");
+        assert!(bank.add_arith(ae));
+        assert!(bank.add_logic(lf));
+        assert_eq!(bank.len(), 2);
+        assert!(bank.canonical_keys()[0].starts_with("ae:"));
+        assert!(bank.canonical_keys()[1].starts_with("lf:"));
     }
 
     #[test]

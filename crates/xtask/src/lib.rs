@@ -13,15 +13,22 @@
 //!
 //! Suppressions live in `ci/lint_allowlist.toml` (justification required);
 //! per-crate per-rule counts are ratcheted in `ci/lint_ratchet.json` and
-//! compared two-sided in CI. See `DESIGN.md` §5.
+//! compared two-sided in CI. See `DESIGN.md` §6.
 //!
 //! `cargo run -p xtask -- audit-templates` statically typechecks the
 //! builtin program-template bank (plus optional `--mined` corpora) with
 //! the uctr analysis layer and ratchets per-kind diagnostic counts in
-//! `ci/template_health.json`. See `DESIGN.md` §6 and [`audit`].
+//! `ci/template_health.json`. See `DESIGN.md` §7 and [`audit`].
+//!
+//! `cargo run -p xtask -- audit-equivalence` rebuilds the mined corpus,
+//! reports canonical-form equivalence classes and subsumption edges, and
+//! differentially verifies every canonical merge the miner performed —
+//! ratcheted under the `equivalence` group of the same health file, with
+//! a hard zero gate on unverified merges. See [`equivalence`].
 
 pub mod allowlist;
 pub mod audit;
+pub mod equivalence;
 pub mod lint;
 pub mod ratchet;
 pub mod report;

@@ -15,6 +15,7 @@ xtask — workspace-native static analysis for UCTR
 USAGE:
     cargo run -p xtask -- lint [OPTIONS]
     cargo run -p xtask -- audit-templates [OPTIONS]
+    cargo run -p xtask -- audit-equivalence [OPTIONS]
     cargo run -p xtask -- mine [OPTIONS]
 
 LINT OPTIONS:
@@ -45,6 +46,26 @@ AUDIT-TEMPLATES OPTIONS:
                             vacuous predicate)
     --quiet                 suppress per-diagnostic lines
 
+AUDIT-EQUIVALENCE OPTIONS:
+    --root <DIR>            workspace root (default: auto-detected)
+    --health <FILE>         health ratchet file (default: ci/template_health.json);
+                            this audit owns only its `equivalence` counts group —
+                            audit-templates ignores that group and preserves it
+    --seed <N>              synthetic-corpus seed (default: 2023)
+    --seeds <N>             differential-witness seeds per table (default: 32)
+    --check                 fail unless the `equivalence` counts match the
+                            health file exactly (two-sided)
+    --write                 rewrite the `equivalence` group from current counts,
+                            leaving every other group and the floors untouched
+    --json <FILE>           write the machine-readable report (classes per kind,
+                            merged classes with their pruned members, witness
+                            failures, subsumption edge count)
+    --md <FILE>             write a markdown summary table (for CI job summaries)
+    --quiet                 suppress per-merge lines
+
+    Regardless of --check, the audit FAILS if any canonical merge lacks a
+    differential witness (unverified_merges must be zero).
+
 MINE OPTIONS:
     --root <DIR>            workspace root (default: auto-detected)
     --out <FILE>            mined corpus output (default: ci/mined_templates.txt)
@@ -63,6 +84,7 @@ fn main() -> ExitCode {
     let run: fn(&[String]) -> Result<bool, String> = match args.first().map(String::as_str) {
         Some("lint") => run_lint_cli,
         Some("audit-templates") => run_audit_cli,
+        Some("audit-equivalence") => run_equiv_cli,
         Some("mine") => run_mine_cli,
         Some("-h" | "--help") | None => {
             print!("{USAGE}");
@@ -334,7 +356,10 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
     let mut status: Option<RatchetStatus> = None;
     let mut clean = true;
     if opts.check {
-        let recorded = ratchet::load(&health_path)?;
+        let mut recorded = ratchet::load(&health_path)?;
+        // The `equivalence` group belongs to `audit-equivalence`; this
+        // audit neither produces nor compares it.
+        recorded.counts.remove(xtask::equivalence::GROUP);
         let (mut regressions, mut stale) = ratchet::compare(&outcome.counts, &recorded);
         for d in &regressions {
             eprintln!(
@@ -380,13 +405,21 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
     }
 
     if opts.write {
-        let (comment, existing_floors) = match ratchet::load(&health_path) {
-            Ok(existing) => (existing.comment, existing.floors),
-            Err(_) => (default_health_comment(), ratchet::Counts::new()),
+        let (comment, existing_floors, equivalence) = match ratchet::load(&health_path) {
+            Ok(existing) => {
+                let equiv = existing.counts.get(xtask::equivalence::GROUP).cloned();
+                (existing.comment, existing.floors, equiv)
+            }
+            Err(_) => (default_health_comment(), ratchet::Counts::new(), None),
         };
         let floors =
             if opts.mined.is_empty() { existing_floors } else { audit::mined_counts(&outcome) };
-        let new = ratchet::Ratchet { comment, counts: outcome.counts.clone(), floors };
+        let mut counts = outcome.counts.clone();
+        if let Some(group) = equivalence {
+            // Carry the other audit's group through unchanged.
+            counts.insert(xtask::equivalence::GROUP.to_string(), group);
+        }
+        let new = ratchet::Ratchet { comment, counts, floors };
         std::fs::write(&health_path, ratchet::render(&new))
             .map_err(|e| format!("cannot write {}: {e}", health_path.display()))?;
         println!("wrote template health {}", health_path.display());
@@ -414,6 +447,174 @@ fn run_audit(opts: &AuditOpts) -> Result<bool, String> {
         }
     );
     Ok(clean)
+}
+
+// --------------------------------------------------- audit-equivalence ----
+
+struct EquivOpts {
+    root: PathBuf,
+    health: PathBuf,
+    seed: u64,
+    seeds: u32,
+    check: bool,
+    write: bool,
+    json: Option<PathBuf>,
+    md: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn run_equiv_cli(args: &[String]) -> Result<bool, String> {
+    let opts = parse_equiv_opts(args).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    run_equiv(&opts)
+}
+
+fn parse_equiv_opts(args: &[String]) -> Result<EquivOpts, String> {
+    let mut opts = EquivOpts {
+        root: default_root(),
+        health: PathBuf::from("ci/template_health.json"),
+        seed: uctr::mining::SYNTHETIC_SEED,
+        seeds: uctr::analysis::WITNESS_SEEDS,
+        check: false,
+        write: false,
+        json: None,
+        md: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_arg =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value_arg("--root")?),
+            "--health" => opts.health = PathBuf::from(value_arg("--health")?),
+            "--seed" => {
+                opts.seed = value_arg("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed must be an integer: {e}"))?;
+            }
+            "--seeds" => {
+                opts.seeds = value_arg("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds must be an integer: {e}"))?;
+            }
+            "--check" => opts.check = true,
+            "--write" => opts.write = true,
+            "--json" => opts.json = Some(PathBuf::from(value_arg("--json")?)),
+            "--md" => opts.md = Some(PathBuf::from(value_arg("--md")?)),
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_equiv(opts: &EquivOpts) -> Result<bool, String> {
+    use xtask::equivalence;
+
+    let miner = mine_corpus(opts.seed);
+    let report = uctr::analysis::EquivalenceReport::over(miner.bank(), miner.merges(), opts.seeds);
+    let rep_signatures: Vec<String> =
+        miner.bank().templates().iter().map(|t| t.as_program().signature()).collect();
+
+    if !opts.quiet {
+        for class in report.classes.iter().filter(|c| !c.pruned.is_empty()) {
+            println!(
+                "merged: {} <= {} pruned equivalent(s): {}",
+                rep_signatures.get(class.representative).map_or("?", String::as_str),
+                class.pruned.len(),
+                class.pruned.join(" | "),
+            );
+        }
+    }
+    // The hard gate prints its evidence unconditionally: an unverified
+    // merge is a soundness bug in the canonicalizer, not a count drift.
+    for failure in &report.failures {
+        eprintln!("UNVERIFIED MERGE: {failure}");
+    }
+    let gate_ok = report.unverified_merges == 0;
+
+    let current = equivalence::counts(&report);
+    let health_path = resolve(&opts.root, &opts.health);
+    let mut status: Option<RatchetStatus> = None;
+    let mut clean = true;
+    if opts.check {
+        let recorded = ratchet::load(&health_path)?;
+        // Compare only this audit's group, two-sided; the rest of the
+        // file belongs to audit-templates.
+        let mut recorded_group = ratchet::Counts::new();
+        if let Some(group) = recorded.counts.get(equivalence::GROUP) {
+            recorded_group.insert(equivalence::GROUP.to_string(), group.clone());
+        }
+        let recorded = ratchet::Ratchet {
+            comment: recorded.comment,
+            counts: recorded_group,
+            floors: ratchet::Counts::new(),
+        };
+        let (regressions, stale) = ratchet::compare(&current, &recorded);
+        for d in &regressions {
+            eprintln!(
+                "equivalence REGRESSION: {}/{} rose {} -> {} — the canonical structure of the \
+                 mined bank changed; inspect the merge log, then regenerate with \
+                 `cargo run -p xtask -- audit-equivalence --write`",
+                d.krate, d.rule, d.recorded, d.current
+            );
+        }
+        for d in &stale {
+            eprintln!(
+                "equivalence stale: {}/{} fell {} -> {} — lock in the change with \
+                 `cargo run -p xtask -- audit-equivalence --write`",
+                d.krate, d.rule, d.recorded, d.current
+            );
+        }
+        clean = regressions.is_empty() && stale.is_empty();
+        status = Some(RatchetStatus {
+            path: xtask::workspace::rel_display(&opts.root, &health_path),
+            regressions,
+            stale,
+        });
+    }
+
+    if opts.write {
+        let mut existing = match ratchet::load(&health_path) {
+            Ok(existing) => existing,
+            Err(_) => ratchet::Ratchet {
+                comment: default_health_comment(),
+                counts: ratchet::Counts::new(),
+                floors: ratchet::Counts::new(),
+            },
+        };
+        existing.counts.extend(current.clone());
+        std::fs::write(&health_path, ratchet::render(&existing))
+            .map_err(|e| format!("cannot write {}: {e}", health_path.display()))?;
+        println!("wrote equivalence counts into {}", health_path.display());
+    }
+
+    if let Some(path) = &opts.json {
+        std::fs::write(path, equivalence::json_report(&report, &rep_signatures, status.as_ref()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.md {
+        std::fs::write(path, equivalence::markdown_summary(&report, status.as_ref()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    println!(
+        "xtask audit-equivalence: {} class(es) ({} merged), {} pruned, {} verified merge(s), \
+         {} unverified, {} subsumption edge(s){}",
+        report.class_count(),
+        report.merged_classes(),
+        report.pruned_total(),
+        report.verified_merges,
+        report.unverified_merges,
+        report.subsumption_edges,
+        match (opts.check, clean, gate_ok) {
+            (_, _, false) => " — WITNESS GATE FAILED",
+            (true, true, true) => " — equivalence ok",
+            (true, false, true) => " — EQUIVALENCE CHECK FAILED",
+            (false, _, true) => "",
+        }
+    );
+    Ok(clean && gate_ok)
 }
 
 // ------------------------------------------------------------------ mine ----
@@ -482,11 +683,12 @@ fn run_mine(opts: &MineOpts) -> Result<bool, String> {
     for kind in [KindSlot::Sql, KindSlot::Logic, KindSlot::Arith] {
         let k = stats.kind(kind);
         println!(
-            "xtask mine: {:<5} {} mined, {} duplicate(s), {} rejected, {} degenerate, \
-             {} over budget, {} parse failure(s)",
+            "xtask mine: {:<5} {} mined, {} duplicate(s), {} equivalent pruned, {} rejected, \
+             {} degenerate, {} over budget, {} parse failure(s)",
             kind.name(),
             k.mined,
             k.duplicates,
+            k.equivalent,
             k.rejected,
             k.degenerate,
             k.over_budget,
@@ -522,6 +724,9 @@ fn default_health_comment() -> String {
     "Per-kind per-diagnostic-code counts over the builtin template bank, measured by \
      `cargo run -p xtask -- audit-templates`. CI compares two-sided: counts above these \
      values mean an ill-typed template slipped in; counts below mean templates were \
-     fixed and this file must be regenerated with --write. Missing entries are zero."
+     fixed and this file must be regenerated with --write. Missing entries are zero. \
+     The `equivalence` group is owned by `cargo run -p xtask -- audit-equivalence` \
+     (canonical classes, pruned equivalents, differential-witness and subsumption \
+     counts over the mined bank) and is ignored/preserved by audit-templates."
         .to_string()
 }

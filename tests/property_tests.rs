@@ -407,10 +407,22 @@ fn feasible_set_matches_brute_force_requirement_scan() {
             let ctx = ExecContext::new(table);
             let feasible = bank.feasible_set(&ctx);
             for kind in kinds {
-                // Ground truth: scan every template of the kind and check
-                // its requirement directly — the O(templates) path the
-                // inverted index replaces.
+                // Ground truth: check every sampling slot's requirement
+                // directly — the O(slots) path the inverted index replaces.
+                // The mined bank's strata carry equivalence-weight slots
+                // (a representative repeats once per canonically merged
+                // equivalent), so the slot list, not the deduplicated
+                // template list, is the unit of sampling.
                 let brute: Vec<usize> = bank
+                    .stratum(kind)
+                    .iter()
+                    .copied()
+                    .filter(|&i| bank.requirements()[i].satisfied_by(&ctx))
+                    .collect();
+                // Non-circularity: the slots cover exactly the distinct
+                // feasible templates of the kind found by a full scan of
+                // the deduplicated store.
+                let distinct: std::collections::BTreeSet<usize> = bank
                     .templates()
                     .iter()
                     .enumerate()
@@ -419,6 +431,12 @@ fn feasible_set_matches_brute_force_requirement_scan() {
                     })
                     .map(|(i, _)| i)
                     .collect();
+                assert_eq!(
+                    brute.iter().copied().collect::<std::collections::BTreeSet<usize>>(),
+                    distinct,
+                    "feasible slots of `{name}` cover a different template set than the \
+                     full-store scan (kind {kind:?})"
+                );
                 assert_eq!(
                     feasible.indices(kind),
                     &brute[..],
