@@ -1,4 +1,4 @@
-//! Design-choice ablations (DESIGN.md §12): the knobs that are not in the
+//! Design-choice ablations (DESIGN.md §13): the knobs that are not in the
 //! paper's Table VIII but shape the reproduction's own design — the noise
 //! channel's rate, the fluency-reranker's n-gram order, the synthetic data
 //! volume per table, and the auto-generated template bank (the paper's

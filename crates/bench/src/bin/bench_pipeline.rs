@@ -291,11 +291,14 @@ fn main() {
             }
         }
         // Relative gate: the mined bank (same pipelines, ~20× the templates)
-        // may cost at most the committed regression fraction vs the builtin
+        // may cost at most the committed gap fraction vs the builtin
         // single-thread rate measured moments ago on the same machine. An
         // absolute floor would re-measure the runner; this ratio measures
-        // the index.
-        let max_regression = floor.bench_max_throughput_regression.unwrap_or(0.15);
+        // the index. The gap tolerance is calibrated separately from the
+        // absolute-floor margin (`bench_mined_max_gap`) because the ratio
+        // of two back-to-back measurements is itself host-sensitive.
+        let max_regression =
+            floor.bench_mined_max_gap.or(floor.bench_max_throughput_regression).unwrap_or(0.15);
         let mined_floor = single.samples_per_sec * (1.0 - max_regression);
         if mined.samples_per_sec < mined_floor {
             eprintln!(
@@ -311,5 +314,15 @@ fn main() {
             "bench throughput gate passed for the mined bank ({:.0}/s vs builtin {:.0}/s)",
             mined.samples_per_sec, single.samples_per_sec,
         );
+        // Absolute ceiling on steady-state allocations per sample: the
+        // counting-allocator measurement has no wall-clock in it, so any
+        // increase is a real allocation regression, not runner noise.
+        match floor.check_bench_allocs(allocs_per_sample) {
+            Ok(()) => println!("bench alloc gate passed ({allocs_per_sample:.1}/sample)"),
+            Err(msg) => {
+                eprintln!("bench alloc gate FAILED: {msg} (floor: {path})");
+                std::process::exit(1);
+            }
+        }
     }
 }

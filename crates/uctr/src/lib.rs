@@ -29,6 +29,7 @@ pub mod mqaqg;
 pub mod pipeline;
 pub mod program;
 pub mod sample;
+pub mod serve;
 pub mod telemetry;
 pub mod templates;
 
@@ -41,6 +42,10 @@ pub use mqaqg::{generate_mqaqg, MqaQgConfig};
 pub use pipeline::{TableWithContext, TaskKind, UctrConfig, UctrPipeline};
 pub use program::{AnyTemplate, GenScratch, InstantiatedProgram, ProgramOutput, ProgramTemplate};
 pub use sample::{AnswerKind, Dataset, EvidenceType, Label, ProgramKind, Sample, Verdict};
+pub use serve::{
+    Client, Daemon, GenRequest, GenResponse, RequestSpec, ServeConfig, ServeStats, SubmitError,
+    WireTable,
+};
 pub use telemetry::{
     DiscardReport, KindReport, KindSlot, PipelineReport, SourceReport, TelemetryBank, TimingReport,
 };

@@ -171,13 +171,38 @@ impl UctrPipeline {
         let tel = TelemetryBank::new();
         let mut out: Vec<Sample> = Vec::new();
         let mut scratch = GenScratch::default();
-        for (index, input) in inputs.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(input_seed(self.config.seed, index as u64));
-            self.generate_for(input, &mut rng, &mut out, &tel, &mut scratch);
-        }
-        self.finalize(&mut out, &tel);
+        self.generate_request(&self.config, inputs, &mut out, &tel, &mut scratch);
         let report = tel.report(1);
         (out, report)
+    }
+
+    /// Serving entry point ([`crate::serve`]): runs the full generation
+    /// loop — including finalization — under a caller-supplied config (the
+    /// per-request override of seed / task / samples-per-table), appending
+    /// accepted samples to `out`, recording telemetry into `tel`, and
+    /// reusing the caller's warm `scratch` buffers.
+    ///
+    /// The sample bytes are a pure function of `(cfg, inputs)`: every input
+    /// seeds its own RNG stream from `(cfg.seed, input index)` exactly like
+    /// the batch paths, and finalization reseeds from `cfg.seed` over the
+    /// samples this call appended — never over pre-existing `out` content.
+    /// Nothing depends on the calling thread or on co-running requests,
+    /// which is what makes daemon responses byte-identical regardless of
+    /// worker interleaving.
+    pub fn generate_request(
+        &self,
+        cfg: &UctrConfig,
+        inputs: &[TableWithContext],
+        out: &mut Vec<Sample>,
+        tel: &TelemetryBank,
+        scratch: &mut GenScratch,
+    ) {
+        let base = out.len();
+        for (index, input) in inputs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(input_seed(cfg.seed, index as u64));
+            self.generate_for(cfg, input, &mut rng, out, tel, scratch);
+        }
+        self.finalize(cfg, &mut out[base..], tel);
     }
 
     /// Parallel variant of [`UctrPipeline::generate`]: workers pull inputs
@@ -250,6 +275,7 @@ impl UctrPipeline {
                                     (start + offset) as u64,
                                 ));
                                 self.generate_for(
+                                    &self.config,
                                     input,
                                     &mut rng,
                                     &mut out,
@@ -276,7 +302,7 @@ impl UctrPipeline {
         // and flattening restores exact input order.
         ranges.sort_by_key(|(start, _)| *start);
         let mut out: Vec<Sample> = ranges.into_iter().flat_map(|(_, v)| v).collect();
-        self.finalize(&mut out, &tel);
+        self.finalize(&self.config, &mut out, &tel);
         let mut report = tel.report(threads);
         report.workers = workers;
         (out, report)
@@ -285,17 +311,19 @@ impl UctrPipeline {
     /// Post-generation passes over the merged sample list. Runs on the
     /// final, input-ordered output with a fresh seed so its effect is
     /// independent of how generation was sharded.
-    fn finalize(&self, out: &mut [Sample], tel: &TelemetryBank) {
+    fn finalize(&self, cfg: &UctrConfig, out: &mut [Sample], tel: &TelemetryBank) {
         // Unknown verdicts: pair a fraction of claims with evidence from a
         // different table so the claim becomes undecidable.
-        if self.config.task == TaskKind::FactVerification && self.config.unknown_rate > 0.0 {
-            let mut rng = StdRng::seed_from_u64(self.config.seed);
-            self.inject_unknowns(out, &mut rng, tel);
+        if cfg.task == TaskKind::FactVerification && cfg.unknown_rate > 0.0 {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            self.inject_unknowns(cfg, out, &mut rng, tel);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn generate_for(
         &self,
+        cfg: &UctrConfig,
         input: &TableWithContext,
         rng: &mut StdRng,
         out: &mut Vec<Sample>,
@@ -315,22 +343,24 @@ impl UctrPipeline {
         // draw over the feasible stratum (no per-pair requirement check).
         let ctx = ExecContext::new(table);
         let feasible = self.bank.feasible_set(&ctx);
-        let n = self.config.samples_per_table;
+        let n = cfg.samples_per_table;
         let push = |source: Source, s: Sample, out: &mut Vec<Sample>| {
             tel.source_accept(source);
             tel.stage(KindSlot::of(&s.program), Stage::Accepted);
             out.push(with_topic(s, input));
         };
 
-        if self.config.table_only {
+        if cfg.table_only {
             for _ in 0..n {
                 tel.source_attempt(Source::TableOnly);
-                if let Some(s) = self.table_only_sample(table, &ctx, &feasible, rng, tel, scratch) {
+                if let Some(s) =
+                    self.table_only_sample(cfg, table, &ctx, &feasible, rng, tel, scratch)
+                {
                     push(Source::TableOnly, s, out);
                 }
             }
         }
-        if self.config.text_only {
+        if cfg.text_only {
             // The (empty) evidence table of a text-only sample depends only
             // on the input's title: build it once per input and share the
             // handle across every accepted sample.
@@ -338,21 +368,21 @@ impl UctrPipeline {
             for _ in 0..n.div_ceil(2) {
                 tel.source_attempt(Source::TextOnly);
                 if let Some(s) =
-                    self.text_only_sample(table, &ctx, empty.as_ref(), rng, tel, scratch)
+                    self.text_only_sample(cfg, table, &ctx, empty.as_ref(), rng, tel, scratch)
                 {
                     push(Source::TextOnly, s, out);
                 }
             }
         }
-        if self.config.table_split {
+        if cfg.table_split {
             for _ in 0..n {
                 tel.source_attempt(Source::TableSplit);
-                if let Some(s) = self.split_sample(table, &ctx, &feasible, rng, tel, scratch) {
+                if let Some(s) = self.split_sample(cfg, table, &ctx, &feasible, rng, tel, scratch) {
                     push(Source::TableSplit, s, out);
                 }
             }
         }
-        if self.config.table_expand {
+        if cfg.table_expand {
             if let Some(paragraph) = &input.paragraph {
                 // The paragraph integration is deterministic (no RNG), so
                 // hoist it — and the expanded table's execution context and
@@ -375,8 +405,8 @@ impl UctrPipeline {
                     else {
                         continue;
                     };
-                    if let Some(s) =
-                        self.expand_sample(table, &context, expanded, ectx, efs, rng, tel, scratch)
+                    if let Some(s) = self
+                        .expand_sample(cfg, table, &context, expanded, ectx, efs, rng, tel, scratch)
                     {
                         push(Source::TableExpand, s, out);
                     }
@@ -386,8 +416,10 @@ impl UctrPipeline {
     }
 
     /// A program executed directly on the table (homogeneous setting).
+    #[allow(clippy::too_many_arguments)]
     fn table_only_sample(
         &self,
+        cfg: &UctrConfig,
         table: &SharedTable,
         ctx: &ExecContext,
         feasible: &FeasibleSet<'_>,
@@ -396,7 +428,7 @@ impl UctrPipeline {
         scratch: &mut GenScratch,
     ) -> Option<Sample> {
         let (text, label, program, answer_kind, _hl) =
-            self.run_program(table, ctx, feasible, rng, tel, scratch)?;
+            self.run_program(cfg, table, ctx, feasible, rng, tel, scratch)?;
         Some(Sample {
             table: table.clone(),
             context: Vec::new(),
@@ -411,8 +443,10 @@ impl UctrPipeline {
 
     /// Table splitting (§III-A): program on the full table, one highlighted
     /// row verbalized into a sentence, evidence = sub-table + sentence.
+    #[allow(clippy::too_many_arguments)]
     fn split_sample(
         &self,
+        cfg: &UctrConfig,
         table: &SharedTable,
         ctx: &ExecContext,
         feasible: &FeasibleSet<'_>,
@@ -424,7 +458,7 @@ impl UctrPipeline {
             return None;
         }
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(table, ctx, feasible, rng, tel, scratch)?;
+            self.run_program(cfg, table, ctx, feasible, rng, tel, scratch)?;
         let kind = KindSlot::of(&program);
         // Pick a highlighted row to move into text.
         let rows = &mut scratch.rows;
@@ -460,6 +494,7 @@ impl UctrPipeline {
     #[allow(clippy::too_many_arguments)]
     fn expand_sample(
         &self,
+        cfg: &UctrConfig,
         table: &SharedTable,
         context: &[String],
         expanded: &textops::ExpandResult,
@@ -470,7 +505,7 @@ impl UctrPipeline {
         scratch: &mut GenScratch,
     ) -> Option<Sample> {
         let (text, label, program, answer_kind, highlighted) =
-            self.run_program(&expanded.expanded, ectx, efs, rng, tel, scratch)?;
+            self.run_program(cfg, &expanded.expanded, ectx, efs, rng, tel, scratch)?;
         // Only keep samples whose reasoning actually touches the new row —
         // otherwise the paragraph is decoration, not evidence.
         let new_row = expanded.expanded.n_rows() - 1;
@@ -495,6 +530,7 @@ impl UctrPipeline {
     #[allow(clippy::too_many_arguments)]
     fn text_only_sample(
         &self,
+        cfg: &UctrConfig,
         table: &Table,
         ctx: &ExecContext,
         empty: Option<&SharedTable>,
@@ -503,15 +539,17 @@ impl UctrPipeline {
         scratch: &mut GenScratch,
     ) -> Option<Sample> {
         tel.stage(KindSlot::None, Stage::Attempted);
-        let sample = self.text_only_inner(table, ctx, empty, rng, scratch);
+        let sample = self.text_only_inner(cfg, table, ctx, empty, rng, scratch);
         if sample.is_none() {
             tel.discard(KindSlot::None, Discard::PostFilter);
         }
         sample
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn text_only_inner(
         &self,
+        cfg: &UctrConfig,
         table: &Table,
         ctx: &ExecContext,
         empty: Option<&SharedTable>,
@@ -536,7 +574,7 @@ impl UctrPipeline {
         let col_name = table.column_name(col)?.to_string();
         let value = table.cell(row, col)?.to_string();
         let empty_table = empty?;
-        match self.config.task {
+        match cfg.task {
             TaskKind::QuestionAnswering => Some(Sample {
                 table: empty_table.clone(),
                 context: vec![sentence],
@@ -595,6 +633,7 @@ impl UctrPipeline {
     #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn run_program(
         &self,
+        cfg: &UctrConfig,
         table: &Table,
         ctx: &ExecContext,
         feasible: &FeasibleSet<'_>,
@@ -602,7 +641,7 @@ impl UctrPipeline {
         tel: &TelemetryBank,
         scratch: &mut GenScratch,
     ) -> Option<(String, Label, ProgramKind, AnswerKind, Vec<(usize, usize)>)> {
-        let kind = match self.config.task {
+        let kind = match cfg.task {
             TaskKind::FactVerification => KindSlot::Logic,
             TaskKind::QuestionAnswering => {
                 // Enabled kinds on the stack — the draw order (sql, arith,
@@ -613,9 +652,9 @@ impl UctrPipeline {
                 let mut kinds = [KindSlot::Sql; 3];
                 let mut n = 0;
                 for (flag, slot) in [
-                    (self.config.use_sql, KindSlot::Sql),
-                    (self.config.use_arith, KindSlot::Arith),
-                    (self.config.use_logic, KindSlot::Logic),
+                    (cfg.use_sql, KindSlot::Sql),
+                    (cfg.use_arith, KindSlot::Arith),
+                    (cfg.use_logic, KindSlot::Logic),
                 ] {
                     if flag {
                         kinds[n] = slot;
@@ -678,13 +717,19 @@ impl UctrPipeline {
 
     /// Replaces the evidence of a random fraction of claims with evidence
     /// from another sample, relabeling them `Unknown`.
-    fn inject_unknowns(&self, samples: &mut [Sample], rng: &mut StdRng, tel: &TelemetryBank) {
+    fn inject_unknowns(
+        &self,
+        cfg: &UctrConfig,
+        samples: &mut [Sample],
+        rng: &mut StdRng,
+        tel: &TelemetryBank,
+    ) {
         let n = samples.len();
         if n < 2 {
             return;
         }
         for i in 0..n {
-            if !rng.gen_bool(self.config.unknown_rate.min(1.0)) {
+            if !rng.gen_bool(cfg.unknown_rate.min(1.0)) {
                 continue;
             }
             let j = rng.gen_range(0..n - 1);
@@ -927,6 +972,54 @@ mod tests {
                 report.summary(),
                 base_report.summary()
             );
+        }
+    }
+
+    #[test]
+    fn generate_request_matches_dedicated_pipeline() {
+        // A pipeline built for QA must serve a verification request with a
+        // different seed byte-identically to a pipeline constructed with
+        // that config — the property the serving daemon relies on to share
+        // one template bank across per-request config overrides. Note the
+        // generator's noise is pipeline-level (both off here); the request
+        // override covers task / seed / samples_per_table / source flags.
+        let base = UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() };
+        let pipeline = UctrPipeline::new(base);
+        let req_cfg = UctrConfig {
+            noise: NoiseConfig::off(),
+            seed: 99,
+            samples_per_table: 3,
+            unknown_rate: 0.2,
+            ..UctrConfig::verification()
+        };
+        let tel = TelemetryBank::new();
+        let mut scratch = GenScratch::default();
+        let mut cold = Vec::new();
+        pipeline.generate_request(&req_cfg, &inputs(), &mut cold, &tel, &mut scratch);
+        let expected = UctrPipeline::new(req_cfg.clone()).generate(&inputs());
+        assert_eq!(cold.len(), expected.len());
+        for (x, y) in cold.iter().zip(&expected) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.context, y.context);
+        }
+        // Re-serving the same request with warm scratch (and a dirty output
+        // buffer from an unrelated request) must not change a byte: the
+        // finalize pass only sees the samples this call appended.
+        let mut warm = Vec::new();
+        pipeline.generate_request(
+            &UctrConfig { noise: NoiseConfig::off(), ..UctrConfig::qa() },
+            &inputs(),
+            &mut warm,
+            &tel,
+            &mut scratch,
+        );
+        let offset = warm.len();
+        pipeline.generate_request(&req_cfg, &inputs(), &mut warm, &tel, &mut scratch);
+        assert_eq!(warm.len() - offset, expected.len());
+        for (x, y) in warm[offset..].iter().zip(&expected) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.label, y.label);
         }
     }
 

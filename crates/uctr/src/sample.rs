@@ -120,7 +120,7 @@ pub enum AnswerKind {
 }
 
 /// One reasoning instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sample {
     /// Table evidence (possibly a sub-table after splitting). Shared:
     /// cloning a sample (or fanning one table out over many samples) bumps

@@ -208,11 +208,15 @@ pub enum Timer {
     Execute = 1,
     /// Natural-language generation (realization + reranking + noise).
     NlGen = 2,
+    /// End-to-end latency of one serving request (queue wait + service),
+    /// recorded by the [`crate::serve`] daemon. The batch entry points
+    /// never touch this slot, so batch reports carry it with zero counts.
+    Request = 3,
 }
 
-pub const N_TIMERS: usize = 3;
+pub const N_TIMERS: usize = 4;
 
-pub const TIMER_NAMES: [&str; N_TIMERS] = ["instantiate", "execute", "nl_gen"];
+pub const TIMER_NAMES: [&str; N_TIMERS] = ["instantiate", "execute", "nl_gen", "request"];
 
 /// Number of log2 latency buckets: bucket `i` counts durations in
 /// `[2^i, 2^(i+1))` nanoseconds; the last bucket absorbs the tail (~4.3 s+).
@@ -473,9 +477,64 @@ pub struct TimingReport {
 }
 
 impl TimingReport {
+    /// An empty histogram (used as the merge identity).
+    pub fn empty(name: &str) -> TimingReport {
+        TimingReport {
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            log2_ns_buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
     /// Mean latency in nanoseconds (0 when nothing was recorded).
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds another snapshot into this one (bucket-wise addition; `self`
+    /// keeps its name). Merging is commutative and associative over the
+    /// count/total/bucket fields, so shard snapshots can be combined in any
+    /// grouping — the property the serving daemon's live stats rely on.
+    pub fn merge(&mut self, other: &TimingReport) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        if self.log2_ns_buckets.len() < other.log2_ns_buckets.len() {
+            self.log2_ns_buckets.resize(other.log2_ns_buckets.len(), 0);
+        }
+        for (mine, theirs) in self.log2_ns_buckets.iter_mut().zip(&other.log2_ns_buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Estimated `q`-quantile latency in nanoseconds (`q` in `[0, 1]`),
+    /// interpolated linearly inside the log2 bucket holding the rank-`⌈qN⌉`
+    /// observation. The estimate is bounded by the bucket edges, so it is
+    /// never off by more than one octave — adequate for a p99 gate over a
+    /// log2 histogram. Returns 0 when nothing was recorded.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.log2_ns_buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            seen += b;
+            if seen >= rank {
+                // Bucket i spans [2^i, 2^(i+1)) ns, except bucket 0 which
+                // also holds 0ns and 1ns durations.
+                let lower = if i == 0 { 0u64 } else { 1u64 << i };
+                let width = if i == 0 { 2u64 } else { 1u64 << i };
+                let into = (b - (seen - rank)) as f64 / b as f64;
+                return lower + (width as f64 * into) as u64;
+            }
+        }
+        // Unreachable when the bucket sums equal `count`; fall back to the
+        // mean rather than panicking on an inconsistent snapshot.
+        self.mean_ns()
     }
 }
 
@@ -555,6 +614,12 @@ impl PipelineReport {
             }
         }
         out
+    }
+
+    /// The named wall-clock histogram, if the run recorded one (e.g.
+    /// `"request"` for the serving daemon's end-to-end latency).
+    pub fn timing(&self, name: &str) -> Option<&TimingReport> {
+        self.timings.iter().find(|t| t.name == name)
     }
 
     /// Equality over the deterministic sections — everything except
@@ -699,6 +764,96 @@ mod tests {
         assert_eq!(snap.log2_ns_buckets[1], 1);
         assert_eq!(snap.log2_ns_buckets[9], 1);
         assert_eq!(snap.log2_ns_buckets[10], 1);
+    }
+
+    /// A synthetic snapshot with the given per-bucket counts (total_ns set
+    /// so mean and totals stay consistent with the bucket lower edges).
+    fn timing(name: &str, buckets: &[(usize, u64)]) -> TimingReport {
+        let mut t = TimingReport::empty(name);
+        for &(i, n) in buckets {
+            t.log2_ns_buckets[i] += n;
+            t.count += n;
+            t.total_ns += n * (1u64 << i);
+        }
+        t
+    }
+
+    #[test]
+    fn timing_merge_is_associative_and_commutative() {
+        let a = timing("request", &[(3, 5), (10, 2)]);
+        let b = timing("request", &[(3, 1), (14, 7)]);
+        let c = timing("request", &[(0, 4), (31, 1)]);
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        // b + a == a + b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count, ba.count);
+        assert_eq!(ab.total_ns, ba.total_ns);
+        assert_eq!(ab.log2_ns_buckets, ba.log2_ns_buckets);
+        // Identity: merging an empty histogram is a no-op.
+        let mut id = a.clone();
+        id.merge(&TimingReport::empty("request"));
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn timing_merge_handles_shorter_buckets() {
+        let mut short = TimingReport {
+            name: "request".into(),
+            count: 1,
+            total_ns: 8,
+            log2_ns_buckets: vec![0, 0, 0, 1],
+        };
+        let long = timing("request", &[(10, 2)]);
+        short.merge(&long);
+        assert_eq!(short.count, 3);
+        assert_eq!(short.log2_ns_buckets.len(), HIST_BUCKETS);
+        assert_eq!(short.log2_ns_buckets[3], 1);
+        assert_eq!(short.log2_ns_buckets[10], 2);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets_monotonically() {
+        // 90 fast (bucket 3: 8-16ns), 9 medium (bucket 10: ~1µs), 1 slow
+        // (bucket 20: ~1ms): p50 must land in the fast bucket, p99 in the
+        // medium one, p999+ in the slow one.
+        let t = timing("request", &[(3, 90), (10, 9), (20, 1)]);
+        let p50 = t.quantile_ns(0.50);
+        let p99 = t.quantile_ns(0.99);
+        let p999 = t.quantile_ns(0.999);
+        assert!((8..16).contains(&p50), "p50 = {p50}");
+        assert!((1024..=2048).contains(&p99), "p99 = {p99}");
+        assert!((1 << 20..=1 << 21).contains(&p999), "p999 = {p999}");
+        assert!(p50 <= p99 && p99 <= p999, "quantiles must be monotone");
+        // Degenerate cases.
+        assert_eq!(TimingReport::empty("t").quantile_ns(0.99), 0);
+        let one = timing("t", &[(5, 1)]);
+        assert_eq!(one.quantile_ns(0.0), one.quantile_ns(1.0));
+    }
+
+    #[test]
+    fn bank_records_request_timer_and_report_finds_it() {
+        let bank = TelemetryBank::new();
+        bank.time(Timer::Request, Duration::from_micros(100));
+        bank.time(Timer::Request, Duration::from_micros(200));
+        let report = bank.report(1);
+        let req = report.timing("request").unwrap_or_else(|| panic!("request histogram missing"));
+        assert_eq!(req.count, 2);
+        assert!(req.mean_ns() > 0);
+        assert!(report.timing("no_such_timer").is_none());
+        // Request latency is live state, not deterministic content.
+        assert!(report.deterministic_eq(&TelemetryBank::new().report(1)));
     }
 
     #[test]
